@@ -1,0 +1,100 @@
+//! Accelerator-model benchmarks: how fast the simulator itself executes
+//! PE updates, scan integration, scheduling, and queries.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use omu_core::{OmuAccelerator, OmuConfig, VoxelScheduler};
+use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn ring_scan(points: usize, seed: u64) -> Scan {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cloud: PointCloud = (0..points)
+        .map(|_| {
+            Point3::new(
+                rng.random_range(-6.0..6.0),
+                rng.random_range(-6.0..6.0),
+                rng.random_range(-2.0..2.0),
+            )
+        })
+        .collect();
+    Scan::new(Point3::new(0.01, 0.01, 0.01), cloud)
+}
+
+fn bench_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accel_update");
+    g.throughput(Throughput::Elements(1));
+    let keys: Vec<VoxelKey> = {
+        let mut rng = StdRng::seed_from_u64(3);
+        (0..1024)
+            .map(|_| {
+                VoxelKey::new(
+                    rng.random_range(32000..33500),
+                    rng.random_range(32000..33500),
+                    rng.random_range(32000..33500),
+                )
+            })
+            .collect()
+    };
+    g.bench_function("update_voxel", |b| {
+        let mut omu =
+            OmuAccelerator::new(OmuConfig::builder().rows_per_bank(1 << 15).build().unwrap())
+                .unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            let k = keys[i & 1023];
+            i += 1;
+            omu.update_voxel(black_box(k), i % 3 != 0).unwrap()
+        });
+    });
+    g.finish();
+}
+
+fn bench_scan_integration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accel_scan");
+    let scan = ring_scan(256, 11);
+    g.throughput(Throughput::Elements(256));
+    g.bench_function("integrate_scan_256pts", |b| {
+        let mut omu =
+            OmuAccelerator::new(OmuConfig::builder().rows_per_bank(1 << 15).build().unwrap())
+                .unwrap();
+        b.iter(|| omu.integrate_scan(black_box(&scan)).unwrap());
+    });
+    g.finish();
+}
+
+fn bench_query(c: &mut Criterion) {
+    let mut omu =
+        OmuAccelerator::new(OmuConfig::builder().rows_per_bank(1 << 15).build().unwrap()).unwrap();
+    for s in 0..4 {
+        omu.integrate_scan(&ring_scan(256, s)).unwrap();
+    }
+    let key = omu.converter().coord_to_key(Point3::new(3.0, 1.0, 0.5)).unwrap();
+    let mut g = c.benchmark_group("accel_query");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("query_key", |b| b.iter(|| omu.query_key(black_box(key))));
+    g.finish();
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("dispatch", |b| {
+        let mut s = VoxelScheduler::new(8, 16);
+        let mut pe = 0;
+        b.iter(|| {
+            pe = (pe + 1) & 7;
+            s.dispatch(black_box(pe), black_box(95))
+        });
+    });
+    g.bench_function("pe_for", |b| {
+        let s = VoxelScheduler::new(8, 16);
+        let k = VoxelKey::new(40000, 20000, 50000);
+        b.iter(|| s.pe_for(black_box(k)));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_update, bench_scan_integration, bench_query, bench_scheduler);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Microbenchmarks of the data-plane primitives: the 64-bit node entry
+//! (Fig. 5), fixed-point log-odds arithmetic, and voxel-key math.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use omu_core::{ChildStatus, NodeEntry};
+use omu_geometry::{FixedLogOdds, KeyConverter, Point3, VoxelKey};
+
+fn bench_node_entry(c: &mut Criterion) {
+    let mut g = c.benchmark_group("node_entry");
+    g.throughput(Throughput::Elements(1));
+    let entry = NodeEntry {
+        ptr: 0x1234,
+        tags: 0xA5C3,
+        prob: FixedLogOdds::from_f32(1.25),
+    };
+    let word = entry.pack();
+    g.bench_function("pack", |b| b.iter(|| black_box(entry).pack()));
+    g.bench_function("unpack", |b| b.iter(|| NodeEntry::unpack(black_box(word))));
+    g.bench_function("child_status", |b| {
+        b.iter(|| black_box(entry).child_status(black_box(5)))
+    });
+    g.bench_function("with_child_status", |b| {
+        b.iter(|| black_box(entry).with_child_status(black_box(5), ChildStatus::Inner))
+    });
+    g.finish();
+}
+
+fn bench_fixed_point(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fixed_logodds");
+    g.throughput(Throughput::Elements(1));
+    let a = FixedLogOdds::from_f32(0.85);
+    let v = FixedLogOdds::from_f32(2.2);
+    g.bench_function("saturating_add", |b| {
+        b.iter(|| black_box(v).saturating_add(black_box(a)))
+    });
+    g.bench_function("from_f32", |b| b.iter(|| FixedLogOdds::from_f32(black_box(0.8473))));
+    g.finish();
+}
+
+fn bench_keys(c: &mut Criterion) {
+    let conv = KeyConverter::new(0.2).unwrap();
+    let p = Point3::new(12.345, -6.789, 1.234);
+    let key = conv.coord_to_key(p).unwrap();
+    let mut g = c.benchmark_group("voxel_key");
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("coord_to_key", |b| b.iter(|| conv.coord_to_key(black_box(p))));
+    g.bench_function("key_to_coord", |b| b.iter(|| conv.key_to_coord(black_box(key))));
+    g.bench_function("child_index_at", |b| {
+        b.iter(|| black_box(key).child_index_at(black_box(7)))
+    });
+    g.bench_function("path_from_root", |b| {
+        b.iter(|| black_box(key).path_from_root().map(|c| c.index()).sum::<usize>())
+    });
+    g.finish();
+    let _ = VoxelKey::ORIGIN;
+}
+
+criterion_group!(benches, bench_node_entry, bench_fixed_point, bench_keys);
+criterion_main!(benches);

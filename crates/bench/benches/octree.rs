@@ -1,0 +1,110 @@
+//! Software-baseline benchmarks: the OctoMap octree's update, search,
+//! ray-cast and serialization paths.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
+use omu_octree::OctreeF32;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn mapped_tree() -> OctreeF32 {
+    let mut tree = OctreeF32::new(0.2).unwrap();
+    let mut rng = StdRng::seed_from_u64(42);
+    for _ in 0..8 {
+        let cloud: PointCloud = (0..256)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-8.0..8.0),
+                    rng.random_range(-8.0..8.0),
+                    rng.random_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        tree.insert_scan(&Scan::new(Point3::ZERO, cloud)).unwrap();
+    }
+    tree
+}
+
+fn bench_updates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("octree_update");
+    g.throughput(Throughput::Elements(1));
+    let keys: Vec<VoxelKey> = {
+        let mut rng = StdRng::seed_from_u64(7);
+        (0..1024)
+            .map(|_| {
+                VoxelKey::new(
+                    rng.random_range(32700..32850),
+                    rng.random_range(32700..32850),
+                    rng.random_range(32700..32850),
+                )
+            })
+            .collect()
+    };
+    g.bench_function("update_key_fresh_region", |b| {
+        let mut tree = OctreeF32::new(0.2).unwrap();
+        let mut i = 0;
+        b.iter(|| {
+            let k = keys[i & 1023];
+            i += 1;
+            tree.update_key(black_box(k), i % 3 != 0)
+        });
+    });
+    g.bench_function("update_key_saturated_region", |b| {
+        let mut tree = OctreeF32::new(0.2).unwrap();
+        for _ in 0..8 {
+            for &k in &keys {
+                tree.update_key(k, true);
+            }
+        }
+        let mut i = 0;
+        b.iter(|| {
+            let k = keys[i & 1023];
+            i += 1;
+            tree.update_key(black_box(k), true)
+        });
+    });
+    g.finish();
+}
+
+fn bench_queries(c: &mut Criterion) {
+    let tree = mapped_tree();
+    let mut g = c.benchmark_group("octree_query");
+    g.throughput(Throughput::Elements(1));
+    let key = tree.converter().coord_to_key(Point3::new(4.0, 2.0, 0.5)).unwrap();
+    g.bench_function("search", |b| b.iter(|| tree.search(black_box(key))));
+    g.bench_function("occupancy", |b| b.iter(|| tree.occupancy(black_box(key))));
+    g.bench_function("cast_ray_10m", |b| {
+        b.iter(|| {
+            tree.cast_ray(
+                black_box(Point3::ZERO),
+                black_box(Point3::new(1.0, 0.3, 0.05)),
+                10.0,
+                true,
+            )
+            .unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_maintenance(c: &mut Criterion) {
+    let tree = mapped_tree();
+    let mut g = c.benchmark_group("octree_maintenance");
+    g.bench_function("iter_leaves", |b| b.iter(|| tree.iter_leaves().count()));
+    g.bench_function("snapshot", |b| b.iter(|| tree.snapshot().len()));
+    g.bench_function("to_bytes", |b| b.iter(|| tree.to_bytes().len()));
+    let bytes = tree.to_bytes();
+    g.bench_function("from_bytes", |b| {
+        b.iter(|| OctreeF32::from_bytes(black_box(&bytes)).unwrap().num_nodes())
+    });
+    g.bench_function("prune_all_noop", |b| {
+        // Already pruned eagerly: measures the scan cost alone.
+        let mut t = tree.clone();
+        b.iter(|| t.prune_all())
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_updates, bench_queries, bench_maintenance);
+criterion_main!(benches);

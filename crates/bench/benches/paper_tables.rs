@@ -1,0 +1,109 @@
+//! One benchmark group per paper table/figure, at miniature scale.
+//!
+//! The *model outputs* for each table/figure come from the
+//! `omu-bench` binaries (`table2` … `fig10`, `repro_all`); these criterion
+//! groups time the machinery that regenerates them, so `cargo bench`
+//! documents the relative cost of baseline vs accelerator simulation on
+//! identical slices of each workload.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use omu_core::{run_accelerator, OmuConfig};
+use omu_cpumodel::CpuCostModel;
+use omu_datasets::DatasetKind;
+use omu_geometry::Scan;
+use omu_octree::OctreeF32;
+use omu_raycast::IntegrationMode;
+
+/// A small slice of one dataset scan keeps the benches fast while
+/// exercising exactly the table's code path.
+fn slice_of(kind: DatasetKind, points: usize) -> (Scan, f64, f64) {
+    let dataset = kind.build_scaled(1.0 / kind.spec().scans as f64);
+    let spec = *dataset.spec();
+    let full = dataset.scan(0);
+    let cloud: omu_geometry::PointCloud =
+        full.cloud.iter().copied().take(points).collect();
+    (Scan::new(full.origin, cloud), spec.resolution, spec.max_range)
+}
+
+fn baseline_time(scan: &Scan, resolution: f64, max_range: f64) -> usize {
+    let mut tree = OctreeF32::new(resolution).unwrap();
+    tree.set_integration_mode(IntegrationMode::Raywise);
+    tree.set_max_range(Some(max_range));
+    tree.insert_scan(scan).unwrap();
+    tree.num_nodes()
+}
+
+fn accel_time(scan: &Scan, resolution: f64, max_range: f64) -> u64 {
+    let config = OmuConfig::builder()
+        .rows_per_bank(1 << 14)
+        .resolution(resolution)
+        .max_range(Some(max_range))
+        .integration_mode(IntegrationMode::Raywise)
+        .build()
+        .unwrap();
+    let (_, summary) = run_accelerator(config, std::iter::once(scan.clone())).unwrap();
+    summary.voxel_updates
+}
+
+/// Tables II–V and Figs. 3/9/10 all consume the same two runs (baseline
+/// octree with counters + accelerator model); benchmark both per dataset.
+fn bench_table_machinery(c: &mut Criterion) {
+    for kind in DatasetKind::ALL {
+        let (scan, res, range) = slice_of(kind, 2_000);
+        let mut g = c.benchmark_group(format!(
+            "tables2to5_figs3_9_10/{}",
+            kind.name().replace(' ', "_")
+        ));
+        g.sample_size(10);
+        g.bench_with_input(BenchmarkId::new("baseline_octree", scan.len()), &scan, |b, s| {
+            b.iter(|| baseline_time(black_box(s), res, range))
+        });
+        g.bench_with_input(BenchmarkId::new("omu_accelerator", scan.len()), &scan, |b, s| {
+            b.iter(|| accel_time(black_box(s), res, range))
+        });
+        g.finish();
+    }
+}
+
+/// The CPU cost models behind Table II/III and Fig. 3 are pure counter
+/// arithmetic — effectively free next to the runs themselves.
+fn bench_cpu_models(c: &mut Criterion) {
+    let (scan, res, range) = slice_of(DatasetKind::Fr079Corridor, 2_000);
+    let mut tree = OctreeF32::new(res).unwrap();
+    tree.set_integration_mode(IntegrationMode::Raywise);
+    tree.set_max_range(Some(range));
+    tree.insert_scan(&scan).unwrap();
+    let counters = *tree.counters();
+    let mut g = c.benchmark_group("table3_cpu_models");
+    g.bench_function("i9_runtime", |b| {
+        let m = CpuCostModel::i9_9940x();
+        b.iter(|| m.runtime(black_box(&counters)).total_s())
+    });
+    g.bench_function("a57_runtime", |b| {
+        let m = CpuCostModel::cortex_a57();
+        b.iter(|| m.runtime(black_box(&counters)).total_s())
+    });
+    g.finish();
+}
+
+/// Fig. 8's area model and the Section VI-C power report.
+fn bench_fig8_reports(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8_reports");
+    g.bench_function("area_model", |b| {
+        b.iter(|| omu_core::area_model(&OmuConfig::default()).total_mm2())
+    });
+    let (scan, res, range) = slice_of(DatasetKind::Fr079Corridor, 1_000);
+    let config = OmuConfig::builder()
+        .rows_per_bank(1 << 14)
+        .resolution(res)
+        .max_range(Some(range))
+        .build()
+        .unwrap();
+    let (omu, _) = run_accelerator(config, std::iter::once(scan)).unwrap();
+    g.bench_function("power_report", |b| b.iter(|| omu.power_report().total_mw()));
+    g.finish();
+}
+
+criterion_group!(benches, bench_table_machinery, bench_cpu_models, bench_fig8_reports);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Ray-casting benchmarks: DDA throughput versus ray length, and full
+//! scan integration in both overlap modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+use omu_geometry::{KeyConverter, Point3, PointCloud, Scan};
+use omu_raycast::{compute_ray_keys, IntegrationMode, KeyRay, ScanIntegrator};
+
+fn bench_dda(c: &mut Criterion) {
+    let conv = KeyConverter::new(0.2).unwrap();
+    let mut g = c.benchmark_group("dda");
+    for length_m in [1.0f64, 5.0, 20.0] {
+        let end = Point3::new(length_m * 0.7, length_m * 0.6, length_m * 0.38);
+        let cells = (length_m / 0.2 * 1.6) as u64;
+        g.throughput(Throughput::Elements(cells));
+        g.bench_with_input(BenchmarkId::new("compute_ray_keys", length_m as u64), &end, |b, &end| {
+            let mut ray = KeyRay::new();
+            b.iter(|| {
+                compute_ray_keys(&conv, black_box(Point3::ZERO), black_box(end), &mut ray)
+                    .unwrap()
+            });
+        });
+    }
+    g.finish();
+}
+
+fn ring_scan(points: usize) -> Scan {
+    let cloud: PointCloud = (0..points)
+        .map(|i| {
+            let a = i as f64 * std::f64::consts::TAU / points as f64;
+            Point3::new(6.0 * a.cos(), 6.0 * a.sin(), (i % 7) as f64 * 0.3 - 1.0)
+        })
+        .collect();
+    Scan::new(Point3::new(0.01, 0.01, 0.01), cloud)
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let conv = KeyConverter::new(0.2).unwrap();
+    let scan = ring_scan(512);
+    let mut g = c.benchmark_group("scan_integration");
+    g.throughput(Throughput::Elements(512));
+    for (name, mode) in [
+        ("raywise", IntegrationMode::Raywise),
+        ("dedup", IntegrationMode::DedupPerScan),
+    ] {
+        g.bench_function(name, |b| {
+            let mut integrator = ScanIntegrator::new(conv, Some(10.0), mode);
+            b.iter(|| {
+                let mut n = 0u64;
+                integrator.integrate(black_box(&scan), |_| n += 1).unwrap();
+                n
+            });
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_dda, bench_integration);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Ablation: memory-bank parallelism (the paper's 8x memory-bandwidth
+//! claim, Section IV-B).
+//!
+//! With fewer banks the 8-children row of a parent update / prune check
+//! takes multiple cycles instead of one. The functional tree is
+//! unchanged; the PE timing models the serialized row access:
+//! `parent_per_level = compute + write + ceil(8 / banks)` read cycles.
+use omu_bench::table::{fmt_f, fmt_x};
+use omu_bench::{runner::default_scale, RunOptions, TextTable};
+use omu_core::{run_accelerator, OmuConfig, PeTiming};
+use omu_datasets::DatasetKind;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let kind = DatasetKind::Fr079Corridor;
+    let scale = opts.scale.unwrap_or(default_scale(kind) / 2.0);
+    let dataset = kind.build_scaled(scale);
+    let spec = *dataset.spec();
+
+    println!("bank-parallelism ablation on {} (scale {scale}):", kind.name());
+    let mut t = TextTable::new(["banks", "row-read cycles", "latency (s)", "slowdown vs 8"]);
+    let mut batch8 = None;
+    for banks in [8usize, 4, 2, 1] {
+        let row_read_cycles = (8 / banks) as u64;
+        let timing = PeTiming {
+            // Default: 1-cycle row read + compute + write = 3.
+            parent_per_level: 2 + row_read_cycles,
+            expand_action: 2 + row_read_cycles,
+            ..PeTiming::default()
+        };
+        let config = OmuConfig::builder()
+            .rows_per_bank(1 << 16)
+            .resolution(spec.resolution)
+            .max_range(Some(spec.max_range))
+            .timing(timing)
+            .build()
+            .unwrap();
+        let (_, s) = run_accelerator(config, dataset.scans()).unwrap();
+        let base = *batch8.get_or_insert(s.latency_s);
+        t.row([
+            banks.to_string(),
+            row_read_cycles.to_string(),
+            fmt_f(s.latency_s),
+            fmt_x(s.latency_s / base),
+        ]);
+    }
+    println!("{t}");
+    println!("8 parallel banks serve all children in one cycle (paper Section IV-B)");
+}

@@ -1,0 +1,42 @@
+//! Ablation: PE count scaling (the paper's "PE number is set to 8 ... but
+//! it is also scalable" claim, Section V).
+//!
+//! Runs the FR-079 corridor workload on 1/2/4/8 PEs and reports latency,
+//! throughput and speedup over the single-PE design.
+use omu_bench::table::{fmt_f, fmt_x};
+use omu_bench::{runner::default_scale, RunOptions, TextTable};
+use omu_core::{run_accelerator, OmuConfig};
+use omu_datasets::DatasetKind;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let kind = DatasetKind::Fr079Corridor;
+    let scale = opts.scale.unwrap_or(default_scale(kind) / 2.0);
+    let dataset = kind.build_scaled(scale);
+    let spec = *dataset.spec();
+
+    println!("PE-count ablation on {} (scale {scale}):", kind.name());
+    let mut t = TextTable::new(["PEs", "latency (s)", "FPS", "speedup", "imbalance", "power (mW)"]);
+    let mut base_latency = None;
+    for num_pes in [1usize, 2, 4, 8] {
+        let config = OmuConfig::builder()
+            .num_pes(num_pes)
+            .rows_per_bank(1 << 16)
+            .resolution(spec.resolution)
+            .max_range(Some(spec.max_range))
+            .build()
+            .unwrap();
+        let (_, s) = run_accelerator(config, dataset.scans()).unwrap();
+        let base = *base_latency.get_or_insert(s.latency_s);
+        t.row([
+            num_pes.to_string(),
+            fmt_f(s.latency_s),
+            fmt_f(s.fps),
+            fmt_x(base / s.latency_s),
+            format!("{:.2}", s.load_imbalance),
+            fmt_f(s.power_mw),
+        ]);
+    }
+    println!("{t}");
+    println!("the 8-PE design is the paper's configuration (~8x compute throughput)");
+}

@@ -1,0 +1,144 @@
+//! Calibration pass: fits the CPU cost models and checks the accelerator
+//! technology constants against the paper's anchors.
+//!
+//! Runs the three datasets, fits one scale factor per runtime category to
+//! the paper's Table II totals and Fig. 3 shares (see
+//! `omu_cpumodel::fit`), fits the A57 global factor to Table III, and
+//! reports the accelerator's modeled power against the 250.8 mW / 91 %
+//! SRAM anchor. The fitted constants are meant to be pasted into
+//! `omu-cpumodel/src/platforms.rs` / `omu-simhw/src/tech12nm.rs`.
+
+use omu_bench::table::fmt_f;
+use omu_bench::{run_all, RunOptions, TextTable};
+use omu_cpumodel::fit::{apply_scales, fit_categories, CalibrationTarget};
+use omu_cpumodel::CpuCostModel;
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let runs = run_all(opts);
+
+    // --- Fit the i9 per-category scales. ---
+    let counters: Vec<_> = runs.iter().map(|r| {
+        // Scale counters up to the full dataset so targets and predictions
+        // are in the same units.
+        let mut c = r.counters;
+        let f = r.extrapolation;
+        scale_counters(&mut c, f);
+        c
+    }).collect();
+    let targets: Vec<CalibrationTarget> = runs
+        .iter()
+        .map(|r| {
+            let p = r.kind.paper();
+            CalibrationTarget { total_s: p.i9_latency_s, shares: p.fig3_shares }
+        })
+        .collect();
+
+    let base = CpuCostModel::i9_9940x();
+    let scales = fit_categories(&base, &counters, &targets);
+    let fitted = apply_scales(&base, &scales);
+    println!("fitted per-category scales vs current i9 model:");
+    println!("  ray_casting    x{:.4}", scales.ray_casting);
+    println!("  update_leaf    x{:.4}", scales.update_leaf);
+    println!("  update_parents x{:.4}", scales.update_parents);
+    println!("  prune_expand   x{:.4}", scales.prune_expand);
+    println!();
+    println!("suggested i9 constants (ns):");
+    println!("  dda_step_ns: {:.3},", fitted.dda_step_ns);
+    println!("  leaf_update_ns: {:.3},", fitted.leaf_update_ns);
+    println!("  traverse_step_ns: {:.3},", fitted.traverse_step_ns);
+    println!("  saturation_probe_ns: {:.3},", fitted.saturation_probe_ns);
+    println!("  parent_update_ns: {:.3},", fitted.parent_update_ns);
+    println!("  parent_child_read_ns: {:.3},", fitted.parent_child_read_ns);
+    println!("  prune_check_ns: {:.3},", fitted.prune_check_ns);
+    println!("  prune_child_read_ns: {:.3},", fitted.prune_child_read_ns);
+    println!("  prune_ns: {:.3},", fitted.prune_ns);
+    println!("  expand_ns: {:.3},", fitted.expand_ns);
+    println!();
+
+    // --- A57 global factor against Table III. ---
+    let i9_preds: Vec<f64> = counters.iter().map(|c| fitted.runtime(c).total_s()).collect();
+    let a57_targets: Vec<f64> = runs.iter().map(|r| r.kind.paper().a57_latency_s).collect();
+    let a57_factor = omu_cpumodel::fit::fit_scale(&i9_preds, &a57_targets);
+    println!("suggested A57 factor over fitted i9: x{a57_factor:.3}");
+    println!();
+
+    // --- Fit quality report. ---
+    let mut t = TextTable::new([
+        "dataset",
+        "i9 paper (s)",
+        "i9 fitted (s)",
+        "shares paper",
+        "shares fitted",
+    ]);
+    for (i, r) in runs.iter().enumerate() {
+        let b = fitted.runtime(&counters[i]);
+        let p = r.kind.paper();
+        t.row([
+            r.kind.name().to_owned(),
+            fmt_f(p.i9_latency_s),
+            fmt_f(b.total_s()),
+            format!("{:?}", p.fig3_shares.map(|s| (s * 100.0).round() as i64)),
+            format!("{:?}", b.shares().map(|s| (s * 100.0).round() as i64)),
+        ]);
+    }
+    println!("{t}");
+
+    // --- Counter magnitudes (for the record). ---
+    for (i, r) in runs.iter().enumerate() {
+        println!(
+            "{}: updates {:.1} M (paper {:.0} M), dda {:.1} M, prune_checks {:.1} M, \
+             prune_child_reads {:.1} M, parent_reads {:.1} M, prunes {:.2} M, expands {:.2} M",
+            r.kind.name(),
+            r.updates_full() / 1e6,
+            r.kind.paper().voxel_update_millions,
+            counters[i].dda_steps as f64 / 1e6,
+            counters[i].prune_checks as f64 / 1e6,
+            counters[i].prune_child_reads as f64 / 1e6,
+            counters[i].parent_child_reads as f64 / 1e6,
+            counters[i].prunes as f64 / 1e6,
+            counters[i].expands as f64 / 1e6,
+        );
+    }
+    println!();
+
+    // --- Accelerator anchors. ---
+    let mut t = TextTable::new([
+        "dataset",
+        "OMU latency (s)",
+        "paper (s)",
+        "power (mW)",
+        "SRAM %",
+        "imbalance",
+        "rows/bank",
+    ]);
+    for r in &runs {
+        t.row([
+            r.kind.name().to_owned(),
+            fmt_f(r.omu_latency_full()),
+            fmt_f(r.kind.paper().omu_latency_s),
+            fmt_f(r.accel.power_mw),
+            format!("{:.0}", r.accel.sram_power_share * 100.0),
+            format!("{:.2}", r.accel.load_imbalance),
+            r.accel_rows_per_bank.to_string(),
+        ]);
+    }
+    println!("{t}");
+    println!("paper power anchor: 250.8 mW at 1 GHz, 91 % SRAM");
+}
+
+fn scale_counters(c: &mut omu_octree::OpCounters, f: f64) {
+    let s = |v: &mut u64| *v = (*v as f64 * f).round() as u64;
+    s(&mut c.dda_steps);
+    s(&mut c.leaf_updates);
+    s(&mut c.traverse_steps);
+    s(&mut c.saturation_probes);
+    s(&mut c.saturated_skips);
+    s(&mut c.parent_updates);
+    s(&mut c.parent_child_reads);
+    s(&mut c.prune_checks);
+    s(&mut c.prune_child_reads);
+    s(&mut c.prunes);
+    s(&mut c.expands);
+    s(&mut c.node_creations);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 10 (runtime breakdown, CPU vs accelerator).
+use omu_bench::{reports, run_all, RunOptions};
+fn main() {
+    let runs = run_all(RunOptions::from_env());
+    reports::print_fig10(&runs);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 3 (CPU runtime breakdown per dataset).
+use omu_bench::{reports, run_all, RunOptions};
+fn main() {
+    let runs = run_all(RunOptions::from_env());
+    reports::print_fig3(&runs);
+}

@@ -1,0 +1,6 @@
+//! Regenerates Fig. 9 (FR-079 latency and throughput bars).
+use omu_bench::{reports, run_all, RunOptions};
+fn main() {
+    let runs = run_all(RunOptions::from_env());
+    reports::print_fig9(&runs);
+}

@@ -1,0 +1,33 @@
+//! Regenerates every table and figure of the paper in one run.
+//!
+//! `cargo run --release -p omu-bench --bin repro_all` (add `--full` for
+//! full-fidelity scans; default scales finish in minutes).
+use omu_bench::{reports, run_all, RunOptions};
+use omu_core::{area_model, floorplan_ascii, OmuConfig};
+
+fn main() {
+    let opts = RunOptions::from_env();
+    reports::print_table1();
+    let runs = run_all(opts);
+    reports::print_table2(&runs);
+    reports::print_fig3(&runs);
+    println!("{}", floorplan_ascii(&OmuConfig::default()));
+    println!("{}", area_model(&OmuConfig::default()));
+    reports::print_fig9(&runs);
+    reports::print_table3(&runs);
+    reports::print_table4(&runs);
+    reports::print_table5(&runs);
+    reports::print_fig10(&runs);
+    for r in &runs {
+        println!(
+            "{}: OMU power {:.1} mW ({:.0} % SRAM), T-Mem rows/bank {}, utilization {:.0} %, imbalance {:.2}",
+            r.kind.name(),
+            r.accel.power_mw,
+            r.accel.sram_power_share * 100.0,
+            r.accel_rows_per_bank,
+            r.accel.sram_utilization * 100.0,
+            r.accel.load_imbalance
+        );
+    }
+    println!("\npaper anchors: 250.8 mW @ 1 GHz, 91 % SRAM power, 63 FPS real-time");
+}

@@ -1,0 +1,4 @@
+//! Regenerates Table I (qualitative accelerator comparison).
+fn main() {
+    omu_bench::reports::print_table1();
+}

@@ -1,0 +1,6 @@
+//! Regenerates Table II (dataset details), paper vs measured.
+use omu_bench::{reports, run_all, RunOptions};
+fn main() {
+    let runs = run_all(RunOptions::from_env());
+    reports::print_table2(&runs);
+}

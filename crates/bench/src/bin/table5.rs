@@ -1,0 +1,6 @@
+//! Regenerates Table V (energy comparison).
+use omu_bench::{reports, run_all, RunOptions};
+fn main() {
+    let runs = run_all(RunOptions::from_env());
+    reports::print_table5(&runs);
+}

@@ -1,0 +1,26 @@
+//! The evaluation harness: everything the table/figure reproduction
+//! binaries share.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! OMU paper (see DESIGN.md § 5 for the index); this library provides:
+//!
+//! - [`runner`] — executes one dataset through the instrumented software
+//!   baseline *and* the accelerator model, with linear extrapolation from
+//!   scaled runs to full-dataset estimates.
+//! - [`table`] — plain-text table rendering for paper-vs-measured output.
+//! - [`args`] — the tiny `--scale` / `--full` command-line convention.
+//!
+//! Run everything at once with `cargo run --release -p omu-bench --bin
+//! repro_all`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod args;
+pub mod reports;
+pub mod runner;
+pub mod table;
+
+pub use args::RunOptions;
+pub use runner::{run_all, run_dataset, DatasetRun};
+pub use table::TextTable;

@@ -1,0 +1,253 @@
+//! Dataset execution: software baseline + accelerator model, with
+//! extrapolation from scaled runs.
+
+use omu_core::{run_accelerator, AccelError, AccelRunSummary, OmuConfig};
+use omu_cpumodel::{frame_equivalent_fps, CpuCostModel, RuntimeBreakdown};
+use omu_datasets::{Dataset, DatasetKind};
+use omu_octree::{MemoryStats, OctreeF32, OpCounters};
+use omu_raycast::{IntegrationMode, IntegrationStats};
+
+use crate::args::RunOptions;
+
+/// Default scan-count scales keeping `repro_all` in the minutes range.
+/// Override with `--scale` / `--full` / `OMU_SCALE` for full-fidelity
+/// runs.
+pub fn default_scale(kind: DatasetKind) -> f64 {
+    match kind {
+        DatasetKind::Fr079Corridor => 0.35,
+        DatasetKind::FreiburgCampus => 0.1,
+        DatasetKind::NewCollege => 0.02,
+    }
+}
+
+/// Everything measured for one dataset: the instrumented software
+/// baseline (feeding the CPU cost models) and the accelerator run.
+#[derive(Debug, Clone)]
+pub struct DatasetRun {
+    /// Which dataset.
+    pub kind: DatasetKind,
+    /// Scans actually executed.
+    pub scans_run: usize,
+    /// Extrapolation factor to the full dataset (full scans / run scans).
+    pub extrapolation: f64,
+    /// Points integrated in the run.
+    pub points: u64,
+    /// Integration statistics (rays, DDA steps, voxel updates).
+    pub integration: IntegrationStats,
+    /// Baseline octree operation counters (early-abort off, raywise).
+    pub counters: OpCounters,
+    /// Baseline tree node count at end of run.
+    pub tree_nodes: usize,
+    /// Baseline tree memory footprint.
+    pub tree_mem: MemoryStats,
+    /// Accelerator run summary.
+    pub accel: AccelRunSummary,
+    /// Rows per bank the accelerator ended up needing (4096 = paper
+    /// geometry; larger values indicate a capacity retry).
+    pub accel_rows_per_bank: usize,
+}
+
+impl DatasetRun {
+    /// Modeled i9-9940X runtime breakdown for the executed scans.
+    pub fn i9(&self) -> RuntimeBreakdown {
+        CpuCostModel::i9_9940x().runtime(&self.counters)
+    }
+
+    /// Modeled Cortex-A57 runtime breakdown for the executed scans.
+    pub fn a57(&self) -> RuntimeBreakdown {
+        CpuCostModel::cortex_a57().runtime(&self.counters)
+    }
+
+    /// Full-dataset i9 latency estimate in seconds.
+    pub fn i9_latency_full(&self) -> f64 {
+        self.i9().total_s() * self.extrapolation
+    }
+
+    /// Full-dataset A57 latency estimate in seconds.
+    pub fn a57_latency_full(&self) -> f64 {
+        self.a57().total_s() * self.extrapolation
+    }
+
+    /// Full-dataset OMU latency estimate in seconds.
+    pub fn omu_latency_full(&self) -> f64 {
+        self.accel.latency_s * self.extrapolation
+    }
+
+    /// Full-dataset point count estimate.
+    pub fn points_full(&self) -> f64 {
+        self.points as f64 * self.extrapolation
+    }
+
+    /// Full-dataset voxel-update estimate.
+    pub fn updates_full(&self) -> f64 {
+        self.integration.total_updates() as f64 * self.extrapolation
+    }
+
+    /// Frame-equivalent FPS on the i9 (updates-based; see
+    /// `omu_cpumodel::UPDATES_PER_FRAME`).
+    pub fn i9_fps(&self) -> f64 {
+        frame_equivalent_fps(self.integration.total_updates(), self.i9().total_s())
+    }
+
+    /// Frame-equivalent FPS on the A57.
+    pub fn a57_fps(&self) -> f64 {
+        frame_equivalent_fps(self.integration.total_updates(), self.a57().total_s())
+    }
+
+    /// Frame-equivalent FPS on the OMU accelerator.
+    pub fn omu_fps(&self) -> f64 {
+        frame_equivalent_fps(self.integration.total_updates(), self.accel.latency_s)
+    }
+
+    /// Full-dataset A57 energy estimate in joules.
+    pub fn a57_energy_full(&self) -> f64 {
+        CpuCostModel::cortex_a57().energy_j(&self.counters) * self.extrapolation
+    }
+
+    /// Full-dataset OMU energy estimate in joules.
+    pub fn omu_energy_full(&self) -> f64 {
+        self.accel.energy_j * self.extrapolation
+    }
+}
+
+/// Runs one dataset through baseline and accelerator.
+///
+/// The accelerator starts at the paper's 4096 rows/bank and retries with
+/// larger memories when a workload (at fine resolutions or large scales)
+/// overflows — the retry is reported in
+/// [`DatasetRun::accel_rows_per_bank`].
+///
+/// # Panics
+///
+/// Panics if the dataset cannot be integrated at all (e.g. scan origins
+/// outside the map, which the generators never produce).
+pub fn run_dataset(kind: DatasetKind, scale: f64) -> DatasetRun {
+    let dataset = kind.build_scaled(scale);
+    let spec = *dataset.spec();
+    let full_scans = kind.spec().scans;
+
+    let (baseline, accel) = std::thread::scope(|s| {
+        let dataset_ref = &dataset;
+        let base = s.spawn(move || run_baseline(dataset_ref));
+        let acc = s.spawn(move || run_accel(dataset_ref));
+        (base.join().expect("baseline thread"), acc.join().expect("accelerator thread"))
+    });
+    let (integration, counters, tree_nodes, tree_mem, points) = baseline;
+    let (accel_summary, rows_per_bank) = accel;
+
+    DatasetRun {
+        kind,
+        scans_run: spec.scans,
+        extrapolation: full_scans as f64 / spec.scans as f64,
+        points,
+        integration,
+        counters,
+        tree_nodes,
+        tree_mem,
+        accel: accel_summary,
+        accel_rows_per_bank: rows_per_bank,
+    }
+}
+
+fn run_baseline(dataset: &Dataset) -> (IntegrationStats, OpCounters, usize, MemoryStats, u64) {
+    let spec = dataset.spec();
+    let mut tree = OctreeF32::new(spec.resolution).expect("valid resolution");
+    tree.set_integration_mode(IntegrationMode::Raywise);
+    tree.set_max_range(Some(spec.max_range));
+    // Stock OctoMap behavior: the early-abort pre-search skips updates to
+    // already-saturated voxels (the accelerator, in contrast, executes
+    // every update in full — its per-update cost is constant anyway).
+
+    let mut totals = IntegrationStats::default();
+    let mut points = 0u64;
+    for scan in dataset.scans() {
+        points += scan.len() as u64;
+        let stats = tree.insert_scan(&scan).expect("generated scans stay inside the map");
+        totals.merge(&stats);
+    }
+    (totals, *tree.counters(), tree.num_nodes(), tree.memory_stats(), points)
+}
+
+fn run_accel(dataset: &Dataset) -> (AccelRunSummary, usize) {
+    let spec = dataset.spec();
+    // The paper's geometry first; grow on capacity overflow.
+    for rows_per_bank in [4096usize, 16384, 65536] {
+        let config = OmuConfig::builder()
+            .rows_per_bank(rows_per_bank)
+            .resolution(spec.resolution)
+            .max_range(Some(spec.max_range))
+            .integration_mode(IntegrationMode::Raywise)
+            .build()
+            .expect("valid config");
+        match run_accelerator(config, dataset.scans()) {
+            Ok((_, summary)) => return (summary, rows_per_bank),
+            Err(AccelError::Capacity(_)) => {
+                eprintln!(
+                    "  [{}] T-Mem overflow at {} rows/bank, retrying larger",
+                    dataset.spec().kind.name(),
+                    rows_per_bank
+                );
+            }
+            Err(e) => panic!("accelerator run failed: {e}"),
+        }
+    }
+    panic!("accelerator out of capacity even at 65536 rows/bank");
+}
+
+/// Runs all three datasets (in parallel threads), honouring the scale
+/// override.
+pub fn run_all(opts: RunOptions) -> Vec<DatasetRun> {
+    std::thread::scope(|s| {
+        let handles: Vec<_> = DatasetKind::ALL
+            .into_iter()
+            .map(|kind| {
+                let scale = opts.scale.unwrap_or_else(|| default_scale(kind));
+                s.spawn(move || {
+                    eprintln!("running {} at scale {scale} ...", kind.name());
+                    let run = run_dataset(kind, scale);
+                    eprintln!(
+                        "done {}: {} scans, {:.1} M updates measured",
+                        kind.name(),
+                        run.scans_run,
+                        run.integration.total_updates() as f64 / 1e6
+                    );
+                    run
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("dataset thread")).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_corridor_run_is_consistent() {
+        let run = run_dataset(DatasetKind::Fr079Corridor, 0.01); // 1 scan
+        assert_eq!(run.scans_run, 1);
+        assert!(run.extrapolation > 60.0);
+        assert!(run.points > 50_000, "one dense scan");
+        assert!(run.integration.total_updates() > run.points, "free cells dominate");
+        assert!(run.tree_nodes > 1000);
+        // The CPU models see the same workload the accelerator ran.
+        assert_eq!(run.accel.voxel_updates, run.integration.total_updates());
+        assert!(run.i9().total_s() > 0.0);
+        assert!(run.a57().total_s() > run.i9().total_s());
+        assert!(run.accel.latency_s > 0.0);
+        // Accelerator beats both CPUs.
+        assert!(run.accel.latency_s < run.i9().total_s());
+        // FPS ordering matches the paper.
+        assert!(run.omu_fps() > run.i9_fps());
+        assert!(run.i9_fps() > run.a57_fps());
+    }
+
+    #[test]
+    fn default_scales_are_sane() {
+        for kind in DatasetKind::ALL {
+            let s = default_scale(kind);
+            assert!(s > 0.0 && s <= 1.0);
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Minimal aligned-text tables for harness output.
+
+use std::fmt;
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use omu_bench::TextTable;
+///
+/// let mut t = TextTable::new(["metric", "paper", "measured"]);
+/// t.row(["latency (s)", "16.8", "17.1"]);
+/// let s = t.to_string();
+/// assert!(s.contains("latency"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TextTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(headers: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+impl fmt::Display for TextTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let cols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let write_row = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            for (i, cell) in cells.iter().enumerate() {
+                if i == 0 {
+                    write!(f, "| {:<w$} ", cell, w = widths[i])?;
+                } else {
+                    write!(f, "| {:>w$} ", cell, w = widths[i])?;
+                }
+            }
+            writeln!(f, "|")
+        };
+        let sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            for w in &widths {
+                write!(f, "+{}", "-".repeat(w + 2))?;
+            }
+            writeln!(f, "+")
+        };
+        sep(f)?;
+        write_row(f, &self.headers)?;
+        sep(f)?;
+        for row in &self.rows {
+            write_row(f, row)?;
+        }
+        sep(f)?;
+        let _ = cols;
+        Ok(())
+    }
+}
+
+/// Formats a float with engineering-friendly precision.
+pub fn fmt_f(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_owned()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+/// Formats a ratio as `N.N×`.
+pub fn fmt_x(v: f64) -> String {
+    format!("{:.1}x", v)
+}
+
+/// Formats a share as a percentage.
+pub fn fmt_pct(v: f64) -> String {
+    format!("{:.0}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = TextTable::new(["a", "bee"]);
+        t.row(["longer-cell", "1"]);
+        t.row(["x", "22"]);
+        let s = t.to_string();
+        assert!(s.contains("| longer-cell |"));
+        assert!(s.lines().count() >= 6);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn ragged_rows_rejected() {
+        let mut t = TextTable::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn float_formatting_rules() {
+        assert_eq!(fmt_f(0.0), "0");
+        assert_eq!(fmt_f(5.234), "5.23");
+        assert_eq!(fmt_f(62.37), "62.4");
+        assert_eq!(fmt_f(1234.5), "1234"); // {:.0} rounds half-to-even
+        assert_eq!(fmt_x(12.82), "12.8x");
+        assert_eq!(fmt_pct(0.61), "61%");
+    }
+}

@@ -1,0 +1,481 @@
+//! The top-level OMU accelerator (paper Fig. 7).
+
+use omu_geometry::{
+    FixedLogOdds, KeyConverter, Occupancy, Point3, ResolvedParams, Scan, VoxelKey,
+};
+use omu_simhw::{tech12nm, AxiStreamModel, EnergyLedger, PowerReport};
+
+use crate::config::OmuConfig;
+use crate::error::AccelError;
+use crate::pe::PeUnit;
+use crate::query_unit::QueryUnitStats;
+use crate::raycast_unit::RayCastUnit;
+use crate::scheduler::VoxelScheduler;
+use crate::stats::AccelStats;
+
+/// The OMU accelerator: ray-casting unit, voxel scheduler, PE array,
+/// prune address managers and voxel query unit, with full cycle/energy
+/// accounting.
+///
+/// See the [crate-level documentation](crate) for an architecture tour
+/// and a usage example.
+#[derive(Debug, Clone)]
+pub struct OmuAccelerator {
+    config: OmuConfig,
+    conv: KeyConverter,
+    pes: Vec<PeUnit>,
+    raycast: RayCastUnit,
+    scheduler: VoxelScheduler,
+    axi: AxiStreamModel,
+    query_stats: QueryUnitStats,
+    stats: AccelStats,
+}
+
+impl OmuAccelerator {
+    /// Builds an accelerator from a validated configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Config`] when the configuration is invalid.
+    pub fn new(config: OmuConfig) -> Result<Self, AccelError> {
+        config.validate()?;
+        let conv = KeyConverter::new(config.resolution)
+            .expect("validate() guarantees a positive resolution");
+        let resolved: ResolvedParams<FixedLogOdds> = config.params.resolve();
+        let pes = (0..config.num_pes)
+            .map(|id| {
+                PeUnit::new(
+                    id,
+                    config.rows_per_bank,
+                    config.prune_stack_capacity,
+                    resolved,
+                    config.timing,
+                    config.pruning_enabled,
+                )
+            })
+            .collect();
+        let raycast = RayCastUnit::new(conv, config.max_range, config.integration_mode);
+        let scheduler = VoxelScheduler::new(config.num_pes, config.voxel_queue_capacity);
+        let axi = AxiStreamModel::new(config.axi_bus_bits, config.clock_ghz);
+        Ok(OmuAccelerator {
+            config,
+            conv,
+            pes,
+            raycast,
+            scheduler,
+            axi,
+            query_stats: QueryUnitStats::default(),
+            stats: AccelStats::default(),
+        })
+    }
+
+    /// The configuration this device was built with.
+    pub fn config(&self) -> &OmuConfig {
+        &self.config
+    }
+
+    /// The key/coordinate converter.
+    pub fn converter(&self) -> &KeyConverter {
+        &self.conv
+    }
+
+    /// Integrates one scan: DMA transfer, ray casting, and voxel updates
+    /// across the PE array, all overlapped; wall time advances by the
+    /// slowest of the three pipelines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Key`] for an out-of-map scan origin and
+    /// [`AccelError::Capacity`] when a PE exhausts its T-Mem (the scan is
+    /// then partially applied, as it would be in hardware before the
+    /// interrupt).
+    pub fn integrate_scan(&mut self, scan: &Scan) -> Result<(), AccelError> {
+        let scan_start = self.stats.wall_cycles;
+        self.scheduler.begin_scan(scan_start);
+
+        // Host DMA: 3 × f32 per point over the AXI stream.
+        let dma_bytes = scan.len() as u64 * 12;
+        let dma_cycles = self.axi.cycles_for_bytes(dma_bytes);
+
+        let pes = &mut self.pes;
+        let scheduler = &mut self.scheduler;
+        let mut capacity_error = None;
+        let mut dispatched_free = 0u64;
+        let mut dispatched_occ = 0u64;
+
+        let (istats, rc_cycles) = self.raycast.cast_scan(scan, |u| {
+            if capacity_error.is_some() {
+                return;
+            }
+            let pe = scheduler.pe_for(u.key);
+            match pes[pe].update_voxel(u.key, u.hit) {
+                Ok(out) => {
+                    scheduler.dispatch(pe, out.service_cycles);
+                    if u.hit {
+                        dispatched_occ += 1;
+                    } else {
+                        dispatched_free += 1;
+                    }
+                }
+                Err(e) => capacity_error = Some(e),
+            }
+        })?;
+
+        self.stats.scans += 1;
+        self.stats.points += scan.len() as u64;
+        self.stats.free_updates += dispatched_free;
+        self.stats.occupied_updates += dispatched_occ;
+        self.stats.voxel_updates += dispatched_free + dispatched_occ;
+        self.stats.raycast_steps += istats.dda_steps;
+        self.stats.raycast_cycles += rc_cycles;
+        self.stats.dma_cycles += dma_cycles;
+        self.stats.dma_bytes += dma_bytes;
+        self.stats.stall_cycles = self.scheduler.stall_cycles();
+
+        // Ray casting and DMA overlap with the PE pipelines; PE work is
+        // allowed to flow across scan boundaries (the voxel queues never
+        // drain between frames), so the wall clock here only advances past
+        // the front-end; stats()/elapsed_seconds() account the PE drain.
+        self.stats.wall_cycles = (scan_start + rc_cycles)
+            .max(scan_start + dma_cycles)
+            .max(scan_start);
+
+        if let Some(e) = capacity_error {
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Applies a single voxel update directly (bypassing ray casting) —
+    /// the interface used by tests and microbenchmarks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Capacity`] when the hosting PE is full.
+    pub fn update_voxel(&mut self, key: VoxelKey, hit: bool) -> Result<(), AccelError> {
+        let scan_start = self.stats.wall_cycles;
+        self.scheduler.begin_scan(scan_start);
+        let pe = self.scheduler.pe_for(key);
+        let out = self.pes[pe].update_voxel(key, hit)?;
+        self.scheduler.dispatch(pe, out.service_cycles);
+        self.stats.voxel_updates += 1;
+        if hit {
+            self.stats.occupied_updates += 1;
+        } else {
+            self.stats.free_updates += 1;
+        }
+        self.stats.wall_cycles = scan_start.max(self.stats.wall_cycles);
+        Ok(())
+    }
+
+    /// Queries the occupancy of the voxel at `key` through the voxel
+    /// query unit.
+    pub fn query_key(&mut self, key: VoxelKey) -> Occupancy {
+        let pe = self.scheduler.pe_for(key);
+        let (occ, cycles) = self.pes[pe].query(key);
+        self.query_stats.record(cycles);
+        self.stats.queries = self.query_stats.queries;
+        self.stats.query_cycles = self.query_stats.cycles;
+        occ
+    }
+
+    /// Queries the occupancy of the voxel containing `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Key`] for out-of-map points.
+    pub fn query_point(&mut self, point: Point3) -> Result<Occupancy, AccelError> {
+        let key = self.conv.coord_to_key(point)?;
+        Ok(self.query_key(key))
+    }
+
+    /// Multi-resolution query: classifies the node at `max_depth` covering
+    /// `key`. Because inner nodes hold the max over their children
+    /// (eq. 3), a coarse query answers "is anything occupied in this
+    /// region?" in proportionally fewer cycles — the planner-facing fast
+    /// path of the voxel query unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_depth` is 0 or exceeds
+    /// [`TREE_DEPTH`](omu_geometry::TREE_DEPTH).
+    pub fn query_key_at_depth(&mut self, key: VoxelKey, max_depth: u8) -> Occupancy {
+        let pe = self.scheduler.pe_for(key);
+        let (occ, cycles) = self.pes[pe].query_at_depth(key, max_depth);
+        self.query_stats.record(cycles);
+        self.stats.queries = self.query_stats.queries;
+        self.stats.query_cycles = self.query_stats.cycles;
+        occ
+    }
+
+    /// Multi-resolution query by point and region edge length: picks the
+    /// deepest tree level whose nodes are at least `region_m` across.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Key`] for out-of-map points.
+    pub fn query_region(&mut self, point: Point3, region_m: f64) -> Result<Occupancy, AccelError> {
+        let key = self.conv.coord_to_key(point)?;
+        let mut depth = omu_geometry::TREE_DEPTH;
+        while depth > 1 && self.conv.node_size(depth) < region_m {
+            depth -= 1;
+        }
+        Ok(self.query_key_at_depth(key, depth))
+    }
+
+    /// Device statistics, with per-PE counters sampled live. The wall
+    /// clock includes draining all in-flight PE work.
+    pub fn stats(&self) -> AccelStats {
+        let mut s = self.stats.clone();
+        s.wall_cycles = s.wall_cycles.max(self.scheduler.drain_time());
+        s.per_pe = self.pes.iter().map(PeUnit::stats).collect();
+        s
+    }
+
+    /// Wall-clock runtime so far, in seconds at the configured clock
+    /// (including the drain of in-flight PE work).
+    pub fn elapsed_seconds(&self) -> f64 {
+        let cycles = self.stats.wall_cycles.max(self.scheduler.drain_time());
+        omu_simhw::cycles_to_seconds(cycles, self.config.clock_ghz)
+    }
+
+    /// Mean T-Mem utilization across PEs (live rows / usable rows).
+    pub fn sram_utilization(&self) -> f64 {
+        self.pes.iter().map(PeUnit::utilization).sum::<f64>() / self.pes.len() as f64
+    }
+
+    /// The canonical sorted map snapshot `(key, depth, logodds)`,
+    /// comparable against
+    /// [`OccupancyOctree::snapshot`](omu_octree::OccupancyOctree::snapshot).
+    pub fn snapshot(&self) -> Vec<(VoxelKey, u8, f32)> {
+        let mut out = Vec::new();
+        for pe in &self.pes {
+            pe.snapshot_into(&mut out);
+        }
+        out.sort_by_key(|&(key, depth, _)| (key, depth));
+        out
+    }
+
+    /// Builds the energy ledger for everything executed so far, using the
+    /// calibrated 12 nm constants.
+    pub fn energy_ledger(&self) -> EnergyLedger {
+        let stats = self.stats();
+        let mut e = EnergyLedger::new();
+        let sram = stats.sram_total();
+        e.add(
+            "sram.dynamic",
+            sram.reads as f64 * tech12nm::SRAM_READ_PJ + sram.writes as f64 * tech12nm::SRAM_WRITE_PJ,
+        );
+        let runtime_s = stats.wall_seconds(self.config.clock_ghz);
+        let banks = (self.config.num_pes * 8) as f64;
+        e.add(
+            "sram.leakage",
+            tech12nm::SRAM_LEAKAGE_MW_PER_BANK * banks * runtime_s * 1e9,
+        );
+        e.add(
+            "pe.logic",
+            stats.pe_busy_total() as f64 * tech12nm::PE_LOGIC_PJ_PER_CYCLE,
+        );
+        e.add(
+            "scheduler",
+            stats.voxel_updates as f64 * tech12nm::SCHEDULER_PJ_PER_VOXEL,
+        );
+        e.add("raycast", stats.raycast_steps as f64 * tech12nm::RAYCAST_PJ_PER_STEP);
+        e.add("query", stats.queries as f64 * tech12nm::QUERY_PJ_PER_QUERY);
+        e.add("axi", stats.dma_bytes as f64 * tech12nm::AXI_PJ_PER_BYTE);
+        e
+    }
+
+    /// Total modeled energy in joules.
+    pub fn energy_joules(&self) -> f64 {
+        self.energy_ledger().total_joules()
+    }
+
+    /// Average-power report over the elapsed runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics if nothing has been executed yet (zero runtime).
+    pub fn power_report(&self) -> PowerReport {
+        PowerReport::from_energy(&self.energy_ledger(), self.elapsed_seconds())
+    }
+
+    /// Flips one stored bit in a PE's T-Mem — soft-error fault injection
+    /// for resilience experiments (see [`verify`](crate::verify)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    pub fn inject_bit_flip(&mut self, pe: usize, row: u32, bank: usize, bit: u32) {
+        self.pes[pe].inject_bit_flip(row, bank, bit);
+    }
+
+    /// Resets all activity statistics (map contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = AccelStats::default();
+        self.query_stats = QueryUnitStats::default();
+        for pe in &mut self.pes {
+            pe.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::PointCloud;
+
+    fn accel() -> OmuAccelerator {
+        OmuAccelerator::new(OmuConfig::default()).unwrap()
+    }
+
+    fn scan(points: &[Point3]) -> Scan {
+        Scan::new(Point3::ZERO, points.iter().copied().collect::<PointCloud>())
+    }
+
+    #[test]
+    fn scan_integration_builds_queryable_map() {
+        let mut omu = accel();
+        omu.integrate_scan(&scan(&[Point3::new(2.0, 0.5, 0.5), Point3::new(-1.0, -0.5, 0.1)]))
+            .unwrap();
+        assert_eq!(omu.query_point(Point3::new(2.0, 0.5, 0.5)).unwrap(), Occupancy::Occupied);
+        assert_eq!(omu.query_point(Point3::new(1.0, 0.25, 0.25)).unwrap(), Occupancy::Free);
+        assert_eq!(omu.query_point(Point3::new(5.0, 5.0, 5.0)).unwrap(), Occupancy::Unknown);
+        let s = omu.stats();
+        assert_eq!(s.scans, 1);
+        assert_eq!(s.points, 2);
+        assert_eq!(s.occupied_updates, 2);
+        assert!(s.voxel_updates > 10);
+        assert!(s.wall_cycles > 0);
+        assert!(s.queries == 3);
+    }
+
+    #[test]
+    fn updates_fan_out_across_pes() {
+        let mut omu = accel();
+        // One point per octant.
+        let pts: Vec<Point3> = (0..8)
+            .map(|b| {
+                Point3::new(
+                    if b & 1 != 0 { 2.0 } else { -2.0 },
+                    if b & 2 != 0 { 2.0 } else { -2.0 },
+                    if b & 4 != 0 { 2.0 } else { -2.0 },
+                )
+            })
+            .collect();
+        omu.integrate_scan(&Scan::new(
+            Point3::new(0.01, 0.01, 0.01),
+            pts.into_iter().collect::<PointCloud>(),
+        ))
+        .unwrap();
+        let s = omu.stats();
+        let active = s.per_pe.iter().filter(|p| p.updates > 0).count();
+        assert_eq!(active, 8, "all 8 PEs must receive work");
+    }
+
+    #[test]
+    fn wall_clock_reflects_parallelism() {
+        // The same workload on 1 PE vs 8 PEs: the 8-PE device finishes
+        // several times sooner (paper's 8× compute-parallelism claim).
+        let pts: Vec<Point3> = (0..64)
+            .map(|i| {
+                let a = i as f64 * 0.098;
+                Point3::new(3.0 * a.cos(), 3.0 * a.sin(), ((i % 8) as f64 - 4.0) * 0.4)
+            })
+            .collect();
+        let s = Scan::new(Point3::new(0.01, 0.01, 0.21), pts.into_iter().collect::<PointCloud>());
+
+        let mut omu8 = accel();
+        omu8.integrate_scan(&s).unwrap();
+        let mut omu1 =
+            OmuAccelerator::new(OmuConfig::builder().num_pes(1).build().unwrap()).unwrap();
+        omu1.integrate_scan(&s).unwrap();
+
+        let speedup = omu1.stats().wall_cycles as f64 / omu8.stats().wall_cycles as f64;
+        assert!(speedup > 3.0, "8-PE speedup over 1 PE = {speedup:.2}");
+        // Same map either way.
+        assert_eq!(omu1.snapshot(), omu8.snapshot());
+    }
+
+    #[test]
+    fn energy_ledger_is_sram_dominated() {
+        let mut omu = accel();
+        for i in 0..20 {
+            let a = i as f64 * 0.3;
+            omu.integrate_scan(&scan(&[Point3::new(4.0 * a.cos(), 4.0 * a.sin(), 0.5)]))
+                .unwrap();
+        }
+        let ledger = omu.energy_ledger();
+        assert!(ledger.total_pj() > 0.0);
+        let sram_share = ledger.share_prefix("sram");
+        assert!(
+            sram_share > 0.75,
+            "SRAM should dominate accelerator energy (paper: 91 %), got {sram_share:.2}"
+        );
+        let p = omu.power_report();
+        assert!(p.total_mw() > 0.0);
+    }
+
+    #[test]
+    fn capacity_error_surfaces_from_integration() {
+        let mut tiny = OmuAccelerator::new(
+            OmuConfig::builder().rows_per_bank(4).build().unwrap(),
+        )
+        .unwrap();
+        let e = tiny.integrate_scan(&scan(&[Point3::new(2.0, 0.5, 0.5)])).unwrap_err();
+        assert!(matches!(e, AccelError::Capacity(_)));
+    }
+
+    #[test]
+    fn bad_origin_is_key_error() {
+        let mut omu = accel();
+        let far = omu.converter().map_half_extent() + 10.0;
+        let e = omu
+            .integrate_scan(&Scan::new(
+                Point3::new(far, 0.0, 0.0),
+                [Point3::ZERO].into_iter().collect::<PointCloud>(),
+            ))
+            .unwrap_err();
+        assert!(matches!(e, AccelError::Key(_)));
+    }
+
+    #[test]
+    fn region_query_uses_coarse_levels() {
+        let mut omu = accel();
+        omu.integrate_scan(&scan(&[Point3::new(3.0, 1.0, 0.5)])).unwrap();
+        // Fine query on the endpoint voxel.
+        assert_eq!(omu.query_point(Point3::new(3.0, 1.0, 0.5)).unwrap(), Occupancy::Occupied);
+        // A 2 m region around the endpoint is occupied (max policy).
+        assert_eq!(
+            omu.query_region(Point3::new(3.0, 1.0, 0.5), 2.0).unwrap(),
+            Occupancy::Occupied
+        );
+        // Coarse queries cost fewer cycles than fine ones on average.
+        let before = omu.stats().query_cycles;
+        omu.query_key_at_depth(omu.converter().coord_to_key(Point3::new(3.0, 1.0, 0.5)).unwrap(), 4);
+        let coarse_cost = omu.stats().query_cycles - before;
+        let before = omu.stats().query_cycles;
+        omu.query_point(Point3::new(3.0, 1.0, 0.5)).unwrap();
+        let fine_cost = omu.stats().query_cycles - before;
+        assert!(coarse_cost <= fine_cost, "coarse {coarse_cost} vs fine {fine_cost}");
+    }
+
+    #[test]
+    fn reset_stats_keeps_map() {
+        let mut omu = accel();
+        omu.integrate_scan(&scan(&[Point3::new(1.0, 0.0, 0.0)])).unwrap();
+        omu.reset_stats();
+        assert_eq!(omu.stats().voxel_updates, 0);
+        assert_eq!(omu.query_point(Point3::new(1.0, 0.0, 0.0)).unwrap(), Occupancy::Occupied);
+    }
+
+    #[test]
+    fn direct_update_path_works() {
+        let mut omu = accel();
+        let key = omu.converter().coord_to_key(Point3::new(0.5, 0.5, 0.5)).unwrap();
+        omu.update_voxel(key, true).unwrap();
+        assert_eq!(omu.query_key(key), Occupancy::Occupied);
+        assert_eq!(omu.stats().voxel_updates, 1);
+        assert!(omu.elapsed_seconds() > 0.0);
+    }
+}

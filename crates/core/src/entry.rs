@@ -1,0 +1,241 @@
+//! The 64-bit packed node entry (paper Fig. 5).
+//!
+//! ```text
+//!  63            32 31            16 15             0
+//! ┌────────────────┬────────────────┬────────────────┐
+//! │ children ptr   │ 2-bit tag × 8  │ Q5.10 log-odds │
+//! └────────────────┴────────────────┴────────────────┘
+//! ```
+//!
+//! The pointer is the T-Mem row where the node's 8 children live (child
+//! `i` in bank `i`); `NULL_PTR` (0) means leaf. Each 2-bit tag encodes one
+//! child's status: `00` unknown, `01` occupied, `10` free, `11` inner.
+
+use omu_geometry::{FixedLogOdds, Occupancy};
+use serde::{Deserialize, Serialize};
+
+/// Row pointer value meaning "no children" (row 0 is reserved for the PE
+/// root entries, so 0 is never a valid children row).
+pub const NULL_PTR: u32 = 0;
+
+/// The 2-bit child status tag of the OMU node entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+pub enum ChildStatus {
+    /// `00` — the child slot is unobserved (does not exist).
+    Unknown = 0b00,
+    /// `01` — the child is a leaf classified occupied.
+    Occupied = 0b01,
+    /// `10` — the child is a leaf classified free.
+    Free = 0b10,
+    /// `11` — the child is an inner node.
+    Inner = 0b11,
+}
+
+impl ChildStatus {
+    /// Decodes a 2-bit tag.
+    #[inline]
+    pub fn from_bits(bits: u8) -> ChildStatus {
+        match bits & 0b11 {
+            0b00 => ChildStatus::Unknown,
+            0b01 => ChildStatus::Occupied,
+            0b10 => ChildStatus::Free,
+            _ => ChildStatus::Inner,
+        }
+    }
+
+    /// The 2-bit encoding.
+    #[inline]
+    pub fn bits(self) -> u8 {
+        self as u8
+    }
+
+    /// True when the child exists (any status except unknown).
+    #[inline]
+    pub fn exists(self) -> bool {
+        self != ChildStatus::Unknown
+    }
+
+    /// True when the child exists and is a leaf.
+    #[inline]
+    pub fn is_leaf(self) -> bool {
+        matches!(self, ChildStatus::Occupied | ChildStatus::Free)
+    }
+
+    /// The occupancy a query reports for a leaf with this tag.
+    #[inline]
+    pub fn occupancy(self) -> Occupancy {
+        match self {
+            ChildStatus::Occupied | ChildStatus::Inner => Occupancy::Occupied,
+            ChildStatus::Free => Occupancy::Free,
+            ChildStatus::Unknown => Occupancy::Unknown,
+        }
+    }
+}
+
+/// One unpacked 64-bit node entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct NodeEntry {
+    /// T-Mem row of the node's children ([`NULL_PTR`] for leaves).
+    pub ptr: u32,
+    /// Packed 2-bit status tags of the 8 children (child `i` in bits
+    /// `2i+1..2i`).
+    pub tags: u16,
+    /// The node's occupancy log-odds in Q5.10 fixed point.
+    pub prob: FixedLogOdds,
+}
+
+impl NodeEntry {
+    /// An empty (unobserved leaf, log-odds 0) entry.
+    pub const EMPTY: NodeEntry =
+        NodeEntry { ptr: NULL_PTR, tags: 0, prob: FixedLogOdds::ZERO };
+
+    /// Packs into the 64-bit memory word.
+    #[inline]
+    pub fn pack(&self) -> u64 {
+        ((self.ptr as u64) << 32) | ((self.tags as u64) << 16) | (self.prob.to_bits() as u16 as u64)
+    }
+
+    /// Unpacks from the 64-bit memory word.
+    #[inline]
+    pub fn unpack(word: u64) -> NodeEntry {
+        NodeEntry {
+            ptr: (word >> 32) as u32,
+            tags: ((word >> 16) & 0xFFFF) as u16,
+            prob: FixedLogOdds::from_bits((word & 0xFFFF) as u16 as i16),
+        }
+    }
+
+    /// The status tag of child `pos`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > 7`.
+    #[inline]
+    pub fn child_status(&self, pos: usize) -> ChildStatus {
+        assert!(pos < 8, "child position out of range: {pos}");
+        ChildStatus::from_bits((self.tags >> (2 * pos)) as u8)
+    }
+
+    /// Returns a copy with child `pos`'s tag replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pos > 7`.
+    #[inline]
+    #[must_use]
+    pub fn with_child_status(&self, pos: usize, status: ChildStatus) -> NodeEntry {
+        assert!(pos < 8, "child position out of range: {pos}");
+        let mut e = *self;
+        e.tags = (e.tags & !(0b11 << (2 * pos))) | ((status.bits() as u16) << (2 * pos));
+        e
+    }
+
+    /// True when the node has no children (leaf).
+    ///
+    /// A node is a leaf iff its pointer is null; its tags are then all
+    /// unknown by construction.
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        self.ptr == NULL_PTR
+    }
+
+    /// True when any child exists according to the tags.
+    #[inline]
+    pub fn has_children(&self) -> bool {
+        self.tags != 0
+    }
+
+    /// True when all 8 children exist and are leaves — the tag-level
+    /// precondition for pruning (the value comparison still requires the
+    /// row read).
+    #[inline]
+    pub fn all_children_prunable(&self) -> bool {
+        (0..8).all(|i| self.child_status(i).is_leaf())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn field_layout_matches_figure5() {
+        let e = NodeEntry {
+            ptr: 0xDEAD_BEEF,
+            tags: 0x1234,
+            prob: FixedLogOdds::from_bits(-2),
+        };
+        let w = e.pack();
+        assert_eq!(w >> 32, 0xDEAD_BEEF, "pointer in [63:32]");
+        assert_eq!((w >> 16) & 0xFFFF, 0x1234, "tags in [31:16]");
+        assert_eq!(w & 0xFFFF, 0xFFFE, "prob in [15:0], two's complement");
+    }
+
+    #[test]
+    fn status_bits_match_paper_encoding() {
+        assert_eq!(ChildStatus::Unknown.bits(), 0b00);
+        assert_eq!(ChildStatus::Occupied.bits(), 0b01);
+        assert_eq!(ChildStatus::Free.bits(), 0b10);
+        assert_eq!(ChildStatus::Inner.bits(), 0b11);
+        assert!(!ChildStatus::Unknown.exists());
+        assert!(ChildStatus::Occupied.is_leaf());
+        assert!(ChildStatus::Free.is_leaf());
+        assert!(!ChildStatus::Inner.is_leaf());
+    }
+
+    #[test]
+    fn child_status_round_trip() {
+        let mut e = NodeEntry::EMPTY;
+        e = e.with_child_status(0, ChildStatus::Occupied);
+        e = e.with_child_status(3, ChildStatus::Inner);
+        e = e.with_child_status(7, ChildStatus::Free);
+        assert_eq!(e.child_status(0), ChildStatus::Occupied);
+        assert_eq!(e.child_status(3), ChildStatus::Inner);
+        assert_eq!(e.child_status(7), ChildStatus::Free);
+        assert_eq!(e.child_status(1), ChildStatus::Unknown);
+        // Overwrite works.
+        let e2 = e.with_child_status(3, ChildStatus::Unknown);
+        assert_eq!(e2.child_status(3), ChildStatus::Unknown);
+        assert_eq!(e2.child_status(0), ChildStatus::Occupied);
+    }
+
+    #[test]
+    fn prunable_requires_all_leaves() {
+        let mut e = NodeEntry::EMPTY;
+        for i in 0..8 {
+            e = e.with_child_status(i, ChildStatus::Occupied);
+        }
+        assert!(e.all_children_prunable());
+        assert!(!e.with_child_status(4, ChildStatus::Inner).all_children_prunable());
+        assert!(!e.with_child_status(4, ChildStatus::Unknown).all_children_prunable());
+        assert!(e.with_child_status(4, ChildStatus::Free).all_children_prunable());
+    }
+
+    #[test]
+    fn empty_entry_is_leaf() {
+        assert!(NodeEntry::EMPTY.is_leaf());
+        assert!(!NodeEntry::EMPTY.has_children());
+        assert_eq!(NodeEntry::EMPTY.pack(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "child position out of range")]
+    fn child_status_bounds_checked() {
+        let _ = NodeEntry::EMPTY.child_status(8);
+    }
+
+    proptest! {
+        #[test]
+        fn pack_unpack_roundtrip(ptr in any::<u32>(), tags in any::<u16>(), prob in any::<i16>()) {
+            let e = NodeEntry { ptr, tags, prob: FixedLogOdds::from_bits(prob) };
+            prop_assert_eq!(NodeEntry::unpack(e.pack()), e);
+        }
+
+        #[test]
+        fn unpack_pack_roundtrip(word in any::<u64>()) {
+            prop_assert_eq!(NodeEntry::unpack(word).pack(), word);
+        }
+    }
+}

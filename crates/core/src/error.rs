@@ -1,0 +1,144 @@
+//! Accelerator error types.
+
+use std::error::Error;
+use std::fmt;
+
+use omu_geometry::KeyError;
+
+/// Invalid [`OmuConfig`](crate::OmuConfig).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ConfigError {
+    /// PE count not in {1, 2, 4, 8}.
+    UnsupportedPeCount(usize),
+    /// Fewer than 2 rows per bank (row 0 is the root row).
+    TooFewRows(usize),
+    /// Prune stack capacity of zero.
+    EmptyPruneStack,
+    /// Voxel queue capacity of zero.
+    EmptyQueue,
+    /// Non-positive clock frequency.
+    BadClock(f64),
+    /// Non-positive map resolution.
+    BadResolution(f64),
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::UnsupportedPeCount(n) => {
+                write!(f, "unsupported PE count {n} (must be 1, 2, 4 or 8)")
+            }
+            ConfigError::TooFewRows(n) => write!(f, "need at least 2 rows per bank, got {n}"),
+            ConfigError::EmptyPruneStack => write!(f, "prune stack capacity must be positive"),
+            ConfigError::EmptyQueue => write!(f, "voxel queue capacity must be positive"),
+            ConfigError::BadClock(g) => write!(f, "clock frequency must be positive, got {g}"),
+            ConfigError::BadResolution(r) => {
+                write!(f, "map resolution must be positive, got {r}")
+            }
+        }
+    }
+}
+
+impl Error for ConfigError {}
+
+/// A PE ran out of T-Mem rows while expanding the tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CapacityError {
+    /// The PE that could not allocate.
+    pub pe: usize,
+    /// Rows per bank configured.
+    pub rows_per_bank: usize,
+}
+
+impl fmt::Display for CapacityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "PE {} exhausted its T-Mem ({} rows/bank); increase rows_per_bank or coarsen the map",
+            self.pe, self.rows_per_bank
+        )
+    }
+}
+
+impl Error for CapacityError {}
+
+/// Any error an [`OmuAccelerator`](crate::OmuAccelerator) operation can
+/// produce.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AccelError {
+    /// Invalid configuration at construction.
+    Config(ConfigError),
+    /// Out-of-map coordinates.
+    Key(KeyError),
+    /// SRAM capacity exhausted.
+    Capacity(CapacityError),
+}
+
+impl fmt::Display for AccelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccelError::Config(e) => write!(f, "configuration error: {e}"),
+            AccelError::Key(e) => write!(f, "coordinate error: {e}"),
+            AccelError::Capacity(e) => write!(f, "capacity error: {e}"),
+        }
+    }
+}
+
+impl Error for AccelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            AccelError::Config(e) => Some(e),
+            AccelError::Key(e) => Some(e),
+            AccelError::Capacity(e) => Some(e),
+        }
+    }
+}
+
+impl From<ConfigError> for AccelError {
+    fn from(e: ConfigError) -> Self {
+        AccelError::Config(e)
+    }
+}
+
+impl From<KeyError> for AccelError {
+    fn from(e: KeyError) -> Self {
+        AccelError::Key(e)
+    }
+}
+
+impl From<CapacityError> for AccelError {
+    fn from(e: CapacityError) -> Self {
+        AccelError::Capacity(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ConfigError::UnsupportedPeCount(3).to_string().contains("must be 1, 2, 4 or 8"));
+        let c = CapacityError { pe: 2, rows_per_bank: 4096 };
+        assert!(c.to_string().contains("PE 2"));
+        let e: AccelError = c.into();
+        assert!(e.to_string().contains("capacity"));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn conversions() {
+        let e: AccelError = ConfigError::EmptyQueue.into();
+        assert!(matches!(e, AccelError::Config(_)));
+        let e: AccelError = KeyError::NotFinite { coord: f64::NAN }.into();
+        assert!(matches!(e, AccelError::Key(_)));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<ConfigError>();
+        assert_err::<CapacityError>();
+        assert_err::<AccelError>();
+    }
+}

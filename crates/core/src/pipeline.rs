@@ -1,0 +1,163 @@
+//! End-to-end mapping runs: stream scans through an accelerator and
+//! summarize the paper's evaluation metrics.
+
+use omu_geometry::Scan;
+use serde::{Deserialize, Serialize};
+
+use crate::accel::OmuAccelerator;
+use crate::config::OmuConfig;
+use crate::error::AccelError;
+
+/// Voxel updates per frame-equivalent for the paper's FPS convention
+/// (a 320 × 240 sensor image at a nominal 15 updates per pixel; see
+/// Section III-B and `omu_cpumodel::UPDATES_PER_FRAME`, kept numerically
+/// identical here).
+const UPDATES_PER_FRAME: f64 = 320.0 * 240.0 * 15.0;
+
+/// Evaluation summary of one accelerator mapping run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AccelRunSummary {
+    /// Scans integrated.
+    pub scans: u64,
+    /// Points consumed.
+    pub points: u64,
+    /// Voxel updates executed.
+    pub voxel_updates: u64,
+    /// End-to-end latency in seconds (Table III row "OMU accelerator").
+    pub latency_s: f64,
+    /// Frame-equivalent throughput (Table IV).
+    pub fps: f64,
+    /// Modeled energy in joules (Table V).
+    pub energy_j: f64,
+    /// Average power in milliwatts (Section VI-C).
+    pub power_mw: f64,
+    /// Share of power consumed by SRAM (paper: 91 %).
+    pub sram_power_share: f64,
+    /// Fig. 10 accelerator-side shares
+    /// `[update_leaf, update_parents, prune_expand]`.
+    pub breakdown_shares: [f64; 3],
+    /// Mean T-Mem row utilization at end of run.
+    pub sram_utilization: f64,
+    /// Busiest-PE / mean-PE update ratio (1.0 = balanced).
+    pub load_imbalance: f64,
+    /// Scheduler issue stalls in cycles.
+    pub stall_cycles: u64,
+}
+
+/// Builds an accelerator from `config`, integrates every scan, and
+/// summarizes the run.
+///
+/// # Errors
+///
+/// Returns the first [`AccelError`] encountered (bad origin or SRAM
+/// capacity exhaustion).
+///
+/// # Examples
+///
+/// ```
+/// use omu_core::{run_accelerator, OmuConfig};
+/// use omu_geometry::{Point3, PointCloud, Scan};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let scans = vec![Scan::new(
+///     Point3::ZERO,
+///     [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+/// )];
+/// let (omu, summary) = run_accelerator(OmuConfig::default(), scans.into_iter())?;
+/// assert_eq!(summary.scans, 1);
+/// assert!(summary.latency_s > 0.0);
+/// assert!(omu.stats().voxel_updates > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn run_accelerator<I>(
+    config: OmuConfig,
+    scans: I,
+) -> Result<(OmuAccelerator, AccelRunSummary), AccelError>
+where
+    I: Iterator<Item = Scan>,
+{
+    let mut omu = OmuAccelerator::new(config)?;
+    for scan in scans {
+        omu.integrate_scan(&scan)?;
+    }
+    let summary = summarize(&omu);
+    Ok((omu, summary))
+}
+
+/// Summarizes an accelerator's activity so far.
+pub fn summarize(omu: &OmuAccelerator) -> AccelRunSummary {
+    let stats = omu.stats();
+    let latency_s = omu.elapsed_seconds();
+    let ledger = omu.energy_ledger();
+    let energy_j = ledger.total_joules();
+    let power_mw = if latency_s > 0.0 { energy_j / latency_s * 1e3 } else { 0.0 };
+    AccelRunSummary {
+        scans: stats.scans,
+        points: stats.points,
+        voxel_updates: stats.voxel_updates,
+        latency_s,
+        fps: if latency_s > 0.0 {
+            stats.voxel_updates as f64 / latency_s / UPDATES_PER_FRAME
+        } else {
+            0.0
+        },
+        energy_j,
+        power_mw,
+        sram_power_share: ledger.share_prefix("sram"),
+        breakdown_shares: stats.stage_cycles().figure10_shares(),
+        sram_utilization: omu.sram_utilization(),
+        load_imbalance: stats.load_imbalance(),
+        stall_cycles: stats.stall_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::{Point3, PointCloud};
+
+    fn ring_scans(n: usize) -> Vec<Scan> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.17;
+                Scan::new(
+                    Point3::new(0.01, 0.01, 0.3),
+                    (0..32)
+                        .map(|j| {
+                            let b = a + j as f64 * 0.196;
+                            Point3::new(5.0 * b.cos(), 5.0 * b.sin(), 0.4)
+                        })
+                        .collect::<PointCloud>(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn summary_fields_are_consistent() {
+        let (omu, s) = run_accelerator(OmuConfig::default(), ring_scans(10).into_iter()).unwrap();
+        assert_eq!(s.scans, 10);
+        assert_eq!(s.points, 320);
+        assert!(s.voxel_updates > s.points, "free cells dominate updates");
+        assert!(s.latency_s > 0.0);
+        assert!(s.fps > 0.0);
+        assert!(s.energy_j > 0.0);
+        assert!(s.power_mw > 0.0);
+        assert!(s.sram_power_share > 0.5);
+        let share_sum: f64 = s.breakdown_shares.iter().sum();
+        assert!((share_sum - 1.0).abs() < 1e-9);
+        assert!(s.breakdown_shares[2] < 0.3, "prune/expand stays below ~20-30 % on OMU");
+        assert!(s.load_imbalance >= 1.0);
+        assert_eq!(omu.stats().scans, 10);
+    }
+
+    #[test]
+    fn empty_run_summarizes_to_zeros() {
+        let (_, s) =
+            run_accelerator(OmuConfig::default(), std::iter::empty::<Scan>()).unwrap();
+        assert_eq!(s.scans, 0);
+        assert_eq!(s.fps, 0.0);
+        assert_eq!(s.latency_s, 0.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! The voxel query unit: occupancy classification service for collision
+//! detection and planning (paper Fig. 7, "Voxel Query").
+
+use serde::{Deserialize, Serialize};
+
+/// Counters of the voxel query unit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryUnitStats {
+    /// Queries served.
+    pub queries: u64,
+    /// Total query cycles (PE descent + threshold compare).
+    pub cycles: u64,
+}
+
+impl QueryUnitStats {
+    /// Records one query of `cycles` latency.
+    pub fn record(&mut self, cycles: u64) {
+        self.queries += 1;
+        self.cycles += cycles;
+    }
+
+    /// Mean query latency in cycles (0 when idle).
+    pub fn mean_latency(&self) -> f64 {
+        if self.queries == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.queries as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_averages() {
+        let mut s = QueryUnitStats::default();
+        s.record(10);
+        s.record(20);
+        assert_eq!(s.queries, 2);
+        assert_eq!(s.cycles, 30);
+        assert_eq!(s.mean_latency(), 15.0);
+    }
+
+    #[test]
+    fn idle_mean_is_zero() {
+        assert_eq!(QueryUnitStats::default().mean_latency(), 0.0);
+    }
+}

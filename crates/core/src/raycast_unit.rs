@@ -1,0 +1,89 @@
+//! The hardware ray-casting unit (paper Fig. 7, "Ray Casting and Voxel
+//! Queues").
+//!
+//! Functionally identical to the software integrator in `omu-raycast`
+//! (it *is* one, wrapped), plus a cycle model: one DDA step per cycle with
+//! a small per-ray setup. Its latency is hidden behind the voxel updates —
+//! the accelerator charges `max(raycast, updates, DMA)` per scan.
+
+use omu_geometry::{KeyConverter, KeyError, Scan};
+use omu_raycast::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+
+/// Cycle model + functional behavior of the ray-casting unit.
+#[derive(Debug, Clone)]
+pub struct RayCastUnit {
+    integrator: ScanIntegrator,
+    setup_cycles_per_ray: u64,
+    cycles_per_step: u64,
+}
+
+impl RayCastUnit {
+    /// Creates the unit. The hardware performs raywise (non-deduplicated)
+    /// integration unless configured otherwise.
+    pub fn new(conv: KeyConverter, max_range: Option<f64>, mode: IntegrationMode) -> Self {
+        RayCastUnit {
+            integrator: ScanIntegrator::new(conv, max_range, mode),
+            setup_cycles_per_ray: 4,
+            cycles_per_step: 1,
+        }
+    }
+
+    /// Casts every ray of a scan, emitting voxel updates in stream order,
+    /// and returns the integration statistics plus the unit's cycle count
+    /// for this scan.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the scan origin is outside the map.
+    pub fn cast_scan<F>(
+        &mut self,
+        scan: &Scan,
+        emit: F,
+    ) -> Result<(IntegrationStats, u64), KeyError>
+    where
+        F: FnMut(VoxelUpdate),
+    {
+        let stats = self.integrator.integrate(scan, emit)?;
+        let cycles =
+            stats.rays * self.setup_cycles_per_ray + stats.dda_steps * self.cycles_per_step;
+        Ok((stats, cycles))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::{Point3, PointCloud};
+
+    #[test]
+    fn cycles_scale_with_ray_length() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let mut unit = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
+        let short = Scan::new(
+            Point3::ZERO,
+            [Point3::new(0.5, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+        );
+        let long = Scan::new(
+            Point3::ZERO,
+            [Point3::new(5.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+        );
+        let (_, c_short) = unit.cast_scan(&short, |_| {}).unwrap();
+        let (_, c_long) = unit.cast_scan(&long, |_| {}).unwrap();
+        assert!(c_long > c_short);
+    }
+
+    #[test]
+    fn emits_free_then_occupied_per_ray() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let mut unit = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
+        let scan = Scan::new(
+            Point3::ZERO,
+            [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+        );
+        let mut updates = Vec::new();
+        let (stats, cycles) = unit.cast_scan(&scan, |u| updates.push(u)).unwrap();
+        assert_eq!(stats.occupied_updates, 1);
+        assert!(updates.iter().next_back().unwrap().hit, "endpoint emitted last");
+        assert!(cycles >= stats.dda_steps);
+    }
+}

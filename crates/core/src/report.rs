@@ -1,0 +1,101 @@
+//! Area and floorplan reporting (paper Fig. 8).
+
+use omu_simhw::{tech12nm, AreaModel};
+
+use crate::config::OmuConfig;
+
+/// Builds the silicon area model for a configuration, using the
+/// calibrated 12 nm constants. The default configuration lands at the
+/// paper's 2.5 mm².
+pub fn area_model(config: &OmuConfig) -> AreaModel {
+    let mut a = AreaModel::new(tech12nm::TOP_OVERHEAD_FACTOR);
+    let sram_kb_per_pe = (8 * config.rows_per_bank * 8) as f64 / 1024.0;
+    a.add("pe.sram (8 banks)", sram_kb_per_pe * tech12nm::SRAM_MM2_PER_KB, config.num_pes);
+    a.add("pe.logic", tech12nm::PE_LOGIC_MM2, config.num_pes);
+    a.add("voxel scheduler", tech12nm::SCHEDULER_MM2, 1);
+    a.add("ray casting unit", tech12nm::RAYCAST_MM2, 1);
+    a.add("voxel query unit", tech12nm::QUERY_MM2, 1);
+    a.add("axi + controller + queues", tech12nm::AXI_CTRL_MM2, 1);
+    a
+}
+
+/// Renders a Fig. 8-style floorplan: the PE array tiled in two rows with
+/// the ray-casting/query/AXI column on the left.
+pub fn floorplan_ascii(config: &OmuConfig) -> String {
+    let (w, h) = tech12nm::DIE_OUTLINE_MM;
+    let total = area_model(config).total_mm2();
+    let n = config.num_pes;
+    let cols = n.div_ceil(2);
+    let mut s = String::new();
+    s.push_str(&format!(
+        "OMU layout — {:.2} mm × {:.2} mm, {:.2} mm² ({} PEs, 12 nm)\n",
+        w, h, total, n
+    ));
+    let cell = |label: String| format!("{label:^9}");
+    let border = |c: usize| format!("+{}\n", "---------+".repeat(c + 1));
+    s.push_str(&border(cols));
+    s.push('|');
+    s.push_str(&cell("RayCast".into()));
+    s.push('|');
+    for i in 0..cols {
+        s.push_str(&cell(format!("PE-{i}")));
+        s.push('|');
+    }
+    s.push('\n');
+    s.push_str(&format!("|{}|", cell("& Query".into())));
+    for _ in 0..cols {
+        s.push_str(&format!("{}|", cell("8x32kB".into())));
+    }
+    s.push('\n');
+    s.push_str(&border(cols));
+    s.push('|');
+    s.push_str(&cell("AXI-S".into()));
+    s.push('|');
+    for i in 0..cols {
+        let idx = cols + i;
+        s.push_str(&cell(if idx < n { format!("PE-{idx}") } else { "-".into() }));
+        s.push('|');
+    }
+    s.push('\n');
+    s.push_str(&format!("|{}|", cell("ctrl".into())));
+    for i in 0..cols {
+        let idx = cols + i;
+        s.push_str(&format!(
+            "{}|",
+            cell(if idx < n { "8x32kB".into() } else { "-".into() })
+        ));
+    }
+    s.push('\n');
+    s.push_str(&border(cols));
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_area_matches_paper() {
+        let a = area_model(&OmuConfig::default());
+        let total = a.total_mm2();
+        assert!((total - 2.5).abs() < 0.1, "total area {total:.3} mm² (paper: 2.5)");
+    }
+
+    #[test]
+    fn area_scales_with_pe_count() {
+        let cfg8 = OmuConfig::default();
+        let cfg2 = OmuConfig::builder().num_pes(2).build().unwrap();
+        assert!(area_model(&cfg2).total_mm2() < area_model(&cfg8).total_mm2() / 2.0);
+    }
+
+    #[test]
+    fn floorplan_names_all_pes() {
+        let f = floorplan_ascii(&OmuConfig::default());
+        for i in 0..8 {
+            assert!(f.contains(&format!("PE-{i}")), "floorplan missing PE-{i}:\n{f}");
+        }
+        assert!(f.contains("RayCast"));
+        assert!(f.contains("AXI-S"));
+        assert!(f.contains("2.00 mm"));
+    }
+}

@@ -1,0 +1,215 @@
+//! Software/accelerator equivalence checking.
+//!
+//! The paper's fixed-point format was "chosen to have zero loss from the
+//! floating-point maps"; this reproduction makes the stronger, testable
+//! claim that the accelerator's map is **bit-identical** to the software
+//! octree running the same algorithm on the same 16-bit fixed point
+//! ([`OctreeFixed`]). This module provides the
+//! checker the test-suite and the repro harness use.
+
+use std::fmt;
+
+use omu_geometry::VoxelKey;
+use omu_octree::OctreeFixed;
+
+use crate::accel::OmuAccelerator;
+use crate::config::OmuConfig;
+
+/// A snapshot mismatch between the software and accelerator maps.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MismatchReport {
+    /// Leaves present only in the software map.
+    pub only_software: usize,
+    /// Leaves present only in the accelerator map.
+    pub only_accelerator: usize,
+    /// Leaves present in both but with different values.
+    pub value_mismatches: usize,
+    /// Up to 8 rendered examples for debugging.
+    pub examples: Vec<String>,
+}
+
+impl MismatchReport {
+    fn is_empty(&self) -> bool {
+        self.only_software == 0 && self.only_accelerator == 0 && self.value_mismatches == 0
+    }
+
+    fn note(&mut self, example: String) {
+        if self.examples.len() < 8 {
+            self.examples.push(example);
+        }
+    }
+}
+
+impl fmt::Display for MismatchReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "map mismatch: {} software-only, {} accelerator-only, {} value mismatches",
+            self.only_software, self.only_accelerator, self.value_mismatches
+        )?;
+        for e in &self.examples {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for MismatchReport {}
+
+/// Builds the software baseline whose semantics match an accelerator
+/// configuration (same resolution, sensor model, range, integration mode
+/// and pruning flag, on 16-bit fixed point).
+pub fn baseline_for(config: &OmuConfig) -> OctreeFixed {
+    let mut tree = OctreeFixed::with_params(config.resolution, config.params)
+        .expect("accelerator configs carry validated resolutions");
+    tree.set_max_range(config.max_range);
+    tree.set_integration_mode(config.integration_mode);
+    tree.set_pruning_enabled(config.pruning_enabled);
+    // The accelerator has no early-abort pre-search; map contents are
+    // identical either way, but disabling it keeps op counts comparable.
+    tree.set_early_abort_saturated(false);
+    tree
+}
+
+/// Compares two canonical snapshots `(key, depth, logodds)`.
+///
+/// # Errors
+///
+/// Returns a [`MismatchReport`] describing every divergence; `Ok` carries
+/// the number of leaves compared.
+pub fn compare_snapshots(
+    software: &[(VoxelKey, u8, f32)],
+    accelerator: &[(VoxelKey, u8, f32)],
+) -> Result<usize, MismatchReport> {
+    let mut report = MismatchReport::default();
+    let (mut i, mut j) = (0, 0);
+    while i < software.len() && j < accelerator.len() {
+        let (sk, sd, sv) = software[i];
+        let (ak, ad, av) = accelerator[j];
+        match (sk, sd).cmp(&(ak, ad)) {
+            std::cmp::Ordering::Less => {
+                report.only_software += 1;
+                report.note(format!("software-only leaf {sk} depth {sd} value {sv}"));
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                report.only_accelerator += 1;
+                report.note(format!("accelerator-only leaf {ak} depth {ad} value {av}"));
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                if sv != av {
+                    report.value_mismatches += 1;
+                    report.note(format!("value mismatch at {sk} depth {sd}: sw {sv} vs hw {av}"));
+                }
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &(k, d, v) in &software[i..] {
+        report.only_software += 1;
+        report.note(format!("software-only leaf {k} depth {d} value {v}"));
+    }
+    for &(k, d, v) in &accelerator[j..] {
+        report.only_accelerator += 1;
+        report.note(format!("accelerator-only leaf {k} depth {d} value {v}"));
+    }
+    if report.is_empty() {
+        Ok(software.len())
+    } else {
+        Err(report)
+    }
+}
+
+/// Checks that a software baseline and an accelerator hold bit-identical
+/// maps.
+///
+/// # Errors
+///
+/// Returns the mismatch report on divergence.
+pub fn check_equivalence(
+    tree: &OctreeFixed,
+    accel: &OmuAccelerator,
+) -> Result<usize, MismatchReport> {
+    compare_snapshots(&tree.snapshot(), &accel.snapshot())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::{Point3, PointCloud, Scan};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_scan(rng: &mut StdRng, points: usize) -> Scan {
+        let origin = Point3::new(
+            rng.random_range(-1.0..1.0),
+            rng.random_range(-1.0..1.0),
+            rng.random_range(0.0..0.5),
+        );
+        let cloud: PointCloud = (0..points)
+            .map(|_| {
+                Point3::new(
+                    rng.random_range(-6.0..6.0),
+                    rng.random_range(-6.0..6.0),
+                    rng.random_range(-2.0..2.0),
+                )
+            })
+            .collect();
+        Scan::new(origin, cloud)
+    }
+
+    #[test]
+    fn random_workload_is_bit_identical() {
+        let config = OmuConfig::default();
+        let mut tree = baseline_for(&config);
+        let mut accel = OmuAccelerator::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(2022);
+        for _ in 0..20 {
+            let scan = random_scan(&mut rng, 40);
+            tree.insert_scan(&scan).unwrap();
+            accel.integrate_scan(&scan).unwrap();
+        }
+        let leaves = check_equivalence(&tree, &accel).unwrap();
+        assert!(leaves > 500, "non-trivial map compared ({leaves} leaves)");
+    }
+
+    #[test]
+    fn equivalence_holds_with_pruning_disabled() {
+        let config = OmuConfig::builder()
+            .pruning_enabled(false)
+            .rows_per_bank(1 << 14)
+            .build()
+            .unwrap();
+        let mut tree = baseline_for(&config);
+        let mut accel = OmuAccelerator::new(config).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10 {
+            let scan = random_scan(&mut rng, 30);
+            tree.insert_scan(&scan).unwrap();
+            accel.integrate_scan(&scan).unwrap();
+        }
+        check_equivalence(&tree, &accel).unwrap();
+    }
+
+    #[test]
+    fn mismatches_are_reported() {
+        let k = VoxelKey::new(1, 2, 3);
+        let sw = vec![(k, 16u8, 0.5f32)];
+        let hw = vec![(k, 16u8, 0.25f32)];
+        let r = compare_snapshots(&sw, &hw).unwrap_err();
+        assert_eq!(r.value_mismatches, 1);
+        assert!(r.to_string().contains("value mismatch"));
+
+        let r = compare_snapshots(&sw, &[]).unwrap_err();
+        assert_eq!(r.only_software, 1);
+        let r = compare_snapshots(&[], &hw).unwrap_err();
+        assert_eq!(r.only_accelerator, 1);
+    }
+
+    #[test]
+    fn empty_maps_are_equivalent() {
+        assert_eq!(compare_snapshots(&[], &[]), Ok(0));
+    }
+}

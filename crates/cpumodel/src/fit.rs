@@ -1,0 +1,208 @@
+//! Calibration helpers: fitting model constants to the paper's published
+//! totals and shares.
+//!
+//! The procedure (run by `cargo run -p omu-bench --bin calibrate`):
+//!
+//! 1. Run the three synthetic datasets through the instrumented octree,
+//!    collecting one [`OpCounters`] record per dataset.
+//! 2. For each of the four runtime categories, compute the *predicted*
+//!    seconds under the current model and the *target* seconds
+//!    (paper total × paper share), then fit one scale factor per category
+//!    by least squares through the origin.
+//! 3. Scale the per-operation constants of that category and re-emit the
+//!    platform definition.
+//!
+//! Keeping one scalar per category (rather than a full least-squares over
+//! all constants) preserves the microarchitectural structure of the priors
+//! and cannot overfit three data points.
+
+use omu_octree::OpCounters;
+
+use crate::model::{CpuCostModel, RuntimeBreakdown};
+
+/// Least-squares scale through the origin: the `α` minimizing
+/// `Σ (α·pred − target)²`.
+///
+/// Returns 1.0 when all predictions are zero (nothing to scale).
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+///
+/// # Examples
+///
+/// ```
+/// let alpha = omu_cpumodel::fit::fit_scale(&[1.0, 2.0], &[2.0, 4.0]);
+/// assert!((alpha - 2.0).abs() < 1e-12);
+/// ```
+pub fn fit_scale(pred: &[f64], target: &[f64]) -> f64 {
+    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    let denom: f64 = pred.iter().map(|p| p * p).sum();
+    if denom == 0.0 {
+        return 1.0;
+    }
+    let num: f64 = pred.iter().zip(target).map(|(p, t)| p * t).sum();
+    num / denom
+}
+
+/// Per-category scale factors produced by a calibration pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryScales {
+    /// Scale for the ray-casting constants.
+    pub ray_casting: f64,
+    /// Scale for the update-leaf constants.
+    pub update_leaf: f64,
+    /// Scale for the update-parents constants.
+    pub update_parents: f64,
+    /// Scale for the prune/expand constants.
+    pub prune_expand: f64,
+}
+
+/// Calibration targets for one dataset: the paper's total runtime and the
+/// four category shares (Fig. 3).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CalibrationTarget {
+    /// Published total runtime in seconds.
+    pub total_s: f64,
+    /// Published shares `[ray, leaf, parents, prune]`, summing to ≈ 1.
+    pub shares: [f64; 4],
+}
+
+impl CalibrationTarget {
+    /// Target seconds per category.
+    pub fn category_seconds(&self) -> [f64; 4] {
+        self.shares.map(|s| s * self.total_s)
+    }
+}
+
+/// Fits one scale per category across several datasets.
+///
+/// # Panics
+///
+/// Panics if `counters` and `targets` differ in length or are empty.
+pub fn fit_categories(
+    model: &CpuCostModel,
+    counters: &[OpCounters],
+    targets: &[CalibrationTarget],
+) -> CategoryScales {
+    assert_eq!(counters.len(), targets.len(), "need one target per counter record");
+    assert!(!counters.is_empty(), "need at least one dataset");
+
+    let preds: Vec<RuntimeBreakdown> = counters.iter().map(|c| model.runtime(c)).collect();
+    let column = |f: fn(&RuntimeBreakdown) -> f64| -> Vec<f64> { preds.iter().map(f).collect() };
+    let target_col =
+        |i: usize| -> Vec<f64> { targets.iter().map(|t| t.category_seconds()[i]).collect() };
+
+    CategoryScales {
+        ray_casting: fit_scale(&column(|b| b.ray_casting_s), &target_col(0)),
+        update_leaf: fit_scale(&column(|b| b.update_leaf_s), &target_col(1)),
+        update_parents: fit_scale(&column(|b| b.update_parents_s), &target_col(2)),
+        prune_expand: fit_scale(&column(|b| b.prune_expand_s), &target_col(3)),
+    }
+}
+
+/// Applies category scales to a model, producing the calibrated model.
+#[must_use]
+pub fn apply_scales(model: &CpuCostModel, s: &CategoryScales) -> CpuCostModel {
+    CpuCostModel {
+        name: model.name,
+        dda_step_ns: model.dda_step_ns * s.ray_casting,
+        leaf_update_ns: model.leaf_update_ns * s.update_leaf,
+        traverse_step_ns: model.traverse_step_ns * s.update_leaf,
+        saturation_probe_ns: model.saturation_probe_ns * s.update_leaf,
+        parent_update_ns: model.parent_update_ns * s.update_parents,
+        parent_child_read_ns: model.parent_child_read_ns * s.update_parents,
+        prune_check_ns: model.prune_check_ns * s.prune_expand,
+        prune_child_read_ns: model.prune_child_read_ns * s.prune_expand,
+        prune_ns: model.prune_ns * s.prune_expand,
+        expand_ns: model.expand_ns * s.prune_expand,
+        power_w: model.power_w,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_scale_exact_for_proportional_data() {
+        assert!((fit_scale(&[1.0, 2.0, 3.0], &[3.0, 6.0, 9.0]) - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_scale_zero_pred_is_identity() {
+        assert_eq!(fit_scale(&[0.0, 0.0], &[1.0, 2.0]), 1.0);
+    }
+
+    #[test]
+    fn calibration_recovers_known_scales() {
+        let base = CpuCostModel::i9_9940x();
+        // Ground truth: a model with every category scaled differently.
+        let truth = apply_scales(
+            &base,
+            &CategoryScales {
+                ray_casting: 2.0,
+                update_leaf: 0.5,
+                update_parents: 3.0,
+                prune_expand: 1.5,
+            },
+        );
+        let counters = vec![
+            OpCounters {
+                dda_steps: 5000,
+                leaf_updates: 400,
+                traverse_steps: 6400,
+                saturation_probes: 400,
+                parent_updates: 6000,
+                parent_child_reads: 20000,
+                prune_checks: 6000,
+                prune_child_reads: 9000,
+                prunes: 50,
+                expands: 20,
+                ..Default::default()
+            },
+            OpCounters {
+                dda_steps: 100_000,
+                leaf_updates: 4000,
+                traverse_steps: 64_000,
+                saturation_probes: 4000,
+                parent_updates: 60_000,
+                parent_child_reads: 150_000,
+                prune_checks: 60_000,
+                prune_child_reads: 120_000,
+                prunes: 700,
+                expands: 300,
+                ..Default::default()
+            },
+        ];
+        let targets: Vec<CalibrationTarget> = counters
+            .iter()
+            .map(|c| {
+                let b = truth.runtime(c);
+                CalibrationTarget { total_s: b.total_s(), shares: b.shares() }
+            })
+            .collect();
+        let scales = fit_categories(&base, &counters, &targets);
+        assert!((scales.ray_casting - 2.0).abs() < 1e-9);
+        assert!((scales.update_leaf - 0.5).abs() < 1e-9);
+        assert!((scales.update_parents - 3.0).abs() < 1e-9);
+        assert!((scales.prune_expand - 1.5).abs() < 1e-9);
+        // Applying the fitted scales reproduces the truth model's output.
+        let fitted = apply_scales(&base, &scales);
+        for c in &counters {
+            assert!((fitted.runtime(c).total_s() - truth.runtime(c).total_s()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn category_seconds_from_shares() {
+        let t = CalibrationTarget { total_s: 10.0, shares: [0.1, 0.2, 0.3, 0.4] };
+        assert_eq!(t.category_seconds(), [1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_rejected() {
+        let _ = fit_scale(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,228 @@
+//! The per-operation cost model and the runtime breakdown it produces.
+
+use omu_octree::OpCounters;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation latencies (nanoseconds) of one CPU platform running the
+/// OctoMap baseline, plus its mapping-time power draw.
+///
+/// The four paper categories are produced as:
+///
+/// - *Ray casting* — `dda_step_ns × dda_steps`
+/// - *Update leaf* — leaf additions, descent steps and (when enabled) the
+///   early-abort saturation probes
+/// - *Update parents* — per-node max recomputations and their child reads
+/// - *Node prune/expand* — collapsibility checks, their child reads, and
+///   successful prunes/expansions
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuCostModel {
+    /// Platform display name.
+    pub name: &'static str,
+    /// Cost of one DDA step (pure arithmetic).
+    pub dda_step_ns: f64,
+    /// Cost of one leaf log-odds addition (read-modify-write).
+    pub leaf_update_ns: f64,
+    /// Cost of descending one tree level (pointer dereference).
+    pub traverse_step_ns: f64,
+    /// Cost of one early-abort saturation probe (a root-to-leaf search).
+    pub saturation_probe_ns: f64,
+    /// Base cost of one parent occupancy recomputation.
+    pub parent_update_ns: f64,
+    /// Cost of reading one child during a parent update.
+    pub parent_child_read_ns: f64,
+    /// Base cost of one prune attempt.
+    pub prune_check_ns: f64,
+    /// Cost of reading one child during a prune check (the irregular
+    /// accesses the paper identifies as the bottleneck).
+    pub prune_child_read_ns: f64,
+    /// Cost of one successful prune (freeing 8 children).
+    pub prune_ns: f64,
+    /// Cost of one node expansion (allocating 8 children).
+    pub expand_ns: f64,
+    /// Average power draw while mapping, in watts.
+    pub power_w: f64,
+}
+
+impl CpuCostModel {
+    /// Computes the modeled runtime breakdown for a counter record.
+    pub fn runtime(&self, c: &OpCounters) -> RuntimeBreakdown {
+        let ns_to_s = 1e-9;
+        let ray_casting_s = self.dda_step_ns * c.dda_steps as f64 * ns_to_s;
+        let update_leaf_s = (self.leaf_update_ns * c.leaf_updates as f64
+            + self.traverse_step_ns * c.traverse_steps as f64
+            + self.saturation_probe_ns * c.saturation_probes as f64)
+            * ns_to_s;
+        let update_parents_s = (self.parent_update_ns * c.parent_updates as f64
+            + self.parent_child_read_ns * c.parent_child_reads as f64)
+            * ns_to_s;
+        let prune_expand_s = (self.prune_check_ns * c.prune_checks as f64
+            + self.prune_child_read_ns * c.prune_child_reads as f64
+            + self.prune_ns * c.prunes as f64
+            + self.expand_ns * c.expands as f64)
+            * ns_to_s;
+        RuntimeBreakdown { ray_casting_s, update_leaf_s, update_parents_s, prune_expand_s }
+    }
+
+    /// Energy in joules for a counter record: modeled runtime × power.
+    pub fn energy_j(&self, c: &OpCounters) -> f64 {
+        self.runtime(c).total_s() * self.power_w
+    }
+
+    /// Returns a copy with every per-operation cost scaled by `factor`
+    /// (used to derive one platform from another during calibration).
+    #[must_use]
+    pub fn scaled(&self, name: &'static str, factor: f64, power_w: f64) -> CpuCostModel {
+        CpuCostModel {
+            name,
+            dda_step_ns: self.dda_step_ns * factor,
+            leaf_update_ns: self.leaf_update_ns * factor,
+            traverse_step_ns: self.traverse_step_ns * factor,
+            saturation_probe_ns: self.saturation_probe_ns * factor,
+            parent_update_ns: self.parent_update_ns * factor,
+            parent_child_read_ns: self.parent_child_read_ns * factor,
+            prune_check_ns: self.prune_check_ns * factor,
+            prune_child_read_ns: self.prune_child_read_ns * factor,
+            prune_ns: self.prune_ns * factor,
+            expand_ns: self.expand_ns * factor,
+            power_w,
+        }
+    }
+}
+
+/// Modeled wall-clock time split into the paper's four categories
+/// (Fig. 3 / Fig. 10).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeBreakdown {
+    /// Time in the ray-casting kernel.
+    pub ray_casting_s: f64,
+    /// Time updating leaves (descent + log-odds addition + probes).
+    pub update_leaf_s: f64,
+    /// Time recursively updating parent occupancies.
+    pub update_parents_s: f64,
+    /// Time in node prune / expand handling.
+    pub prune_expand_s: f64,
+}
+
+impl RuntimeBreakdown {
+    /// Total modeled runtime in seconds.
+    pub fn total_s(&self) -> f64 {
+        self.ray_casting_s + self.update_leaf_s + self.update_parents_s + self.prune_expand_s
+    }
+
+    /// Category shares `[ray, leaf, parents, prune]` summing to 1 (all
+    /// zeros for an empty record).
+    pub fn shares(&self) -> [f64; 4] {
+        let t = self.total_s();
+        if t <= 0.0 {
+            return [0.0; 4];
+        }
+        [
+            self.ray_casting_s / t,
+            self.update_leaf_s / t,
+            self.update_parents_s / t,
+            self.prune_expand_s / t,
+        ]
+    }
+
+    /// The category names, aligned with [`RuntimeBreakdown::shares`].
+    pub const CATEGORY_NAMES: [&'static str; 4] =
+        ["Ray Casting", "Update Leaf", "Update Parents", "Node Prune/Expand"];
+
+    /// Adds another breakdown (e.g. accumulating scans).
+    pub fn merge(&mut self, other: &RuntimeBreakdown) {
+        self.ray_casting_s += other.ray_casting_s;
+        self.update_leaf_s += other.update_leaf_s;
+        self.update_parents_s += other.update_parents_s;
+        self.prune_expand_s += other.prune_expand_s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CpuCostModel as M;
+
+    fn counters() -> OpCounters {
+        OpCounters {
+            dda_steps: 1000,
+            leaf_updates: 100,
+            traverse_steps: 1600,
+            saturation_probes: 100,
+            parent_updates: 1500,
+            parent_child_reads: 6000,
+            prune_checks: 1500,
+            prune_child_reads: 3000,
+            prunes: 10,
+            expands: 5,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn runtime_is_linear_in_counters() {
+        let m = M::i9_9940x();
+        let c = counters();
+        let b1 = m.runtime(&c);
+        let mut c2 = c;
+        c2.merge(&c);
+        let b2 = m.runtime(&c2);
+        assert!((b2.total_s() - 2.0 * b1.total_s()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let m = M::i9_9940x();
+        let s = m.runtime(&counters()).shares();
+        assert!((s.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn empty_counters_give_zero_runtime() {
+        let m = M::cortex_a57();
+        let b = m.runtime(&OpCounters::default());
+        assert_eq!(b.total_s(), 0.0);
+        assert_eq!(b.shares(), [0.0; 4]);
+    }
+
+    #[test]
+    fn a57_is_slower_than_i9() {
+        let c = counters();
+        let i9 = M::i9_9940x().runtime(&c).total_s();
+        let a57 = M::cortex_a57().runtime(&c).total_s();
+        let ratio = a57 / i9;
+        assert!(ratio > 3.0 && ratio < 8.0, "A57/i9 ratio = {ratio:.2}");
+    }
+
+    #[test]
+    fn energy_uses_platform_power() {
+        let c = counters();
+        let m = M::cortex_a57();
+        let e = m.energy_j(&c);
+        assert!((e - m.runtime(&c).total_s() * m.power_w).abs() < 1e-15);
+    }
+
+    #[test]
+    fn scaled_scales_costs_not_structure() {
+        let m = M::i9_9940x();
+        let s = m.scaled("2x", 2.0, 10.0);
+        let c = counters();
+        assert!((s.runtime(&c).total_s() - 2.0 * m.runtime(&c).total_s()).abs() < 1e-12);
+        assert_eq!(s.power_w, 10.0);
+        // Shares unchanged by uniform scaling.
+        let a = m.runtime(&c).shares();
+        let b = s.runtime(&c).shares();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let m = M::i9_9940x();
+        let mut b = m.runtime(&counters());
+        let t = b.total_s();
+        b.merge(&m.runtime(&counters()));
+        assert!((b.total_s() - 2.0 * t).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,76 @@
+//! The two calibrated CPU platforms of the paper's evaluation.
+
+use crate::model::CpuCostModel;
+
+impl CpuCostModel {
+    /// The desktop Intel i9-9940X baseline (Table II).
+    ///
+    /// Constants produced by the calibration fit
+    /// (`cargo run -p omu-bench --bin calibrate`): one least-squares scale
+    /// per runtime category against the paper's totals (16.8 s / 177.7 s /
+    /// 77.3 s, Table II) and Fig. 3 shares, starting from
+    /// microarchitectural priors. The large prune-side constants reflect
+    /// that collapsibility checks gather 8 children over irregular
+    /// pointers — the cache-miss pattern the paper identifies as the CPU
+    /// bottleneck. Rerun the calibration after changing dataset
+    /// generation, and see EXPERIMENTS.md for the fit-quality record.
+    pub fn i9_9940x() -> CpuCostModel {
+        CpuCostModel {
+            name: "Intel i9-9940X",
+            // Pure arithmetic; stays in registers/L1.
+            dda_step_ns: 2.180,
+            // Log-odds add + clamp + store on an already-resident node.
+            leaf_update_ns: 8.441,
+            // One pointer dereference per level; upper levels cache well.
+            traverse_step_ns: 2.814,
+            // Root-to-leaf search before each update (early abort).
+            saturation_probe_ns: 45.019,
+            // Max over children: base + per-child read below.
+            parent_update_ns: 5.434,
+            parent_child_read_ns: 4.891,
+            // Collapsibility check: the 8-children gather is the irregular
+            // access pattern the paper blames for the CPU bottleneck.
+            prune_check_ns: 33.376,
+            prune_child_read_ns: 47.283,
+            // Freeing / allocating 8 children (allocator + cold misses).
+            prune_ns: 834.411,
+            expand_ns: 1251.617,
+            // Package power while mapping (single-threaded, desktop part).
+            power_w: 120.0,
+        }
+    }
+
+    /// The ARM Cortex-A57 (Nvidia Jetson TX2) edge baseline.
+    ///
+    /// The paper reports 4.9–5.2× the i9 latency across the three maps and
+    /// 2.6–2.9 W CPU power; the calibration fits a single ×5.074 factor
+    /// over the i9 model and uses the mid-band power.
+    pub fn cortex_a57() -> CpuCostModel {
+        CpuCostModel::i9_9940x().scaled("ARM Cortex-A57 (Jetson TX2)", 5.074, 2.78)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_names_match_paper() {
+        assert!(CpuCostModel::i9_9940x().name.contains("i9"));
+        assert!(CpuCostModel::cortex_a57().name.contains("A57"));
+    }
+
+    #[test]
+    fn a57_power_in_reported_band() {
+        let p = CpuCostModel::cortex_a57().power_w;
+        assert!((2.6..=2.9).contains(&p), "paper reports 2.6–2.9 W, model uses {p}");
+    }
+
+    #[test]
+    fn a57_scale_in_reported_band() {
+        let i9 = CpuCostModel::i9_9940x();
+        let a57 = CpuCostModel::cortex_a57();
+        let ratio = a57.prune_child_read_ns / i9.prune_child_read_ns;
+        assert!((4.8..=5.3).contains(&ratio), "latency ratio {ratio:.2}");
+    }
+}

@@ -1,0 +1,135 @@
+//! The New College reproduction: a long outdoor trajectory (tens of
+//! thousands of poses) with small, sparse scans — the opposite workload
+//! shape to the two Freiburg maps.
+
+use omu_geometry::Point3;
+
+use crate::primitives::Primitive;
+use crate::scene::Scene;
+use crate::sensor::{LaserScanner, ScanPattern};
+use crate::trajectory::Trajectory;
+
+/// Courtyard extents (metres).
+const X_HALF: f64 = 22.5;
+const Y_HALF: f64 = 17.5;
+const WALL_H: f64 = 8.0;
+const WALL_T: f64 = 0.5;
+/// Laps around the quad; 23 laps of the ~97 m loop ≈ 2.2 km, matching the
+/// real dataset's trajectory length, so consecutive scans overlap like the
+/// original.
+const LAPS: usize = 23;
+
+pub(crate) fn build() -> (Scene, LaserScanner, Trajectory) {
+    let mut scene = Scene::new();
+    // Sensor frame at z = 0, 1.5 m above the ground: both z half-spaces are
+    // observed and all 8 octree branches receive updates.
+    const GROUND: f64 = -1.5;
+    scene.push(Primitive::Ground { height: GROUND });
+
+    // The quad: four surrounding walls.
+    scene.push(Primitive::boxed(
+        Point3::new(-X_HALF - WALL_T, -Y_HALF - WALL_T, GROUND),
+        Point3::new(X_HALF + WALL_T, -Y_HALF, GROUND + WALL_H),
+    ));
+    scene.push(Primitive::boxed(
+        Point3::new(-X_HALF - WALL_T, Y_HALF, GROUND),
+        Point3::new(X_HALF + WALL_T, Y_HALF + WALL_T, GROUND + WALL_H),
+    ));
+    scene.push(Primitive::boxed(
+        Point3::new(-X_HALF - WALL_T, -Y_HALF, GROUND),
+        Point3::new(-X_HALF, Y_HALF, GROUND + WALL_H),
+    ));
+    scene.push(Primitive::boxed(
+        Point3::new(X_HALF, -Y_HALF, GROUND),
+        Point3::new(X_HALF + WALL_T, Y_HALF, GROUND + WALL_H),
+    ));
+
+    // A central monument and a ring of trees.
+    scene.push(Primitive::boxed(
+        Point3::new(-1.5, -1.5, GROUND),
+        Point3::new(1.5, 1.5, GROUND + 3.5),
+    ));
+    for i in 0..10 {
+        let a = std::f64::consts::TAU * i as f64 / 10.0;
+        let (x, y) = (9.0 * a.cos(), 7.0 * a.sin());
+        scene.push(Primitive::CylinderZ {
+            center: Point3::new(x, y, GROUND),
+            radius: 0.2,
+            z0: GROUND,
+            z1: GROUND + 2.2,
+        });
+        scene.push(Primitive::Sphere {
+            center: Point3::new(x, y, GROUND + 3.0),
+            radius: 1.2,
+        });
+    }
+
+    // Sparse forward-facing scans: 26 × 6 = 156 rays — exactly the
+    // points/scan of Table II.
+    let scanner = LaserScanner::new(
+        ScanPattern {
+            azimuth_steps: 26,
+            elevation_steps: 6,
+            azimuth_fov: 90f64.to_radians(),
+            elevation_fov: 26f64.to_radians(),
+            elevation_center: 0.0,
+        },
+        35.0,
+        0.02,
+    );
+
+    // Many laps around the quad at walking height. Each lap runs at a
+    // different radius (inner to outer) like the original dataset's
+    // wandering path, so coverage spreads instead of re-observing one
+    // ring 23 times.
+    let lap = [
+        Point3::new(-14.0, -10.0, 0.0),
+        Point3::new(14.0, -10.0, 0.0),
+        Point3::new(16.0, 0.0, 0.0),
+        Point3::new(14.0, 10.0, 0.0),
+        Point3::new(-14.0, 10.0, 0.0),
+        Point3::new(-16.0, 0.0, 0.0),
+    ];
+    let mut waypoints = Vec::with_capacity(lap.len() * LAPS + 1);
+    for k in 0..LAPS {
+        let r = 0.50 + 0.50 * k as f64 / (LAPS - 1) as f64;
+        waypoints.extend(lap.iter().map(|p| *p * r));
+    }
+    waypoints.push(lap[0] * 0.50);
+    let trajectory = Trajectory::new(waypoints);
+
+    (scene, scanner, trajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn college_scans_are_sparse() {
+        let (scene, scanner, trajectory) = build();
+        assert_eq!(scanner.pattern().rays(), 156);
+        let (origin, yaw) = trajectory.poses(100)[50];
+        let mut rng = StdRng::seed_from_u64(3);
+        let scan = scanner.scan(&scene, origin, yaw, &mut rng);
+        assert!(scan.len() > 100, "most of the 156 rays return: {}", scan.len());
+        assert!(scan.len() <= 156);
+    }
+
+    #[test]
+    fn trajectory_is_long_like_the_real_dataset() {
+        let (_, _, trajectory) = build();
+        let len = trajectory.length();
+        assert!(len > 1_500.0 && len < 3_000.0, "trajectory length {len:.0} m");
+    }
+
+    #[test]
+    fn poses_stay_inside_the_quad() {
+        let (_, _, trajectory) = build();
+        for (p, _) in trajectory.poses(500) {
+            assert!(p.x.abs() < X_HALF && p.y.abs() < Y_HALF, "pose {p} inside walls");
+        }
+    }
+}

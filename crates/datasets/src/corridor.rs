@@ -1,0 +1,157 @@
+//! The FR-079 corridor reproduction: an indoor office corridor scanned by
+//! a full-sweep 3D laser from 66 poses.
+
+use omu_geometry::Point3;
+
+use crate::primitives::Primitive;
+use crate::scene::Scene;
+use crate::sensor::{LaserScanner, ScanPattern};
+use crate::trajectory::Trajectory;
+
+/// Corridor length in metres. FR-079 is a full office floor; an 80 m
+/// corridor run gives each voxel the handful of observations (not dozens)
+/// a real robot pass produces, keeping the saturation profile realistic.
+const LENGTH: f64 = 80.0;
+/// Corridor half-width in metres.
+const HALF_WIDTH: f64 = 1.25;
+/// Ceiling height in metres.
+const HEIGHT: f64 = 3.0;
+/// Wall thickness in metres.
+const WALL: f64 = 0.3;
+/// Floor height: the sensor rides at z = 0, so the scene spans both z
+/// half-spaces and all 8 first-level octree branches receive updates
+/// (the property the OMU branch partitioning relies on).
+const FLOOR: f64 = -1.5;
+
+pub(crate) fn build() -> (Scene, LaserScanner, Trajectory) {
+    let mut scene = Scene::new();
+
+    // Floor and ceiling. The corridor is centred on x (−20..20) so voxel
+    // keys spread across both halves of the map — exactly the property the
+    // OMU voxel scheduler's first-level branch partitioning relies on.
+    let x0 = -LENGTH / 2.0;
+    let x1 = LENGTH / 2.0;
+    scene.push(Primitive::Ground { height: FLOOR });
+    scene.push(Primitive::boxed(
+        Point3::new(x0 - WALL, -HALF_WIDTH - 2.5, FLOOR + HEIGHT),
+        Point3::new(x1 + WALL, HALF_WIDTH + 2.5, FLOOR + HEIGHT + WALL),
+    ));
+
+    // Side walls in segments with door gaps; alcoves (small rooms) behind
+    // every gap give the depth variation a real corridor has.
+    let segments = 8;
+    let seg_len = LENGTH / segments as f64;
+    let gap = 1.0;
+    for side in [-1.0, 1.0] {
+        let y_in = side * HALF_WIDTH;
+        let y_out = side * (HALF_WIDTH + WALL);
+        for s in 0..segments {
+            let sx0 = x0 + s as f64 * seg_len;
+            let sx1 = sx0 + seg_len - gap;
+            scene.push(Primitive::boxed(
+                Point3::new(sx0, y_in.min(y_out), FLOOR),
+                Point3::new(sx1, y_in.max(y_out), FLOOR + HEIGHT),
+            ));
+            // Alcove behind the gap: back wall 2 m behind the corridor wall,
+            // with two short side walls.
+            let ax0 = sx1;
+            let ax1 = sx0 + seg_len;
+            let ay_back0 = side * (HALF_WIDTH + 2.0);
+            let ay_back1 = side * (HALF_WIDTH + 2.0 + WALL);
+            scene.push(Primitive::boxed(
+                Point3::new(ax0 - WALL, ay_back0.min(ay_back1), FLOOR),
+                Point3::new(ax1 + WALL, ay_back0.max(ay_back1), FLOOR + HEIGHT),
+            ));
+            for ax in [ax0 - WALL, ax1] {
+                scene.push(Primitive::boxed(
+                    Point3::new(ax, y_out.min(ay_back0), FLOOR),
+                    Point3::new(ax + WALL, y_out.max(ay_back0), FLOOR + HEIGHT),
+                ));
+            }
+        }
+    }
+
+    // End caps.
+    scene.push(Primitive::boxed(
+        Point3::new(x0 - WALL, -HALF_WIDTH - 2.5, FLOOR),
+        Point3::new(x0, HALF_WIDTH + 2.5, FLOOR + HEIGHT),
+    ));
+    scene.push(Primitive::boxed(
+        Point3::new(x1, -HALF_WIDTH - 2.5, FLOOR),
+        Point3::new(x1 + WALL, HALF_WIDTH + 2.5, FLOOR + HEIGHT),
+    ));
+
+    // Cabinets and clutter along the walls: boundary surfaces are where
+    // sensor noise keeps flipping voxels between hit and miss, driving the
+    // prune/expand churn a real corridor map exhibits.
+    for (cx, side) in [
+        (-32.0, 1.0),
+        (-22.0, -1.0),
+        (-12.0, 1.0),
+        (-2.0, -1.0),
+        (7.0, 1.0),
+        (15.0, -1.0),
+        (24.0, 1.0),
+        (33.0, -1.0),
+    ] {
+        let y_face = side * (HALF_WIDTH - 0.45);
+        let y_wall = side * HALF_WIDTH;
+        scene.push(Primitive::boxed(
+            Point3::new(cx, y_face.min(y_wall), FLOOR),
+            Point3::new(cx + 1.2, y_face.max(y_wall), FLOOR + 1.8),
+        ));
+    }
+
+    // Full-turn 3D sweep: 420 × 212 = 89 040 rays ≈ the 89 k points/scan of
+    // Table II (indoors nearly every ray returns).
+    let scanner = LaserScanner::new(
+        ScanPattern {
+            azimuth_steps: 420,
+            elevation_steps: 212,
+            azimuth_fov: std::f64::consts::TAU,
+            elevation_fov: 100f64.to_radians(),
+            elevation_center: 0.0,
+        },
+        25.0,
+        0.03,
+    );
+
+    // Straight drive down the middle; the sensor frame is the map
+    // origin height (z = 0, 1.5 m above the floor).
+    let trajectory = Trajectory::new(vec![
+        Point3::new(x0 + 2.0, 0.0, 0.0),
+        Point3::new(x1 - 2.0, 0.0, 0.0),
+    ]);
+
+    (scene, scanner, trajectory)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn corridor_scan_statistics_match_table2() {
+        let (scene, scanner, trajectory) = build();
+        let (origin, yaw) = trajectory.poses(3)[1];
+        let mut rng = StdRng::seed_from_u64(1);
+        let scan = scanner.scan(&scene, origin, yaw, &mut rng);
+        // Indoors: nearly all of the 89 040 rays return.
+        assert!(scan.len() > 80_000, "points per scan = {}", scan.len());
+        assert!(scan.len() <= 89_040);
+        // Mean ray length is corridor-scale (a few metres).
+        let mean: f64 =
+            scan.cloud.iter().map(|p| p.distance(origin)).sum::<f64>() / scan.len() as f64;
+        assert!(mean > 1.0 && mean < 6.0, "mean ray length {mean:.2} m");
+    }
+
+    #[test]
+    fn scene_is_centered_on_origin() {
+        let (scene, _, _) = build();
+        let b = scene.bounds();
+        assert!(b.min().x < -15.0 && b.max().x > 15.0);
+        assert!((b.center().x).abs() < 1.0);
+    }
+}

@@ -1,0 +1,50 @@
+//! Synthetic stand-ins for the OctoMap 3D scan dataset used by the OMU
+//! paper's evaluation.
+//!
+//! The paper evaluates on three maps from the OctoMap 3D scan dataset
+//! (Table II): *FR-079 corridor* (66 scans × ~89 k points), *Freiburg
+//! campus* (81 scans × ~248 k points) and *New College* (92 361 scans ×
+//! 156 points). The original data is a download we treat as unavailable;
+//! per the reproduction's substitution rule this crate regenerates
+//! statistically equivalent workloads:
+//!
+//! - [`Scene`] / [`primitives`] — analytic 3D scenes (boxes, cylinders,
+//!   spheres, ground planes) with exact ray intersection.
+//! - [`LaserScanner`] — a spherical-grid range sensor with Gaussian range
+//!   noise; each pose yields a [`Scan`](omu_geometry::Scan).
+//! - [`Trajectory`] — waypoint paths traversed by the simulated robot.
+//! - [`DatasetKind`] — the three reproductions, each with a builder that
+//!   matches the published scan count, points/scan, and (by scene/range
+//!   tuning) the voxel-update volume of Table II.
+//!
+//! Everything is deterministic given the seed in [`DatasetSpec`]; the
+//! `scale` knob shrinks the scan count for CI-sized runs while preserving
+//! per-scan statistics.
+//!
+//! # Examples
+//!
+//! ```
+//! use omu_datasets::DatasetKind;
+//!
+//! let dataset = DatasetKind::Fr079Corridor.build_scaled(0.01); // 1 % of scans
+//! let scans: Vec<_> = dataset.scans().collect();
+//! assert_eq!(scans.len(), 1); // ceil(66 * 0.01)
+//! assert!(!scans[0].is_empty());
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod campus;
+mod college;
+mod corridor;
+pub mod primitives;
+mod scene;
+mod sensor;
+mod spec;
+mod trajectory;
+
+pub use scene::Scene;
+pub use sensor::{LaserScanner, ScanPattern};
+pub use spec::{Dataset, DatasetKind, DatasetSpec, ScanStream};
+pub use trajectory::Trajectory;

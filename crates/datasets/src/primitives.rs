@@ -1,0 +1,186 @@
+//! Analytic scene primitives with exact ray intersection.
+
+use omu_geometry::{Aabb, Point3};
+use serde::{Deserialize, Serialize};
+
+/// A scene primitive the simulated laser can hit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Primitive {
+    /// An axis-aligned solid box (walls, buildings, furniture).
+    Box {
+        /// The box geometry.
+        aabb: Aabb,
+    },
+    /// A vertical cylinder (tree trunks, pillars) spanning `z0..z1`.
+    CylinderZ {
+        /// Centre of the axis in the XY plane.
+        center: Point3,
+        /// Radius in metres.
+        radius: f64,
+        /// Bottom of the cylinder.
+        z0: f64,
+        /// Top of the cylinder.
+        z1: f64,
+    },
+    /// A sphere (tree canopies).
+    Sphere {
+        /// Centre.
+        center: Point3,
+        /// Radius in metres.
+        radius: f64,
+    },
+    /// The ground: a horizontal plane `z = height` hit from above.
+    Ground {
+        /// Plane height in metres.
+        height: f64,
+    },
+}
+
+impl Primitive {
+    /// Distance `t > eps` along `origin + t·dir` (unit `dir`) to the first
+    /// intersection, or `None`.
+    pub fn intersect(&self, origin: Point3, dir: Point3) -> Option<f64> {
+        const EPS: f64 = 1e-9;
+        match *self {
+            Primitive::Box { aabb } => {
+                let (t0, t1) = aabb.intersect_ray(origin, dir)?;
+                if t1 < EPS {
+                    None
+                } else if t0 > EPS {
+                    Some(t0)
+                } else {
+                    // Origin inside the box: first exit.
+                    Some(t1)
+                }
+            }
+            Primitive::CylinderZ { center, radius, z0, z1 } => {
+                // Solve in 2D (XY), then clip by z span.
+                let ox = origin.x - center.x;
+                let oy = origin.y - center.y;
+                let a = dir.x * dir.x + dir.y * dir.y;
+                if a < 1e-15 {
+                    return None; // vertical ray: treat caps as misses
+                }
+                let b = 2.0 * (ox * dir.x + oy * dir.y);
+                let c = ox * ox + oy * oy - radius * radius;
+                let disc = b * b - 4.0 * a * c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sq = disc.sqrt();
+                for t in [(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)] {
+                    if t > EPS {
+                        let z = origin.z + t * dir.z;
+                        if z >= z0 && z <= z1 {
+                            return Some(t);
+                        }
+                    }
+                }
+                None
+            }
+            Primitive::Sphere { center, radius } => {
+                let oc = origin - center;
+                let b = 2.0 * oc.dot(dir);
+                let c = oc.norm_sq() - radius * radius;
+                let disc = b * b - 4.0 * c;
+                if disc < 0.0 {
+                    return None;
+                }
+                let sq = disc.sqrt();
+                for t in [(-b - sq) / 2.0, (-b + sq) / 2.0] {
+                    if t > EPS {
+                        return Some(t);
+                    }
+                }
+                None
+            }
+            Primitive::Ground { height } => {
+                if dir.z.abs() < 1e-15 {
+                    return None;
+                }
+                let t = (height - origin.z) / dir.z;
+                (t > EPS).then_some(t)
+            }
+        }
+    }
+
+    /// A box primitive from two corners.
+    pub fn boxed(a: Point3, b: Point3) -> Primitive {
+        Primitive::Box { aabb: Aabb::new(a, b) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const X: Point3 = Point3::new(1.0, 0.0, 0.0);
+
+    #[test]
+    fn box_hit_from_outside() {
+        let p = Primitive::boxed(Point3::new(2.0, -1.0, -1.0), Point3::new(3.0, 1.0, 1.0));
+        let t = p.intersect(Point3::ZERO, X).expect("hit");
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_hit_from_inside_returns_exit() {
+        let p = Primitive::boxed(Point3::new(-1.0, -1.0, -1.0), Point3::new(1.0, 1.0, 1.0));
+        let t = p.intersect(Point3::ZERO, X).expect("exit hit");
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn box_behind_misses() {
+        let p = Primitive::boxed(Point3::new(-3.0, -1.0, -1.0), Point3::new(-2.0, 1.0, 1.0));
+        assert!(p.intersect(Point3::ZERO, X).is_none());
+    }
+
+    #[test]
+    fn cylinder_side_hit() {
+        let p = Primitive::CylinderZ {
+            center: Point3::new(5.0, 0.0, 0.0),
+            radius: 1.0,
+            z0: -1.0,
+            z1: 3.0,
+        };
+        let t = p.intersect(Point3::ZERO, X).expect("hit");
+        assert!((t - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cylinder_respects_z_span() {
+        let p = Primitive::CylinderZ {
+            center: Point3::new(5.0, 0.0, 0.0),
+            radius: 1.0,
+            z0: 2.0,
+            z1: 3.0,
+        };
+        assert!(p.intersect(Point3::ZERO, X).is_none(), "ray passes below");
+        // Vertical rays miss (no caps modeled).
+        assert!(p.intersect(Point3::new(5.0, 0.0, 0.0), Point3::new(0.0, 0.0, 1.0)).is_none());
+    }
+
+    #[test]
+    fn sphere_hit_both_sides() {
+        let p = Primitive::Sphere { center: Point3::new(4.0, 0.0, 0.0), radius: 1.0 };
+        let t = p.intersect(Point3::ZERO, X).expect("front hit");
+        assert!((t - 3.0).abs() < 1e-12);
+        // From inside: exits at radius.
+        let t = p.intersect(Point3::new(4.0, 0.0, 0.0), X).expect("inside hit");
+        assert!((t - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ground_hit_only_when_pointing_at_it() {
+        let g = Primitive::Ground { height: 0.0 };
+        let down = Point3::new(0.6, 0.0, -0.8);
+        let t = g.intersect(Point3::new(0.0, 0.0, 1.6), down).expect("hit");
+        assert!((t - 2.0).abs() < 1e-12);
+        assert!(g.intersect(Point3::new(0.0, 0.0, 1.6), X).is_none(), "parallel misses");
+        assert!(
+            g.intersect(Point3::new(0.0, 0.0, 1.6), Point3::new(0.0, 0.0, 1.0)).is_none(),
+            "upward misses"
+        );
+    }
+}

@@ -1,0 +1,137 @@
+//! Scene containers: collections of primitives with closest-hit queries.
+
+use omu_geometry::{Aabb, Point3};
+use serde::{Deserialize, Serialize};
+
+use crate::primitives::Primitive;
+
+/// An analytic 3D scene: the world the simulated laser scans.
+///
+/// # Examples
+///
+/// ```
+/// use omu_datasets::{primitives::Primitive, Scene};
+/// use omu_geometry::Point3;
+///
+/// let mut scene = Scene::new();
+/// scene.push(Primitive::Ground { height: 0.0 });
+/// let hit = scene.closest_hit(Point3::new(0.0, 0.0, 1.0), Point3::new(0.0, 0.0, -1.0));
+/// assert!((hit.unwrap() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scene {
+    primitives: Vec<Primitive>,
+}
+
+impl Scene {
+    /// Creates an empty scene.
+    pub fn new() -> Self {
+        Scene::default()
+    }
+
+    /// Adds a primitive.
+    pub fn push(&mut self, p: Primitive) {
+        self.primitives.push(p);
+    }
+
+    /// Number of primitives.
+    pub fn len(&self) -> usize {
+        self.primitives.len()
+    }
+
+    /// True when the scene has no primitives.
+    pub fn is_empty(&self) -> bool {
+        self.primitives.is_empty()
+    }
+
+    /// The primitives.
+    pub fn primitives(&self) -> &[Primitive] {
+        &self.primitives
+    }
+
+    /// Distance to the closest primitive along `origin + t·dir` (unit
+    /// `dir`), or `None` when nothing is hit.
+    pub fn closest_hit(&self, origin: Point3, dir: Point3) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for p in &self.primitives {
+            if let Some(t) = p.intersect(origin, dir) {
+                best = Some(match best {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
+            }
+        }
+        best
+    }
+
+    /// A bounding box covering all bounded primitives (boxes, cylinders,
+    /// spheres); `Ground` planes are unbounded and excluded.
+    pub fn bounds(&self) -> Aabb {
+        let mut b = Aabb::empty();
+        for p in &self.primitives {
+            match *p {
+                Primitive::Box { aabb } => b = b.union(&aabb),
+                Primitive::CylinderZ { center, radius, z0, z1 } => {
+                    b = b.union(&Aabb::new(
+                        Point3::new(center.x - radius, center.y - radius, z0),
+                        Point3::new(center.x + radius, center.y + radius, z1),
+                    ));
+                }
+                Primitive::Sphere { center, radius } => {
+                    b = b.union(&Aabb::new(
+                        center - Point3::splat(radius),
+                        center + Point3::splat(radius),
+                    ));
+                }
+                Primitive::Ground { .. } => {}
+            }
+        }
+        b
+    }
+}
+
+impl FromIterator<Primitive> for Scene {
+    fn from_iter<I: IntoIterator<Item = Primitive>>(iter: I) -> Self {
+        Scene { primitives: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closest_of_two_boxes_wins() {
+        let scene: Scene = [
+            Primitive::boxed(Point3::new(5.0, -1.0, -1.0), Point3::new(6.0, 1.0, 1.0)),
+            Primitive::boxed(Point3::new(2.0, -1.0, -1.0), Point3::new(3.0, 1.0, 1.0)),
+        ]
+        .into_iter()
+        .collect();
+        let t = scene
+            .closest_hit(Point3::ZERO, Point3::new(1.0, 0.0, 0.0))
+            .expect("hit");
+        assert!((t - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_scene_misses() {
+        let scene = Scene::new();
+        assert!(scene.closest_hit(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)).is_none());
+        assert!(scene.is_empty());
+        assert!(scene.bounds().is_empty());
+    }
+
+    #[test]
+    fn bounds_cover_primitives() {
+        let mut scene = Scene::new();
+        scene.push(Primitive::boxed(Point3::ZERO, Point3::splat(1.0)));
+        scene.push(Primitive::Sphere { center: Point3::new(5.0, 0.0, 0.0), radius: 2.0 });
+        scene.push(Primitive::Ground { height: -10.0 });
+        let b = scene.bounds();
+        assert!(b.contains(Point3::splat(0.5)));
+        assert!(b.contains(Point3::new(6.9, 0.0, 0.0)));
+        // Ground is unbounded and must not blow up the box.
+        assert!(b.min().z >= -2.0 - 1e-12);
+    }
+}

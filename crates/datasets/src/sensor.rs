@@ -1,0 +1,246 @@
+//! The simulated range sensor.
+
+use omu_geometry::{Point3, PointCloud, Scan};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::scene::Scene;
+
+/// The angular sampling grid of one scan.
+///
+/// Azimuth is measured around +z from the robot's heading; elevation from
+/// the horizontal plane. A full 3D laser sweep (like the tilting SICK
+/// scanners that produced the Freiburg datasets) covers 360° of azimuth and
+/// a wide elevation band.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScanPattern {
+    /// Number of azimuth samples.
+    pub azimuth_steps: usize,
+    /// Number of elevation samples.
+    pub elevation_steps: usize,
+    /// Total azimuth field of view in radians (2π = full turn).
+    pub azimuth_fov: f64,
+    /// Total elevation field of view in radians, centred on horizontal.
+    pub elevation_fov: f64,
+    /// Centre of the elevation band in radians (negative = looking down).
+    pub elevation_center: f64,
+}
+
+impl ScanPattern {
+    /// Rays per scan.
+    pub fn rays(&self) -> usize {
+        self.azimuth_steps * self.elevation_steps
+    }
+
+    /// Iterates the unit direction vectors for a robot heading `yaw`.
+    pub fn directions(&self, yaw: f64) -> impl Iterator<Item = Point3> + '_ {
+        let az_n = self.azimuth_steps;
+        let el_n = self.elevation_steps;
+        let az_fov = self.azimuth_fov;
+        let el_fov = self.elevation_fov;
+        let el_c = self.elevation_center;
+        (0..el_n).flat_map(move |ei| {
+            (0..az_n).map(move |ai| {
+                // Cell-centred sampling avoids duplicate rays at FOV edges
+                // (and at the 0/2π seam for full turns).
+                let az = yaw - az_fov / 2.0 + az_fov * (ai as f64 + 0.5) / az_n as f64;
+                let el = el_c - el_fov / 2.0 + el_fov * (ei as f64 + 0.5) / el_n as f64;
+                Point3::new(el.cos() * az.cos(), el.cos() * az.sin(), el.sin())
+            })
+        })
+    }
+}
+
+/// A simulated laser scanner: spherical sampling grid, maximum sensing
+/// range, and Gaussian range noise.
+///
+/// # Examples
+///
+/// ```
+/// use omu_datasets::{primitives::Primitive, LaserScanner, ScanPattern, Scene};
+/// use omu_geometry::Point3;
+/// use rand::SeedableRng;
+///
+/// let mut scene = Scene::new();
+/// scene.push(Primitive::Ground { height: 0.0 });
+/// let scanner = LaserScanner::new(
+///     ScanPattern {
+///         azimuth_steps: 8,
+///         elevation_steps: 4,
+///         azimuth_fov: std::f64::consts::TAU,
+///         elevation_fov: 0.8,
+///         elevation_center: -0.5,
+///     },
+///     30.0,
+///     0.0,
+/// );
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let scan = scanner.scan(&scene, Point3::new(0.0, 0.0, 1.0), 0.0, &mut rng);
+/// assert!(scan.len() > 0, "downward rays hit the ground");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LaserScanner {
+    pattern: ScanPattern,
+    sensor_range: f64,
+    noise_sigma: f64,
+}
+
+impl LaserScanner {
+    /// Creates a scanner.
+    ///
+    /// `sensor_range` is the maximum distance at which the physical sensor
+    /// reports a return (beyond it: no point). `noise_sigma` is the
+    /// standard deviation of Gaussian range noise in metres.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the pattern is empty, the range is not positive, or the
+    /// noise is negative.
+    pub fn new(pattern: ScanPattern, sensor_range: f64, noise_sigma: f64) -> Self {
+        assert!(pattern.rays() > 0, "scan pattern must contain rays");
+        assert!(sensor_range > 0.0, "sensor range must be positive");
+        assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
+        LaserScanner { pattern, sensor_range, noise_sigma }
+    }
+
+    /// The angular pattern.
+    pub fn pattern(&self) -> &ScanPattern {
+        &self.pattern
+    }
+
+    /// The physical sensing range in metres.
+    pub fn sensor_range(&self) -> f64 {
+        self.sensor_range
+    }
+
+    /// Takes one scan from `origin` with heading `yaw`.
+    ///
+    /// Rays that hit nothing within the sensor range produce no point
+    /// (real lidars report no return), so the cloud size is at most
+    /// [`ScanPattern::rays`].
+    pub fn scan<R: Rng>(&self, scene: &Scene, origin: Point3, yaw: f64, rng: &mut R) -> Scan {
+        let mut cloud = PointCloud::with_capacity(self.pattern.rays());
+        for dir in self.pattern.directions(yaw) {
+            if let Some(t) = scene.closest_hit(origin, dir) {
+                if t <= self.sensor_range {
+                    let noisy_t = if self.noise_sigma > 0.0 {
+                        (t + gaussian(rng) * self.noise_sigma).max(1e-3)
+                    } else {
+                        t
+                    };
+                    cloud.push(origin + dir * noisy_t);
+                }
+            }
+        }
+        Scan::new(origin, cloud)
+    }
+}
+
+/// Standard normal sample via Box–Muller (avoids a rand_distr dependency).
+fn gaussian<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-300);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives::Primitive;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pattern(az: usize, el: usize) -> ScanPattern {
+        ScanPattern {
+            azimuth_steps: az,
+            elevation_steps: el,
+            azimuth_fov: std::f64::consts::TAU,
+            elevation_fov: 1.0,
+            elevation_center: 0.0,
+        }
+    }
+
+    #[test]
+    fn directions_are_unit_and_counted() {
+        let p = pattern(16, 4);
+        let dirs: Vec<_> = p.directions(0.3).collect();
+        assert_eq!(dirs.len(), 64);
+        for d in &dirs {
+            assert!((d.norm() - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn enclosed_scanner_hits_every_ray() {
+        // A box around the origin: every ray hits a wall.
+        let scene: Scene =
+            [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))].into_iter().collect();
+        let s = LaserScanner::new(pattern(16, 4), 30.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let scan = s.scan(&scene, Point3::ZERO, 0.0, &mut rng);
+        assert_eq!(scan.len(), 64);
+    }
+
+    #[test]
+    fn out_of_range_hits_are_dropped() {
+        let scene: Scene = [Primitive::boxed(
+            Point3::new(50.0, -100.0, -100.0),
+            Point3::new(51.0, 100.0, 100.0),
+        )]
+        .into_iter()
+        .collect();
+        let s = LaserScanner::new(pattern(8, 2), 10.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(7);
+        let scan = s.scan(&scene, Point3::ZERO, 0.0, &mut rng);
+        assert!(scan.len() < 16, "distant wall mostly out of range");
+    }
+
+    #[test]
+    fn scans_are_deterministic_per_seed() {
+        let scene: Scene =
+            [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))].into_iter().collect();
+        let s = LaserScanner::new(pattern(8, 4), 30.0, 0.01);
+        let a = s.scan(&scene, Point3::ZERO, 0.0, &mut StdRng::seed_from_u64(3));
+        let b = s.scan(&scene, Point3::ZERO, 0.0, &mut StdRng::seed_from_u64(3));
+        let c = s.scan(&scene, Point3::ZERO, 0.0, &mut StdRng::seed_from_u64(4));
+        assert_eq!(a, b);
+        assert_ne!(a, c, "different seed, different noise");
+    }
+
+    #[test]
+    fn noise_perturbs_range_along_ray() {
+        let scene: Scene =
+            [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))].into_iter().collect();
+        let noisy = LaserScanner::new(pattern(8, 4), 30.0, 0.05);
+        let clean = LaserScanner::new(pattern(8, 4), 30.0, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = noisy.scan(&scene, Point3::ZERO, 0.0, &mut rng);
+        let b = clean.scan(&scene, Point3::ZERO, 0.0, &mut StdRng::seed_from_u64(3));
+        let mut diffs = 0;
+        for (pa, pb) in a.cloud.iter().zip(b.cloud.iter()) {
+            let d = pa.distance(*pb);
+            assert!(d < 0.5, "noise is small");
+            if d > 1e-9 {
+                diffs += 1;
+            }
+        }
+        assert!(diffs > 0, "noise must actually perturb points");
+    }
+
+    #[test]
+    fn gaussian_moments_are_sane() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "variance {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "sensor range")]
+    fn non_positive_range_rejected() {
+        let _ = LaserScanner::new(pattern(2, 2), 0.0, 0.0);
+    }
+}

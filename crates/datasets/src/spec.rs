@@ -1,0 +1,340 @@
+//! Dataset specifications, the paper's reference numbers, and scan
+//! streaming.
+
+use omu_geometry::{Point3, Scan};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::scene::Scene;
+use crate::sensor::LaserScanner;
+use crate::trajectory::Trajectory;
+
+/// The three workloads of the paper's evaluation (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// FR-079 corridor: indoor, 66 dense scans.
+    Fr079Corridor,
+    /// Freiburg campus: outdoor, 81 very dense scans.
+    FreiburgCampus,
+    /// New College: outdoor, 92 361 sparse scans.
+    NewCollege,
+}
+
+impl DatasetKind {
+    /// All three datasets, in the paper's column order.
+    pub const ALL: [DatasetKind; 3] =
+        [DatasetKind::Fr079Corridor, DatasetKind::FreiburgCampus, DatasetKind::NewCollege];
+
+    /// The dataset's display name as used in the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Fr079Corridor => "FR-079 corridor",
+            DatasetKind::FreiburgCampus => "Freiburg campus",
+            DatasetKind::NewCollege => "New College",
+        }
+    }
+
+    /// The default generation spec reproducing Table II's workload shape.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Fr079Corridor => DatasetSpec {
+                kind: *self,
+                scans: 66,
+                resolution: 0.2,
+                max_range: 5.5,
+                seed: 0x0F07_9001,
+            },
+            DatasetKind::FreiburgCampus => DatasetSpec {
+                kind: *self,
+                scans: 81,
+                resolution: 0.2,
+                max_range: 15.5,
+                seed: 0xCA_4005,
+            },
+            DatasetKind::NewCollege => DatasetSpec {
+                kind: *self,
+                scans: 92_361,
+                resolution: 0.2,
+                max_range: 4.6,
+                seed: 0xC0_11E6,
+            },
+        }
+    }
+
+    /// The paper's published reference numbers for this dataset
+    /// (Tables II–V), used by the harness to print paper-vs-measured.
+    pub fn paper(&self) -> PaperReference {
+        match self {
+            DatasetKind::Fr079Corridor => PaperReference {
+                scan_number: 66,
+                avg_points_per_scan: 89_000.0,
+                point_cloud_millions: 5.9,
+                voxel_update_millions: 101.0,
+                i9_latency_s: 16.8,
+                i9_fps: 5.23,
+                a57_latency_s: 81.7,
+                a57_fps: 1.07,
+                omu_latency_s: 1.31,
+                omu_fps: 63.66,
+                a57_energy_j: 227.2,
+                omu_energy_j: 0.32,
+                fig3_shares: [0.01, 0.23, 0.14, 0.61],
+            },
+            DatasetKind::FreiburgCampus => PaperReference {
+                scan_number: 81,
+                avg_points_per_scan: 248_000.0,
+                point_cloud_millions: 20.1,
+                voxel_update_millions: 1031.0,
+                i9_latency_s: 177.7,
+                i9_fps: 5.03,
+                a57_latency_s: 897.2,
+                a57_fps: 1.0,
+                omu_latency_s: 14.4,
+                omu_fps: 62.05,
+                a57_energy_j: 2416.2,
+                omu_energy_j: 3.62,
+                fig3_shares: [0.01, 0.26, 0.16, 0.57],
+            },
+            DatasetKind::NewCollege => PaperReference {
+                scan_number: 92_361,
+                avg_points_per_scan: 156.0,
+                point_cloud_millions: 14.5,
+                voxel_update_millions: 449.0,
+                i9_latency_s: 77.3,
+                i9_fps: 5.04,
+                a57_latency_s: 401.5,
+                a57_fps: 0.97,
+                omu_latency_s: 6.5,
+                omu_fps: 60.87,
+                a57_energy_j: 1147.4,
+                omu_energy_j: 1.63,
+                fig3_shares: [0.02, 0.34, 0.23, 0.41],
+            },
+        }
+    }
+
+    /// Builds the dataset at full scale.
+    pub fn build(&self) -> Dataset {
+        self.build_scaled(1.0)
+    }
+
+    /// Builds the dataset with the scan count scaled by `scale` (rounded
+    /// up, at least one scan). Per-scan statistics are unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `scale` is not in `(0, 1]`.
+    pub fn build_scaled(&self, scale: f64) -> Dataset {
+        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        let mut spec = self.spec();
+        spec.scans = ((spec.scans as f64 * scale).ceil() as usize).max(1);
+        let (scene, scanner, trajectory) = match self {
+            DatasetKind::Fr079Corridor => crate::corridor::build(),
+            DatasetKind::FreiburgCampus => crate::campus::build(),
+            DatasetKind::NewCollege => crate::college::build(),
+        };
+        let poses = trajectory.poses(spec.scans);
+        Dataset { spec, scene, scanner, trajectory, poses }
+    }
+}
+
+/// Generation parameters of one dataset instance.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DatasetSpec {
+    /// Which dataset this is.
+    pub kind: DatasetKind,
+    /// Number of scans to generate.
+    pub scans: usize,
+    /// Map resolution in metres (the paper uses 0.2 m for all maps).
+    pub resolution: f64,
+    /// Mapping maximum range in metres (OctoMap `maxrange`), the knob that
+    /// controls voxel updates per ray.
+    pub max_range: f64,
+    /// Base RNG seed; scan `i` uses a seed derived from it.
+    pub seed: u64,
+}
+
+/// Published reference numbers for one dataset (Tables II–V of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PaperReference {
+    /// Table II: number of scans.
+    pub scan_number: u64,
+    /// Table II: average points per scan.
+    pub avg_points_per_scan: f64,
+    /// Table II: total point cloud size (millions).
+    pub point_cloud_millions: f64,
+    /// Table II: total voxel updates (millions).
+    pub voxel_update_millions: f64,
+    /// Table II/III: Intel i9-9940X latency (s).
+    pub i9_latency_s: f64,
+    /// Table II/IV: Intel i9 throughput (FPS).
+    pub i9_fps: f64,
+    /// Table III: ARM Cortex-A57 latency (s).
+    pub a57_latency_s: f64,
+    /// Table IV: ARM Cortex-A57 throughput (FPS).
+    pub a57_fps: f64,
+    /// Table III: OMU accelerator latency (s).
+    pub omu_latency_s: f64,
+    /// Table IV: OMU throughput (FPS).
+    pub omu_fps: f64,
+    /// Table V: Cortex-A57 energy (J).
+    pub a57_energy_j: f64,
+    /// Table V: OMU energy (J).
+    pub omu_energy_j: f64,
+    /// Fig. 3: i9 runtime shares
+    /// `[ray casting, update leaf, update parents, prune/expand]`.
+    pub fig3_shares: [f64; 4],
+}
+
+/// A generated dataset: scene + scanner + trajectory + per-scan poses.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    spec: DatasetSpec,
+    scene: Scene,
+    scanner: LaserScanner,
+    trajectory: Trajectory,
+    poses: Vec<(Point3, f64)>,
+}
+
+impl Dataset {
+    /// The generation spec (including any scaling applied).
+    pub fn spec(&self) -> &DatasetSpec {
+        &self.spec
+    }
+
+    /// The analytic scene.
+    pub fn scene(&self) -> &Scene {
+        &self.scene
+    }
+
+    /// The simulated scanner.
+    pub fn scanner(&self) -> &LaserScanner {
+        &self.scanner
+    }
+
+    /// The robot trajectory.
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.trajectory
+    }
+
+    /// Number of scans this instance will generate.
+    pub fn num_scans(&self) -> usize {
+        self.spec.scans
+    }
+
+    /// Generates scan `index` (deterministic: same index → same scan).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= num_scans()`.
+    pub fn scan(&self, index: usize) -> Scan {
+        let (origin, yaw) = self.poses[index];
+        let mut rng =
+            StdRng::seed_from_u64(self.spec.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        self.scanner.scan(&self.scene, origin, yaw, &mut rng)
+    }
+
+    /// Streams all scans lazily (the campus point cloud alone is ~480 MB if
+    /// materialized at once).
+    pub fn scans(&self) -> ScanStream<'_> {
+        ScanStream { dataset: self, next: 0 }
+    }
+}
+
+/// Lazy iterator over a dataset's scans. Created by [`Dataset::scans`].
+#[derive(Debug)]
+pub struct ScanStream<'a> {
+    dataset: &'a Dataset,
+    next: usize,
+}
+
+impl Iterator for ScanStream<'_> {
+    type Item = Scan;
+
+    fn next(&mut self) -> Option<Scan> {
+        if self.next >= self.dataset.num_scans() {
+            return None;
+        }
+        let scan = self.dataset.scan(self.next);
+        self.next += 1;
+        Some(scan)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = self.dataset.num_scans() - self.next;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for ScanStream<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_match_table2_scan_counts() {
+        assert_eq!(DatasetKind::Fr079Corridor.spec().scans, 66);
+        assert_eq!(DatasetKind::FreiburgCampus.spec().scans, 81);
+        assert_eq!(DatasetKind::NewCollege.spec().scans, 92_361);
+        for kind in DatasetKind::ALL {
+            assert_eq!(kind.spec().resolution, 0.2, "paper uses 0.2 m everywhere");
+        }
+    }
+
+    #[test]
+    fn paper_reference_speedups_are_consistent() {
+        for kind in DatasetKind::ALL {
+            let p = kind.paper();
+            let speedup_i9 = p.i9_latency_s / p.omu_latency_s;
+            let speedup_a57 = p.a57_latency_s / p.omu_latency_s;
+            assert!(speedup_i9 > 11.0 && speedup_i9 < 14.0, "{}: {speedup_i9:.1}", kind.name());
+            assert!(speedup_a57 > 60.0 && speedup_a57 < 64.0, "{}: {speedup_a57:.1}", kind.name());
+        }
+    }
+
+    #[test]
+    fn scaled_build_shrinks_scan_count_only() {
+        let d = DatasetKind::Fr079Corridor.build_scaled(0.1);
+        assert_eq!(d.num_scans(), 7); // ceil(6.6)
+        let s = d.scan(0);
+        assert!(s.len() > 50_000, "per-scan density unchanged");
+    }
+
+    #[test]
+    fn scans_are_deterministic() {
+        let d = DatasetKind::Fr079Corridor.build_scaled(0.05);
+        let a = d.scan(1);
+        let b = d.scan(1);
+        assert_eq!(a, b);
+        let c = d.scan(2);
+        assert_ne!(a, c, "different pose/seed");
+    }
+
+    #[test]
+    fn stream_yields_all_scans() {
+        let d = DatasetKind::NewCollege.build_scaled(0.0001);
+        assert_eq!(d.num_scans(), 10); // ceil(9.2361)
+        let stream = d.scans();
+        assert_eq!(stream.len(), 10);
+        assert_eq!(stream.count(), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale must be in")]
+    fn zero_scale_rejected() {
+        let _ = DatasetKind::Fr079Corridor.build_scaled(0.0);
+    }
+
+    #[test]
+    fn origins_within_map_extent_at_paper_resolution() {
+        for kind in DatasetKind::ALL {
+            let d = kind.build_scaled(0.001);
+            let conv = omu_geometry::KeyConverter::new(d.spec().resolution).unwrap();
+            for s in d.scans() {
+                assert!(conv.coord_to_key(s.origin).is_ok(), "{} origin in map", kind.name());
+            }
+        }
+    }
+}

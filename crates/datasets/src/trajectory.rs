@@ -1,0 +1,160 @@
+//! Robot trajectories: waypoint paths sampled into sensor poses.
+
+use omu_geometry::Point3;
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-linear waypoint path.
+///
+/// Poses are sampled at uniform arc-length spacing; the heading (yaw) at
+/// each pose follows the direction of travel.
+///
+/// # Examples
+///
+/// ```
+/// use omu_datasets::Trajectory;
+/// use omu_geometry::Point3;
+///
+/// let t = Trajectory::new(vec![Point3::ZERO, Point3::new(10.0, 0.0, 0.0)]);
+/// let poses = t.poses(3);
+/// assert_eq!(poses.len(), 3);
+/// assert_eq!(poses[1].0.x, 5.0);
+/// assert_eq!(poses[1].1, 0.0); // heading +x
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    waypoints: Vec<Point3>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from waypoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waypoints` is empty.
+    pub fn new(waypoints: Vec<Point3>) -> Self {
+        assert!(!waypoints.is_empty(), "a trajectory needs at least one waypoint");
+        Trajectory { waypoints }
+    }
+
+    /// A closed loop: appends the first waypoint at the end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `waypoints` is empty.
+    pub fn closed_loop(mut waypoints: Vec<Point3>) -> Self {
+        assert!(!waypoints.is_empty(), "a trajectory needs at least one waypoint");
+        let first = waypoints[0];
+        waypoints.push(first);
+        Trajectory { waypoints }
+    }
+
+    /// The waypoints.
+    pub fn waypoints(&self) -> &[Point3] {
+        &self.waypoints
+    }
+
+    /// Total path length in metres.
+    pub fn length(&self) -> f64 {
+        self.waypoints.windows(2).map(|w| w[0].distance(w[1])).sum()
+    }
+
+    /// Samples `n` poses `(position, yaw)` at uniform arc-length spacing
+    /// from start to end (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn poses(&self, n: usize) -> Vec<(Point3, f64)> {
+        assert!(n > 0, "cannot sample zero poses");
+        let total = self.length();
+        if self.waypoints.len() == 1 || total == 0.0 {
+            return vec![(self.waypoints[0], 0.0); n];
+        }
+
+        // Cumulative segment lengths.
+        let mut cum = Vec::with_capacity(self.waypoints.len());
+        cum.push(0.0);
+        for w in self.waypoints.windows(2) {
+            cum.push(cum.last().unwrap() + w[0].distance(w[1]));
+        }
+
+        let mut poses = Vec::with_capacity(n);
+        let mut seg = 0usize;
+        for i in 0..n {
+            let s = if n == 1 { 0.0 } else { total * i as f64 / (n - 1) as f64 };
+            while seg + 2 < cum.len() && cum[seg + 1] < s {
+                seg += 1;
+            }
+            let a = self.waypoints[seg];
+            let b = self.waypoints[seg + 1];
+            let seg_len = cum[seg + 1] - cum[seg];
+            let t = if seg_len > 0.0 { (s - cum[seg]) / seg_len } else { 0.0 };
+            let pos = a.lerp(b, t.clamp(0.0, 1.0));
+            let dir = b - a;
+            let yaw = dir.y.atan2(dir.x);
+            poses.push((pos, yaw));
+        }
+        poses
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_poses_evenly_spaced() {
+        let t = Trajectory::new(vec![Point3::ZERO, Point3::new(4.0, 0.0, 0.0)]);
+        let p = t.poses(5);
+        for (i, (pos, yaw)) in p.iter().enumerate() {
+            assert!((pos.x - i as f64).abs() < 1e-12);
+            assert_eq!(*yaw, 0.0);
+        }
+        assert_eq!(t.length(), 4.0);
+    }
+
+    #[test]
+    fn corner_changes_heading() {
+        let t = Trajectory::new(vec![
+            Point3::ZERO,
+            Point3::new(2.0, 0.0, 0.0),
+            Point3::new(2.0, 2.0, 0.0),
+        ]);
+        let p = t.poses(9);
+        assert_eq!(p[0].1, 0.0, "first leg heads +x");
+        let last = p.last().unwrap();
+        assert!((last.1 - std::f64::consts::FRAC_PI_2).abs() < 1e-9, "second leg heads +y");
+        assert!((last.0.y - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn single_waypoint_is_stationary() {
+        let t = Trajectory::new(vec![Point3::new(1.0, 2.0, 3.0)]);
+        let p = t.poses(4);
+        assert!(p.iter().all(|(pos, yaw)| *pos == Point3::new(1.0, 2.0, 3.0) && *yaw == 0.0));
+    }
+
+    #[test]
+    fn closed_loop_returns_to_start() {
+        let t = Trajectory::closed_loop(vec![
+            Point3::ZERO,
+            Point3::new(2.0, 0.0, 0.0),
+            Point3::new(2.0, 2.0, 0.0),
+        ]);
+        let p = t.poses(10);
+        assert!(p.last().unwrap().0.distance(Point3::ZERO) < 1e-9);
+    }
+
+    #[test]
+    fn one_pose_is_the_start() {
+        let t = Trajectory::new(vec![Point3::ZERO, Point3::new(1.0, 0.0, 0.0)]);
+        let p = t.poses(1);
+        assert_eq!(p[0].0, Point3::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one waypoint")]
+    fn empty_waypoints_rejected() {
+        let _ = Trajectory::new(vec![]);
+    }
+}

@@ -1,0 +1,237 @@
+//! Axis-aligned bounding boxes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::point::Point3;
+
+/// An axis-aligned bounding box defined by two corners.
+///
+/// Used by the dataset generators (scene extents, sensor clipping) and by
+/// map statistics (observed region).
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{Aabb, Point3};
+///
+/// let b = Aabb::new(Point3::ZERO, Point3::new(1.0, 2.0, 3.0));
+/// assert!(b.contains(Point3::new(0.5, 1.0, 2.9)));
+/// assert_eq!(b.volume(), 6.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Aabb {
+    min: Point3,
+    max: Point3,
+}
+
+impl Aabb {
+    /// Creates a box from two opposite corners (in any order).
+    pub fn new(a: Point3, b: Point3) -> Self {
+        Aabb { min: a.min(b), max: a.max(b) }
+    }
+
+    /// An empty box suitable as the identity for [`Aabb::union_point`].
+    pub fn empty() -> Self {
+        Aabb {
+            min: Point3::splat(f64::INFINITY),
+            max: Point3::splat(f64::NEG_INFINITY),
+        }
+    }
+
+    /// True when the box contains no points (as produced by [`Aabb::empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.min.x > self.max.x || self.min.y > self.max.y || self.min.z > self.max.z
+    }
+
+    /// The corner with minimal coordinates.
+    #[inline]
+    pub fn min(&self) -> Point3 {
+        self.min
+    }
+
+    /// The corner with maximal coordinates.
+    #[inline]
+    pub fn max(&self) -> Point3 {
+        self.max
+    }
+
+    /// The box centre.
+    pub fn center(&self) -> Point3 {
+        (self.min + self.max) * 0.5
+    }
+
+    /// Edge lengths along each axis.
+    pub fn extent(&self) -> Point3 {
+        self.max - self.min
+    }
+
+    /// Volume in cubic metres (0 for empty boxes).
+    pub fn volume(&self) -> f64 {
+        if self.is_empty() {
+            return 0.0;
+        }
+        let e = self.extent();
+        e.x * e.y * e.z
+    }
+
+    /// True when `p` lies inside or on the boundary.
+    pub fn contains(&self, p: Point3) -> bool {
+        p.x >= self.min.x
+            && p.x <= self.max.x
+            && p.y >= self.min.y
+            && p.y <= self.max.y
+            && p.z >= self.min.z
+            && p.z <= self.max.z
+    }
+
+    /// The smallest box containing `self` and `p`.
+    #[must_use]
+    pub fn union_point(&self, p: Point3) -> Aabb {
+        Aabb { min: self.min.min(p), max: self.max.max(p) }
+    }
+
+    /// The smallest box containing both boxes.
+    #[must_use]
+    pub fn union(&self, other: &Aabb) -> Aabb {
+        if self.is_empty() {
+            return *other;
+        }
+        if other.is_empty() {
+            return *self;
+        }
+        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+    }
+
+    /// Expands the box by `margin` metres on every side.
+    #[must_use]
+    pub fn inflate(&self, margin: f64) -> Aabb {
+        Aabb {
+            min: self.min - Point3::splat(margin),
+            max: self.max + Point3::splat(margin),
+        }
+    }
+
+    /// Intersects a ray `origin + t * dir` with the box using the slab
+    /// method, returning the entry/exit parameters `(t_near, t_far)` with
+    /// `t_near <= t_far` when the ray hits.
+    ///
+    /// `t_near` may be negative when the origin is inside the box.
+    pub fn intersect_ray(&self, origin: Point3, dir: Point3) -> Option<(f64, f64)> {
+        let mut t_near = f64::NEG_INFINITY;
+        let mut t_far = f64::INFINITY;
+        for axis in 0..3 {
+            let o = origin[axis];
+            let d = dir[axis];
+            let (lo, hi) = (self.min[axis], self.max[axis]);
+            if d.abs() < 1e-15 {
+                if o < lo || o > hi {
+                    return None;
+                }
+            } else {
+                let inv = 1.0 / d;
+                let (mut t0, mut t1) = ((lo - o) * inv, (hi - o) * inv);
+                if t0 > t1 {
+                    std::mem::swap(&mut t0, &mut t1);
+                }
+                t_near = t_near.max(t0);
+                t_far = t_far.min(t1);
+                if t_near > t_far {
+                    return None;
+                }
+            }
+        }
+        Some((t_near, t_far))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_normalized() {
+        let b = Aabb::new(Point3::new(1.0, -1.0, 2.0), Point3::new(0.0, 1.0, 0.0));
+        assert_eq!(b.min(), Point3::new(0.0, -1.0, 0.0));
+        assert_eq!(b.max(), Point3::new(1.0, 1.0, 2.0));
+    }
+
+    #[test]
+    fn empty_box_behaviour() {
+        let e = Aabb::empty();
+        assert!(e.is_empty());
+        assert_eq!(e.volume(), 0.0);
+        assert!(!e.contains(Point3::ZERO));
+        let grown = e.union_point(Point3::new(1.0, 2.0, 3.0));
+        assert!(!grown.is_empty());
+        assert_eq!(grown.min(), grown.max());
+    }
+
+    #[test]
+    fn contains_boundary_points() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        assert!(b.contains(Point3::ZERO));
+        assert!(b.contains(Point3::splat(1.0)));
+        assert!(!b.contains(Point3::new(1.0001, 0.5, 0.5)));
+    }
+
+    #[test]
+    fn union_contains_both() {
+        let a = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        let b = Aabb::new(Point3::splat(2.0), Point3::splat(3.0));
+        let u = a.union(&b);
+        assert!(u.contains(Point3::splat(0.5)));
+        assert!(u.contains(Point3::splat(2.5)));
+        assert_eq!(a.union(&Aabb::empty()), a);
+        assert_eq!(Aabb::empty().union(&a), a);
+    }
+
+    #[test]
+    fn inflate_grows_every_side() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(1.0)).inflate(0.5);
+        assert_eq!(b.min(), Point3::splat(-0.5));
+        assert_eq!(b.max(), Point3::splat(1.5));
+    }
+
+    #[test]
+    fn ray_hits_box_front() {
+        let b = Aabb::new(Point3::splat(1.0), Point3::splat(2.0));
+        let (t0, t1) = b
+            .intersect_ray(Point3::ZERO, Point3::new(1.0, 1.0, 1.0))
+            .expect("ray should hit");
+        assert!((t0 - 1.0).abs() < 1e-12);
+        assert!((t1 - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ray_misses_box() {
+        let b = Aabb::new(Point3::splat(1.0), Point3::splat(2.0));
+        assert!(b.intersect_ray(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)).is_none());
+        assert!(b.intersect_ray(Point3::ZERO, Point3::new(-1.0, -1.0, -1.0)).map(|(t0, _)| t0 >= 0.0) != Some(true));
+    }
+
+    #[test]
+    fn ray_from_inside_has_negative_t_near() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(2.0));
+        let (t0, t1) = b
+            .intersect_ray(Point3::splat(1.0), Point3::new(1.0, 0.0, 0.0))
+            .expect("hit from inside");
+        assert!(t0 < 0.0 && t1 > 0.0);
+    }
+
+    #[test]
+    fn parallel_ray_inside_slab() {
+        let b = Aabb::new(Point3::ZERO, Point3::splat(1.0));
+        // Parallel to x axis, inside the y/z slabs.
+        assert!(b.intersect_ray(Point3::new(-1.0, 0.5, 0.5), Point3::new(1.0, 0.0, 0.0)).is_some());
+        // Parallel to x axis, outside the y slab.
+        assert!(b.intersect_ray(Point3::new(-1.0, 5.0, 0.5), Point3::new(1.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn center_extent_volume() {
+        let b = Aabb::new(Point3::ZERO, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.center(), Point3::new(1.0, 2.0, 3.0));
+        assert_eq!(b.extent(), Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(b.volume(), 48.0);
+    }
+}

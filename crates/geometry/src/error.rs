@@ -1,0 +1,74 @@
+//! Error types for coordinate and resolution validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// A coordinate could not be converted to a voxel key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KeyError {
+    /// The coordinate lies outside the map addressable at this resolution.
+    OutOfRange {
+        /// The offending coordinate in metres.
+        coord: f64,
+        /// The map resolution in metres.
+        resolution: f64,
+    },
+    /// The coordinate is NaN or infinite.
+    NotFinite {
+        /// The offending coordinate.
+        coord: f64,
+    },
+}
+
+impl fmt::Display for KeyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyError::OutOfRange { coord, resolution } => write!(
+                f,
+                "coordinate {coord} m outside map addressable at resolution {resolution} m"
+            ),
+            KeyError::NotFinite { coord } => {
+                write!(f, "coordinate {coord} is not finite")
+            }
+        }
+    }
+}
+
+impl Error for KeyError {}
+
+/// A map resolution was not a positive finite number.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResolutionError {
+    /// The offending resolution in metres.
+    pub resolution: f64,
+}
+
+impl fmt::Display for ResolutionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "map resolution must be positive and finite, got {}", self.resolution)
+    }
+}
+
+impl Error for ResolutionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = KeyError::OutOfRange { coord: 1e9, resolution: 0.2 };
+        assert!(e.to_string().contains("outside map"));
+        let e = KeyError::NotFinite { coord: f64::NAN };
+        assert!(e.to_string().contains("not finite"));
+        let e = ResolutionError { resolution: -1.0 };
+        assert!(e.to_string().contains("positive"));
+    }
+
+    #[test]
+    fn errors_are_std_errors() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<KeyError>();
+        assert_err::<ResolutionError>();
+    }
+}

@@ -1,0 +1,512 @@
+//! Discrete voxel addressing for a depth-16 octree.
+//!
+//! OctoMap (and therefore OMU) discretizes space into voxels addressed by a
+//! 16-bit key per axis. The octree has [`TREE_DEPTH`] = 16 levels below the
+//! root; a key identifies a *finest-resolution* voxel, and the key bits, read
+//! from the most significant bit down, spell the path of child indices from
+//! the root to that voxel. The OMU accelerator exploits exactly this
+//! property: the first-level child index (bit 15 of each axis) selects the PE
+//! unit, and each subsequent 3-bit group selects the memory bank at the next
+//! tree level.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{KeyError, ResolutionError};
+use crate::point::Point3;
+
+/// Number of tree levels below the root (OctoMap default).
+pub const TREE_DEPTH: u8 = 16;
+
+/// Key offset of the map origin: coordinate 0 maps to key 2^15.
+pub const TREE_MAX_VAL: u32 = 1 << 15;
+
+/// A discrete voxel address at the finest tree depth.
+///
+/// Each axis is a 16-bit unsigned key; coordinate 0 m corresponds to key
+/// [`TREE_MAX_VAL`], so the map is centred on the origin.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{VoxelKey, TREE_MAX_VAL};
+///
+/// let k = VoxelKey::new(TREE_MAX_VAL as u16, 0, u16::MAX);
+/// assert_eq!(k.x, 32768);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VoxelKey {
+    /// Key along the x axis.
+    pub x: u16,
+    /// Key along the y axis.
+    pub y: u16,
+    /// Key along the z axis.
+    pub z: u16,
+}
+
+impl VoxelKey {
+    /// Creates a key from its three axis components.
+    #[inline]
+    pub const fn new(x: u16, y: u16, z: u16) -> Self {
+        VoxelKey { x, y, z }
+    }
+
+    /// The key of the map origin voxel (coordinate `(0, 0, 0)` corner).
+    pub const ORIGIN: VoxelKey = VoxelKey {
+        x: TREE_MAX_VAL as u16,
+        y: TREE_MAX_VAL as u16,
+        z: TREE_MAX_VAL as u16,
+    };
+
+    /// Child index (0–7) of the node at depth `depth + 1` that contains this
+    /// key, within its parent at depth `depth`.
+    ///
+    /// Bit `15 - depth` of each axis contributes one bit of the index
+    /// (x → bit 0, y → bit 1, z → bit 2), matching OctoMap's
+    /// `computeChildIdx` and the `child_ID` generation of the OMU voxel
+    /// scheduler.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth >= TREE_DEPTH` (a depth-16 node has no children).
+    #[inline]
+    pub fn child_index_at(&self, depth: u8) -> ChildIndex {
+        assert!(
+            depth < TREE_DEPTH,
+            "no children below depth {TREE_DEPTH} (got parent depth {depth})"
+        );
+        let b = (TREE_DEPTH - 1 - depth) as u32;
+        let ix = ((self.x as u32) >> b) & 1;
+        let iy = ((self.y as u32) >> b) & 1;
+        let iz = ((self.z as u32) >> b) & 1;
+        ChildIndex((ix | (iy << 1) | (iz << 2)) as u8)
+    }
+
+    /// First-level child index (bit 15 of each axis).
+    ///
+    /// This is the `branch ID` the OMU voxel scheduler uses to select the PE
+    /// unit for an update.
+    #[inline]
+    pub fn first_level_branch(&self) -> ChildIndex {
+        self.child_index_at(0)
+    }
+
+    /// The key of the containing node at a coarser `depth`, i.e. this key
+    /// with the lower `16 - depth` bits cleared on every axis.
+    ///
+    /// For `depth == 16` the key is returned unchanged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > TREE_DEPTH`.
+    #[inline]
+    pub fn at_depth(&self, depth: u8) -> VoxelKey {
+        assert!(depth <= TREE_DEPTH, "depth {depth} exceeds {TREE_DEPTH}");
+        if depth == TREE_DEPTH {
+            return *self;
+        }
+        let mask = !(((1u32 << (TREE_DEPTH - depth)) - 1) as u16);
+        VoxelKey::new(self.x & mask, self.y & mask, self.z & mask)
+    }
+
+    /// Iterator over the child indices on the path from the root (depth 0)
+    /// down to this key's finest voxel (depth 16), in order.
+    pub fn path_from_root(&self) -> impl Iterator<Item = ChildIndex> + '_ {
+        let key = *self;
+        (0..TREE_DEPTH).map(move |d| key.child_index_at(d))
+    }
+
+    /// Manhattan (L1) distance between two keys, in finest-voxel units.
+    #[inline]
+    pub fn manhattan_distance(&self, other: VoxelKey) -> u32 {
+        let d = |a: u16, b: u16| (a as i32 - b as i32).unsigned_abs();
+        d(self.x, other.x) + d(self.y, other.y) + d(self.z, other.z)
+    }
+}
+
+impl fmt::Display for VoxelKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}, {}]", self.x, self.y, self.z)
+    }
+}
+
+impl From<(u16, u16, u16)> for VoxelKey {
+    fn from(t: (u16, u16, u16)) -> Self {
+        VoxelKey::new(t.0, t.1, t.2)
+    }
+}
+
+/// A child slot index inside an octree node (0–7).
+///
+/// Bit 0 selects the upper x half, bit 1 the upper y half, bit 2 the upper z
+/// half. In the OMU accelerator the child index doubles as the memory-bank
+/// number: child `i` of any node is stored in `T-Mem i` (Fig. 5 of the
+/// paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct ChildIndex(u8);
+
+impl ChildIndex {
+    /// Number of children of an octree node.
+    pub const COUNT: usize = 8;
+
+    /// Creates a child index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 7`.
+    #[inline]
+    pub fn new(i: u8) -> Self {
+        assert!(i < 8, "child index out of range: {i}");
+        ChildIndex(i)
+    }
+
+    /// The raw index value (0–7).
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// All eight child indices in order.
+    #[inline]
+    pub fn all() -> impl Iterator<Item = ChildIndex> {
+        (0..8).map(ChildIndex)
+    }
+
+    /// True when the child covers the upper x half of its parent.
+    #[inline]
+    pub const fn x_bit(self) -> bool {
+        self.0 & 1 != 0
+    }
+
+    /// True when the child covers the upper y half of its parent.
+    #[inline]
+    pub const fn y_bit(self) -> bool {
+        self.0 & 2 != 0
+    }
+
+    /// True when the child covers the upper z half of its parent.
+    #[inline]
+    pub const fn z_bit(self) -> bool {
+        self.0 & 4 != 0
+    }
+}
+
+impl fmt::Display for ChildIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<ChildIndex> for usize {
+    fn from(c: ChildIndex) -> usize {
+        c.index()
+    }
+}
+
+/// Converts between metric coordinates and voxel keys for a fixed map
+/// resolution.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3};
+///
+/// let conv = KeyConverter::new(0.1).unwrap();
+/// let key = conv.coord_to_key(Point3::new(0.05, -0.05, 0.0)).unwrap();
+/// // Voxel centres are offset by half a voxel.
+/// let c = conv.key_to_coord(key);
+/// assert!((c.x - 0.05).abs() < 1e-9 && (c.y + 0.05).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeyConverter {
+    resolution: f64,
+    inv_resolution: f64,
+}
+
+impl KeyConverter {
+    /// Creates a converter for the given voxel edge length in metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolutionError`] if `resolution` is not a positive finite
+    /// number.
+    pub fn new(resolution: f64) -> Result<Self, ResolutionError> {
+        if !(resolution.is_finite() && resolution > 0.0) {
+            return Err(ResolutionError { resolution });
+        }
+        Ok(KeyConverter { resolution, inv_resolution: 1.0 / resolution })
+    }
+
+    /// The voxel edge length in metres.
+    #[inline]
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Edge length in metres of a node at `depth` (root = depth 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > TREE_DEPTH`.
+    #[inline]
+    pub fn node_size(&self, depth: u8) -> f64 {
+        assert!(depth <= TREE_DEPTH, "depth {depth} exceeds {TREE_DEPTH}");
+        self.resolution * (1u64 << (TREE_DEPTH - depth)) as f64
+    }
+
+    /// Converts one coordinate to its axis key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the coordinate falls outside the map
+    /// (|coord| ≳ 2¹⁵ · resolution) or is not finite.
+    #[inline]
+    pub fn coord_to_axis_key(&self, coord: f64) -> Result<u16, KeyError> {
+        if !coord.is_finite() {
+            return Err(KeyError::NotFinite { coord });
+        }
+        let cell = (coord * self.inv_resolution).floor() as i64 + TREE_MAX_VAL as i64;
+        if (0..=u16::MAX as i64).contains(&cell) {
+            Ok(cell as u16)
+        } else {
+            Err(KeyError::OutOfRange { coord, resolution: self.resolution })
+        }
+    }
+
+    /// Converts a metric point to its finest-depth voxel key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] if any coordinate is outside the addressable map.
+    #[inline]
+    pub fn coord_to_key(&self, p: Point3) -> Result<VoxelKey, KeyError> {
+        Ok(VoxelKey::new(
+            self.coord_to_axis_key(p.x)?,
+            self.coord_to_axis_key(p.y)?,
+            self.coord_to_axis_key(p.z)?,
+        ))
+    }
+
+    /// Centre coordinate of one axis key at the finest depth.
+    #[inline]
+    pub fn axis_key_to_coord(&self, key: u16) -> f64 {
+        (key as i64 - TREE_MAX_VAL as i64) as f64 * self.resolution + 0.5 * self.resolution
+    }
+
+    /// Centre of the finest-depth voxel addressed by `key`.
+    #[inline]
+    pub fn key_to_coord(&self, key: VoxelKey) -> Point3 {
+        Point3::new(
+            self.axis_key_to_coord(key.x),
+            self.axis_key_to_coord(key.y),
+            self.axis_key_to_coord(key.z),
+        )
+    }
+
+    /// Centre of the node at `depth` that contains `key`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > TREE_DEPTH`.
+    pub fn key_to_coord_at_depth(&self, key: VoxelKey, depth: u8) -> Point3 {
+        assert!(depth <= TREE_DEPTH, "depth {depth} exceeds {TREE_DEPTH}");
+        let cell = 1u32 << (TREE_DEPTH - depth);
+        let start = key.at_depth(depth);
+        let axis = |k: u16| {
+            (k as i64 - TREE_MAX_VAL as i64) as f64 * self.resolution
+                + 0.5 * cell as f64 * self.resolution
+        };
+        Point3::new(axis(start.x), axis(start.y), axis(start.z))
+    }
+
+    /// Half the metric extent addressable along one axis.
+    ///
+    /// Coordinates within `(-map_half_extent, map_half_extent)` convert
+    /// without error.
+    #[inline]
+    pub fn map_half_extent(&self) -> f64 {
+        TREE_MAX_VAL as f64 * self.resolution
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv() -> KeyConverter {
+        KeyConverter::new(0.2).unwrap()
+    }
+
+    #[test]
+    fn resolution_must_be_positive_finite() {
+        assert!(KeyConverter::new(0.0).is_err());
+        assert!(KeyConverter::new(-0.1).is_err());
+        assert!(KeyConverter::new(f64::NAN).is_err());
+        assert!(KeyConverter::new(f64::INFINITY).is_err());
+        assert!(KeyConverter::new(0.05).is_ok());
+    }
+
+    #[test]
+    fn origin_maps_to_tree_max_val() {
+        let k = conv().coord_to_key(Point3::ZERO).unwrap();
+        assert_eq!(k, VoxelKey::ORIGIN);
+    }
+
+    #[test]
+    fn negative_coords_map_below_origin() {
+        let k = conv().coord_to_key(Point3::new(-0.1, -0.3, 0.1)).unwrap();
+        assert_eq!(k.x, TREE_MAX_VAL as u16 - 1);
+        assert_eq!(k.y, TREE_MAX_VAL as u16 - 2);
+        assert_eq!(k.z, TREE_MAX_VAL as u16);
+    }
+
+    #[test]
+    fn out_of_range_is_an_error() {
+        let c = conv();
+        let limit = c.map_half_extent();
+        assert!(c.coord_to_key(Point3::new(limit + 1.0, 0.0, 0.0)).is_err());
+        assert!(c.coord_to_key(Point3::new(0.0, -limit - 1.0, 0.0)).is_err());
+        assert!(c.coord_to_key(Point3::new(0.0, 0.0, f64::NAN)).is_err());
+    }
+
+    #[test]
+    fn key_to_coord_is_voxel_center() {
+        let c = conv();
+        let k = c.coord_to_key(Point3::new(1.0, 1.0, 1.0)).unwrap();
+        let p = c.key_to_coord(k);
+        assert!((p.x - 1.1).abs() < 1e-9, "center {p}");
+    }
+
+    #[test]
+    fn node_size_doubles_each_level_up() {
+        let c = conv();
+        assert!((c.node_size(TREE_DEPTH) - 0.2).abs() < 1e-12);
+        assert!((c.node_size(TREE_DEPTH - 1) - 0.4).abs() < 1e-12);
+        assert!((c.node_size(0) - 0.2 * 65536.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn child_index_spells_root_path() {
+        // Key with all-ones bits descends through child 7 at every level.
+        let k = VoxelKey::new(u16::MAX, u16::MAX, u16::MAX);
+        for d in 0..TREE_DEPTH {
+            assert_eq!(k.child_index_at(d).index(), 7);
+        }
+        // Key zero descends through child 0 at every level.
+        let k = VoxelKey::new(0, 0, 0);
+        for d in 0..TREE_DEPTH {
+            assert_eq!(k.child_index_at(d).index(), 0);
+        }
+    }
+
+    #[test]
+    fn first_level_branch_uses_msb() {
+        // Positive x half-space has x bit 15 set.
+        let k = conv().coord_to_key(Point3::new(1.0, -1.0, -1.0)).unwrap();
+        assert_eq!(k.first_level_branch().index(), 0b001);
+        let k = conv().coord_to_key(Point3::new(-1.0, 1.0, 1.0)).unwrap();
+        assert_eq!(k.first_level_branch().index(), 0b110);
+    }
+
+    #[test]
+    fn at_depth_clears_low_bits() {
+        let k = VoxelKey::new(0b1010_1010_1010_1010, 0xFFFF, 0x0001);
+        let a = k.at_depth(8);
+        assert_eq!(a.x, 0b1010_1010_0000_0000);
+        assert_eq!(a.y, 0xFF00);
+        assert_eq!(a.z, 0x0000);
+        assert_eq!(k.at_depth(TREE_DEPTH), k);
+    }
+
+    #[test]
+    fn path_from_root_has_tree_depth_elements() {
+        let k = VoxelKey::ORIGIN;
+        let path: Vec<_> = k.path_from_root().collect();
+        assert_eq!(path.len(), TREE_DEPTH as usize);
+        // Origin key = 0x8000 per axis: first step child 7, then child 0.
+        assert_eq!(path[0].index(), 7);
+        assert!(path[1..].iter().all(|c| c.index() == 0));
+    }
+
+    #[test]
+    fn child_index_bits() {
+        let c = ChildIndex::new(0b101);
+        assert!(c.x_bit());
+        assert!(!c.y_bit());
+        assert!(c.z_bit());
+        assert_eq!(ChildIndex::all().count(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "child index out of range")]
+    fn child_index_range_checked() {
+        let _ = ChildIndex::new(8);
+    }
+
+    #[test]
+    fn manhattan_distance_counts_voxels() {
+        let a = VoxelKey::new(10, 10, 10);
+        let b = VoxelKey::new(12, 9, 10);
+        assert_eq!(a.manhattan_distance(b), 3);
+        assert_eq!(b.manhattan_distance(a), 3);
+    }
+
+    proptest! {
+        #[test]
+        fn coord_key_roundtrip_within_half_voxel(
+            x in -1000.0f64..1000.0,
+            y in -1000.0f64..1000.0,
+            z in -1000.0f64..1000.0,
+        ) {
+            let c = conv();
+            let p = Point3::new(x, y, z);
+            let k = c.coord_to_key(p).unwrap();
+            let q = c.key_to_coord(k);
+            // The reconstructed centre is within half a voxel of the input.
+            prop_assert!((q.x - x).abs() <= 0.1 + 1e-9);
+            prop_assert!((q.y - y).abs() <= 0.1 + 1e-9);
+            prop_assert!((q.z - z).abs() <= 0.1 + 1e-9);
+            // And converting the centre back yields the same key.
+            prop_assert_eq!(c.coord_to_key(q).unwrap(), k);
+        }
+
+        #[test]
+        fn path_bits_reconstruct_key(x in any::<u16>(), y in any::<u16>(), z in any::<u16>()) {
+            let k = VoxelKey::new(x, y, z);
+            let (mut rx, mut ry, mut rz) = (0u16, 0u16, 0u16);
+            for (d, c) in k.path_from_root().enumerate() {
+                let b = 15 - d;
+                rx |= (c.x_bit() as u16) << b;
+                ry |= (c.y_bit() as u16) << b;
+                rz |= (c.z_bit() as u16) << b;
+            }
+            prop_assert_eq!(VoxelKey::new(rx, ry, rz), k);
+        }
+
+        #[test]
+        fn at_depth_is_monotone_prefix(x in any::<u16>(), y in any::<u16>(), z in any::<u16>(), d in 0u8..=16) {
+            let k = VoxelKey::new(x, y, z);
+            let a = k.at_depth(d);
+            // Coarser keys are prefixes: re-coarsening is idempotent.
+            prop_assert_eq!(a.at_depth(d), a);
+            // The coarse key is never larger than the fine key.
+            prop_assert!(a.x <= k.x && a.y <= k.y && a.z <= k.z);
+        }
+
+        #[test]
+        fn key_to_coord_at_depth_contains_fine_center(
+            x in any::<u16>(), y in any::<u16>(), z in any::<u16>(), d in 0u8..=16,
+        ) {
+            let c = conv();
+            let k = VoxelKey::new(x, y, z);
+            let fine = c.key_to_coord(k);
+            let coarse = c.key_to_coord_at_depth(k, d);
+            let half = c.node_size(d) / 2.0;
+            prop_assert!((fine.x - coarse.x).abs() <= half);
+            prop_assert!((fine.y - coarse.y).abs() <= half);
+            prop_assert!((fine.z - coarse.z).abs() <= half);
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! Geometric and numeric primitives shared by every crate in the OMU
+//! reproduction.
+//!
+//! This crate mirrors the foundation layer of the OctoMap C++ library
+//! (Hornung et al., 2013) that the OMU accelerator paper (Jia et al.,
+//! DATE 2022) builds on:
+//!
+//! - [`Point3`] — 3D points/vectors in metres.
+//! - [`VoxelKey`] — the 16-bit-per-axis discrete voxel addresses used by a
+//!   depth-16 octree, plus coordinate conversions ([`KeyConverter`]).
+//! - [`LogOdds`] helpers and [`OccupancyParams`] — the probabilistic sensor
+//!   model (hit/miss log-odds, clamping, occupancy thresholds).
+//! - [`FixedLogOdds`] — the 16-bit fixed-point log-odds representation used
+//!   by the accelerator's 64-bit node entries (`prob[15:0]` in Fig. 5 of the
+//!   paper).
+//! - [`PointCloud`] / [`Scan`] — sensor data containers.
+//! - [`Aabb`] — axis-aligned bounding boxes.
+//!
+//! # Examples
+//!
+//! ```
+//! use omu_geometry::{KeyConverter, Point3};
+//!
+//! let conv = KeyConverter::new(0.2).unwrap(); // 0.2 m voxels
+//! let key = conv.coord_to_key(Point3::new(1.0, -2.0, 0.5)).unwrap();
+//! let center = conv.key_to_coord(key);
+//! assert!((center.x - 1.1).abs() < 1e-9);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod aabb;
+mod error;
+mod fixed;
+mod key;
+mod logodds;
+mod point;
+mod pointcloud;
+
+pub use aabb::Aabb;
+pub use error::{KeyError, ResolutionError};
+pub use fixed::FixedLogOdds;
+pub use key::{ChildIndex, KeyConverter, VoxelKey, TREE_DEPTH, TREE_MAX_VAL};
+pub use logodds::{
+    logodds_to_prob, prob_to_logodds, LogOdds, Occupancy, OccupancyParams, ResolvedParams,
+};
+pub use point::Point3;
+pub use pointcloud::{PointCloud, Scan};

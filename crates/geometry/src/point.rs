@@ -1,0 +1,287 @@
+//! 3D points and vectors in metres.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Index, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A 3D point (or vector) in metres.
+///
+/// Used both for sensor origins/endpoints and for directions; the semantic
+/// distinction is carried by context, matching OctoMap's `point3d`.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::Point3;
+///
+/// let a = Point3::new(1.0, 2.0, 3.0);
+/// let b = Point3::new(0.5, 0.5, 0.5);
+/// assert_eq!(a + b, Point3::new(1.5, 2.5, 3.5));
+/// assert!((a.norm() - 14.0_f64.sqrt()).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point3 {
+    /// X coordinate in metres.
+    pub x: f64,
+    /// Y coordinate in metres.
+    pub y: f64,
+    /// Z coordinate in metres.
+    pub z: f64,
+}
+
+impl Point3 {
+    /// The origin `(0, 0, 0)`.
+    pub const ZERO: Point3 = Point3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a point from its three coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Point3 { x, y, z }
+    }
+
+    /// Creates a point with all coordinates equal to `v`.
+    #[inline]
+    pub const fn splat(v: f64) -> Self {
+        Point3 { x: v, y: v, z: v }
+    }
+
+    /// Euclidean norm (length as a vector).
+    #[inline]
+    pub fn norm(&self) -> f64 {
+        self.norm_sq().sqrt()
+    }
+
+    /// Squared Euclidean norm; cheaper than [`Point3::norm`] for comparisons.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y + self.z * self.z
+    }
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn distance(&self, other: Point3) -> f64 {
+        (*self - other).norm()
+    }
+
+    /// Dot product with `other`.
+    #[inline]
+    pub fn dot(&self, other: Point3) -> f64 {
+        self.x * other.x + self.y * other.y + self.z * other.z
+    }
+
+    /// Cross product with `other`.
+    #[inline]
+    pub fn cross(&self, other: Point3) -> Point3 {
+        Point3::new(
+            self.y * other.z - self.z * other.y,
+            self.z * other.x - self.x * other.z,
+            self.x * other.y - self.y * other.x,
+        )
+    }
+
+    /// Returns the vector scaled to unit length.
+    ///
+    /// Returns `None` for the zero vector (no direction).
+    #[inline]
+    pub fn normalized(&self) -> Option<Point3> {
+        let n = self.norm();
+        if n == 0.0 {
+            None
+        } else {
+            Some(*self / n)
+        }
+    }
+
+    /// Component-wise minimum.
+    #[inline]
+    pub fn min(&self, other: Point3) -> Point3 {
+        Point3::new(self.x.min(other.x), self.y.min(other.y), self.z.min(other.z))
+    }
+
+    /// Component-wise maximum.
+    #[inline]
+    pub fn max(&self, other: Point3) -> Point3 {
+        Point3::new(self.x.max(other.x), self.y.max(other.y), self.z.max(other.z))
+    }
+
+    /// Linear interpolation: `self + t * (other - self)`.
+    #[inline]
+    pub fn lerp(&self, other: Point3, t: f64) -> Point3 {
+        *self + (other - *self) * t
+    }
+
+    /// True when every coordinate is finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl fmt::Display for Point3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+impl From<[f64; 3]> for Point3 {
+    fn from(a: [f64; 3]) -> Self {
+        Point3::new(a[0], a[1], a[2])
+    }
+}
+
+impl From<Point3> for [f64; 3] {
+    fn from(p: Point3) -> Self {
+        [p.x, p.y, p.z]
+    }
+}
+
+impl Index<usize> for Point3 {
+    type Output = f64;
+
+    /// Access coordinates by axis index (0 = x, 1 = y, 2 = z).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i > 2`.
+    fn index(&self, i: usize) -> &f64 {
+        match i {
+            0 => &self.x,
+            1 => &self.y,
+            2 => &self.z,
+            _ => panic!("Point3 axis index out of range: {i}"),
+        }
+    }
+}
+
+impl Add for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn add(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Point3 {
+    #[inline]
+    fn add_assign(&mut self, rhs: Point3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn sub(self, rhs: Point3) -> Point3 {
+        Point3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Point3 {
+    #[inline]
+    fn sub_assign(&mut self, rhs: Point3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn mul(self, s: f64) -> Point3 {
+        Point3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn div(self, s: f64) -> Point3 {
+        Point3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Point3 {
+    type Output = Point3;
+    #[inline]
+    fn neg(self) -> Point3 {
+        Point3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_behaves_like_vectors() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        let b = Point3::new(-1.0, 0.5, 2.0);
+        assert_eq!(a + b, Point3::new(0.0, 2.5, 5.0));
+        assert_eq!(a - b, Point3::new(2.0, 1.5, 1.0));
+        assert_eq!(a * 2.0, Point3::new(2.0, 4.0, 6.0));
+        assert_eq!(a / 2.0, Point3::new(0.5, 1.0, 1.5));
+        assert_eq!(-a, Point3::new(-1.0, -2.0, -3.0));
+    }
+
+    #[test]
+    fn norm_and_distance() {
+        let a = Point3::new(3.0, 4.0, 0.0);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.norm_sq(), 25.0);
+        assert_eq!(a.distance(Point3::ZERO), 5.0);
+    }
+
+    #[test]
+    fn dot_and_cross_products() {
+        let x = Point3::new(1.0, 0.0, 0.0);
+        let y = Point3::new(0.0, 1.0, 0.0);
+        assert_eq!(x.dot(y), 0.0);
+        assert_eq!(x.cross(y), Point3::new(0.0, 0.0, 1.0));
+        assert_eq!(y.cross(x), Point3::new(0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn normalized_unit_length() {
+        let v = Point3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-12);
+        assert!(Point3::ZERO.normalized().is_none());
+    }
+
+    #[test]
+    fn min_max_lerp() {
+        let a = Point3::new(1.0, 5.0, -2.0);
+        let b = Point3::new(2.0, 0.0, -1.0);
+        assert_eq!(a.min(b), Point3::new(1.0, 0.0, -2.0));
+        assert_eq!(a.max(b), Point3::new(2.0, 5.0, -1.0));
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+    }
+
+    #[test]
+    fn index_by_axis() {
+        let a = Point3::new(1.0, 2.0, 3.0);
+        assert_eq!(a[0], 1.0);
+        assert_eq!(a[1], 2.0);
+        assert_eq!(a[2], 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "axis index out of range")]
+    fn index_out_of_range_panics() {
+        let _ = Point3::ZERO[3];
+    }
+
+    #[test]
+    fn conversions_roundtrip() {
+        let a = Point3::from([1.0, 2.0, 3.0]);
+        let arr: [f64; 3] = a.into();
+        assert_eq!(arr, [1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn finite_detection() {
+        assert!(Point3::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point3::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!Point3::new(0.0, f64::INFINITY, 0.0).is_finite());
+    }
+}

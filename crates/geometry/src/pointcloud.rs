@@ -1,0 +1,198 @@
+//! Sensor data containers: point clouds and scans.
+
+use serde::{Deserialize, Serialize};
+
+use crate::aabb::Aabb;
+use crate::point::Point3;
+
+/// A set of 3D points, typically the endpoints measured by one sensor
+/// sweep.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{Point3, PointCloud};
+///
+/// let cloud: PointCloud = [Point3::new(1.0, 0.0, 0.0)].into_iter().collect();
+/// assert_eq!(cloud.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PointCloud {
+    points: Vec<Point3>,
+}
+
+impl PointCloud {
+    /// Creates an empty point cloud.
+    pub fn new() -> Self {
+        PointCloud { points: Vec::new() }
+    }
+
+    /// Creates an empty point cloud with pre-allocated capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PointCloud { points: Vec::with_capacity(capacity) }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the cloud holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Appends one point.
+    pub fn push(&mut self, p: Point3) {
+        self.points.push(p);
+    }
+
+    /// The points as a slice.
+    pub fn points(&self) -> &[Point3] {
+        &self.points
+    }
+
+    /// Iterates over the points.
+    pub fn iter(&self) -> std::slice::Iter<'_, Point3> {
+        self.points.iter()
+    }
+
+    /// The bounding box of all points (empty box for an empty cloud).
+    pub fn bounding_box(&self) -> Aabb {
+        self.points.iter().fold(Aabb::empty(), |b, &p| b.union_point(p))
+    }
+}
+
+impl FromIterator<Point3> for PointCloud {
+    fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
+        PointCloud { points: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Point3> for PointCloud {
+    fn extend<I: IntoIterator<Item = Point3>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+impl From<Vec<Point3>> for PointCloud {
+    fn from(points: Vec<Point3>) -> Self {
+        PointCloud { points }
+    }
+}
+
+impl<'a> IntoIterator for &'a PointCloud {
+    type Item = &'a Point3;
+    type IntoIter = std::slice::Iter<'a, Point3>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+impl IntoIterator for PointCloud {
+    type Item = Point3;
+    type IntoIter = std::vec::IntoIter<Point3>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.into_iter()
+    }
+}
+
+/// One sensor observation: a point cloud together with the sensor origin it
+/// was taken from (both in the world frame).
+///
+/// This is the unit of work for map integration — OctoMap's
+/// `insertPointCloud(cloud, origin)` and the OMU accelerator's per-frame
+/// DMA transfer both consume scans.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Scan {
+    /// Sensor origin in the world frame.
+    pub origin: Point3,
+    /// Measured endpoints in the world frame.
+    pub cloud: PointCloud,
+}
+
+impl Scan {
+    /// Creates a scan from an origin and its measured endpoints.
+    pub fn new(origin: Point3, cloud: PointCloud) -> Self {
+        Scan { origin, cloud }
+    }
+
+    /// Number of points in the scan.
+    pub fn len(&self) -> usize {
+        self.cloud.len()
+    }
+
+    /// True when the scan holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.cloud.is_empty()
+    }
+
+    /// Longest measured ray in metres (0 for an empty scan).
+    pub fn max_ray_length(&self) -> f64 {
+        self.cloud
+            .iter()
+            .map(|p| p.distance(self.origin))
+            .fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collect_and_extend() {
+        let mut cloud: PointCloud = (0..5)
+            .map(|i| Point3::new(i as f64, 0.0, 0.0))
+            .collect();
+        assert_eq!(cloud.len(), 5);
+        cloud.extend([Point3::splat(1.0)]);
+        assert_eq!(cloud.len(), 6);
+        assert!(!cloud.is_empty());
+    }
+
+    #[test]
+    fn empty_cloud() {
+        let c = PointCloud::new();
+        assert!(c.is_empty());
+        assert_eq!(c.len(), 0);
+        assert!(c.bounding_box().is_empty());
+    }
+
+    #[test]
+    fn bounding_box_covers_points() {
+        let c: PointCloud = [
+            Point3::new(-1.0, 0.0, 2.0),
+            Point3::new(3.0, -2.0, 0.0),
+        ]
+        .into_iter()
+        .collect();
+        let b = c.bounding_box();
+        assert_eq!(b.min(), Point3::new(-1.0, -2.0, 0.0));
+        assert_eq!(b.max(), Point3::new(3.0, 0.0, 2.0));
+    }
+
+    #[test]
+    fn iteration_both_ways() {
+        let c: PointCloud = [Point3::ZERO, Point3::splat(1.0)].into_iter().collect();
+        assert_eq!(c.iter().count(), 2);
+        assert_eq!((&c).into_iter().count(), 2);
+        assert_eq!(c.clone().into_iter().count(), 2);
+    }
+
+    #[test]
+    fn scan_max_ray_length() {
+        let scan = Scan::new(
+            Point3::ZERO,
+            [Point3::new(3.0, 4.0, 0.0), Point3::new(1.0, 0.0, 0.0)]
+                .into_iter()
+                .collect(),
+        );
+        assert_eq!(scan.max_ray_length(), 5.0);
+        assert_eq!(scan.len(), 2);
+        assert!(Scan::default().is_empty());
+        assert_eq!(Scan::default().max_ray_length(), 0.0);
+    }
+}

@@ -1,0 +1,185 @@
+//! Index-based arenas with free lists for nodes and child blocks.
+//!
+//! Freed slots are recycled (LIFO) — the software analogue of the OMU prune
+//! address manager's stack reuse, and the reason long mapping runs do not
+//! grow memory monotonically even though pruning constantly deletes and
+//! re-creates nodes.
+
+use crate::node::{ChildBlock, Node, NIL};
+
+/// Arena holding all nodes and child blocks of one octree.
+#[derive(Debug, Clone)]
+pub(crate) struct Arena<V> {
+    nodes: Vec<Node<V>>,
+    node_free: Vec<u32>,
+    blocks: Vec<ChildBlock>,
+    block_free: Vec<u32>,
+}
+
+impl<V: Copy> Arena<V> {
+    pub fn new() -> Self {
+        Arena {
+            nodes: Vec::new(),
+            node_free: Vec::new(),
+            blocks: Vec::new(),
+            block_free: Vec::new(),
+        }
+    }
+
+    /// Allocates a node, reusing a freed slot when available.
+    pub fn alloc_node(&mut self, value: V) -> u32 {
+        if let Some(idx) = self.node_free.pop() {
+            self.nodes[idx as usize] = Node::leaf(value);
+            idx
+        } else {
+            let idx = self.nodes.len() as u32;
+            assert!(idx != NIL, "node arena exhausted");
+            self.nodes.push(Node::leaf(value));
+            idx
+        }
+    }
+
+    /// Returns a node slot to the free list.
+    ///
+    /// The caller must have already freed or moved the node's child block.
+    pub fn free_node(&mut self, idx: u32) {
+        debug_assert!(self.nodes[idx as usize].is_leaf(), "freeing node with children");
+        self.node_free.push(idx);
+    }
+
+    /// Allocates an empty child block.
+    pub fn alloc_block(&mut self) -> u32 {
+        if let Some(idx) = self.block_free.pop() {
+            self.blocks[idx as usize] = ChildBlock::EMPTY;
+            idx
+        } else {
+            let idx = self.blocks.len() as u32;
+            assert!(idx != NIL, "block arena exhausted");
+            self.blocks.push(ChildBlock::EMPTY);
+            idx
+        }
+    }
+
+    /// Returns a child block to the free list.
+    pub fn free_block(&mut self, idx: u32) {
+        self.block_free.push(idx);
+    }
+
+    #[inline]
+    pub fn node(&self, idx: u32) -> &Node<V> {
+        &self.nodes[idx as usize]
+    }
+
+    #[inline]
+    pub fn node_mut(&mut self, idx: u32) -> &mut Node<V> {
+        &mut self.nodes[idx as usize]
+    }
+
+    #[inline]
+    pub fn block(&self, idx: u32) -> &ChildBlock {
+        &self.blocks[idx as usize]
+    }
+
+    #[inline]
+    pub fn block_mut(&mut self, idx: u32) -> &mut ChildBlock {
+        &mut self.blocks[idx as usize]
+    }
+
+    /// Child index of `node` at `pos`, or [`NIL`].
+    #[inline]
+    pub fn child_of(&self, node: u32, pos: usize) -> u32 {
+        let b = self.nodes[node as usize].block;
+        if b == NIL {
+            NIL
+        } else {
+            self.blocks[b as usize].slots[pos]
+        }
+    }
+
+    /// Live node count (allocated minus freed).
+    pub fn live_nodes(&self) -> usize {
+        self.nodes.len() - self.node_free.len()
+    }
+
+    /// Live child-block count.
+    pub fn live_blocks(&self) -> usize {
+        self.blocks.len() - self.block_free.len()
+    }
+
+    /// High-water slot counts `(nodes, blocks)` ever allocated.
+    pub fn high_water(&self) -> (usize, usize) {
+        (self.nodes.len(), self.blocks.len())
+    }
+
+    /// Heap bytes used by the arena backing storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.nodes.capacity() * std::mem::size_of::<Node<V>>()
+            + self.node_free.capacity() * 4
+            + self.blocks.capacity() * std::mem::size_of::<ChildBlock>()
+            + self.block_free.capacity() * 4
+    }
+
+    /// Removes every node and block, keeping allocations.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.node_free.clear();
+        self.blocks.clear();
+        self.block_free.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_reuses_slots() {
+        let mut a: Arena<f32> = Arena::new();
+        let n0 = a.alloc_node(0.0);
+        let n1 = a.alloc_node(1.0);
+        assert_eq!(a.live_nodes(), 2);
+        a.free_node(n0);
+        assert_eq!(a.live_nodes(), 1);
+        let n2 = a.alloc_node(2.0);
+        assert_eq!(n2, n0, "freed slot is recycled LIFO");
+        assert_eq!(a.node(n2).value, 2.0);
+        assert_eq!(a.node(n1).value, 1.0);
+        assert_eq!(a.high_water().0, 2, "no growth past high water");
+    }
+
+    #[test]
+    fn blocks_alloc_empty() {
+        let mut a: Arena<f32> = Arena::new();
+        let b = a.alloc_block();
+        assert!(a.block(b).is_empty());
+        a.block_mut(b).slots[2] = 5;
+        a.free_block(b);
+        let b2 = a.alloc_block();
+        assert_eq!(b2, b);
+        assert!(a.block(b2).is_empty(), "recycled blocks are reset");
+    }
+
+    #[test]
+    fn child_of_resolves_through_block() {
+        let mut a: Arena<f32> = Arena::new();
+        let parent = a.alloc_node(0.0);
+        assert_eq!(a.child_of(parent, 3), NIL);
+        let b = a.alloc_block();
+        a.node_mut(parent).block = b;
+        let child = a.alloc_node(1.5);
+        a.block_mut(b).slots[3] = child;
+        assert_eq!(a.child_of(parent, 3), child);
+        assert_eq!(a.child_of(parent, 4), NIL);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut a: Arena<f32> = Arena::new();
+        let n = a.alloc_node(0.0);
+        a.free_node(n);
+        a.alloc_block();
+        a.clear();
+        assert_eq!(a.live_nodes(), 0);
+        assert_eq!(a.live_blocks(), 0);
+    }
+}

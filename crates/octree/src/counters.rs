@@ -1,0 +1,137 @@
+//! Operation counters feeding the CPU timing models.
+//!
+//! Each counter corresponds to one of the runtime-breakdown categories in
+//! Fig. 3 / Fig. 10 of the OMU paper:
+//!
+//! | Paper category      | Counters |
+//! | ------------------- | -------- |
+//! | Ray casting         | `dda_steps` |
+//! | Update leaf         | `leaf_updates`, `traverse_steps`, `saturation_probes` |
+//! | Update parents      | `parent_updates`, `parent_child_reads` |
+//! | Node prune / expand | `prune_checks`, `prune_child_reads`, `prunes`, `expands` |
+
+use serde::{Deserialize, Serialize};
+
+/// Cumulative operation counts for one octree (or one accelerator run).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OpCounters {
+    /// DDA steps performed during ray casting.
+    pub dda_steps: u64,
+    /// Leaf log-odds additions (one per voxel update reaching depth 16).
+    pub leaf_updates: u64,
+    /// Levels descended while locating leaves (root → leaf traversal steps).
+    pub traverse_steps: u64,
+    /// Saturation pre-checks (OctoMap's early-abort `search` before an
+    /// update), counted as full traversals.
+    pub saturation_probes: u64,
+    /// Voxel updates skipped because the covering leaf was already
+    /// saturated in the update direction.
+    pub saturated_skips: u64,
+    /// Inner-node occupancy recomputations (max over children).
+    pub parent_updates: u64,
+    /// Child values read during parent updates.
+    pub parent_child_reads: u64,
+    /// Prune attempts (collapsibility checks on the way up).
+    pub prune_checks: u64,
+    /// Child values read during prune checks.
+    pub prune_child_reads: u64,
+    /// Successful prunes (8 children deleted, parent became a leaf).
+    pub prunes: u64,
+    /// Node expansions (pruned leaf re-split into 8 children).
+    pub expands: u64,
+    /// Nodes newly created during descent.
+    pub node_creations: u64,
+}
+
+impl OpCounters {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = OpCounters::default();
+    }
+
+    /// Adds another counter record to this one.
+    pub fn merge(&mut self, other: &OpCounters) {
+        self.dda_steps += other.dda_steps;
+        self.leaf_updates += other.leaf_updates;
+        self.traverse_steps += other.traverse_steps;
+        self.saturation_probes += other.saturation_probes;
+        self.saturated_skips += other.saturated_skips;
+        self.parent_updates += other.parent_updates;
+        self.parent_child_reads += other.parent_child_reads;
+        self.prune_checks += other.prune_checks;
+        self.prune_child_reads += other.prune_child_reads;
+        self.prunes += other.prunes;
+        self.expands += other.expands;
+        self.node_creations += other.node_creations;
+    }
+
+    /// Difference `self - earlier`, for windowed measurements.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not component-wise ≤ `self`.
+    #[must_use]
+    pub fn since(&self, earlier: &OpCounters) -> OpCounters {
+        let d = |a: u64, b: u64| {
+            debug_assert!(a >= b, "counter went backwards");
+            a - b
+        };
+        OpCounters {
+            dda_steps: d(self.dda_steps, earlier.dda_steps),
+            leaf_updates: d(self.leaf_updates, earlier.leaf_updates),
+            traverse_steps: d(self.traverse_steps, earlier.traverse_steps),
+            saturation_probes: d(self.saturation_probes, earlier.saturation_probes),
+            saturated_skips: d(self.saturated_skips, earlier.saturated_skips),
+            parent_updates: d(self.parent_updates, earlier.parent_updates),
+            parent_child_reads: d(self.parent_child_reads, earlier.parent_child_reads),
+            prune_checks: d(self.prune_checks, earlier.prune_checks),
+            prune_child_reads: d(self.prune_child_reads, earlier.prune_child_reads),
+            prunes: d(self.prunes, earlier.prunes),
+            expands: d(self.expands, earlier.expands),
+            node_creations: d(self.node_creations, earlier.node_creations),
+        }
+    }
+
+    /// Total voxel updates that reached the tree (leaf updates plus
+    /// saturated skips) — comparable to the paper's "Voxel Update" counts.
+    pub fn voxel_updates(&self) -> u64 {
+        self.leaf_updates + self.saturated_skips
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_componentwise() {
+        let mut a = OpCounters { dda_steps: 1, prunes: 2, ..Default::default() };
+        let b = OpCounters { dda_steps: 10, expands: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.dda_steps, 11);
+        assert_eq!(a.prunes, 2);
+        assert_eq!(a.expands, 5);
+    }
+
+    #[test]
+    fn since_subtracts() {
+        let early = OpCounters { leaf_updates: 5, ..Default::default() };
+        let late = OpCounters { leaf_updates: 12, prunes: 3, ..Default::default() };
+        let d = late.since(&early);
+        assert_eq!(d.leaf_updates, 7);
+        assert_eq!(d.prunes, 3);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let mut c = OpCounters { parent_updates: 9, ..Default::default() };
+        c.reset();
+        assert_eq!(c, OpCounters::default());
+    }
+
+    #[test]
+    fn voxel_updates_includes_skips() {
+        let c = OpCounters { leaf_updates: 7, saturated_skips: 3, ..Default::default() };
+        assert_eq!(c.voxel_updates(), 10);
+    }
+}

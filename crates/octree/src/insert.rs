@@ -1,0 +1,148 @@
+//! Point-cloud insertion: OctoMap's `insertPointCloud` on top of the
+//! ray-casting integrator.
+
+use omu_geometry::{KeyError, LogOdds, Scan};
+use omu_raycast::{IntegrationStats, ScanIntegrator};
+
+use crate::tree::OccupancyOctree;
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Integrates a full scan: every ray marks the cells it traverses as
+    /// free and its endpoint as occupied, honouring the configured
+    /// [`IntegrationMode`](omu_raycast::IntegrationMode) and maximum range.
+    ///
+    /// Returns the integration statistics for this scan; DDA steps are also
+    /// accumulated into the tree's [`OpCounters`](crate::OpCounters).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the scan origin is outside the addressable
+    /// map. Out-of-map endpoints are skipped and counted in the returned
+    /// statistics.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::{Occupancy, Point3, PointCloud, Scan};
+    /// use omu_octree::OctreeF32;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut tree = OctreeF32::new(0.1)?;
+    /// let scan = Scan::new(
+    ///     Point3::ZERO,
+    ///     [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+    /// );
+    /// tree.insert_scan(&scan)?;
+    /// assert_eq!(tree.occupancy_at(Point3::new(1.0, 0.0, 0.0))?, Occupancy::Occupied);
+    /// assert_eq!(tree.occupancy_at(Point3::new(0.5, 0.0, 0.0))?, Occupancy::Free);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn insert_scan(&mut self, scan: &Scan) -> Result<IntegrationStats, KeyError> {
+        // Reuse the scratch integrator's buffers when its configuration
+        // still matches; it is kept outside `self` during the closure so the
+        // tree can be mutated per update.
+        let mut integrator = match self.scratch_integrator.take() {
+            Some(i)
+                if i.mode() == self.integration_mode && i.max_range() == self.max_range =>
+            {
+                i
+            }
+            _ => ScanIntegrator::new(self.conv, self.max_range, self.integration_mode),
+        };
+
+        let result = integrator.integrate(scan, |u| {
+            self.update_key(u.key, u.hit);
+        });
+        self.scratch_integrator = Some(integrator);
+
+        let stats = result?;
+        self.counters.dda_steps += stats.dda_steps;
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use omu_geometry::{Occupancy, Point3, PointCloud, Scan};
+    use omu_raycast::IntegrationMode;
+
+    use crate::tree::OctreeF32;
+
+    fn scan(origin: Point3, points: &[Point3]) -> Scan {
+        Scan::new(origin, points.iter().copied().collect::<PointCloud>())
+    }
+
+    #[test]
+    fn scan_marks_free_along_ray_and_occupied_at_end() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let s = scan(Point3::ZERO, &[Point3::new(1.0, 0.0, 0.0)]);
+        let stats = t.insert_scan(&s).unwrap();
+        assert_eq!(stats.rays, 1);
+        assert_eq!(stats.occupied_updates, 1);
+        assert_eq!(t.occupancy_at(Point3::new(1.0, 0.0, 0.0)).unwrap(), Occupancy::Occupied);
+        for i in 0..10 {
+            let p = Point3::new(0.05 + 0.1 * i as f64, 0.0, 0.0);
+            assert_eq!(t.occupancy_at(p).unwrap(), Occupancy::Free, "cell {i} on ray");
+        }
+        // Beyond the endpoint stays unknown.
+        assert_eq!(t.occupancy_at(Point3::new(1.5, 0.0, 0.0)).unwrap(), Occupancy::Unknown);
+        assert_eq!(t.counters().dda_steps, stats.dda_steps);
+    }
+
+    #[test]
+    fn dedup_and_raywise_agree_on_classification_for_disjoint_rays() {
+        let points = [
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(0.0, 1.0, 0.0),
+            Point3::new(0.0, 0.0, 1.0),
+        ];
+        let mut a = OctreeF32::new(0.1).unwrap();
+        a.set_integration_mode(IntegrationMode::Raywise);
+        a.insert_scan(&scan(Point3::ZERO, &points)).unwrap();
+
+        let mut b = OctreeF32::new(0.1).unwrap();
+        b.set_integration_mode(IntegrationMode::DedupPerScan);
+        b.insert_scan(&scan(Point3::ZERO, &points)).unwrap();
+
+        for &p in &points {
+            assert_eq!(a.occupancy_at(p).unwrap(), Occupancy::Occupied);
+            assert_eq!(b.occupancy_at(p).unwrap(), Occupancy::Occupied);
+        }
+    }
+
+    #[test]
+    fn max_range_limits_observed_space() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.set_max_range(Some(1.0));
+        let s = scan(Point3::ZERO, &[Point3::new(3.0, 0.0, 0.0)]);
+        let stats = t.insert_scan(&s).unwrap();
+        assert_eq!(stats.truncated_rays, 1);
+        // The endpoint is beyond range: not occupied, not even observed.
+        assert_eq!(t.occupancy_at(Point3::new(3.0, 0.0, 0.0)).unwrap(), Occupancy::Unknown);
+        // Cells within range are free.
+        assert_eq!(t.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(), Occupancy::Free);
+    }
+
+    #[test]
+    fn integrator_scratch_survives_reconfiguration() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let s = scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)]);
+        t.insert_scan(&s).unwrap();
+        t.set_max_range(Some(2.0));
+        t.insert_scan(&s).unwrap();
+        t.set_integration_mode(IntegrationMode::DedupPerScan);
+        t.insert_scan(&s).unwrap();
+        assert_eq!(t.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(), Occupancy::Occupied);
+    }
+
+    #[test]
+    fn bad_origin_propagates_error() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let far = t.converter().map_half_extent() + 5.0;
+        let s = scan(Point3::new(far, 0.0, 0.0), &[Point3::ZERO]);
+        assert!(t.insert_scan(&s).is_err());
+        // The tree is still usable afterwards.
+        assert!(t.insert_scan(&scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)])).is_ok());
+    }
+}

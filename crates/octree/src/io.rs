@@ -1,0 +1,147 @@
+//! Stream and file I/O for serialized octrees.
+//!
+//! Thin wrappers over the byte format of [`OccupancyOctree::to_bytes`] /
+//! [`from_bytes`](OccupancyOctree::from_bytes) for `std::io` readers,
+//! writers and paths — the map-persistence layer a robot stack needs
+//! (save on shutdown, reload on boot, ship over a socket).
+
+use std::fs;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use omu_geometry::LogOdds;
+
+use crate::serialize::DeserializeError;
+use crate::tree::OccupancyOctree;
+
+/// An error from reading a serialized octree: I/O failure or malformed
+/// content.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The underlying reader failed.
+    Io(io::Error),
+    /// The bytes did not decode to a valid octree.
+    Decode(DeserializeError),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "i/o error reading octree: {e}"),
+            ReadError::Decode(e) => write!(f, "invalid octree data: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ReadError::Io(e) => Some(e),
+            ReadError::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+impl From<DeserializeError> for ReadError {
+    fn from(e: DeserializeError) -> Self {
+        ReadError::Decode(e)
+    }
+}
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Writes the serialized tree to `writer` (which may be a `&mut`
+    /// reference, per the usual `io::Write` blanket impl).
+    ///
+    /// # Errors
+    ///
+    /// Returns any error of the underlying writer.
+    pub fn write_to<W: Write>(&self, mut writer: W) -> io::Result<()> {
+        writer.write_all(&self.to_bytes())
+    }
+
+    /// Reads a serialized tree from `reader` (consumes to EOF).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] on I/O failure or malformed content.
+    pub fn read_from<R: Read>(mut reader: R) -> Result<Self, ReadError> {
+        let mut bytes = Vec::new();
+        reader.read_to_end(&mut bytes)?;
+        Ok(Self::from_bytes(&bytes)?)
+    }
+
+    /// Saves the tree to a file, creating or truncating it.
+    ///
+    /// # Errors
+    ///
+    /// Returns any filesystem error.
+    pub fn save_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        fs::write(path, self.to_bytes())
+    }
+
+    /// Loads a tree from a file produced by [`Self::save_to_file`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ReadError`] on I/O failure or malformed content.
+    pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<Self, ReadError> {
+        Ok(Self::from_bytes(&fs::read(path)?)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeF32;
+    use omu_geometry::{Point3, PointCloud, Scan};
+
+    fn mapped_tree() -> OctreeF32 {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let cloud: PointCloud = (0..60)
+            .map(|i| {
+                let a = i as f64 * 0.105;
+                Point3::new(3.0 * a.cos(), 3.0 * a.sin(), 0.2)
+            })
+            .collect();
+        t.insert_scan(&Scan::new(Point3::ZERO, cloud)).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_through_io_cursor() {
+        let t = mapped_tree();
+        let mut buf = Vec::new();
+        t.write_to(&mut buf).unwrap();
+        let r = OctreeF32::read_from(std::io::Cursor::new(&buf)).unwrap();
+        assert_eq!(r.snapshot(), t.snapshot());
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let t = mapped_tree();
+        let path = std::env::temp_dir().join("omu_octree_io_test.omut");
+        t.save_to_file(&path).unwrap();
+        let r = OctreeF32::load_from_file(&path).unwrap();
+        assert_eq!(r.snapshot(), t.snapshot());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let e = OctreeF32::load_from_file("/definitely/not/here.omut").unwrap_err();
+        assert!(matches!(e, ReadError::Io(_)));
+        assert!(e.to_string().contains("i/o error"));
+    }
+
+    #[test]
+    fn garbage_stream_is_decode_error() {
+        let e = OctreeF32::read_from(&b"not an octree"[..]).unwrap_err();
+        assert!(matches!(e, ReadError::Decode(DeserializeError::BadMagic)));
+    }
+}

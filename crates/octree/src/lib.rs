@@ -1,0 +1,65 @@
+//! A software reimplementation of the probabilistic OctoMap occupancy
+//! octree (Hornung et al., 2013) — the CPU baseline that the OMU
+//! accelerator paper characterizes and accelerates.
+//!
+//! The tree follows OctoMap semantics exactly:
+//!
+//! - Space is discretized into voxels addressed by depth-16
+//!   [`VoxelKey`](omu_geometry::VoxelKey)s.
+//! - Each node stores an occupancy log-odds value; a measurement update is
+//!   one clamped addition (eq. 2 of the paper).
+//! - Inner nodes hold the **maximum** of their children (eq. 3), updated
+//!   eagerly on the way back up from each leaf update.
+//! - When all 8 children of a node exist, are leaves, and hold the same
+//!   value, they are **pruned** and the parent becomes a leaf; updating a
+//!   voxel inside a pruned leaf **expands** it again.
+//!
+//! The tree is generic over the log-odds representation
+//! ([`LogOdds`](omu_geometry::LogOdds)): [`OctreeF32`] is the
+//! floating-point baseline, [`OctreeFixed`] runs the identical algorithm on
+//! the accelerator's 16-bit fixed point, which is what makes bit-exact
+//! software/accelerator equivalence testable.
+//!
+//! Every operation increments [`OpCounters`]; the CPU timing models in
+//! `omu-cpumodel` convert those counts to seconds.
+//!
+//! # Examples
+//!
+//! ```
+//! use omu_geometry::{Occupancy, Point3};
+//! use omu_octree::OctreeF32;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut tree = OctreeF32::new(0.1)?;
+//! let p = Point3::new(1.0, 0.5, 0.25);
+//! tree.update_point(p, true)?;
+//! assert_eq!(tree.occupancy_at(p)?, omu_geometry::Occupancy::Occupied);
+//! assert_eq!(tree.occupancy_at(Point3::new(-1.0, 0.0, 0.0))?, Occupancy::Unknown);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod arena;
+mod counters;
+mod insert;
+mod io;
+mod iter;
+mod node;
+mod query;
+mod region;
+mod serialize;
+mod stats;
+mod tree;
+mod update;
+
+pub use counters::OpCounters;
+pub use io::ReadError;
+pub use iter::{LeafInfo, LeafIter};
+pub use query::RayCastResult;
+pub use region::LeafInBoxIter;
+pub use serialize::DeserializeError;
+pub use stats::{MemoryStats, TreeStats};
+pub use tree::{OccupancyOctree, OctreeF32, OctreeFixed};

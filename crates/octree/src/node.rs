@@ -1,0 +1,76 @@
+//! Node and child-block storage types.
+//!
+//! Nodes are stored in an index-based arena. An inner node owns a *child
+//! block* — a group of 8 child slots — referenced by index. This mirrors
+//! both OctoMap (lazy children array per inner node) and the OMU node entry
+//! (one 32-bit pointer to a row of 8 children).
+
+/// Sentinel index for "no node" / "no block".
+pub(crate) const NIL: u32 = u32::MAX;
+
+/// One octree node: a log-odds value plus an optional child block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) struct Node<V> {
+    /// Occupancy log-odds of this node (for inner nodes: max of children).
+    pub value: V,
+    /// Index of the child block in the block arena, or [`NIL`] for leaves.
+    pub block: u32,
+}
+
+impl<V> Node<V> {
+    /// Creates a childless node with the given value.
+    pub fn leaf(value: V) -> Self {
+        Node { value, block: NIL }
+    }
+
+    /// True when this node has no child block.
+    pub fn is_leaf(&self) -> bool {
+        self.block == NIL
+    }
+}
+
+/// A block of 8 child-node indices; [`NIL`] marks an absent child.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ChildBlock {
+    pub slots: [u32; 8],
+}
+
+impl ChildBlock {
+    /// A block with all children absent.
+    pub const EMPTY: ChildBlock = ChildBlock { slots: [NIL; 8] };
+
+    /// Number of present children.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn count(&self) -> usize {
+        self.slots.iter().filter(|&&s| s != NIL).count()
+    }
+
+    /// True when no child is present.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn is_empty(&self) -> bool {
+        self.slots.iter().all(|&s| s == NIL)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leaf_has_no_block() {
+        let n = Node::leaf(0.5f32);
+        assert!(n.is_leaf());
+        assert_eq!(n.value, 0.5);
+    }
+
+    #[test]
+    fn child_block_counting() {
+        let mut b = ChildBlock::EMPTY;
+        assert!(b.is_empty());
+        assert_eq!(b.count(), 0);
+        b.slots[3] = 7;
+        b.slots[0] = 1;
+        assert_eq!(b.count(), 2);
+        assert!(!b.is_empty());
+    }
+}

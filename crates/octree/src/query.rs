@@ -1,0 +1,201 @@
+//! Query-side operations: occupancy ray casting for collision probing.
+
+use omu_geometry::{KeyError, LogOdds, Occupancy, Point3, VoxelKey};
+use omu_raycast::RayWalk;
+
+use crate::tree::OccupancyOctree;
+
+/// Outcome of casting a query ray through the map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RayCastResult {
+    /// The ray reached an occupied voxel.
+    Hit {
+        /// Key of the first occupied voxel.
+        key: VoxelKey,
+        /// Centre of that voxel.
+        point: Point3,
+        /// Its log-odds occupancy value.
+        logodds: f32,
+    },
+    /// The ray travelled `max_range` (or left the map) without hitting an
+    /// occupied voxel.
+    MaxRangeReached,
+    /// The ray entered unobserved space and unknown cells were not ignored.
+    UnknownBlocked {
+        /// Key of the first unknown voxel.
+        key: VoxelKey,
+    },
+}
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Casts a query ray from `origin` along `direction`, returning the
+    /// first occupied voxel within `max_range` metres.
+    ///
+    /// With `ignore_unknown = true` unobserved voxels are treated as free
+    /// (OctoMap `castRay` semantics with `ignoreUnknownCells`); otherwise
+    /// the cast stops at the first unknown voxel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the origin is outside the map or the
+    /// direction is degenerate.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::{Point3, PointCloud, Scan};
+    /// use omu_octree::{OctreeF32, RayCastResult};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut tree = OctreeF32::new(0.1)?;
+    /// tree.insert_scan(&Scan::new(
+    ///     Point3::ZERO,
+    ///     [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+    /// ))?;
+    /// let hit = tree.cast_ray(Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 5.0, true)?;
+    /// assert!(matches!(hit, RayCastResult::Hit { .. }));
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn cast_ray(
+        &self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, KeyError> {
+        let walk = RayWalk::new(&self.conv, origin, direction, max_range)?;
+        for key in walk {
+            match self.occupancy(key) {
+                Occupancy::Occupied => {
+                    let (v, _) = self.search(key).expect("occupied voxel must exist");
+                    return Ok(RayCastResult::Hit {
+                        key,
+                        point: self.conv.key_to_coord(key),
+                        logodds: v.to_f32(),
+                    });
+                }
+                Occupancy::Free => {}
+                Occupancy::Unknown => {
+                    if !ignore_unknown {
+                        return Ok(RayCastResult::UnknownBlocked { key });
+                    }
+                }
+            }
+        }
+        Ok(RayCastResult::MaxRangeReached)
+    }
+
+    /// Convenience collision probe: does a sphere of radius `radius` at
+    /// `center` intersect any occupied voxel?
+    ///
+    /// This is the motion-planning query of the paper's introduction
+    /// (Fig. 1: "Collision Detect"). It conservatively samples the voxel
+    /// grid inside the axis-aligned bounding cube of the sphere.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the probe region leaves the addressable
+    /// map.
+    pub fn collides_sphere(&self, center: Point3, radius: f64) -> Result<bool, KeyError> {
+        let res = self.conv.resolution();
+        let r = radius.max(0.0);
+        let min = self.conv.coord_to_key(center - Point3::splat(r))?;
+        let max = self.conv.coord_to_key(center + Point3::splat(r))?;
+        for x in min.x..=max.x {
+            for y in min.y..=max.y {
+                for z in min.z..=max.z {
+                    let key = VoxelKey::new(x, y, z);
+                    if self.occupancy(key) == Occupancy::Occupied {
+                        // Check the voxel centre actually lies within the
+                        // sphere (plus half a diagonal for conservatism).
+                        let c = self.conv.key_to_coord(key);
+                        if c.distance(center) <= r + res * 0.866 {
+                            return Ok(true);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeF32;
+    use omu_geometry::{PointCloud, Scan};
+
+    fn mapped_tree() -> OctreeF32 {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        // A wall of endpoints at x = 2.0 m.
+        let mut cloud = PointCloud::new();
+        for y in -5..=5 {
+            for z in -5..=5 {
+                cloud.push(Point3::new(2.0, y as f64 * 0.1, z as f64 * 0.1));
+            }
+        }
+        t.insert_scan(&Scan::new(Point3::ZERO, cloud)).unwrap();
+        t
+    }
+
+    #[test]
+    fn cast_ray_hits_wall() {
+        let t = mapped_tree();
+        let r = t
+            .cast_ray(Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 5.0, true)
+            .unwrap();
+        match r {
+            RayCastResult::Hit { point, logodds, .. } => {
+                assert!((point.x - 2.05).abs() < 0.11, "hit near the wall: {point}");
+                assert!(logodds > 0.0);
+            }
+            other => panic!("expected a hit, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cast_ray_respects_max_range() {
+        let t = mapped_tree();
+        let r = t
+            .cast_ray(Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 1.0, true)
+            .unwrap();
+        assert_eq!(r, RayCastResult::MaxRangeReached);
+    }
+
+    #[test]
+    fn cast_ray_blocked_by_unknown() {
+        let t = mapped_tree();
+        // Looking away from the mapped cone: immediately unknown.
+        let r = t
+            .cast_ray(Point3::new(0.0, 0.0, 1.0), Point3::new(0.0, 0.0, 1.0), 5.0, false)
+            .unwrap();
+        assert!(matches!(r, RayCastResult::UnknownBlocked { .. }));
+        // Ignoring unknown lets the ray run to range.
+        let r = t
+            .cast_ray(Point3::new(0.0, 0.0, 1.0), Point3::new(0.0, 0.0, 1.0), 5.0, true)
+            .unwrap();
+        assert_eq!(r, RayCastResult::MaxRangeReached);
+    }
+
+    #[test]
+    fn cast_ray_bad_direction_errors() {
+        let t = mapped_tree();
+        assert!(t.cast_ray(Point3::ZERO, Point3::ZERO, 1.0, true).is_err());
+    }
+
+    #[test]
+    fn sphere_collision_near_wall() {
+        let t = mapped_tree();
+        assert!(t.collides_sphere(Point3::new(2.0, 0.0, 0.0), 0.2).unwrap());
+        assert!(!t.collides_sphere(Point3::new(0.5, 0.0, 0.0), 0.2).unwrap());
+    }
+
+    #[test]
+    fn sphere_probe_out_of_map_errors() {
+        let t = mapped_tree();
+        let far = t.converter().map_half_extent();
+        assert!(t.collides_sphere(Point3::new(far, 0.0, 0.0), 1.0).is_err());
+    }
+}

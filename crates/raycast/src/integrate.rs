@@ -1,0 +1,385 @@
+//! Scan integration: turning a point cloud into per-voxel hit/miss updates.
+
+use std::collections::HashSet;
+
+use omu_geometry::{KeyConverter, KeyError, Point3, Scan, VoxelKey};
+use serde::{Deserialize, Serialize};
+
+use crate::dda::compute_ray_keys;
+use crate::keyray::KeyRay;
+
+/// One voxel observation produced by scan integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct VoxelUpdate {
+    /// The observed voxel.
+    pub key: VoxelKey,
+    /// `true` for an endpoint (occupied observation), `false` for a
+    /// traversed cell (free observation).
+    pub hit: bool,
+}
+
+/// How overlapping voxels within one scan are handled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum IntegrationMode {
+    /// Every ray updates every cell it traverses; overlapping cells are
+    /// updated multiple times. This is what the OMU accelerator executes
+    /// (the paper explicitly leaves "voxel overlap search" to specialized
+    /// ray-casting hardware) and what Table II counts as *voxel updates*.
+    #[default]
+    Raywise,
+    /// OctoMap's `insertPointCloud` semantics: free and occupied cells are
+    /// deduplicated per scan with key sets, and cells observed both free and
+    /// occupied are updated as occupied only.
+    DedupPerScan,
+}
+
+/// Counters describing one integration pass.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IntegrationStats {
+    /// Rays processed (points within range, converted successfully).
+    pub rays: u64,
+    /// DDA steps performed during ray casting.
+    pub dda_steps: u64,
+    /// Free-cell updates emitted.
+    pub free_updates: u64,
+    /// Occupied-cell updates emitted.
+    pub occupied_updates: u64,
+    /// Rays truncated at the maximum range (endpoint not marked occupied).
+    pub truncated_rays: u64,
+    /// Points discarded because they fell outside the addressable map.
+    pub discarded_points: u64,
+}
+
+impl IntegrationStats {
+    /// Total voxel updates emitted (free + occupied) — the paper's
+    /// "Voxel Update" workload metric (Table II).
+    pub fn total_updates(&self) -> u64 {
+        self.free_updates + self.occupied_updates
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &IntegrationStats) {
+        self.rays += other.rays;
+        self.dda_steps += other.dda_steps;
+        self.free_updates += other.free_updates;
+        self.occupied_updates += other.occupied_updates;
+        self.truncated_rays += other.truncated_rays;
+        self.discarded_points += other.discarded_points;
+    }
+}
+
+/// Converts scans into streams of [`VoxelUpdate`]s.
+///
+/// The integrator owns its scratch buffers ([`KeyRay`], dedup sets) so that
+/// per-scan integration performs no steady-state allocation.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3, PointCloud, Scan};
+/// use omu_raycast::{IntegrationMode, ScanIntegrator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let conv = KeyConverter::new(0.1)?;
+/// let mut integrator = ScanIntegrator::new(conv, Some(5.0), IntegrationMode::Raywise);
+/// let scan = Scan::new(
+///     Point3::ZERO,
+///     [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+/// );
+/// let mut hits = 0;
+/// let stats = integrator.integrate(&scan, |u| if u.hit { hits += 1 })?;
+/// assert_eq!(hits, 1);
+/// assert_eq!(stats.free_updates, 10);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanIntegrator {
+    conv: KeyConverter,
+    max_range: Option<f64>,
+    mode: IntegrationMode,
+    keyray: KeyRay,
+    free_set: HashSet<VoxelKey>,
+    occupied_set: HashSet<VoxelKey>,
+}
+
+impl ScanIntegrator {
+    /// Creates an integrator.
+    ///
+    /// `max_range` limits the sensor range in metres: rays longer than the
+    /// limit are truncated and update only free cells up to the limit
+    /// (OctoMap `maxrange` semantics). `None` integrates rays at any length.
+    pub fn new(conv: KeyConverter, max_range: Option<f64>, mode: IntegrationMode) -> Self {
+        ScanIntegrator {
+            conv,
+            max_range,
+            mode,
+            keyray: KeyRay::new(),
+            free_set: HashSet::new(),
+            occupied_set: HashSet::new(),
+        }
+    }
+
+    /// The key converter in use.
+    pub fn converter(&self) -> &KeyConverter {
+        &self.conv
+    }
+
+    /// The integration mode in use.
+    pub fn mode(&self) -> IntegrationMode {
+        self.mode
+    }
+
+    /// The configured maximum sensor range.
+    pub fn max_range(&self) -> Option<f64> {
+        self.max_range
+    }
+
+    /// Integrates one scan, invoking `apply` for every voxel update in
+    /// order (free cells of each ray first, then its endpoint in
+    /// [`IntegrationMode::Raywise`]; all free cells then all occupied cells
+    /// in [`IntegrationMode::DedupPerScan`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] only when the *scan origin* cannot be addressed;
+    /// out-of-map endpoints are skipped and counted in
+    /// [`IntegrationStats::discarded_points`].
+    pub fn integrate<F>(&mut self, scan: &Scan, mut apply: F) -> Result<IntegrationStats, KeyError>
+    where
+        F: FnMut(VoxelUpdate),
+    {
+        // Validate the origin once up front: a bad origin poisons all rays.
+        self.conv.coord_to_key(scan.origin)?;
+
+        let mut stats = IntegrationStats::default();
+        match self.mode {
+            IntegrationMode::Raywise => self.integrate_raywise(scan, &mut stats, &mut apply),
+            IntegrationMode::DedupPerScan => self.integrate_dedup(scan, &mut stats, &mut apply),
+        }
+        Ok(stats)
+    }
+
+    /// Computes the effective endpoint of a ray under the range limit.
+    ///
+    /// Returns `(endpoint, truncated)`.
+    fn effective_endpoint(&self, origin: Point3, point: Point3) -> (Point3, bool) {
+        match self.max_range {
+            Some(r) => {
+                let v = point - origin;
+                let len = v.norm();
+                if len > r && len > 0.0 {
+                    (origin + v * (r / len), true)
+                } else {
+                    (point, false)
+                }
+            }
+            None => (point, false),
+        }
+    }
+
+    fn integrate_raywise<F>(&mut self, scan: &Scan, stats: &mut IntegrationStats, apply: &mut F)
+    where
+        F: FnMut(VoxelUpdate),
+    {
+        for &p in &scan.cloud {
+            let (end, truncated) = self.effective_endpoint(scan.origin, p);
+            let Ok(end_key) = self.conv.coord_to_key(end) else {
+                stats.discarded_points += 1;
+                continue;
+            };
+            let steps = match compute_ray_keys(&self.conv, scan.origin, end, &mut self.keyray) {
+                Ok(s) => s,
+                Err(_) => {
+                    stats.discarded_points += 1;
+                    continue;
+                }
+            };
+            stats.rays += 1;
+            stats.dda_steps += steps;
+            for &k in &self.keyray {
+                apply(VoxelUpdate { key: k, hit: false });
+            }
+            stats.free_updates += self.keyray.len() as u64;
+            if truncated {
+                stats.truncated_rays += 1;
+            } else {
+                apply(VoxelUpdate { key: end_key, hit: true });
+                stats.occupied_updates += 1;
+            }
+        }
+    }
+
+    fn integrate_dedup<F>(&mut self, scan: &Scan, stats: &mut IntegrationStats, apply: &mut F)
+    where
+        F: FnMut(VoxelUpdate),
+    {
+        self.free_set.clear();
+        self.occupied_set.clear();
+
+        for &p in &scan.cloud {
+            let (end, truncated) = self.effective_endpoint(scan.origin, p);
+            let Ok(end_key) = self.conv.coord_to_key(end) else {
+                stats.discarded_points += 1;
+                continue;
+            };
+            let steps = match compute_ray_keys(&self.conv, scan.origin, end, &mut self.keyray) {
+                Ok(s) => s,
+                Err(_) => {
+                    stats.discarded_points += 1;
+                    continue;
+                }
+            };
+            stats.rays += 1;
+            stats.dda_steps += steps;
+            for &k in &self.keyray {
+                self.free_set.insert(k);
+            }
+            if truncated {
+                stats.truncated_rays += 1;
+            } else {
+                self.occupied_set.insert(end_key);
+            }
+        }
+
+        // Occupied wins over free within a scan (OctoMap semantics).
+        for &k in &self.free_set {
+            if !self.occupied_set.contains(&k) {
+                apply(VoxelUpdate { key: k, hit: false });
+                stats.free_updates += 1;
+            }
+        }
+        for &k in &self.occupied_set {
+            apply(VoxelUpdate { key: k, hit: true });
+            stats.occupied_updates += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::PointCloud;
+
+    fn integrator(mode: IntegrationMode, max_range: Option<f64>) -> ScanIntegrator {
+        ScanIntegrator::new(KeyConverter::new(0.1).unwrap(), max_range, mode)
+    }
+
+    fn scan(points: &[Point3]) -> Scan {
+        Scan::new(Point3::ZERO, points.iter().copied().collect::<PointCloud>())
+    }
+
+    #[test]
+    fn raywise_counts_duplicates() {
+        // Two identical rays: raywise emits every cell twice.
+        let s = scan(&[Point3::new(0.5, 0.0, 0.0), Point3::new(0.5, 0.0, 0.0)]);
+        let mut it = integrator(IntegrationMode::Raywise, None);
+        let mut updates = Vec::new();
+        let stats = it.integrate(&s, |u| updates.push(u)).unwrap();
+        assert_eq!(stats.rays, 2);
+        assert_eq!(stats.free_updates, 10);
+        assert_eq!(stats.occupied_updates, 2);
+        assert_eq!(stats.total_updates(), 12);
+        assert_eq!(updates.len(), 12);
+    }
+
+    #[test]
+    fn dedup_collapses_duplicates() {
+        let s = scan(&[Point3::new(0.5, 0.0, 0.0), Point3::new(0.5, 0.0, 0.0)]);
+        let mut it = integrator(IntegrationMode::DedupPerScan, None);
+        let mut updates = Vec::new();
+        let stats = it.integrate(&s, |u| updates.push(u)).unwrap();
+        assert_eq!(stats.rays, 2);
+        assert_eq!(stats.free_updates, 5);
+        assert_eq!(stats.occupied_updates, 1);
+        assert_eq!(updates.len(), 6);
+    }
+
+    #[test]
+    fn dedup_occupied_wins_over_free() {
+        // First ray ends where the second ray passes through.
+        let s = scan(&[Point3::new(0.35, 0.0, 0.0), Point3::new(0.95, 0.0, 0.0)]);
+        let mut it = integrator(IntegrationMode::DedupPerScan, None);
+        let mut updates = Vec::new();
+        it.integrate(&s, |u| updates.push(u)).unwrap();
+        let end1 = it.converter().coord_to_key(Point3::new(0.35, 0.0, 0.0)).unwrap();
+        let as_free = updates.iter().any(|u| u.key == end1 && !u.hit);
+        let as_occ = updates.iter().any(|u| u.key == end1 && u.hit);
+        assert!(!as_free, "endpoint must not also be updated as free");
+        assert!(as_occ);
+    }
+
+    #[test]
+    fn max_range_truncates_rays() {
+        let s = scan(&[Point3::new(2.0, 0.0, 0.0)]);
+        let mut it = integrator(IntegrationMode::Raywise, Some(1.0));
+        let mut occupied = 0;
+        let mut max_x_key = 0u16;
+        let stats = it
+            .integrate(&s, |u| {
+                if u.hit {
+                    occupied += 1;
+                }
+                max_x_key = max_x_key.max(u.key.x);
+            })
+            .unwrap();
+        assert_eq!(occupied, 0, "truncated ray marks no endpoint");
+        assert_eq!(stats.truncated_rays, 1);
+        // No cell beyond 1.0 m (key 32768 + 10).
+        assert!(max_x_key <= 32768 + 10);
+    }
+
+    #[test]
+    fn in_range_ray_not_truncated() {
+        let s = scan(&[Point3::new(0.5, 0.0, 0.0)]);
+        let mut it = integrator(IntegrationMode::Raywise, Some(1.0));
+        let stats = it.integrate(&s, |_| {}).unwrap();
+        assert_eq!(stats.truncated_rays, 0);
+        assert_eq!(stats.occupied_updates, 1);
+    }
+
+    #[test]
+    fn out_of_map_points_skipped_and_counted() {
+        let far = KeyConverter::new(0.1).unwrap().map_half_extent() + 100.0;
+        let s = scan(&[Point3::new(far, 0.0, 0.0), Point3::new(0.5, 0.0, 0.0)]);
+        let mut it = integrator(IntegrationMode::Raywise, None);
+        let stats = it.integrate(&s, |_| {}).unwrap();
+        assert_eq!(stats.discarded_points, 1);
+        assert_eq!(stats.rays, 1);
+    }
+
+    #[test]
+    fn bad_origin_is_an_error() {
+        let far = KeyConverter::new(0.1).unwrap().map_half_extent() + 100.0;
+        let s = Scan::new(
+            Point3::new(far, 0.0, 0.0),
+            [Point3::ZERO].into_iter().collect::<PointCloud>(),
+        );
+        let mut it = integrator(IntegrationMode::Raywise, None);
+        assert!(it.integrate(&s, |_| {}).is_err());
+    }
+
+    #[test]
+    fn stats_merge_accumulates() {
+        let mut a = IntegrationStats { rays: 1, dda_steps: 2, free_updates: 3, ..Default::default() };
+        let b = IntegrationStats {
+            rays: 10,
+            occupied_updates: 5,
+            truncated_rays: 1,
+            discarded_points: 2,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.rays, 11);
+        assert_eq!(a.free_updates, 3);
+        assert_eq!(a.occupied_updates, 5);
+        assert_eq!(a.total_updates(), 8);
+    }
+
+    #[test]
+    fn empty_scan_is_a_noop() {
+        let mut it = integrator(IntegrationMode::DedupPerScan, None);
+        let stats = it.integrate(&scan(&[]), |_| panic!("no updates expected")).unwrap();
+        assert_eq!(stats, IntegrationStats::default());
+    }
+}

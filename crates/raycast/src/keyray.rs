@@ -1,0 +1,107 @@
+//! A reusable buffer of ray voxel keys.
+
+use omu_geometry::VoxelKey;
+
+/// A reusable container for the voxel keys traversed by one ray.
+///
+/// Mirrors OctoMap's `KeyRay`: allocating the backing storage once and
+/// clearing it per ray avoids per-ray heap traffic in the integration hot
+/// loop.
+///
+/// # Examples
+///
+/// ```
+/// use omu_raycast::KeyRay;
+/// use omu_geometry::VoxelKey;
+///
+/// let mut ray = KeyRay::new();
+/// ray.push(VoxelKey::ORIGIN);
+/// assert_eq!(ray.len(), 1);
+/// ray.clear();
+/// assert!(ray.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyRay {
+    keys: Vec<VoxelKey>,
+}
+
+impl KeyRay {
+    /// Creates an empty key ray.
+    pub fn new() -> Self {
+        KeyRay { keys: Vec::new() }
+    }
+
+    /// Creates an empty key ray with capacity for `capacity` cells.
+    pub fn with_capacity(capacity: usize) -> Self {
+        KeyRay { keys: Vec::with_capacity(capacity) }
+    }
+
+    /// Removes all keys, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+    }
+
+    /// Appends a key.
+    pub fn push(&mut self, key: VoxelKey) {
+        self.keys.push(key);
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// True when no keys are stored.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// The keys as a slice, in traversal order (origin first).
+    pub fn keys(&self) -> &[VoxelKey] {
+        &self.keys
+    }
+
+    /// Iterates over the keys in traversal order.
+    pub fn iter(&self) -> std::slice::Iter<'_, VoxelKey> {
+        self.keys.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a KeyRay {
+    type Item = &'a VoxelKey;
+    type IntoIter = std::slice::Iter<'a, VoxelKey>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.keys.iter()
+    }
+}
+
+impl FromIterator<VoxelKey> for KeyRay {
+    fn from_iter<I: IntoIterator<Item = VoxelKey>>(iter: I) -> Self {
+        KeyRay { keys: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_clear_reuse() {
+        let mut r = KeyRay::with_capacity(8);
+        r.push(VoxelKey::new(1, 2, 3));
+        r.push(VoxelKey::new(4, 5, 6));
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.keys()[0], VoxelKey::new(1, 2, 3));
+        r.clear();
+        assert!(r.is_empty());
+        assert_eq!(r.iter().count(), 0);
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let r: KeyRay = (0..4u16).map(|i| VoxelKey::new(i, i, i)).collect();
+        assert_eq!(r.len(), 4);
+        assert_eq!((&r).into_iter().count(), 4);
+    }
+}

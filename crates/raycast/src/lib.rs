@@ -1,0 +1,44 @@
+//! Ray casting for probabilistic occupancy mapping.
+//!
+//! This crate reimplements the ray-casting kernel of OctoMap that the OMU
+//! accelerator paper builds on (Fig. 1 and Section V "Ray Casting and Voxel
+//! Queues"):
+//!
+//! - [`compute_ray_keys`] — the Amanatides–Woo 3D digital differential
+//!   analyzer that enumerates the voxels a sensor ray traverses between its
+//!   origin and its endpoint (OctoMap's `computeRayKeys`). The endpoint's
+//!   voxel is *excluded*: traversed voxels are observed free, the endpoint
+//!   is observed occupied.
+//! - [`RayWalk`] — an open-ended DDA iterator used for query-style ray
+//!   casting (e.g. collision probing) where no endpoint is known up front.
+//! - [`ScanIntegrator`] — turns a full [`Scan`](omu_geometry::Scan) into a stream of per-voxel
+//!   hit/miss updates, in either of two modes (see [`IntegrationMode`]):
+//!   the paper's raywise mode (no overlap dedup — what the OMU hardware
+//!   executes and what Table II counts as "voxel updates") and OctoMap's
+//!   software dedup mode.
+//!
+//! # Examples
+//!
+//! ```
+//! use omu_geometry::{KeyConverter, Point3};
+//! use omu_raycast::{compute_ray_keys, KeyRay};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let conv = KeyConverter::new(0.1)?;
+//! let mut ray = KeyRay::new();
+//! compute_ray_keys(&conv, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), &mut ray)?;
+//! assert_eq!(ray.len(), 10); // ten 0.1 m cells traversed, endpoint excluded
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod dda;
+mod integrate;
+mod keyray;
+
+pub use dda::{compute_ray_keys, RayWalk};
+pub use integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+pub use keyray::KeyRay;

@@ -1,0 +1,138 @@
+//! Silicon area model (reproduces the Fig. 8 floorplan numbers).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One component's area contribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaComponent {
+    /// Component name.
+    pub name: String,
+    /// Area of one instance in mm².
+    pub mm2_each: f64,
+    /// Instance count.
+    pub count: usize,
+}
+
+impl AreaComponent {
+    /// Total area of all instances.
+    pub fn total_mm2(&self) -> f64 {
+        self.mm2_each * self.count as f64
+    }
+}
+
+/// A per-component area model with a top-level overhead factor for
+/// placement/routing utilization.
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::AreaModel;
+///
+/// let mut a = AreaModel::new(1.25);
+/// a.add("sram", 0.8, 2);
+/// assert!((a.total_mm2() - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AreaModel {
+    components: Vec<AreaComponent>,
+    overhead_factor: f64,
+}
+
+impl AreaModel {
+    /// Creates an empty model with the given top-level overhead factor
+    /// (≥ 1; accounts for P&R utilization, power grid, spacing).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `overhead_factor < 1.0` or is not finite.
+    pub fn new(overhead_factor: f64) -> Self {
+        assert!(
+            overhead_factor.is_finite() && overhead_factor >= 1.0,
+            "overhead factor must be >= 1, got {overhead_factor}"
+        );
+        AreaModel { components: Vec::new(), overhead_factor }
+    }
+
+    /// Adds `count` instances of a component of `mm2_each` mm².
+    pub fn add(&mut self, name: &str, mm2_each: f64, count: usize) {
+        assert!(mm2_each.is_finite() && mm2_each >= 0.0, "area must be non-negative");
+        self.components.push(AreaComponent { name: name.to_owned(), mm2_each, count });
+    }
+
+    /// The component rows.
+    pub fn components(&self) -> &[AreaComponent] {
+        &self.components
+    }
+
+    /// Sum of component areas, before overhead.
+    pub fn cell_mm2(&self) -> f64 {
+        self.components.iter().map(AreaComponent::total_mm2).sum()
+    }
+
+    /// Total area including overhead.
+    pub fn total_mm2(&self) -> f64 {
+        self.cell_mm2() * self.overhead_factor
+    }
+
+    /// The overhead factor.
+    pub fn overhead_factor(&self) -> f64 {
+        self.overhead_factor
+    }
+}
+
+impl fmt::Display for AreaModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "area model (overhead ×{:.3}):", self.overhead_factor)?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  {:<24} {:>2} × {:>8.4} mm² = {:>8.4} mm²",
+                c.name,
+                c.count,
+                c.mm2_each,
+                c.total_mm2()
+            )?;
+        }
+        writeln!(f, "  {:<24} {:>23.4} mm²", "cell total", self.cell_mm2())?;
+        writeln!(f, "  {:<24} {:>23.4} mm²", "with overhead", self.total_mm2())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_accumulate_with_counts() {
+        let mut a = AreaModel::new(1.0);
+        a.add("pe", 0.1, 8);
+        a.add("top", 0.2, 1);
+        assert!((a.cell_mm2() - 1.0).abs() < 1e-12);
+        assert_eq!(a.components().len(), 2);
+    }
+
+    #[test]
+    fn overhead_scales_total_only() {
+        let mut a = AreaModel::new(1.5);
+        a.add("x", 1.0, 1);
+        assert_eq!(a.cell_mm2(), 1.0);
+        assert!((a.total_mm2() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "overhead factor")]
+    fn sub_unity_overhead_rejected() {
+        let _ = AreaModel::new(0.9);
+    }
+
+    #[test]
+    fn display_shows_components() {
+        let mut a = AreaModel::new(1.1);
+        a.add("sram", 0.5, 4);
+        let s = a.to_string();
+        assert!(s.contains("sram"));
+        assert!(s.contains("with overhead"));
+    }
+}

@@ -1,0 +1,106 @@
+//! AXI-stream bandwidth model for host ↔ accelerator transfers.
+
+use serde::{Deserialize, Serialize};
+
+/// A simple bandwidth model of the AXI stream interface through which the
+/// host CPU DMAs point-cloud data into the accelerator (Fig. 7).
+///
+/// The paper hides ray-casting latency behind map updates; this model lets
+/// the pipeline check that the *transfer* of each scan is also hidden
+/// (transfer time per scan ≪ update time per scan).
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::AxiStreamModel;
+///
+/// let axi = AxiStreamModel::new(128, 1.0);
+/// // 16 bytes per beat at 1 GHz = 16 GB/s.
+/// assert_eq!(axi.bandwidth_bytes_per_sec(), 16e9);
+/// assert_eq!(axi.cycles_for_bytes(64), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AxiStreamModel {
+    bus_width_bits: u32,
+    freq_ghz: f64,
+}
+
+impl AxiStreamModel {
+    /// Creates a model for a bus of `bus_width_bits` running at
+    /// `freq_ghz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the width is zero or not a multiple of 8, or if the
+    /// frequency is not positive and finite.
+    pub fn new(bus_width_bits: u32, freq_ghz: f64) -> Self {
+        assert!(
+            bus_width_bits > 0 && bus_width_bits.is_multiple_of(8),
+            "bus width must be a positive multiple of 8, got {bus_width_bits}"
+        );
+        assert!(
+            freq_ghz.is_finite() && freq_ghz > 0.0,
+            "frequency must be positive, got {freq_ghz}"
+        );
+        AxiStreamModel { bus_width_bits, freq_ghz }
+    }
+
+    /// Bus width in bits.
+    pub fn bus_width_bits(&self) -> u32 {
+        self.bus_width_bits
+    }
+
+    /// Clock frequency in GHz.
+    pub fn freq_ghz(&self) -> f64 {
+        self.freq_ghz
+    }
+
+    /// Beats (cycles) needed to move `bytes`.
+    pub fn cycles_for_bytes(&self, bytes: u64) -> u64 {
+        let beat = (self.bus_width_bits / 8) as u64;
+        bytes.div_ceil(beat)
+    }
+
+    /// Seconds needed to move `bytes`.
+    pub fn seconds_for_bytes(&self, bytes: u64) -> f64 {
+        crate::cycles_to_seconds(self.cycles_for_bytes(bytes), self.freq_ghz)
+    }
+
+    /// Peak bandwidth in bytes per second.
+    pub fn bandwidth_bytes_per_sec(&self) -> f64 {
+        (self.bus_width_bits as f64 / 8.0) * self.freq_ghz * 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn beat_rounding_up() {
+        let axi = AxiStreamModel::new(64, 1.0);
+        assert_eq!(axi.cycles_for_bytes(0), 0);
+        assert_eq!(axi.cycles_for_bytes(1), 1);
+        assert_eq!(axi.cycles_for_bytes(8), 1);
+        assert_eq!(axi.cycles_for_bytes(9), 2);
+    }
+
+    #[test]
+    fn seconds_scale_with_frequency() {
+        let a = AxiStreamModel::new(64, 1.0);
+        let b = AxiStreamModel::new(64, 2.0);
+        assert!((a.seconds_for_bytes(800) - 2.0 * b.seconds_for_bytes(800)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "bus width")]
+    fn non_byte_width_rejected() {
+        let _ = AxiStreamModel::new(12, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency")]
+    fn zero_frequency_rejected() {
+        let _ = AxiStreamModel::new(64, 0.0);
+    }
+}

@@ -1,0 +1,152 @@
+//! Per-component energy bookkeeping.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+/// An energy ledger: picojoules attributed to named components.
+///
+/// The accelerator model charges every SRAM access, logic cycle and queue
+/// operation to a component; the ledger then yields totals and the
+/// per-component power split (the paper reports 91 % of OMU power in SRAM).
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::EnergyLedger;
+///
+/// let mut e = EnergyLedger::new();
+/// e.add("pe.sram", 910.0);
+/// e.add("pe.logic", 90.0);
+/// assert_eq!(e.total_pj(), 1000.0);
+/// assert_eq!(e.share("pe.sram"), 0.91);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyLedger {
+    entries: BTreeMap<String, f64>,
+}
+
+impl EnergyLedger {
+    /// Creates an empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `pj` picojoules to `component`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pj` is negative or not finite.
+    pub fn add(&mut self, component: &str, pj: f64) {
+        assert!(pj.is_finite() && pj >= 0.0, "energy must be non-negative, got {pj}");
+        *self.entries.entry(component.to_owned()).or_insert(0.0) += pj;
+    }
+
+    /// Energy attributed to `component`, in pJ (0 when absent).
+    pub fn get(&self, component: &str) -> f64 {
+        self.entries.get(component).copied().unwrap_or(0.0)
+    }
+
+    /// Total energy across components, in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.entries.values().sum()
+    }
+
+    /// Total energy in joules.
+    pub fn total_joules(&self) -> f64 {
+        crate::pj_to_joules(self.total_pj())
+    }
+
+    /// Fraction of total energy attributed to `component` (0 when the
+    /// ledger is empty).
+    pub fn share(&self, component: &str) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            0.0
+        } else {
+            self.get(component) / total
+        }
+    }
+
+    /// Fraction of total energy over all components whose name starts with
+    /// `prefix` — e.g. `sum_share_prefix("pe.sram")` over per-PE entries.
+    pub fn share_prefix(&self, prefix: &str) -> f64 {
+        let total = self.total_pj();
+        if total == 0.0 {
+            return 0.0;
+        }
+        self.entries
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum::<f64>()
+            / total
+    }
+
+    /// Iterates `(component, pJ)` in name order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Merges another ledger into this one.
+    pub fn merge(&mut self, other: &EnergyLedger) {
+        for (k, v) in other.iter() {
+            self.add(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulates_per_component() {
+        let mut e = EnergyLedger::new();
+        e.add("a", 1.0);
+        e.add("a", 2.0);
+        e.add("b", 3.0);
+        assert_eq!(e.get("a"), 3.0);
+        assert_eq!(e.get("b"), 3.0);
+        assert_eq!(e.get("missing"), 0.0);
+        assert_eq!(e.total_pj(), 6.0);
+    }
+
+    #[test]
+    fn shares_and_prefixes() {
+        let mut e = EnergyLedger::new();
+        e.add("pe0.sram", 40.0);
+        e.add("pe1.sram", 40.0);
+        e.add("pe0.logic", 20.0);
+        assert_eq!(e.share("pe0.sram"), 0.4);
+        assert!((e.share_prefix("pe") - 1.0).abs() < 1e-12);
+        let sram: f64 = e.iter().filter(|(k, _)| k.ends_with("sram")).map(|(_, v)| v).sum();
+        assert_eq!(sram, 80.0);
+    }
+
+    #[test]
+    fn empty_ledger_shares_are_zero() {
+        let e = EnergyLedger::new();
+        assert_eq!(e.share("x"), 0.0);
+        assert_eq!(e.total_pj(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_energy_rejected() {
+        let mut e = EnergyLedger::new();
+        e.add("a", -1.0);
+    }
+
+    #[test]
+    fn merge_adds() {
+        let mut a = EnergyLedger::new();
+        a.add("x", 1.0);
+        let mut b = EnergyLedger::new();
+        b.add("x", 2.0);
+        b.add("y", 3.0);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3.0);
+        assert_eq!(a.get("y"), 3.0);
+    }
+}

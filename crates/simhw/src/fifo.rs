@@ -1,0 +1,150 @@
+//! Bounded FIFO queue with backpressure statistics.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded FIFO with occupancy and stall accounting.
+///
+/// Models the voxel queues between the ray-casting unit, the voxel
+/// scheduler, and the PE inputs (Fig. 7). `try_push` refuses when full —
+/// the producer stalls, and the queueing model charges the stall cycles.
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::BoundedFifo;
+///
+/// let mut q: BoundedFifo<u32> = BoundedFifo::new(2);
+/// assert!(q.try_push(1).is_ok());
+/// assert!(q.try_push(2).is_ok());
+/// assert_eq!(q.try_push(3), Err(3)); // full: caller must retry
+/// assert_eq!(q.pop(), Some(1));
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BoundedFifo<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    high_water: usize,
+    rejected: u64,
+    accepted: u64,
+}
+
+impl<T> BoundedFifo<T> {
+    /// Creates an empty queue with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "fifo capacity must be positive");
+        BoundedFifo {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            rejected: 0,
+            accepted: 0,
+        }
+    }
+
+    /// Enqueues a value, or returns it back when the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(value)` when the queue is at capacity, handing the
+    /// value back to the stalled producer.
+    pub fn try_push(&mut self, value: T) -> Result<(), T> {
+        if self.items.len() >= self.capacity {
+            self.rejected += 1;
+            return Err(value);
+        }
+        self.items.push_back(value);
+        self.accepted += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Dequeues the oldest value.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Push attempts refused because the queue was full.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Values accepted over the queue's lifetime.
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedFifo::new(3);
+        q.try_push('a').unwrap();
+        q.try_push('b').unwrap();
+        assert_eq!(q.pop(), Some('a'));
+        assert_eq!(q.pop(), Some('b'));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn full_queue_rejects() {
+        let mut q = BoundedFifo::new(1);
+        q.try_push(1).unwrap();
+        assert!(q.is_full());
+        assert_eq!(q.try_push(2), Err(2));
+        assert_eq!(q.rejected(), 1);
+        q.pop();
+        q.try_push(2).unwrap();
+        assert_eq!(q.accepted(), 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = BoundedFifo::new(10);
+        for i in 0..7 {
+            q.try_push(i).unwrap();
+        }
+        while q.pop().is_some() {}
+        assert_eq!(q.high_water(), 7);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: BoundedFifo<u8> = BoundedFifo::new(0);
+    }
+}

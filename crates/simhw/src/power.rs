@@ -1,0 +1,160 @@
+//! Average-power reports derived from energy ledgers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::energy::EnergyLedger;
+
+/// One row of a [`PowerReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerComponent {
+    /// Component name (as charged in the energy ledger).
+    pub name: String,
+    /// Average power in milliwatts over the report window.
+    pub milliwatts: f64,
+    /// Fraction of total power.
+    pub share: f64,
+}
+
+/// Average power over a runtime window, broken down by component.
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::{EnergyLedger, PowerReport};
+///
+/// let mut e = EnergyLedger::new();
+/// e.add("sram", 91.0e9); // pJ
+/// e.add("logic", 9.0e9);
+/// let p = PowerReport::from_energy(&e, 0.4); // 0.4 s window
+/// assert!((p.total_mw() - 250.0).abs() < 1e-9); // 0.1 J / 0.4 s = 250 mW
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerReport {
+    components: Vec<PowerComponent>,
+    total_mw: f64,
+    runtime_s: f64,
+}
+
+impl PowerReport {
+    /// Builds a report from an energy ledger and the runtime it covers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `runtime_s` is not positive and finite.
+    pub fn from_energy(energy: &EnergyLedger, runtime_s: f64) -> Self {
+        assert!(
+            runtime_s.is_finite() && runtime_s > 0.0,
+            "runtime must be positive, got {runtime_s}"
+        );
+        let total_pj = energy.total_pj();
+        let total_mw = total_pj * 1e-12 / runtime_s * 1e3;
+        let components = energy
+            .iter()
+            .map(|(name, pj)| PowerComponent {
+                name: name.to_owned(),
+                milliwatts: pj * 1e-12 / runtime_s * 1e3,
+                share: if total_pj > 0.0 { pj / total_pj } else { 0.0 },
+            })
+            .collect();
+        PowerReport { components, total_mw, runtime_s }
+    }
+
+    /// Total average power in milliwatts.
+    pub fn total_mw(&self) -> f64 {
+        self.total_mw
+    }
+
+    /// The runtime window in seconds.
+    pub fn runtime_s(&self) -> f64 {
+        self.runtime_s
+    }
+
+    /// The per-component rows, sorted by descending power.
+    pub fn components(&self) -> &[PowerComponent] {
+        &self.components
+    }
+
+    /// Total power share of components whose name starts with `prefix`.
+    pub fn share_prefix(&self, prefix: &str) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.name.starts_with(prefix))
+            .map(|c| c.share)
+            .sum()
+    }
+
+    /// Total power share of components whose name contains `needle`.
+    pub fn share_containing(&self, needle: &str) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.name.contains(needle))
+            .map(|c| c.share)
+            .sum()
+    }
+}
+
+impl fmt::Display for PowerReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "power over {:.4} s: {:.1} mW", self.runtime_s, self.total_mw)?;
+        let mut rows: Vec<&PowerComponent> = self.components.iter().collect();
+        rows.sort_by(|a, b| b.milliwatts.total_cmp(&a.milliwatts));
+        for c in rows {
+            writeln!(f, "  {:<24} {:>9.2} mW  {:>5.1} %", c.name, c.milliwatts, c.share * 100.0)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ledger() -> EnergyLedger {
+        // 0.91 mJ + 0.09 mJ = 1 mJ total.
+        let mut e = EnergyLedger::new();
+        e.add("sram", 910.0e6);
+        e.add("logic", 90.0e6);
+        e
+    }
+
+    #[test]
+    fn power_is_energy_over_time() {
+        let p = PowerReport::from_energy(&ledger(), 1.0);
+        assert!((p.total_mw() - 1.0).abs() < 1e-9, "1 mJ over 1 s = 1 mW");
+        assert!((p.share_prefix("sram") - 0.91).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halving_runtime_doubles_power() {
+        let p1 = PowerReport::from_energy(&ledger(), 1.0);
+        let p2 = PowerReport::from_energy(&ledger(), 0.5);
+        assert!((p2.total_mw() - 2.0 * p1.total_mw()).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "runtime must be positive")]
+    fn zero_runtime_rejected() {
+        let _ = PowerReport::from_energy(&ledger(), 0.0);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let p = PowerReport::from_energy(&ledger(), 1.0);
+        let s = p.to_string();
+        assert!(s.contains("sram"));
+        assert!(s.contains("logic"));
+        assert!(s.contains("mW"));
+    }
+
+    #[test]
+    fn share_containing_matches_substrings() {
+        let mut e = EnergyLedger::new();
+        e.add("pe0.sram", 50.0);
+        e.add("pe1.sram", 30.0);
+        e.add("pe0.logic", 20.0);
+        let p = PowerReport::from_energy(&e, 1.0);
+        assert!((p.share_containing("sram") - 0.8).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,250 @@
+//! Single-port SRAM bank model with access accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Geometry of one SRAM bank.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramSpec {
+    /// Number of addressable rows.
+    pub rows: usize,
+    /// Word width in bits (the OMU node entry is 64 bits).
+    pub width_bits: u32,
+}
+
+impl SramSpec {
+    /// The paper's T-Mem bank: 32 kB of 64-bit words (4096 rows).
+    pub const OMU_TMEM: SramSpec = SramSpec { rows: 4096, width_bits: 64 };
+
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows` is zero or `width_bits` is zero or above 64.
+    pub fn new(rows: usize, width_bits: u32) -> Self {
+        assert!(rows > 0, "an SRAM bank needs at least one row");
+        assert!(
+            (1..=64).contains(&width_bits),
+            "word width must be 1..=64 bits, got {width_bits}"
+        );
+        SramSpec { rows, width_bits }
+    }
+
+    /// Capacity in bytes.
+    pub fn bytes(&self) -> usize {
+        self.rows * (self.width_bits as usize).div_ceil(8)
+    }
+
+    /// Capacity in kilobytes (1 kB = 1024 B).
+    pub fn kilobytes(&self) -> f64 {
+        self.bytes() as f64 / 1024.0
+    }
+}
+
+/// Access counters of one bank.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SramStats {
+    /// Word reads served.
+    pub reads: u64,
+    /// Word writes served.
+    pub writes: u64,
+}
+
+impl SramStats {
+    /// Total accesses (reads + writes).
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Adds another bank's counters.
+    pub fn merge(&mut self, other: &SramStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+    }
+}
+
+/// A single-port SRAM bank storing 64-bit words.
+///
+/// The functional model stores words in a `Vec<u64>`; every access is
+/// counted so that energy (`accesses × pJ/access`) and bandwidth arguments
+/// can be made exactly. One access completes per cycle — the *caller* (the
+/// PE model) accounts cycles, since the whole point of the OMU memory
+/// organization is that 8 banks serve one row access in the same cycle.
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::{SramBank, SramSpec};
+///
+/// let mut bank = SramBank::new(SramSpec::OMU_TMEM);
+/// bank.write(17, 0xDEAD_BEEF);
+/// assert_eq!(bank.read(17), 0xDEAD_BEEF);
+/// assert_eq!(bank.stats().accesses(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SramBank {
+    spec: SramSpec,
+    words: Vec<u64>,
+    stats: SramStats,
+}
+
+impl SramBank {
+    /// Creates a zero-initialized bank.
+    pub fn new(spec: SramSpec) -> Self {
+        SramBank { spec, words: vec![0; spec.rows], stats: SramStats::default() }
+    }
+
+    /// The bank geometry.
+    pub fn spec(&self) -> SramSpec {
+        self.spec
+    }
+
+    /// Reads the word at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range — addresses are produced by the
+    /// allocator, which enforces capacity, so an out-of-range row is a
+    /// model bug rather than a workload condition.
+    #[inline]
+    pub fn read(&mut self, row: usize) -> u64 {
+        assert!(row < self.spec.rows, "SRAM row {row} out of range ({})", self.spec.rows);
+        self.stats.reads += 1;
+        self.words[row]
+    }
+
+    /// Writes the word at `row`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range (see [`SramBank::read`]).
+    #[inline]
+    pub fn write(&mut self, row: usize, word: u64) {
+        assert!(row < self.spec.rows, "SRAM row {row} out of range ({})", self.spec.rows);
+        self.stats.writes += 1;
+        self.words[row] = word;
+    }
+
+    /// Reads without counting (for debug inspection / map export, which
+    /// does not model hardware accesses).
+    #[inline]
+    pub fn peek(&self, row: usize) -> u64 {
+        self.words[row]
+    }
+
+    /// The access counters.
+    pub fn stats(&self) -> SramStats {
+        self.stats
+    }
+
+    /// Resets the access counters (contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = SramStats::default();
+    }
+
+    /// Zeroes the contents and counters.
+    pub fn clear(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+        self.stats = SramStats::default();
+    }
+
+    /// Flips one bit of the stored word — fault injection for resilience
+    /// experiments (modeling a soft error in the macro). Not counted as an
+    /// access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` or `bit` is out of range.
+    pub fn inject_bit_flip(&mut self, row: usize, bit: u32) {
+        assert!(row < self.spec.rows, "SRAM row {row} out of range ({})", self.spec.rows);
+        assert!(bit < self.spec.width_bits, "bit {bit} outside word width");
+        self.words[row] ^= 1 << bit;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_geometry() {
+        let s = SramSpec::OMU_TMEM;
+        assert_eq!(s.bytes(), 32 * 1024);
+        assert_eq!(s.kilobytes(), 32.0);
+        assert_eq!(s.rows, 4096);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one row")]
+    fn zero_rows_rejected() {
+        let _ = SramSpec::new(0, 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "word width")]
+    fn wide_words_rejected() {
+        let _ = SramSpec::new(16, 65);
+    }
+
+    #[test]
+    fn read_write_and_counters() {
+        let mut b = SramBank::new(SramSpec::new(8, 64));
+        assert_eq!(b.read(3), 0, "zero initialized");
+        b.write(3, 42);
+        b.write(7, 7);
+        assert_eq!(b.read(3), 42);
+        assert_eq!(b.stats().reads, 2);
+        assert_eq!(b.stats().writes, 2);
+        assert_eq!(b.stats().accesses(), 4);
+    }
+
+    #[test]
+    fn peek_does_not_count() {
+        let mut b = SramBank::new(SramSpec::new(8, 64));
+        b.write(1, 5);
+        assert_eq!(b.peek(1), 5);
+        assert_eq!(b.stats().reads, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_read_panics() {
+        let mut b = SramBank::new(SramSpec::new(8, 64));
+        let _ = b.read(8);
+    }
+
+    #[test]
+    fn clear_and_reset() {
+        let mut b = SramBank::new(SramSpec::new(4, 64));
+        b.write(0, 9);
+        b.reset_stats();
+        assert_eq!(b.stats().accesses(), 0);
+        assert_eq!(b.peek(0), 9);
+        b.clear();
+        assert_eq!(b.peek(0), 0);
+    }
+
+    #[test]
+    fn bit_flip_flips_exactly_one_bit() {
+        let mut b = SramBank::new(SramSpec::new(4, 64));
+        b.write(2, 0b1010);
+        b.inject_bit_flip(2, 0);
+        assert_eq!(b.peek(2), 0b1011);
+        b.inject_bit_flip(2, 0);
+        assert_eq!(b.peek(2), 0b1010, "double flip restores");
+    }
+
+    #[test]
+    #[should_panic(expected = "outside word width")]
+    fn bit_flip_bounds_checked() {
+        let mut b = SramBank::new(SramSpec::new(4, 32));
+        b.inject_bit_flip(0, 40);
+    }
+
+    #[test]
+    fn stats_merge() {
+        let mut a = SramStats { reads: 1, writes: 2 };
+        a.merge(&SramStats { reads: 10, writes: 20 });
+        assert_eq!(a.reads, 11);
+        assert_eq!(a.writes, 22);
+    }
+}

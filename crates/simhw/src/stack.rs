@@ -1,0 +1,177 @@
+//! Bounded LIFO stack buffer — the prune address manager's storage.
+
+use serde::{Deserialize, Serialize};
+
+/// A bounded LIFO stack with occupancy statistics.
+///
+/// The OMU prune address manager (Fig. 6) uses "a simple stack buffer
+/// instead of a more complex FIFO to manage the dynamic addresses with very
+/// small area cost". Pushing to a full stack *drops* the value (the pruned
+/// row is leaked until the map is rebuilt) — the model counts such drops so
+/// experiments can size the stack.
+///
+/// # Examples
+///
+/// ```
+/// use omu_simhw::StackBuffer;
+///
+/// let mut s: StackBuffer<u32> = StackBuffer::new(2);
+/// assert!(s.push(1));
+/// assert!(s.push(2));
+/// assert!(!s.push(3)); // full: dropped
+/// assert_eq!(s.pop(), Some(2));
+/// assert_eq!(s.dropped(), 1);
+/// ```
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StackBuffer<T> {
+    items: Vec<T>,
+    capacity: usize,
+    high_water: usize,
+    dropped: u64,
+    pushes: u64,
+    pops: u64,
+}
+
+impl<T> StackBuffer<T> {
+    /// Creates an empty stack with the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "stack capacity must be positive");
+        StackBuffer {
+            items: Vec::with_capacity(capacity),
+            capacity,
+            high_water: 0,
+            dropped: 0,
+            pushes: 0,
+            pops: 0,
+        }
+    }
+
+    /// Pushes a value; returns `false` (and drops the value) when full.
+    pub fn push(&mut self, value: T) -> bool {
+        if self.items.len() >= self.capacity {
+            self.dropped += 1;
+            return false;
+        }
+        self.items.push(value);
+        self.pushes += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        true
+    }
+
+    /// Pops the most recently pushed value.
+    pub fn pop(&mut self) -> Option<T> {
+        let v = self.items.pop();
+        if v.is_some() {
+            self.pops += 1;
+        }
+        v
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// True when at capacity.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// Configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Maximum occupancy ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+
+    /// Values dropped due to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Successful pushes.
+    pub fn pushes(&self) -> u64 {
+        self.pushes
+    }
+
+    /// Successful pops.
+    pub fn pops(&self) -> u64 {
+        self.pops
+    }
+
+    /// Empties the stack, keeping statistics.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut s = StackBuffer::new(4);
+        s.push(1);
+        s.push(2);
+        s.push(3);
+        assert_eq!(s.pop(), Some(3));
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn overflow_drops_and_counts() {
+        let mut s = StackBuffer::new(1);
+        assert!(s.push(10));
+        assert!(!s.push(11));
+        assert!(!s.push(12));
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.len(), 1);
+        assert!(s.is_full());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut s = StackBuffer::new(8);
+        for i in 0..5 {
+            s.push(i);
+        }
+        for _ in 0..5 {
+            s.pop();
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.high_water(), 5);
+        assert_eq!(s.pushes(), 5);
+        assert_eq!(s.pops(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _: StackBuffer<u32> = StackBuffer::new(0);
+    }
+
+    #[test]
+    fn clear_keeps_stats() {
+        let mut s = StackBuffer::new(4);
+        s.push(1);
+        s.clear();
+        assert!(s.is_empty());
+        assert_eq!(s.pushes(), 1);
+        assert_eq!(s.high_water(), 1);
+    }
+}

@@ -1,0 +1,72 @@
+//! Map the FR-079-style corridor with both engines — the software OctoMap
+//! baseline and the OMU accelerator — and verify they agree.
+//!
+//! ```sh
+//! cargo run --release --example corridor_mapping
+//! ```
+
+use omu::accel::{verify, OmuAccelerator, OmuConfig};
+use omu::cpumodel::{frame_equivalent_fps, CpuCostModel};
+use omu::datasets::DatasetKind;
+use omu::octree::OctreeF32;
+use omu::raycast::IntegrationMode;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 10 % slice of the corridor dataset keeps this example quick.
+    let dataset = DatasetKind::Fr079Corridor.build_scaled(0.1);
+    let spec = *dataset.spec();
+    println!(
+        "mapping {} ({} scans, {:.1} m max range, {} m voxels)",
+        spec.kind.name(),
+        dataset.num_scans(),
+        spec.max_range,
+        spec.resolution
+    );
+
+    // --- Software baseline (float log-odds, instrumented). ---
+    let mut tree = OctreeF32::new(spec.resolution)?;
+    tree.set_integration_mode(IntegrationMode::Raywise);
+    tree.set_max_range(Some(spec.max_range));
+    let mut updates = 0u64;
+    for scan in dataset.scans() {
+        updates += tree.insert_scan(&scan)?.total_updates();
+    }
+    let counters = *tree.counters();
+    let i9 = CpuCostModel::i9_9940x().runtime(&counters);
+    let stats = tree.tree_stats();
+    println!("\nsoftware baseline:");
+    println!("  voxel updates:     {updates}");
+    println!("  tree nodes:        {}", stats.num_nodes);
+    println!("  occupied volume:   {:.1} m^3", stats.occupied_volume);
+    println!("  free volume:       {:.1} m^3", stats.free_volume);
+    println!("  modeled i9 time:   {:.2} s ({:.2} FPS)", i9.total_s(),
+        frame_equivalent_fps(updates, i9.total_s()));
+
+    // --- OMU accelerator (16-bit fixed point). ---
+    let config = OmuConfig::builder()
+        .resolution(spec.resolution)
+        .max_range(Some(spec.max_range))
+        .build()?;
+    let mut omu = OmuAccelerator::new(config.clone())?;
+    for scan in dataset.scans() {
+        omu.integrate_scan(&scan)?;
+    }
+    let latency = omu.elapsed_seconds();
+    println!("\nOMU accelerator:");
+    println!("  latency:           {:.3} s ({:.1} FPS)", latency,
+        frame_equivalent_fps(omu.stats().voxel_updates, latency));
+    println!("  speedup over i9:   {:.1}x", i9.total_s() / latency);
+    println!("  power:             {:.1} mW", omu.power_report().total_mw());
+    println!("  SRAM utilization:  {:.0} %", omu.sram_utilization() * 100.0);
+
+    // --- Equivalence: the accelerator map is bit-identical to the
+    //     fixed-point software baseline. ---
+    let mut fixed = verify::baseline_for(&config);
+    for scan in dataset.scans() {
+        fixed.insert_scan(&scan)?;
+    }
+    let leaves = verify::check_equivalence(&fixed, &omu)
+        .map_err(|m| format!("maps diverged:\n{m}"))?;
+    println!("\nequivalence: accelerator and software maps are bit-identical ({leaves} leaves)");
+    Ok(())
+}

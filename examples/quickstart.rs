@@ -1,0 +1,45 @@
+//! Quickstart: build a probabilistic 3D map with the OMU accelerator
+//! model and query it.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use omu::accel::{OmuAccelerator, OmuConfig};
+use omu::geometry::{Occupancy, Point3, PointCloud, Scan};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's design point: 8 PEs × 8 × 32 kB banks, 1 GHz, 0.2 m voxels.
+    let mut omu = OmuAccelerator::new(OmuConfig::default())?;
+
+    // One synthetic scan: a ring of wall points around the sensor.
+    let origin = Point3::new(0.1, 0.1, 0.1);
+    let cloud: PointCloud = (0..360)
+        .map(|deg| {
+            let a = (deg as f64).to_radians();
+            Point3::new(4.0 * a.cos(), 4.0 * a.sin(), 0.3)
+        })
+        .collect();
+    omu.integrate_scan(&Scan::new(origin, cloud))?;
+
+    // Query the map: wall voxels are occupied, the space crossed by the
+    // rays is free, and everything beyond the wall is still unknown.
+    let wall = Point3::new(4.0, 0.0, 0.3);
+    let free = Point3::new(2.0, 0.0, 0.2);
+    let unseen = Point3::new(8.0, 0.0, 0.3);
+    println!("{wall}  -> {}", omu.query_point(wall)?);
+    println!("{free}  -> {}", omu.query_point(free)?);
+    println!("{unseen}  -> {}", omu.query_point(unseen)?);
+    assert_eq!(omu.query_point(wall)?, Occupancy::Occupied);
+    assert_eq!(omu.query_point(free)?, Occupancy::Free);
+    assert_eq!(omu.query_point(unseen)?, Occupancy::Unknown);
+
+    // The model accounts every cycle and SRAM access.
+    let stats = omu.stats();
+    println!("\nvoxel updates:   {}", stats.voxel_updates);
+    println!("wall cycles:     {}", stats.wall_cycles);
+    println!("SRAM accesses:   {}", stats.sram_total().accesses());
+    println!("elapsed:         {:.3} ms at 1 GHz", omu.elapsed_seconds() * 1e3);
+    println!("\n{}", omu.power_report());
+    Ok(())
+}

@@ -1,0 +1,40 @@
+//! OMU: a reproduction of *"OMU: A Probabilistic 3D Occupancy Mapping
+//! Accelerator for Real-time OctoMap at the Edge"* (Jia et al., DATE 2022)
+//! as a Rust workspace.
+//!
+//! This umbrella crate re-exports every component crate:
+//!
+//! - [`geometry`] — points, voxel keys, log-odds, fixed point.
+//! - [`raycast`] — 3D DDA ray casting and scan integration.
+//! - [`octree`] — the software OctoMap baseline (probabilistic octree).
+//! - [`simhw`] — hardware modeling substrate (SRAM, cycles, energy, area).
+//! - [`cpumodel`] — calibrated CPU timing models (i9-9940X, Cortex-A57).
+//! - [`datasets`] — synthetic stand-ins for the OctoMap 3D scan dataset.
+//! - [`accel`] — the OMU accelerator model itself (`omu-core`).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use omu::accel::{OmuAccelerator, OmuConfig};
+//! use omu::geometry::{Point3, PointCloud, Scan};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut omu = OmuAccelerator::new(OmuConfig::default())?;
+//! let scan = Scan::new(
+//!     Point3::ZERO,
+//!     [Point3::new(1.0, 0.0, 0.25)].into_iter().collect::<PointCloud>(),
+//! );
+//! omu.integrate_scan(&scan)?;
+//! let state = omu.query_point(Point3::new(1.0, 0.0, 0.25))?;
+//! assert_eq!(state, omu::geometry::Occupancy::Occupied);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use omu_core as accel;
+pub use omu_cpumodel as cpumodel;
+pub use omu_datasets as datasets;
+pub use omu_geometry as geometry;
+pub use omu_octree as octree;
+pub use omu_raycast as raycast;
+pub use omu_simhw as simhw;

@@ -1,0 +1,128 @@
+//! End-to-end pipeline checks: the headline comparisons of the paper hold
+//! in the reproduction (who wins, by roughly what factor).
+
+use omu::accel::{run_accelerator, OmuConfig};
+use omu::cpumodel::{frame_equivalent_fps, CpuCostModel};
+use omu::datasets::DatasetKind;
+use omu::octree::OctreeF32;
+use omu::raycast::IntegrationMode;
+
+struct Pipeline {
+    updates: u64,
+    i9_s: f64,
+    a57_s: f64,
+    omu_s: f64,
+    prune_share_cpu: f64,
+    prune_share_omu: f64,
+    power_mw: f64,
+    sram_share: f64,
+}
+
+fn run_pipeline(kind: DatasetKind, scale: f64) -> Pipeline {
+    let dataset = kind.build_scaled(scale);
+    let spec = *dataset.spec();
+
+    let mut tree = OctreeF32::new(spec.resolution).unwrap();
+    tree.set_integration_mode(IntegrationMode::Raywise);
+    tree.set_max_range(Some(spec.max_range));
+    let mut updates = 0;
+    for scan in dataset.scans() {
+        updates += tree.insert_scan(&scan).unwrap().total_updates();
+    }
+    let counters = tree.counters();
+    let i9 = CpuCostModel::i9_9940x().runtime(counters);
+    let a57 = CpuCostModel::cortex_a57().runtime(counters);
+
+    let config = OmuConfig::builder()
+        .rows_per_bank(1 << 15)
+        .resolution(spec.resolution)
+        .max_range(Some(spec.max_range))
+        .build()
+        .unwrap();
+    let (_, summary) = run_accelerator(config, dataset.scans()).unwrap();
+
+    Pipeline {
+        updates,
+        i9_s: i9.total_s(),
+        a57_s: a57.total_s(),
+        omu_s: summary.latency_s,
+        prune_share_cpu: i9.shares()[3],
+        prune_share_omu: summary.breakdown_shares[2],
+        power_mw: summary.power_mw,
+        sram_share: summary.sram_power_share,
+    }
+}
+
+#[test]
+fn corridor_headline_comparisons_hold() {
+    let p = run_pipeline(DatasetKind::Fr079Corridor, 0.05); // 4 scans
+    // Ordering: OMU < i9 < A57, with roughly the paper's factors.
+    let speedup_i9 = p.i9_s / p.omu_s;
+    let speedup_a57 = p.a57_s / p.omu_s;
+    assert!(
+        speedup_i9 > 4.0 && speedup_i9 < 30.0,
+        "OMU speedup over i9 = {speedup_i9:.1} (paper: 12.8x)"
+    );
+    assert!(
+        speedup_a57 > 20.0 && speedup_a57 < 150.0,
+        "OMU speedup over A57 = {speedup_a57:.1} (paper: 62.4x)"
+    );
+    // Real-time: the accelerator clears 30 FPS, the CPUs do not.
+    let omu_fps = frame_equivalent_fps(p.updates, p.omu_s);
+    let i9_fps = frame_equivalent_fps(p.updates, p.i9_s);
+    assert!(omu_fps > 30.0, "OMU fps = {omu_fps:.1} (paper: 63.66)");
+    assert!(i9_fps < 30.0, "i9 fps = {i9_fps:.1} (paper: 5.23)");
+    // The CPU bottleneck (prune/expand) is alleviated on the accelerator.
+    assert!(
+        p.prune_share_cpu > 0.25,
+        "prune dominates CPU time: {:.2}",
+        p.prune_share_cpu
+    );
+    assert!(
+        p.prune_share_omu < 0.20,
+        "paper: prune/expand < 20 % on OMU, got {:.2}",
+        p.prune_share_omu
+    );
+    // Power anchors.
+    assert!(
+        p.power_mw > 120.0 && p.power_mw < 330.0,
+        "OMU power = {:.1} mW (paper: 250.8)",
+        p.power_mw
+    );
+    assert!(
+        p.sram_share > 0.85,
+        "SRAM dominates power: {:.2} (paper: 0.91)",
+        p.sram_share
+    );
+}
+
+#[test]
+fn energy_benefit_is_orders_of_magnitude() {
+    let p = run_pipeline(DatasetKind::NewCollege, 0.001); // ~92 scans
+    let a57_energy = p.a57_s * 2.78;
+    let omu_energy = p.power_mw * 1e-3 * p.omu_s;
+    let benefit = a57_energy / omu_energy;
+    assert!(
+        benefit > 100.0,
+        "energy benefit = {benefit:.0}x (paper: 668-708x)"
+    );
+}
+
+#[test]
+fn dma_and_raycast_latency_are_hidden() {
+    // The paper hides ray casting behind map updates; the model's wall
+    // clock must be dominated by PE work, not the front-end.
+    let dataset = DatasetKind::Fr079Corridor.build_scaled(0.016);
+    let spec = *dataset.spec();
+    let config = OmuConfig::builder()
+        .rows_per_bank(1 << 15)
+        .resolution(spec.resolution)
+        .max_range(Some(spec.max_range))
+        .build()
+        .unwrap();
+    let (omu, _) = run_accelerator(config, dataset.scans()).unwrap();
+    let stats = omu.stats();
+    assert!(stats.raycast_cycles < stats.wall_cycles / 2, "ray casting is overlapped");
+    assert!(stats.dma_cycles < stats.wall_cycles / 10, "DMA is far from the bottleneck");
+    assert!(stats.pe_busy_total() > stats.wall_cycles, "PEs do the real work in parallel");
+}

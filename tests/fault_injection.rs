@@ -1,0 +1,82 @@
+//! Fault injection: the equivalence checker must detect soft errors in
+//! the accelerator's T-Mem.
+//!
+//! This doubles as a sensitivity check on `omu_core::verify` — a checker
+//! that "always passes" would be worthless, so we prove it catches a
+//! single flipped bit.
+//!
+//! Row placement is deterministic for a fresh single-path map: the PE
+//! allocates rows 1..=15 while descending to depth 16, so the leaf entry
+//! lives in row 15 at bank `child_index_at(15)`, and its parent (depth-15
+//! node) in row 14 at bank `child_index_at(14)`.
+
+use omu::accel::{verify, OmuAccelerator, OmuConfig};
+use omu::geometry::{Occupancy, Point3};
+
+fn build_single_path() -> (omu::octree::OctreeFixed, OmuAccelerator, omu::geometry::VoxelKey) {
+    let config = OmuConfig::default();
+    let mut tree = verify::baseline_for(&config);
+    let mut omu = OmuAccelerator::new(config).unwrap();
+    let p = Point3::new(1.23, 2.34, 0.45);
+    let key = omu.converter().coord_to_key(p).unwrap();
+    omu.update_voxel(key, true).unwrap();
+    tree.update_key(key, true);
+    (tree, omu, key)
+}
+
+#[test]
+fn clean_run_is_equivalent_then_leaf_flip_breaks_it() {
+    let (tree, mut omu, key) = build_single_path();
+    verify::check_equivalence(&tree, &omu).expect("clean maps are bit-identical");
+
+    // Flip a probability bit of the leaf entry (prob is bits [15:0]).
+    let pe = key.first_level_branch().index();
+    let leaf_bank = key.child_index_at(15).index();
+    omu.inject_bit_flip(pe, 15, leaf_bank, 9);
+
+    let report = verify::check_equivalence(&tree, &omu)
+        .expect_err("a flipped probability bit must surface as a divergence");
+    assert!(report.value_mismatches > 0, "report must localize the fault: {report}");
+}
+
+#[test]
+fn tag_flip_materializes_phantom_leaf() {
+    let (tree, mut omu, key) = build_single_path();
+
+    // In the depth-15 node (row 14), flip the low tag bit of a *sibling*
+    // slot of the real leaf: Unknown (00) becomes Occupied (01), so a
+    // phantom leaf appears in the accelerator's map.
+    let pe = key.first_level_branch().index();
+    let parent_bank = key.child_index_at(14).index();
+    let real_pos = key.child_index_at(15).index();
+    let phantom_pos = real_pos ^ 1;
+    omu.inject_bit_flip(pe, 14, parent_bank, 16 + 2 * phantom_pos as u32);
+
+    let report = verify::check_equivalence(&tree, &omu)
+        .expect_err("a phantom child must surface as a divergence");
+    assert!(
+        report.only_accelerator > 0,
+        "the phantom leaf exists only on the accelerator: {report}"
+    );
+}
+
+#[test]
+fn double_flip_restores_equivalence() {
+    let (tree, mut omu, key) = build_single_path();
+    let pe = key.first_level_branch().index();
+    let leaf_bank = key.child_index_at(15).index();
+    omu.inject_bit_flip(pe, 15, leaf_bank, 5);
+    omu.inject_bit_flip(pe, 15, leaf_bank, 5);
+    verify::check_equivalence(&tree, &omu).expect("double flip restores the bit");
+}
+
+#[test]
+fn corrupted_probability_changes_queries() {
+    let (_, mut omu, key) = build_single_path();
+    assert_eq!(omu.query_key(key), Occupancy::Occupied);
+    // Flip the sign bit of the leaf probability: occupied becomes free.
+    let pe = key.first_level_branch().index();
+    let leaf_bank = key.child_index_at(15).index();
+    omu.inject_bit_flip(pe, 15, leaf_bank, 15);
+    assert_eq!(omu.query_key(key), Occupancy::Free, "sign flip inverts classification");
+}

@@ -1,0 +1,75 @@
+//! Serialization across crates: maps built from dataset scans survive a
+//! byte round-trip on both value representations.
+
+use omu::datasets::DatasetKind;
+use omu::geometry::Point3;
+use omu::octree::{DeserializeError, OctreeF32, OctreeFixed};
+use omu::raycast::IntegrationMode;
+
+fn build<TreeInit>(init: TreeInit) -> Vec<u8>
+where
+    TreeInit: FnOnce(f64) -> Vec<u8>,
+{
+    init(0.2)
+}
+
+#[test]
+fn float_map_roundtrips_through_bytes() {
+    let bytes = build(|res| {
+        let dataset = DatasetKind::Fr079Corridor.build_scaled(0.016);
+        let mut tree = OctreeF32::new(res).unwrap();
+        tree.set_integration_mode(IntegrationMode::Raywise);
+        tree.set_max_range(Some(dataset.spec().max_range));
+        for scan in dataset.scans() {
+            tree.insert_scan(&scan).unwrap();
+        }
+        let encoded = tree.to_bytes();
+        let restored = OctreeF32::from_bytes(&encoded).unwrap();
+        assert_eq!(restored.snapshot(), tree.snapshot());
+        assert_eq!(restored.num_nodes(), tree.num_nodes());
+        // Queries survive.
+        for p in [
+            Point3::new(0.5, 0.0, 0.0),
+            Point3::new(3.0, 1.0, 0.5),
+            Point3::new(-5.0, -1.0, -0.5),
+        ] {
+            assert_eq!(restored.occupancy_at(p).unwrap(), tree.occupancy_at(p).unwrap());
+        }
+        encoded
+    });
+    assert!(bytes.len() > 10_000, "a real map serializes to real bytes");
+}
+
+#[test]
+fn fixed_map_roundtrips_through_bytes() {
+    let dataset = DatasetKind::NewCollege.build_scaled(0.0005);
+    let mut tree = OctreeFixed::new(0.2).unwrap();
+    tree.set_max_range(Some(dataset.spec().max_range));
+    for scan in dataset.scans() {
+        tree.insert_scan(&scan).unwrap();
+    }
+    let restored = OctreeFixed::from_bytes(&tree.to_bytes()).unwrap();
+    assert_eq!(restored.snapshot(), tree.snapshot());
+}
+
+#[test]
+fn corrupted_maps_are_rejected_not_misread() {
+    let mut tree = OctreeF32::new(0.2).unwrap();
+    tree.update_point(Point3::new(1.0, 1.0, 1.0), true).unwrap();
+    let bytes = tree.to_bytes();
+
+    // Flipping the magic is detected.
+    let mut bad = bytes.clone();
+    bad[0] ^= 0xFF;
+    assert_eq!(OctreeF32::from_bytes(&bad).unwrap_err(), DeserializeError::BadMagic);
+
+    // Any truncation is detected.
+    for cut in [4, 10, bytes.len() / 2, bytes.len() - 1] {
+        assert!(OctreeF32::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+    }
+
+    // Garbage appended is detected.
+    let mut padded = bytes.clone();
+    padded.extend_from_slice(&[1, 2, 3]);
+    assert!(OctreeF32::from_bytes(&padded).is_err());
+}
