@@ -2,11 +2,11 @@
 //! PE updates, scan integration, scheduling, and queries.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use omu_core::{OmuAccelerator, OmuConfig, VoxelScheduler};
 use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::hint::black_box;
 
 fn ring_scan(points: usize, seed: u64) -> Scan {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -70,7 +70,10 @@ fn bench_query(c: &mut Criterion) {
     for s in 0..4 {
         omu.integrate_scan(&ring_scan(256, s)).unwrap();
     }
-    let key = omu.converter().coord_to_key(Point3::new(3.0, 1.0, 0.5)).unwrap();
+    let key = omu
+        .converter()
+        .coord_to_key(Point3::new(3.0, 1.0, 0.5))
+        .unwrap();
     let mut g = c.benchmark_group("accel_query");
     g.throughput(Throughput::Elements(1));
     g.bench_function("query_key", |b| b.iter(|| omu.query_key(black_box(key))));
@@ -96,5 +99,11 @@ fn bench_scheduler(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_update, bench_scan_integration, bench_query, bench_scheduler);
+criterion_group!(
+    benches,
+    bench_update,
+    bench_scan_integration,
+    bench_query,
+    bench_scheduler
+);
 criterion_main!(benches);

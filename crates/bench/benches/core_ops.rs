@@ -2,9 +2,9 @@
 //! (Fig. 5), fixed-point log-odds arithmetic, and voxel-key math.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use omu_core::{ChildStatus, NodeEntry};
 use omu_geometry::{FixedLogOdds, KeyConverter, Point3, VoxelKey};
+use std::hint::black_box;
 
 fn bench_node_entry(c: &mut Criterion) {
     let mut g = c.benchmark_group("node_entry");
@@ -34,7 +34,9 @@ fn bench_fixed_point(c: &mut Criterion) {
     g.bench_function("saturating_add", |b| {
         b.iter(|| black_box(v).saturating_add(black_box(a)))
     });
-    g.bench_function("from_f32", |b| b.iter(|| FixedLogOdds::from_f32(black_box(0.8473))));
+    g.bench_function("from_f32", |b| {
+        b.iter(|| FixedLogOdds::from_f32(black_box(0.8473)))
+    });
     g.finish();
 }
 
@@ -44,13 +46,22 @@ fn bench_keys(c: &mut Criterion) {
     let key = conv.coord_to_key(p).unwrap();
     let mut g = c.benchmark_group("voxel_key");
     g.throughput(Throughput::Elements(1));
-    g.bench_function("coord_to_key", |b| b.iter(|| conv.coord_to_key(black_box(p))));
-    g.bench_function("key_to_coord", |b| b.iter(|| conv.key_to_coord(black_box(key))));
+    g.bench_function("coord_to_key", |b| {
+        b.iter(|| conv.coord_to_key(black_box(p)))
+    });
+    g.bench_function("key_to_coord", |b| {
+        b.iter(|| conv.key_to_coord(black_box(key)))
+    });
     g.bench_function("child_index_at", |b| {
         b.iter(|| black_box(key).child_index_at(black_box(7)))
     });
     g.bench_function("path_from_root", |b| {
-        b.iter(|| black_box(key).path_from_root().map(|c| c.index()).sum::<usize>())
+        b.iter(|| {
+            black_box(key)
+                .path_from_root()
+                .map(|c| c.index())
+                .sum::<usize>()
+        })
     });
     g.finish();
     let _ = VoxelKey::ORIGIN;

@@ -2,11 +2,11 @@
 //! ray-cast and serialization paths.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use std::hint::black_box;
 use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
 use omu_octree::OctreeF32;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::hint::black_box;
 
 fn mapped_tree() -> OctreeF32 {
     let mut tree = OctreeF32::new(0.2).unwrap();
@@ -71,7 +71,10 @@ fn bench_queries(c: &mut Criterion) {
     let tree = mapped_tree();
     let mut g = c.benchmark_group("octree_query");
     g.throughput(Throughput::Elements(1));
-    let key = tree.converter().coord_to_key(Point3::new(4.0, 2.0, 0.5)).unwrap();
+    let key = tree
+        .converter()
+        .coord_to_key(Point3::new(4.0, 2.0, 0.5))
+        .unwrap();
     g.bench_function("search", |b| b.iter(|| tree.search(black_box(key))));
     g.bench_function("occupancy", |b| b.iter(|| tree.occupancy(black_box(key))));
     g.bench_function("cast_ray_10m", |b| {
@@ -96,7 +99,11 @@ fn bench_maintenance(c: &mut Criterion) {
     g.bench_function("to_bytes", |b| b.iter(|| tree.to_bytes().len()));
     let bytes = tree.to_bytes();
     g.bench_function("from_bytes", |b| {
-        b.iter(|| OctreeF32::from_bytes(black_box(&bytes)).unwrap().num_nodes())
+        b.iter(|| {
+            OctreeF32::from_bytes(black_box(&bytes))
+                .unwrap()
+                .num_nodes()
+        })
     });
     g.bench_function("prune_all_noop", |b| {
         // Already pruned eagerly: measures the scan cost alone.

@@ -7,13 +7,13 @@
 //! identical slices of each workload.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
 use omu_core::{run_accelerator, OmuConfig};
 use omu_cpumodel::CpuCostModel;
 use omu_datasets::DatasetKind;
 use omu_geometry::Scan;
 use omu_octree::OctreeF32;
 use omu_raycast::IntegrationMode;
+use std::hint::black_box;
 
 /// A small slice of one dataset scan keeps the benches fast while
 /// exercising exactly the table's code path.
@@ -21,9 +21,12 @@ fn slice_of(kind: DatasetKind, points: usize) -> (Scan, f64, f64) {
     let dataset = kind.build_scaled(1.0 / kind.spec().scans as f64);
     let spec = *dataset.spec();
     let full = dataset.scan(0);
-    let cloud: omu_geometry::PointCloud =
-        full.cloud.iter().copied().take(points).collect();
-    (Scan::new(full.origin, cloud), spec.resolution, spec.max_range)
+    let cloud: omu_geometry::PointCloud = full.cloud.iter().copied().take(points).collect();
+    (
+        Scan::new(full.origin, cloud),
+        spec.resolution,
+        spec.max_range,
+    )
 }
 
 fn baseline_time(scan: &Scan, resolution: f64, max_range: f64) -> usize {
@@ -56,12 +59,16 @@ fn bench_table_machinery(c: &mut Criterion) {
             kind.name().replace(' ', "_")
         ));
         g.sample_size(10);
-        g.bench_with_input(BenchmarkId::new("baseline_octree", scan.len()), &scan, |b, s| {
-            b.iter(|| baseline_time(black_box(s), res, range))
-        });
-        g.bench_with_input(BenchmarkId::new("omu_accelerator", scan.len()), &scan, |b, s| {
-            b.iter(|| accel_time(black_box(s), res, range))
-        });
+        g.bench_with_input(
+            BenchmarkId::new("baseline_octree", scan.len()),
+            &scan,
+            |b, s| b.iter(|| baseline_time(black_box(s), res, range)),
+        );
+        g.bench_with_input(
+            BenchmarkId::new("omu_accelerator", scan.len()),
+            &scan,
+            |b, s| b.iter(|| accel_time(black_box(s), res, range)),
+        );
         g.finish();
     }
 }
@@ -105,5 +112,10 @@ fn bench_fig8_reports(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_table_machinery, bench_cpu_models, bench_fig8_reports);
+criterion_group!(
+    benches,
+    bench_table_machinery,
+    bench_cpu_models,
+    bench_fig8_reports
+);
 criterion_main!(benches);

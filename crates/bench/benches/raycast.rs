@@ -2,9 +2,9 @@
 //! scan integration in both overlap modes.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use std::hint::black_box;
 use omu_geometry::{KeyConverter, Point3, PointCloud, Scan};
 use omu_raycast::{compute_ray_keys, IntegrationMode, KeyRay, ScanIntegrator};
+use std::hint::black_box;
 
 fn bench_dda(c: &mut Criterion) {
     let conv = KeyConverter::new(0.2).unwrap();
@@ -13,13 +13,17 @@ fn bench_dda(c: &mut Criterion) {
         let end = Point3::new(length_m * 0.7, length_m * 0.6, length_m * 0.38);
         let cells = (length_m / 0.2 * 1.6) as u64;
         g.throughput(Throughput::Elements(cells));
-        g.bench_with_input(BenchmarkId::new("compute_ray_keys", length_m as u64), &end, |b, &end| {
-            let mut ray = KeyRay::new();
-            b.iter(|| {
-                compute_ray_keys(&conv, black_box(Point3::ZERO), black_box(end), &mut ray)
-                    .unwrap()
-            });
-        });
+        g.bench_with_input(
+            BenchmarkId::new("compute_ray_keys", length_m as u64),
+            &end,
+            |b, &end| {
+                let mut ray = KeyRay::new();
+                b.iter(|| {
+                    compute_ray_keys(&conv, black_box(Point3::ZERO), black_box(end), &mut ray)
+                        .unwrap()
+                });
+            },
+        );
     }
     g.finish();
 }

@@ -35,7 +35,8 @@ impl RunOptions {
     /// Panics with a usage message on malformed arguments.
     pub fn parse<I: IntoIterator<Item = String>>(args: I, env_scale: Option<String>) -> Self {
         let mut scale = env_scale.map(|s| {
-            s.parse::<f64>().unwrap_or_else(|_| panic!("OMU_SCALE must be a number, got {s:?}"))
+            s.parse::<f64>()
+                .unwrap_or_else(|_| panic!("OMU_SCALE must be a number, got {s:?}"))
         });
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {

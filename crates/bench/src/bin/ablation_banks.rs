@@ -17,7 +17,10 @@ fn main() {
     let dataset = kind.build_scaled(scale);
     let spec = *dataset.spec();
 
-    println!("bank-parallelism ablation on {} (scale {scale}):", kind.name());
+    println!(
+        "bank-parallelism ablation on {} (scale {scale}):",
+        kind.name()
+    );
     let mut t = TextTable::new(["banks", "row-read cycles", "latency (s)", "slowdown vs 8"]);
     let mut batch8 = None;
     for banks in [8usize, 4, 2, 1] {

@@ -10,7 +10,7 @@
 
 use omu_bench::table::fmt_f;
 use omu_bench::TextTable;
-use omu_geometry::{OccupancyParams, Occupancy};
+use omu_geometry::{Occupancy, OccupancyParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -47,11 +47,15 @@ fn main() {
         .map(|_| {
             let len = rng.random_range(1..40);
             let bias = rng.random_range(0.2..0.8);
-            (0..len).map(|_| rng.random_range(0.0..1.0) < bias).collect()
+            (0..len)
+                .map(|_| rng.random_range(0.0..1.0) < bias)
+                .collect()
         })
         .collect();
-    let float_class: Vec<Occupancy> =
-        sequences.iter().map(|s| params.classify(run_float(s, &params))).collect();
+    let float_class: Vec<Occupancy> = sequences
+        .iter()
+        .map(|s| params.classify(run_float(s, &params)))
+        .collect();
 
     println!("fixed-point width study ({trials} random observation sequences):");
     let mut t = TextTable::new([

@@ -16,7 +16,14 @@ fn main() {
     let spec = *dataset.spec();
 
     println!("PE-count ablation on {} (scale {scale}):", kind.name());
-    let mut t = TextTable::new(["PEs", "latency (s)", "FPS", "speedup", "imbalance", "power (mW)"]);
+    let mut t = TextTable::new([
+        "PEs",
+        "latency (s)",
+        "FPS",
+        "speedup",
+        "imbalance",
+        "power (mW)",
+    ]);
     let mut base_latency = None;
     for num_pes in [1usize, 2, 4, 8] {
         let config = OmuConfig::builder()

@@ -18,8 +18,16 @@ fn main() {
     let dataset = kind.build_scaled(scale);
     let spec = *dataset.spec();
 
-    println!("voxel-queue capacity ablation on {} (scale {scale}):", kind.name());
-    let mut t = TextTable::new(["queue capacity", "latency (s)", "front-end stall cycles", "FPS"]);
+    println!(
+        "voxel-queue capacity ablation on {} (scale {scale}):",
+        kind.name()
+    );
+    let mut t = TextTable::new([
+        "queue capacity",
+        "latency (s)",
+        "front-end stall cycles",
+        "FPS",
+    ]);
     for capacity in [4usize, 16, 64, 512, 4096] {
         let config = OmuConfig::builder()
             .voxel_queue_capacity(capacity)

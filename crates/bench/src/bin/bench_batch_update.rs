@@ -1,0 +1,212 @@
+//! Measures scalar vs batched voxel-update throughput on the FR-079
+//! corridor dataset and writes `BENCH_batch_update.json` (in the current
+//! directory) to seed the repo's performance trajectory.
+//!
+//! Two stages are reported:
+//!
+//! - **update_engine** — ray casting is precomputed; the measurement is
+//!   purely the tree-update stage (the paper's "voxel update" workload,
+//!   and what the batch engine accelerates): `update_key` per update vs
+//!   one Morton-sorted `apply_update_batch` per scan.
+//! - **end_to_end** — full `insert_scan` vs `insert_scan_batched` vs
+//!   `insert_scan_parallel`, including ray casting (which dominates and
+//!   is identical across engines, so ratios here are muted; on a
+//!   single-CPU container the parallel path adds sharding overhead for
+//!   no gain).
+//!
+//! Usage: `cargo run --release -p omu-bench --bin bench_batch_update
+//! [-- --scale 0.1]`.
+
+use std::time::Instant;
+
+use omu_bench::RunOptions;
+use omu_datasets::DatasetKind;
+use omu_geometry::Scan;
+use omu_octree::OctreeF32;
+use omu_raycast::{IntegrationMode, ScanIntegrator, VoxelUpdate};
+
+struct Measurement {
+    stage: &'static str,
+    engine: &'static str,
+    updates: u64,
+    seconds: f64,
+    nodes: usize,
+}
+
+impl Measurement {
+    fn updates_per_sec(&self) -> f64 {
+        self.updates as f64 / self.seconds
+    }
+}
+
+/// Best-of-3 timing of `run`, which returns (updates, end node count).
+fn measure(
+    stage: &'static str,
+    engine: &'static str,
+    mut run: impl FnMut() -> (u64, usize),
+) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let (updates, nodes) = run();
+        let seconds = start.elapsed().as_secs_f64();
+        let m = Measurement {
+            stage,
+            engine,
+            updates,
+            seconds,
+            nodes,
+        };
+        if best.as_ref().is_none_or(|b| m.seconds < b.seconds) {
+            best = Some(m);
+        }
+    }
+    best.expect("three repetitions ran")
+}
+
+fn fresh_tree(resolution: f64, max_range: f64) -> OctreeF32 {
+    let mut t = OctreeF32::new(resolution).expect("valid resolution");
+    t.set_integration_mode(IntegrationMode::Raywise);
+    t.set_max_range(Some(max_range));
+    t
+}
+
+fn json_entry(m: &Measurement) -> String {
+    format!(
+        concat!(
+            "    {{ \"stage\": \"{}\", \"engine\": \"{}\", \"updates\": {}, ",
+            "\"seconds\": {:.6}, \"updates_per_sec\": {:.0}, \"tree_nodes\": {} }}"
+        ),
+        m.stage,
+        m.engine,
+        m.updates,
+        m.seconds,
+        m.updates_per_sec(),
+        m.nodes,
+    )
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let kind = DatasetKind::Fr079Corridor;
+    let scale = opts.scale.unwrap_or(0.1);
+    let dataset = kind.build_scaled(scale);
+    let spec = *dataset.spec();
+    let scans: Vec<Scan> = dataset.scans().collect();
+    eprintln!(
+        "corridor @ scale {scale}: {} scans, resolution {} m",
+        scans.len(),
+        spec.resolution
+    );
+
+    // Precompute each scan's update batch so the update_engine stage
+    // times tree work only.
+    let mut integrator = ScanIntegrator::new(
+        *fresh_tree(spec.resolution, spec.max_range).converter(),
+        Some(spec.max_range),
+        IntegrationMode::Raywise,
+    );
+    let batches: Vec<Vec<VoxelUpdate>> = scans
+        .iter()
+        .map(|s| {
+            let mut v = Vec::new();
+            integrator
+                .integrate_into(s, &mut v)
+                .expect("scans stay inside the map");
+            v
+        })
+        .collect();
+    let total_updates: u64 = batches.iter().map(|b| b.len() as u64).sum();
+    eprintln!("{total_updates} voxel updates precomputed");
+
+    let mut results = Vec::new();
+
+    results.push(measure("update_engine", "scalar", || {
+        let mut tree = fresh_tree(spec.resolution, spec.max_range);
+        for batch in &batches {
+            for u in batch {
+                tree.update_key(u.key, u.hit);
+            }
+        }
+        (total_updates, tree.num_nodes())
+    }));
+    results.push(measure("update_engine", "batched", || {
+        let mut tree = fresh_tree(spec.resolution, spec.max_range);
+        for batch in &batches {
+            tree.apply_update_batch(batch);
+        }
+        (total_updates, tree.num_nodes())
+    }));
+
+    results.push(measure("end_to_end", "scalar", || {
+        let mut tree = fresh_tree(spec.resolution, spec.max_range);
+        let n: u64 = scans
+            .iter()
+            .map(|s| tree.insert_scan(s).unwrap().total_updates())
+            .sum();
+        (n, tree.num_nodes())
+    }));
+    results.push(measure("end_to_end", "batched", || {
+        let mut tree = fresh_tree(spec.resolution, spec.max_range);
+        let n: u64 = scans
+            .iter()
+            .map(|s| tree.insert_scan_batched(s).unwrap().total_updates())
+            .sum();
+        (n, tree.num_nodes())
+    }));
+    results.push(measure("end_to_end", "batched_parallel", || {
+        let mut tree = fresh_tree(spec.resolution, spec.max_range);
+        let n: u64 = scans
+            .iter()
+            .map(|s| tree.insert_scan_parallel(s, 0).unwrap().total_updates())
+            .sum();
+        (n, tree.num_nodes())
+    }));
+
+    for m in &results {
+        eprintln!(
+            "  {:<14} {:<17} {:>12.0} updates/s  ({:.3} s, {} nodes)",
+            m.stage,
+            m.engine,
+            m.updates_per_sec(),
+            m.seconds,
+            m.nodes
+        );
+    }
+
+    let scalar_update_rate = results[0].updates_per_sec();
+    let batched_update_rate = results[1].updates_per_sec();
+    eprintln!(
+        "update_engine speedup: {:.2}x",
+        batched_update_rate / scalar_update_rate
+    );
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"batch_update\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"scans\": {},\n",
+            "  \"resolution_m\": {},\n",
+            "  \"total_updates\": {},\n",
+            "  \"update_engine_speedup_vs_scalar\": {:.2},\n",
+            "  \"results\": [\n{}\n  ]\n",
+            "}}\n"
+        ),
+        kind.name(),
+        scale,
+        scans.len(),
+        spec.resolution,
+        total_updates,
+        batched_update_rate / scalar_update_rate,
+        results
+            .iter()
+            .map(json_entry)
+            .collect::<Vec<_>>()
+            .join(",\n"),
+    );
+    std::fs::write("BENCH_batch_update.json", &json).expect("write BENCH_batch_update.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_batch_update.json");
+}

@@ -18,19 +18,25 @@ fn main() {
     let runs = run_all(opts);
 
     // --- Fit the i9 per-category scales. ---
-    let counters: Vec<_> = runs.iter().map(|r| {
-        // Scale counters up to the full dataset so targets and predictions
-        // are in the same units.
-        let mut c = r.counters;
-        let f = r.extrapolation;
-        scale_counters(&mut c, f);
-        c
-    }).collect();
+    let counters: Vec<_> = runs
+        .iter()
+        .map(|r| {
+            // Scale counters up to the full dataset so targets and predictions
+            // are in the same units.
+            let mut c = r.counters;
+            let f = r.extrapolation;
+            scale_counters(&mut c, f);
+            c
+        })
+        .collect();
     let targets: Vec<CalibrationTarget> = runs
         .iter()
         .map(|r| {
             let p = r.kind.paper();
-            CalibrationTarget { total_s: p.i9_latency_s, shares: p.fig3_shares }
+            CalibrationTarget {
+                total_s: p.i9_latency_s,
+                shares: p.fig3_shares,
+            }
         })
         .collect();
 
@@ -49,7 +55,10 @@ fn main() {
     println!("  traverse_step_ns: {:.3},", fitted.traverse_step_ns);
     println!("  saturation_probe_ns: {:.3},", fitted.saturation_probe_ns);
     println!("  parent_update_ns: {:.3},", fitted.parent_update_ns);
-    println!("  parent_child_read_ns: {:.3},", fitted.parent_child_read_ns);
+    println!(
+        "  parent_child_read_ns: {:.3},",
+        fitted.parent_child_read_ns
+    );
     println!("  prune_check_ns: {:.3},", fitted.prune_check_ns);
     println!("  prune_child_read_ns: {:.3},", fitted.prune_child_read_ns);
     println!("  prune_ns: {:.3},", fitted.prune_ns);
@@ -57,7 +66,10 @@ fn main() {
     println!();
 
     // --- A57 global factor against Table III. ---
-    let i9_preds: Vec<f64> = counters.iter().map(|c| fitted.runtime(c).total_s()).collect();
+    let i9_preds: Vec<f64> = counters
+        .iter()
+        .map(|c| fitted.runtime(c).total_s())
+        .collect();
     let a57_targets: Vec<f64> = runs.iter().map(|r| r.kind.paper().a57_latency_s).collect();
     let a57_factor = omu_cpumodel::fit::fit_scale(&i9_preds, &a57_targets);
     println!("suggested A57 factor over fitted i9: x{a57_factor:.3}");

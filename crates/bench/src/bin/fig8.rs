@@ -14,7 +14,9 @@ fn main() {
     println!("paper: 2.5 mm^2 total, 2.0 mm x 1.25 mm, 8 PEs x 256 kB, 12 nm, 1 GHz @ 0.8 V");
     println!();
 
-    let scale = opts.scale.unwrap_or_else(|| default_scale(DatasetKind::Fr079Corridor));
+    let scale = opts
+        .scale
+        .unwrap_or_else(|| default_scale(DatasetKind::Fr079Corridor));
     eprintln!("running FR-079 corridor at scale {scale} for the power split ...");
     let run = run_dataset(DatasetKind::Fr079Corridor, scale);
     println!(

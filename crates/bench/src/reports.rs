@@ -37,13 +37,24 @@ pub fn print_table2(runs: &[DatasetRun]) {
         format!("{} / {}", paper[1].scan_number, runs[1].scans_run),
         format!("{} / {}", paper[2].scan_number, runs[2].scans_run),
     ]);
-    let ppscan =
-        |r: &DatasetRun| fmt_f(r.points as f64 / r.scans_run as f64 / 1e3) + "k";
+    let ppscan = |r: &DatasetRun| fmt_f(r.points as f64 / r.scans_run as f64 / 1e3) + "k";
     t.row([
         "Average Points / Scan".to_owned(),
-        format!("{}k / {}", fmt_f(paper[0].avg_points_per_scan / 1e3), ppscan(&runs[0])),
-        format!("{}k / {}", fmt_f(paper[1].avg_points_per_scan / 1e3), ppscan(&runs[1])),
-        format!("{}k / {}", fmt_f(paper[2].avg_points_per_scan / 1e3), ppscan(&runs[2])),
+        format!(
+            "{}k / {}",
+            fmt_f(paper[0].avg_points_per_scan / 1e3),
+            ppscan(&runs[0])
+        ),
+        format!(
+            "{}k / {}",
+            fmt_f(paper[1].avg_points_per_scan / 1e3),
+            ppscan(&runs[1])
+        ),
+        format!(
+            "{}k / {}",
+            fmt_f(paper[2].avg_points_per_scan / 1e3),
+            ppscan(&runs[2])
+        ),
     ]);
     let f = |p: f64, m: f64| format!("{} / {}", fmt_f(p), fmt_f(m));
     t.row([
@@ -111,15 +122,33 @@ pub fn print_table3(runs: &[DatasetRun]) {
     ]);
     t.row([
         "Arm A57 CPU".to_owned(),
-        f(runs[0].kind.paper().a57_latency_s, runs[0].a57_latency_full()),
-        f(runs[1].kind.paper().a57_latency_s, runs[1].a57_latency_full()),
-        f(runs[2].kind.paper().a57_latency_s, runs[2].a57_latency_full()),
+        f(
+            runs[0].kind.paper().a57_latency_s,
+            runs[0].a57_latency_full(),
+        ),
+        f(
+            runs[1].kind.paper().a57_latency_s,
+            runs[1].a57_latency_full(),
+        ),
+        f(
+            runs[2].kind.paper().a57_latency_s,
+            runs[2].a57_latency_full(),
+        ),
     ]);
     t.row([
         "OMU accelerator".to_owned(),
-        f(runs[0].kind.paper().omu_latency_s, runs[0].omu_latency_full()),
-        f(runs[1].kind.paper().omu_latency_s, runs[1].omu_latency_full()),
-        f(runs[2].kind.paper().omu_latency_s, runs[2].omu_latency_full()),
+        f(
+            runs[0].kind.paper().omu_latency_s,
+            runs[0].omu_latency_full(),
+        ),
+        f(
+            runs[1].kind.paper().omu_latency_s,
+            runs[1].omu_latency_full(),
+        ),
+        f(
+            runs[2].kind.paper().omu_latency_s,
+            runs[2].omu_latency_full(),
+        ),
     ]);
     let speed = |p: f64, cpu: f64, omu: f64| format!("{} / {}", fmt_x(p), fmt_x(cpu / omu));
     t.row([

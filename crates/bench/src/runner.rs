@@ -130,7 +130,10 @@ pub fn run_dataset(kind: DatasetKind, scale: f64) -> DatasetRun {
         let dataset_ref = &dataset;
         let base = s.spawn(move || run_baseline(dataset_ref));
         let acc = s.spawn(move || run_accel(dataset_ref));
-        (base.join().expect("baseline thread"), acc.join().expect("accelerator thread"))
+        (
+            base.join().expect("baseline thread"),
+            acc.join().expect("accelerator thread"),
+        )
     });
     let (integration, counters, tree_nodes, tree_mem, points) = baseline;
     let (accel_summary, rows_per_bank) = accel;
@@ -162,10 +165,18 @@ fn run_baseline(dataset: &Dataset) -> (IntegrationStats, OpCounters, usize, Memo
     let mut points = 0u64;
     for scan in dataset.scans() {
         points += scan.len() as u64;
-        let stats = tree.insert_scan(&scan).expect("generated scans stay inside the map");
+        let stats = tree
+            .insert_scan(&scan)
+            .expect("generated scans stay inside the map");
         totals.merge(&stats);
     }
-    (totals, *tree.counters(), tree.num_nodes(), tree.memory_stats(), points)
+    (
+        totals,
+        *tree.counters(),
+        tree.num_nodes(),
+        tree.memory_stats(),
+        points,
+    )
 }
 
 fn run_accel(dataset: &Dataset) -> (AccelRunSummary, usize) {
@@ -215,7 +226,10 @@ pub fn run_all(opts: RunOptions) -> Vec<DatasetRun> {
                 })
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("dataset thread")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("dataset thread"))
+            .collect()
     })
 }
 
@@ -229,7 +243,10 @@ mod tests {
         assert_eq!(run.scans_run, 1);
         assert!(run.extrapolation > 60.0);
         assert!(run.points > 50_000, "one dense scan");
-        assert!(run.integration.total_updates() > run.points, "free cells dominate");
+        assert!(
+            run.integration.total_updates() > run.points,
+            "free cells dominate"
+        );
         assert!(run.tree_nodes > 1000);
         // The CPU models see the same workload the accelerator ran.
         assert_eq!(run.accel.voxel_updates, run.integration.total_updates());

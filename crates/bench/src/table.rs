@@ -27,7 +27,10 @@ impl TextTable {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        TextTable { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        TextTable {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row.
@@ -41,7 +44,11 @@ impl TextTable {
         S: Into<String>,
     {
         let row: Vec<String> = cells.into_iter().map(Into::into).collect();
-        assert_eq!(row.len(), self.headers.len(), "row width must match header width");
+        assert_eq!(
+            row.len(),
+            self.headers.len(),
+            "row width must match header width"
+        );
         self.rows.push(row);
         self
     }

@@ -1,8 +1,7 @@
 //! The top-level OMU accelerator (paper Fig. 7).
 
-use omu_geometry::{
-    FixedLogOdds, KeyConverter, Occupancy, Point3, ResolvedParams, Scan, VoxelKey,
-};
+use omu_geometry::{FixedLogOdds, KeyConverter, Occupancy, Point3, ResolvedParams, Scan, VoxelKey};
+use omu_raycast::VoxelUpdate;
 use omu_simhw::{tech12nm, AxiStreamModel, EnergyLedger, PowerReport};
 
 use crate::config::OmuConfig;
@@ -29,6 +28,9 @@ pub struct OmuAccelerator {
     axi: AxiStreamModel,
     query_stats: QueryUnitStats,
     stats: AccelStats,
+    // Reusable buffers for the batched front end.
+    scratch_batch: Vec<(u64, VoxelUpdate)>,
+    scratch_run: Vec<u64>,
 }
 
 impl OmuAccelerator {
@@ -66,6 +68,8 @@ impl OmuAccelerator {
             axi,
             query_stats: QueryUnitStats::default(),
             stats: AccelStats::default(),
+            scratch_batch: Vec::new(),
+            scratch_run: Vec::new(),
         })
     }
 
@@ -121,24 +125,139 @@ impl OmuAccelerator {
             }
         })?;
 
+        self.record_scan_stats(
+            scan_start,
+            scan.len() as u64,
+            istats.dda_steps,
+            rc_cycles,
+            dma_cycles,
+            dma_bytes,
+            dispatched_free,
+            dispatched_occ,
+        );
+
+        if let Some(e) = capacity_error {
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// The per-scan bookkeeping both integration engines share.
+    ///
+    /// Ray casting and DMA overlap with the PE pipelines; PE work is
+    /// allowed to flow across scan boundaries (the voxel queues never
+    /// drain between frames), so the wall clock here only advances past
+    /// the front-end; stats()/elapsed_seconds() account the PE drain.
+    #[allow(clippy::too_many_arguments)]
+    fn record_scan_stats(
+        &mut self,
+        scan_start: u64,
+        points: u64,
+        dda_steps: u64,
+        rc_cycles: u64,
+        dma_cycles: u64,
+        dma_bytes: u64,
+        dispatched_free: u64,
+        dispatched_occ: u64,
+    ) {
         self.stats.scans += 1;
-        self.stats.points += scan.len() as u64;
+        self.stats.points += points;
         self.stats.free_updates += dispatched_free;
         self.stats.occupied_updates += dispatched_occ;
         self.stats.voxel_updates += dispatched_free + dispatched_occ;
-        self.stats.raycast_steps += istats.dda_steps;
+        self.stats.raycast_steps += dda_steps;
         self.stats.raycast_cycles += rc_cycles;
         self.stats.dma_cycles += dma_cycles;
         self.stats.dma_bytes += dma_bytes;
         self.stats.stall_cycles = self.scheduler.stall_cycles();
+        self.stats.wall_cycles = (scan_start + rc_cycles).max(scan_start + dma_cycles);
+    }
 
-        // Ray casting and DMA overlap with the PE pipelines; PE work is
-        // allowed to flow across scan boundaries (the voxel queues never
-        // drain between frames), so the wall clock here only advances past
-        // the front-end; stats()/elapsed_seconds() account the PE drain.
-        self.stats.wall_cycles = (scan_start + rc_cycles)
-            .max(scan_start + dma_cycles)
-            .max(scan_start);
+    /// Integrates one scan through the batched front end: ray casting
+    /// first emits the scan's full update batch, the batch is sorted by
+    /// Morton code, and updates are dispatched to the PE array in sorted
+    /// order — each PE's work arriving as one contiguous run (the top
+    /// three Morton bits are the branch ID that selects the PE).
+    ///
+    /// The resulting map is bit-identical to [`Self::integrate_scan`]
+    /// (per-voxel update order is preserved by the stable sort, and the
+    /// PEs prune canonically), which `tests/equivalence.rs` verifies; the
+    /// run structure is what the batched software path exploits, and
+    /// [`VoxelScheduler::runs_dispatched`](crate::VoxelScheduler)
+    /// exposes it for locality reports.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::integrate_scan`].
+    pub fn integrate_scan_batched(&mut self, scan: &Scan) -> Result<(), AccelError> {
+        let scan_start = self.stats.wall_cycles;
+        self.scheduler.begin_scan(scan_start);
+
+        let dma_bytes = scan.len() as u64 * 12;
+        let dma_cycles = self.axi.cycles_for_bytes(dma_bytes);
+
+        // Front end: collect the whole scan's updates, then Morton-sort
+        // (stable, so per-voxel update order is preserved). The buffers
+        // are accelerator-owned scratch, so steady-state scans allocate
+        // nothing.
+        let mut batch = std::mem::take(&mut self.scratch_batch);
+        batch.clear();
+        let cast_result = self
+            .raycast
+            .cast_scan(scan, |u| batch.push((u.key.morton_code(), u)));
+        let (istats, rc_cycles) = match cast_result {
+            Ok(r) => r,
+            Err(e) => {
+                self.scratch_batch = batch;
+                return Err(e.into());
+            }
+        };
+        batch.sort_by_key(|e| e.0);
+
+        let mut capacity_error = None;
+        let mut dispatched_free = 0u64;
+        let mut dispatched_occ = 0u64;
+        let mut run = std::mem::take(&mut self.scratch_run);
+        run.clear();
+        let mut run_pe = usize::MAX;
+        for &(_, u) in &batch {
+            let pe = self.scheduler.pe_for(u.key);
+            if pe != run_pe && !run.is_empty() {
+                self.scheduler.dispatch_run(run_pe, &run);
+                run.clear();
+            }
+            run_pe = pe;
+            match self.pes[pe].update_voxel(u.key, u.hit) {
+                Ok(out) => {
+                    run.push(out.service_cycles);
+                    if u.hit {
+                        dispatched_occ += 1;
+                    } else {
+                        dispatched_free += 1;
+                    }
+                }
+                Err(e) => {
+                    capacity_error = Some(e);
+                    break;
+                }
+            }
+        }
+        if !run.is_empty() {
+            self.scheduler.dispatch_run(run_pe, &run);
+        }
+        self.scratch_batch = batch;
+        self.scratch_run = run;
+
+        self.record_scan_stats(
+            scan_start,
+            scan.len() as u64,
+            istats.dda_steps,
+            rc_cycles,
+            dma_cycles,
+            dma_bytes,
+            dispatched_free,
+            dispatched_occ,
+        );
 
         if let Some(e) = capacity_error {
             return Err(e.into());
@@ -239,6 +358,13 @@ impl OmuAccelerator {
         omu_simhw::cycles_to_seconds(cycles, self.config.clock_ghz)
     }
 
+    /// Contiguous same-PE runs dispatched by the batched front end
+    /// ([`Self::integrate_scan_batched`]); 0 when only the scalar path
+    /// ran.
+    pub fn morton_runs(&self) -> u64 {
+        self.scheduler.runs_dispatched()
+    }
+
     /// Mean T-Mem utilization across PEs (live rows / usable rows).
     pub fn sram_utilization(&self) -> f64 {
         self.pes.iter().map(PeUnit::utilization).sum::<f64>() / self.pes.len() as f64
@@ -264,7 +390,8 @@ impl OmuAccelerator {
         let sram = stats.sram_total();
         e.add(
             "sram.dynamic",
-            sram.reads as f64 * tech12nm::SRAM_READ_PJ + sram.writes as f64 * tech12nm::SRAM_WRITE_PJ,
+            sram.reads as f64 * tech12nm::SRAM_READ_PJ
+                + sram.writes as f64 * tech12nm::SRAM_WRITE_PJ,
         );
         let runtime_s = stats.wall_seconds(self.config.clock_ghz);
         let banks = (self.config.num_pes * 8) as f64;
@@ -280,7 +407,10 @@ impl OmuAccelerator {
             "scheduler",
             stats.voxel_updates as f64 * tech12nm::SCHEDULER_PJ_PER_VOXEL,
         );
-        e.add("raycast", stats.raycast_steps as f64 * tech12nm::RAYCAST_PJ_PER_STEP);
+        e.add(
+            "raycast",
+            stats.raycast_steps as f64 * tech12nm::RAYCAST_PJ_PER_STEP,
+        );
         e.add("query", stats.queries as f64 * tech12nm::QUERY_PJ_PER_QUERY);
         e.add("axi", stats.dma_bytes as f64 * tech12nm::AXI_PJ_PER_BYTE);
         e
@@ -336,11 +466,23 @@ mod tests {
     #[test]
     fn scan_integration_builds_queryable_map() {
         let mut omu = accel();
-        omu.integrate_scan(&scan(&[Point3::new(2.0, 0.5, 0.5), Point3::new(-1.0, -0.5, 0.1)]))
-            .unwrap();
-        assert_eq!(omu.query_point(Point3::new(2.0, 0.5, 0.5)).unwrap(), Occupancy::Occupied);
-        assert_eq!(omu.query_point(Point3::new(1.0, 0.25, 0.25)).unwrap(), Occupancy::Free);
-        assert_eq!(omu.query_point(Point3::new(5.0, 5.0, 5.0)).unwrap(), Occupancy::Unknown);
+        omu.integrate_scan(&scan(&[
+            Point3::new(2.0, 0.5, 0.5),
+            Point3::new(-1.0, -0.5, 0.1),
+        ]))
+        .unwrap();
+        assert_eq!(
+            omu.query_point(Point3::new(2.0, 0.5, 0.5)).unwrap(),
+            Occupancy::Occupied
+        );
+        assert_eq!(
+            omu.query_point(Point3::new(1.0, 0.25, 0.25)).unwrap(),
+            Occupancy::Free
+        );
+        assert_eq!(
+            omu.query_point(Point3::new(5.0, 5.0, 5.0)).unwrap(),
+            Occupancy::Unknown
+        );
         let s = omu.stats();
         assert_eq!(s.scans, 1);
         assert_eq!(s.points, 2);
@@ -383,7 +525,10 @@ mod tests {
                 Point3::new(3.0 * a.cos(), 3.0 * a.sin(), ((i % 8) as f64 - 4.0) * 0.4)
             })
             .collect();
-        let s = Scan::new(Point3::new(0.01, 0.01, 0.21), pts.into_iter().collect::<PointCloud>());
+        let s = Scan::new(
+            Point3::new(0.01, 0.01, 0.21),
+            pts.into_iter().collect::<PointCloud>(),
+        );
 
         let mut omu8 = accel();
         omu8.integrate_scan(&s).unwrap();
@@ -395,6 +540,33 @@ mod tests {
         assert!(speedup > 3.0, "8-PE speedup over 1 PE = {speedup:.2}");
         // Same map either way.
         assert_eq!(omu1.snapshot(), omu8.snapshot());
+    }
+
+    #[test]
+    fn batched_integration_matches_scalar_bitwise() {
+        let pts: Vec<Point3> = (0..72)
+            .map(|i| {
+                let a = i as f64 * 0.087;
+                Point3::new(4.0 * a.cos(), 4.0 * a.sin(), ((i % 6) as f64 - 3.0) * 0.3)
+            })
+            .collect();
+        let s = Scan::new(
+            Point3::new(0.01, 0.01, 0.11),
+            pts.into_iter().collect::<PointCloud>(),
+        );
+
+        let mut scalar = accel();
+        scalar.integrate_scan(&s).unwrap();
+        let mut batched = accel();
+        batched.integrate_scan_batched(&s).unwrap();
+
+        assert_eq!(scalar.snapshot(), batched.snapshot());
+        assert_eq!(scalar.stats().voxel_updates, batched.stats().voxel_updates);
+        // Morton order groups each PE's work into a handful of runs —
+        // far fewer than one dispatch per update.
+        assert!(batched.morton_runs() > 0);
+        assert!(batched.morton_runs() < batched.stats().voxel_updates / 4);
+        assert_eq!(scalar.morton_runs(), 0);
     }
 
     #[test]
@@ -418,11 +590,11 @@ mod tests {
 
     #[test]
     fn capacity_error_surfaces_from_integration() {
-        let mut tiny = OmuAccelerator::new(
-            OmuConfig::builder().rows_per_bank(4).build().unwrap(),
-        )
-        .unwrap();
-        let e = tiny.integrate_scan(&scan(&[Point3::new(2.0, 0.5, 0.5)])).unwrap_err();
+        let mut tiny =
+            OmuAccelerator::new(OmuConfig::builder().rows_per_bank(4).build().unwrap()).unwrap();
+        let e = tiny
+            .integrate_scan(&scan(&[Point3::new(2.0, 0.5, 0.5)]))
+            .unwrap_err();
         assert!(matches!(e, AccelError::Capacity(_)));
     }
 
@@ -442,9 +614,13 @@ mod tests {
     #[test]
     fn region_query_uses_coarse_levels() {
         let mut omu = accel();
-        omu.integrate_scan(&scan(&[Point3::new(3.0, 1.0, 0.5)])).unwrap();
+        omu.integrate_scan(&scan(&[Point3::new(3.0, 1.0, 0.5)]))
+            .unwrap();
         // Fine query on the endpoint voxel.
-        assert_eq!(omu.query_point(Point3::new(3.0, 1.0, 0.5)).unwrap(), Occupancy::Occupied);
+        assert_eq!(
+            omu.query_point(Point3::new(3.0, 1.0, 0.5)).unwrap(),
+            Occupancy::Occupied
+        );
         // A 2 m region around the endpoint is occupied (max policy).
         assert_eq!(
             omu.query_region(Point3::new(3.0, 1.0, 0.5), 2.0).unwrap(),
@@ -452,27 +628,42 @@ mod tests {
         );
         // Coarse queries cost fewer cycles than fine ones on average.
         let before = omu.stats().query_cycles;
-        omu.query_key_at_depth(omu.converter().coord_to_key(Point3::new(3.0, 1.0, 0.5)).unwrap(), 4);
+        omu.query_key_at_depth(
+            omu.converter()
+                .coord_to_key(Point3::new(3.0, 1.0, 0.5))
+                .unwrap(),
+            4,
+        );
         let coarse_cost = omu.stats().query_cycles - before;
         let before = omu.stats().query_cycles;
         omu.query_point(Point3::new(3.0, 1.0, 0.5)).unwrap();
         let fine_cost = omu.stats().query_cycles - before;
-        assert!(coarse_cost <= fine_cost, "coarse {coarse_cost} vs fine {fine_cost}");
+        assert!(
+            coarse_cost <= fine_cost,
+            "coarse {coarse_cost} vs fine {fine_cost}"
+        );
     }
 
     #[test]
     fn reset_stats_keeps_map() {
         let mut omu = accel();
-        omu.integrate_scan(&scan(&[Point3::new(1.0, 0.0, 0.0)])).unwrap();
+        omu.integrate_scan(&scan(&[Point3::new(1.0, 0.0, 0.0)]))
+            .unwrap();
         omu.reset_stats();
         assert_eq!(omu.stats().voxel_updates, 0);
-        assert_eq!(omu.query_point(Point3::new(1.0, 0.0, 0.0)).unwrap(), Occupancy::Occupied);
+        assert_eq!(
+            omu.query_point(Point3::new(1.0, 0.0, 0.0)).unwrap(),
+            Occupancy::Occupied
+        );
     }
 
     #[test]
     fn direct_update_path_works() {
         let mut omu = accel();
-        let key = omu.converter().coord_to_key(Point3::new(0.5, 0.5, 0.5)).unwrap();
+        let key = omu
+            .converter()
+            .coord_to_key(Point3::new(0.5, 0.5, 0.5))
+            .unwrap();
         omu.update_voxel(key, true).unwrap();
         assert_eq!(omu.query_key(key), Occupancy::Occupied);
         assert_eq!(omu.stats().voxel_updates, 1);

@@ -121,7 +121,9 @@ impl Default for OmuConfig {
 impl OmuConfig {
     /// Starts a builder initialized with the paper's design point.
     pub fn builder() -> OmuConfigBuilder {
-        OmuConfigBuilder { config: OmuConfig::default() }
+        OmuConfigBuilder {
+            config: OmuConfig::default(),
+        }
     }
 
     /// Validates the configuration.
@@ -287,7 +289,10 @@ mod tests {
         assert!(OmuConfig::builder().rows_per_bank(1).build().is_err());
         assert!(OmuConfig::builder().clock_ghz(0.0).build().is_err());
         assert!(OmuConfig::builder().resolution(-1.0).build().is_err());
-        assert!(OmuConfig::builder().voxel_queue_capacity(0).build().is_err());
+        assert!(OmuConfig::builder()
+            .voxel_queue_capacity(0)
+            .build()
+            .is_err());
     }
 
     #[test]

@@ -87,8 +87,11 @@ pub struct NodeEntry {
 
 impl NodeEntry {
     /// An empty (unobserved leaf, log-odds 0) entry.
-    pub const EMPTY: NodeEntry =
-        NodeEntry { ptr: NULL_PTR, tags: 0, prob: FixedLogOdds::ZERO };
+    pub const EMPTY: NodeEntry = NodeEntry {
+        ptr: NULL_PTR,
+        tags: 0,
+        prob: FixedLogOdds::ZERO,
+    };
 
     /// Packs into the 64-bit memory word.
     #[inline]
@@ -208,9 +211,15 @@ mod tests {
             e = e.with_child_status(i, ChildStatus::Occupied);
         }
         assert!(e.all_children_prunable());
-        assert!(!e.with_child_status(4, ChildStatus::Inner).all_children_prunable());
-        assert!(!e.with_child_status(4, ChildStatus::Unknown).all_children_prunable());
-        assert!(e.with_child_status(4, ChildStatus::Free).all_children_prunable());
+        assert!(!e
+            .with_child_status(4, ChildStatus::Inner)
+            .all_children_prunable());
+        assert!(!e
+            .with_child_status(4, ChildStatus::Unknown)
+            .all_children_prunable());
+        assert!(e
+            .with_child_status(4, ChildStatus::Free)
+            .all_children_prunable());
     }
 
     #[test]

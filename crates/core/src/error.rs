@@ -118,8 +118,13 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(ConfigError::UnsupportedPeCount(3).to_string().contains("must be 1, 2, 4 or 8"));
-        let c = CapacityError { pe: 2, rows_per_bank: 4096 };
+        assert!(ConfigError::UnsupportedPeCount(3)
+            .to_string()
+            .contains("must be 1, 2, 4 or 8"));
+        let c = CapacityError {
+            pe: 2,
+            rows_per_bank: 4096,
+        };
         assert!(c.to_string().contains("PE 2"));
         let e: AccelError = c.into();
         assert!(e.to_string().contains("capacity"));

@@ -81,7 +81,9 @@ pub use config::{OmuConfig, OmuConfigBuilder, PeTiming};
 pub use entry::{ChildStatus, NodeEntry, NULL_PTR};
 pub use error::{AccelError, CapacityError, ConfigError};
 pub use pe::{PeUnit, PeUpdateOutcome};
-pub use pipeline::{run_accelerator, summarize, AccelRunSummary};
+pub use pipeline::{
+    run_accelerator, run_accelerator_with_engine, summarize, AccelRunSummary, UpdateEngine,
+};
 pub use prune_mgr::{PruneAddrManager, PruneMgrStats};
 pub use query_unit::QueryUnitStats;
 pub use raycast_unit::RayCastUnit;

@@ -19,9 +19,7 @@
 //! Every SRAM access and datapath cycle is accounted per stage in
 //! [`PeStats`].
 
-use omu_geometry::{
-    FixedLogOdds, LogOdds, Occupancy, ResolvedParams, VoxelKey, TREE_DEPTH,
-};
+use omu_geometry::{FixedLogOdds, LogOdds, Occupancy, ResolvedParams, VoxelKey, TREE_DEPTH};
 
 use crate::config::PeTiming;
 use crate::entry::{ChildStatus, NodeEntry, NULL_PTR};
@@ -99,7 +97,10 @@ impl PeUnit {
     }
 
     fn capacity_error(&self) -> CapacityError {
-        CapacityError { pe: self.id, rows_per_bank: self.rows_per_bank }
+        CapacityError {
+            pe: self.id,
+            rows_per_bank: self.rows_per_bank,
+        }
     }
 
     /// Executes one voxel update (hit or miss) for a key whose first-level
@@ -144,8 +145,11 @@ impl PeUnit {
                 if !node.has_children() && !just_created {
                     // Expand a pruned leaf: all 8 children inherit its value.
                     let new_row = self.mgr.alloc().ok_or_else(|| self.capacity_error())?;
-                    let child =
-                        NodeEntry { ptr: NULL_PTR, tags: 0, prob: node.prob };
+                    let child = NodeEntry {
+                        ptr: NULL_PTR,
+                        tags: 0,
+                        prob: node.prob,
+                    };
                     self.mem.write_row(new_row, [child; 8]);
                     let tag = self.leaf_tag(node.prob);
                     node.ptr = new_row;
@@ -241,7 +245,11 @@ impl PeUnit {
             if all_prunable && all_equal {
                 // Prune: recycle the children row, become a leaf.
                 self.mgr.free(node.ptr);
-                node = NodeEntry { ptr: NULL_PTR, tags: 0, prob: kids[0].prob };
+                node = NodeEntry {
+                    ptr: NULL_PTR,
+                    tags: 0,
+                    prob: kids[0].prob,
+                };
                 self.mem.write_entry(row, bank, node);
                 cycles += t.prune_action;
                 self.stats.prunes += 1;
@@ -258,7 +266,10 @@ impl PeUnit {
 
         self.stats.updates += 1;
         self.stats.busy_cycles += cycles;
-        Ok(PeUpdateOutcome { new_value, service_cycles: cycles })
+        Ok(PeUpdateOutcome {
+            new_value,
+            service_cycles: cycles,
+        })
     }
 
     /// Queries the occupancy of a voxel, returning the classification and
@@ -419,7 +430,10 @@ mod tests {
         let k = key_in_branch(7, (100, 200, 300));
         let out = pe.update_voxel(k, true).unwrap();
         assert!(out.new_value > FixedLogOdds::ZERO);
-        assert!(out.service_cycles > 50, "full descent + up-phase takes real cycles");
+        assert!(
+            out.service_cycles > 50,
+            "full descent + up-phase takes real cycles"
+        );
         let (occ, cycles) = pe.query(k);
         assert_eq!(occ, Occupancy::Occupied);
         assert!(cycles > 0);
@@ -428,7 +442,8 @@ mod tests {
     #[test]
     fn unobserved_is_unknown() {
         let mut pe = pe();
-        pe.update_voxel(key_in_branch(7, (100, 200, 300)), true).unwrap();
+        pe.update_voxel(key_in_branch(7, (100, 200, 300)), true)
+            .unwrap();
         let (occ, _) = pe.query(key_in_branch(7, (101, 200, 300)));
         assert_eq!(occ, Occupancy::Unknown);
         // A branch never touched is unknown at zero depth.
@@ -482,7 +497,10 @@ mod tests {
         assert!(s.prune_mgr.frees > 0);
         // Re-expansion after prune reuses a recycled row.
         pe.update_voxel(key_in_branch(0, (2, 4, 6)), false).unwrap();
-        assert!(pe.stats().prune_mgr.reuse_hits > 0, "expansion must reuse pruned rows");
+        assert!(
+            pe.stats().prune_mgr.reuse_hits > 0,
+            "expansion must reuse pruned rows"
+        );
     }
 
     #[test]
@@ -495,7 +513,9 @@ mod tests {
             PeTiming::default(),
             true,
         );
-        let e = tiny.update_voxel(key_in_branch(0, (333, 444, 555)), true).unwrap_err();
+        let e = tiny
+            .update_voxel(key_in_branch(0, (333, 444, 555)), true)
+            .unwrap_err();
         assert_eq!(e.pe, 1);
         assert_eq!(e.rows_per_bank, 8);
     }
@@ -503,7 +523,8 @@ mod tests {
     #[test]
     fn stage_cycles_accumulate_sanely() {
         let mut pe = pe();
-        pe.update_voxel(key_in_branch(5, (10, 20, 30)), true).unwrap();
+        pe.update_voxel(key_in_branch(5, (10, 20, 30)), true)
+            .unwrap();
         let s = pe.stats();
         let stage = s.stage_cycles;
         assert!(stage.traverse > 0);
@@ -519,7 +540,8 @@ mod tests {
     #[test]
     fn sram_accesses_are_counted() {
         let mut pe = pe();
-        pe.update_voxel(key_in_branch(2, (50, 60, 70)), true).unwrap();
+        pe.update_voxel(key_in_branch(2, (50, 60, 70)), true)
+            .unwrap();
         let s = pe.stats();
         // At minimum: 16 descent reads + 15 row reads (8 each) on the way up.
         assert!(s.sram.reads >= 16 + 15 * 8, "reads = {}", s.sram.reads);

@@ -44,6 +44,23 @@ pub struct AccelRunSummary {
     pub stall_cycles: u64,
 }
 
+/// Which voxel-update path a mapping run drives.
+///
+/// Both engines produce bit-identical maps; they differ in how tree
+/// maintenance is scheduled. [`UpdateEngine::MortonBatched`] is the
+/// paper-shaped path: one sorted batch per scan, each PE's work arriving
+/// as a contiguous run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum UpdateEngine {
+    /// One full descent + parent-refresh pass per voxel update
+    /// (OctoMap's `updateNode` loop; the paper's CPU baseline shape).
+    #[default]
+    Scalar,
+    /// Per-scan Morton-sorted batches
+    /// ([`OmuAccelerator::integrate_scan_batched`]).
+    MortonBatched,
+}
+
 /// Builds an accelerator from `config`, integrates every scan, and
 /// summarizes the run.
 ///
@@ -77,9 +94,28 @@ pub fn run_accelerator<I>(
 where
     I: Iterator<Item = Scan>,
 {
+    run_accelerator_with_engine(config, scans, UpdateEngine::Scalar)
+}
+
+/// [`run_accelerator`] with an explicit [`UpdateEngine`] selection.
+///
+/// # Errors
+///
+/// Returns the first [`AccelError`] encountered.
+pub fn run_accelerator_with_engine<I>(
+    config: OmuConfig,
+    scans: I,
+    engine: UpdateEngine,
+) -> Result<(OmuAccelerator, AccelRunSummary), AccelError>
+where
+    I: Iterator<Item = Scan>,
+{
     let mut omu = OmuAccelerator::new(config)?;
     for scan in scans {
-        omu.integrate_scan(&scan)?;
+        match engine {
+            UpdateEngine::Scalar => omu.integrate_scan(&scan)?,
+            UpdateEngine::MortonBatched => omu.integrate_scan_batched(&scan)?,
+        }
     }
     let summary = summarize(&omu);
     Ok((omu, summary))
@@ -91,7 +127,11 @@ pub fn summarize(omu: &OmuAccelerator) -> AccelRunSummary {
     let latency_s = omu.elapsed_seconds();
     let ledger = omu.energy_ledger();
     let energy_j = ledger.total_joules();
-    let power_mw = if latency_s > 0.0 { energy_j / latency_s * 1e3 } else { 0.0 };
+    let power_mw = if latency_s > 0.0 {
+        energy_j / latency_s * 1e3
+    } else {
+        0.0
+    };
     AccelRunSummary {
         scans: stats.scans,
         points: stats.points,
@@ -147,15 +187,34 @@ mod tests {
         assert!(s.sram_power_share > 0.5);
         let share_sum: f64 = s.breakdown_shares.iter().sum();
         assert!((share_sum - 1.0).abs() < 1e-9);
-        assert!(s.breakdown_shares[2] < 0.3, "prune/expand stays below ~20-30 % on OMU");
+        assert!(
+            s.breakdown_shares[2] < 0.3,
+            "prune/expand stays below ~20-30 % on OMU"
+        );
         assert!(s.load_imbalance >= 1.0);
         assert_eq!(omu.stats().scans, 10);
     }
 
     #[test]
+    fn engines_agree_on_map_and_workload() {
+        let scans = ring_scans(6);
+        let (scalar, s1) =
+            run_accelerator(OmuConfig::default(), scans.clone().into_iter()).unwrap();
+        let (batched, s2) = run_accelerator_with_engine(
+            OmuConfig::default(),
+            scans.into_iter(),
+            UpdateEngine::MortonBatched,
+        )
+        .unwrap();
+        assert_eq!(scalar.snapshot(), batched.snapshot());
+        assert_eq!(s1.voxel_updates, s2.voxel_updates);
+        assert_eq!(s1.scans, s2.scans);
+        assert!(batched.morton_runs() > 0);
+    }
+
+    #[test]
     fn empty_run_summarizes_to_zeros() {
-        let (_, s) =
-            run_accelerator(OmuConfig::default(), std::iter::empty::<Scan>()).unwrap();
+        let (_, s) = run_accelerator(OmuConfig::default(), std::iter::empty::<Scan>()).unwrap();
         assert_eq!(s.scans, 0);
         assert_eq!(s.fps, 0.0);
         assert_eq!(s.latency_s, 0.0);

@@ -61,11 +61,15 @@ mod tests {
         let mut unit = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
         let short = Scan::new(
             Point3::ZERO,
-            [Point3::new(0.5, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+            [Point3::new(0.5, 0.0, 0.0)]
+                .into_iter()
+                .collect::<PointCloud>(),
         );
         let long = Scan::new(
             Point3::ZERO,
-            [Point3::new(5.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+            [Point3::new(5.0, 0.0, 0.0)]
+                .into_iter()
+                .collect::<PointCloud>(),
         );
         let (_, c_short) = unit.cast_scan(&short, |_| {}).unwrap();
         let (_, c_long) = unit.cast_scan(&long, |_| {}).unwrap();
@@ -78,12 +82,17 @@ mod tests {
         let mut unit = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
         let scan = Scan::new(
             Point3::ZERO,
-            [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+            [Point3::new(1.0, 0.0, 0.0)]
+                .into_iter()
+                .collect::<PointCloud>(),
         );
         let mut updates = Vec::new();
         let (stats, cycles) = unit.cast_scan(&scan, |u| updates.push(u)).unwrap();
         assert_eq!(stats.occupied_updates, 1);
-        assert!(updates.iter().next_back().unwrap().hit, "endpoint emitted last");
+        assert!(
+            updates.iter().next_back().unwrap().hit,
+            "endpoint emitted last"
+        );
         assert!(cycles >= stats.dda_steps);
     }
 }

@@ -10,7 +10,11 @@ use crate::config::OmuConfig;
 pub fn area_model(config: &OmuConfig) -> AreaModel {
     let mut a = AreaModel::new(tech12nm::TOP_OVERHEAD_FACTOR);
     let sram_kb_per_pe = (8 * config.rows_per_bank * 8) as f64 / 1024.0;
-    a.add("pe.sram (8 banks)", sram_kb_per_pe * tech12nm::SRAM_MM2_PER_KB, config.num_pes);
+    a.add(
+        "pe.sram (8 banks)",
+        sram_kb_per_pe * tech12nm::SRAM_MM2_PER_KB,
+        config.num_pes,
+    );
     a.add("pe.logic", tech12nm::PE_LOGIC_MM2, config.num_pes);
     a.add("voxel scheduler", tech12nm::SCHEDULER_MM2, 1);
     a.add("ray casting unit", tech12nm::RAYCAST_MM2, 1);
@@ -53,7 +57,11 @@ pub fn floorplan_ascii(config: &OmuConfig) -> String {
     s.push('|');
     for i in 0..cols {
         let idx = cols + i;
-        s.push_str(&cell(if idx < n { format!("PE-{idx}") } else { "-".into() }));
+        s.push_str(&cell(if idx < n {
+            format!("PE-{idx}")
+        } else {
+            "-".into()
+        }));
         s.push('|');
     }
     s.push('\n');
@@ -78,7 +86,10 @@ mod tests {
     fn default_area_matches_paper() {
         let a = area_model(&OmuConfig::default());
         let total = a.total_mm2();
-        assert!((total - 2.5).abs() < 0.1, "total area {total:.3} mm² (paper: 2.5)");
+        assert!(
+            (total - 2.5).abs() < 0.1,
+            "total area {total:.3} mm² (paper: 2.5)"
+        );
     }
 
     #[test]
@@ -92,7 +103,10 @@ mod tests {
     fn floorplan_names_all_pes() {
         let f = floorplan_ascii(&OmuConfig::default());
         for i in 0..8 {
-            assert!(f.contains(&format!("PE-{i}")), "floorplan missing PE-{i}:\n{f}");
+            assert!(
+                f.contains(&format!("PE-{i}")),
+                "floorplan missing PE-{i}:\n{f}"
+            );
         }
         assert!(f.contains("RayCast"));
         assert!(f.contains("AXI-S"));

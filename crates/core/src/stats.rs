@@ -192,7 +192,12 @@ mod tests {
     use super::*;
 
     fn stage(traverse: u64, parent: u64, prune_check: u64) -> PeStageCycles {
-        PeStageCycles { traverse, parent, prune_check, ..Default::default() }
+        PeStageCycles {
+            traverse,
+            parent,
+            prune_check,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -230,10 +235,23 @@ mod tests {
 
     #[test]
     fn device_aggregations() {
-        let mut stats = AccelStats { voxel_updates: 30, ..Default::default() };
+        let mut stats = AccelStats {
+            voxel_updates: 30,
+            ..Default::default()
+        };
         stats.per_pe = vec![
-            PeStats { updates: 10, busy_cycles: 100, stage_cycles: stage(5, 0, 0), ..Default::default() },
-            PeStats { updates: 20, busy_cycles: 300, stage_cycles: stage(7, 0, 0), ..Default::default() },
+            PeStats {
+                updates: 10,
+                busy_cycles: 100,
+                stage_cycles: stage(5, 0, 0),
+                ..Default::default()
+            },
+            PeStats {
+                updates: 20,
+                busy_cycles: 300,
+                stage_cycles: stage(7, 0, 0),
+                ..Default::default()
+            },
         ];
         assert_eq!(stats.pe_busy_total(), 400);
         assert_eq!(stats.stage_cycles().traverse, 12);
@@ -242,7 +260,10 @@ mod tests {
 
     #[test]
     fn wall_seconds_uses_clock() {
-        let stats = AccelStats { wall_cycles: 2_000_000_000, ..Default::default() };
+        let stats = AccelStats {
+            wall_cycles: 2_000_000_000,
+            ..Default::default()
+        };
         assert_eq!(stats.wall_seconds(1.0), 2.0);
         assert_eq!(stats.wall_seconds(2.0), 1.0);
     }

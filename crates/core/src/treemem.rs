@@ -23,7 +23,10 @@ impl TreeMem {
     /// Creates a zeroed tree memory with `rows` rows per bank.
     pub fn new(rows: usize) -> Self {
         let spec = SramSpec::new(rows, 64);
-        TreeMem { banks: (0..Self::BANKS).map(|_| SramBank::new(spec)).collect(), rows }
+        TreeMem {
+            banks: (0..Self::BANKS).map(|_| SramBank::new(spec)).collect(),
+            rows,
+        }
     }
 
     /// Rows per bank.
@@ -99,7 +102,11 @@ mod tests {
     #[test]
     fn entries_land_in_their_bank() {
         let mut m = TreeMem::new(16);
-        let e = NodeEntry { ptr: 5, tags: 0x00FF, prob: FixedLogOdds::from_f32(1.0) };
+        let e = NodeEntry {
+            ptr: 5,
+            tags: 0x00FF,
+            prob: FixedLogOdds::from_f32(1.0),
+        };
         m.write_entry(3, 2, e);
         assert_eq!(m.read_entry(3, 2), e);
         assert_eq!(m.read_entry(3, 1), NodeEntry::EMPTY);
@@ -132,7 +139,11 @@ mod tests {
     #[test]
     fn reset_stats_keeps_contents() {
         let mut m = TreeMem::new(4);
-        let e = NodeEntry { ptr: 9, tags: 1, prob: FixedLogOdds::ZERO };
+        let e = NodeEntry {
+            ptr: 9,
+            tags: 1,
+            prob: FixedLogOdds::ZERO,
+        };
         m.write_entry(0, 7, e);
         m.reset_stats();
         assert_eq!(m.stats().accesses(), 0);

@@ -100,7 +100,9 @@ pub fn compare_snapshots(
             std::cmp::Ordering::Equal => {
                 if sv != av {
                     report.value_mismatches += 1;
-                    report.note(format!("value mismatch at {sk} depth {sd}: sw {sv} vs hw {av}"));
+                    report.note(format!(
+                        "value mismatch at {sk} depth {sd}: sw {sv} vs hw {av}"
+                    ));
                 }
                 i += 1;
                 j += 1;

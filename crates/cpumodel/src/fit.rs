@@ -36,7 +36,11 @@ use crate::model::{CpuCostModel, RuntimeBreakdown};
 /// assert!((alpha - 2.0).abs() < 1e-12);
 /// ```
 pub fn fit_scale(pred: &[f64], target: &[f64]) -> f64 {
-    assert_eq!(pred.len(), target.len(), "prediction/target length mismatch");
+    assert_eq!(
+        pred.len(),
+        target.len(),
+        "prediction/target length mismatch"
+    );
     let denom: f64 = pred.iter().map(|p| p * p).sum();
     if denom == 0.0 {
         return 1.0;
@@ -85,7 +89,11 @@ pub fn fit_categories(
     counters: &[OpCounters],
     targets: &[CalibrationTarget],
 ) -> CategoryScales {
-    assert_eq!(counters.len(), targets.len(), "need one target per counter record");
+    assert_eq!(
+        counters.len(),
+        targets.len(),
+        "need one target per counter record"
+    );
     assert!(!counters.is_empty(), "need at least one dataset");
 
     let preds: Vec<RuntimeBreakdown> = counters.iter().map(|c| model.runtime(c)).collect();
@@ -179,7 +187,10 @@ mod tests {
             .iter()
             .map(|c| {
                 let b = truth.runtime(c);
-                CalibrationTarget { total_s: b.total_s(), shares: b.shares() }
+                CalibrationTarget {
+                    total_s: b.total_s(),
+                    shares: b.shares(),
+                }
             })
             .collect();
         let scales = fit_categories(&base, &counters, &targets);
@@ -196,7 +207,10 @@ mod tests {
 
     #[test]
     fn category_seconds_from_shares() {
-        let t = CalibrationTarget { total_s: 10.0, shares: [0.1, 0.2, 0.3, 0.4] };
+        let t = CalibrationTarget {
+            total_s: 10.0,
+            shares: [0.1, 0.2, 0.3, 0.4],
+        };
         assert_eq!(t.category_seconds(), [1.0, 2.0, 3.0, 4.0]);
     }
 

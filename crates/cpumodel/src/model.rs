@@ -60,7 +60,12 @@ impl CpuCostModel {
             + self.prune_ns * c.prunes as f64
             + self.expand_ns * c.expands as f64)
             * ns_to_s;
-        RuntimeBreakdown { ray_casting_s, update_leaf_s, update_parents_s, prune_expand_s }
+        RuntimeBreakdown {
+            ray_casting_s,
+            update_leaf_s,
+            update_parents_s,
+            prune_expand_s,
+        }
     }
 
     /// Energy in joules for a counter record: modeled runtime × power.
@@ -125,8 +130,12 @@ impl RuntimeBreakdown {
     }
 
     /// The category names, aligned with [`RuntimeBreakdown::shares`].
-    pub const CATEGORY_NAMES: [&'static str; 4] =
-        ["Ray Casting", "Update Leaf", "Update Parents", "Node Prune/Expand"];
+    pub const CATEGORY_NAMES: [&'static str; 4] = [
+        "Ray Casting",
+        "Update Leaf",
+        "Update Parents",
+        "Node Prune/Expand",
+    ];
 
     /// Adds another breakdown (e.g. accumulating scans).
     pub fn merge(&mut self, other: &RuntimeBreakdown) {

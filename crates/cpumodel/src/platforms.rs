@@ -63,7 +63,10 @@ mod tests {
     #[test]
     fn a57_power_in_reported_band() {
         let p = CpuCostModel::cortex_a57().power_w;
-        assert!((2.6..=2.9).contains(&p), "paper reports 2.6–2.9 W, model uses {p}");
+        assert!(
+            (2.6..=2.9).contains(&p),
+            "paper reports 2.6–2.9 W, model uses {p}"
+        );
     }
 
     #[test]

@@ -43,9 +43,9 @@ pub(crate) fn build() -> (Scene, LaserScanner, Trajectory) {
             let x = gx as f64 * 9.0 + ((tree_id * 37) % 3) as f64 - 1.0;
             let y = gy as f64 * 9.0 + ((tree_id * 53) % 3) as f64 - 1.0;
             tree_id += 1;
-            let inside_building = buildings
-                .iter()
-                .any(|&(x0, y0, x1, y1, _)| x > x0 - 1.0 && x < x1 + 1.0 && y > y0 - 1.0 && y < y1 + 1.0);
+            let inside_building = buildings.iter().any(|&(x0, y0, x1, y1, _)| {
+                x > x0 - 1.0 && x < x1 + 1.0 && y > y0 - 1.0 && y < y1 + 1.0
+            });
             let on_path = x.abs() < 4.0 || y.abs() < 4.0;
             if inside_building || on_path {
                 continue;
@@ -119,6 +119,10 @@ mod tests {
         let (scene, _, _) = build();
         let b = scene.bounds();
         assert!(b.extent().x > 60.0 && b.extent().y > 60.0);
-        assert!(scene.len() > 30, "buildings + trees present: {}", scene.len());
+        assert!(
+            scene.len() > 30,
+            "buildings + trees present: {}",
+            scene.len()
+        );
     }
 }

@@ -114,7 +114,11 @@ mod tests {
         let (origin, yaw) = trajectory.poses(100)[50];
         let mut rng = StdRng::seed_from_u64(3);
         let scan = scanner.scan(&scene, origin, yaw, &mut rng);
-        assert!(scan.len() > 100, "most of the 156 rays return: {}", scan.len());
+        assert!(
+            scan.len() > 100,
+            "most of the 156 rays return: {}",
+            scan.len()
+        );
         assert!(scan.len() <= 156);
     }
 
@@ -122,14 +126,20 @@ mod tests {
     fn trajectory_is_long_like_the_real_dataset() {
         let (_, _, trajectory) = build();
         let len = trajectory.length();
-        assert!(len > 1_500.0 && len < 3_000.0, "trajectory length {len:.0} m");
+        assert!(
+            len > 1_500.0 && len < 3_000.0,
+            "trajectory length {len:.0} m"
+        );
     }
 
     #[test]
     fn poses_stay_inside_the_quad() {
         let (_, _, trajectory) = build();
         for (p, _) in trajectory.poses(500) {
-            assert!(p.x.abs() < X_HALF && p.y.abs() < Y_HALF, "pose {p} inside walls");
+            assert!(
+                p.x.abs() < X_HALF && p.y.abs() < Y_HALF,
+                "pose {p} inside walls"
+            );
         }
     }
 }

@@ -53,7 +53,12 @@ impl Primitive {
                     Some(t1)
                 }
             }
-            Primitive::CylinderZ { center, radius, z0, z1 } => {
+            Primitive::CylinderZ {
+                center,
+                radius,
+                z0,
+                z1,
+            } => {
                 // Solve in 2D (XY), then clip by z span.
                 let ox = origin.x - center.x;
                 let oy = origin.y - center.y;
@@ -106,7 +111,9 @@ impl Primitive {
 
     /// A box primitive from two corners.
     pub fn boxed(a: Point3, b: Point3) -> Primitive {
-        Primitive::Box { aabb: Aabb::new(a, b) }
+        Primitive::Box {
+            aabb: Aabb::new(a, b),
+        }
     }
 }
 
@@ -158,16 +165,23 @@ mod tests {
         };
         assert!(p.intersect(Point3::ZERO, X).is_none(), "ray passes below");
         // Vertical rays miss (no caps modeled).
-        assert!(p.intersect(Point3::new(5.0, 0.0, 0.0), Point3::new(0.0, 0.0, 1.0)).is_none());
+        assert!(p
+            .intersect(Point3::new(5.0, 0.0, 0.0), Point3::new(0.0, 0.0, 1.0))
+            .is_none());
     }
 
     #[test]
     fn sphere_hit_both_sides() {
-        let p = Primitive::Sphere { center: Point3::new(4.0, 0.0, 0.0), radius: 1.0 };
+        let p = Primitive::Sphere {
+            center: Point3::new(4.0, 0.0, 0.0),
+            radius: 1.0,
+        };
         let t = p.intersect(Point3::ZERO, X).expect("front hit");
         assert!((t - 3.0).abs() < 1e-12);
         // From inside: exits at radius.
-        let t = p.intersect(Point3::new(4.0, 0.0, 0.0), X).expect("inside hit");
+        let t = p
+            .intersect(Point3::new(4.0, 0.0, 0.0), X)
+            .expect("inside hit");
         assert!((t - 1.0).abs() < 1e-12);
     }
 
@@ -177,9 +191,13 @@ mod tests {
         let down = Point3::new(0.6, 0.0, -0.8);
         let t = g.intersect(Point3::new(0.0, 0.0, 1.6), down).expect("hit");
         assert!((t - 2.0).abs() < 1e-12);
-        assert!(g.intersect(Point3::new(0.0, 0.0, 1.6), X).is_none(), "parallel misses");
         assert!(
-            g.intersect(Point3::new(0.0, 0.0, 1.6), Point3::new(0.0, 0.0, 1.0)).is_none(),
+            g.intersect(Point3::new(0.0, 0.0, 1.6), X).is_none(),
+            "parallel misses"
+        );
+        assert!(
+            g.intersect(Point3::new(0.0, 0.0, 1.6), Point3::new(0.0, 0.0, 1.0))
+                .is_none(),
             "upward misses"
         );
     }

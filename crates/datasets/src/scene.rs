@@ -71,7 +71,12 @@ impl Scene {
         for p in &self.primitives {
             match *p {
                 Primitive::Box { aabb } => b = b.union(&aabb),
-                Primitive::CylinderZ { center, radius, z0, z1 } => {
+                Primitive::CylinderZ {
+                    center,
+                    radius,
+                    z0,
+                    z1,
+                } => {
                     b = b.union(&Aabb::new(
                         Point3::new(center.x - radius, center.y - radius, z0),
                         Point3::new(center.x + radius, center.y + radius, z1),
@@ -92,7 +97,9 @@ impl Scene {
 
 impl FromIterator<Primitive> for Scene {
     fn from_iter<I: IntoIterator<Item = Primitive>>(iter: I) -> Self {
-        Scene { primitives: iter.into_iter().collect() }
+        Scene {
+            primitives: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -117,7 +124,9 @@ mod tests {
     #[test]
     fn empty_scene_misses() {
         let scene = Scene::new();
-        assert!(scene.closest_hit(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)).is_none());
+        assert!(scene
+            .closest_hit(Point3::ZERO, Point3::new(1.0, 0.0, 0.0))
+            .is_none());
         assert!(scene.is_empty());
         assert!(scene.bounds().is_empty());
     }
@@ -126,7 +135,10 @@ mod tests {
     fn bounds_cover_primitives() {
         let mut scene = Scene::new();
         scene.push(Primitive::boxed(Point3::ZERO, Point3::splat(1.0)));
-        scene.push(Primitive::Sphere { center: Point3::new(5.0, 0.0, 0.0), radius: 2.0 });
+        scene.push(Primitive::Sphere {
+            center: Point3::new(5.0, 0.0, 0.0),
+            radius: 2.0,
+        });
         scene.push(Primitive::Ground { height: -10.0 });
         let b = scene.bounds();
         assert!(b.contains(Point3::splat(0.5)));

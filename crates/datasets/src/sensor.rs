@@ -100,7 +100,11 @@ impl LaserScanner {
         assert!(pattern.rays() > 0, "scan pattern must contain rays");
         assert!(sensor_range > 0.0, "sensor range must be positive");
         assert!(noise_sigma >= 0.0, "noise sigma must be non-negative");
-        LaserScanner { pattern, sensor_range, noise_sigma }
+        LaserScanner {
+            pattern,
+            sensor_range,
+            noise_sigma,
+        }
     }
 
     /// The angular pattern.
@@ -173,8 +177,9 @@ mod tests {
     #[test]
     fn enclosed_scanner_hits_every_ray() {
         // A box around the origin: every ray hits a wall.
-        let scene: Scene =
-            [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))].into_iter().collect();
+        let scene: Scene = [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))]
+            .into_iter()
+            .collect();
         let s = LaserScanner::new(pattern(16, 4), 30.0, 0.0);
         let mut rng = StdRng::seed_from_u64(7);
         let scan = s.scan(&scene, Point3::ZERO, 0.0, &mut rng);
@@ -197,8 +202,9 @@ mod tests {
 
     #[test]
     fn scans_are_deterministic_per_seed() {
-        let scene: Scene =
-            [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))].into_iter().collect();
+        let scene: Scene = [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))]
+            .into_iter()
+            .collect();
         let s = LaserScanner::new(pattern(8, 4), 30.0, 0.01);
         let a = s.scan(&scene, Point3::ZERO, 0.0, &mut StdRng::seed_from_u64(3));
         let b = s.scan(&scene, Point3::ZERO, 0.0, &mut StdRng::seed_from_u64(3));
@@ -209,8 +215,9 @@ mod tests {
 
     #[test]
     fn noise_perturbs_range_along_ray() {
-        let scene: Scene =
-            [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))].into_iter().collect();
+        let scene: Scene = [Primitive::boxed(Point3::splat(-5.0), Point3::splat(5.0))]
+            .into_iter()
+            .collect();
         let noisy = LaserScanner::new(pattern(8, 4), 30.0, 0.05);
         let clean = LaserScanner::new(pattern(8, 4), 30.0, 0.0);
         let mut rng = StdRng::seed_from_u64(3);

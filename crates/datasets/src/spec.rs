@@ -23,8 +23,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All three datasets, in the paper's column order.
-    pub const ALL: [DatasetKind; 3] =
-        [DatasetKind::Fr079Corridor, DatasetKind::FreiburgCampus, DatasetKind::NewCollege];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Fr079Corridor,
+        DatasetKind::FreiburgCampus,
+        DatasetKind::NewCollege,
+    ];
 
     /// The dataset's display name as used in the paper.
     pub fn name(&self) -> &'static str {
@@ -126,7 +129,10 @@ impl DatasetKind {
     ///
     /// Panics if `scale` is not in `(0, 1]`.
     pub fn build_scaled(&self, scale: f64) -> Dataset {
-        assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 1.0,
+            "scale must be in (0, 1], got {scale}"
+        );
         let mut spec = self.spec();
         spec.scans = ((spec.scans as f64 * scale).ceil() as usize).max(1);
         let (scene, scanner, trajectory) = match self {
@@ -135,7 +141,13 @@ impl DatasetKind {
             DatasetKind::NewCollege => crate::college::build(),
         };
         let poses = trajectory.poses(spec.scans);
-        Dataset { spec, scene, scanner, trajectory, poses }
+        Dataset {
+            spec,
+            scene,
+            scanner,
+            trajectory,
+            poses,
+        }
     }
 }
 
@@ -230,15 +242,19 @@ impl Dataset {
     /// Panics if `index >= num_scans()`.
     pub fn scan(&self, index: usize) -> Scan {
         let (origin, yaw) = self.poses[index];
-        let mut rng =
-            StdRng::seed_from_u64(self.spec.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = StdRng::seed_from_u64(
+            self.spec.seed ^ (index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        );
         self.scanner.scan(&self.scene, origin, yaw, &mut rng)
     }
 
     /// Streams all scans lazily (the campus point cloud alone is ~480 MB if
     /// materialized at once).
     pub fn scans(&self) -> ScanStream<'_> {
-        ScanStream { dataset: self, next: 0 }
+        ScanStream {
+            dataset: self,
+            next: 0,
+        }
     }
 }
 
@@ -289,8 +305,16 @@ mod tests {
             let p = kind.paper();
             let speedup_i9 = p.i9_latency_s / p.omu_latency_s;
             let speedup_a57 = p.a57_latency_s / p.omu_latency_s;
-            assert!(speedup_i9 > 11.0 && speedup_i9 < 14.0, "{}: {speedup_i9:.1}", kind.name());
-            assert!(speedup_a57 > 60.0 && speedup_a57 < 64.0, "{}: {speedup_a57:.1}", kind.name());
+            assert!(
+                speedup_i9 > 11.0 && speedup_i9 < 14.0,
+                "{}: {speedup_i9:.1}",
+                kind.name()
+            );
+            assert!(
+                speedup_a57 > 60.0 && speedup_a57 < 64.0,
+                "{}: {speedup_a57:.1}",
+                kind.name()
+            );
         }
     }
 
@@ -333,7 +357,11 @@ mod tests {
             let d = kind.build_scaled(0.001);
             let conv = omu_geometry::KeyConverter::new(d.spec().resolution).unwrap();
             for s in d.scans() {
-                assert!(conv.coord_to_key(s.origin).is_ok(), "{} origin in map", kind.name());
+                assert!(
+                    conv.coord_to_key(s.origin).is_ok(),
+                    "{} origin in map",
+                    kind.name()
+                );
             }
         }
     }

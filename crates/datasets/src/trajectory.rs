@@ -32,7 +32,10 @@ impl Trajectory {
     ///
     /// Panics if `waypoints` is empty.
     pub fn new(waypoints: Vec<Point3>) -> Self {
-        assert!(!waypoints.is_empty(), "a trajectory needs at least one waypoint");
+        assert!(
+            !waypoints.is_empty(),
+            "a trajectory needs at least one waypoint"
+        );
         Trajectory { waypoints }
     }
 
@@ -42,7 +45,10 @@ impl Trajectory {
     ///
     /// Panics if `waypoints` is empty.
     pub fn closed_loop(mut waypoints: Vec<Point3>) -> Self {
-        assert!(!waypoints.is_empty(), "a trajectory needs at least one waypoint");
+        assert!(
+            !waypoints.is_empty(),
+            "a trajectory needs at least one waypoint"
+        );
         let first = waypoints[0];
         waypoints.push(first);
         Trajectory { waypoints }
@@ -81,14 +87,22 @@ impl Trajectory {
         let mut poses = Vec::with_capacity(n);
         let mut seg = 0usize;
         for i in 0..n {
-            let s = if n == 1 { 0.0 } else { total * i as f64 / (n - 1) as f64 };
+            let s = if n == 1 {
+                0.0
+            } else {
+                total * i as f64 / (n - 1) as f64
+            };
             while seg + 2 < cum.len() && cum[seg + 1] < s {
                 seg += 1;
             }
             let a = self.waypoints[seg];
             let b = self.waypoints[seg + 1];
             let seg_len = cum[seg + 1] - cum[seg];
-            let t = if seg_len > 0.0 { (s - cum[seg]) / seg_len } else { 0.0 };
+            let t = if seg_len > 0.0 {
+                (s - cum[seg]) / seg_len
+            } else {
+                0.0
+            };
             let pos = a.lerp(b, t.clamp(0.0, 1.0));
             let dir = b - a;
             let yaw = dir.y.atan2(dir.x);
@@ -123,7 +137,10 @@ mod tests {
         let p = t.poses(9);
         assert_eq!(p[0].1, 0.0, "first leg heads +x");
         let last = p.last().unwrap();
-        assert!((last.1 - std::f64::consts::FRAC_PI_2).abs() < 1e-9, "second leg heads +y");
+        assert!(
+            (last.1 - std::f64::consts::FRAC_PI_2).abs() < 1e-9,
+            "second leg heads +y"
+        );
         assert!((last.0.y - 2.0).abs() < 1e-9);
     }
 
@@ -131,7 +148,9 @@ mod tests {
     fn single_waypoint_is_stationary() {
         let t = Trajectory::new(vec![Point3::new(1.0, 2.0, 3.0)]);
         let p = t.poses(4);
-        assert!(p.iter().all(|(pos, yaw)| *pos == Point3::new(1.0, 2.0, 3.0) && *yaw == 0.0));
+        assert!(p
+            .iter()
+            .all(|(pos, yaw)| *pos == Point3::new(1.0, 2.0, 3.0) && *yaw == 0.0));
     }
 
     #[test]

@@ -27,7 +27,10 @@ pub struct Aabb {
 impl Aabb {
     /// Creates a box from two opposite corners (in any order).
     pub fn new(a: Point3, b: Point3) -> Self {
-        Aabb { min: a.min(b), max: a.max(b) }
+        Aabb {
+            min: a.min(b),
+            max: a.max(b),
+        }
     }
 
     /// An empty box suitable as the identity for [`Aabb::union_point`].
@@ -87,7 +90,10 @@ impl Aabb {
     /// The smallest box containing `self` and `p`.
     #[must_use]
     pub fn union_point(&self, p: Point3) -> Aabb {
-        Aabb { min: self.min.min(p), max: self.max.max(p) }
+        Aabb {
+            min: self.min.min(p),
+            max: self.max.max(p),
+        }
     }
 
     /// The smallest box containing both boxes.
@@ -99,7 +105,10 @@ impl Aabb {
         if other.is_empty() {
             return *self;
         }
-        Aabb { min: self.min.min(other.min), max: self.max.max(other.max) }
+        Aabb {
+            min: self.min.min(other.min),
+            max: self.max.max(other.max),
+        }
     }
 
     /// Expands the box by `margin` metres on every side.
@@ -205,8 +214,14 @@ mod tests {
     #[test]
     fn ray_misses_box() {
         let b = Aabb::new(Point3::splat(1.0), Point3::splat(2.0));
-        assert!(b.intersect_ray(Point3::ZERO, Point3::new(1.0, 0.0, 0.0)).is_none());
-        assert!(b.intersect_ray(Point3::ZERO, Point3::new(-1.0, -1.0, -1.0)).map(|(t0, _)| t0 >= 0.0) != Some(true));
+        assert!(b
+            .intersect_ray(Point3::ZERO, Point3::new(1.0, 0.0, 0.0))
+            .is_none());
+        assert!(
+            b.intersect_ray(Point3::ZERO, Point3::new(-1.0, -1.0, -1.0))
+                .map(|(t0, _)| t0 >= 0.0)
+                != Some(true)
+        );
     }
 
     #[test]
@@ -222,9 +237,13 @@ mod tests {
     fn parallel_ray_inside_slab() {
         let b = Aabb::new(Point3::ZERO, Point3::splat(1.0));
         // Parallel to x axis, inside the y/z slabs.
-        assert!(b.intersect_ray(Point3::new(-1.0, 0.5, 0.5), Point3::new(1.0, 0.0, 0.0)).is_some());
+        assert!(b
+            .intersect_ray(Point3::new(-1.0, 0.5, 0.5), Point3::new(1.0, 0.0, 0.0))
+            .is_some());
         // Parallel to x axis, outside the y slab.
-        assert!(b.intersect_ray(Point3::new(-1.0, 5.0, 0.5), Point3::new(1.0, 0.0, 0.0)).is_none());
+        assert!(b
+            .intersect_ray(Point3::new(-1.0, 5.0, 0.5), Point3::new(1.0, 0.0, 0.0))
+            .is_none());
     }
 
     #[test]

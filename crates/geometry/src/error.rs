@@ -45,7 +45,11 @@ pub struct ResolutionError {
 
 impl fmt::Display for ResolutionError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "map resolution must be positive and finite, got {}", self.resolution)
+        write!(
+            f,
+            "map resolution must be positive and finite, got {}",
+            self.resolution
+        )
     }
 }
 
@@ -57,7 +61,10 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = KeyError::OutOfRange { coord: 1e9, resolution: 0.2 };
+        let e = KeyError::OutOfRange {
+            coord: 1e9,
+            resolution: 0.2,
+        };
         assert!(e.to_string().contains("outside map"));
         let e = KeyError::NotFinite { coord: f64::NAN };
         assert!(e.to_string().contains("not finite"));

@@ -123,6 +123,58 @@ impl VoxelKey {
         let d = |a: u16, b: u16| (a as i32 - b as i32).unsigned_abs();
         d(self.x, other.x) + d(self.y, other.y) + d(self.z, other.z)
     }
+
+    /// The key's 48-bit Morton (Z-order) code: the root-path child indices
+    /// concatenated most-significant first, i.e. bits `3d+2..3d` of the
+    /// code (counting groups from the top) are the child index at depth
+    /// `d` with z as the group's MSB.
+    ///
+    /// Sorting keys by Morton code therefore sorts them by root path:
+    /// every octree subtree occupies one contiguous code range, which is
+    /// what lets the batched update engine visit each subtree exactly once
+    /// (see `omu_octree`'s batch module).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::VoxelKey;
+    ///
+    /// // The top 3 bits are the depth-0 child index (z, y, x).
+    /// let k = VoxelKey::new(0x8000, 0, 0x8000);
+    /// assert_eq!(k.morton_code() >> 45, 0b101);
+    /// assert_eq!(k.morton_code() >> 45, k.child_index_at(0).index() as u64);
+    /// ```
+    #[inline]
+    pub fn morton_code(&self) -> u64 {
+        spread_every_third(self.x)
+            | (spread_every_third(self.y) << 1)
+            | (spread_every_third(self.z) << 2)
+    }
+
+    /// Number of tree levels (from the root) on which this key and
+    /// `other` share their root path: 0 when they already split at the
+    /// root's children, [`TREE_DEPTH`] when the keys are identical.
+    ///
+    /// The node at this depth is the deepest common ancestor of the two
+    /// finest voxels — the level a batched updater can resume its descent
+    /// from after processing `self` when `other` is next in Morton order.
+    #[inline]
+    pub fn common_prefix_depth(&self, other: VoxelKey) -> u8 {
+        let diff = (self.x ^ other.x) | (self.y ^ other.y) | (self.z ^ other.z);
+        diff.leading_zeros() as u8
+    }
+}
+
+/// Spreads the 16 bits of `v` so bit `i` lands at bit `3i` of the result
+/// (the classic "part-1-by-2" Morton helper).
+#[inline]
+fn spread_every_third(v: u16) -> u64 {
+    let mut x = v as u64;
+    x = (x | (x << 16)) & 0x001F_0000_FF00_00FF;
+    x = (x | (x << 8)) & 0x100F_00F0_0F00_F00F;
+    x = (x | (x << 4)) & 0x10C3_0C30_C30C_30C3;
+    x = (x | (x << 2)) & 0x1249_2492_4924_9249;
+    x
 }
 
 impl fmt::Display for VoxelKey {
@@ -235,7 +287,10 @@ impl KeyConverter {
         if !(resolution.is_finite() && resolution > 0.0) {
             return Err(ResolutionError { resolution });
         }
-        Ok(KeyConverter { resolution, inv_resolution: 1.0 / resolution })
+        Ok(KeyConverter {
+            resolution,
+            inv_resolution: 1.0 / resolution,
+        })
     }
 
     /// The voxel edge length in metres.
@@ -270,7 +325,10 @@ impl KeyConverter {
         if (0..=u16::MAX as i64).contains(&cell) {
             Ok(cell as u16)
         } else {
-            Err(KeyError::OutOfRange { coord, resolution: self.resolution })
+            Err(KeyError::OutOfRange {
+                coord,
+                resolution: self.resolution,
+            })
         }
     }
 
@@ -453,6 +511,36 @@ mod tests {
         assert_eq!(b.manhattan_distance(a), 3);
     }
 
+    #[test]
+    fn morton_code_places_each_axis_bit() {
+        for i in 0..16u32 {
+            assert_eq!(VoxelKey::new(1 << i, 0, 0).morton_code(), 1u64 << (3 * i));
+            assert_eq!(
+                VoxelKey::new(0, 1 << i, 0).morton_code(),
+                1u64 << (3 * i + 1)
+            );
+            assert_eq!(
+                VoxelKey::new(0, 0, 1 << i).morton_code(),
+                1u64 << (3 * i + 2)
+            );
+        }
+        assert_eq!(VoxelKey::new(0, 0, 0).morton_code(), 0);
+        assert_eq!(
+            VoxelKey::new(u16::MAX, u16::MAX, u16::MAX).morton_code(),
+            (1u64 << 48) - 1
+        );
+    }
+
+    #[test]
+    fn common_prefix_depth_matches_at_depth() {
+        let a = VoxelKey::new(0b1010_0000_0000_0000, 0, 0);
+        let b = VoxelKey::new(0b1011_0000_0000_0000, 0, 0);
+        assert_eq!(a.common_prefix_depth(b), 3);
+        assert_eq!(a.common_prefix_depth(a), TREE_DEPTH);
+        let c = VoxelKey::new(0, 0x8000, 0);
+        assert_eq!(a.common_prefix_depth(c), 0);
+    }
+
     proptest! {
         #[test]
         fn coord_key_roundtrip_within_half_voxel(
@@ -483,6 +571,33 @@ mod tests {
                 rz |= (c.z_bit() as u16) << b;
             }
             prop_assert_eq!(VoxelKey::new(rx, ry, rz), k);
+        }
+
+        #[test]
+        fn morton_spells_root_path(x in any::<u16>(), y in any::<u16>(), z in any::<u16>()) {
+            let k = VoxelKey::new(x, y, z);
+            let code = k.morton_code();
+            for d in 0..TREE_DEPTH {
+                let group = (code >> (3 * (TREE_DEPTH - 1 - d))) & 0b111;
+                prop_assert_eq!(group as usize, k.child_index_at(d).index());
+            }
+        }
+
+        #[test]
+        fn morton_prefix_agrees_with_common_depth(
+            x in any::<u16>(), y in any::<u16>(), z in any::<u16>(),
+            x2 in any::<u16>(), y2 in any::<u16>(), z2 in any::<u16>(),
+        ) {
+            let a = VoxelKey::new(x, y, z);
+            let b = VoxelKey::new(x2, y2, z2);
+            let s = a.common_prefix_depth(b);
+            prop_assert_eq!(a.at_depth(s), b.at_depth(s));
+            if s < TREE_DEPTH {
+                prop_assert!(a.child_index_at(s) != b.child_index_at(s));
+                // Morton codes agree on exactly the shared 3-bit groups.
+                let shift = 3 * (TREE_DEPTH - s) as u32;
+                prop_assert_eq!(a.morton_code() >> shift, b.morton_code() >> shift);
+            }
         }
 
         #[test]

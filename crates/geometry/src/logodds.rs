@@ -192,8 +192,14 @@ impl OccupancyParams {
     /// Panics if the probabilities are outside `(0, 1)`, if `p_hit <= 0.5`,
     /// or if `p_miss >= 0.5` — such values would invert the sensor model.
     pub fn from_probabilities(p_hit: f64, p_miss: f64) -> Self {
-        assert!(p_hit > 0.5 && p_hit < 1.0, "p_hit must be in (0.5, 1), got {p_hit}");
-        assert!(p_miss > 0.0 && p_miss < 0.5, "p_miss must be in (0, 0.5), got {p_miss}");
+        assert!(
+            p_hit > 0.5 && p_hit < 1.0,
+            "p_hit must be in (0.5, 1), got {p_hit}"
+        );
+        assert!(
+            p_miss > 0.0 && p_miss < 0.5,
+            "p_miss must be in (0, 0.5), got {p_miss}"
+        );
         OccupancyParams {
             hit: prob_to_logodds(p_hit),
             miss: prob_to_logodds(p_miss),

@@ -29,7 +29,9 @@ impl PointCloud {
 
     /// Creates an empty point cloud with pre-allocated capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        PointCloud { points: Vec::with_capacity(capacity) }
+        PointCloud {
+            points: Vec::with_capacity(capacity),
+        }
     }
 
     /// Number of points.
@@ -59,13 +61,17 @@ impl PointCloud {
 
     /// The bounding box of all points (empty box for an empty cloud).
     pub fn bounding_box(&self) -> Aabb {
-        self.points.iter().fold(Aabb::empty(), |b, &p| b.union_point(p))
+        self.points
+            .iter()
+            .fold(Aabb::empty(), |b, &p| b.union_point(p))
     }
 }
 
 impl FromIterator<Point3> for PointCloud {
     fn from_iter<I: IntoIterator<Item = Point3>>(iter: I) -> Self {
-        PointCloud { points: iter.into_iter().collect() }
+        PointCloud {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -144,9 +150,7 @@ mod tests {
 
     #[test]
     fn collect_and_extend() {
-        let mut cloud: PointCloud = (0..5)
-            .map(|i| Point3::new(i as f64, 0.0, 0.0))
-            .collect();
+        let mut cloud: PointCloud = (0..5).map(|i| Point3::new(i as f64, 0.0, 0.0)).collect();
         assert_eq!(cloud.len(), 5);
         cloud.extend([Point3::splat(1.0)]);
         assert_eq!(cloud.len(), 6);
@@ -163,12 +167,9 @@ mod tests {
 
     #[test]
     fn bounding_box_covers_points() {
-        let c: PointCloud = [
-            Point3::new(-1.0, 0.0, 2.0),
-            Point3::new(3.0, -2.0, 0.0),
-        ]
-        .into_iter()
-        .collect();
+        let c: PointCloud = [Point3::new(-1.0, 0.0, 2.0), Point3::new(3.0, -2.0, 0.0)]
+            .into_iter()
+            .collect();
         let b = c.bounding_box();
         assert_eq!(b.min(), Point3::new(-1.0, -2.0, 0.0));
         assert_eq!(b.max(), Point3::new(3.0, 0.0, 2.0));

@@ -43,7 +43,10 @@ impl<V: Copy> Arena<V> {
     ///
     /// The caller must have already freed or moved the node's child block.
     pub fn free_node(&mut self, idx: u32) {
-        debug_assert!(self.nodes[idx as usize].is_leaf(), "freeing node with children");
+        debug_assert!(
+            self.nodes[idx as usize].is_leaf(),
+            "freeing node with children"
+        );
         self.node_free.push(idx);
     }
 

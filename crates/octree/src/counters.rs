@@ -41,6 +41,19 @@ pub struct OpCounters {
     pub expands: u64,
     /// Nodes newly created during descent.
     pub node_creations: u64,
+    /// Voxel updates applied through the batch engine
+    /// (see the `batch` module).
+    pub batch_updates: u64,
+    /// Batch updates coalesced onto an already-located leaf (no descent).
+    pub batch_coalesced: u64,
+    /// Descent levels skipped by the batch engine's cached root-path
+    /// prefix.
+    pub batch_reused_levels: u64,
+    /// Inner-node finishes (refresh or prune) performed by the batch
+    /// engine's deferred bottom-up pass. The scalar path performs
+    /// 16 finishes per update; the saving is
+    /// `batch_updates * 16 - batch_deferred_finishes`.
+    pub batch_deferred_finishes: u64,
 }
 
 impl OpCounters {
@@ -63,6 +76,10 @@ impl OpCounters {
         self.prunes += other.prunes;
         self.expands += other.expands;
         self.node_creations += other.node_creations;
+        self.batch_updates += other.batch_updates;
+        self.batch_coalesced += other.batch_coalesced;
+        self.batch_reused_levels += other.batch_reused_levels;
+        self.batch_deferred_finishes += other.batch_deferred_finishes;
     }
 
     /// Difference `self - earlier`, for windowed measurements.
@@ -89,6 +106,13 @@ impl OpCounters {
             prunes: d(self.prunes, earlier.prunes),
             expands: d(self.expands, earlier.expands),
             node_creations: d(self.node_creations, earlier.node_creations),
+            batch_updates: d(self.batch_updates, earlier.batch_updates),
+            batch_coalesced: d(self.batch_coalesced, earlier.batch_coalesced),
+            batch_reused_levels: d(self.batch_reused_levels, earlier.batch_reused_levels),
+            batch_deferred_finishes: d(
+                self.batch_deferred_finishes,
+                earlier.batch_deferred_finishes,
+            ),
         }
     }
 
@@ -105,8 +129,16 @@ mod tests {
 
     #[test]
     fn merge_adds_componentwise() {
-        let mut a = OpCounters { dda_steps: 1, prunes: 2, ..Default::default() };
-        let b = OpCounters { dda_steps: 10, expands: 5, ..Default::default() };
+        let mut a = OpCounters {
+            dda_steps: 1,
+            prunes: 2,
+            ..Default::default()
+        };
+        let b = OpCounters {
+            dda_steps: 10,
+            expands: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.dda_steps, 11);
         assert_eq!(a.prunes, 2);
@@ -115,8 +147,15 @@ mod tests {
 
     #[test]
     fn since_subtracts() {
-        let early = OpCounters { leaf_updates: 5, ..Default::default() };
-        let late = OpCounters { leaf_updates: 12, prunes: 3, ..Default::default() };
+        let early = OpCounters {
+            leaf_updates: 5,
+            ..Default::default()
+        };
+        let late = OpCounters {
+            leaf_updates: 12,
+            prunes: 3,
+            ..Default::default()
+        };
         let d = late.since(&early);
         assert_eq!(d.leaf_updates, 7);
         assert_eq!(d.prunes, 3);
@@ -124,14 +163,21 @@ mod tests {
 
     #[test]
     fn reset_zeroes() {
-        let mut c = OpCounters { parent_updates: 9, ..Default::default() };
+        let mut c = OpCounters {
+            parent_updates: 9,
+            ..Default::default()
+        };
         c.reset();
         assert_eq!(c, OpCounters::default());
     }
 
     #[test]
     fn voxel_updates_includes_skips() {
-        let c = OpCounters { leaf_updates: 7, saturated_skips: 3, ..Default::default() };
+        let c = OpCounters {
+            leaf_updates: 7,
+            saturated_skips: 3,
+            ..Default::default()
+        };
         assert_eq!(c.voxel_updates(), 10);
     }
 }

@@ -1,8 +1,9 @@
 //! Point-cloud insertion: OctoMap's `insertPointCloud` on top of the
-//! ray-casting integrator.
+//! ray-casting integrator, in scalar, batched and parallel-batched
+//! flavours.
 
 use omu_geometry::{KeyError, LogOdds, Scan};
-use omu_raycast::{IntegrationStats, ScanIntegrator};
+use omu_raycast::{IntegrationStats, ParallelScanIntegrator, ScanIntegrator};
 
 use crate::tree::OccupancyOctree;
 
@@ -39,17 +40,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// # }
     /// ```
     pub fn insert_scan(&mut self, scan: &Scan) -> Result<IntegrationStats, KeyError> {
-        // Reuse the scratch integrator's buffers when its configuration
-        // still matches; it is kept outside `self` during the closure so the
+        // The integrator is kept outside `self` during the closure so the
         // tree can be mutated per update.
-        let mut integrator = match self.scratch_integrator.take() {
-            Some(i)
-                if i.mode() == self.integration_mode && i.max_range() == self.max_range =>
-            {
-                i
-            }
-            _ => ScanIntegrator::new(self.conv, self.max_range, self.integration_mode),
-        };
+        let mut integrator = self.take_scratch_integrator();
 
         let result = integrator.integrate(scan, |u| {
             self.update_key(u.key, u.hit);
@@ -59,6 +52,106 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let stats = result?;
         self.counters.dda_steps += stats.dda_steps;
         Ok(stats)
+    }
+
+    /// Reuses the cached sequential integrator when its configuration
+    /// still matches the tree's, building a fresh one otherwise — the
+    /// single place the cache-validity condition lives.
+    fn take_scratch_integrator(&mut self) -> ScanIntegrator {
+        match self.scratch_integrator.take() {
+            Some(i) if i.mode() == self.integration_mode && i.max_range() == self.max_range => i,
+            _ => ScanIntegrator::new(self.conv, self.max_range, self.integration_mode),
+        }
+    }
+
+    /// Shared tail of the batched insertion paths: apply the collected
+    /// updates through the batch engine, hand the scratch buffer back,
+    /// and account DDA steps.
+    fn finish_batched_insert(
+        &mut self,
+        result: Result<IntegrationStats, KeyError>,
+        updates: Vec<omu_raycast::VoxelUpdate>,
+    ) -> Result<IntegrationStats, KeyError> {
+        match result {
+            Ok(stats) => {
+                self.apply_update_batch(&updates);
+                self.scratch_updates = updates;
+                self.counters.dda_steps += stats.dda_steps;
+                Ok(stats)
+            }
+            Err(e) => {
+                // Keep the buffer's capacity even on a bad-origin scan.
+                self.scratch_updates = updates;
+                Err(e)
+            }
+        }
+    }
+
+    /// Integrates a full scan through the batched update engine: ray
+    /// casting emits one update batch which is applied Morton-sorted with
+    /// cached descent and deferred parent refresh (see the batch module).
+    ///
+    /// The resulting map is bit-identical to [`Self::insert_scan`]; only
+    /// the amount of tree-maintenance work differs.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::insert_scan`].
+    pub fn insert_scan_batched(&mut self, scan: &Scan) -> Result<IntegrationStats, KeyError> {
+        let mut integrator = self.take_scratch_integrator();
+
+        let mut updates = std::mem::take(&mut self.scratch_updates);
+        updates.clear();
+        let result = integrator.integrate_into(scan, &mut updates);
+        self.scratch_integrator = Some(integrator);
+
+        self.finish_batched_insert(result, updates)
+    }
+
+    /// Integrates a full scan with ray casting fanned out over `threads`
+    /// shards (`0` = one per available CPU) and the merged update stream
+    /// applied through the batched engine — the software mirror of the
+    /// paper's PE × bank parallelism.
+    ///
+    /// In [`Raywise`](omu_raycast::IntegrationMode::Raywise) mode the
+    /// resulting map is bit-identical to [`Self::insert_scan`]; in dedup
+    /// mode it is identical up to the (semantically irrelevant) emission
+    /// order of the per-scan key sets.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::insert_scan`].
+    pub fn insert_scan_parallel(
+        &mut self,
+        scan: &Scan,
+        threads: usize,
+    ) -> Result<IntegrationStats, KeyError> {
+        // Resolve `0 = per-CPU` before the cache check, so a cached
+        // integrator built with an explicit shard count is not silently
+        // reused for an auto-sharded call (or vice versa).
+        let shards = ParallelScanIntegrator::resolve_shards(threads);
+        let integrator = match self.scratch_parallel.take() {
+            Some(i)
+                if i.mode() == self.integration_mode
+                    && i.max_range() == self.max_range
+                    && i.shards() == shards =>
+            {
+                i
+            }
+            _ => ParallelScanIntegrator::new(
+                self.conv,
+                self.max_range,
+                self.integration_mode,
+                shards,
+            ),
+        };
+
+        let mut updates = std::mem::take(&mut self.scratch_updates);
+        updates.clear();
+        let result = integrator.integrate_into(scan, &mut updates);
+        self.scratch_parallel = Some(integrator);
+
+        self.finish_batched_insert(result, updates)
     }
 }
 
@@ -80,13 +173,23 @@ mod tests {
         let stats = t.insert_scan(&s).unwrap();
         assert_eq!(stats.rays, 1);
         assert_eq!(stats.occupied_updates, 1);
-        assert_eq!(t.occupancy_at(Point3::new(1.0, 0.0, 0.0)).unwrap(), Occupancy::Occupied);
+        assert_eq!(
+            t.occupancy_at(Point3::new(1.0, 0.0, 0.0)).unwrap(),
+            Occupancy::Occupied
+        );
         for i in 0..10 {
             let p = Point3::new(0.05 + 0.1 * i as f64, 0.0, 0.0);
-            assert_eq!(t.occupancy_at(p).unwrap(), Occupancy::Free, "cell {i} on ray");
+            assert_eq!(
+                t.occupancy_at(p).unwrap(),
+                Occupancy::Free,
+                "cell {i} on ray"
+            );
         }
         // Beyond the endpoint stays unknown.
-        assert_eq!(t.occupancy_at(Point3::new(1.5, 0.0, 0.0)).unwrap(), Occupancy::Unknown);
+        assert_eq!(
+            t.occupancy_at(Point3::new(1.5, 0.0, 0.0)).unwrap(),
+            Occupancy::Unknown
+        );
         assert_eq!(t.counters().dda_steps, stats.dda_steps);
     }
 
@@ -119,9 +222,15 @@ mod tests {
         let stats = t.insert_scan(&s).unwrap();
         assert_eq!(stats.truncated_rays, 1);
         // The endpoint is beyond range: not occupied, not even observed.
-        assert_eq!(t.occupancy_at(Point3::new(3.0, 0.0, 0.0)).unwrap(), Occupancy::Unknown);
+        assert_eq!(
+            t.occupancy_at(Point3::new(3.0, 0.0, 0.0)).unwrap(),
+            Occupancy::Unknown
+        );
         // Cells within range are free.
-        assert_eq!(t.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(), Occupancy::Free);
+        assert_eq!(
+            t.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(),
+            Occupancy::Free
+        );
     }
 
     #[test]
@@ -133,7 +242,83 @@ mod tests {
         t.insert_scan(&s).unwrap();
         t.set_integration_mode(IntegrationMode::DedupPerScan);
         t.insert_scan(&s).unwrap();
-        assert_eq!(t.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(), Occupancy::Occupied);
+        assert_eq!(
+            t.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(),
+            Occupancy::Occupied
+        );
+    }
+
+    #[test]
+    fn batched_and_parallel_insertion_match_scalar_bitwise() {
+        let points: Vec<Point3> = (0..48)
+            .map(|i| {
+                let a = i as f64 * 0.131;
+                Point3::new(2.5 * a.cos(), 2.5 * a.sin(), ((i % 7) as f64 - 3.0) * 0.2)
+            })
+            .collect();
+        let scans: Vec<Scan> = (0..3)
+            .map(|i| scan(Point3::new(0.01 * i as f64, 0.02, 0.01), &points))
+            .collect();
+
+        let mut scalar = OctreeF32::new(0.1).unwrap();
+        let mut batched = OctreeF32::new(0.1).unwrap();
+        let mut parallel = OctreeF32::new(0.1).unwrap();
+        for s in &scans {
+            let a = scalar.insert_scan(s).unwrap();
+            let b = batched.insert_scan_batched(s).unwrap();
+            let c = parallel.insert_scan_parallel(s, 3).unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a, c);
+        }
+        assert_eq!(scalar.snapshot(), batched.snapshot());
+        assert_eq!(scalar.snapshot(), parallel.snapshot());
+        assert_eq!(scalar.counters().dda_steps, batched.counters().dda_steps);
+        assert_eq!(scalar.counters().dda_steps, parallel.counters().dda_steps);
+        assert!(batched.counters().batch_updates > 0);
+    }
+
+    #[test]
+    fn batched_insertion_matches_scalar_in_dedup_mode() {
+        let points = [
+            Point3::new(1.0, 0.0, 0.0),
+            Point3::new(1.0, 0.1, 0.0),
+            Point3::new(0.35, 0.0, 0.0),
+        ];
+        let mut scalar = OctreeF32::new(0.1).unwrap();
+        scalar.set_integration_mode(IntegrationMode::DedupPerScan);
+        scalar.insert_scan(&scan(Point3::ZERO, &points)).unwrap();
+
+        let mut batched = OctreeF32::new(0.1).unwrap();
+        batched.set_integration_mode(IntegrationMode::DedupPerScan);
+        batched
+            .insert_scan_batched(&scan(Point3::ZERO, &points))
+            .unwrap();
+
+        let mut parallel = OctreeF32::new(0.1).unwrap();
+        parallel.set_integration_mode(IntegrationMode::DedupPerScan);
+        parallel
+            .insert_scan_parallel(&scan(Point3::ZERO, &points), 2)
+            .unwrap();
+
+        assert_eq!(scalar.snapshot(), batched.snapshot());
+        assert_eq!(scalar.snapshot(), parallel.snapshot());
+    }
+
+    #[test]
+    fn parallel_shard_count_is_not_cached_stale() {
+        use omu_raycast::ParallelScanIntegrator;
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let s = scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)]);
+        t.insert_scan_parallel(&s, 2).unwrap();
+        assert_eq!(t.scratch_parallel.as_ref().unwrap().shards(), 2);
+        // `0 = per-CPU` must not silently reuse the 2-shard integrator.
+        t.insert_scan_parallel(&s, 0).unwrap();
+        assert_eq!(
+            t.scratch_parallel.as_ref().unwrap().shards(),
+            ParallelScanIntegrator::resolve_shards(0)
+        );
+        t.insert_scan_parallel(&s, 3).unwrap();
+        assert_eq!(t.scratch_parallel.as_ref().unwrap().shards(), 3);
     }
 
     #[test]
@@ -143,6 +328,8 @@ mod tests {
         let s = scan(Point3::new(far, 0.0, 0.0), &[Point3::ZERO]);
         assert!(t.insert_scan(&s).is_err());
         // The tree is still usable afterwards.
-        assert!(t.insert_scan(&scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)])).is_ok());
+        assert!(t
+            .insert_scan(&scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)]))
+            .is_ok());
     }
 }

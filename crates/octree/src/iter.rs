@@ -160,7 +160,11 @@ mod tests {
         for _ in 0..10 {
             for i in 0..8u16 {
                 t.update_key(
-                    VoxelKey::new(base.x + (i & 1), base.y + ((i >> 1) & 1), base.z + ((i >> 2) & 1)),
+                    VoxelKey::new(
+                        base.x + (i & 1),
+                        base.y + ((i >> 1) & 1),
+                        base.z + ((i >> 2) & 1),
+                    ),
                     true,
                 );
             }
@@ -179,7 +183,10 @@ mod tests {
     fn snapshot_is_sorted_and_stable() {
         let mut t = OctreeF32::new(0.1).unwrap();
         for i in 0..50u16 {
-            t.update_key(VoxelKey::new(32768 + i * 3 % 17, 32768 + i % 5, 32768), i % 2 == 0);
+            t.update_key(
+                VoxelKey::new(32768 + i * 3 % 17, 32768 + i % 5, 32768),
+                i % 2 == 0,
+            );
         }
         let s1 = t.snapshot();
         let s2 = t.snapshot();

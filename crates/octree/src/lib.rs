@@ -23,6 +23,15 @@
 //! Every operation increments [`OpCounters`]; the CPU timing models in
 //! `omu-cpumodel` convert those counts to seconds.
 //!
+//! Besides the scalar per-update path, the tree offers a **batched
+//! update engine** (`apply_update_batch`, `insert_scan_batched`,
+//! `insert_scan_parallel`): updates are Morton-sorted so the tree walk
+//! reuses the shared root-path prefix between consecutive keys, repeated
+//! updates of one voxel coalesce, and parent refresh + pruning are
+//! deferred to one bottom-up pass per touched subtree — the software
+//! analogue of the work amortization the OMU hardware gets from its PE ×
+//! bank layout, and the repo's fastest CPU mapping path.
+//!
 //! # Examples
 //!
 //! ```
@@ -43,6 +52,7 @@
 #![warn(missing_debug_implementations)]
 
 mod arena;
+mod batch;
 mod counters;
 mod insert;
 mod io;
@@ -55,6 +65,7 @@ mod stats;
 mod tree;
 mod update;
 
+pub use batch::BatchStats;
 pub use counters::OpCounters;
 pub use io::ReadError;
 pub use iter::{LeafInfo, LeafIter};

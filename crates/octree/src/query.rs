@@ -169,12 +169,22 @@ mod tests {
         let t = mapped_tree();
         // Looking away from the mapped cone: immediately unknown.
         let r = t
-            .cast_ray(Point3::new(0.0, 0.0, 1.0), Point3::new(0.0, 0.0, 1.0), 5.0, false)
+            .cast_ray(
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(0.0, 0.0, 1.0),
+                5.0,
+                false,
+            )
             .unwrap();
         assert!(matches!(r, RayCastResult::UnknownBlocked { .. }));
         // Ignoring unknown lets the ray run to range.
         let r = t
-            .cast_ray(Point3::new(0.0, 0.0, 1.0), Point3::new(0.0, 0.0, 1.0), 5.0, true)
+            .cast_ray(
+                Point3::new(0.0, 0.0, 1.0),
+                Point3::new(0.0, 0.0, 1.0),
+                5.0,
+                true,
+            )
             .unwrap();
         assert_eq!(r, RayCastResult::MaxRangeReached);
     }

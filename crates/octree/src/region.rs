@@ -74,7 +74,12 @@ impl<V: LogOdds> OccupancyOctree<V> {
         if self.root != NIL {
             stack.push((self.root, VoxelKey::new(0, 0, 0), 0u8));
         }
-        LeafInBoxIter { tree: self, min, max, stack }
+        LeafInBoxIter {
+            tree: self,
+            min,
+            max,
+            stack,
+        }
     }
 
     /// Iterates the leaves intersecting a metric box.
@@ -124,7 +129,11 @@ mod tests {
     fn box_iteration_matches_filtered_full_iteration() {
         let t = mapped_tree();
         let aabb = Aabb::new(Point3::new(1.5, -0.5, -0.3), Point3::new(2.5, 0.5, 0.3));
-        let in_box: Vec<_> = t.iter_leaves_in_aabb(&aabb).unwrap().map(|l| l.key).collect();
+        let in_box: Vec<_> = t
+            .iter_leaves_in_aabb(&aabb)
+            .unwrap()
+            .map(|l| l.key)
+            .collect();
         // Reference: filter the full iteration by geometric overlap.
         let min = t.converter().coord_to_key(aabb.min()).unwrap();
         let max = t.converter().coord_to_key(aabb.max()).unwrap();
@@ -178,7 +187,10 @@ mod tests {
         let t = mapped_tree();
         let all = t.iter_leaves().count();
         let boxed = t
-            .iter_leaves_in_box(VoxelKey::new(0, 0, 0), VoxelKey::new(u16::MAX, u16::MAX, u16::MAX))
+            .iter_leaves_in_box(
+                VoxelKey::new(0, 0, 0),
+                VoxelKey::new(u16::MAX, u16::MAX, u16::MAX),
+            )
             .count();
         assert_eq!(all, boxed);
     }

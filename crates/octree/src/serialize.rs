@@ -230,7 +230,10 @@ mod tests {
         for cut in [5, 13, 20, bytes.len() - 1] {
             let e = OctreeF32::from_bytes(&bytes[..cut]).unwrap_err();
             assert!(
-                matches!(e, DeserializeError::Truncated | DeserializeError::Malformed(_)),
+                matches!(
+                    e,
+                    DeserializeError::Truncated | DeserializeError::Malformed(_)
+                ),
                 "cut at {cut} gave {e:?}"
             );
         }
@@ -252,7 +255,10 @@ mod tests {
         let t = OctreeF32::new(0.1).unwrap();
         let mut bytes = t.to_bytes();
         bytes[4] = 99;
-        assert_eq!(OctreeF32::from_bytes(&bytes).unwrap_err(), DeserializeError::BadVersion(99));
+        assert_eq!(
+            OctreeF32::from_bytes(&bytes).unwrap_err(),
+            DeserializeError::BadVersion(99)
+        );
     }
 
     #[test]

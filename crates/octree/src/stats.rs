@@ -121,10 +121,7 @@ mod tests {
         assert_eq!(s.num_leaves, t.iter_leaves().count());
         assert_eq!(s.num_nodes, t.num_nodes());
         assert_eq!(s.num_inner + s.num_leaves, s.num_nodes);
-        assert_eq!(
-            s.leaf_depth_histogram.iter().sum::<usize>(),
-            s.num_leaves
-        );
+        assert_eq!(s.leaf_depth_histogram.iter().sum::<usize>(), s.num_leaves);
     }
 
     #[test]
@@ -166,7 +163,11 @@ mod tests {
         for _ in 0..10 {
             for i in 0..8u16 {
                 t.update_key(
-                    VoxelKey::new(base.x + (i & 1), base.y + ((i >> 1) & 1), base.z + ((i >> 2) & 1)),
+                    VoxelKey::new(
+                        base.x + (i & 1),
+                        base.y + ((i >> 1) & 1),
+                        base.z + ((i >> 2) & 1),
+                    ),
                     true,
                 );
             }

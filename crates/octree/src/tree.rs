@@ -4,9 +4,11 @@ use omu_geometry::{
     KeyConverter, KeyError, LogOdds, Occupancy, OccupancyParams, Point3, ResolutionError,
     ResolvedParams, VoxelKey, TREE_DEPTH,
 };
-use omu_raycast::{IntegrationMode, ScanIntegrator};
+use omu_raycast::{IntegrationMode, ParallelScanIntegrator, ScanIntegrator, VoxelUpdate};
+use rustc_hash::FxHashSet;
 
 use crate::arena::Arena;
+use crate::batch::BatchScratch;
 use crate::counters::OpCounters;
 use crate::node::NIL;
 
@@ -28,7 +30,12 @@ pub struct OccupancyOctree<V: LogOdds> {
     pub(crate) integration_mode: IntegrationMode,
     pub(crate) max_range: Option<f64>,
     pub(crate) scratch_integrator: Option<ScanIntegrator>,
-    pub(crate) changed: Option<std::collections::HashSet<VoxelKey>>,
+    pub(crate) scratch_parallel: Option<ParallelScanIntegrator>,
+    pub(crate) scratch_updates: Vec<VoxelUpdate>,
+    pub(crate) batch_scratch: BatchScratch<V>,
+    // Fx instead of SipHash: change tracking inserts a structured key per
+    // classification flip on the hottest path; see `rustc_hash`.
+    pub(crate) changed: Option<FxHashSet<VoxelKey>>,
 }
 
 /// The floating-point baseline tree (OctoMap's native representation).
@@ -60,10 +67,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     ///
     /// Returns [`ResolutionError`] if `resolution` is not positive and
     /// finite.
-    pub fn with_params(
-        resolution: f64,
-        params: OccupancyParams,
-    ) -> Result<Self, ResolutionError> {
+    pub fn with_params(resolution: f64, params: OccupancyParams) -> Result<Self, ResolutionError> {
         let conv = KeyConverter::new(resolution)?;
         Ok(OccupancyOctree {
             conv,
@@ -77,6 +81,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
             integration_mode: IntegrationMode::default(),
             max_range: None,
             scratch_integrator: None,
+            scratch_parallel: None,
+            scratch_updates: Vec::new(),
+            batch_scratch: BatchScratch::default(),
             changed: None,
         })
     }
@@ -136,6 +143,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn set_integration_mode(&mut self, mode: IntegrationMode) {
         self.integration_mode = mode;
         self.scratch_integrator = None;
+        self.scratch_parallel = None;
     }
 
     /// The scan-integration mode.
@@ -147,6 +155,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn set_max_range(&mut self, max_range: Option<f64>) {
         self.max_range = max_range;
         self.scratch_integrator = None;
+        self.scratch_parallel = None;
     }
 
     /// The configured maximum sensor range.
@@ -254,7 +263,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn set_change_detection(&mut self, enabled: bool) {
         if enabled {
             if self.changed.is_none() {
-                self.changed = Some(std::collections::HashSet::new());
+                self.changed = Some(FxHashSet::default());
             }
         } else {
             self.changed = None;

@@ -14,7 +14,11 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// Section III-A: update leaf (eq. 2), recursively update parents
     /// (eq. 3), and node prune/expand.
     pub fn update_key(&mut self, key: VoxelKey, hit: bool) -> V {
-        let delta = if hit { self.resolved.hit } else { self.resolved.miss };
+        let delta = if hit {
+            self.resolved.hit
+        } else {
+            self.resolved.miss
+        };
         self.update_key_logodds(key, delta)
     }
 
@@ -51,29 +55,70 @@ impl<V: LogOdds> OccupancyOctree<V> {
         path[0] = node;
 
         for depth in 0..TREE_DEPTH {
-            let pos = key.child_index_at(depth).index();
-            let mut child = self.arena.child_of(node, pos);
-            if child == NIL {
-                if self.arena.node(node).is_leaf() && !just_created {
-                    // A pruned leaf covers this key: expand it so the update
-                    // applies to the single target voxel only.
-                    self.expand_node(node);
-                    child = self.arena.child_of(node, pos);
-                    just_created = false;
-                } else {
-                    // Fresh branch: create just the requested child.
-                    child = self.create_child(node, pos);
-                    just_created = true;
-                }
-            } else {
-                just_created = false;
-            }
-            self.counters.traverse_steps += 1;
+            let (child, created) = self.step_down(node, key, depth, just_created);
+            just_created = created;
             node = child;
             path[depth as usize + 1] = node;
         }
 
         // --- Leaf update (eq. 2). ---
+        let updated = self.apply_leaf_delta(node, key, delta, just_created);
+
+        // --- Parent updates and pruning, bottom-up (eq. 3). ---
+        let mut result = updated;
+        for depth in (0..TREE_DEPTH).rev() {
+            if let Some(pruned_value) = self.finish_node(path[depth as usize]) {
+                result = pruned_value;
+            }
+        }
+        result
+    }
+
+    /// One level of descent towards `key`: returns the child at
+    /// `depth + 1` on the key's root path, creating or expanding as
+    /// OctoMap's `updateNodeRecurs` would.
+    ///
+    /// `just_created` must be true when `node` was freshly created during
+    /// the current descent (a fresh branch grows one child per level; a
+    /// pre-existing childless node is a pruned leaf that must expand into
+    /// all 8). The returned flag is the same property for the child.
+    #[inline]
+    pub(crate) fn step_down(
+        &mut self,
+        node: u32,
+        key: VoxelKey,
+        depth: u8,
+        just_created: bool,
+    ) -> (u32, bool) {
+        let pos = key.child_index_at(depth).index();
+        let mut child = self.arena.child_of(node, pos);
+        let mut created = false;
+        if child == NIL {
+            if self.arena.node(node).is_leaf() && !just_created {
+                // A pruned leaf covers this key: expand it so the update
+                // applies to the single target voxel only.
+                self.expand_node(node);
+                child = self.arena.child_of(node, pos);
+            } else {
+                // Fresh branch: create just the requested child.
+                child = self.create_child(node, pos);
+                created = true;
+            }
+        }
+        self.counters.traverse_steps += 1;
+        (child, created)
+    }
+
+    /// Applies one clamped log-odds addition to a located leaf (eq. 2),
+    /// recording change detection, and returns the new value.
+    #[inline]
+    pub(crate) fn apply_leaf_delta(
+        &mut self,
+        node: u32,
+        key: VoxelKey,
+        delta: V,
+        just_created: bool,
+    ) -> V {
         let (updated, old_value) = {
             let n = self.arena.node_mut(node);
             let old = n.value;
@@ -94,18 +139,24 @@ impl<V: LogOdds> OccupancyOctree<V> {
                 changed.insert(key);
             }
         }
+        updated
+    }
 
-        // --- Parent updates and pruning, bottom-up (eq. 3). ---
-        let mut result = updated;
-        for depth in (0..TREE_DEPTH).rev() {
-            let parent = path[depth as usize];
-            if self.pruning_enabled && self.try_prune(parent) {
-                result = self.arena.node(parent).value;
-            } else {
-                self.refresh_parent_value(parent);
-            }
+    /// Finishes an inner node after updates below it: prune when enabled
+    /// and collapsible, otherwise refresh the value to the max over
+    /// children. Returns `Some(value)` when the node was pruned.
+    ///
+    /// The scalar path calls this for every path node after every update;
+    /// the batch engine defers it to once per touched node (see
+    /// [`apply_update_batch`](Self::apply_update_batch)).
+    #[inline]
+    pub(crate) fn finish_node(&mut self, node: u32) -> Option<V> {
+        if self.pruning_enabled && self.try_prune(node) {
+            Some(self.arena.node(node).value)
+        } else {
+            self.refresh_parent_value(node);
+            None
         }
-        result
     }
 
     /// Expands a pruned leaf into 8 children carrying the parent's value
@@ -353,10 +404,7 @@ mod tests {
             for dz in 0..2u16 {
                 for dy in 0..2u16 {
                     for dx in 0..2u16 {
-                        t.update_key(
-                            VoxelKey::new(base.x + dx, base.y + dy, base.z + dz),
-                            true,
-                        );
+                        t.update_key(VoxelKey::new(base.x + dx, base.y + dy, base.z + dz), true);
                     }
                 }
             }
@@ -377,10 +425,7 @@ mod tests {
             for dz in 0..2u16 {
                 for dy in 0..2u16 {
                     for dx in 0..2u16 {
-                        t.update_key(
-                            VoxelKey::new(base.x + dx, base.y + dy, base.z + dz),
-                            true,
-                        );
+                        t.update_key(VoxelKey::new(base.x + dx, base.y + dy, base.z + dz), true);
                     }
                 }
             }
@@ -408,10 +453,7 @@ mod tests {
             for dz in 0..2u16 {
                 for dy in 0..2u16 {
                     for dx in 0..2u16 {
-                        t.update_key(
-                            VoxelKey::new(base.x + dx, base.y + dy, base.z + dz),
-                            true,
-                        );
+                        t.update_key(VoxelKey::new(base.x + dx, base.y + dy, base.z + dz), true);
                     }
                 }
             }
@@ -440,7 +482,11 @@ mod tests {
             tq.update_key(k, hit);
         }
         for &k in &keys {
-            assert_eq!(tf.occupancy(k), tq.occupancy(k), "classification must agree at {k}");
+            assert_eq!(
+                tf.occupancy(k),
+                tq.occupancy(k),
+                "classification must agree at {k}"
+            );
         }
     }
 

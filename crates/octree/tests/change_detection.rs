@@ -75,7 +75,9 @@ fn scan_insertion_reports_frontier_only() {
     t.set_change_detection(true);
     let scan = Scan::new(
         Point3::ZERO,
-        [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+        [Point3::new(1.0, 0.0, 0.0)]
+            .into_iter()
+            .collect::<PointCloud>(),
     );
     t.insert_scan(&scan).unwrap();
     let first_pass = t.num_changed_keys();
@@ -83,7 +85,11 @@ fn scan_insertion_reports_frontier_only() {
     t.reset_changed_keys();
     // Re-inserting the same scan reinforces existing classifications.
     t.insert_scan(&scan).unwrap();
-    assert_eq!(t.num_changed_keys(), 0, "repeat observations change nothing");
+    assert_eq!(
+        t.num_changed_keys(),
+        0,
+        "repeat observations change nothing"
+    );
 }
 
 #[test]

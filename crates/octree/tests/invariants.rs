@@ -29,7 +29,9 @@ fn check_invariants<V: LogOdds>(tree: &OccupancyOctree<V>) {
         );
         // (4) Point search agrees with iteration for finest leaves.
         if leaf.depth == TREE_DEPTH {
-            let (v, d) = tree.search(leaf.key).expect("iterated leaf must be searchable");
+            let (v, d) = tree
+                .search(leaf.key)
+                .expect("iterated leaf must be searchable");
             assert_eq!(d, TREE_DEPTH);
             assert_eq!(v.to_f32(), leaf.logodds);
         }
@@ -73,7 +75,10 @@ fn check_prune_canonical(tree: &mut OctreeF32) {
         tree.update_key(key, true);
     }
     let after = tree.snapshot();
-    assert_eq!(before, after, "saturate-and-return must restore the pruned map");
+    assert_eq!(
+        before, after,
+        "saturate-and-return must restore the pruned map"
+    );
 }
 
 proptest! {

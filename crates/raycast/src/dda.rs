@@ -55,7 +55,11 @@ pub fn compute_ray_keys(
     let dir = direction / length;
 
     let res = conv.resolution();
-    let mut current = [key_origin.x as i32, key_origin.y as i32, key_origin.z as i32];
+    let mut current = [
+        key_origin.x as i32,
+        key_origin.y as i32,
+        key_origin.z as i32,
+    ];
     let end_key = [key_end.x as i32, key_end.y as i32, key_end.z as i32];
     let mut step = [0i32; 3];
     let mut t_max = [f64::INFINITY; 3];
@@ -72,8 +76,8 @@ pub fn compute_ray_keys(
         };
         if step[axis] != 0 {
             // Distance along the ray to the first voxel border on this axis.
-            let voxel_border = conv.axis_key_to_coord(current[axis] as u16)
-                + step[axis] as f64 * res * 0.5;
+            let voxel_border =
+                conv.axis_key_to_coord(current[axis] as u16) + step[axis] as f64 * res * 0.5;
             t_max[axis] = (voxel_border - origin[axis]) / d;
             t_delta[axis] = res / d.abs();
         }
@@ -115,7 +119,11 @@ pub fn compute_ray_keys(
             break;
         }
 
-        ray.push(VoxelKey::new(current[0] as u16, current[1] as u16, current[2] as u16));
+        ray.push(VoxelKey::new(
+            current[0] as u16,
+            current[1] as u16,
+            current[2] as u16,
+        ));
     }
 
     Ok(steps)
@@ -175,7 +183,11 @@ impl RayWalk {
             .ok_or(KeyError::NotFinite { coord: dir.norm() })?;
 
         let res = conv.resolution();
-        let current = [key_origin.x as i32, key_origin.y as i32, key_origin.z as i32];
+        let current = [
+            key_origin.x as i32,
+            key_origin.y as i32,
+            key_origin.z as i32,
+        ];
         let mut step = [0i32; 3];
         let mut t_max = [f64::INFINITY; 3];
         let mut t_delta = [f64::INFINITY; 3];
@@ -189,8 +201,8 @@ impl RayWalk {
                 0
             };
             if step[axis] != 0 {
-                let voxel_border = conv.axis_key_to_coord(current[axis] as u16)
-                    + step[axis] as f64 * res * 0.5;
+                let voxel_border =
+                    conv.axis_key_to_coord(current[axis] as u16) + step[axis] as f64 * res * 0.5;
                 t_max[axis] = (voxel_border - origin[axis]) / d;
                 t_delta[axis] = res / d.abs();
             }
@@ -289,9 +301,13 @@ mod tests {
     fn same_voxel_yields_empty_ray() {
         let c = conv();
         let mut ray = KeyRay::new();
-        let steps =
-            compute_ray_keys(&c, Point3::new(0.01, 0.01, 0.01), Point3::new(0.05, 0.02, 0.09), &mut ray)
-                .unwrap();
+        let steps = compute_ray_keys(
+            &c,
+            Point3::new(0.01, 0.01, 0.01),
+            Point3::new(0.05, 0.02, 0.09),
+            &mut ray,
+        )
+        .unwrap();
         assert_eq!(steps, 0);
         assert!(ray.is_empty());
     }

@@ -33,7 +33,9 @@ impl KeyRay {
 
     /// Creates an empty key ray with capacity for `capacity` cells.
     pub fn with_capacity(capacity: usize) -> Self {
-        KeyRay { keys: Vec::with_capacity(capacity) }
+        KeyRay {
+            keys: Vec::with_capacity(capacity),
+        }
     }
 
     /// Removes all keys, keeping the allocation.
@@ -78,7 +80,9 @@ impl<'a> IntoIterator for &'a KeyRay {
 
 impl FromIterator<VoxelKey> for KeyRay {
     fn from_iter<I: IntoIterator<Item = VoxelKey>>(iter: I) -> Self {
-        KeyRay { keys: iter.into_iter().collect() }
+        KeyRay {
+            keys: iter.into_iter().collect(),
+        }
     }
 }
 

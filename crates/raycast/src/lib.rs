@@ -16,6 +16,10 @@
 //!   the paper's raywise mode (no overlap dedup — what the OMU hardware
 //!   executes and what Table II counts as "voxel updates") and OctoMap's
 //!   software dedup mode.
+//! - [`ParallelScanIntegrator`] — the same integration fanned out over
+//!   threads in contiguous ray shards whose update streams merge back
+//!   deterministically; the front end of the octree's batched update
+//!   engine.
 //!
 //! # Examples
 //!
@@ -38,7 +42,9 @@
 mod dda;
 mod integrate;
 mod keyray;
+mod parallel;
 
 pub use dda::{compute_ray_keys, RayWalk};
 pub use integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
 pub use keyray::KeyRay;
+pub use parallel::ParallelScanIntegrator;

@@ -1,0 +1,291 @@
+//! Parallel scan integration: rays fan out across threads, their key
+//! streams merge back into one deterministic update batch.
+//!
+//! This mirrors the OMU paper's PE × bank parallelism in software: each
+//! shard owns a contiguous slice of the scan's rays (so concatenating
+//! shard outputs reproduces the sequential emission order exactly), runs
+//! a private [`ScanIntegrator`] over it, and the merged stream feeds the
+//! octree's Morton-sorted batch engine.
+//!
+//! The build environment vendors no `rayon`, so sharding uses
+//! `std::thread::scope` directly — the fan-out/merge structure is the
+//! same, without work stealing (uniform rays make static chunking a good
+//! fit anyway).
+
+use omu_geometry::{KeyConverter, KeyError, PointCloud, Scan, VoxelKey};
+use rustc_hash::FxHashSet;
+
+use crate::integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+
+/// Fans a scan's rays out over threads and merges the per-shard update
+/// streams into one batch.
+///
+/// In [`IntegrationMode::Raywise`] the merged stream is byte-for-byte the
+/// sequential [`ScanIntegrator`] stream (shards are contiguous ray
+/// ranges, joined in order). In [`IntegrationMode::DedupPerScan`] the
+/// per-shard key sets are unioned before emission, so dedup stays
+/// *global* to the scan exactly like the sequential path.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3, PointCloud, Scan};
+/// use omu_raycast::{IntegrationMode, ParallelScanIntegrator};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let conv = KeyConverter::new(0.1)?;
+/// let integrator =
+///     ParallelScanIntegrator::new(conv, Some(5.0), IntegrationMode::Raywise, 4);
+/// let scan = Scan::new(
+///     Point3::ZERO,
+///     [Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0)]
+///         .into_iter()
+///         .collect::<PointCloud>(),
+/// );
+/// let mut updates = Vec::new();
+/// let stats = integrator.integrate_into(&scan, &mut updates)?;
+/// assert_eq!(stats.rays, 2);
+/// assert_eq!(updates.len() as u64, stats.total_updates());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ParallelScanIntegrator {
+    conv: KeyConverter,
+    max_range: Option<f64>,
+    mode: IntegrationMode,
+    shards: usize,
+}
+
+impl ParallelScanIntegrator {
+    /// Creates an integrator fanning out over `shards` threads
+    /// (`0` = one shard per available CPU).
+    pub fn new(
+        conv: KeyConverter,
+        max_range: Option<f64>,
+        mode: IntegrationMode,
+        shards: usize,
+    ) -> Self {
+        ParallelScanIntegrator {
+            conv,
+            max_range,
+            mode,
+            shards: Self::resolve_shards(shards),
+        }
+    }
+
+    /// Resolves a requested shard count: `0` means one shard per
+    /// available CPU.
+    pub fn resolve_shards(requested: usize) -> usize {
+        if requested == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            requested
+        }
+    }
+
+    /// The key converter in use.
+    pub fn converter(&self) -> &KeyConverter {
+        &self.conv
+    }
+
+    /// The integration mode in use.
+    pub fn mode(&self) -> IntegrationMode {
+        self.mode
+    }
+
+    /// The configured maximum sensor range.
+    pub fn max_range(&self) -> Option<f64> {
+        self.max_range
+    }
+
+    /// Number of shards rays are split into.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Integrates one scan in parallel, appending every voxel update to
+    /// `out`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the scan origin cannot be addressed, like
+    /// the sequential integrator.
+    pub fn integrate_into(
+        &self,
+        scan: &Scan,
+        out: &mut Vec<VoxelUpdate>,
+    ) -> Result<IntegrationStats, KeyError> {
+        self.conv.coord_to_key(scan.origin)?;
+
+        let points = scan.cloud.points();
+        if points.is_empty() {
+            return Ok(IntegrationStats::default());
+        }
+        let chunk = points.len().div_ceil(self.shards);
+
+        // Every shard runs the sequential integrator in Raywise mode over
+        // its contiguous ray range; dedup (when requested) happens after
+        // the merge so it stays scan-global.
+        let shard_results: Vec<(Vec<VoxelUpdate>, IntegrationStats)> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = points
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            let sub = Scan::new(
+                                scan.origin,
+                                slice.iter().copied().collect::<PointCloud>(),
+                            );
+                            let mut integrator = ScanIntegrator::new(
+                                self.conv,
+                                self.max_range,
+                                IntegrationMode::Raywise,
+                            );
+                            let mut updates = Vec::new();
+                            let stats = integrator
+                                .integrate_into(&sub, &mut updates)
+                                .expect("origin validated above");
+                            (updates, stats)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard thread"))
+                    .collect()
+            });
+
+        let mut stats = IntegrationStats::default();
+        match self.mode {
+            IntegrationMode::Raywise => {
+                for (updates, shard_stats) in &shard_results {
+                    out.extend_from_slice(updates);
+                    stats.merge(shard_stats);
+                }
+            }
+            IntegrationMode::DedupPerScan => {
+                let mut free: FxHashSet<VoxelKey> = FxHashSet::default();
+                let mut occupied: FxHashSet<VoxelKey> = FxHashSet::default();
+                for (updates, shard_stats) in &shard_results {
+                    stats.merge(shard_stats);
+                    for u in updates {
+                        if u.hit {
+                            occupied.insert(u.key);
+                        } else {
+                            free.insert(u.key);
+                        }
+                    }
+                }
+                // Re-express the raywise counts as post-dedup counts, with
+                // occupied winning over free (OctoMap semantics).
+                stats.free_updates = 0;
+                stats.occupied_updates = 0;
+                for &k in &free {
+                    if !occupied.contains(&k) {
+                        out.push(VoxelUpdate { key: k, hit: false });
+                        stats.free_updates += 1;
+                    }
+                }
+                for &k in &occupied {
+                    out.push(VoxelUpdate { key: k, hit: true });
+                    stats.occupied_updates += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::Point3;
+
+    fn ring_scan(points: usize) -> Scan {
+        Scan::new(
+            Point3::new(0.01, 0.01, 0.01),
+            (0..points)
+                .map(|i| {
+                    let a = i as f64 * 0.13;
+                    Point3::new(3.0 * a.cos(), 3.0 * a.sin(), ((i % 5) as f64 - 2.0) * 0.3)
+                })
+                .collect::<PointCloud>(),
+        )
+    }
+
+    #[test]
+    fn raywise_parallel_matches_sequential_stream_exactly() {
+        let scan = ring_scan(64);
+        let conv = KeyConverter::new(0.1).unwrap();
+
+        let mut sequential = ScanIntegrator::new(conv, Some(5.0), IntegrationMode::Raywise);
+        let mut seq_updates = Vec::new();
+        let seq_stats = sequential.integrate_into(&scan, &mut seq_updates).unwrap();
+
+        for shards in [1, 2, 3, 8] {
+            let par =
+                ParallelScanIntegrator::new(conv, Some(5.0), IntegrationMode::Raywise, shards);
+            let mut par_updates = Vec::new();
+            let par_stats = par.integrate_into(&scan, &mut par_updates).unwrap();
+            assert_eq!(par_updates, seq_updates, "shards={shards}");
+            assert_eq!(par_stats, seq_stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn dedup_parallel_matches_sequential_sets() {
+        let scan = ring_scan(48);
+        let conv = KeyConverter::new(0.1).unwrap();
+
+        let mut sequential = ScanIntegrator::new(conv, None, IntegrationMode::DedupPerScan);
+        let mut seq_updates = Vec::new();
+        let seq_stats = sequential.integrate_into(&scan, &mut seq_updates).unwrap();
+
+        let par = ParallelScanIntegrator::new(conv, None, IntegrationMode::DedupPerScan, 4);
+        let mut par_updates = Vec::new();
+        let par_stats = par.integrate_into(&scan, &mut par_updates).unwrap();
+
+        // Emission order is set-dependent; compare as sorted multisets.
+        let canon = |mut v: Vec<VoxelUpdate>| {
+            v.sort_unstable_by_key(|u| (u.key, u.hit));
+            v
+        };
+        assert_eq!(canon(par_updates), canon(seq_updates));
+        assert_eq!(par_stats.free_updates, seq_stats.free_updates);
+        assert_eq!(par_stats.occupied_updates, seq_stats.occupied_updates);
+        assert_eq!(par_stats.rays, seq_stats.rays);
+        assert_eq!(par_stats.dda_steps, seq_stats.dda_steps);
+    }
+
+    #[test]
+    fn zero_shards_resolves_to_cpu_count() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let par = ParallelScanIntegrator::new(conv, None, IntegrationMode::Raywise, 0);
+        assert!(par.shards() >= 1);
+    }
+
+    #[test]
+    fn empty_scan_is_a_noop() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let par = ParallelScanIntegrator::new(conv, None, IntegrationMode::Raywise, 4);
+        let mut updates = Vec::new();
+        let stats = par
+            .integrate_into(&Scan::new(Point3::ZERO, PointCloud::new()), &mut updates)
+            .unwrap();
+        assert_eq!(stats, IntegrationStats::default());
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn bad_origin_is_an_error() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let far = conv.map_half_extent() + 10.0;
+        let par = ParallelScanIntegrator::new(conv, None, IntegrationMode::Raywise, 2);
+        let scan = Scan::new(
+            Point3::new(far, 0.0, 0.0),
+            [Point3::ZERO].into_iter().collect::<PointCloud>(),
+        );
+        assert!(par.integrate_into(&scan, &mut Vec::new()).is_err());
+    }
+}

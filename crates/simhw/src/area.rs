@@ -52,13 +52,23 @@ impl AreaModel {
             overhead_factor.is_finite() && overhead_factor >= 1.0,
             "overhead factor must be >= 1, got {overhead_factor}"
         );
-        AreaModel { components: Vec::new(), overhead_factor }
+        AreaModel {
+            components: Vec::new(),
+            overhead_factor,
+        }
     }
 
     /// Adds `count` instances of a component of `mm2_each` mm².
     pub fn add(&mut self, name: &str, mm2_each: f64, count: usize) {
-        assert!(mm2_each.is_finite() && mm2_each >= 0.0, "area must be non-negative");
-        self.components.push(AreaComponent { name: name.to_owned(), mm2_each, count });
+        assert!(
+            mm2_each.is_finite() && mm2_each >= 0.0,
+            "area must be non-negative"
+        );
+        self.components.push(AreaComponent {
+            name: name.to_owned(),
+            mm2_each,
+            count,
+        });
     }
 
     /// The component rows.
@@ -96,7 +106,12 @@ impl fmt::Display for AreaModel {
             )?;
         }
         writeln!(f, "  {:<24} {:>23.4} mm²", "cell total", self.cell_mm2())?;
-        writeln!(f, "  {:<24} {:>23.4} mm²", "with overhead", self.total_mm2())
+        writeln!(
+            f,
+            "  {:<24} {:>23.4} mm²",
+            "with overhead",
+            self.total_mm2()
+        )
     }
 }
 

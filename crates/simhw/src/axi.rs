@@ -42,7 +42,10 @@ impl AxiStreamModel {
             freq_ghz.is_finite() && freq_ghz > 0.0,
             "frequency must be positive, got {freq_ghz}"
         );
-        AxiStreamModel { bus_width_bits, freq_ghz }
+        AxiStreamModel {
+            bus_width_bits,
+            freq_ghz,
+        }
     }
 
     /// Bus width in bits.

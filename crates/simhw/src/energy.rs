@@ -38,7 +38,10 @@ impl EnergyLedger {
     ///
     /// Panics if `pj` is negative or not finite.
     pub fn add(&mut self, component: &str, pj: f64) {
-        assert!(pj.is_finite() && pj >= 0.0, "energy must be non-negative, got {pj}");
+        assert!(
+            pj.is_finite() && pj >= 0.0,
+            "energy must be non-negative, got {pj}"
+        );
         *self.entries.entry(component.to_owned()).or_insert(0.0) += pj;
     }
 
@@ -120,7 +123,11 @@ mod tests {
         e.add("pe0.logic", 20.0);
         assert_eq!(e.share("pe0.sram"), 0.4);
         assert!((e.share_prefix("pe") - 1.0).abs() < 1e-12);
-        let sram: f64 = e.iter().filter(|(k, _)| k.ends_with("sram")).map(|(_, v)| v).sum();
+        let sram: f64 = e
+            .iter()
+            .filter(|(k, _)| k.ends_with("sram"))
+            .map(|(_, v)| v)
+            .sum();
         assert_eq!(sram, 80.0);
     }
 

@@ -58,7 +58,11 @@ impl PowerReport {
                 share: if total_pj > 0.0 { pj / total_pj } else { 0.0 },
             })
             .collect();
-        PowerReport { components, total_mw, runtime_s }
+        PowerReport {
+            components,
+            total_mw,
+            runtime_s,
+        }
     }
 
     /// Total average power in milliwatts.
@@ -97,11 +101,21 @@ impl PowerReport {
 
 impl fmt::Display for PowerReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "power over {:.4} s: {:.1} mW", self.runtime_s, self.total_mw)?;
+        writeln!(
+            f,
+            "power over {:.4} s: {:.1} mW",
+            self.runtime_s, self.total_mw
+        )?;
         let mut rows: Vec<&PowerComponent> = self.components.iter().collect();
         rows.sort_by(|a, b| b.milliwatts.total_cmp(&a.milliwatts));
         for c in rows {
-            writeln!(f, "  {:<24} {:>9.2} mW  {:>5.1} %", c.name, c.milliwatts, c.share * 100.0)?;
+            writeln!(
+                f,
+                "  {:<24} {:>9.2} mW  {:>5.1} %",
+                c.name,
+                c.milliwatts,
+                c.share * 100.0
+            )?;
         }
         Ok(())
     }

@@ -13,7 +13,10 @@ pub struct SramSpec {
 
 impl SramSpec {
     /// The paper's T-Mem bank: 32 kB of 64-bit words (4096 rows).
-    pub const OMU_TMEM: SramSpec = SramSpec { rows: 4096, width_bits: 64 };
+    pub const OMU_TMEM: SramSpec = SramSpec {
+        rows: 4096,
+        width_bits: 64,
+    };
 
     /// Creates a spec.
     ///
@@ -90,7 +93,11 @@ pub struct SramBank {
 impl SramBank {
     /// Creates a zero-initialized bank.
     pub fn new(spec: SramSpec) -> Self {
-        SramBank { spec, words: vec![0; spec.rows], stats: SramStats::default() }
+        SramBank {
+            spec,
+            words: vec![0; spec.rows],
+            stats: SramStats::default(),
+        }
     }
 
     /// The bank geometry.
@@ -107,7 +114,11 @@ impl SramBank {
     /// model bug rather than a workload condition.
     #[inline]
     pub fn read(&mut self, row: usize) -> u64 {
-        assert!(row < self.spec.rows, "SRAM row {row} out of range ({})", self.spec.rows);
+        assert!(
+            row < self.spec.rows,
+            "SRAM row {row} out of range ({})",
+            self.spec.rows
+        );
         self.stats.reads += 1;
         self.words[row]
     }
@@ -119,7 +130,11 @@ impl SramBank {
     /// Panics if `row` is out of range (see [`SramBank::read`]).
     #[inline]
     pub fn write(&mut self, row: usize, word: u64) {
-        assert!(row < self.spec.rows, "SRAM row {row} out of range ({})", self.spec.rows);
+        assert!(
+            row < self.spec.rows,
+            "SRAM row {row} out of range ({})",
+            self.spec.rows
+        );
         self.stats.writes += 1;
         self.words[row] = word;
     }
@@ -155,7 +170,11 @@ impl SramBank {
     ///
     /// Panics if `row` or `bit` is out of range.
     pub fn inject_bit_flip(&mut self, row: usize, bit: u32) {
-        assert!(row < self.spec.rows, "SRAM row {row} out of range ({})", self.spec.rows);
+        assert!(
+            row < self.spec.rows,
+            "SRAM row {row} out of range ({})",
+            self.spec.rows
+        );
         assert!(bit < self.spec.width_bits, "bit {bit} outside word width");
         self.words[row] ^= 1 << bit;
     }
@@ -242,8 +261,14 @@ mod tests {
 
     #[test]
     fn stats_merge() {
-        let mut a = SramStats { reads: 1, writes: 2 };
-        a.merge(&SramStats { reads: 10, writes: 20 });
+        let mut a = SramStats {
+            reads: 1,
+            writes: 2,
+        };
+        a.merge(&SramStats {
+            reads: 10,
+            writes: 20,
+        });
         assert_eq!(a.reads, 11);
         assert_eq!(a.writes, 22);
     }

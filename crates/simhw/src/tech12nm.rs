@@ -88,7 +88,10 @@ mod tests {
         let sram = 8.0 * 256.0 * SRAM_MM2_PER_KB;
         let logic = 8.0 * PE_LOGIC_MM2 + SCHEDULER_MM2 + RAYCAST_MM2 + QUERY_MM2 + AXI_CTRL_MM2;
         let total = (sram + logic) * TOP_OVERHEAD_FACTOR;
-        assert!((total - 2.5).abs() < 0.1, "total area model = {total:.3} mm²");
+        assert!(
+            (total - 2.5).abs() < 0.1,
+            "total area model = {total:.3} mm²"
+        );
         // And it fits the reported die outline.
         assert!(total <= DIE_OUTLINE_MM.0 * DIE_OUTLINE_MM.1 * 1.02);
     }

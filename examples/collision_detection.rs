@@ -36,12 +36,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // A planned path down the corridor centre, and a bad one into a wall.
-    let safe_path: Vec<Point3> =
-        (0..20).map(|i| Point3::new(-10.0 + i as f64, 0.0, 0.0)).collect();
-    let bad_path: Vec<Point3> =
-        (0..12).map(|i| Point3::new(0.0, -0.5 + i as f64 * 0.25, 0.0)).collect();
+    let safe_path: Vec<Point3> = (0..20)
+        .map(|i| Point3::new(-10.0 + i as f64, 0.0, 0.0))
+        .collect();
+    let bad_path: Vec<Point3> = (0..12)
+        .map(|i| Point3::new(0.0, -0.5 + i as f64 * 0.25, 0.0))
+        .collect();
 
-    for (name, path) in [("safe corridor path", &safe_path), ("path into the wall", &bad_path)] {
+    for (name, path) in [
+        ("safe corridor path", &safe_path),
+        ("path into the wall", &bad_path),
+    ] {
         // (a) Accelerator voxel queries: every waypoint must be free.
         let mut verdict = "clear";
         for &p in path {
@@ -65,8 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 break;
             }
         }
-        println!("{name:<22} voxel query: {verdict:<24} sphere probe: {}",
-            if sphere_hit { "COLLISION" } else { "clear" });
+        println!(
+            "{name:<22} voxel query: {verdict:<24} sphere probe: {}",
+            if sphere_hit { "COLLISION" } else { "clear" }
+        );
     }
 
     // Ray casting: look-ahead from the robot's pose, like a virtual bumper.

@@ -39,8 +39,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  tree nodes:        {}", stats.num_nodes);
     println!("  occupied volume:   {:.1} m^3", stats.occupied_volume);
     println!("  free volume:       {:.1} m^3", stats.free_volume);
-    println!("  modeled i9 time:   {:.2} s ({:.2} FPS)", i9.total_s(),
-        frame_equivalent_fps(updates, i9.total_s()));
+    println!(
+        "  modeled i9 time:   {:.2} s ({:.2} FPS)",
+        i9.total_s(),
+        frame_equivalent_fps(updates, i9.total_s())
+    );
 
     // --- OMU accelerator (16-bit fixed point). ---
     let config = OmuConfig::builder()
@@ -53,11 +56,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     let latency = omu.elapsed_seconds();
     println!("\nOMU accelerator:");
-    println!("  latency:           {:.3} s ({:.1} FPS)", latency,
-        frame_equivalent_fps(omu.stats().voxel_updates, latency));
+    println!(
+        "  latency:           {:.3} s ({:.1} FPS)",
+        latency,
+        frame_equivalent_fps(omu.stats().voxel_updates, latency)
+    );
     println!("  speedup over i9:   {:.1}x", i9.total_s() / latency);
-    println!("  power:             {:.1} mW", omu.power_report().total_mw());
-    println!("  SRAM utilization:  {:.0} %", omu.sram_utilization() * 100.0);
+    println!(
+        "  power:             {:.1} mW",
+        omu.power_report().total_mw()
+    );
+    println!(
+        "  SRAM utilization:  {:.0} %",
+        omu.sram_utilization() * 100.0
+    );
 
     // --- Equivalence: the accelerator map is bit-identical to the
     //     fixed-point software baseline. ---
@@ -65,8 +77,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for scan in dataset.scans() {
         fixed.insert_scan(&scan)?;
     }
-    let leaves = verify::check_equivalence(&fixed, &omu)
-        .map_err(|m| format!("maps diverged:\n{m}"))?;
+    let leaves =
+        verify::check_equivalence(&fixed, &omu).map_err(|m| format!("maps diverged:\n{m}"))?;
     println!("\nequivalence: accelerator and software maps are bit-identical ({leaves} leaves)");
     Ok(())
 }

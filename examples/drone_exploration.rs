@@ -34,7 +34,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     tree.set_max_range(Some(spec.max_range));
     tree.set_early_abort_saturated(false);
 
-    println!("exploring {} ({} scans)...", spec.kind.name(), dataset.num_scans());
+    println!(
+        "exploring {} ({} scans)...",
+        spec.kind.name(),
+        dataset.num_scans()
+    );
     let mut last_cycles = 0u64;
     for (i, scan) in dataset.scans().enumerate() {
         omu.integrate_scan(&scan)?;
@@ -47,7 +51,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "scan {i:>2}: {:>7} pts, frame {:>7.2} ms {} | map: {:>7} nodes, T-Mem {:>4.1} %",
             scan.len(),
             frame_ms,
-            if frame_ms <= 1000.0 / 30.0 { "(within 30 FPS budget)" } else { "(over 30 FPS budget)  " },
+            if frame_ms <= 1000.0 / 30.0 {
+                "(within 30 FPS budget)"
+            } else {
+                "(over 30 FPS budget)  "
+            },
             tree.num_nodes(),
             omu.sram_utilization() * 100.0,
         );
@@ -55,10 +63,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Mission-level numbers.
     let stats = omu.stats();
-    println!("\nmission total: {:.2} s of accelerator time, {:.2} J",
-        omu.elapsed_seconds(), omu.energy_joules());
-    println!("updates: {} ({} free / {} occupied)",
-        stats.voxel_updates, stats.free_updates, stats.occupied_updates);
+    println!(
+        "\nmission total: {:.2} s of accelerator time, {:.2} J",
+        omu.elapsed_seconds(),
+        omu.energy_joules()
+    );
+    println!(
+        "updates: {} ({} free / {} occupied)",
+        stats.voxel_updates, stats.free_updates, stats.occupied_updates
+    );
 
     // Persist the map and reload it — the drone can resume later.
     let bytes = tree.to_bytes();
@@ -68,11 +81,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // A landing-site probe on the reloaded map.
     let site = omu::geometry::Point3::new(5.0, 5.0, -1.8);
-    println!("landing probe at {site}: {}",
+    println!(
+        "landing probe at {site}: {}",
         match restored.occupancy_at(site)? {
             Occupancy::Free => "clear to land",
             Occupancy::Occupied => "obstructed",
             Occupancy::Unknown => "needs another pass",
-        });
+        }
+    );
     Ok(())
 }

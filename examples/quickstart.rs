@@ -39,7 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nvoxel updates:   {}", stats.voxel_updates);
     println!("wall cycles:     {}", stats.wall_cycles);
     println!("SRAM accesses:   {}", stats.sram_total().accesses());
-    println!("elapsed:         {:.3} ms at 1 GHz", omu.elapsed_seconds() * 1e3);
+    println!(
+        "elapsed:         {:.3} ms at 1 GHz",
+        omu.elapsed_seconds() * 1e3
+    );
     println!("\n{}", omu.power_report());
     Ok(())
 }

@@ -56,7 +56,7 @@ fn run_pipeline(kind: DatasetKind, scale: f64) -> Pipeline {
 #[test]
 fn corridor_headline_comparisons_hold() {
     let p = run_pipeline(DatasetKind::Fr079Corridor, 0.05); // 4 scans
-    // Ordering: OMU < i9 < A57, with roughly the paper's factors.
+                                                            // Ordering: OMU < i9 < A57, with roughly the paper's factors.
     let speedup_i9 = p.i9_s / p.omu_s;
     let speedup_a57 = p.a57_s / p.omu_s;
     assert!(
@@ -122,7 +122,16 @@ fn dma_and_raycast_latency_are_hidden() {
         .unwrap();
     let (omu, _) = run_accelerator(config, dataset.scans()).unwrap();
     let stats = omu.stats();
-    assert!(stats.raycast_cycles < stats.wall_cycles / 2, "ray casting is overlapped");
-    assert!(stats.dma_cycles < stats.wall_cycles / 10, "DMA is far from the bottleneck");
-    assert!(stats.pe_busy_total() > stats.wall_cycles, "PEs do the real work in parallel");
+    assert!(
+        stats.raycast_cycles < stats.wall_cycles / 2,
+        "ray casting is overlapped"
+    );
+    assert!(
+        stats.dma_cycles < stats.wall_cycles / 10,
+        "DMA is far from the bottleneck"
+    );
+    assert!(
+        stats.pe_busy_total() > stats.wall_cycles,
+        "PEs do the real work in parallel"
+    );
 }

@@ -3,10 +3,12 @@
 //! fixed point, for real dataset workloads — the reproduction's version
 //! of the paper's "zero loss from the floating-point maps" claim.
 
-use omu::accel::{verify, OmuAccelerator, OmuConfig};
+use omu::accel::{verify, OmuAccelerator, OmuConfig, UpdateEngine};
 use omu::datasets::DatasetKind;
 use omu::geometry::{Occupancy, Point3, PointCloud, Scan};
-use omu::octree::{OctreeF32, OctreeFixed};
+use omu::octree::{OccupancyOctree, OctreeF32, OctreeFixed};
+use omu::raycast::IntegrationMode;
+use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -31,7 +33,11 @@ fn assert_dataset_equivalence(kind: DatasetKind, scale: f64) {
     }
     let leaves = verify::check_equivalence(&tree, &omu)
         .unwrap_or_else(|m| panic!("{} maps diverged:\n{m}", kind.name()));
-    assert!(leaves > 1_000, "{}: non-trivial map ({leaves} leaves)", kind.name());
+    assert!(
+        leaves > 1_000,
+        "{}: non-trivial map ({leaves} leaves)",
+        kind.name()
+    );
 }
 
 #[test]
@@ -115,6 +121,117 @@ fn fixed_point_classification_matches_float() {
         f32_tree.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap(),
         fix_tree.occupancy_at(Point3::new(0.5, 0.0, 0.0)).unwrap()
     );
+}
+
+fn random_scans(seed: u64, scans: usize, points: usize) -> Vec<Scan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..scans)
+        .map(|_| {
+            let origin = Point3::new(
+                rng.random_range(-0.5..0.5),
+                rng.random_range(-0.5..0.5),
+                rng.random_range(-0.3..0.3),
+            );
+            let cloud: PointCloud = (0..points)
+                .map(|_| {
+                    Point3::new(
+                        rng.random_range(-4.0..4.0),
+                        rng.random_range(-4.0..4.0),
+                        rng.random_range(-1.5..1.5),
+                    )
+                })
+                .collect();
+            Scan::new(origin, cloud)
+        })
+        .collect()
+}
+
+/// Inserts `scans` three ways — scalar per-update path, Morton-batched
+/// path, parallel-sharded batched path — and demands bit-identical trees.
+fn assert_batch_equivalence<V: omu::geometry::LogOdds>(
+    scans: &[Scan],
+    pruning: bool,
+    mode: IntegrationMode,
+    resolution: f64,
+) {
+    let make = || {
+        let mut t: OccupancyOctree<V> = OccupancyOctree::new(resolution).unwrap();
+        t.set_pruning_enabled(pruning);
+        t.set_integration_mode(mode);
+        t.set_max_range(Some(6.0));
+        t.set_change_detection(true);
+        t
+    };
+    let mut scalar = make();
+    let mut batched = make();
+    let mut parallel = make();
+    for scan in scans {
+        let a = scalar.insert_scan(scan).unwrap();
+        let b = batched.insert_scan_batched(scan).unwrap();
+        let c = parallel.insert_scan_parallel(scan, 3).unwrap();
+        assert_eq!(a.total_updates(), b.total_updates());
+        assert_eq!(a.total_updates(), c.total_updates());
+    }
+    assert_eq!(
+        scalar.snapshot(),
+        batched.snapshot(),
+        "batched diverged (pruning={pruning}, mode={mode:?})"
+    );
+    assert_eq!(
+        scalar.snapshot(),
+        parallel.snapshot(),
+        "parallel diverged (pruning={pruning}, mode={mode:?})"
+    );
+    assert_eq!(scalar.num_nodes(), batched.num_nodes());
+    // Change detection agrees as a set.
+    let canon = |t: &OccupancyOctree<V>| {
+        let mut v: Vec<_> = t.changed_keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(canon(&scalar), canon(&batched));
+    assert_eq!(canon(&scalar), canon(&parallel));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The batch engine's contract: for random workloads, every
+    // combination of pruning flag and integration mode produces a tree
+    // bit-identical to the scalar `update_key` path, in both value
+    // representations.
+    #[test]
+    fn batched_paths_are_bit_identical_to_scalar(
+        seed in any::<u64>(),
+        nscans in 2usize..5,
+        points in 20usize..60,
+    ) {
+        let scans = random_scans(seed, nscans, points);
+        for pruning in [true, false] {
+            for mode in [IntegrationMode::Raywise, IntegrationMode::DedupPerScan] {
+                assert_batch_equivalence::<f32>(&scans, pruning, mode, 0.1);
+                assert_batch_equivalence::<omu::geometry::FixedLogOdds>(
+                    &scans, pruning, mode, 0.1,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn accelerator_batched_engine_matches_scalar_on_dataset() {
+    let dataset = DatasetKind::Fr079Corridor.build_scaled(0.016);
+    let config = config_for(DatasetKind::Fr079Corridor);
+    let (scalar, s1) = omu::accel::run_accelerator(config.clone(), dataset.scans()).unwrap();
+    let (batched, s2) = omu::accel::run_accelerator_with_engine(
+        config,
+        dataset.scans(),
+        UpdateEngine::MortonBatched,
+    )
+    .unwrap();
+    assert_eq!(scalar.snapshot(), batched.snapshot());
+    assert_eq!(s1.voxel_updates, s2.voxel_updates);
+    assert!(batched.morton_runs() > 0);
 }
 
 #[test]

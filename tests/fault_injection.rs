@@ -13,7 +13,11 @@
 use omu::accel::{verify, OmuAccelerator, OmuConfig};
 use omu::geometry::{Occupancy, Point3};
 
-fn build_single_path() -> (omu::octree::OctreeFixed, OmuAccelerator, omu::geometry::VoxelKey) {
+fn build_single_path() -> (
+    omu::octree::OctreeFixed,
+    OmuAccelerator,
+    omu::geometry::VoxelKey,
+) {
     let config = OmuConfig::default();
     let mut tree = verify::baseline_for(&config);
     let mut omu = OmuAccelerator::new(config).unwrap();
@@ -36,7 +40,10 @@ fn clean_run_is_equivalent_then_leaf_flip_breaks_it() {
 
     let report = verify::check_equivalence(&tree, &omu)
         .expect_err("a flipped probability bit must surface as a divergence");
-    assert!(report.value_mismatches > 0, "report must localize the fault: {report}");
+    assert!(
+        report.value_mismatches > 0,
+        "report must localize the fault: {report}"
+    );
 }
 
 #[test]
@@ -78,5 +85,9 @@ fn corrupted_probability_changes_queries() {
     let pe = key.first_level_branch().index();
     let leaf_bank = key.child_index_at(15).index();
     omu.inject_bit_flip(pe, 15, leaf_bank, 15);
-    assert_eq!(omu.query_key(key), Occupancy::Free, "sign flip inverts classification");
+    assert_eq!(
+        omu.query_key(key),
+        Occupancy::Free,
+        "sign flip inverts classification"
+    );
 }

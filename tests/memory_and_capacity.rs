@@ -74,7 +74,10 @@ fn prune_address_manager_recycles_rows() {
     );
     // Live rows stay well below the no-reuse footprint.
     let live: u64 = stats.per_pe.iter().map(|p| p.live_rows).sum();
-    assert!(live < fresh + reuse, "reuse keeps the footprint below total allocations");
+    assert!(
+        live < fresh + reuse,
+        "reuse keeps the footprint below total allocations"
+    );
 }
 
 #[test]

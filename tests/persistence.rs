@@ -33,7 +33,10 @@ fn float_map_roundtrips_through_bytes() {
             Point3::new(3.0, 1.0, 0.5),
             Point3::new(-5.0, -1.0, -0.5),
         ] {
-            assert_eq!(restored.occupancy_at(p).unwrap(), tree.occupancy_at(p).unwrap());
+            assert_eq!(
+                restored.occupancy_at(p).unwrap(),
+                tree.occupancy_at(p).unwrap()
+            );
         }
         encoded
     });
@@ -61,11 +64,17 @@ fn corrupted_maps_are_rejected_not_misread() {
     // Flipping the magic is detected.
     let mut bad = bytes.clone();
     bad[0] ^= 0xFF;
-    assert_eq!(OctreeF32::from_bytes(&bad).unwrap_err(), DeserializeError::BadMagic);
+    assert_eq!(
+        OctreeF32::from_bytes(&bad).unwrap_err(),
+        DeserializeError::BadMagic
+    );
 
     // Any truncation is detected.
     for cut in [4, 10, bytes.len() / 2, bytes.len() - 1] {
-        assert!(OctreeF32::from_bytes(&bytes[..cut]).is_err(), "cut at {cut}");
+        assert!(
+            OctreeF32::from_bytes(&bytes[..cut]).is_err(),
+            "cut at {cut}"
+        );
     }
 
     // Garbage appended is detected.

@@ -1,0 +1,191 @@
+//! Offline shim for `bytes`: the `BytesMut`/`Buf`/`BufMut` subset the
+//! octree serializer uses, with the real crate's big-endian defaults so
+//! serialized maps stay byte-compatible if the real dependency returns.
+
+use std::ops::{Deref, DerefMut};
+
+/// Growable byte buffer, mirroring `bytes::BytesMut`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    inner: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty buffer with `capacity` bytes pre-allocated.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            inner: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Copies the contents into a fresh `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.inner.clone()
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.inner.len()
+    }
+
+    /// True when nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.inner.is_empty()
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.inner
+    }
+}
+
+impl DerefMut for BytesMut {
+    fn deref_mut(&mut self) -> &mut [u8] {
+        &mut self.inner
+    }
+}
+
+/// Write cursor over a growable buffer, mirroring `bytes::BufMut`.
+///
+/// Multi-byte values are big-endian, like the real crate's `put_*`
+/// methods.
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Appends an `f32` in big-endian byte order.
+    fn put_f32(&mut self, v: f32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends an `f64` in big-endian byte order.
+    fn put_f64(&mut self, v: f64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u32` in big-endian byte order.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Appends a `u64` in big-endian byte order.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.inner.extend_from_slice(src);
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+/// Read cursor over a byte slice, mirroring `bytes::Buf`.
+///
+/// The `get_*` methods panic when the buffer is too short, exactly like
+/// the real crate; callers check [`Buf::remaining`] first.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Skips `n` bytes.
+    fn advance(&mut self, n: usize);
+
+    /// Copies out the next `N` bytes.
+    fn take_array<const N: usize>(&mut self) -> [u8; N];
+
+    /// True while at least one byte is left.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8 {
+        self.take_array::<1>()[0]
+    }
+
+    /// Reads a big-endian `f32`.
+    fn get_f32(&mut self) -> f32 {
+        f32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `f64`.
+    fn get_f64(&mut self) -> f64 {
+        f64::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32 {
+        u32::from_be_bytes(self.take_array())
+    }
+
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64 {
+        u64::from_be_bytes(self.take_array())
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn advance(&mut self, n: usize) {
+        *self = &self[n..];
+    }
+
+    fn take_array<const N: usize>(&mut self) -> [u8; N] {
+        let (head, tail) = self.split_at(N);
+        *self = tail;
+        head.try_into().expect("split_at returns exactly N bytes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_slice(b"HDR!");
+        buf.put_u8(7);
+        buf.put_f32(1.5);
+        buf.put_f64(-2.25);
+        buf.put_u32(0xDEAD_BEEF);
+        let v = buf.to_vec();
+        let mut r: &[u8] = &v;
+        assert_eq!(&r[..4], b"HDR!");
+        r.advance(4);
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_f32(), 1.5);
+        assert_eq!(r.get_f64(), -2.25);
+        assert_eq!(r.get_u32(), 0xDEAD_BEEF);
+        assert!(!r.has_remaining());
+    }
+
+    #[test]
+    fn big_endian_layout_matches_real_bytes_crate() {
+        let mut buf = BytesMut::new();
+        buf.put_u32(1);
+        assert_eq!(buf.to_vec(), vec![0, 0, 0, 1]);
+    }
+}

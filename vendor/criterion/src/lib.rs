@@ -1,0 +1,248 @@
+//! Offline shim for `criterion`: the API subset the bench targets use
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `Throughput`,
+//! `BenchmarkId`, `Bencher::iter`), measuring with plain wall-clock
+//! timing.
+//!
+//! No statistics, HTML reports or regression tracking — each benchmark
+//! warms up briefly, runs a calibrated number of iterations for roughly
+//! `MEASURE_MS` milliseconds, and prints the mean time per iteration
+//! (plus derived throughput when configured). Set `OMU_BENCH_MS` to
+//! lengthen the measurement window for more stable numbers.
+
+use std::fmt::Display;
+use std::hint;
+use std::time::{Duration, Instant};
+
+const WARMUP_MS: u64 = 50;
+const DEFAULT_MEASURE_MS: u64 = 300;
+
+fn measure_window() -> Duration {
+    let ms = std::env::var("OMU_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(DEFAULT_MEASURE_MS);
+    Duration::from_millis(ms.max(10))
+}
+
+/// Opaque value barrier, re-exported for call sites that use
+/// `criterion::black_box` instead of `std::hint::black_box`.
+pub fn black_box<T>(v: T) -> T {
+    hint::black_box(v)
+}
+
+/// Work-per-iteration declaration used to derive throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A parameterized benchmark name, mirroring `criterion::BenchmarkId`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter`, like the real crate renders it.
+    pub fn new(name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The per-benchmark timing driver handed to closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock nanoseconds per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up: also calibrates how many calls fit the window.
+        let warmup = Duration::from_millis(WARMUP_MS);
+        let start = Instant::now();
+        let mut calls = 0u64;
+        while start.elapsed() < warmup || calls == 0 {
+            hint::black_box(routine());
+            calls += 1;
+        }
+        let per_call = start.elapsed().as_secs_f64() / calls as f64;
+        let window = measure_window().as_secs_f64();
+        let target = ((window / per_call.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let start = Instant::now();
+        for _ in 0..target {
+            hint::black_box(routine());
+        }
+        let total = start.elapsed().as_secs_f64();
+        self.mean_ns = total * 1e9 / target as f64;
+    }
+}
+
+/// A named group of benchmarks, mirroring `criterion::BenchmarkGroup`.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work performed by one iteration of the following
+    /// benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; the shim sizes runs by time, not
+    /// sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Runs one benchmark over a borrowed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.into(), &b);
+        self
+    }
+
+    /// Ends the group (printing is per-benchmark, so this is a no-op).
+    pub fn finish(&mut self) {}
+
+    fn report(&self, id: &BenchmarkId, b: &Bencher) {
+        let rate = match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                format!("  ({:.2} Melem/s)", n as f64 / b.mean_ns * 1e3)
+            }
+            Some(Throughput::Bytes(n)) => {
+                format!(
+                    "  ({:.2} MiB/s)",
+                    n as f64 / b.mean_ns * 1e9 / (1 << 20) as f64
+                )
+            }
+            None => String::new(),
+        };
+        println!(
+            "{}/{}  time: {:.1} ns/iter{}",
+            self.name, id.id, b.mean_ns, rate
+        );
+    }
+}
+
+/// The benchmark harness entry point, mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _parent: self,
+        }
+    }
+
+    /// Runs one ungrouped benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher::default();
+        f(&mut b);
+        println!("{}  time: {:.1} ns/iter", id.into().id, b.mean_ns);
+        self
+    }
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` for a bench target built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("OMU_BENCH_MS", "10");
+        let mut b = Bencher::default();
+        b.iter(|| std::hint::black_box(3u64).wrapping_mul(7));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("OMU_BENCH_MS", "10");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.throughput(Throughput::Elements(4));
+        g.sample_size(10);
+        g.bench_function("noop", |b| b.iter(|| 1 + 1));
+        g.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &x| {
+            b.iter(|| x * 2)
+        });
+        g.finish();
+    }
+}

@@ -1,0 +1,112 @@
+//! Offline shim for `rustc-hash`: the Fx (Firefox) multiply-rotate hash,
+//! written from its published description. Fx trades SipHash's
+//! flood-resistance for raw speed, which is the right trade for the
+//! octree's internal voxel-key sets: keys are 48-bit structured values
+//! produced by ray casting, not attacker-controlled input.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+const K: u64 = 0x517c_c1b7_2722_0a95;
+
+/// The Fx hasher: per-word `rotate ^ xor, * K` mixing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while bytes.len() >= 8 {
+            let (head, tail) = bytes.split_at(8);
+            self.add_to_hash(u64::from_ne_bytes(head.try_into().expect("8 bytes")));
+            bytes = tail;
+        }
+        if !bytes.is_empty() {
+            let mut word = [0u8; 8];
+            word[..bytes.len()].copy_from_slice(bytes);
+            self.add_to_hash(u64::from_ne_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add_to_hash(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add_to_hash(v);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add_to_hash(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_and_map_work() {
+        let mut set: FxHashSet<(u16, u16, u16)> = FxHashSet::default();
+        for x in 0..100u16 {
+            set.insert((x, x.wrapping_mul(3), x ^ 0x55));
+        }
+        assert_eq!(set.len(), 100);
+        assert!(set.contains(&(4, 12, 4 ^ 0x55)));
+
+        let mut map: FxHashMap<u64, u64> = FxHashMap::default();
+        map.insert(1, 2);
+        assert_eq!(map.get(&1), Some(&2));
+    }
+
+    #[test]
+    fn hashing_is_deterministic_and_spreads() {
+        let hash_one = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash_one(12345), hash_one(12345));
+        // Nearby keys land far apart (the multiply diffuses low bits).
+        let a = hash_one(1);
+        let b = hash_one(2);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8);
+    }
+}

@@ -1,0 +1,11 @@
+//! Offline shim for `serde`: marker traits plus the no-op derive macros
+//! from the sibling `serde_derive` shim. Swapping in the real serde later
+//! requires no source changes in the workspace crates.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
