@@ -5,16 +5,32 @@
 //! - `--scale X` — run `X` fraction of each dataset's scans (results are
 //!   linearly extrapolated to full-dataset estimates);
 //! - `--full` — run every scan (equivalent to `--scale 1`);
-//! - the `OMU_SCALE` environment variable as a default.
+//! - `--engine {scalar,batched,parallel}` — which update engine drives
+//!   both the software baseline and the accelerator model (default
+//!   `batched`; `scalar` reproduces the paper's stock-OctoMap shape);
+//! - the `OMU_SCALE` environment variable as a default scale.
 //!
 //! Without any of these, per-dataset default scales keep the whole
 //! `repro_all` run in the minutes range.
 
+use omu_core::UpdateEngine;
+
 /// Options shared by the reproduction binaries.
-#[derive(Debug, Clone, Copy, PartialEq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RunOptions {
     /// Scan-count scale override (`None` = per-dataset defaults).
     pub scale: Option<f64>,
+    /// Update engine for baseline and accelerator runs.
+    pub engine: UpdateEngine,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions {
+            scale: None,
+            engine: UpdateEngine::MortonBatched,
+        }
+    }
 }
 
 impl RunOptions {
@@ -38,6 +54,7 @@ impl RunOptions {
             s.parse::<f64>()
                 .unwrap_or_else(|_| panic!("OMU_SCALE must be a number, got {s:?}"))
         });
+        let mut engine = UpdateEngine::MortonBatched;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -49,13 +66,21 @@ impl RunOptions {
                             .unwrap_or_else(|_| panic!("--scale must be a number, got {v:?}")),
                     );
                 }
-                other => panic!("unknown argument {other:?} (expected --scale X or --full)"),
+                "--engine" => {
+                    let v = it.next().expect("--engine requires a value");
+                    engine = UpdateEngine::from_flag(&v).unwrap_or_else(|bad| {
+                        panic!("--engine must be scalar, batched or parallel, got {bad:?}")
+                    });
+                }
+                other => {
+                    panic!("unknown argument {other:?} (expected --scale X, --full or --engine E)")
+                }
             }
         }
         if let Some(s) = scale {
             assert!(s > 0.0 && s <= 1.0, "scale must be in (0, 1], got {s}");
         }
-        RunOptions { scale }
+        RunOptions { scale, engine }
     }
 }
 
@@ -64,15 +89,28 @@ mod tests {
     use super::*;
 
     #[test]
-    fn default_is_none() {
+    fn default_is_none_scale_and_batched_engine() {
         let o = RunOptions::parse(std::iter::empty(), None);
         assert_eq!(o.scale, None);
+        assert_eq!(o.engine, UpdateEngine::MortonBatched);
     }
 
     #[test]
     fn scale_flag_parses() {
         let o = RunOptions::parse(["--scale".to_owned(), "0.25".to_owned()], None);
         assert_eq!(o.scale, Some(0.25));
+    }
+
+    #[test]
+    fn engine_flag_parses_all_variants() {
+        for (flag, engine) in [
+            ("scalar", UpdateEngine::Scalar),
+            ("batched", UpdateEngine::MortonBatched),
+            ("parallel", UpdateEngine::ShardedParallel),
+        ] {
+            let o = RunOptions::parse(["--engine".to_owned(), flag.to_owned()], None);
+            assert_eq!(o.engine, engine, "--engine {flag}");
+        }
     }
 
     #[test]
@@ -91,6 +129,12 @@ mod tests {
     #[should_panic(expected = "unknown argument")]
     fn unknown_arguments_rejected() {
         let _ = RunOptions::parse(["--bogus".to_owned()], None);
+    }
+
+    #[test]
+    #[should_panic(expected = "--engine must be")]
+    fn unknown_engine_rejected() {
+        let _ = RunOptions::parse(["--engine".to_owned(), "hyper".to_owned()], None);
     }
 
     #[test]

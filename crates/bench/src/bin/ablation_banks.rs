@@ -7,7 +7,7 @@
 //! `parent_per_level = compute + write + ceil(8 / banks)` read cycles.
 use omu_bench::table::{fmt_f, fmt_x};
 use omu_bench::{runner::default_scale, RunOptions, TextTable};
-use omu_core::{run_accelerator, OmuConfig, PeTiming};
+use omu_core::{run_accelerator_with_engine, OmuConfig, PeTiming};
 use omu_datasets::DatasetKind;
 
 fn main() {
@@ -18,8 +18,9 @@ fn main() {
     let spec = *dataset.spec();
 
     println!(
-        "bank-parallelism ablation on {} (scale {scale}):",
-        kind.name()
+        "bank-parallelism ablation on {} (scale {scale}, {} engine):",
+        kind.name(),
+        opts.engine.flag_name()
     );
     let mut t = TextTable::new(["banks", "row-read cycles", "latency (s)", "slowdown vs 8"]);
     let mut batch8 = None;
@@ -38,7 +39,7 @@ fn main() {
             .timing(timing)
             .build()
             .unwrap();
-        let (_, s) = run_accelerator(config, dataset.scans()).unwrap();
+        let (_, s) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
         let base = *batch8.get_or_insert(s.latency_s);
         t.row([
             banks.to_string(),

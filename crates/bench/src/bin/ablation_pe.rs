@@ -5,7 +5,7 @@
 //! throughput and speedup over the single-PE design.
 use omu_bench::table::{fmt_f, fmt_x};
 use omu_bench::{runner::default_scale, RunOptions, TextTable};
-use omu_core::{run_accelerator, OmuConfig};
+use omu_core::{run_accelerator_with_engine, OmuConfig};
 use omu_datasets::DatasetKind;
 
 fn main() {
@@ -15,7 +15,11 @@ fn main() {
     let dataset = kind.build_scaled(scale);
     let spec = *dataset.spec();
 
-    println!("PE-count ablation on {} (scale {scale}):", kind.name());
+    println!(
+        "PE-count ablation on {} (scale {scale}, {} engine):",
+        kind.name(),
+        opts.engine.flag_name()
+    );
     let mut t = TextTable::new([
         "PEs",
         "latency (s)",
@@ -33,7 +37,7 @@ fn main() {
             .max_range(Some(spec.max_range))
             .build()
             .unwrap();
-        let (_, s) = run_accelerator(config, dataset.scans()).unwrap();
+        let (_, s) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
         let base = *base_latency.get_or_insert(s.latency_s);
         t.row([
             num_pes.to_string(),

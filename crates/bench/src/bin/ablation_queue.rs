@@ -8,7 +8,7 @@
 //! queue sizes unspecified.
 use omu_bench::table::fmt_f;
 use omu_bench::{runner::default_scale, RunOptions, TextTable};
-use omu_core::{run_accelerator, OmuConfig};
+use omu_core::{run_accelerator_with_engine, OmuConfig};
 use omu_datasets::DatasetKind;
 
 fn main() {
@@ -19,8 +19,9 @@ fn main() {
     let spec = *dataset.spec();
 
     println!(
-        "voxel-queue capacity ablation on {} (scale {scale}):",
-        kind.name()
+        "voxel-queue capacity ablation on {} (scale {scale}, {} engine):",
+        kind.name(),
+        opts.engine.flag_name()
     );
     let mut t = TextTable::new([
         "queue capacity",
@@ -36,7 +37,7 @@ fn main() {
             .max_range(Some(spec.max_range))
             .build()
             .unwrap();
-        let (_, s) = run_accelerator(config, dataset.scans()).unwrap();
+        let (_, s) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
         t.row([
             capacity.to_string(),
             fmt_f(s.latency_s),

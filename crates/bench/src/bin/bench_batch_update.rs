@@ -7,7 +7,10 @@
 //! - **update_engine** — ray casting is precomputed; the measurement is
 //!   purely the tree-update stage (the paper's "voxel update" workload,
 //!   and what the batch engine accelerates): `update_key` per update vs
-//!   one Morton-sorted `apply_update_batch` per scan.
+//!   one Morton-sorted `apply_update_batch` per scan vs the
+//!   subtree-sharded `apply_update_batch_parallel` swept over 1/2/4/8
+//!   shards (on a 1-CPU container the sweep measures sharding overhead;
+//!   on multi-core hosts it shows the scaling).
 //! - **end_to_end** — full `insert_scan` vs `insert_scan_batched` vs
 //!   `insert_scan_parallel`, including ray casting (which dominates and
 //!   is identical across engines, so ratios here are muted; on a
@@ -27,7 +30,7 @@ use omu_raycast::{IntegrationMode, ScanIntegrator, VoxelUpdate};
 
 struct Measurement {
     stage: &'static str,
-    engine: &'static str,
+    engine: String,
     updates: u64,
     seconds: f64,
     nodes: usize,
@@ -42,7 +45,7 @@ impl Measurement {
 /// Best-of-3 timing of `run`, which returns (updates, end node count).
 fn measure(
     stage: &'static str,
-    engine: &'static str,
+    engine: &str,
     mut run: impl FnMut() -> (u64, usize),
 ) -> Measurement {
     let mut best: Option<Measurement> = None;
@@ -52,7 +55,7 @@ fn measure(
         let seconds = start.elapsed().as_secs_f64();
         let m = Measurement {
             stage,
-            engine,
+            engine: engine.to_owned(),
             updates,
             seconds,
             nodes,
@@ -137,6 +140,20 @@ fn main() {
         }
         (total_updates, tree.num_nodes())
     }));
+    // Shard-count sweep for the subtree-sharded parallel apply.
+    for shards in [1usize, 2, 4, 8] {
+        results.push(measure(
+            "update_engine",
+            &format!("sharded_{shards}"),
+            || {
+                let mut tree = fresh_tree(spec.resolution, spec.max_range);
+                for batch in &batches {
+                    tree.apply_update_batch_parallel(batch, shards);
+                }
+                (total_updates, tree.num_nodes())
+            },
+        ));
+    }
 
     results.push(measure("end_to_end", "scalar", || {
         let mut tree = fresh_tree(spec.resolution, spec.max_range);

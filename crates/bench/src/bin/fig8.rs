@@ -2,7 +2,7 @@
 //!
 //! The area model needs no workload; the power split is measured on the
 //! FR-079 corridor run (the paper's reference operating point).
-use omu_bench::{run_dataset, runner::default_scale, RunOptions};
+use omu_bench::{run_dataset_with_engine, runner::default_scale, RunOptions};
 use omu_core::{area_model, floorplan_ascii, OmuConfig};
 use omu_datasets::DatasetKind;
 
@@ -17,8 +17,11 @@ fn main() {
     let scale = opts
         .scale
         .unwrap_or_else(|| default_scale(DatasetKind::Fr079Corridor));
-    eprintln!("running FR-079 corridor at scale {scale} for the power split ...");
-    let run = run_dataset(DatasetKind::Fr079Corridor, scale);
+    eprintln!(
+        "running FR-079 corridor at scale {scale} ({} engine) for the power split ...",
+        opts.engine.flag_name()
+    );
+    let run = run_dataset_with_engine(DatasetKind::Fr079Corridor, scale, opts.engine);
     println!(
         "power on FR-079 corridor: {:.1} mW at 1 GHz, {:.0} % SRAM (paper: 250.8 mW, 91 %)",
         run.accel.power_mw,

@@ -7,7 +7,7 @@
 //! keeps utilization high (Fig. 6's purpose).
 use omu_bench::table::{fmt_f, fmt_pct};
 use omu_bench::{runner::default_scale, RunOptions, TextTable};
-use omu_core::{run_accelerator, OmuConfig};
+use omu_core::{run_accelerator_with_engine, OmuConfig};
 use omu_datasets::DatasetKind;
 use omu_geometry::Occupancy;
 use omu_octree::OctreeF32;
@@ -40,7 +40,11 @@ fn main() {
     let saving_bytes =
         1.0 - mp.octomap_equivalent_bytes as f64 / mu.octomap_equivalent_bytes as f64;
 
-    println!("pruning memory savings on {} (scale {scale}):", kind.name());
+    println!(
+        "pruning memory savings on {} (scale {scale}, {} engine):",
+        kind.name(),
+        opts.engine.flag_name()
+    );
     let mut t = TextTable::new(["", "pruning on", "pruning off", "saving"]);
     t.row([
         "tree nodes".to_owned(),
@@ -83,7 +87,7 @@ fn main() {
             .pruning_enabled(pruning)
             .build()
             .unwrap();
-        let (omu, _) = run_accelerator(config, dataset.scans()).unwrap();
+        let (omu, _) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
         let stats = omu.stats();
         let live: u64 = stats.per_pe.iter().map(|p| p.live_rows).sum();
         let high: u64 = stats.per_pe.iter().map(|p| p.high_water_rows).sum();

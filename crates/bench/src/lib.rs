@@ -8,7 +8,8 @@
 //!   baseline *and* the accelerator model, with linear extrapolation from
 //!   scaled runs to full-dataset estimates.
 //! - [`table`] — plain-text table rendering for paper-vs-measured output.
-//! - [`args`] — the tiny `--scale` / `--full` command-line convention.
+//! - [`args`] — the tiny `--scale` / `--full` / `--engine` command-line
+//!   convention.
 //!
 //! Run everything at once with `cargo run --release -p omu-bench --bin
 //! repro_all`.
@@ -22,5 +23,5 @@ pub mod runner;
 pub mod table;
 
 pub use args::RunOptions;
-pub use runner::{run_all, run_dataset, DatasetRun};
+pub use runner::{run_all, run_dataset, run_dataset_with_engine, DatasetRun};
 pub use table::TextTable;

@@ -57,7 +57,11 @@ impl OmuAccelerator {
             })
             .collect();
         let raycast = RayCastUnit::new(conv, config.max_range, config.integration_mode);
-        let scheduler = VoxelScheduler::new(config.num_pes, config.voxel_queue_capacity);
+        let scheduler = VoxelScheduler::with_burst_discount(
+            config.num_pes,
+            config.voxel_queue_capacity,
+            config.burst_discount_pct,
+        );
         let axi = AxiStreamModel::new(config.axi_bus_bits, config.clock_ghz);
         Ok(OmuAccelerator {
             config,
@@ -190,21 +194,53 @@ impl OmuAccelerator {
     ///
     /// Same contract as [`Self::integrate_scan`].
     pub fn integrate_scan_batched(&mut self, scan: &Scan) -> Result<(), AccelError> {
+        self.integrate_scan_sorted(scan, false)
+    }
+
+    /// Integrates one scan through the subtree-sharded front end: like
+    /// [`Self::integrate_scan_batched`], but the batch is sorted by
+    /// `(PE, Morton code)` so that *each PE's whole scan workload arrives
+    /// as one contiguous run* — the branch-shard → PE mapping of the
+    /// software engine (`apply_update_batch_parallel`) expressed in the
+    /// accelerator model. With 8 PEs the branch and the PE coincide and
+    /// this equals the batched path; with fewer PEs it merges a PE's
+    /// folded branches into a single run, maximizing the burst discount.
+    ///
+    /// Bit-identical to the other engines: per-voxel update order is
+    /// preserved by the stable sort, and PEs own disjoint subtrees, so
+    /// reordering whole branch runs cannot change the map.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::integrate_scan`].
+    pub fn integrate_scan_sharded(&mut self, scan: &Scan) -> Result<(), AccelError> {
+        self.integrate_scan_sorted(scan, true)
+    }
+
+    /// Shared body of the batched/sharded front ends: collect, sort (by
+    /// Morton code, optionally grouped by PE first), dispatch as runs.
+    fn integrate_scan_sorted(&mut self, scan: &Scan, group_by_pe: bool) -> Result<(), AccelError> {
         let scan_start = self.stats.wall_cycles;
         self.scheduler.begin_scan(scan_start);
 
         let dma_bytes = scan.len() as u64 * 12;
         let dma_cycles = self.axi.cycles_for_bytes(dma_bytes);
 
-        // Front end: collect the whole scan's updates, then Morton-sort
-        // (stable, so per-voxel update order is preserved). The buffers
-        // are accelerator-owned scratch, so steady-state scans allocate
-        // nothing.
+        // Front end: collect the whole scan's updates, then sort (stable,
+        // so per-voxel update order is preserved). The Morton code is 48
+        // bits, leaving the top 16 free for the PE id when grouping by
+        // PE. The buffers are accelerator-owned scratch, so steady-state
+        // scans allocate nothing.
+        let scheduler = &self.scheduler;
         let mut batch = std::mem::take(&mut self.scratch_batch);
         batch.clear();
-        let cast_result = self
-            .raycast
-            .cast_scan(scan, |u| batch.push((u.key.morton_code(), u)));
+        let cast_result = self.raycast.cast_scan(scan, |u| {
+            let mut sort_key = u.key.morton_code();
+            if group_by_pe {
+                sort_key |= (scheduler.pe_for(u.key) as u64) << 48;
+            }
+            batch.push((sort_key, u));
+        });
         let (istats, rc_cycles) = match cast_result {
             Ok(r) => r,
             Err(e) => {
@@ -567,6 +603,78 @@ mod tests {
         assert!(batched.morton_runs() > 0);
         assert!(batched.morton_runs() < batched.stats().voxel_updates / 4);
         assert_eq!(scalar.morton_runs(), 0);
+    }
+
+    #[test]
+    fn sharded_integration_matches_scalar_bitwise_with_one_run_per_pe() {
+        let pts: Vec<Point3> = (0..72)
+            .map(|i| {
+                let a = i as f64 * 0.087;
+                Point3::new(4.0 * a.cos(), 4.0 * a.sin(), ((i % 6) as f64 - 3.0) * 0.3)
+            })
+            .collect();
+        let s = Scan::new(
+            Point3::new(0.01, 0.01, 0.11),
+            pts.into_iter().collect::<PointCloud>(),
+        );
+
+        for num_pes in [2, 8] {
+            let config = OmuConfig::builder().num_pes(num_pes).build().unwrap();
+            let mut scalar = OmuAccelerator::new(config.clone()).unwrap();
+            scalar.integrate_scan(&s).unwrap();
+            let mut sharded = OmuAccelerator::new(config).unwrap();
+            sharded.integrate_scan_sharded(&s).unwrap();
+
+            assert_eq!(scalar.snapshot(), sharded.snapshot(), "num_pes={num_pes}");
+            assert_eq!(scalar.stats().voxel_updates, sharded.stats().voxel_updates);
+            // Grouping by PE compresses the scan to at most one run per PE.
+            assert!(sharded.morton_runs() >= 1);
+            assert!(
+                sharded.morton_runs() <= num_pes as u64,
+                "num_pes={num_pes}: {} runs",
+                sharded.morton_runs()
+            );
+        }
+    }
+
+    #[test]
+    fn burst_discount_makes_batched_engines_faster_in_cycles() {
+        let pts: Vec<Point3> = (0..64)
+            .map(|i| {
+                let a = i as f64 * 0.098;
+                Point3::new(3.0 * a.cos(), 3.0 * a.sin(), ((i % 8) as f64 - 4.0) * 0.4)
+            })
+            .collect();
+        let s = Scan::new(
+            Point3::new(0.01, 0.01, 0.21),
+            pts.into_iter().collect::<PointCloud>(),
+        );
+
+        let mut scalar = accel();
+        scalar.integrate_scan(&s).unwrap();
+        let mut batched = accel();
+        batched.integrate_scan_batched(&s).unwrap();
+
+        // Same map, fewer cycles: contiguous runs earn the burst discount.
+        assert_eq!(scalar.snapshot(), batched.snapshot());
+        let scalar_drain = scalar.stats().wall_cycles;
+        let batched_drain = batched.stats().wall_cycles;
+        assert!(
+            batched_drain < scalar_drain,
+            "batched {batched_drain} vs scalar {scalar_drain} cycles"
+        );
+
+        // Disabling the discount removes exactly that win: the same
+        // batched run structure costs more cycles at 0 % discount.
+        let flat_config = OmuConfig::builder().burst_discount_pct(0).build().unwrap();
+        let mut flat_batched = OmuAccelerator::new(flat_config).unwrap();
+        flat_batched.integrate_scan_batched(&s).unwrap();
+        assert_eq!(flat_batched.snapshot(), batched.snapshot());
+        assert!(
+            flat_batched.stats().wall_cycles > batched_drain,
+            "0 % discount {} vs 25 % discount {batched_drain} cycles",
+            flat_batched.stats().wall_cycles
+        );
     }
 
     #[test]

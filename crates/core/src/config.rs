@@ -97,6 +97,13 @@ pub struct OmuConfig {
     pub timing: PeTiming,
     /// AXI stream bus width in bits (host DMA model).
     pub axi_bus_bits: u32,
+    /// Per-voxel service discount (percent) for updates after the first
+    /// in a contiguous same-PE run — the row-buffer-hit analogue: a run
+    /// of Morton-sorted updates keeps hitting the same T-Mem row
+    /// neighbourhood, so address generation and row activation amortize.
+    /// Only the batched front ends issue runs; the scalar path is
+    /// unaffected. `0` disables the model.
+    pub burst_discount_pct: u32,
 }
 
 impl Default for OmuConfig {
@@ -114,6 +121,7 @@ impl Default for OmuConfig {
             pruning_enabled: true,
             timing: PeTiming::default(),
             axi_bus_bits: 128,
+            burst_discount_pct: 25,
         }
     }
 }
@@ -150,6 +158,9 @@ impl OmuConfig {
         }
         if !(self.resolution.is_finite() && self.resolution > 0.0) {
             return Err(ConfigError::BadResolution(self.resolution));
+        }
+        if self.burst_discount_pct > 100 {
+            return Err(ConfigError::BadBurstDiscount(self.burst_discount_pct));
         }
         Ok(())
     }
@@ -239,6 +250,12 @@ impl OmuConfigBuilder {
         self
     }
 
+    /// Sets the same-PE burst discount percentage (0 disables it).
+    pub fn burst_discount_pct(mut self, pct: u32) -> Self {
+        self.config.burst_discount_pct = pct;
+        self
+    }
+
     /// Builds and validates.
     ///
     /// # Errors
@@ -293,6 +310,11 @@ mod tests {
             .voxel_queue_capacity(0)
             .build()
             .is_err());
+        assert!(OmuConfig::builder()
+            .burst_discount_pct(101)
+            .build()
+            .is_err());
+        assert!(OmuConfig::builder().burst_discount_pct(100).build().is_ok());
     }
 
     #[test]

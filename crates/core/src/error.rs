@@ -20,6 +20,8 @@ pub enum ConfigError {
     BadClock(f64),
     /// Non-positive map resolution.
     BadResolution(f64),
+    /// Burst discount above 100 %.
+    BadBurstDiscount(u32),
 }
 
 impl fmt::Display for ConfigError {
@@ -34,6 +36,9 @@ impl fmt::Display for ConfigError {
             ConfigError::BadClock(g) => write!(f, "clock frequency must be positive, got {g}"),
             ConfigError::BadResolution(r) => {
                 write!(f, "map resolution must be positive, got {r}")
+            }
+            ConfigError::BadBurstDiscount(p) => {
+                write!(f, "burst discount must be at most 100 %, got {p}")
             }
         }
     }

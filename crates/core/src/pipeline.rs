@@ -46,10 +46,13 @@ pub struct AccelRunSummary {
 
 /// Which voxel-update path a mapping run drives.
 ///
-/// Both engines produce bit-identical maps; they differ in how tree
+/// All engines produce bit-identical maps; they differ in how tree
 /// maintenance is scheduled. [`UpdateEngine::MortonBatched`] is the
 /// paper-shaped path: one sorted batch per scan, each PE's work arriving
-/// as a contiguous run.
+/// as a contiguous run. [`UpdateEngine::ShardedParallel`] additionally
+/// groups the batch by PE, so a PE's whole scan workload is one run —
+/// the branch-shard → PE mapping of the software
+/// `apply_update_batch_parallel` engine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum UpdateEngine {
     /// One full descent + parent-refresh pass per voxel update
@@ -59,6 +62,35 @@ pub enum UpdateEngine {
     /// Per-scan Morton-sorted batches
     /// ([`OmuAccelerator::integrate_scan_batched`]).
     MortonBatched,
+    /// Per-scan batches grouped by PE then Morton-sorted, one contiguous
+    /// run per PE ([`OmuAccelerator::integrate_scan_sharded`]).
+    ShardedParallel,
+}
+
+impl UpdateEngine {
+    /// Parses the shared `--engine` flag value used by the bench and
+    /// repro binaries.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unrecognized input.
+    pub fn from_flag(flag: &str) -> Result<Self, String> {
+        match flag {
+            "scalar" => Ok(UpdateEngine::Scalar),
+            "batched" => Ok(UpdateEngine::MortonBatched),
+            "parallel" => Ok(UpdateEngine::ShardedParallel),
+            other => Err(other.to_owned()),
+        }
+    }
+
+    /// The flag spelling of this engine (inverse of [`Self::from_flag`]).
+    pub fn flag_name(&self) -> &'static str {
+        match self {
+            UpdateEngine::Scalar => "scalar",
+            UpdateEngine::MortonBatched => "batched",
+            UpdateEngine::ShardedParallel => "parallel",
+        }
+    }
 }
 
 /// Builds an accelerator from `config`, integrates every scan, and
@@ -115,6 +147,7 @@ where
         match engine {
             UpdateEngine::Scalar => omu.integrate_scan(&scan)?,
             UpdateEngine::MortonBatched => omu.integrate_scan_batched(&scan)?,
+            UpdateEngine::ShardedParallel => omu.integrate_scan_sharded(&scan)?,
         }
     }
     let summary = summarize(&omu);
@@ -202,14 +235,39 @@ mod tests {
             run_accelerator(OmuConfig::default(), scans.clone().into_iter()).unwrap();
         let (batched, s2) = run_accelerator_with_engine(
             OmuConfig::default(),
-            scans.into_iter(),
+            scans.clone().into_iter(),
             UpdateEngine::MortonBatched,
         )
         .unwrap();
+        let (sharded, s3) = run_accelerator_with_engine(
+            OmuConfig::default(),
+            scans.into_iter(),
+            UpdateEngine::ShardedParallel,
+        )
+        .unwrap();
         assert_eq!(scalar.snapshot(), batched.snapshot());
+        assert_eq!(scalar.snapshot(), sharded.snapshot());
         assert_eq!(s1.voxel_updates, s2.voxel_updates);
+        assert_eq!(s1.voxel_updates, s3.voxel_updates);
         assert_eq!(s1.scans, s2.scans);
         assert!(batched.morton_runs() > 0);
+        // One run per PE per scan at most.
+        assert!(sharded.morton_runs() <= batched.morton_runs());
+        // The contiguous runs earn the burst discount in wall cycles.
+        assert!(s3.latency_s <= s2.latency_s);
+        assert!(s2.latency_s < s1.latency_s);
+    }
+
+    #[test]
+    fn engine_flags_roundtrip() {
+        for engine in [
+            UpdateEngine::Scalar,
+            UpdateEngine::MortonBatched,
+            UpdateEngine::ShardedParallel,
+        ] {
+            assert_eq!(UpdateEngine::from_flag(engine.flag_name()), Ok(engine));
+        }
+        assert!(UpdateEngine::from_flag("warp-drive").is_err());
     }
 
     #[test]

@@ -22,6 +22,12 @@
 //!   so branch load imbalance shows up directly (the busiest PE bounds
 //!   the run).
 //!
+//! Batched front ends issue each PE's work as contiguous *runs*
+//! ([`VoxelScheduler::dispatch_run`]); updates after a run's head get a
+//! configurable service discount — the row-buffer-hit analogue, since
+//! Morton-sorted runs revisit the same T-Mem row neighbourhood — which is
+//! how the model shows the batching win in cycles, not just run counts.
+//!
 //! The shared queues themselves are modeled as deep enough that
 //! production never blocks. This is the idealization the paper's numbers
 //! imply: with a *finite* shared queue, sustained branch imbalance
@@ -41,36 +47,58 @@ use omu_geometry::VoxelKey;
 pub struct VoxelScheduler {
     num_pes: usize,
     window: usize,
+    burst_discount_pct: u32,
     issue_time: u64,
     busy_until: Vec<u64>,
     inflight: Vec<VecDeque<u64>>,
     stall_cycles: u64,
     dispatched: u64,
     runs: u64,
+    burst_saved_cycles: u64,
 }
 
 impl VoxelScheduler {
     /// Creates a scheduler for `num_pes` PEs with a per-PE in-flight
-    /// window of `window` updates.
+    /// window of `window` updates and no burst discount.
     ///
     /// # Panics
     ///
     /// Panics if `num_pes` is not 1, 2, 4 or 8, or `window` is zero.
     pub fn new(num_pes: usize, window: usize) -> Self {
+        Self::with_burst_discount(num_pes, window, 0)
+    }
+
+    /// [`Self::new`] with a burst model: updates after the first in a
+    /// contiguous same-PE run ([`Self::dispatch_run`]) have their service
+    /// time discounted by `burst_discount_pct` percent — the row-buffer-hit
+    /// analogue for Morton-sorted batches, whose runs keep hitting the
+    /// same T-Mem row neighbourhood.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_pes` is not 1, 2, 4 or 8, `window` is zero, or the
+    /// discount exceeds 100 %.
+    pub fn with_burst_discount(num_pes: usize, window: usize, burst_discount_pct: u32) -> Self {
         assert!(
             [1, 2, 4, 8].contains(&num_pes),
             "unsupported PE count {num_pes}"
         );
         assert!(window > 0, "voxel queue capacity must be positive");
+        assert!(
+            burst_discount_pct <= 100,
+            "burst discount must be at most 100 %, got {burst_discount_pct}"
+        );
         VoxelScheduler {
             num_pes,
             window,
+            burst_discount_pct,
             issue_time: 0,
             busy_until: vec![0; num_pes],
             inflight: (0..num_pes).map(|_| VecDeque::new()).collect(),
             stall_cycles: 0,
             dispatched: 0,
             runs: 0,
+            burst_saved_cycles: 0,
         }
     }
 
@@ -128,13 +156,25 @@ impl VoxelScheduler {
     /// ID, so each PE's work arrives as one run). Returns the completion
     /// cycle of the run's last update.
     ///
-    /// Timing-equivalent to calling [`Self::dispatch`] per element; the
-    /// run form additionally counts how many runs the batch path issued,
-    /// which [`Self::runs_dispatched`] exposes for the locality reports.
+    /// The run's head update pays full service; every subsequent update
+    /// is discounted by the configured burst percentage (the row-buffer
+    /// hit: consecutive Morton-sorted updates revisit the same T-Mem row
+    /// neighbourhood, so address generation and row activation amortize).
+    /// With a zero discount this is timing-equivalent to calling
+    /// [`Self::dispatch`] per element; either way the run form counts how
+    /// many runs the batch path issued, which [`Self::runs_dispatched`]
+    /// exposes for the locality reports.
     pub fn dispatch_run(&mut self, pe: usize, service_cycles: &[u64]) -> u64 {
         let mut completion = self.issue_time;
-        for &cycles in service_cycles {
-            completion = self.dispatch(pe, cycles);
+        for (i, &cycles) in service_cycles.iter().enumerate() {
+            let charged = if i == 0 {
+                cycles
+            } else {
+                let c = cycles - cycles * self.burst_discount_pct as u64 / 100;
+                self.burst_saved_cycles += cycles - c;
+                c
+            };
+            completion = self.dispatch(pe, charged);
         }
         if !service_cycles.is_empty() {
             self.runs += 1;
@@ -146,6 +186,16 @@ impl VoxelScheduler {
     /// [`Self::dispatch_run`].
     pub fn runs_dispatched(&self) -> u64 {
         self.runs
+    }
+
+    /// Service cycles saved by the burst discount across all runs.
+    pub fn burst_saved_cycles(&self) -> u64 {
+        self.burst_saved_cycles
+    }
+
+    /// The configured burst discount in percent.
+    pub fn burst_discount_pct(&self) -> u32 {
+        self.burst_discount_pct
     }
 
     /// Absolute cycle by which every dispatched update has completed.
@@ -249,7 +299,7 @@ mod tests {
     }
 
     #[test]
-    fn dispatch_run_matches_per_update_dispatch() {
+    fn dispatch_run_without_discount_matches_per_update_dispatch() {
         let mut one_by_one = VoxelScheduler::new(8, 16);
         let mut run = VoxelScheduler::new(8, 16);
         let service = [12u64, 13, 11, 12, 13, 11, 12, 13];
@@ -265,6 +315,38 @@ mod tests {
         assert_eq!(one_by_one.stall_cycles(), run.stall_cycles());
         assert_eq!(run.runs_dispatched(), 1);
         assert_eq!(one_by_one.runs_dispatched(), 0);
+        assert_eq!(run.burst_saved_cycles(), 0);
+    }
+
+    #[test]
+    fn burst_discount_shortens_runs_but_not_their_head() {
+        let service = [100u64; 8];
+        let mut flat = VoxelScheduler::new(1, 512);
+        flat.begin_scan(0);
+        flat.dispatch_run(0, &service);
+
+        let mut burst = VoxelScheduler::with_burst_discount(1, 512, 25);
+        burst.begin_scan(0);
+        burst.dispatch_run(0, &service);
+
+        // 7 discounted updates at 75 cycles instead of 100.
+        assert_eq!(burst.burst_saved_cycles(), 7 * 25);
+        assert_eq!(
+            burst.drain_time() + burst.burst_saved_cycles(),
+            flat.drain_time()
+        );
+
+        // A second run starts with a full-cost head again.
+        let before = burst.burst_saved_cycles();
+        burst.dispatch_run(0, &[100]);
+        assert_eq!(burst.burst_saved_cycles(), before, "run head pays full");
+        assert_eq!(burst.runs_dispatched(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "burst discount")]
+    fn overlarge_burst_discount_rejected() {
+        let _ = VoxelScheduler::with_burst_discount(8, 16, 101);
     }
 
     #[test]

@@ -1,24 +1,114 @@
-//! Index-based arenas with free lists for nodes and child blocks.
+//! Branch-sharded index arenas with free lists for nodes and child blocks.
 //!
-//! Freed slots are recycled (LIFO) — the software analogue of the OMU prune
+//! Storage is partitioned the way the OMU hardware partitions its T-Mem:
+//! one independently-ownable [`ArenaShard`] per first-level tree branch
+//! (the top-3-bit Morton group that also selects the PE), plus a *spine*
+//! shard holding only the root. A node index encodes its shard in the top
+//! [`SHARD_BITS`] bits, so the full-tree [`Arena`] can route any access
+//! while a branch shard can be split off (`take_branch`) and handed to a
+//! worker thread that owns its whole subtree — the software analogue of a
+//! PE owning its banked memory.
+//!
+//! Freed slots are recycled (LIFO) — the analogue of the OMU prune
 //! address manager's stack reuse, and the reason long mapping runs do not
 //! grow memory monotonically even though pruning constantly deletes and
 //! re-creates nodes.
+//!
+//! Reserving the index's top bits narrows addressing from one global
+//! 2³²−1-slot arena to 2²⁸−1 slots *per branch shard* (≈268 M nodes /
+//! ≈3 GB per first-level octant, ≈2.1 B nodes total). Exhausting a shard
+//! panics, like the old global arena did; maps anywhere near that size
+//! exhaust host memory first.
 
 use crate::node::{ChildBlock, Node, NIL};
 
-/// Arena holding all nodes and child blocks of one octree.
+/// Bits of a node/block index reserved for the shard id.
+const SHARD_BITS: u32 = 4;
+/// Bits addressing a slot within one shard.
+const SLOT_BITS: u32 = 32 - SHARD_BITS;
+const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+
+/// Number of branch shards (one per first-level octree branch).
+pub(crate) const NUM_BRANCHES: usize = 8;
+/// Shard id of the spine (holds only the root node and its child block).
+pub(crate) const SPINE_SHARD: usize = NUM_BRANCHES;
+
+#[inline]
+fn encode(shard: usize, slot: u32) -> u32 {
+    debug_assert!(shard <= SPINE_SHARD);
+    ((shard as u32) << SLOT_BITS) | slot
+}
+
+/// Shard id of an encoded index.
+#[inline]
+pub(crate) fn shard_of(idx: u32) -> usize {
+    (idx >> SLOT_BITS) as usize
+}
+
+#[inline]
+fn slot_of(idx: u32) -> usize {
+    (idx & SLOT_MASK) as usize
+}
+
+/// Uniform storage interface for the update walk: implemented by the
+/// routing [`Arena`] (whole tree) and by a single [`ArenaShard`] (one
+/// branch subtree owned by a worker thread). Indices are always the
+/// encoded form, so child pointers written by a shard remain valid when
+/// the shard is reattached to the arena.
+pub(crate) trait NodeStore<V> {
+    /// Allocates a node as child `pos` of `parent` (placement: the
+    /// parent's shard, except children of the spine root which land in
+    /// the branch shard selected by `pos`).
+    fn alloc_child_node(&mut self, parent: u32, pos: usize, value: V) -> u32;
+    /// Allocates an empty child block colocated with `parent`.
+    fn alloc_block_for(&mut self, parent: u32) -> u32;
+    /// Returns a node slot to its shard's free list.
+    fn free_node(&mut self, idx: u32);
+    /// Returns a child block to its shard's free list.
+    fn free_block(&mut self, idx: u32);
+    /// Immutable node access.
+    fn node(&self, idx: u32) -> &Node<V>;
+    /// Mutable node access.
+    fn node_mut(&mut self, idx: u32) -> &mut Node<V>;
+    /// Immutable block access.
+    fn block(&self, idx: u32) -> &ChildBlock;
+    /// Mutable block access.
+    fn block_mut(&mut self, idx: u32) -> &mut ChildBlock;
+
+    /// Child index of `node` at `pos`, or [`NIL`].
+    #[inline]
+    fn child_of(&self, node: u32, pos: usize) -> u32 {
+        let b = self.node(node).block;
+        if b == NIL {
+            NIL
+        } else {
+            self.block(b).slots[pos]
+        }
+    }
+}
+
+/// One independently-ownable storage shard (one branch subtree, or the
+/// spine). All indices it hands out and accepts are the encoded
+/// shard-qualified form.
 #[derive(Debug, Clone)]
-pub(crate) struct Arena<V> {
+pub(crate) struct ArenaShard<V> {
+    id: usize,
     nodes: Vec<Node<V>>,
     node_free: Vec<u32>,
     blocks: Vec<ChildBlock>,
     block_free: Vec<u32>,
 }
 
-impl<V: Copy> Arena<V> {
-    pub fn new() -> Self {
-        Arena {
+impl<V: Copy> ArenaShard<V> {
+    /// An empty stand-in for a task slot that has not received its real
+    /// shard yet (see the sharded batch apply). Never read or written.
+    pub fn placeholder() -> Self {
+        ArenaShard::new(usize::MAX)
+    }
+
+    fn new(id: usize) -> Self {
+        ArenaShard {
+            id,
             nodes: Vec::new(),
             node_free: Vec::new(),
             blocks: Vec::new(),
@@ -26,76 +116,35 @@ impl<V: Copy> Arena<V> {
         }
     }
 
-    /// Allocates a node, reusing a freed slot when available.
+    #[inline]
+    fn own_slot(&self, idx: u32) -> usize {
+        debug_assert_eq!(shard_of(idx), self.id, "index from a foreign shard");
+        slot_of(idx)
+    }
+
+    /// Allocates a node in this shard, reusing a freed slot when available.
     pub fn alloc_node(&mut self, value: V) -> u32 {
         if let Some(idx) = self.node_free.pop() {
-            self.nodes[idx as usize] = Node::leaf(value);
+            self.nodes[slot_of(idx)] = Node::leaf(value);
             idx
         } else {
-            let idx = self.nodes.len() as u32;
-            assert!(idx != NIL, "node arena exhausted");
+            let slot = self.nodes.len() as u32;
+            assert!(slot < SLOT_MASK, "node shard {} exhausted", self.id);
             self.nodes.push(Node::leaf(value));
-            idx
+            encode(self.id, slot)
         }
     }
 
-    /// Returns a node slot to the free list.
-    ///
-    /// The caller must have already freed or moved the node's child block.
-    pub fn free_node(&mut self, idx: u32) {
-        debug_assert!(
-            self.nodes[idx as usize].is_leaf(),
-            "freeing node with children"
-        );
-        self.node_free.push(idx);
-    }
-
-    /// Allocates an empty child block.
+    /// Allocates an empty child block in this shard.
     pub fn alloc_block(&mut self) -> u32 {
         if let Some(idx) = self.block_free.pop() {
-            self.blocks[idx as usize] = ChildBlock::EMPTY;
+            self.blocks[slot_of(idx)] = ChildBlock::EMPTY;
             idx
         } else {
-            let idx = self.blocks.len() as u32;
-            assert!(idx != NIL, "block arena exhausted");
+            let slot = self.blocks.len() as u32;
+            assert!(slot < SLOT_MASK, "block shard {} exhausted", self.id);
             self.blocks.push(ChildBlock::EMPTY);
-            idx
-        }
-    }
-
-    /// Returns a child block to the free list.
-    pub fn free_block(&mut self, idx: u32) {
-        self.block_free.push(idx);
-    }
-
-    #[inline]
-    pub fn node(&self, idx: u32) -> &Node<V> {
-        &self.nodes[idx as usize]
-    }
-
-    #[inline]
-    pub fn node_mut(&mut self, idx: u32) -> &mut Node<V> {
-        &mut self.nodes[idx as usize]
-    }
-
-    #[inline]
-    pub fn block(&self, idx: u32) -> &ChildBlock {
-        &self.blocks[idx as usize]
-    }
-
-    #[inline]
-    pub fn block_mut(&mut self, idx: u32) -> &mut ChildBlock {
-        &mut self.blocks[idx as usize]
-    }
-
-    /// Child index of `node` at `pos`, or [`NIL`].
-    #[inline]
-    pub fn child_of(&self, node: u32, pos: usize) -> u32 {
-        let b = self.nodes[node as usize].block;
-        if b == NIL {
-            NIL
-        } else {
-            self.blocks[b as usize].slots[pos]
+            encode(self.id, slot)
         }
     }
 
@@ -109,25 +158,183 @@ impl<V: Copy> Arena<V> {
         self.blocks.len() - self.block_free.len()
     }
 
-    /// High-water slot counts `(nodes, blocks)` ever allocated.
-    pub fn high_water(&self) -> (usize, usize) {
-        (self.nodes.len(), self.blocks.len())
+    fn clear(&mut self) {
+        self.nodes.clear();
+        self.node_free.clear();
+        self.blocks.clear();
+        self.block_free.clear();
     }
 
-    /// Heap bytes used by the arena backing storage.
-    pub fn heap_bytes(&self) -> usize {
+    fn heap_bytes(&self) -> usize {
         self.nodes.capacity() * std::mem::size_of::<Node<V>>()
             + self.node_free.capacity() * 4
             + self.blocks.capacity() * std::mem::size_of::<ChildBlock>()
             + self.block_free.capacity() * 4
     }
+}
+
+impl<V: Copy> NodeStore<V> for ArenaShard<V> {
+    #[inline]
+    fn alloc_child_node(&mut self, _parent: u32, _pos: usize, value: V) -> u32 {
+        // Inside a shard every descendant stays in the shard.
+        self.alloc_node(value)
+    }
+
+    #[inline]
+    fn alloc_block_for(&mut self, _parent: u32) -> u32 {
+        self.alloc_block()
+    }
+
+    fn free_node(&mut self, idx: u32) {
+        debug_assert!(
+            self.nodes[self.own_slot(idx)].is_leaf(),
+            "freeing node with children"
+        );
+        self.node_free.push(idx);
+    }
+
+    fn free_block(&mut self, idx: u32) {
+        let _ = self.own_slot(idx);
+        self.block_free.push(idx);
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node<V> {
+        &self.nodes[self.own_slot(idx)]
+    }
+
+    #[inline]
+    fn node_mut(&mut self, idx: u32) -> &mut Node<V> {
+        let slot = self.own_slot(idx);
+        &mut self.nodes[slot]
+    }
+
+    #[inline]
+    fn block(&self, idx: u32) -> &ChildBlock {
+        &self.blocks[self.own_slot(idx)]
+    }
+
+    #[inline]
+    fn block_mut(&mut self, idx: u32) -> &mut ChildBlock {
+        let slot = self.own_slot(idx);
+        &mut self.blocks[slot]
+    }
+}
+
+/// Arena holding all nodes and child blocks of one octree, as 8 branch
+/// shards plus the root spine.
+#[derive(Debug, Clone)]
+pub(crate) struct Arena<V> {
+    shards: Vec<ArenaShard<V>>,
+}
+
+impl<V: Copy> Arena<V> {
+    pub fn new() -> Self {
+        Arena {
+            shards: (0..=SPINE_SHARD).map(ArenaShard::new).collect(),
+        }
+    }
+
+    /// Allocates the root node (spine shard).
+    pub fn alloc_root(&mut self, value: V) -> u32 {
+        self.shards[SPINE_SHARD].alloc_node(value)
+    }
+
+    /// The shard a child of `parent` at `pos` belongs to: the parent's
+    /// shard, except below the spine root where `pos` *is* the branch id.
+    #[inline]
+    fn child_shard(&self, parent: u32, pos: usize) -> usize {
+        let s = shard_of(parent);
+        if s == SPINE_SHARD {
+            pos
+        } else {
+            s
+        }
+    }
+
+    /// Detaches branch `b`'s shard so a worker thread can own it. The
+    /// arena keeps an empty placeholder until [`Self::put_branch`].
+    pub fn take_branch(&mut self, b: usize) -> ArenaShard<V> {
+        debug_assert!(b < NUM_BRANCHES);
+        std::mem::replace(&mut self.shards[b], ArenaShard::new(b))
+    }
+
+    /// Reattaches a shard previously detached with [`Self::take_branch`].
+    pub fn put_branch(&mut self, b: usize, shard: ArenaShard<V>) {
+        debug_assert_eq!(shard.id, b, "shard reattached to the wrong branch");
+        self.shards[b] = shard;
+    }
+
+    /// Live node count (allocated minus freed) across all shards.
+    pub fn live_nodes(&self) -> usize {
+        self.shards.iter().map(ArenaShard::live_nodes).sum()
+    }
+
+    /// Live child-block count across all shards.
+    pub fn live_blocks(&self) -> usize {
+        self.shards.iter().map(ArenaShard::live_blocks).sum()
+    }
+
+    /// High-water slot counts `(nodes, blocks)` ever allocated.
+    pub fn high_water(&self) -> (usize, usize) {
+        self.shards
+            .iter()
+            .fold((0, 0), |(n, b), s| (n + s.nodes.len(), b + s.blocks.len()))
+    }
+
+    /// Heap bytes used by the arena backing storage.
+    pub fn heap_bytes(&self) -> usize {
+        self.shards.iter().map(ArenaShard::heap_bytes).sum()
+    }
 
     /// Removes every node and block, keeping allocations.
     pub fn clear(&mut self) {
-        self.nodes.clear();
-        self.node_free.clear();
-        self.blocks.clear();
-        self.block_free.clear();
+        for shard in &mut self.shards {
+            shard.clear();
+        }
+    }
+}
+
+impl<V: Copy> NodeStore<V> for Arena<V> {
+    #[inline]
+    fn alloc_child_node(&mut self, parent: u32, pos: usize, value: V) -> u32 {
+        let shard = self.child_shard(parent, pos);
+        self.shards[shard].alloc_node(value)
+    }
+
+    #[inline]
+    fn alloc_block_for(&mut self, parent: u32) -> u32 {
+        self.shards[shard_of(parent)].alloc_block()
+    }
+
+    #[inline]
+    fn free_node(&mut self, idx: u32) {
+        self.shards[shard_of(idx)].free_node(idx);
+    }
+
+    #[inline]
+    fn free_block(&mut self, idx: u32) {
+        self.shards[shard_of(idx)].free_block(idx);
+    }
+
+    #[inline]
+    fn node(&self, idx: u32) -> &Node<V> {
+        self.shards[shard_of(idx)].node(idx)
+    }
+
+    #[inline]
+    fn node_mut(&mut self, idx: u32) -> &mut Node<V> {
+        self.shards[shard_of(idx)].node_mut(idx)
+    }
+
+    #[inline]
+    fn block(&self, idx: u32) -> &ChildBlock {
+        self.shards[shard_of(idx)].block(idx)
+    }
+
+    #[inline]
+    fn block_mut(&mut self, idx: u32) -> &mut ChildBlock {
+        self.shards[shard_of(idx)].block_mut(idx)
     }
 }
 
@@ -136,28 +343,46 @@ mod tests {
     use super::*;
 
     #[test]
-    fn alloc_free_reuses_slots() {
+    fn alloc_free_reuses_slots_within_a_shard() {
         let mut a: Arena<f32> = Arena::new();
-        let n0 = a.alloc_node(0.0);
-        let n1 = a.alloc_node(1.0);
-        assert_eq!(a.live_nodes(), 2);
+        let root = a.alloc_root(0.0);
+        let n0 = a.alloc_child_node(root, 3, 0.5);
+        let n1 = a.alloc_child_node(root, 3, 1.0);
+        assert_eq!(a.live_nodes(), 3);
         a.free_node(n0);
-        assert_eq!(a.live_nodes(), 1);
-        let n2 = a.alloc_node(2.0);
+        assert_eq!(a.live_nodes(), 2);
+        let n2 = a.alloc_child_node(root, 3, 2.0);
         assert_eq!(n2, n0, "freed slot is recycled LIFO");
         assert_eq!(a.node(n2).value, 2.0);
         assert_eq!(a.node(n1).value, 1.0);
-        assert_eq!(a.high_water().0, 2, "no growth past high water");
+        assert_eq!(a.high_water().0, 3, "no growth past high water");
     }
 
     #[test]
-    fn blocks_alloc_empty() {
+    fn children_of_the_root_land_in_their_branch_shard() {
         let mut a: Arena<f32> = Arena::new();
-        let b = a.alloc_block();
+        let root = a.alloc_root(0.0);
+        assert_eq!(shard_of(root), SPINE_SHARD);
+        for pos in 0..NUM_BRANCHES {
+            let child = a.alloc_child_node(root, pos, 0.0);
+            assert_eq!(shard_of(child), pos, "branch child in its own shard");
+            // Deeper descendants stay in the branch shard regardless of pos.
+            let grandchild = a.alloc_child_node(child, 7 - pos, 0.0);
+            assert_eq!(shard_of(grandchild), pos);
+        }
+    }
+
+    #[test]
+    fn blocks_alloc_empty_and_recycle_reset() {
+        let mut a: Arena<f32> = Arena::new();
+        let root = a.alloc_root(0.0);
+        let n = a.alloc_child_node(root, 2, 0.0);
+        let b = a.alloc_block_for(n);
+        assert_eq!(shard_of(b), 2, "block colocated with its parent");
         assert!(a.block(b).is_empty());
         a.block_mut(b).slots[2] = 5;
         a.free_block(b);
-        let b2 = a.alloc_block();
+        let b2 = a.alloc_block_for(n);
         assert_eq!(b2, b);
         assert!(a.block(b2).is_empty(), "recycled blocks are reset");
     }
@@ -165,22 +390,36 @@ mod tests {
     #[test]
     fn child_of_resolves_through_block() {
         let mut a: Arena<f32> = Arena::new();
-        let parent = a.alloc_node(0.0);
+        let parent = a.alloc_root(0.0);
         assert_eq!(a.child_of(parent, 3), NIL);
-        let b = a.alloc_block();
+        let b = a.alloc_block_for(parent);
         a.node_mut(parent).block = b;
-        let child = a.alloc_node(1.5);
+        let child = a.alloc_child_node(parent, 3, 1.5);
         a.block_mut(b).slots[3] = child;
         assert_eq!(a.child_of(parent, 3), child);
         assert_eq!(a.child_of(parent, 4), NIL);
     }
 
     #[test]
+    fn take_and_put_branch_roundtrips_contents() {
+        let mut a: Arena<f32> = Arena::new();
+        let root = a.alloc_root(0.0);
+        let n = a.alloc_child_node(root, 5, 2.5);
+        let shard = a.take_branch(5);
+        assert_eq!(a.live_nodes(), 1, "only the root remains attached");
+        assert_eq!(shard.node(n).value, 2.5, "shard indices stay valid");
+        a.put_branch(5, shard);
+        assert_eq!(a.live_nodes(), 2);
+        assert_eq!(a.node(n).value, 2.5);
+    }
+
+    #[test]
     fn clear_resets_everything() {
         let mut a: Arena<f32> = Arena::new();
-        let n = a.alloc_node(0.0);
+        let root = a.alloc_root(0.0);
+        let n = a.alloc_child_node(root, 0, 0.0);
         a.free_node(n);
-        a.alloc_block();
+        a.alloc_block_for(root);
         a.clear();
         assert_eq!(a.live_nodes(), 0);
         assert_eq!(a.live_blocks(), 0);

@@ -26,6 +26,12 @@
 //! **bit-identical** to applying the same updates through `update_key` in
 //! arrival order — the property `tests/equivalence.rs` checks
 //! exhaustively.
+//!
+//! On top of the sequential walk, the Morton order hands out parallelism
+//! for free: the top 3 code bits are the first-level branch, so the
+//! sorted groups split into at most 8 contiguous runs over *disjoint*
+//! subtrees. The subtree-sharded apply in the `shard` module exploits
+//! exactly that (one arena shard per branch, like the paper's PEs).
 
 use omu_geometry::{LogOdds, VoxelKey, TREE_DEPTH};
 use omu_raycast::VoxelUpdate;
@@ -40,20 +46,20 @@ use crate::tree::OccupancyOctree;
 #[derive(Debug, Clone)]
 pub(crate) struct BatchScratch<V> {
     /// Voxel key → group id.
-    group_of: FxHashMap<VoxelKey, u32>,
+    pub(crate) group_of: FxHashMap<VoxelKey, u32>,
     /// Per group: `(morton, key)`.
-    keys: Vec<(u64, VoxelKey)>,
+    pub(crate) keys: Vec<(u64, VoxelKey)>,
     /// Per group: delta range start in `deltas` (built from counts).
-    starts: Vec<u32>,
+    pub(crate) starts: Vec<u32>,
     /// Per group: scatter cursor during grouping, then range end.
-    cursors: Vec<u32>,
+    pub(crate) cursors: Vec<u32>,
     /// All deltas, grouped by key, per-key arrival order preserved.
-    deltas: Vec<V>,
+    pub(crate) deltas: Vec<V>,
     /// Per update: its group id (avoids a second hash lookup in the
     /// scatter pass).
-    ids: Vec<u32>,
+    pub(crate) ids: Vec<u32>,
     /// Group ids sorted by Morton code.
-    order: Vec<u32>,
+    pub(crate) order: Vec<u32>,
 }
 
 // Manual impl: the derived one would needlessly require `V: Default`.
@@ -131,19 +137,60 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn apply_update_batch(&mut self, updates: &[VoxelUpdate]) -> BatchStats {
         let hit = self.resolved.hit;
         let miss = self.resolved.miss;
-        self.apply_batch_with(updates, move |u| (u.key, if u.hit { hit } else { miss }))
+        self.apply_batch_with(
+            updates,
+            move |u| (u.key, if u.hit { hit } else { miss }),
+            None,
+        )
+    }
+
+    /// [`apply_update_batch`](Self::apply_update_batch) with the tree walk
+    /// fanned out over up to `shards` threads, one first-level branch
+    /// subtree (arena shard) owned per worker — the software mirror of the
+    /// paper's per-PE T-Mem banks. `0` resolves to one shard per
+    /// available CPU. The resulting tree is bit-identical to the scalar
+    /// and sequential-batched paths.
+    pub fn apply_update_batch_parallel(
+        &mut self,
+        updates: &[VoxelUpdate],
+        shards: usize,
+    ) -> BatchStats {
+        let hit = self.resolved.hit;
+        let miss = self.resolved.miss;
+        self.apply_batch_with(
+            updates,
+            move |u| (u.key, if u.hit { hit } else { miss }),
+            Some(shards),
+        )
     }
 
     /// Applies a batch of raw log-odds deltas (the generic form of
     /// [`apply_update_batch`](Self::apply_update_batch)).
     pub fn apply_logodds_batch(&mut self, updates: &[(VoxelKey, V)]) -> BatchStats {
-        self.apply_batch_with(updates, |&(key, delta)| (key, delta))
+        self.apply_batch_with(updates, |&(key, delta)| (key, delta), None)
+    }
+
+    /// [`apply_logodds_batch`](Self::apply_logodds_batch) through the
+    /// subtree-sharded parallel walk (see
+    /// [`apply_update_batch_parallel`](Self::apply_update_batch_parallel)).
+    pub fn apply_logodds_batch_parallel(
+        &mut self,
+        updates: &[(VoxelKey, V)],
+        shards: usize,
+    ) -> BatchStats {
+        self.apply_batch_with(updates, |&(key, delta)| (key, delta), Some(shards))
     }
 
     /// The batch engine core: hashed group-by-key, Morton sort of the
     /// unique keys, then one cached-descent walk replaying each group's
-    /// delta sequence with deferred finishing.
-    fn apply_batch_with<T, G>(&mut self, updates: &[T], get: G) -> BatchStats
+    /// delta sequence with deferred finishing — sequential
+    /// (`parallel_shards: None`) or subtree-sharded across threads.
+    fn apply_batch_with<T, G>(
+        &mut self,
+        updates: &[T],
+        get: G,
+        parallel_shards: Option<usize>,
+    ) -> BatchStats
     where
         G: Fn(&T) -> (VoxelKey, V),
     {
@@ -223,14 +270,38 @@ impl<V: LogOdds> OccupancyOctree<V> {
 
         let mut root_just_created = false;
         if self.root == NIL {
-            self.root = self.arena.alloc_node(V::ZERO);
+            self.root = self.arena.alloc_root(V::ZERO);
             self.counters.node_creations += 1;
             root_just_created = true;
         }
 
+        match parallel_shards {
+            None => self.walk_sequential(&scratch, &mut stats, root_just_created),
+            Some(shards) => self.walk_sharded(&scratch, &mut stats, root_just_created, shards),
+        }
+
+        self.batch_scratch = scratch;
+        self.counters.batch_updates += stats.updates;
+        self.counters.batch_coalesced += stats.coalesced;
+        self.counters.batch_reused_levels += stats.reused_levels;
+        self.counters.batch_deferred_finishes += stats.deferred_finishes;
+        stats
+    }
+
+    /// The sequential cached-descent walk over the grouped, Morton-sorted
+    /// batch.
+    fn walk_sequential(
+        &mut self,
+        scratch: &BatchScratch<V>,
+        stats: &mut BatchStats,
+        mut root_just_created: bool,
+    ) {
+        let root = self.root;
+        let mut ctx = self.walk_ctx();
+
         // path[d] = node at depth d along the current key's root path.
         let mut path = [NIL; TREE_DEPTH as usize + 1];
-        path[0] = self.root;
+        path[0] = root;
         let mut prev: Option<VoxelKey> = None;
 
         for &id in &scratch.order {
@@ -244,7 +315,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
                     // re-enter those subtrees. Prune/refresh them now,
                     // bottom-up.
                     for d in ((shared + 1)..TREE_DEPTH as usize).rev() {
-                        self.finish_node(path[d]);
+                        ctx.finish_node(path[d]);
                         stats.deferred_finishes += 1;
                     }
                     stats.reused_levels += shared as u64;
@@ -255,7 +326,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
             let mut node = path[resume_depth];
             let mut just_created = resume_depth == 0 && root_just_created;
             for depth in resume_depth..TREE_DEPTH as usize {
-                let (child, created) = self.step_down(node, key, depth as u8, just_created);
+                let (child, created) = ctx.step_down(node, key, depth as u8, just_created);
                 just_created = created;
                 node = child;
                 path[depth + 1] = node;
@@ -269,23 +340,16 @@ impl<V: LogOdds> OccupancyOctree<V> {
                 .iter()
                 .enumerate()
             {
-                self.apply_leaf_delta(node, key, delta, step == 0 && just_created);
+                ctx.apply_leaf_delta(node, key, delta, step == 0 && just_created);
             }
             prev = Some(key);
         }
 
         // Flush: finish the last path all the way to the root.
         for d in (0..TREE_DEPTH as usize).rev() {
-            self.finish_node(path[d]);
+            ctx.finish_node(path[d]);
             stats.deferred_finishes += 1;
         }
-
-        self.batch_scratch = scratch;
-        self.counters.batch_updates += stats.updates;
-        self.counters.batch_coalesced += stats.coalesced;
-        self.counters.batch_reused_levels += stats.reused_levels;
-        self.counters.batch_deferred_finishes += stats.deferred_finishes;
-        stats
     }
 }
 

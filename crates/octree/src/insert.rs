@@ -2,8 +2,8 @@
 //! ray-casting integrator, in scalar, batched and parallel-batched
 //! flavours.
 
-use omu_geometry::{KeyError, LogOdds, Scan};
-use omu_raycast::{IntegrationStats, ParallelScanIntegrator, ScanIntegrator};
+use omu_geometry::{KeyError, LogOdds, Point3, Scan};
+use omu_raycast::{IntegrationStats, ScanIntegrator, ScanPipeline};
 
 use crate::tree::OccupancyOctree;
 
@@ -65,16 +65,21 @@ impl<V: LogOdds> OccupancyOctree<V> {
     }
 
     /// Shared tail of the batched insertion paths: apply the collected
-    /// updates through the batch engine, hand the scratch buffer back,
-    /// and account DDA steps.
+    /// updates through the batch engine (sequential, or subtree-sharded
+    /// over `apply_shards` threads), hand the scratch buffer back, and
+    /// account DDA steps.
     fn finish_batched_insert(
         &mut self,
         result: Result<IntegrationStats, KeyError>,
         updates: Vec<omu_raycast::VoxelUpdate>,
+        apply_shards: Option<usize>,
     ) -> Result<IntegrationStats, KeyError> {
         match result {
             Ok(stats) => {
-                self.apply_update_batch(&updates);
+                match apply_shards {
+                    None => self.apply_update_batch(&updates),
+                    Some(shards) => self.apply_update_batch_parallel(&updates, shards),
+                };
                 self.scratch_updates = updates;
                 self.counters.dda_steps += stats.dda_steps;
                 Ok(stats)
@@ -105,13 +110,14 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let result = integrator.integrate_into(scan, &mut updates);
         self.scratch_integrator = Some(integrator);
 
-        self.finish_batched_insert(result, updates)
+        self.finish_batched_insert(result, updates, None)
     }
 
     /// Integrates a full scan with ray casting fanned out over `threads`
-    /// shards (`0` = one per available CPU) and the merged update stream
-    /// applied through the batched engine — the software mirror of the
-    /// paper's PE × bank parallelism.
+    /// shards (`0` = one per available CPU) through the tree's persistent
+    /// [`ScanPipeline`], and the merged update stream applied through the
+    /// subtree-sharded parallel batch engine — the software mirror of the
+    /// paper's PE × bank parallelism, end to end.
     ///
     /// In [`Raywise`](omu_raycast::IntegrationMode::Raywise) mode the
     /// resulting map is bit-identical to [`Self::insert_scan`]; in dedup
@@ -126,32 +132,44 @@ impl<V: LogOdds> OccupancyOctree<V> {
         scan: &Scan,
         threads: usize,
     ) -> Result<IntegrationStats, KeyError> {
+        self.insert_points_parallel(scan.origin, scan.cloud.points(), threads)
+    }
+
+    /// The borrow-based form of [`Self::insert_scan_parallel`]: integrates
+    /// one scan straight from its origin and point slice, with zero
+    /// per-call point-cloud copies (the persistent pipeline owns every
+    /// reusable buffer).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::insert_scan`].
+    pub fn insert_points_parallel(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        threads: usize,
+    ) -> Result<IntegrationStats, KeyError> {
         // Resolve `0 = per-CPU` before the cache check, so a cached
-        // integrator built with an explicit shard count is not silently
+        // pipeline built with an explicit shard count is not silently
         // reused for an auto-sharded call (or vice versa).
-        let shards = ParallelScanIntegrator::resolve_shards(threads);
-        let integrator = match self.scratch_parallel.take() {
-            Some(i)
-                if i.mode() == self.integration_mode
-                    && i.max_range() == self.max_range
-                    && i.shards() == shards =>
+        let shards = ScanPipeline::resolve_shards(threads);
+        let mut pipeline = match self.scratch_pipeline.take() {
+            Some(p)
+                if p.mode() == self.integration_mode
+                    && p.max_range() == self.max_range
+                    && p.shards() == shards =>
             {
-                i
+                p
             }
-            _ => ParallelScanIntegrator::new(
-                self.conv,
-                self.max_range,
-                self.integration_mode,
-                shards,
-            ),
+            _ => ScanPipeline::new(self.conv, self.max_range, self.integration_mode, shards),
         };
 
         let mut updates = std::mem::take(&mut self.scratch_updates);
         updates.clear();
-        let result = integrator.integrate_into(scan, &mut updates);
-        self.scratch_parallel = Some(integrator);
+        let result = pipeline.integrate_into(origin, points, &mut updates);
+        self.scratch_pipeline = Some(pipeline);
 
-        self.finish_batched_insert(result, updates)
+        self.finish_batched_insert(result, updates, Some(threads))
     }
 }
 
@@ -306,19 +324,40 @@ mod tests {
 
     #[test]
     fn parallel_shard_count_is_not_cached_stale() {
-        use omu_raycast::ParallelScanIntegrator;
+        use omu_raycast::ScanPipeline;
         let mut t = OctreeF32::new(0.1).unwrap();
         let s = scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)]);
         t.insert_scan_parallel(&s, 2).unwrap();
-        assert_eq!(t.scratch_parallel.as_ref().unwrap().shards(), 2);
-        // `0 = per-CPU` must not silently reuse the 2-shard integrator.
+        assert_eq!(t.scratch_pipeline.as_ref().unwrap().shards(), 2);
+        // `0 = per-CPU` must not silently reuse the 2-shard pipeline.
         t.insert_scan_parallel(&s, 0).unwrap();
         assert_eq!(
-            t.scratch_parallel.as_ref().unwrap().shards(),
-            ParallelScanIntegrator::resolve_shards(0)
+            t.scratch_pipeline.as_ref().unwrap().shards(),
+            ScanPipeline::resolve_shards(0)
         );
         t.insert_scan_parallel(&s, 3).unwrap();
-        assert_eq!(t.scratch_parallel.as_ref().unwrap().shards(), 3);
+        assert_eq!(t.scratch_pipeline.as_ref().unwrap().shards(), 3);
+    }
+
+    #[test]
+    fn borrowed_points_insertion_matches_scan_insertion() {
+        let points: Vec<Point3> = (0..24)
+            .map(|i| {
+                let a = i as f64 * 0.26;
+                Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.2)
+            })
+            .collect();
+        let origin = Point3::new(0.01, 0.02, 0.01);
+        let mut by_scan = OctreeF32::new(0.1).unwrap();
+        let a = by_scan
+            .insert_scan_parallel(&scan(origin, &points), 2)
+            .unwrap();
+        let mut by_points = OctreeF32::new(0.1).unwrap();
+        let b = by_points
+            .insert_points_parallel(origin, &points, 2)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(by_scan.snapshot(), by_points.snapshot());
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use omu_geometry::{LogOdds, Occupancy, Point3, VoxelKey, TREE_DEPTH};
 
+use crate::arena::NodeStore;
 use crate::node::NIL;
 use crate::tree::OccupancyOctree;
 

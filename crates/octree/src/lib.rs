@@ -24,13 +24,22 @@
 //! `omu-cpumodel` convert those counts to seconds.
 //!
 //! Besides the scalar per-update path, the tree offers a **batched
-//! update engine** (`apply_update_batch`, `insert_scan_batched`,
-//! `insert_scan_parallel`): updates are Morton-sorted so the tree walk
-//! reuses the shared root-path prefix between consecutive keys, repeated
-//! updates of one voxel coalesce, and parent refresh + pruning are
-//! deferred to one bottom-up pass per touched subtree — the software
-//! analogue of the work amortization the OMU hardware gets from its PE ×
-//! bank layout, and the repo's fastest CPU mapping path.
+//! update engine** (`apply_update_batch`, `insert_scan_batched`):
+//! updates are Morton-sorted so the tree walk reuses the shared
+//! root-path prefix between consecutive keys, repeated updates of one
+//! voxel coalesce, and parent refresh + pruning are deferred to one
+//! bottom-up pass per touched subtree — the software analogue of the
+//! work amortization the OMU hardware gets from its PE × bank layout.
+//!
+//! On top of that sits the **subtree-sharded parallel engine**
+//! (`apply_update_batch_parallel`, `insert_scan_parallel`,
+//! `insert_points_parallel`): the arena is partitioned into one
+//! independently-ownable shard per first-level branch (like the paper's
+//! per-PE T-Mem banks), a Morton-sorted batch splits into ≤ 8 contiguous
+//! per-branch runs over disjoint subtrees, and each run is applied on
+//! its own thread before the shards reattach and the root spine is
+//! finished once — bit-identical to the scalar path, including
+//! operation counters.
 //!
 //! # Examples
 //!
@@ -61,9 +70,11 @@ mod node;
 mod query;
 mod region;
 mod serialize;
+mod shard;
 mod stats;
 mod tree;
 mod update;
+mod walk;
 
 pub use batch::BatchStats;
 pub use counters::OpCounters;

@@ -7,6 +7,7 @@
 
 use omu_geometry::{Aabb, KeyError, LogOdds, Occupancy, VoxelKey, TREE_DEPTH};
 
+use crate::arena::NodeStore;
 use crate::iter::LeafInfo;
 use crate::node::NIL;
 use crate::tree::OccupancyOctree;

@@ -11,6 +11,7 @@ use std::fmt;
 use bytes::{Buf, BufMut, BytesMut};
 use omu_geometry::{LogOdds, OccupancyParams, TREE_DEPTH};
 
+use crate::arena::NodeStore;
 use crate::node::NIL;
 use crate::tree::OccupancyOctree;
 
@@ -138,8 +139,10 @@ impl<V: LogOdds> OccupancyOctree<V> {
             .map_err(|e| DeserializeError::BadResolution(e.resolution))?;
         let has_root = buf.get_u8() != 0;
         if has_root {
-            let root = tree.read_node(&mut buf, 0)?;
+            let (value, mask) = read_header::<V>(&mut buf)?;
+            let root = tree.arena.alloc_root(value);
             tree.root = root;
+            tree.read_children(&mut buf, 0, root, mask)?;
         }
         if buf.has_remaining() {
             return Err(DeserializeError::Malformed("trailing bytes"));
@@ -147,29 +150,45 @@ impl<V: LogOdds> OccupancyOctree<V> {
         Ok(tree)
     }
 
-    fn read_node(&mut self, buf: &mut &[u8], depth: u8) -> Result<u32, DeserializeError> {
-        if buf.remaining() < 5 {
-            return Err(DeserializeError::Truncated);
-        }
-        let value = V::from_f32(buf.get_f32());
-        let mask = buf.get_u8();
-        let node = self.arena.alloc_node(value);
+    /// Reconstructs the children of `node` (at `depth`) named by `mask`.
+    /// Allocation goes through `alloc_child_node` so every rebuilt node
+    /// lands in its branch's arena shard, preserving the invariant the
+    /// sharded parallel apply relies on.
+    fn read_children(
+        &mut self,
+        buf: &mut &[u8],
+        depth: u8,
+        node: u32,
+        mask: u8,
+    ) -> Result<(), DeserializeError> {
         if mask == 0 {
-            return Ok(node);
+            return Ok(());
         }
         if depth >= TREE_DEPTH {
             return Err(DeserializeError::Malformed("children below maximum depth"));
         }
-        let block = self.arena.alloc_block();
+        let block = self.arena.alloc_block_for(node);
         self.arena.node_mut(node).block = block;
         for pos in 0..8 {
             if mask & (1 << pos) != 0 {
-                let child = self.read_node(buf, depth + 1)?;
+                let (value, child_mask) = read_header::<V>(buf)?;
+                let child = self.arena.alloc_child_node(node, pos, value);
                 self.arena.block_mut(block).slots[pos] = child;
+                self.read_children(buf, depth + 1, child, child_mask)?;
             }
         }
-        Ok(node)
+        Ok(())
     }
+}
+
+/// Reads one node's `(value, child mask)` header.
+fn read_header<V: LogOdds>(buf: &mut &[u8]) -> Result<(V, u8), DeserializeError> {
+    if buf.remaining() < 5 {
+        return Err(DeserializeError::Truncated);
+    }
+    let value = V::from_f32(buf.get_f32());
+    let mask = buf.get_u8();
+    Ok((value, mask))
 }
 
 #[cfg(test)]

@@ -1,0 +1,394 @@
+//! Subtree-sharded parallel batch application.
+//!
+//! Morton order makes the batched walk parallelizable for free: the top
+//! 3 bits of a voxel's Morton code are its first-level branch, so the
+//! sorted unique keys split into at most 8 contiguous runs over
+//! *disjoint* subtrees. This module detaches each active branch's
+//! [`ArenaShard`](crate::arena::ArenaShard) from the tree (O(1) — the
+//! arena is branch-partitioned from the start, like the OMU accelerator's
+//! per-PE T-Mem banks), applies each run on its own thread through the
+//! same [`WalkCtx`] machinery the sequential walk uses, then reattaches
+//! the shards and finishes the root spine.
+//!
+//! The result is **bit-identical** to the scalar and sequential-batched
+//! paths: per-voxel delta order is preserved by the grouping pass,
+//! branches are disjoint (no cross-thread data), worker-local counters
+//! and change logs merge in fixed branch order, and the deferred
+//! finishing inside a branch is exactly the sequence the sequential walk
+//! would have executed when crossing that branch.
+
+use omu_geometry::{LogOdds, ResolvedParams, VoxelKey, TREE_DEPTH};
+
+use crate::arena::{ArenaShard, NUM_BRANCHES};
+use crate::batch::{BatchScratch, BatchStats};
+use crate::counters::OpCounters;
+use crate::node::NIL;
+use crate::tree::OccupancyOctree;
+use crate::walk::WalkCtx;
+
+/// One branch's slice of the batch plus everything its worker owns.
+struct BranchTask<V> {
+    branch: usize,
+    shard: ArenaShard<V>,
+    /// The branch's depth-1 node (pre-stepped on the main thread).
+    branch_root: u32,
+    /// Whether the depth-1 node was freshly created by the pre-step.
+    created: bool,
+    /// This branch's contiguous range in the Morton-sorted group order.
+    range: std::ops::Range<usize>,
+    stats: BatchStats,
+    counters: OpCounters,
+    changed: Vec<VoxelKey>,
+}
+
+/// First-level branch of a group: the top 3 bits of its Morton code.
+#[inline]
+fn branch_of(morton: u64) -> usize {
+    (morton >> 45) as usize
+}
+
+/// Resolves a requested worker count: `0` means one per available CPU
+/// (same policy as the ray-casting front end), capped at the 8 branch
+/// shards that exist.
+pub(crate) fn resolve_apply_shards(requested: usize) -> usize {
+    omu_raycast::ScanPipeline::resolve_shards(requested).clamp(1, NUM_BRANCHES)
+}
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// The subtree-sharded counterpart of `walk_sequential`: called by the
+    /// batch engine after grouping/sorting, with the root already in place.
+    pub(crate) fn walk_sharded(
+        &mut self,
+        scratch: &BatchScratch<V>,
+        stats: &mut BatchStats,
+        mut root_just_created: bool,
+        shards: usize,
+    ) {
+        let workers = resolve_apply_shards(shards);
+        let root = self.root;
+
+        // Split the Morton-sorted group order into per-branch runs.
+        let mut runs: Vec<(usize, std::ops::Range<usize>)> = Vec::with_capacity(NUM_BRANCHES);
+        let mut start = 0;
+        for i in 1..=scratch.order.len() {
+            let boundary = i == scratch.order.len()
+                || branch_of(scratch.keys[scratch.order[i] as usize].0)
+                    != branch_of(scratch.keys[scratch.order[start] as usize].0);
+            if boundary {
+                let b = branch_of(scratch.keys[scratch.order[start] as usize].0);
+                runs.push((b, start..i));
+                start = i;
+            }
+        }
+
+        // Pre-step depth 0 on the main thread, in Morton (= branch) order:
+        // locate or create each active branch's depth-1 node, expanding a
+        // pruned root exactly as the sequential walk's first descent would.
+        let mut tasks: Vec<BranchTask<V>> = Vec::with_capacity(runs.len());
+        {
+            let mut ctx = self.walk_ctx();
+            for (branch, range) in runs {
+                let first_key = scratch.keys[scratch.order[range.start] as usize].1;
+                let (branch_root, created) = ctx.step_down(root, first_key, 0, root_just_created);
+                root_just_created = false;
+                stats.descended_levels += 1;
+                tasks.push(BranchTask {
+                    branch,
+                    shard: ArenaShard::placeholder(),
+                    branch_root,
+                    created,
+                    range,
+                    stats: BatchStats::default(),
+                    counters: OpCounters::default(),
+                    changed: Vec::new(),
+                });
+            }
+        }
+        for task in &mut tasks {
+            task.shard = self.arena.take_branch(task.branch);
+        }
+
+        let resolved = self.resolved;
+        let pruning = self.pruning_enabled;
+        let track_changes = self.changed.is_some();
+
+        let nworkers = workers.min(tasks.len()).max(1);
+        if nworkers <= 1 {
+            for task in &mut tasks {
+                run_branch_task(task, scratch, resolved, pruning, track_changes);
+            }
+        } else {
+            // Round-robin branches over workers; each worker owns its
+            // tasks (and their shards) for the duration of the scope.
+            let mut groups: Vec<Vec<BranchTask<V>>> = (0..nworkers).map(|_| Vec::new()).collect();
+            for (i, task) in tasks.drain(..).enumerate() {
+                groups[i % nworkers].push(task);
+            }
+            let finished = std::thread::scope(|scope| {
+                let handles: Vec<_> = groups
+                    .into_iter()
+                    .map(|mut group| {
+                        scope.spawn(move || {
+                            for task in &mut group {
+                                run_branch_task(task, scratch, resolved, pruning, track_changes);
+                            }
+                            group
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("branch worker thread"))
+                    .collect::<Vec<_>>()
+            });
+            tasks = finished;
+            tasks.sort_unstable_by_key(|t| t.branch);
+        }
+
+        // Reattach and merge in fixed branch order so counters, stats and
+        // change logs are deterministic regardless of thread timing.
+        for mut task in tasks {
+            self.arena.put_branch(task.branch, task.shard);
+            self.counters.merge(&task.counters);
+            stats.merge(&task.stats);
+            if let Some(changed) = &mut self.changed {
+                changed.extend(task.changed.drain(..));
+            }
+        }
+
+        // The root spine is finished exactly once, like the sequential
+        // walk's final flush step at depth 0.
+        let mut ctx = self.walk_ctx();
+        ctx.finish_node(root);
+        stats.deferred_finishes += 1;
+    }
+}
+
+/// Applies one branch's contiguous run of Morton-sorted groups inside its
+/// own arena shard — the per-thread body of the sharded walk. Mirrors the
+/// sequential walk restricted to depths ≥ 1 (the main thread already
+/// performed the depth-0 step).
+fn run_branch_task<V: LogOdds>(
+    task: &mut BranchTask<V>,
+    scratch: &BatchScratch<V>,
+    resolved: ResolvedParams<V>,
+    pruning_enabled: bool,
+    track_changes: bool,
+) {
+    let BranchTask {
+        shard,
+        branch_root,
+        created,
+        range,
+        stats,
+        counters,
+        changed,
+        ..
+    } = task;
+    let mut ctx = WalkCtx {
+        store: shard,
+        resolved,
+        pruning_enabled,
+        counters,
+        changed: if track_changes { Some(changed) } else { None },
+    };
+
+    // path[d] = node at depth d along the current key's root path
+    // (path[0] is the root, owned by the main thread — never touched).
+    let mut path = [NIL; TREE_DEPTH as usize + 1];
+    path[1] = *branch_root;
+    let mut prev: Option<VoxelKey> = None;
+
+    for &id in &scratch.order[range.clone()] {
+        let (_, key) = scratch.keys[id as usize];
+        let resume_depth = match prev {
+            None => 1,
+            Some(prev_key) => {
+                // Keys in one branch share at least the depth-1 prefix.
+                let shared = prev_key.common_prefix_depth(key) as usize;
+                for d in ((shared + 1)..TREE_DEPTH as usize).rev() {
+                    ctx.finish_node(path[d]);
+                    stats.deferred_finishes += 1;
+                }
+                stats.reused_levels += shared as u64;
+                shared
+            }
+        };
+
+        let mut node = path[resume_depth];
+        let mut just_created = resume_depth == 1 && *created && prev.is_none();
+        for depth in resume_depth..TREE_DEPTH as usize {
+            let (child, c) = ctx.step_down(node, key, depth as u8, just_created);
+            just_created = c;
+            node = child;
+            path[depth + 1] = node;
+            stats.descended_levels += 1;
+        }
+
+        // Replay the group's whole delta sequence on the leaf in hand.
+        let drange = scratch.starts[id as usize]..scratch.cursors[id as usize];
+        for (step, &delta) in scratch.deltas[drange.start as usize..drange.end as usize]
+            .iter()
+            .enumerate()
+        {
+            ctx.apply_leaf_delta(node, key, delta, step == 0 && just_created);
+        }
+        prev = Some(key);
+    }
+
+    // Flush the last path down to the branch root; the root spine
+    // (depth 0) is finished once by the main thread after the join.
+    for d in (1..TREE_DEPTH as usize).rev() {
+        ctx.finish_node(path[d]);
+        stats.deferred_finishes += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeF32;
+    use omu_raycast::VoxelUpdate;
+
+    /// Keys spread over all 8 first-level branches, with repeats.
+    fn cross_branch_updates() -> Vec<VoxelUpdate> {
+        let mut u = Vec::new();
+        for i in 0..96u16 {
+            let b = i % 8;
+            let key = VoxelKey::new(
+                ((b & 1) << 15) | (1000 + i % 7),
+                (((b >> 1) & 1) << 15) | (2000 + (i * 3) % 5),
+                (((b >> 2) & 1) << 15) | (3000 + (i * 5) % 3),
+            );
+            u.push(VoxelUpdate {
+                key,
+                hit: i % 3 != 0,
+            });
+        }
+        u
+    }
+
+    fn scalar_reference(updates: &[VoxelUpdate], pruning: bool) -> OctreeF32 {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.set_pruning_enabled(pruning);
+        t.set_change_detection(true);
+        for u in updates {
+            t.update_key(u.key, u.hit);
+        }
+        t
+    }
+
+    #[test]
+    fn sharded_apply_is_bit_identical_across_shard_counts() {
+        let u = cross_branch_updates();
+        for pruning in [true, false] {
+            let scalar = scalar_reference(&u, pruning);
+            let mut sequential = OctreeF32::new(0.1).unwrap();
+            sequential.set_pruning_enabled(pruning);
+            sequential.apply_update_batch(&u);
+            for shards in [1, 2, 4, 8] {
+                let mut t = OctreeF32::new(0.1).unwrap();
+                t.set_pruning_enabled(pruning);
+                t.set_change_detection(true);
+                let stats = t.apply_update_batch_parallel(&u, shards);
+                assert_eq!(stats.updates, u.len() as u64);
+                assert_eq!(
+                    scalar.snapshot(),
+                    t.snapshot(),
+                    "pruning={pruning} shards={shards}"
+                );
+                assert_eq!(scalar.num_nodes(), t.num_nodes());
+                let canon = |t: &OctreeF32| {
+                    let mut v: Vec<VoxelKey> = t.changed_keys().copied().collect();
+                    v.sort_unstable();
+                    v
+                };
+                assert_eq!(canon(&scalar), canon(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_stats_match_sequential_batch_stats() {
+        let u = cross_branch_updates();
+        let mut sequential = OctreeF32::new(0.1).unwrap();
+        let s1 = sequential.apply_update_batch(&u);
+        let mut sharded = OctreeF32::new(0.1).unwrap();
+        let s2 = sharded.apply_update_batch_parallel(&u, 4);
+        assert_eq!(s1, s2, "the sharded walk does the same deferred work");
+        assert_eq!(sequential.counters(), sharded.counters());
+    }
+
+    #[test]
+    fn single_branch_batch_degenerates_gracefully() {
+        // All keys inside one branch: one run, one worker does everything.
+        let u: Vec<VoxelUpdate> = (0..40u16)
+            .map(|i| VoxelUpdate {
+                key: VoxelKey::new(33000 + i % 5, 33000 + (i * 3) % 7, 33000),
+                hit: i % 4 != 0,
+            })
+            .collect();
+        let scalar = scalar_reference(&u, true);
+        for shards in [1, 8] {
+            let mut t = OctreeF32::new(0.1).unwrap();
+            t.apply_update_batch_parallel(&u, shards);
+            assert_eq!(scalar.snapshot(), t.snapshot(), "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn sharded_apply_expands_a_pruned_root() {
+        // Saturating misses everywhere a tiny tree covers can prune all
+        // the way to the root; the next sharded batch must expand it on
+        // the main thread before fan-out, exactly like the scalar path.
+        let mut keys = Vec::new();
+        for b in 0..8u16 {
+            keys.push(VoxelKey::new(
+                (b & 1) << 15,
+                ((b >> 1) & 1) << 15,
+                ((b >> 2) & 1) << 15,
+            ));
+        }
+        let mut prime: Vec<VoxelUpdate> = Vec::new();
+        for _ in 0..10 {
+            for &key in &keys {
+                prime.push(VoxelUpdate { key, hit: false });
+            }
+        }
+        let mut scalar = OctreeF32::new(0.1).unwrap();
+        scalar.set_early_abort_saturated(false);
+        let mut t = OctreeF32::new(0.1).unwrap();
+        for u in &prime {
+            scalar.update_key(u.key, u.hit);
+        }
+        t.apply_update_batch_parallel(&prime, 8);
+        assert_eq!(scalar.snapshot(), t.snapshot());
+
+        let follow_up = [VoxelUpdate {
+            key: VoxelKey::ORIGIN,
+            hit: true,
+        }];
+        for u in &follow_up {
+            scalar.update_key(u.key, u.hit);
+        }
+        t.apply_update_batch_parallel(&follow_up, 8);
+        assert_eq!(scalar.snapshot(), t.snapshot());
+        assert_eq!(scalar.num_nodes(), t.num_nodes());
+    }
+
+    #[test]
+    fn empty_parallel_batch_is_a_noop() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let stats = t.apply_update_batch_parallel(&[], 4);
+        assert_eq!(stats, BatchStats::default());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn zero_shards_resolves_to_cpu_count() {
+        assert!(resolve_apply_shards(0) >= 1);
+        assert!(resolve_apply_shards(0) <= NUM_BRANCHES);
+        assert_eq!(resolve_apply_shards(3), 3);
+        assert_eq!(resolve_apply_shards(64), NUM_BRANCHES);
+    }
+}

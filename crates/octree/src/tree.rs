@@ -4,13 +4,14 @@ use omu_geometry::{
     KeyConverter, KeyError, LogOdds, Occupancy, OccupancyParams, Point3, ResolutionError,
     ResolvedParams, VoxelKey, TREE_DEPTH,
 };
-use omu_raycast::{IntegrationMode, ParallelScanIntegrator, ScanIntegrator, VoxelUpdate};
+use omu_raycast::{IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
 use rustc_hash::FxHashSet;
 
-use crate::arena::Arena;
+use crate::arena::{Arena, NodeStore};
 use crate::batch::BatchScratch;
 use crate::counters::OpCounters;
 use crate::node::NIL;
+use crate::walk::WalkCtx;
 
 /// A probabilistic occupancy octree with OctoMap semantics, generic over
 /// the log-odds representation.
@@ -30,7 +31,7 @@ pub struct OccupancyOctree<V: LogOdds> {
     pub(crate) integration_mode: IntegrationMode,
     pub(crate) max_range: Option<f64>,
     pub(crate) scratch_integrator: Option<ScanIntegrator>,
-    pub(crate) scratch_parallel: Option<ParallelScanIntegrator>,
+    pub(crate) scratch_pipeline: Option<ScanPipeline>,
     pub(crate) scratch_updates: Vec<VoxelUpdate>,
     pub(crate) batch_scratch: BatchScratch<V>,
     // Fx instead of SipHash: change tracking inserts a structured key per
@@ -81,7 +82,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
             integration_mode: IntegrationMode::default(),
             max_range: None,
             scratch_integrator: None,
-            scratch_parallel: None,
+            scratch_pipeline: None,
             scratch_updates: Vec::new(),
             batch_scratch: BatchScratch::default(),
             changed: None,
@@ -143,7 +144,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn set_integration_mode(&mut self, mode: IntegrationMode) {
         self.integration_mode = mode;
         self.scratch_integrator = None;
-        self.scratch_parallel = None;
+        self.scratch_pipeline = None;
     }
 
     /// The scan-integration mode.
@@ -155,12 +156,25 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn set_max_range(&mut self, max_range: Option<f64>) {
         self.max_range = max_range;
         self.scratch_integrator = None;
-        self.scratch_parallel = None;
+        self.scratch_pipeline = None;
     }
 
     /// The configured maximum sensor range.
     pub fn max_range(&self) -> Option<f64> {
         self.max_range
+    }
+
+    /// Borrows the tree's mutable update state as a walk context over the
+    /// whole-tree arena — the single place the scalar and batched paths
+    /// get their descent/prune machinery from.
+    pub(crate) fn walk_ctx(&mut self) -> WalkCtx<'_, Arena<V>, V, FxHashSet<VoxelKey>> {
+        WalkCtx {
+            store: &mut self.arena,
+            resolved: self.resolved,
+            pruning_enabled: self.pruning_enabled,
+            counters: &mut self.counters,
+            changed: self.changed.as_mut(),
+        }
     }
 
     /// True when the tree contains no observation at all.

@@ -1,10 +1,16 @@
 //! The measurement-update path: descent, expansion, leaf update, parent
 //! update and pruning — a faithful port of OctoMap's `updateNodeRecurs`.
+//!
+//! The per-operation machinery lives in the storage-generic
+//! [`WalkCtx`](crate::walk::WalkCtx); this module wires it to the tree's
+//! own arena for the scalar per-update path and the whole-tree
+//! maintenance passes.
 
 use omu_geometry::{LogOdds, VoxelKey, TREE_DEPTH};
 
 use crate::node::NIL;
 use crate::tree::OccupancyOctree;
+use crate::walk::{ChangeLog, WalkCtx};
 
 impl<V: LogOdds> OccupancyOctree<V> {
     /// Integrates one hit (`true`) / miss (`false`) observation of the
@@ -44,225 +50,36 @@ impl<V: LogOdds> OccupancyOctree<V> {
         // --- Descent: locate (creating / expanding as needed) the leaf. ---
         let mut just_created = false;
         if self.root == NIL {
-            self.root = self.arena.alloc_node(V::ZERO);
+            self.root = self.arena.alloc_root(V::ZERO);
             self.counters.node_creations += 1;
             just_created = true;
         }
+        let root = self.root;
+        let mut ctx = self.walk_ctx();
 
         // path[d] = node at depth d along the key's root path.
         let mut path = [NIL; TREE_DEPTH as usize + 1];
-        let mut node = self.root;
+        let mut node = root;
         path[0] = node;
 
         for depth in 0..TREE_DEPTH {
-            let (child, created) = self.step_down(node, key, depth, just_created);
+            let (child, created) = ctx.step_down(node, key, depth, just_created);
             just_created = created;
             node = child;
             path[depth as usize + 1] = node;
         }
 
         // --- Leaf update (eq. 2). ---
-        let updated = self.apply_leaf_delta(node, key, delta, just_created);
+        let updated = ctx.apply_leaf_delta(node, key, delta, just_created);
 
         // --- Parent updates and pruning, bottom-up (eq. 3). ---
         let mut result = updated;
         for depth in (0..TREE_DEPTH).rev() {
-            if let Some(pruned_value) = self.finish_node(path[depth as usize]) {
+            if let Some(pruned_value) = ctx.finish_node(path[depth as usize]) {
                 result = pruned_value;
             }
         }
         result
-    }
-
-    /// One level of descent towards `key`: returns the child at
-    /// `depth + 1` on the key's root path, creating or expanding as
-    /// OctoMap's `updateNodeRecurs` would.
-    ///
-    /// `just_created` must be true when `node` was freshly created during
-    /// the current descent (a fresh branch grows one child per level; a
-    /// pre-existing childless node is a pruned leaf that must expand into
-    /// all 8). The returned flag is the same property for the child.
-    #[inline]
-    pub(crate) fn step_down(
-        &mut self,
-        node: u32,
-        key: VoxelKey,
-        depth: u8,
-        just_created: bool,
-    ) -> (u32, bool) {
-        let pos = key.child_index_at(depth).index();
-        let mut child = self.arena.child_of(node, pos);
-        let mut created = false;
-        if child == NIL {
-            if self.arena.node(node).is_leaf() && !just_created {
-                // A pruned leaf covers this key: expand it so the update
-                // applies to the single target voxel only.
-                self.expand_node(node);
-                child = self.arena.child_of(node, pos);
-            } else {
-                // Fresh branch: create just the requested child.
-                child = self.create_child(node, pos);
-                created = true;
-            }
-        }
-        self.counters.traverse_steps += 1;
-        (child, created)
-    }
-
-    /// Applies one clamped log-odds addition to a located leaf (eq. 2),
-    /// recording change detection, and returns the new value.
-    #[inline]
-    pub(crate) fn apply_leaf_delta(
-        &mut self,
-        node: u32,
-        key: VoxelKey,
-        delta: V,
-        just_created: bool,
-    ) -> V {
-        let (updated, old_value) = {
-            let n = self.arena.node_mut(node);
-            let old = n.value;
-            n.value = n
-                .value
-                .add(delta)
-                .clamp_to(self.resolved.clamp_min, self.resolved.clamp_max);
-            (n.value, old)
-        };
-        self.counters.leaf_updates += 1;
-
-        // Change detection: record newly observed voxels and
-        // occupied↔free classification flips.
-        if let Some(changed) = &mut self.changed {
-            let flipped = just_created
-                || self.resolved.classify(old_value) != self.resolved.classify(updated);
-            if flipped {
-                changed.insert(key);
-            }
-        }
-        updated
-    }
-
-    /// Finishes an inner node after updates below it: prune when enabled
-    /// and collapsible, otherwise refresh the value to the max over
-    /// children. Returns `Some(value)` when the node was pruned.
-    ///
-    /// The scalar path calls this for every path node after every update;
-    /// the batch engine defers it to once per touched node (see
-    /// [`apply_update_batch`](Self::apply_update_batch)).
-    #[inline]
-    pub(crate) fn finish_node(&mut self, node: u32) -> Option<V> {
-        if self.pruning_enabled && self.try_prune(node) {
-            Some(self.arena.node(node).value)
-        } else {
-            self.refresh_parent_value(node);
-            None
-        }
-    }
-
-    /// Expands a pruned leaf into 8 children carrying the parent's value
-    /// (OctoMap `expandNode`).
-    pub(crate) fn expand_node(&mut self, node: u32) {
-        debug_assert!(self.arena.node(node).is_leaf(), "expanding an inner node");
-        let value = self.arena.node(node).value;
-        let block = self.arena.alloc_block();
-        for pos in 0..8 {
-            let child = self.arena.alloc_node(value);
-            self.arena.block_mut(block).slots[pos] = child;
-        }
-        self.arena.node_mut(node).block = block;
-        self.counters.expands += 1;
-        self.counters.node_creations += 8;
-    }
-
-    /// Creates a single child (log-odds 0, "just created") under `node`.
-    fn create_child(&mut self, node: u32, pos: usize) -> u32 {
-        let block = {
-            let b = self.arena.node(node).block;
-            if b == NIL {
-                let b = self.arena.alloc_block();
-                self.arena.node_mut(node).block = b;
-                b
-            } else {
-                b
-            }
-        };
-        let child = self.arena.alloc_node(V::ZERO);
-        self.arena.block_mut(block).slots[pos] = child;
-        self.counters.node_creations += 1;
-        child
-    }
-
-    /// Attempts to prune `node` (OctoMap `pruneNode`): succeeds when all 8
-    /// children exist, none has children of its own, and all hold the same
-    /// value. On success the children are deleted and `node` becomes a leaf
-    /// carrying their common value.
-    ///
-    /// Returns `true` when the node was pruned.
-    pub(crate) fn try_prune(&mut self, node: u32) -> bool {
-        self.counters.prune_checks += 1;
-        let block = self.arena.node(node).block;
-        if block == NIL {
-            return false;
-        }
-
-        let slots = self.arena.block(block).slots;
-        let first = slots[0];
-        if first == NIL {
-            return false;
-        }
-        self.counters.prune_child_reads += 1;
-        let first_node = *self.arena.node(first);
-        if !first_node.is_leaf() {
-            return false;
-        }
-        for &slot in &slots[1..] {
-            if slot == NIL {
-                return false;
-            }
-            self.counters.prune_child_reads += 1;
-            let child = self.arena.node(slot);
-            if !child.is_leaf() || child.value != first_node.value {
-                return false;
-            }
-        }
-
-        // Collapsible: delete the 8 children and take over their value.
-        for &slot in &slots {
-            self.arena.free_node(slot);
-        }
-        self.arena.free_block(block);
-        let n = self.arena.node_mut(node);
-        n.block = NIL;
-        n.value = first_node.value;
-        self.counters.prunes += 1;
-        true
-    }
-
-    /// Recomputes an inner node's value as the maximum over its existing
-    /// children (OctoMap `updateOccupancyChildren`).
-    pub(crate) fn refresh_parent_value(&mut self, node: u32) {
-        let block = self.arena.node(node).block;
-        if block == NIL {
-            return;
-        }
-        let slots = self.arena.block(block).slots;
-        let mut acc: Option<V> = None;
-        let mut reads = 0;
-        for &slot in &slots {
-            if slot != NIL {
-                reads += 1;
-                let v = self.arena.node(slot).value;
-                acc = Some(match acc {
-                    Some(a) => V::max_of(a, v),
-                    None => v,
-                });
-            }
-        }
-        if let Some(m) = acc {
-            self.arena.node_mut(node).value = m;
-            self.counters.parent_updates += 1;
-            self.counters.parent_child_reads += reads;
-        }
     }
 
     /// Prunes the whole tree in one post-order pass (for maps built with
@@ -272,23 +89,11 @@ impl<V: LogOdds> OccupancyOctree<V> {
         if self.root == NIL {
             return 0;
         }
+        let root = self.root;
         let before = self.counters.prunes;
-        self.prune_recurs(self.root);
+        let mut ctx = self.walk_ctx();
+        prune_recurs(&mut ctx, root);
         self.counters.prunes - before
-    }
-
-    fn prune_recurs(&mut self, node: u32) {
-        let block = self.arena.node(node).block;
-        if block == NIL {
-            return;
-        }
-        let slots = self.arena.block(block).slots;
-        for &slot in &slots {
-            if slot != NIL && !self.arena.node(slot).is_leaf() {
-                self.prune_recurs(slot);
-            }
-        }
-        self.try_prune(node);
     }
 
     /// Recomputes every inner node's occupancy bottom-up (OctoMap
@@ -296,23 +101,49 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// the eager per-update parent refresh.
     pub fn update_inner_occupancy(&mut self) {
         if self.root != NIL {
-            self.inner_occupancy_recurs(self.root);
+            let root = self.root;
+            let mut ctx = self.walk_ctx();
+            inner_occupancy_recurs(&mut ctx, root);
         }
     }
+}
 
-    fn inner_occupancy_recurs(&mut self, node: u32) {
-        let block = self.arena.node(node).block;
-        if block == NIL {
-            return;
-        }
-        let slots = self.arena.block(block).slots;
-        for &slot in &slots {
-            if slot != NIL && !self.arena.node(slot).is_leaf() {
-                self.inner_occupancy_recurs(slot);
-            }
-        }
-        self.refresh_parent_value(node);
+fn prune_recurs<S, V, C>(ctx: &mut WalkCtx<'_, S, V, C>, node: u32)
+where
+    S: crate::arena::NodeStore<V>,
+    V: LogOdds,
+    C: ChangeLog,
+{
+    let block = ctx.store.node(node).block;
+    if block == NIL {
+        return;
     }
+    let slots = ctx.store.block(block).slots;
+    for &slot in &slots {
+        if slot != NIL && !ctx.store.node(slot).is_leaf() {
+            prune_recurs(ctx, slot);
+        }
+    }
+    ctx.try_prune(node);
+}
+
+fn inner_occupancy_recurs<S, V, C>(ctx: &mut WalkCtx<'_, S, V, C>, node: u32)
+where
+    S: crate::arena::NodeStore<V>,
+    V: LogOdds,
+    C: ChangeLog,
+{
+    let block = ctx.store.node(node).block;
+    if block == NIL {
+        return;
+    }
+    let slots = ctx.store.block(block).slots;
+    for &slot in &slots {
+        if slot != NIL && !ctx.store.node(slot).is_leaf() {
+            inner_occupancy_recurs(ctx, slot);
+        }
+    }
+    ctx.refresh_parent_value(node);
 }
 
 #[cfg(test)]

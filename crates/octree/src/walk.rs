@@ -1,0 +1,242 @@
+//! The storage-generic update walk: descent, expansion, leaf update,
+//! parent refresh and pruning, written once over [`NodeStore`] so that
+//! the same code drives the whole-tree scalar/batched paths (store =
+//! [`Arena`](crate::arena::Arena)) and the subtree-sharded parallel
+//! workers (store = [`ArenaShard`](crate::arena::ArenaShard), one branch
+//! owned per thread).
+//!
+//! Everything an update mutates besides node storage — operation
+//! counters, the change-detection log — is carried in the context, so a
+//! worker can run with thread-local instances that merge
+//! deterministically afterwards.
+
+use omu_geometry::{LogOdds, ResolvedParams, VoxelKey};
+use rustc_hash::FxHashSet;
+
+use crate::arena::NodeStore;
+use crate::counters::OpCounters;
+use crate::node::NIL;
+
+/// Sink for change-detection events. The tree proper uses the keyed set;
+/// shard workers log into a plain `Vec` that is merged into the set after
+/// the join (insertion is idempotent, so merge order is irrelevant).
+pub(crate) trait ChangeLog {
+    /// Records that `key`'s occupancy classification changed.
+    fn record(&mut self, key: VoxelKey);
+}
+
+impl ChangeLog for FxHashSet<VoxelKey> {
+    #[inline]
+    fn record(&mut self, key: VoxelKey) {
+        self.insert(key);
+    }
+}
+
+impl ChangeLog for Vec<VoxelKey> {
+    #[inline]
+    fn record(&mut self, key: VoxelKey) {
+        self.push(key);
+    }
+}
+
+/// Borrowed context for one sequence of update-walk operations.
+pub(crate) struct WalkCtx<'a, S, V: LogOdds, C: ChangeLog> {
+    pub store: &'a mut S,
+    pub resolved: ResolvedParams<V>,
+    pub pruning_enabled: bool,
+    pub counters: &'a mut OpCounters,
+    pub changed: Option<&'a mut C>,
+}
+
+impl<S: NodeStore<V>, V: LogOdds, C: ChangeLog> WalkCtx<'_, S, V, C> {
+    /// One level of descent towards `key`: returns the child at
+    /// `depth + 1` on the key's root path, creating or expanding as
+    /// OctoMap's `updateNodeRecurs` would.
+    ///
+    /// `just_created` must be true when `node` was freshly created during
+    /// the current descent (a fresh branch grows one child per level; a
+    /// pre-existing childless node is a pruned leaf that must expand into
+    /// all 8). The returned flag is the same property for the child.
+    #[inline]
+    pub fn step_down(
+        &mut self,
+        node: u32,
+        key: VoxelKey,
+        depth: u8,
+        just_created: bool,
+    ) -> (u32, bool) {
+        let pos = key.child_index_at(depth).index();
+        let mut child = self.store.child_of(node, pos);
+        let mut created = false;
+        if child == NIL {
+            if self.store.node(node).is_leaf() && !just_created {
+                // A pruned leaf covers this key: expand it so the update
+                // applies to the single target voxel only.
+                self.expand_node(node);
+                child = self.store.child_of(node, pos);
+            } else {
+                // Fresh branch: create just the requested child.
+                child = self.create_child(node, pos);
+                created = true;
+            }
+        }
+        self.counters.traverse_steps += 1;
+        (child, created)
+    }
+
+    /// Applies one clamped log-odds addition to a located leaf (eq. 2),
+    /// recording change detection, and returns the new value.
+    #[inline]
+    pub fn apply_leaf_delta(
+        &mut self,
+        node: u32,
+        key: VoxelKey,
+        delta: V,
+        just_created: bool,
+    ) -> V {
+        let (updated, old_value) = {
+            let n = self.store.node_mut(node);
+            let old = n.value;
+            n.value = n
+                .value
+                .add(delta)
+                .clamp_to(self.resolved.clamp_min, self.resolved.clamp_max);
+            (n.value, old)
+        };
+        self.counters.leaf_updates += 1;
+
+        // Change detection: record newly observed voxels and
+        // occupied↔free classification flips.
+        if let Some(changed) = &mut self.changed {
+            let flipped = just_created
+                || self.resolved.classify(old_value) != self.resolved.classify(updated);
+            if flipped {
+                changed.record(key);
+            }
+        }
+        updated
+    }
+
+    /// Finishes an inner node after updates below it: prune when enabled
+    /// and collapsible, otherwise refresh the value to the max over
+    /// children. Returns `Some(value)` when the node was pruned.
+    ///
+    /// The scalar path calls this for every path node after every update;
+    /// the batch engines defer it to once per touched node (see
+    /// [`apply_update_batch`](crate::tree::OccupancyOctree::apply_update_batch)).
+    #[inline]
+    pub fn finish_node(&mut self, node: u32) -> Option<V> {
+        if self.pruning_enabled && self.try_prune(node) {
+            Some(self.store.node(node).value)
+        } else {
+            self.refresh_parent_value(node);
+            None
+        }
+    }
+
+    /// Expands a pruned leaf into 8 children carrying the parent's value
+    /// (OctoMap `expandNode`).
+    pub fn expand_node(&mut self, node: u32) {
+        debug_assert!(self.store.node(node).is_leaf(), "expanding an inner node");
+        let value = self.store.node(node).value;
+        let block = self.store.alloc_block_for(node);
+        for pos in 0..8 {
+            let child = self.store.alloc_child_node(node, pos, value);
+            self.store.block_mut(block).slots[pos] = child;
+        }
+        self.store.node_mut(node).block = block;
+        self.counters.expands += 1;
+        self.counters.node_creations += 8;
+    }
+
+    /// Creates a single child (log-odds 0, "just created") under `node`.
+    fn create_child(&mut self, node: u32, pos: usize) -> u32 {
+        let block = {
+            let b = self.store.node(node).block;
+            if b == NIL {
+                let b = self.store.alloc_block_for(node);
+                self.store.node_mut(node).block = b;
+                b
+            } else {
+                b
+            }
+        };
+        let child = self.store.alloc_child_node(node, pos, V::ZERO);
+        self.store.block_mut(block).slots[pos] = child;
+        self.counters.node_creations += 1;
+        child
+    }
+
+    /// Attempts to prune `node` (OctoMap `pruneNode`): succeeds when all 8
+    /// children exist, none has children of its own, and all hold the same
+    /// value. On success the children are deleted and `node` becomes a leaf
+    /// carrying their common value.
+    ///
+    /// Returns `true` when the node was pruned.
+    pub fn try_prune(&mut self, node: u32) -> bool {
+        self.counters.prune_checks += 1;
+        let block = self.store.node(node).block;
+        if block == NIL {
+            return false;
+        }
+
+        let slots = self.store.block(block).slots;
+        let first = slots[0];
+        if first == NIL {
+            return false;
+        }
+        self.counters.prune_child_reads += 1;
+        let first_node = *self.store.node(first);
+        if !first_node.is_leaf() {
+            return false;
+        }
+        for &slot in &slots[1..] {
+            if slot == NIL {
+                return false;
+            }
+            self.counters.prune_child_reads += 1;
+            let child = self.store.node(slot);
+            if !child.is_leaf() || child.value != first_node.value {
+                return false;
+            }
+        }
+
+        // Collapsible: delete the 8 children and take over their value.
+        for &slot in &slots {
+            self.store.free_node(slot);
+        }
+        self.store.free_block(block);
+        let n = self.store.node_mut(node);
+        n.block = NIL;
+        n.value = first_node.value;
+        self.counters.prunes += 1;
+        true
+    }
+
+    /// Recomputes an inner node's value as the maximum over its existing
+    /// children (OctoMap `updateOccupancyChildren`).
+    pub fn refresh_parent_value(&mut self, node: u32) {
+        let block = self.store.node(node).block;
+        if block == NIL {
+            return;
+        }
+        let slots = self.store.block(block).slots;
+        let mut acc: Option<V> = None;
+        let mut reads = 0;
+        for &slot in &slots {
+            if slot != NIL {
+                reads += 1;
+                let v = self.store.node(slot).value;
+                acc = Some(match acc {
+                    Some(a) => V::max_of(a, v),
+                    None => v,
+                });
+            }
+        }
+        if let Some(m) = acc {
+            self.store.node_mut(node).value = m;
+            self.counters.parent_updates += 1;
+            self.counters.parent_child_reads += reads;
+        }
+    }
+}

@@ -147,17 +147,43 @@ impl ScanIntegrator {
     /// Returns [`KeyError`] only when the *scan origin* cannot be addressed;
     /// out-of-map endpoints are skipped and counted in
     /// [`IntegrationStats::discarded_points`].
-    pub fn integrate<F>(&mut self, scan: &Scan, mut apply: F) -> Result<IntegrationStats, KeyError>
+    pub fn integrate<F>(&mut self, scan: &Scan, apply: F) -> Result<IntegrationStats, KeyError>
+    where
+        F: FnMut(VoxelUpdate),
+    {
+        self.integrate_points(scan.origin, scan.cloud.points(), apply)
+    }
+
+    /// The borrow-based form of [`Self::integrate`]: casts one ray from
+    /// `origin` to every point of `points`, with no `Scan`/`PointCloud`
+    /// wrapper required. This is what the persistent
+    /// [`ScanPipeline`](crate::ScanPipeline) shards call, so a caller that
+    /// already holds a point slice integrates with zero per-call cloud
+    /// copies.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::integrate`].
+    pub fn integrate_points<F>(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        mut apply: F,
+    ) -> Result<IntegrationStats, KeyError>
     where
         F: FnMut(VoxelUpdate),
     {
         // Validate the origin once up front: a bad origin poisons all rays.
-        self.conv.coord_to_key(scan.origin)?;
+        self.conv.coord_to_key(origin)?;
 
         let mut stats = IntegrationStats::default();
         match self.mode {
-            IntegrationMode::Raywise => self.integrate_raywise(scan, &mut stats, &mut apply),
-            IntegrationMode::DedupPerScan => self.integrate_dedup(scan, &mut stats, &mut apply),
+            IntegrationMode::Raywise => {
+                self.integrate_raywise(origin, points, &mut stats, &mut apply)
+            }
+            IntegrationMode::DedupPerScan => {
+                self.integrate_dedup(origin, points, &mut stats, &mut apply)
+            }
         }
         Ok(stats)
     }
@@ -175,6 +201,20 @@ impl ScanIntegrator {
         out: &mut Vec<VoxelUpdate>,
     ) -> Result<IntegrationStats, KeyError> {
         self.integrate(scan, |u| out.push(u))
+    }
+
+    /// [`Self::integrate_points`] appending every update to `out`.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::integrate`].
+    pub fn integrate_points_into(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        out: &mut Vec<VoxelUpdate>,
+    ) -> Result<IntegrationStats, KeyError> {
+        self.integrate_points(origin, points, |u| out.push(u))
     }
 
     /// Computes the effective endpoint of a ray under the range limit.
@@ -195,17 +235,22 @@ impl ScanIntegrator {
         }
     }
 
-    fn integrate_raywise<F>(&mut self, scan: &Scan, stats: &mut IntegrationStats, apply: &mut F)
-    where
+    fn integrate_raywise<F>(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        stats: &mut IntegrationStats,
+        apply: &mut F,
+    ) where
         F: FnMut(VoxelUpdate),
     {
-        for &p in &scan.cloud {
-            let (end, truncated) = self.effective_endpoint(scan.origin, p);
+        for &p in points {
+            let (end, truncated) = self.effective_endpoint(origin, p);
             let Ok(end_key) = self.conv.coord_to_key(end) else {
                 stats.discarded_points += 1;
                 continue;
             };
-            let steps = match compute_ray_keys(&self.conv, scan.origin, end, &mut self.keyray) {
+            let steps = match compute_ray_keys(&self.conv, origin, end, &mut self.keyray) {
                 Ok(s) => s,
                 Err(_) => {
                     stats.discarded_points += 1;
@@ -230,20 +275,25 @@ impl ScanIntegrator {
         }
     }
 
-    fn integrate_dedup<F>(&mut self, scan: &Scan, stats: &mut IntegrationStats, apply: &mut F)
-    where
+    fn integrate_dedup<F>(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        stats: &mut IntegrationStats,
+        apply: &mut F,
+    ) where
         F: FnMut(VoxelUpdate),
     {
         self.free_set.clear();
         self.occupied_set.clear();
 
-        for &p in &scan.cloud {
-            let (end, truncated) = self.effective_endpoint(scan.origin, p);
+        for &p in points {
+            let (end, truncated) = self.effective_endpoint(origin, p);
             let Ok(end_key) = self.conv.coord_to_key(end) else {
                 stats.discarded_points += 1;
                 continue;
             };
-            let steps = match compute_ray_keys(&self.conv, scan.origin, end, &mut self.keyray) {
+            let steps = match compute_ray_keys(&self.conv, origin, end, &mut self.keyray) {
                 Ok(s) => s,
                 Err(_) => {
                     stats.discarded_points += 1;

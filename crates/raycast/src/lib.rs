@@ -16,10 +16,13 @@
 //!   the paper's raywise mode (no overlap dedup — what the OMU hardware
 //!   executes and what Table II counts as "voxel updates") and OctoMap's
 //!   software dedup mode.
-//! - [`ParallelScanIntegrator`] — the same integration fanned out over
-//!   threads in contiguous ray shards whose update streams merge back
-//!   deterministically; the front end of the octree's batched update
-//!   engine.
+//! - [`ScanPipeline`] — the persistent form of that fan-out: constructed
+//!   once, it owns per-shard integrators and update buffers and integrates
+//!   straight from a borrowed `(origin, &[Point3])` with zero per-call
+//!   point-cloud copies; the front end of the octree's batched and
+//!   subtree-sharded update engines.
+//! - [`ParallelScanIntegrator`] — the stateless one-shot wrapper around a
+//!   pipeline, kept for callers that cannot hold mutable state.
 //!
 //! # Examples
 //!
@@ -43,8 +46,10 @@ mod dda;
 mod integrate;
 mod keyray;
 mod parallel;
+mod pipeline;
 
 pub use dda::{compute_ray_keys, RayWalk};
 pub use integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
 pub use keyray::KeyRay;
 pub use parallel::ParallelScanIntegrator;
+pub use pipeline::ScanPipeline;

@@ -7,15 +7,16 @@
 //! a private [`ScanIntegrator`] over it, and the merged stream feeds the
 //! octree's Morton-sorted batch engine.
 //!
-//! The build environment vendors no `rayon`, so sharding uses
-//! `std::thread::scope` directly — the fan-out/merge structure is the
-//! same, without work stealing (uniform rays make static chunking a good
-//! fit anyway).
+//! This type is the *stateless* (`&self`) form: each call stands up a
+//! one-shot [`ScanPipeline`] and discards it. Callers that can hold
+//! mutable state should use [`ScanPipeline`] directly — it keeps the
+//! shard integrators and buffers alive across scans and skips the
+//! per-call setup entirely.
 
-use omu_geometry::{KeyConverter, KeyError, PointCloud, Scan, VoxelKey};
-use rustc_hash::FxHashSet;
+use omu_geometry::{KeyConverter, KeyError, Scan};
 
-use crate::integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+use crate::integrate::{IntegrationMode, IntegrationStats, VoxelUpdate};
+use crate::pipeline::ScanPipeline;
 
 /// Fans a scan's rays out over threads and merges the per-shard update
 /// streams into one batch.
@@ -77,11 +78,7 @@ impl ParallelScanIntegrator {
     /// Resolves a requested shard count: `0` means one shard per
     /// available CPU.
     pub fn resolve_shards(requested: usize) -> usize {
-        if requested == 0 {
-            std::thread::available_parallelism().map_or(4, |n| n.get())
-        } else {
-            requested
-        }
+        ScanPipeline::resolve_shards(requested)
     }
 
     /// The key converter in use.
@@ -116,91 +113,16 @@ impl ParallelScanIntegrator {
         scan: &Scan,
         out: &mut Vec<VoxelUpdate>,
     ) -> Result<IntegrationStats, KeyError> {
-        self.conv.coord_to_key(scan.origin)?;
-
-        let points = scan.cloud.points();
-        if points.is_empty() {
-            return Ok(IntegrationStats::default());
-        }
-        let chunk = points.len().div_ceil(self.shards);
-
-        // Every shard runs the sequential integrator in Raywise mode over
-        // its contiguous ray range; dedup (when requested) happens after
-        // the merge so it stays scan-global.
-        let shard_results: Vec<(Vec<VoxelUpdate>, IntegrationStats)> =
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = points
-                    .chunks(chunk)
-                    .map(|slice| {
-                        scope.spawn(move || {
-                            let sub = Scan::new(
-                                scan.origin,
-                                slice.iter().copied().collect::<PointCloud>(),
-                            );
-                            let mut integrator = ScanIntegrator::new(
-                                self.conv,
-                                self.max_range,
-                                IntegrationMode::Raywise,
-                            );
-                            let mut updates = Vec::new();
-                            let stats = integrator
-                                .integrate_into(&sub, &mut updates)
-                                .expect("origin validated above");
-                            (updates, stats)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("shard thread"))
-                    .collect()
-            });
-
-        let mut stats = IntegrationStats::default();
-        match self.mode {
-            IntegrationMode::Raywise => {
-                for (updates, shard_stats) in &shard_results {
-                    out.extend_from_slice(updates);
-                    stats.merge(shard_stats);
-                }
-            }
-            IntegrationMode::DedupPerScan => {
-                let mut free: FxHashSet<VoxelKey> = FxHashSet::default();
-                let mut occupied: FxHashSet<VoxelKey> = FxHashSet::default();
-                for (updates, shard_stats) in &shard_results {
-                    stats.merge(shard_stats);
-                    for u in updates {
-                        if u.hit {
-                            occupied.insert(u.key);
-                        } else {
-                            free.insert(u.key);
-                        }
-                    }
-                }
-                // Re-express the raywise counts as post-dedup counts, with
-                // occupied winning over free (OctoMap semantics).
-                stats.free_updates = 0;
-                stats.occupied_updates = 0;
-                for &k in &free {
-                    if !occupied.contains(&k) {
-                        out.push(VoxelUpdate { key: k, hit: false });
-                        stats.free_updates += 1;
-                    }
-                }
-                for &k in &occupied {
-                    out.push(VoxelUpdate { key: k, hit: true });
-                    stats.occupied_updates += 1;
-                }
-            }
-        }
-        Ok(stats)
+        let mut pipeline = ScanPipeline::new(self.conv, self.max_range, self.mode, self.shards);
+        pipeline.integrate_scan_into(scan, out)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use omu_geometry::Point3;
+    use crate::integrate::ScanIntegrator;
+    use omu_geometry::{Point3, PointCloud};
 
     fn ring_scan(points: usize) -> Scan {
         Scan::new(

@@ -1,0 +1,362 @@
+//! The persistent scan-integration pipeline: construct once, reuse for
+//! every scan.
+//!
+//! [`ParallelScanIntegrator`](crate::ParallelScanIntegrator) proved the
+//! fan-out/merge shape but paid for it per call: a fresh
+//! `Scan`/`PointCloud` copy per shard, a fresh [`ScanIntegrator`] (key-ray
+//! buffer, dedup sets) per shard, and a fresh output `Vec` per shard.
+//! `ScanPipeline` owns all of that state across calls — persistent shard
+//! integrators and reusable per-shard update buffers — and integrates
+//! straight from a borrowed `(origin, &[Point3])`, so a steady-state scan
+//! performs **zero per-call point-cloud copies** and no steady-state
+//! allocation. This is the front end the octree's parallel insertion path
+//! and the subtree-sharded batch apply are fed from.
+//!
+//! The build environment vendors no `rayon`, so the fan-out uses
+//! `std::thread::scope` (uniform rays make static chunking a good fit);
+//! on a 1-CPU host a single-shard pipeline degenerates to an inline call
+//! with no thread spawn at all.
+
+use omu_geometry::{KeyConverter, KeyError, Point3, Scan, VoxelKey};
+use rustc_hash::FxHashSet;
+
+use crate::integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+
+/// A persistent, shard-parallel scan integrator (see the module docs).
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3};
+/// use omu_raycast::{IntegrationMode, ScanPipeline};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let conv = KeyConverter::new(0.1)?;
+/// let mut pipeline = ScanPipeline::new(conv, Some(5.0), IntegrationMode::Raywise, 4);
+/// let points = [Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0)];
+/// let mut updates = Vec::new();
+/// let stats = pipeline.integrate_into(Point3::ZERO, &points, &mut updates)?;
+/// assert_eq!(stats.rays, 2);
+/// assert_eq!(updates.len() as u64, stats.total_updates());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScanPipeline {
+    conv: KeyConverter,
+    max_range: Option<f64>,
+    mode: IntegrationMode,
+    /// One persistent sequential integrator per shard (each runs Raywise
+    /// internally; dedup happens scan-globally after the merge).
+    workers: Vec<ScanIntegrator>,
+    /// Reusable per-shard update buffers.
+    buffers: Vec<Vec<VoxelUpdate>>,
+    /// Persistent dedup sets for [`IntegrationMode::DedupPerScan`].
+    free_set: FxHashSet<VoxelKey>,
+    occupied_set: FxHashSet<VoxelKey>,
+}
+
+impl ScanPipeline {
+    /// Creates a pipeline fanning ray casting out over `shards` threads
+    /// (`0` = one shard per available CPU).
+    pub fn new(
+        conv: KeyConverter,
+        max_range: Option<f64>,
+        mode: IntegrationMode,
+        shards: usize,
+    ) -> Self {
+        let shards = Self::resolve_shards(shards);
+        ScanPipeline {
+            conv,
+            max_range,
+            mode,
+            workers: (0..shards)
+                .map(|_| ScanIntegrator::new(conv, max_range, IntegrationMode::Raywise))
+                .collect(),
+            buffers: (0..shards).map(|_| Vec::new()).collect(),
+            free_set: FxHashSet::default(),
+            occupied_set: FxHashSet::default(),
+        }
+    }
+
+    /// Resolves a requested shard count: `0` means one shard per
+    /// available CPU.
+    pub fn resolve_shards(requested: usize) -> usize {
+        if requested == 0 {
+            std::thread::available_parallelism().map_or(4, |n| n.get())
+        } else {
+            requested
+        }
+    }
+
+    /// The key converter in use.
+    pub fn converter(&self) -> &KeyConverter {
+        &self.conv
+    }
+
+    /// The integration mode in use.
+    pub fn mode(&self) -> IntegrationMode {
+        self.mode
+    }
+
+    /// The configured maximum sensor range.
+    pub fn max_range(&self) -> Option<f64> {
+        self.max_range
+    }
+
+    /// Number of shards rays are split into.
+    pub fn shards(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Integrates one scan directly from a borrowed origin and point
+    /// slice, appending every voxel update to `out`.
+    ///
+    /// In [`IntegrationMode::Raywise`] the merged stream is byte-for-byte
+    /// the sequential [`ScanIntegrator`] stream (shards are contiguous ray
+    /// ranges, joined in order). In [`IntegrationMode::DedupPerScan`] the
+    /// per-shard key sets are unioned before emission, so dedup stays
+    /// *global* to the scan exactly like the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when `origin` cannot be addressed, like the
+    /// sequential integrator.
+    pub fn integrate_into(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        out: &mut Vec<VoxelUpdate>,
+    ) -> Result<IntegrationStats, KeyError> {
+        self.conv.coord_to_key(origin)?;
+        if points.is_empty() {
+            return Ok(IntegrationStats::default());
+        }
+
+        let chunk = points.len().div_ceil(self.workers.len());
+        let lanes: Vec<(&mut ScanIntegrator, &mut Vec<VoxelUpdate>, &[Point3])> = self
+            .workers
+            .iter_mut()
+            .zip(self.buffers.iter_mut())
+            .zip(points.chunks(chunk))
+            .map(|((w, b), p)| (w, b, p))
+            .collect();
+
+        let shard_stats: Vec<IntegrationStats> = if lanes.len() == 1 {
+            // Single shard: run inline, no thread spawn.
+            lanes
+                .into_iter()
+                .map(|(worker, buffer, slice)| {
+                    buffer.clear();
+                    worker
+                        .integrate_points_into(origin, slice, buffer)
+                        .expect("origin validated above")
+                })
+                .collect()
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = lanes
+                    .into_iter()
+                    .map(|(worker, buffer, slice)| {
+                        scope.spawn(move || {
+                            buffer.clear();
+                            worker
+                                .integrate_points_into(origin, slice, buffer)
+                                .expect("origin validated above")
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("pipeline shard thread"))
+                    .collect()
+            })
+        };
+
+        let mut stats = IntegrationStats::default();
+        match self.mode {
+            IntegrationMode::Raywise => {
+                for (buffer, shard) in self.buffers.iter().zip(&shard_stats) {
+                    out.extend_from_slice(buffer);
+                    stats.merge(shard);
+                }
+            }
+            IntegrationMode::DedupPerScan => {
+                self.free_set.clear();
+                self.occupied_set.clear();
+                for (buffer, shard) in self.buffers.iter().zip(&shard_stats) {
+                    stats.merge(shard);
+                    for u in buffer {
+                        if u.hit {
+                            self.occupied_set.insert(u.key);
+                        } else {
+                            self.free_set.insert(u.key);
+                        }
+                    }
+                }
+                // Re-express the raywise counts as post-dedup counts, with
+                // occupied winning over free (OctoMap semantics).
+                stats.free_updates = 0;
+                stats.occupied_updates = 0;
+                for &k in &self.free_set {
+                    if !self.occupied_set.contains(&k) {
+                        out.push(VoxelUpdate { key: k, hit: false });
+                        stats.free_updates += 1;
+                    }
+                }
+                for &k in &self.occupied_set {
+                    out.push(VoxelUpdate { key: k, hit: true });
+                    stats.occupied_updates += 1;
+                }
+            }
+        }
+        Ok(stats)
+    }
+
+    /// [`Self::integrate_into`] for callers that already hold a [`Scan`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::integrate_into`].
+    pub fn integrate_scan_into(
+        &mut self,
+        scan: &Scan,
+        out: &mut Vec<VoxelUpdate>,
+    ) -> Result<IntegrationStats, KeyError> {
+        self.integrate_into(scan.origin, scan.cloud.points(), out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use omu_geometry::PointCloud;
+
+    fn ring_points(n: usize) -> Vec<Point3> {
+        (0..n)
+            .map(|i| {
+                let a = i as f64 * 0.13;
+                Point3::new(3.0 * a.cos(), 3.0 * a.sin(), ((i % 5) as f64 - 2.0) * 0.3)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_matches_sequential_stream_exactly() {
+        let points = ring_points(64);
+        let origin = Point3::new(0.01, 0.01, 0.01);
+        let conv = KeyConverter::new(0.1).unwrap();
+
+        let mut sequential = ScanIntegrator::new(conv, Some(5.0), IntegrationMode::Raywise);
+        let mut seq_updates = Vec::new();
+        let seq_stats = sequential
+            .integrate_points_into(origin, &points, &mut seq_updates)
+            .unwrap();
+
+        for shards in [1, 2, 3, 8] {
+            let mut pipeline = ScanPipeline::new(conv, Some(5.0), IntegrationMode::Raywise, shards);
+            let mut updates = Vec::new();
+            let stats = pipeline
+                .integrate_into(origin, &points, &mut updates)
+                .unwrap();
+            assert_eq!(updates, seq_updates, "shards={shards}");
+            assert_eq!(stats, seq_stats, "shards={shards}");
+        }
+    }
+
+    #[test]
+    fn pipeline_is_reusable_across_scans() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let mut pipeline = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 3);
+        let origin = Point3::ZERO;
+        let mut reference = ScanIntegrator::new(conv, None, IntegrationMode::Raywise);
+        for n in [10, 40, 7] {
+            let points = ring_points(n);
+            let mut updates = Vec::new();
+            let stats = pipeline
+                .integrate_into(origin, &points, &mut updates)
+                .unwrap();
+            let mut expected = Vec::new();
+            let expected_stats = reference
+                .integrate_points_into(origin, &points, &mut expected)
+                .unwrap();
+            assert_eq!(updates, expected, "scan of {n} points");
+            assert_eq!(stats, expected_stats);
+        }
+    }
+
+    #[test]
+    fn dedup_pipeline_matches_sequential_sets() {
+        let points = ring_points(48);
+        let origin = Point3::new(0.01, 0.01, 0.01);
+        let conv = KeyConverter::new(0.1).unwrap();
+
+        let mut sequential = ScanIntegrator::new(conv, None, IntegrationMode::DedupPerScan);
+        let mut seq_updates = Vec::new();
+        let seq_stats = sequential
+            .integrate_points_into(origin, &points, &mut seq_updates)
+            .unwrap();
+
+        let mut pipeline = ScanPipeline::new(conv, None, IntegrationMode::DedupPerScan, 4);
+        let mut updates = Vec::new();
+        let stats = pipeline
+            .integrate_into(origin, &points, &mut updates)
+            .unwrap();
+
+        // Emission order is set-dependent; compare as sorted multisets.
+        let canon = |mut v: Vec<VoxelUpdate>| {
+            v.sort_unstable_by_key(|u| (u.key, u.hit));
+            v
+        };
+        assert_eq!(canon(updates), canon(seq_updates));
+        assert_eq!(stats.free_updates, seq_stats.free_updates);
+        assert_eq!(stats.occupied_updates, seq_stats.occupied_updates);
+        assert_eq!(stats.rays, seq_stats.rays);
+        assert_eq!(stats.dda_steps, seq_stats.dda_steps);
+    }
+
+    #[test]
+    fn scan_form_delegates_to_borrowed_form() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let points = ring_points(16);
+        let scan = Scan::new(Point3::ZERO, points.iter().copied().collect::<PointCloud>());
+        let mut pipeline = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 2);
+        let mut a = Vec::new();
+        let sa = pipeline.integrate_scan_into(&scan, &mut a).unwrap();
+        let mut b = Vec::new();
+        let sb = pipeline
+            .integrate_into(Point3::ZERO, &points, &mut b)
+            .unwrap();
+        assert_eq!(a, b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn empty_scan_is_a_noop() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let mut pipeline = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 4);
+        let mut updates = Vec::new();
+        let stats = pipeline
+            .integrate_into(Point3::ZERO, &[], &mut updates)
+            .unwrap();
+        assert_eq!(stats, IntegrationStats::default());
+        assert!(updates.is_empty());
+    }
+
+    #[test]
+    fn bad_origin_is_an_error() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let far = conv.map_half_extent() + 10.0;
+        let mut pipeline = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 2);
+        assert!(pipeline
+            .integrate_into(Point3::new(far, 0.0, 0.0), &[Point3::ZERO], &mut Vec::new())
+            .is_err());
+    }
+
+    #[test]
+    fn zero_shards_resolves_to_cpu_count() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let pipeline = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 0);
+        assert!(pipeline.shards() >= 1);
+    }
+}

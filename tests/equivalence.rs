@@ -218,6 +218,158 @@ proptest! {
     }
 }
 
+/// Inserts `scans` through the scalar per-update path and through the
+/// subtree-sharded end-to-end pipeline (`ScanPipeline` front end +
+/// `apply_update_batch_parallel`) at a given shard count, and demands
+/// bit-identical trees.
+fn assert_sharded_equivalence<V: omu::geometry::LogOdds>(
+    scans: &[Scan],
+    pruning: bool,
+    mode: IntegrationMode,
+    shards: usize,
+    resolution: f64,
+) {
+    let make = || {
+        let mut t: OccupancyOctree<V> = OccupancyOctree::new(resolution).unwrap();
+        t.set_pruning_enabled(pruning);
+        t.set_integration_mode(mode);
+        t.set_max_range(Some(6.0));
+        t.set_change_detection(true);
+        t
+    };
+    let mut scalar = make();
+    let mut sharded = make();
+    for scan in scans {
+        let a = scalar.insert_scan(scan).unwrap();
+        let b = sharded.insert_scan_parallel(scan, shards).unwrap();
+        assert_eq!(a.total_updates(), b.total_updates());
+    }
+    assert_eq!(
+        scalar.snapshot(),
+        sharded.snapshot(),
+        "sharded apply diverged (pruning={pruning}, mode={mode:?}, shards={shards})"
+    );
+    assert_eq!(scalar.num_nodes(), sharded.num_nodes());
+    let canon = |t: &OccupancyOctree<V>| {
+        let mut v: Vec<_> = t.changed_keys().copied().collect();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(canon(&scalar), canon(&sharded));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    // The sharded parallel engine's contract: bit-identical to scalar
+    // `update_key` across pruning on/off, both integration modes, and
+    // 1/2/4/8 worker shards, in both value representations. The random
+    // scans cross the map origin, so their update batches straddle
+    // first-level branch boundaries (all 8 octants receive work).
+    #[test]
+    fn sharded_parallel_is_bit_identical_to_scalar(
+        seed in any::<u64>(),
+        nscans in 2usize..4,
+        points in 20usize..50,
+    ) {
+        let scans = random_scans(seed, nscans, points);
+        // Sweep shard counts deterministically from the seed so every
+        // failure reproduces from the proptest case alone.
+        let shards = [1usize, 2, 4, 8][(seed % 4) as usize];
+        for pruning in [true, false] {
+            for mode in [IntegrationMode::Raywise, IntegrationMode::DedupPerScan] {
+                assert_sharded_equivalence::<f32>(&scans, pruning, mode, shards, 0.1);
+                assert_sharded_equivalence::<omu::geometry::FixedLogOdds>(
+                    &scans, pruning, mode, shards, 0.1,
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_parallel_handles_single_branch_batches() {
+    // Every point (and the origin) in the strictly positive octant:
+    // every voxel key has its top bit set on all axes, so the whole
+    // batch lands in first-level branch 7 — the degenerate one-run case
+    // for the sharded walk, at every shard count.
+    let mut rng = StdRng::seed_from_u64(41);
+    let scans: Vec<Scan> = (0..3)
+        .map(|_| {
+            let origin = Point3::new(
+                rng.random_range(0.1..0.4),
+                rng.random_range(0.1..0.4),
+                rng.random_range(0.1..0.4),
+            );
+            let cloud: PointCloud = (0..40)
+                .map(|_| {
+                    Point3::new(
+                        rng.random_range(0.5..4.0),
+                        rng.random_range(0.5..4.0),
+                        rng.random_range(0.5..4.0),
+                    )
+                })
+                .collect();
+            Scan::new(origin, cloud)
+        })
+        .collect();
+    for shards in [1, 2, 4, 8] {
+        assert_sharded_equivalence::<f32>(&scans, true, IntegrationMode::Raywise, shards, 0.1);
+    }
+}
+
+#[test]
+fn sharded_parallel_handles_branch_straddling_batches() {
+    // Rays fanning out from the exact map origin cross into every
+    // octant, so each scan's batch splits into runs for all 8 branches.
+    let points: Vec<Point3> = (0..64)
+        .map(|i| {
+            let a = i as f64 * 0.098;
+            let z = ((i % 9) as f64 - 4.0) * 0.5;
+            Point3::new(3.0 * a.cos(), 3.0 * a.sin(), z)
+        })
+        .collect();
+    let scans = vec![
+        Scan::new(
+            Point3::new(0.01, 0.01, 0.01),
+            points.iter().copied().collect::<PointCloud>(),
+        ),
+        Scan::new(
+            Point3::new(-0.01, -0.01, -0.01),
+            points.into_iter().collect::<PointCloud>(),
+        ),
+    ];
+    for shards in [1, 2, 4, 8] {
+        for pruning in [true, false] {
+            assert_sharded_equivalence::<f32>(
+                &scans,
+                pruning,
+                IntegrationMode::Raywise,
+                shards,
+                0.1,
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_accelerator_engine_matches_scalar_on_dataset() {
+    let dataset = DatasetKind::Fr079Corridor.build_scaled(0.016);
+    let config = config_for(DatasetKind::Fr079Corridor);
+    let (scalar, s1) = omu::accel::run_accelerator(config.clone(), dataset.scans()).unwrap();
+    let (sharded, s2) = omu::accel::run_accelerator_with_engine(
+        config,
+        dataset.scans(),
+        UpdateEngine::ShardedParallel,
+    )
+    .unwrap();
+    assert_eq!(scalar.snapshot(), sharded.snapshot());
+    assert_eq!(s1.voxel_updates, s2.voxel_updates);
+    // One contiguous run per PE per scan at most.
+    assert!(sharded.morton_runs() > 0);
+    assert!(sharded.morton_runs() <= s2.scans * 8);
+}
+
 #[test]
 fn accelerator_batched_engine_matches_scalar_on_dataset() {
     let dataset = DatasetKind::Fr079Corridor.build_scaled(0.016);
