@@ -5,15 +5,17 @@
 //! - `--scale X` — run `X` fraction of each dataset's scans (results are
 //!   linearly extrapolated to full-dataset estimates);
 //! - `--full` — run every scan (equivalent to `--scale 1`);
-//! - `--engine {scalar,batched,parallel}` — which update engine drives
-//!   both the software baseline and the accelerator model (default
-//!   `batched`; `scalar` reproduces the paper's stock-OctoMap shape);
+//! - `--engine {scalar,batched,parallel,sharded[:N]}` — which update
+//!   engine drives both the software baseline and the accelerator model
+//!   (default `batched`; `scalar` reproduces the paper's stock-OctoMap
+//!   shape). Engine parsing lives in [`omu_map::Engine`], the same value
+//!   the `omu::map` facade dispatches on;
 //! - the `OMU_SCALE` environment variable as a default scale.
 //!
 //! Without any of these, per-dataset default scales keep the whole
 //! `repro_all` run in the minutes range.
 
-use omu_core::UpdateEngine;
+use omu_map::Engine;
 
 /// Options shared by the reproduction binaries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -21,14 +23,14 @@ pub struct RunOptions {
     /// Scan-count scale override (`None` = per-dataset defaults).
     pub scale: Option<f64>,
     /// Update engine for baseline and accelerator runs.
-    pub engine: UpdateEngine,
+    pub engine: Engine,
 }
 
 impl Default for RunOptions {
     fn default() -> Self {
         RunOptions {
             scale: None,
-            engine: UpdateEngine::MortonBatched,
+            engine: Engine::Batched,
         }
     }
 }
@@ -54,7 +56,7 @@ impl RunOptions {
             s.parse::<f64>()
                 .unwrap_or_else(|_| panic!("OMU_SCALE must be a number, got {s:?}"))
         });
-        let mut engine = UpdateEngine::MortonBatched;
+        let mut engine = Engine::Batched;
         let mut it = args.into_iter();
         while let Some(arg) = it.next() {
             match arg.as_str() {
@@ -68,9 +70,7 @@ impl RunOptions {
                 }
                 "--engine" => {
                     let v = it.next().expect("--engine requires a value");
-                    engine = UpdateEngine::from_flag(&v).unwrap_or_else(|bad| {
-                        panic!("--engine must be scalar, batched or parallel, got {bad:?}")
-                    });
+                    engine = v.parse::<Engine>().unwrap_or_else(|e| panic!("{e}"));
                 }
                 other => {
                     panic!("unknown argument {other:?} (expected --scale X, --full or --engine E)")
@@ -92,7 +92,7 @@ mod tests {
     fn default_is_none_scale_and_batched_engine() {
         let o = RunOptions::parse(std::iter::empty(), None);
         assert_eq!(o.scale, None);
-        assert_eq!(o.engine, UpdateEngine::MortonBatched);
+        assert_eq!(o.engine, Engine::Batched);
     }
 
     #[test]
@@ -104,9 +104,11 @@ mod tests {
     #[test]
     fn engine_flag_parses_all_variants() {
         for (flag, engine) in [
-            ("scalar", UpdateEngine::Scalar),
-            ("batched", UpdateEngine::MortonBatched),
-            ("parallel", UpdateEngine::ShardedParallel),
+            ("scalar", Engine::Scalar),
+            ("batched", Engine::Batched),
+            ("parallel", Engine::Parallel),
+            ("sharded", Engine::Sharded { shards: 8 }),
+            ("sharded:4", Engine::Sharded { shards: 4 }),
         ] {
             let o = RunOptions::parse(["--engine".to_owned(), flag.to_owned()], None);
             assert_eq!(o.engine, engine, "--engine {flag}");
@@ -132,7 +134,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "--engine must be")]
+    #[should_panic(expected = "unknown engine")]
     fn unknown_engine_rejected() {
         let _ = RunOptions::parse(["--engine".to_owned(), "hyper".to_owned()], None);
     }

@@ -20,7 +20,7 @@ fn main() {
     println!(
         "bank-parallelism ablation on {} (scale {scale}, {} engine):",
         kind.name(),
-        opts.engine.flag_name()
+        opts.engine
     );
     let mut t = TextTable::new(["banks", "row-read cycles", "latency (s)", "slowdown vs 8"]);
     let mut batch8 = None;
@@ -39,7 +39,9 @@ fn main() {
             .timing(timing)
             .build()
             .unwrap();
-        let (_, s) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
+        let (_, s) =
+            run_accelerator_with_engine(config, dataset.scans(), opts.engine.update_engine())
+                .unwrap();
         let base = *batch8.get_or_insert(s.latency_s);
         t.row([
             banks.to_string(),

@@ -18,7 +18,7 @@ fn main() {
     println!(
         "PE-count ablation on {} (scale {scale}, {} engine):",
         kind.name(),
-        opts.engine.flag_name()
+        opts.engine
     );
     let mut t = TextTable::new([
         "PEs",
@@ -37,7 +37,9 @@ fn main() {
             .max_range(Some(spec.max_range))
             .build()
             .unwrap();
-        let (_, s) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
+        let (_, s) =
+            run_accelerator_with_engine(config, dataset.scans(), opts.engine.update_engine())
+                .unwrap();
         let base = *base_latency.get_or_insert(s.latency_s);
         t.row([
             num_pes.to_string(),

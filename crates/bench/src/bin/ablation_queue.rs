@@ -21,7 +21,7 @@ fn main() {
     println!(
         "voxel-queue capacity ablation on {} (scale {scale}, {} engine):",
         kind.name(),
-        opts.engine.flag_name()
+        opts.engine
     );
     let mut t = TextTable::new([
         "queue capacity",
@@ -37,7 +37,9 @@ fn main() {
             .max_range(Some(spec.max_range))
             .build()
             .unwrap();
-        let (_, s) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
+        let (_, s) =
+            run_accelerator_with_engine(config, dataset.scans(), opts.engine.update_engine())
+                .unwrap();
         t.row([
             capacity.to_string(),
             fmt_f(s.latency_s),

@@ -19,7 +19,7 @@ fn main() {
         .unwrap_or_else(|| default_scale(DatasetKind::Fr079Corridor));
     eprintln!(
         "running FR-079 corridor at scale {scale} ({} engine) for the power split ...",
-        opts.engine.flag_name()
+        opts.engine
     );
     let run = run_dataset_with_engine(DatasetKind::Fr079Corridor, scale, opts.engine);
     println!(

@@ -10,7 +10,7 @@ use omu_bench::{runner::default_scale, RunOptions, TextTable};
 use omu_core::{run_accelerator_with_engine, OmuConfig};
 use omu_datasets::DatasetKind;
 use omu_geometry::Occupancy;
-use omu_octree::OctreeF32;
+use omu_map::MapBuilder;
 use omu_raycast::IntegrationMode;
 
 fn main() {
@@ -20,19 +20,23 @@ fn main() {
     let dataset = kind.build_scaled(scale);
     let spec = *dataset.spec();
 
-    // --- Software baseline, pruning on vs off. ---
-    let mut trees = Vec::new();
+    // --- Software baseline, pruning on vs off, through the facade. ---
+    let mut maps = Vec::new();
     for pruning in [true, false] {
-        let mut tree = OctreeF32::new(spec.resolution).unwrap();
-        tree.set_integration_mode(IntegrationMode::Raywise);
-        tree.set_max_range(Some(spec.max_range));
-        tree.set_pruning_enabled(pruning);
+        let mut map = MapBuilder::new(spec.resolution)
+            .engine(opts.engine)
+            .integration_mode(IntegrationMode::Raywise)
+            .max_range(Some(spec.max_range))
+            .pruning(pruning)
+            .build()
+            .unwrap();
         for scan in dataset.scans() {
-            tree.insert_scan(&scan).unwrap();
+            map.insert(&scan).unwrap();
         }
-        trees.push(tree);
+        maps.push(map);
     }
-    let (pruned, unpruned) = (&trees[0], &trees[1]);
+    let pruned = maps[0].tree().expect("software backend");
+    let unpruned = maps[1].tree().expect("software backend");
 
     let mp = pruned.memory_stats();
     let mu = unpruned.memory_stats();
@@ -43,7 +47,7 @@ fn main() {
     println!(
         "pruning memory savings on {} (scale {scale}, {} engine):",
         kind.name(),
-        opts.engine.flag_name()
+        opts.engine
     );
     let mut t = TextTable::new(["", "pruning on", "pruning off", "saving"]);
     t.row([
@@ -87,7 +91,9 @@ fn main() {
             .pruning_enabled(pruning)
             .build()
             .unwrap();
-        let (omu, _) = run_accelerator_with_engine(config, dataset.scans(), opts.engine).unwrap();
+        let (omu, _) =
+            run_accelerator_with_engine(config, dataset.scans(), opts.engine.update_engine())
+                .unwrap();
         let stats = omu.stats();
         let live: u64 = stats.per_pe.iter().map(|p| p.live_rows).sum();
         let high: u64 = stats.per_pe.iter().map(|p| p.high_water_rows).sum();

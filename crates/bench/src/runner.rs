@@ -1,19 +1,21 @@
 //! Dataset execution: software baseline + accelerator model, with
 //! extrapolation from scaled runs.
 //!
-//! Both halves honour the shared `--engine` flag: the software baseline
-//! inserts scans through the matching octree path (scalar `insert_scan`,
-//! Morton-batched, or parallel-sharded) and the accelerator model runs
-//! the matching front end. The CPU cost models price individual tree
-//! operations (calibrated against stock scalar OctoMap), so under the
-//! batched engines the modeled CPU time reflects how much tree work
-//! batching *eliminated*; pass `--engine scalar` for the paper's original
+//! Both halves honour the shared `--engine` flag and run through the
+//! `omu::map` facade: each is an [`OccupancyMap`] whose backend differs
+//! ([`Backend::Software`] vs [`Backend::Accelerator`]) while the engine
+//! dispatch happens inside the shared `MapBackend` trait — no per-engine
+//! match arms here. The CPU cost models price individual tree operations
+//! (calibrated against stock scalar OctoMap), so under the batched
+//! engines the modeled CPU time reflects how much tree work batching
+//! *eliminated*; pass `--engine scalar` for the paper's original
 //! baseline shape.
 
-use omu_core::{run_accelerator_with_engine, AccelError, AccelRunSummary, OmuConfig, UpdateEngine};
+use omu_core::{summarize, AccelRunSummary, OmuConfig};
 use omu_cpumodel::{frame_equivalent_fps, CpuCostModel, RuntimeBreakdown};
 use omu_datasets::{Dataset, DatasetKind};
-use omu_octree::{MemoryStats, OctreeF32, OpCounters};
+use omu_map::{Backend, Engine, MapBuilder, MapError};
+use omu_octree::{MemoryStats, OpCounters};
 use omu_raycast::{IntegrationMode, IntegrationStats};
 
 use crate::args::RunOptions;
@@ -120,13 +122,13 @@ impl DatasetRun {
 }
 
 /// Runs one dataset through baseline and accelerator with the default
-/// engine ([`UpdateEngine::MortonBatched`]).
+/// engine ([`Engine::Batched`]).
 ///
 /// # Panics
 ///
 /// Same contract as [`run_dataset_with_engine`].
 pub fn run_dataset(kind: DatasetKind, scale: f64) -> DatasetRun {
-    run_dataset_with_engine(kind, scale, UpdateEngine::MortonBatched)
+    run_dataset_with_engine(kind, scale, Engine::Batched)
 }
 
 /// Runs one dataset through baseline and accelerator, both driven by
@@ -141,7 +143,7 @@ pub fn run_dataset(kind: DatasetKind, scale: f64) -> DatasetRun {
 ///
 /// Panics if the dataset cannot be integrated at all (e.g. scan origins
 /// outside the map, which the generators never produce).
-pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: UpdateEngine) -> DatasetRun {
+pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: Engine) -> DatasetRun {
     let dataset = kind.build_scaled(scale);
     let spec = *dataset.spec();
     let full_scans = kind.spec().scans;
@@ -174,61 +176,73 @@ pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: UpdateEngi
 
 fn run_baseline(
     dataset: &Dataset,
-    engine: UpdateEngine,
+    engine: Engine,
 ) -> (IntegrationStats, OpCounters, usize, MemoryStats, u64) {
     let spec = dataset.spec();
-    let mut tree = OctreeF32::new(spec.resolution).expect("valid resolution");
-    tree.set_integration_mode(IntegrationMode::Raywise);
-    tree.set_max_range(Some(spec.max_range));
-    // Stock OctoMap behavior on the scalar path: the early-abort
+    // One facade map, engine dispatch inside `MapBackend`. Stock OctoMap
+    // behavior is preserved on the scalar engine: the early-abort
     // pre-search skips updates to already-saturated voxels (the
     // accelerator, in contrast, executes every update in full — its
     // per-update cost is constant anyway). The batched paths skip the
     // pre-search by construction.
+    let mut map = MapBuilder::new(spec.resolution)
+        .engine(engine)
+        .integration_mode(IntegrationMode::Raywise)
+        .max_range(Some(spec.max_range))
+        .build()
+        .expect("valid resolution");
 
     let mut totals = IntegrationStats::default();
     let mut points = 0u64;
     for scan in dataset.scans() {
         points += scan.len() as u64;
-        let stats = match engine {
-            UpdateEngine::Scalar => tree.insert_scan(&scan),
-            UpdateEngine::MortonBatched => tree.insert_scan_batched(&scan),
-            UpdateEngine::ShardedParallel => tree.insert_scan_parallel(&scan, 0),
-        }
-        .expect("generated scans stay inside the map");
+        let stats = map
+            .insert(&scan)
+            .expect("generated scans stay inside the map");
         totals.merge(&stats);
     }
+    let counters = map.counters().expect("software backend tracks counters");
+    let tree = map.tree().expect("baseline runs the software backend");
     (
         totals,
-        *tree.counters(),
+        counters,
         tree.num_nodes(),
         tree.memory_stats(),
         points,
     )
 }
 
-fn run_accel(dataset: &Dataset, engine: UpdateEngine) -> (AccelRunSummary, usize) {
+fn run_accel(dataset: &Dataset, engine: Engine) -> (AccelRunSummary, usize) {
     let spec = dataset.spec();
     // The paper's geometry first; grow on capacity overflow.
-    for rows_per_bank in [4096usize, 16384, 65536] {
+    'rows: for rows_per_bank in [4096usize, 16384, 65536] {
         let config = OmuConfig::builder()
             .rows_per_bank(rows_per_bank)
-            .resolution(spec.resolution)
-            .max_range(Some(spec.max_range))
-            .integration_mode(IntegrationMode::Raywise)
             .build()
             .expect("valid config");
-        match run_accelerator_with_engine(config, dataset.scans(), engine) {
-            Ok((_, summary)) => return (summary, rows_per_bank),
-            Err(AccelError::Capacity(_)) => {
-                eprintln!(
-                    "  [{}] T-Mem overflow at {} rows/bank, retrying larger",
-                    dataset.spec().kind.name(),
-                    rows_per_bank
-                );
+        let mut map = MapBuilder::new(spec.resolution)
+            .engine(engine)
+            .integration_mode(IntegrationMode::Raywise)
+            .max_range(Some(spec.max_range))
+            .backend(Backend::Accelerator(config))
+            .build()
+            .expect("valid config");
+        for scan in dataset.scans() {
+            match map.insert(&scan) {
+                Ok(_) => {}
+                Err(MapError::Capacity(_)) => {
+                    eprintln!(
+                        "  [{}] T-Mem overflow at {} rows/bank, retrying larger",
+                        dataset.spec().kind.name(),
+                        rows_per_bank
+                    );
+                    continue 'rows;
+                }
+                Err(e) => panic!("accelerator run failed: {e}"),
             }
-            Err(e) => panic!("accelerator run failed: {e}"),
         }
+        let omu = map.accelerator().expect("accelerator backend");
+        return (summarize(omu), rows_per_bank);
     }
     panic!("accelerator out of capacity even at 65536 rows/bank");
 }
@@ -245,7 +259,7 @@ pub fn run_all(opts: RunOptions) -> Vec<DatasetRun> {
                     eprintln!(
                         "running {} at scale {scale} ({} engine) ...",
                         kind.name(),
-                        opts.engine.flag_name()
+                        opts.engine
                     );
                     let run = run_dataset_with_engine(kind, scale, opts.engine);
                     eprintln!(
@@ -273,7 +287,7 @@ mod tests {
     fn tiny_corridor_scalar_run_matches_paper_shape() {
         // The paper's comparisons are against stock scalar OctoMap, so the
         // paper-shaped orderings are asserted on the scalar engine.
-        let run = run_dataset_with_engine(DatasetKind::Fr079Corridor, 0.01, UpdateEngine::Scalar); // 1 scan
+        let run = run_dataset_with_engine(DatasetKind::Fr079Corridor, 0.01, Engine::Scalar); // 1 scan
         assert_eq!(run.scans_run, 1);
         assert!(run.extrapolation > 60.0);
         assert!(run.points > 50_000, "one dense scan");
@@ -296,8 +310,7 @@ mod tests {
 
     #[test]
     fn tiny_corridor_batched_run_is_consistent_and_cheaper() {
-        let scalar =
-            run_dataset_with_engine(DatasetKind::Fr079Corridor, 0.01, UpdateEngine::Scalar);
+        let scalar = run_dataset_with_engine(DatasetKind::Fr079Corridor, 0.01, Engine::Scalar);
         let batched = run_dataset(DatasetKind::Fr079Corridor, 0.01); // default engine
         assert_eq!(batched.scans_run, 1);
         // Same workload shape regardless of engine.

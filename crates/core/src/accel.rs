@@ -1,12 +1,13 @@
 //! The top-level OMU accelerator (paper Fig. 7).
 
 use omu_geometry::{FixedLogOdds, KeyConverter, Occupancy, Point3, ResolvedParams, Scan, VoxelKey};
-use omu_raycast::VoxelUpdate;
+use omu_raycast::{IntegrationStats, VoxelUpdate};
 use omu_simhw::{tech12nm, AxiStreamModel, EnergyLedger, PowerReport};
 
 use crate::config::OmuConfig;
 use crate::error::AccelError;
 use crate::pe::PeUnit;
+use crate::pipeline::UpdateEngine;
 use crate::query_unit::QueryUnitStats;
 use crate::raycast_unit::RayCastUnit;
 use crate::scheduler::VoxelScheduler;
@@ -89,7 +90,9 @@ impl OmuAccelerator {
 
     /// Integrates one scan: DMA transfer, ray casting, and voxel updates
     /// across the PE array, all overlapped; wall time advances by the
-    /// slowest of the three pipelines.
+    /// slowest of the three pipelines. Returns the front-end integration
+    /// statistics (rays, DDA steps, emitted updates), mirroring the
+    /// software tree's `insert_scan` contract.
     ///
     /// # Errors
     ///
@@ -97,7 +100,7 @@ impl OmuAccelerator {
     /// [`AccelError::Capacity`] when a PE exhausts its T-Mem (the scan is
     /// then partially applied, as it would be in hardware before the
     /// interrupt).
-    pub fn integrate_scan(&mut self, scan: &Scan) -> Result<(), AccelError> {
+    pub fn integrate_scan(&mut self, scan: &Scan) -> Result<IntegrationStats, AccelError> {
         let scan_start = self.stats.wall_cycles;
         self.scheduler.begin_scan(scan_start);
 
@@ -143,7 +146,7 @@ impl OmuAccelerator {
         if let Some(e) = capacity_error {
             return Err(e.into());
         }
-        Ok(())
+        Ok(istats)
     }
 
     /// The per-scan bookkeeping both integration engines share.
@@ -193,7 +196,7 @@ impl OmuAccelerator {
     /// # Errors
     ///
     /// Same contract as [`Self::integrate_scan`].
-    pub fn integrate_scan_batched(&mut self, scan: &Scan) -> Result<(), AccelError> {
+    pub fn integrate_scan_batched(&mut self, scan: &Scan) -> Result<IntegrationStats, AccelError> {
         self.integrate_scan_sorted(scan, false)
     }
 
@@ -213,13 +216,37 @@ impl OmuAccelerator {
     /// # Errors
     ///
     /// Same contract as [`Self::integrate_scan`].
-    pub fn integrate_scan_sharded(&mut self, scan: &Scan) -> Result<(), AccelError> {
+    pub fn integrate_scan_sharded(&mut self, scan: &Scan) -> Result<IntegrationStats, AccelError> {
         self.integrate_scan_sorted(scan, true)
+    }
+
+    /// Integrates one scan through the front end selected by `engine` —
+    /// the single dispatch point every higher layer (the mapping pipeline,
+    /// the `omu-map` facade, the bench harness) routes through, so engine
+    /// selection is a value rather than a method name.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::integrate_scan`].
+    pub fn integrate_scan_with(
+        &mut self,
+        scan: &Scan,
+        engine: UpdateEngine,
+    ) -> Result<IntegrationStats, AccelError> {
+        match engine {
+            UpdateEngine::Scalar => self.integrate_scan(scan),
+            UpdateEngine::MortonBatched => self.integrate_scan_batched(scan),
+            UpdateEngine::ShardedParallel => self.integrate_scan_sharded(scan),
+        }
     }
 
     /// Shared body of the batched/sharded front ends: collect, sort (by
     /// Morton code, optionally grouped by PE first), dispatch as runs.
-    fn integrate_scan_sorted(&mut self, scan: &Scan, group_by_pe: bool) -> Result<(), AccelError> {
+    fn integrate_scan_sorted(
+        &mut self,
+        scan: &Scan,
+        group_by_pe: bool,
+    ) -> Result<IntegrationStats, AccelError> {
         let scan_start = self.stats.wall_cycles;
         self.scheduler.begin_scan(scan_start);
 
@@ -298,7 +325,7 @@ impl OmuAccelerator {
         if let Some(e) = capacity_error {
             return Err(e.into());
         }
-        Ok(())
+        Ok(istats)
     }
 
     /// Applies a single voxel update directly (bypassing ray casting) —
@@ -361,6 +388,38 @@ impl OmuAccelerator {
         self.stats.queries = self.query_stats.queries;
         self.stats.query_cycles = self.query_stats.cycles;
         occ
+    }
+
+    /// Reads the stored log-odds covering `key` without touching any
+    /// hardware counter (map export / debugging aid, like
+    /// [`Self::snapshot`] but for one voxel). Returns `None` for
+    /// unobserved voxels.
+    pub fn peek_logodds(&self, key: VoxelKey) -> Option<f32> {
+        self.pes[self.scheduler.pe_for(key)].peek_logodds(key)
+    }
+
+    /// True when no PE holds any observation (O(1), no map walk).
+    pub fn is_empty(&self) -> bool {
+        self.pes.iter().all(PeUnit::is_empty)
+    }
+
+    /// The sorted leaves whose extents intersect the key box
+    /// `[min, max]` (inclusive per axis), in the canonical
+    /// `(key, depth, logodds)` snapshot form. Each PE prunes subtrees
+    /// outside the box, so the cost scales with the region, not the map.
+    pub fn snapshot_in_box(&self, min: VoxelKey, max: VoxelKey) -> Vec<(VoxelKey, u8, f32)> {
+        let mut out = Vec::new();
+        for pe in &self.pes {
+            pe.snapshot_box_into(min, max, &mut out);
+        }
+        out.sort_by_key(|&(key, depth, _)| (key, depth));
+        out
+    }
+
+    /// Number of leaves across all PEs, without materializing a
+    /// snapshot.
+    pub fn num_leaves(&self) -> usize {
+        self.pes.iter().map(PeUnit::num_leaves).sum()
     }
 
     /// Multi-resolution query by point and region edge length: picks the

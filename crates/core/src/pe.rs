@@ -320,6 +320,34 @@ impl PeUnit {
         self.resolved.classify(prob)
     }
 
+    /// True when this PE holds no observation in any of its first-level
+    /// branches (O(1): checks the root-row liveness flags only).
+    pub fn is_empty(&self) -> bool {
+        !self.root_live.iter().any(|&live| live)
+    }
+
+    /// Reads the log-odds of the node covering `key` with uncounted peeks
+    /// (no cycle or SRAM accounting — map export is not a hardware
+    /// operation). `None` when the voxel was never observed.
+    pub fn peek_logodds(&self, key: VoxelKey) -> Option<f32> {
+        let branch = key.first_level_branch().index();
+        if !self.root_live[branch] {
+            return None;
+        }
+        let mut entry = self.mem.peek_entry(0, branch);
+        for depth in 1..TREE_DEPTH {
+            if entry.is_leaf() {
+                return Some(entry.prob.to_f32());
+            }
+            let pos = key.child_index_at(depth).index();
+            if !entry.child_status(pos).exists() {
+                return None;
+            }
+            entry = self.mem.peek_entry(entry.ptr, pos);
+        }
+        Some(entry.prob.to_f32())
+    }
+
     /// Appends this PE's leaves to `out` as `(key, depth, logodds)` —
     /// the same canonical form as
     /// [`OccupancyOctree::snapshot`](omu_octree::OccupancyOctree::snapshot).
@@ -361,6 +389,97 @@ impl PeUnit {
                     key.z | ((((pos >> 2) & 1) as u16) << bit),
                 );
                 self.walk_snapshot(e.ptr, pos, depth + 1, child_key, out);
+            }
+        }
+    }
+
+    /// Appends this PE's leaves whose extents intersect the key box
+    /// `[min, max]` (inclusive per axis), pruning whole subtrees outside
+    /// the box — the region-query analogue of [`Self::snapshot_into`],
+    /// with uncounted peeks. Cost scales with the region, not the map.
+    pub fn snapshot_box_into(
+        &self,
+        min: VoxelKey,
+        max: VoxelKey,
+        out: &mut Vec<(VoxelKey, u8, f32)>,
+    ) {
+        for branch in 0..8 {
+            if !self.root_live[branch] {
+                continue;
+            }
+            let bit = (TREE_DEPTH - 1) as u32;
+            let key = VoxelKey::new(
+                ((branch & 1) as u16) << bit,
+                (((branch >> 1) & 1) as u16) << bit,
+                (((branch >> 2) & 1) as u16) << bit,
+            );
+            self.walk_snapshot_box(0, branch, 1, key, min, max, out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn walk_snapshot_box(
+        &self,
+        row: u32,
+        bank: usize,
+        depth: u8,
+        key: VoxelKey,
+        min: VoxelKey,
+        max: VoxelKey,
+        out: &mut Vec<(VoxelKey, u8, f32)>,
+    ) {
+        // A node at `depth` spans `span` finest voxels per axis from its
+        // anchor key.
+        let span = 1u32 << (TREE_DEPTH - depth);
+        let overlaps = |anchor: u16, lo: u16, hi: u16| {
+            let a = anchor as u32;
+            a <= hi as u32 && a + span > lo as u32
+        };
+        if !(overlaps(key.x, min.x, max.x)
+            && overlaps(key.y, min.y, max.y)
+            && overlaps(key.z, min.z, max.z))
+        {
+            return;
+        }
+        let e = self.mem.peek_entry(row, bank);
+        if e.is_leaf() {
+            out.push((key, depth, e.prob.to_f32()));
+            return;
+        }
+        let bit = (TREE_DEPTH - 1 - depth) as u32;
+        for pos in 0..8 {
+            if e.child_status(pos).exists() {
+                let child_key = VoxelKey::new(
+                    key.x | (((pos & 1) as u16) << bit),
+                    key.y | ((((pos >> 1) & 1) as u16) << bit),
+                    key.z | ((((pos >> 2) & 1) as u16) << bit),
+                );
+                self.walk_snapshot_box(e.ptr, pos, depth + 1, child_key, min, max, out);
+            }
+        }
+    }
+
+    /// Number of leaves this PE holds, without materializing a snapshot
+    /// (uncounted peeks).
+    pub fn num_leaves(&self) -> usize {
+        let mut count = 0usize;
+        for branch in 0..8 {
+            if self.root_live[branch] {
+                self.count_leaves(0, branch, &mut count);
+            }
+        }
+        count
+    }
+
+    fn count_leaves(&self, row: u32, bank: usize, count: &mut usize) {
+        let e = self.mem.peek_entry(row, bank);
+        if e.is_leaf() {
+            *count += 1;
+            return;
+        }
+        for pos in 0..8 {
+            if e.child_status(pos).exists() {
+                self.count_leaves(e.ptr, pos, count);
             }
         }
     }

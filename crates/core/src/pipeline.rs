@@ -67,32 +67,6 @@ pub enum UpdateEngine {
     ShardedParallel,
 }
 
-impl UpdateEngine {
-    /// Parses the shared `--engine` flag value used by the bench and
-    /// repro binaries.
-    ///
-    /// # Errors
-    ///
-    /// Returns the unrecognized input.
-    pub fn from_flag(flag: &str) -> Result<Self, String> {
-        match flag {
-            "scalar" => Ok(UpdateEngine::Scalar),
-            "batched" => Ok(UpdateEngine::MortonBatched),
-            "parallel" => Ok(UpdateEngine::ShardedParallel),
-            other => Err(other.to_owned()),
-        }
-    }
-
-    /// The flag spelling of this engine (inverse of [`Self::from_flag`]).
-    pub fn flag_name(&self) -> &'static str {
-        match self {
-            UpdateEngine::Scalar => "scalar",
-            UpdateEngine::MortonBatched => "batched",
-            UpdateEngine::ShardedParallel => "parallel",
-        }
-    }
-}
-
 /// Builds an accelerator from `config`, integrates every scan, and
 /// summarizes the run.
 ///
@@ -144,11 +118,7 @@ where
 {
     let mut omu = OmuAccelerator::new(config)?;
     for scan in scans {
-        match engine {
-            UpdateEngine::Scalar => omu.integrate_scan(&scan)?,
-            UpdateEngine::MortonBatched => omu.integrate_scan_batched(&scan)?,
-            UpdateEngine::ShardedParallel => omu.integrate_scan_sharded(&scan)?,
-        }
+        omu.integrate_scan_with(&scan, engine)?;
     }
     let summary = summarize(&omu);
     Ok((omu, summary))
@@ -256,18 +226,6 @@ mod tests {
         // The contiguous runs earn the burst discount in wall cycles.
         assert!(s3.latency_s <= s2.latency_s);
         assert!(s2.latency_s < s1.latency_s);
-    }
-
-    #[test]
-    fn engine_flags_roundtrip() {
-        for engine in [
-            UpdateEngine::Scalar,
-            UpdateEngine::MortonBatched,
-            UpdateEngine::ShardedParallel,
-        ] {
-            assert_eq!(UpdateEngine::from_flag(engine.flag_name()), Ok(engine));
-        }
-        assert!(UpdateEngine::from_flag("warp-drive").is_err());
     }
 
     #[test]

@@ -1,0 +1,269 @@
+//! Map construction: every knob resolved up front.
+
+use omu_core::{OmuAccelerator, OmuConfig};
+use omu_geometry::OccupancyParams;
+use omu_octree::{OctreeF32, OctreeFixed};
+use omu_raycast::IntegrationMode;
+
+use crate::engine::Engine;
+use crate::error::MapError;
+use crate::map::{Inner, OccupancyMap};
+
+/// Which map-holding engine backs an [`OccupancyMap`].
+///
+/// # Examples
+///
+/// ```
+/// use omu_map::{Backend, MapBuilder};
+/// use omu_core::OmuConfig;
+///
+/// // Software octree (f32 log-odds, OctoMap's native representation):
+/// let sw = MapBuilder::new(0.1).build()?;
+/// // Accelerator model at the paper's design point:
+/// let hw = MapBuilder::new(0.1)
+///     .backend(Backend::Accelerator(OmuConfig::default()))
+///     .build()?;
+/// assert_eq!(sw.resolution(), hw.resolution());
+/// # Ok::<(), omu_map::MapError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub enum Backend {
+    /// The software octree on `f32` log-odds (the default; OctoMap's
+    /// native representation).
+    #[default]
+    Software,
+    /// The software octree on the accelerator's 16-bit fixed point —
+    /// bit-identical to [`Backend::Accelerator`] for the same scans,
+    /// which is what the equivalence suite verifies.
+    SoftwareFixed,
+    /// The OMU accelerator model. The builder's resolution, sensor
+    /// model, max range, integration mode and pruning flag override the
+    /// corresponding fields of the supplied configuration, so the
+    /// builder stays the single source of truth for map semantics; the
+    /// configuration contributes the hardware geometry (PE count, T-Mem
+    /// rows, clock, timing, burst discount).
+    Accelerator(OmuConfig),
+}
+
+impl Backend {
+    /// The backend's human-readable name (matches
+    /// [`MapBackend::backend_name`](crate::MapBackend::backend_name)).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Backend::Software | Backend::SoftwareFixed => "software",
+            Backend::Accelerator(_) => "accelerator",
+        }
+    }
+}
+
+/// Builder for [`OccupancyMap`]: resolves backend, engine and every map
+/// knob (sensor model, integration mode, max range, pruning, change
+/// detection) before the first scan arrives.
+///
+/// # Examples
+///
+/// ```
+/// use omu_map::{Engine, MapBuilder};
+/// use omu_geometry::{Occupancy, Point3};
+///
+/// let mut map = MapBuilder::new(0.1)
+///     .engine(Engine::Sharded { shards: 8 })
+///     .max_range(Some(10.0))
+///     .build()?;
+/// map.insert_points(Point3::ZERO, &[Point3::new(1.0, 0.0, 0.0)])?;
+/// assert_eq!(
+///     map.occupancy_at(Point3::new(1.0, 0.0, 0.0))?,
+///     Occupancy::Occupied
+/// );
+/// # Ok::<(), omu_map::MapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MapBuilder {
+    resolution: f64,
+    params: OccupancyParams,
+    engine: Engine,
+    backend: Backend,
+    integration_mode: IntegrationMode,
+    max_range: Option<f64>,
+    pruning: bool,
+    change_detection: bool,
+}
+
+impl MapBuilder {
+    /// Starts a builder for a map with voxels `resolution` metres across,
+    /// with OctoMap's default sensor model, the batched engine and the
+    /// software backend.
+    pub fn new(resolution: f64) -> Self {
+        MapBuilder {
+            resolution,
+            params: OccupancyParams::default(),
+            engine: Engine::default(),
+            backend: Backend::default(),
+            integration_mode: IntegrationMode::default(),
+            max_range: None,
+            pruning: true,
+            change_detection: false,
+        }
+    }
+
+    /// Selects the update engine (default: [`Engine::Batched`]).
+    pub fn engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Selects the backend (default: [`Backend::Software`]).
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Sets the occupancy sensor model.
+    pub fn params(mut self, params: OccupancyParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Sets the scan-integration overlap mode (default:
+    /// [`IntegrationMode::Raywise`], the workload the paper counts).
+    pub fn integration_mode(mut self, mode: IntegrationMode) -> Self {
+        self.integration_mode = mode;
+        self
+    }
+
+    /// Sets the maximum sensor range in metres (`None` = unlimited).
+    pub fn max_range(mut self, max_range: Option<f64>) -> Self {
+        self.max_range = max_range;
+        self
+    }
+
+    /// Enables or disables pruning (default: enabled).
+    pub fn pruning(mut self, enabled: bool) -> Self {
+        self.pruning = enabled;
+        self
+    }
+
+    /// Enables change tracking so consumers can drain the set of voxels
+    /// whose classification flipped
+    /// ([`OccupancyMap::drain_changed_keys`]). Only the software
+    /// backends track changes; building an accelerator-backed map with
+    /// this enabled fails with [`MapError::Unsupported`].
+    pub fn change_detection(mut self, enabled: bool) -> Self {
+        self.change_detection = enabled;
+        self
+    }
+
+    /// Builds the map, validating every knob.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Resolution`] for a non-positive resolution,
+    /// [`MapError::InvalidShards`] for an out-of-range
+    /// [`Engine::Sharded`] count, [`MapError::Config`] for an invalid
+    /// accelerator configuration, and [`MapError::Unsupported`] for
+    /// change detection on the accelerator backend.
+    pub fn build(self) -> Result<OccupancyMap, MapError> {
+        self.engine.validate()?;
+        let inner = match self.backend {
+            Backend::Software => {
+                let mut tree = OctreeF32::with_params(self.resolution, self.params)?;
+                self.configure_tree(&mut tree);
+                Inner::Software(Box::new(tree))
+            }
+            Backend::SoftwareFixed => {
+                let mut tree = OctreeFixed::with_params(self.resolution, self.params)?;
+                self.configure_tree(&mut tree);
+                Inner::SoftwareFixed(Box::new(tree))
+            }
+            Backend::Accelerator(mut config) => {
+                if self.change_detection {
+                    return Err(MapError::Unsupported {
+                        backend: "accelerator",
+                        feature: "change detection",
+                    });
+                }
+                config.resolution = self.resolution;
+                config.params = self.params;
+                config.max_range = self.max_range;
+                config.integration_mode = self.integration_mode;
+                config.pruning_enabled = self.pruning;
+                Inner::Accelerator(Box::new(OmuAccelerator::new(config)?))
+            }
+        };
+        Ok(OccupancyMap::from_parts(inner, self.engine))
+    }
+
+    fn configure_tree<V: omu_geometry::LogOdds>(&self, tree: &mut omu_octree::OccupancyOctree<V>) {
+        tree.set_integration_mode(self.integration_mode);
+        tree.set_max_range(self.max_range);
+        tree.set_pruning_enabled(self.pruning);
+        tree.set_change_detection(self.change_detection);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_build_a_software_batched_map() {
+        let map = MapBuilder::new(0.1).build().unwrap();
+        assert_eq!(map.engine(), Engine::Batched);
+        assert_eq!(map.backend_name(), "software");
+        assert!(map.is_empty());
+    }
+
+    #[test]
+    fn bad_resolution_is_a_map_error() {
+        assert!(matches!(
+            MapBuilder::new(-1.0).build(),
+            Err(MapError::Resolution(_))
+        ));
+    }
+
+    #[test]
+    fn bad_shard_count_rejected_at_build() {
+        assert!(matches!(
+            MapBuilder::new(0.1)
+                .engine(Engine::Sharded { shards: 99 })
+                .build(),
+            Err(MapError::InvalidShards(99))
+        ));
+    }
+
+    #[test]
+    fn accelerator_config_is_overridden_by_builder_knobs() {
+        let config = OmuConfig::builder().resolution(0.7).build().unwrap();
+        let map = MapBuilder::new(0.1)
+            .max_range(Some(5.0))
+            .backend(Backend::Accelerator(config))
+            .build()
+            .unwrap();
+        assert_eq!(map.resolution(), 0.1);
+        let accel = map.accelerator().unwrap();
+        assert_eq!(accel.config().max_range, Some(5.0));
+    }
+
+    #[test]
+    fn change_detection_on_accelerator_is_unsupported() {
+        let e = MapBuilder::new(0.1)
+            .change_detection(true)
+            .backend(Backend::Accelerator(OmuConfig::default()))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, MapError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn invalid_accelerator_config_is_a_config_error() {
+        let config = OmuConfig {
+            num_pes: 3,
+            ..OmuConfig::default()
+        };
+        let e = MapBuilder::new(0.1)
+            .backend(Backend::Accelerator(config))
+            .build()
+            .unwrap_err();
+        assert!(matches!(e, MapError::Config(_)));
+    }
+}

@@ -1,0 +1,219 @@
+//! The update-engine selector: which insertion path a map drives, as a
+//! value rather than a method name.
+
+use std::fmt;
+use std::str::FromStr;
+
+use omu_core::UpdateEngine;
+
+/// Maximum worker-shard count of the subtree-sharded engines (one shard
+/// per first-level octree branch, like the paper's 8 PEs).
+pub const MAX_SHARDS: usize = 8;
+
+/// Which update engine an [`OccupancyMap`](crate::OccupancyMap) drives.
+///
+/// All engines produce bit-identical maps; they differ in how tree
+/// maintenance is scheduled (and therefore in throughput). The engine is
+/// resolved once by the [`MapBuilder`](crate::MapBuilder), so callers
+/// never pick between `insert_scan` / `insert_scan_batched` /
+/// `insert_scan_parallel` method names again.
+///
+/// # Examples
+///
+/// ```
+/// use omu_map::Engine;
+///
+/// let e: Engine = "sharded:4".parse()?;
+/// assert_eq!(e, Engine::Sharded { shards: 4 });
+/// assert_eq!(Engine::default(), Engine::Batched);
+/// # Ok::<(), omu_map::ParseEngineError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// One full descent + parent-refresh pass per voxel update (OctoMap's
+    /// `updateNode` loop; the paper's CPU-baseline shape).
+    Scalar,
+    /// Per-scan Morton-sorted batches with cached descent and deferred
+    /// parent refresh (the default).
+    #[default]
+    Batched,
+    /// The subtree-sharded parallel pipeline with one worker per
+    /// available CPU.
+    Parallel,
+    /// The subtree-sharded parallel pipeline with an explicit worker
+    /// count (1 ..= [`MAX_SHARDS`]).
+    Sharded {
+        /// Worker shards for ray casting and the parallel tree apply.
+        shards: usize,
+    },
+}
+
+impl Engine {
+    /// Every engine family, with [`Engine::Sharded`] at the paper's 8-PE
+    /// design point — handy for sweeps and equivalence tests.
+    pub const ALL: [Engine; 4] = [
+        Engine::Scalar,
+        Engine::Batched,
+        Engine::Parallel,
+        Engine::Sharded { shards: 8 },
+    ];
+
+    /// The flag spelling of this engine's family (`--engine` value;
+    /// [`Engine::Sharded`] renders its shard count via [`fmt::Display`]).
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Scalar => "scalar",
+            Engine::Batched => "batched",
+            Engine::Parallel => "parallel",
+            Engine::Sharded { .. } => "sharded",
+        }
+    }
+
+    /// The accelerator front end this engine maps onto: both parallel
+    /// variants drive the PE-grouped sharded front end (the shard count
+    /// is a software-side knob; the PE count is hardware configuration).
+    pub fn update_engine(&self) -> UpdateEngine {
+        match self {
+            Engine::Scalar => UpdateEngine::Scalar,
+            Engine::Batched => UpdateEngine::MortonBatched,
+            Engine::Parallel | Engine::Sharded { .. } => UpdateEngine::ShardedParallel,
+        }
+    }
+
+    /// The worker-shard count the software tree paths use: `None` for the
+    /// sequential engines, `Some(0)` ("one per CPU") for
+    /// [`Engine::Parallel`], the explicit count for [`Engine::Sharded`].
+    pub fn shards(&self) -> Option<usize> {
+        match self {
+            Engine::Scalar | Engine::Batched => None,
+            Engine::Parallel => Some(0),
+            Engine::Sharded { shards } => Some(*shards),
+        }
+    }
+
+    /// Validates the engine's parameters (shard count in
+    /// 1 ..= [`MAX_SHARDS`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::MapError::InvalidShards`] for an out-of-range
+    /// shard count.
+    pub fn validate(&self) -> Result<(), crate::MapError> {
+        if let Engine::Sharded { shards } = self {
+            if !(1..=MAX_SHARDS).contains(shards) {
+                return Err(crate::MapError::InvalidShards(*shards));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Engine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Engine::Sharded { shards } => write!(f, "sharded:{shards}"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
+
+/// An unrecognized `--engine` value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseEngineError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseEngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown engine {:?} (expected scalar, batched, parallel, sharded or sharded:N \
+             with N in 1..={MAX_SHARDS})",
+            self.input
+        )
+    }
+}
+
+impl std::error::Error for ParseEngineError {}
+
+impl FromStr for Engine {
+    type Err = ParseEngineError;
+
+    /// Parses the shared `--engine` flag: `scalar`, `batched`,
+    /// `parallel`, `sharded` (8 shards, the paper's PE count) or
+    /// `sharded:N`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let reject = || ParseEngineError {
+            input: s.to_owned(),
+        };
+        match s {
+            "scalar" => Ok(Engine::Scalar),
+            "batched" => Ok(Engine::Batched),
+            "parallel" => Ok(Engine::Parallel),
+            "sharded" => Ok(Engine::Sharded { shards: MAX_SHARDS }),
+            other => {
+                let shards = other
+                    .strip_prefix("sharded:")
+                    .and_then(|n| n.parse::<usize>().ok())
+                    .filter(|n| (1..=MAX_SHARDS).contains(n))
+                    .ok_or_else(reject)?;
+                Ok(Engine::Sharded { shards })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrips_display() {
+        for e in [
+            Engine::Scalar,
+            Engine::Batched,
+            Engine::Parallel,
+            Engine::Sharded { shards: 3 },
+        ] {
+            assert_eq!(e.to_string().parse::<Engine>(), Ok(e));
+        }
+    }
+
+    #[test]
+    fn bare_sharded_defaults_to_eight() {
+        assert_eq!("sharded".parse(), Ok(Engine::Sharded { shards: 8 }));
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        for bad in ["", "warp-drive", "sharded:0", "sharded:9", "sharded:x"] {
+            let e = bad.parse::<Engine>().unwrap_err();
+            assert_eq!(e.input, bad);
+            assert!(e.to_string().contains("unknown engine"));
+        }
+    }
+
+    #[test]
+    fn update_engine_mapping() {
+        assert_eq!(Engine::Scalar.update_engine(), UpdateEngine::Scalar);
+        assert_eq!(Engine::Batched.update_engine(), UpdateEngine::MortonBatched);
+        assert_eq!(
+            Engine::Parallel.update_engine(),
+            UpdateEngine::ShardedParallel
+        );
+        assert_eq!(
+            Engine::Sharded { shards: 2 }.update_engine(),
+            UpdateEngine::ShardedParallel
+        );
+    }
+
+    #[test]
+    fn shard_validation() {
+        assert!(Engine::Sharded { shards: 0 }.validate().is_err());
+        assert!(Engine::Sharded { shards: 9 }.validate().is_err());
+        for e in Engine::ALL {
+            assert!(e.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! The facade's single error type.
+
+use std::error::Error;
+use std::fmt;
+use std::io;
+
+use omu_core::{AccelError, CapacityError, ConfigError};
+use omu_geometry::{KeyError, ResolutionError};
+use omu_octree::{DeserializeError, ReadError};
+
+/// Any error an [`OccupancyMap`](crate::OccupancyMap) operation can
+/// produce — one type across both backends, replacing the historical
+/// `KeyError`-vs-`AccelError` split of the low-level layers.
+///
+/// Out-of-bounds coordinates are a typed variant
+/// ([`MapError::OutOfBounds`]), never a panic or a silent
+/// `Occupancy::Free`.
+///
+/// # Examples
+///
+/// ```
+/// use omu_map::{MapBuilder, MapError};
+/// use omu_geometry::Point3;
+///
+/// let mut map = MapBuilder::new(0.1).build()?;
+/// let far = Point3::new(1e9, 0.0, 0.0);
+/// assert!(matches!(map.occupancy_at(far), Err(MapError::OutOfBounds(_))));
+/// # Ok::<(), MapError>(())
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MapError {
+    /// The map resolution is not positive and finite.
+    Resolution(ResolutionError),
+    /// The accelerator configuration is invalid.
+    Config(ConfigError),
+    /// A coordinate lies outside the addressable map (or is not finite).
+    OutOfBounds(KeyError),
+    /// The accelerator backend exhausted a PE's T-Mem.
+    Capacity(CapacityError),
+    /// An invalid worker-shard count for [`Engine::Sharded`](crate::Engine).
+    InvalidShards(usize),
+    /// The selected backend does not support the requested feature.
+    Unsupported {
+        /// The backend that rejected the request.
+        backend: &'static str,
+        /// The feature it cannot provide.
+        feature: &'static str,
+    },
+    /// A filesystem or stream error during persistence.
+    Io(io::Error),
+    /// Persisted bytes did not decode to a valid map.
+    Decode(DeserializeError),
+}
+
+impl fmt::Display for MapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MapError::Resolution(e) => write!(f, "invalid resolution: {e}"),
+            MapError::Config(e) => write!(f, "invalid accelerator configuration: {e}"),
+            MapError::OutOfBounds(e) => write!(f, "out of bounds: {e}"),
+            MapError::Capacity(e) => write!(f, "capacity exhausted: {e}"),
+            MapError::InvalidShards(n) => write!(
+                f,
+                "invalid shard count {n} (must be 1..={})",
+                crate::MAX_SHARDS
+            ),
+            MapError::Unsupported { backend, feature } => {
+                write!(f, "the {backend} backend does not support {feature}")
+            }
+            MapError::Io(e) => write!(f, "i/o error: {e}"),
+            MapError::Decode(e) => write!(f, "invalid map data: {e}"),
+        }
+    }
+}
+
+impl Error for MapError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MapError::Resolution(e) => Some(e),
+            MapError::Config(e) => Some(e),
+            MapError::OutOfBounds(e) => Some(e),
+            MapError::Capacity(e) => Some(e),
+            MapError::Io(e) => Some(e),
+            MapError::Decode(e) => Some(e),
+            MapError::InvalidShards(_) | MapError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<ResolutionError> for MapError {
+    fn from(e: ResolutionError) -> Self {
+        MapError::Resolution(e)
+    }
+}
+
+impl From<ConfigError> for MapError {
+    fn from(e: ConfigError) -> Self {
+        MapError::Config(e)
+    }
+}
+
+impl From<KeyError> for MapError {
+    fn from(e: KeyError) -> Self {
+        MapError::OutOfBounds(e)
+    }
+}
+
+impl From<CapacityError> for MapError {
+    fn from(e: CapacityError) -> Self {
+        MapError::Capacity(e)
+    }
+}
+
+impl From<io::Error> for MapError {
+    fn from(e: io::Error) -> Self {
+        MapError::Io(e)
+    }
+}
+
+impl From<DeserializeError> for MapError {
+    fn from(e: DeserializeError) -> Self {
+        MapError::Decode(e)
+    }
+}
+
+impl From<ReadError> for MapError {
+    fn from(e: ReadError) -> Self {
+        match e {
+            ReadError::Io(e) => MapError::Io(e),
+            ReadError::Decode(e) => MapError::Decode(e),
+        }
+    }
+}
+
+impl From<AccelError> for MapError {
+    fn from(e: AccelError) -> Self {
+        match e {
+            AccelError::Config(e) => MapError::Config(e),
+            AccelError::Key(e) => MapError::OutOfBounds(e),
+            AccelError::Capacity(e) => MapError::Capacity(e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accel_errors_normalize() {
+        let e: MapError = AccelError::Key(KeyError::NotFinite { coord: f64::NAN }).into();
+        assert!(matches!(e, MapError::OutOfBounds(_)));
+        let e: MapError = AccelError::Capacity(CapacityError {
+            pe: 1,
+            rows_per_bank: 16,
+        })
+        .into();
+        assert!(matches!(e, MapError::Capacity(_)));
+        assert!(e.source().is_some());
+    }
+
+    #[test]
+    fn read_errors_split() {
+        let e: MapError = ReadError::Decode(DeserializeError::BadMagic).into();
+        assert!(matches!(e, MapError::Decode(DeserializeError::BadMagic)));
+        let e: MapError = ReadError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")).into();
+        assert!(matches!(e, MapError::Io(_)));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert!(MapError::InvalidShards(9).to_string().contains("1..=8"));
+        let e = MapError::Unsupported {
+            backend: "accelerator",
+            feature: "change detection",
+        };
+        assert!(e.to_string().contains("accelerator"));
+        assert!(e.to_string().contains("change detection"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_err<E: Error + Send + Sync + 'static>() {}
+        assert_err::<MapError>();
+    }
+}

@@ -80,7 +80,7 @@ pub use batch::BatchStats;
 pub use counters::OpCounters;
 pub use io::ReadError;
 pub use iter::{LeafInfo, LeafIter};
-pub use query::RayCastResult;
+pub use query::{cast_ray_with, collides_sphere_with, RayCastResult};
 pub use region::LeafInBoxIter;
 pub use serialize::DeserializeError;
 pub use stats::{MemoryStats, TreeStats};

@@ -1,6 +1,11 @@
 //! Query-side operations: occupancy ray casting for collision probing.
+//!
+//! The walk and probe algorithms are generic over an occupancy source
+//! ([`cast_ray_with`], [`collides_sphere_with`]) so the tree's inherent
+//! methods and the `omu-map` facade (which also serves the accelerator
+//! backend) share one implementation.
 
-use omu_geometry::{KeyError, LogOdds, Occupancy, Point3, VoxelKey};
+use omu_geometry::{KeyConverter, KeyError, LogOdds, Occupancy, Point3, VoxelKey};
 use omu_raycast::RayWalk;
 
 use crate::tree::OccupancyOctree;
@@ -25,6 +30,92 @@ pub enum RayCastResult {
         /// Key of the first unknown voxel.
         key: VoxelKey,
     },
+}
+
+/// Casts a query ray over any occupancy source — the single
+/// implementation behind [`OccupancyOctree::cast_ray`] and the
+/// `omu-map` facade's backend-generic query view.
+///
+/// `probe` classifies a voxel and reports its log-odds; the log-odds
+/// value is only read when the classification is
+/// [`Occupancy::Occupied`], so sources may return any placeholder
+/// otherwise.
+///
+/// # Errors
+///
+/// Returns [`KeyError`] when the origin is outside the map or the
+/// direction is degenerate.
+pub fn cast_ray_with<F>(
+    conv: &KeyConverter,
+    origin: Point3,
+    direction: Point3,
+    max_range: f64,
+    ignore_unknown: bool,
+    mut probe: F,
+) -> Result<RayCastResult, KeyError>
+where
+    F: FnMut(VoxelKey) -> (Occupancy, f32),
+{
+    let walk = RayWalk::new(conv, origin, direction, max_range)?;
+    for key in walk {
+        match probe(key) {
+            (Occupancy::Occupied, logodds) => {
+                return Ok(RayCastResult::Hit {
+                    key,
+                    point: conv.key_to_coord(key),
+                    logodds,
+                });
+            }
+            (Occupancy::Free, _) => {}
+            (Occupancy::Unknown, _) => {
+                if !ignore_unknown {
+                    return Ok(RayCastResult::UnknownBlocked { key });
+                }
+            }
+        }
+    }
+    Ok(RayCastResult::MaxRangeReached)
+}
+
+/// Sphere collision probe over any occupancy source — the single
+/// implementation behind [`OccupancyOctree::collides_sphere`] and the
+/// `omu-map` facade. Conservatively samples the voxel grid inside the
+/// sphere's bounding cube, accepting voxel centres within the radius
+/// plus half a voxel diagonal.
+///
+/// # Errors
+///
+/// Returns [`KeyError`] when the probe region leaves the addressable
+/// map.
+pub fn collides_sphere_with<F>(
+    conv: &KeyConverter,
+    center: Point3,
+    radius: f64,
+    mut probe: F,
+) -> Result<bool, KeyError>
+where
+    F: FnMut(VoxelKey) -> Occupancy,
+{
+    let res = conv.resolution();
+    let r = radius.max(0.0);
+    let min = conv.coord_to_key(center - Point3::splat(r))?;
+    let max = conv.coord_to_key(center + Point3::splat(r))?;
+    for x in min.x..=max.x {
+        for y in min.y..=max.y {
+            for z in min.z..=max.z {
+                let key = VoxelKey::new(x, y, z);
+                if probe(key) == Occupancy::Occupied {
+                    // Check the voxel centre actually lies within the
+                    // sphere (plus half a diagonal for conservatism).
+                    let c = conv.key_to_coord(key);
+                    if c.distance(center) <= r + res * 0.866 {
+                        return Ok(true);
+                    }
+                }
+            }
+        }
+    }
+    Ok(false)
 }
 
 impl<V: LogOdds> OccupancyOctree<V> {
@@ -64,26 +155,17 @@ impl<V: LogOdds> OccupancyOctree<V> {
         max_range: f64,
         ignore_unknown: bool,
     ) -> Result<RayCastResult, KeyError> {
-        let walk = RayWalk::new(&self.conv, origin, direction, max_range)?;
-        for key in walk {
-            match self.occupancy(key) {
-                Occupancy::Occupied => {
-                    let (v, _) = self.search(key).expect("occupied voxel must exist");
-                    return Ok(RayCastResult::Hit {
-                        key,
-                        point: self.conv.key_to_coord(key),
-                        logodds: v.to_f32(),
-                    });
-                }
-                Occupancy::Free => {}
-                Occupancy::Unknown => {
-                    if !ignore_unknown {
-                        return Ok(RayCastResult::UnknownBlocked { key });
-                    }
-                }
-            }
-        }
-        Ok(RayCastResult::MaxRangeReached)
+        cast_ray_with(
+            &self.conv,
+            origin,
+            direction,
+            max_range,
+            ignore_unknown,
+            |key| match self.search(key) {
+                Some((v, _)) => (self.resolved.classify(v), v.to_f32()),
+                None => (Occupancy::Unknown, 0.0),
+            },
+        )
     }
 
     /// Convenience collision probe: does a sphere of radius `radius` at
@@ -98,26 +180,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// Returns [`KeyError`] when the probe region leaves the addressable
     /// map.
     pub fn collides_sphere(&self, center: Point3, radius: f64) -> Result<bool, KeyError> {
-        let res = self.conv.resolution();
-        let r = radius.max(0.0);
-        let min = self.conv.coord_to_key(center - Point3::splat(r))?;
-        let max = self.conv.coord_to_key(center + Point3::splat(r))?;
-        for x in min.x..=max.x {
-            for y in min.y..=max.y {
-                for z in min.z..=max.z {
-                    let key = VoxelKey::new(x, y, z);
-                    if self.occupancy(key) == Occupancy::Occupied {
-                        // Check the voxel centre actually lies within the
-                        // sphere (plus half a diagonal for conservatism).
-                        let c = self.conv.key_to_coord(key);
-                        if c.distance(center) <= r + res * 0.866 {
-                            return Ok(true);
-                        }
-                    }
-                }
-            }
-        }
-        Ok(false)
+        collides_sphere_with(&self.conv, center, radius, |key| self.occupancy(key))
     }
 }
 

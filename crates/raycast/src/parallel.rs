@@ -22,7 +22,7 @@ use crate::pipeline::ScanPipeline;
 /// streams into one batch.
 ///
 /// In [`IntegrationMode::Raywise`] the merged stream is byte-for-byte the
-/// sequential [`ScanIntegrator`] stream (shards are contiguous ray
+/// sequential [`ScanIntegrator`](crate::ScanIntegrator) stream (shards are contiguous ray
 /// ranges, joined in order). In [`IntegrationMode::DedupPerScan`] the
 /// per-shard key sets are unioned before emission, so dedup stays
 /// *global* to the scan exactly like the sequential path.

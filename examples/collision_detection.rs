@@ -2,37 +2,35 @@
 //! introduction motivates (Fig. 1: the real-time 3D map serves collision
 //! detect / motion planning).
 //!
-//! Builds a corridor map, then validates a planned robot path against it
-//! using (a) the accelerator's voxel query unit and (b) the software
-//! tree's ray casting and sphere probes.
+//! Builds a corridor map on both facade backends, then validates a
+//! planned robot path against it with the unified query surface:
+//! per-waypoint occupancy on the accelerator, sphere probes and
+//! ray casting on the software tree — the same `QueryView` API either
+//! way.
 //!
 //! ```sh
 //! cargo run --release --example collision_detection
 //! ```
 
-use omu::accel::{OmuAccelerator, OmuConfig};
+use omu::accel::OmuConfig;
 use omu::datasets::DatasetKind;
 use omu::geometry::{Occupancy, Point3};
-use omu::octree::{OctreeF32, RayCastResult};
-use omu::raycast::IntegrationMode;
+use omu::map::{Backend, MapBuilder};
+use omu::octree::RayCastResult;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let dataset = DatasetKind::Fr079Corridor.build_scaled(0.1);
     let spec = *dataset.spec();
 
-    // Build the same map on both engines.
-    let mut tree = OctreeF32::new(spec.resolution)?;
-    tree.set_integration_mode(IntegrationMode::Raywise);
-    tree.set_max_range(Some(spec.max_range));
-    let mut omu = OmuAccelerator::new(
-        OmuConfig::builder()
-            .resolution(spec.resolution)
-            .max_range(Some(spec.max_range))
-            .build()?,
-    )?;
+    // Build the same map on both backends through one builder.
+    let builder = || MapBuilder::new(spec.resolution).max_range(Some(spec.max_range));
+    let mut tree = builder().build()?;
+    let mut omu = builder()
+        .backend(Backend::Accelerator(OmuConfig::default()))
+        .build()?;
     for scan in dataset.scans() {
-        tree.insert_scan(&scan)?;
-        omu.integrate_scan(&scan)?;
+        tree.insert(&scan)?;
+        omu.insert(&scan)?;
     }
 
     // A planned path down the corridor centre, and a bad one into a wall.
@@ -50,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // (a) Accelerator voxel queries: every waypoint must be free.
         let mut verdict = "clear";
         for &p in path {
-            match omu.query_point(p)? {
+            match omu.occupancy_at(p)? {
                 Occupancy::Occupied => {
                     verdict = "COLLISION";
                     break;
@@ -92,7 +90,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let q = omu.stats();
+    let q = omu.accelerator().expect("accelerator backend").stats();
     println!(
         "\nvoxel query unit served {} queries at {:.1} cycles mean latency",
         q.queries,

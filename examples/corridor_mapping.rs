@@ -1,15 +1,15 @@
-//! Map the FR-079-style corridor with both engines — the software OctoMap
-//! baseline and the OMU accelerator — and verify they agree.
+//! Map the FR-079-style corridor on both backends of the unified
+//! `omu::map` facade — the software OctoMap baseline and the OMU
+//! accelerator — and verify they produce bit-identical maps.
 //!
 //! ```sh
 //! cargo run --release --example corridor_mapping
 //! ```
 
-use omu::accel::{verify, OmuAccelerator, OmuConfig};
+use omu::accel::OmuConfig;
 use omu::cpumodel::{frame_equivalent_fps, CpuCostModel};
 use omu::datasets::DatasetKind;
-use omu::octree::OctreeF32;
-use omu::raycast::IntegrationMode;
+use omu::map::{Backend, MapBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A 10 % slice of the corridor dataset keeps this example quick.
@@ -23,17 +23,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         spec.resolution
     );
 
-    // --- Software baseline (float log-odds, instrumented). ---
-    let mut tree = OctreeF32::new(spec.resolution)?;
-    tree.set_integration_mode(IntegrationMode::Raywise);
-    tree.set_max_range(Some(spec.max_range));
+    // The same map configuration on three backends — only the
+    // `.backend(..)` line differs.
+    let builder = || MapBuilder::new(spec.resolution).max_range(Some(spec.max_range));
+    let mut software = builder().build()?;
+    let mut fixed = builder().backend(Backend::SoftwareFixed).build()?;
+    let mut accel = builder()
+        .backend(Backend::Accelerator(OmuConfig::default()))
+        .build()?;
+
     let mut updates = 0u64;
     for scan in dataset.scans() {
-        updates += tree.insert_scan(&scan)?.total_updates();
+        updates += software.insert(&scan)?.total_updates();
+        fixed.insert(&scan)?;
+        accel.insert(&scan)?;
     }
-    let counters = *tree.counters();
+
+    // --- Software baseline (float log-odds, instrumented). ---
+    let counters = software.counters().expect("software backend");
     let i9 = CpuCostModel::i9_9940x().runtime(&counters);
-    let stats = tree.tree_stats();
+    let stats = software.tree().expect("software backend").tree_stats();
     println!("\nsoftware baseline:");
     println!("  voxel updates:     {updates}");
     println!("  tree nodes:        {}", stats.num_nodes);
@@ -46,14 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- OMU accelerator (16-bit fixed point). ---
-    let config = OmuConfig::builder()
-        .resolution(spec.resolution)
-        .max_range(Some(spec.max_range))
-        .build()?;
-    let mut omu = OmuAccelerator::new(config.clone())?;
-    for scan in dataset.scans() {
-        omu.integrate_scan(&scan)?;
-    }
+    let omu = accel.accelerator().expect("accelerator backend");
     let latency = omu.elapsed_seconds();
     println!("\nOMU accelerator:");
     println!(
@@ -72,13 +74,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // --- Equivalence: the accelerator map is bit-identical to the
-    //     fixed-point software baseline. ---
-    let mut fixed = verify::baseline_for(&config);
-    for scan in dataset.scans() {
-        fixed.insert_scan(&scan)?;
-    }
-    let leaves =
-        verify::check_equivalence(&fixed, &omu).map_err(|m| format!("maps diverged:\n{m}"))?;
+    //     fixed-point software backend — same facade, same snapshots. ---
+    let leaves = omu::accel::verify::compare_snapshots(&fixed.snapshot(), &accel.snapshot())
+        .map_err(|m| format!("maps diverged:\n{m}"))?;
     println!("\nequivalence: accelerator and software maps are bit-identical ({leaves} leaves)");
     Ok(())
 }

@@ -2,20 +2,21 @@
 //! paper's introduction (3D map generation can take >70 % of a MAV's
 //! runtime, which is why it needs an accelerator).
 //!
-//! A simulated drone flies the campus loop, integrating scans as it goes;
-//! after each leg the example reports map growth, per-frame latency
-//! against the 30 FPS real-time budget, and finally persists the map and
-//! reloads it.
+//! A simulated drone flies the campus loop, integrating scans into two
+//! facade maps at once: the accelerator model (for frame-budget
+//! accounting) and its fixed-point software mirror (for change tracking
+//! and persistence); after each leg the example reports map growth and
+//! per-frame latency against the 30 FPS real-time budget, and finally
+//! persists the map and reloads it.
 //!
 //! ```sh
 //! cargo run --release --example drone_exploration
 //! ```
 
-use omu::accel::{OmuAccelerator, OmuConfig};
+use omu::accel::OmuConfig;
 use omu::datasets::DatasetKind;
 use omu::geometry::Occupancy;
-use omu::octree::OctreeFixed;
-use omu::raycast::IntegrationMode;
+use omu::map::{Backend, MapBuilder};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 12 poses around the campus loop = a light exploration sortie.
@@ -23,16 +24,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let spec = *dataset.spec();
     let config = OmuConfig::builder()
         .rows_per_bank(1 << 14) // a full outdoor map needs more than 256 kB/PE
-        .resolution(spec.resolution)
-        .max_range(Some(spec.max_range))
         .build()?;
-    let mut omu = OmuAccelerator::new(config.clone())?;
+    let builder = || MapBuilder::new(spec.resolution).max_range(Some(spec.max_range));
+    let mut map = builder().backend(Backend::Accelerator(config)).build()?;
 
-    // A mirrored software map that the drone can serialize and keep.
-    let mut tree = OctreeFixed::with_params(spec.resolution, config.params)?;
-    tree.set_integration_mode(IntegrationMode::Raywise);
-    tree.set_max_range(Some(spec.max_range));
-    tree.set_early_abort_saturated(false);
+    // The mirrored software map the drone can serialize and keep —
+    // fixed point, so it stays bit-identical to the accelerator.
+    let mut mirror = builder()
+        .backend(Backend::SoftwareFixed)
+        .change_detection(true)
+        .build()?;
 
     println!(
         "exploring {} ({} scans)...",
@@ -41,14 +42,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut last_cycles = 0u64;
     for (i, scan) in dataset.scans().enumerate() {
-        omu.integrate_scan(&scan)?;
-        tree.insert_scan(&scan)?;
+        map.insert(&scan)?;
+        mirror.insert(&scan)?;
+        let omu = map.accelerator().expect("accelerator backend");
         let stats = omu.stats();
         let frame_cycles = stats.wall_cycles - last_cycles;
         last_cycles = stats.wall_cycles;
         let frame_ms = frame_cycles as f64 / 1e6; // 1 GHz → 1e6 cycles per ms
+        let changed = mirror.drain_changed_keys().len();
         println!(
-            "scan {i:>2}: {:>7} pts, frame {:>7.2} ms {} | map: {:>7} nodes, T-Mem {:>4.1} %",
+            "scan {i:>2}: {:>7} pts, frame {:>7.2} ms {} | {:>6} voxels changed, T-Mem {:>4.1} %",
             scan.len(),
             frame_ms,
             if frame_ms <= 1000.0 / 30.0 {
@@ -56,12 +59,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             } else {
                 "(over 30 FPS budget)  "
             },
-            tree.num_nodes(),
+            changed,
             omu.sram_utilization() * 100.0,
         );
     }
 
     // Mission-level numbers.
+    let omu = map.accelerator().expect("accelerator backend");
     let stats = omu.stats();
     println!(
         "\nmission total: {:.2} s of accelerator time, {:.2} J",
@@ -74,9 +78,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Persist the map and reload it — the drone can resume later.
-    let bytes = tree.to_bytes();
-    let restored = OctreeFixed::from_bytes(&bytes)?;
-    assert_eq!(restored.snapshot(), tree.snapshot());
+    let bytes = mirror.to_bytes()?;
+    let mut restored = omu::map::OccupancyMap::from_bytes_fixed(&bytes)?;
+    assert_eq!(restored.snapshot(), mirror.snapshot());
+    // The reloaded software map matches the accelerator bit-for-bit.
+    assert_eq!(restored.snapshot(), map.snapshot());
     println!("map persisted: {} bytes, reload verified", bytes.len());
 
     // A landing-site probe on the reloaded map.

@@ -2,7 +2,45 @@
 //! Accelerator for Real-time OctoMap at the Edge"* (Jia et al., DATE 2022)
 //! as a Rust workspace.
 //!
-//! This umbrella crate re-exports every component crate:
+//! # The front door: `omu::map`
+//!
+//! [`map`] is the unified facade: [`map::MapBuilder`] resolves every
+//! knob up front (resolution, sensor model, update [`map::Engine`],
+//! [`map::Backend`], integration mode, max range, pruning, change
+//! detection) and [`map::OccupancyMap`] serves one insert/query/persist
+//! API over both the software octree and the accelerator model, with
+//! one error type ([`map::MapError`]). Every engine produces
+//! bit-identical maps on every backend.
+//!
+//! ```
+//! use omu::map::{Backend, Engine, MapBuilder};
+//! use omu::accel::OmuConfig;
+//! use omu::geometry::{Occupancy, Point3, PointCloud, Scan};
+//!
+//! # fn main() -> Result<(), omu::map::MapError> {
+//! // The paper's design point: the OMU accelerator model behind the
+//! // unified map API, fed by Morton-batched updates.
+//! let mut map = MapBuilder::new(0.2)
+//!     .engine(Engine::Batched)
+//!     .backend(Backend::Accelerator(OmuConfig::default()))
+//!     .build()?;
+//! let scan = Scan::new(
+//!     Point3::ZERO,
+//!     [Point3::new(1.0, 0.0, 0.25)].into_iter().collect::<PointCloud>(),
+//! );
+//! map.insert(&scan)?;
+//! assert_eq!(
+//!     map.occupancy_at(Point3::new(1.0, 0.0, 0.25))?,
+//!     Occupancy::Occupied
+//! );
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # The low-level layer
+//!
+//! The component crates remain available for direct use (the facade is
+//! built from them):
 //!
 //! - [`geometry`] — points, voxel keys, log-odds, fixed point.
 //! - [`raycast`] — 3D DDA ray casting and scan integration.
@@ -11,30 +49,12 @@
 //! - [`cpumodel`] — calibrated CPU timing models (i9-9940X, Cortex-A57).
 //! - [`datasets`] — synthetic stand-ins for the OctoMap 3D scan dataset.
 //! - [`accel`] — the OMU accelerator model itself (`omu-core`).
-//!
-//! # Quickstart
-//!
-//! ```
-//! use omu::accel::{OmuAccelerator, OmuConfig};
-//! use omu::geometry::{Point3, PointCloud, Scan};
-//!
-//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
-//! let mut omu = OmuAccelerator::new(OmuConfig::default())?;
-//! let scan = Scan::new(
-//!     Point3::ZERO,
-//!     [Point3::new(1.0, 0.0, 0.25)].into_iter().collect::<PointCloud>(),
-//! );
-//! omu.integrate_scan(&scan)?;
-//! let state = omu.query_point(Point3::new(1.0, 0.0, 0.25))?;
-//! assert_eq!(state, omu::geometry::Occupancy::Occupied);
-//! # Ok(())
-//! # }
-//! ```
 
 pub use omu_core as accel;
 pub use omu_cpumodel as cpumodel;
 pub use omu_datasets as datasets;
 pub use omu_geometry as geometry;
+pub use omu_map as map;
 pub use omu_octree as octree;
 pub use omu_raycast as raycast;
 pub use omu_simhw as simhw;

@@ -352,6 +352,61 @@ fn sharded_parallel_handles_branch_straddling_batches() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Persistence under the parallel engines: a map built through
+    // `Engine::Sharded` round-trips through `to_bytes`/`from_bytes` and
+    // `save_to_file`/`load_from_file` bit-identical to the scalar-built
+    // equivalent — serialization must not depend on which engine (or how
+    // many worker shards) produced the arena layout.
+    #[test]
+    fn sharded_built_maps_roundtrip_bit_identical_to_scalar(
+        seed in any::<u64>(),
+        nscans in 2usize..4,
+        points in 20usize..50,
+    ) {
+        use omu::map::{Engine, MapBuilder, OccupancyMap};
+
+        let scans = random_scans(seed, nscans, points);
+        let shards = [1usize, 2, 4, 8][(seed % 4) as usize];
+        let build = |engine: Engine| {
+            let mut map = MapBuilder::new(0.1)
+                .engine(engine)
+                .max_range(Some(6.0))
+                .build()
+                .unwrap();
+            for scan in &scans {
+                map.insert(scan).unwrap();
+            }
+            map
+        };
+        let scalar = build(Engine::Scalar);
+        let sharded = build(Engine::Sharded { shards });
+        prop_assert_eq!(scalar.snapshot(), sharded.snapshot());
+
+        // Byte round-trip of the sharded-built map lands exactly on the
+        // scalar-built snapshot (and config).
+        let restored = OccupancyMap::from_bytes(&sharded.to_bytes().unwrap()).unwrap();
+        prop_assert_eq!(restored.snapshot(), scalar.snapshot());
+        prop_assert_eq!(restored.resolution(), scalar.resolution());
+
+        // File round-trip too (`save_to_file`/`load_from_file`).
+        let path = std::env::temp_dir().join(format!(
+            "omu_facade_roundtrip_{seed}_{shards}.omut"
+        ));
+        sharded.save_to_file(&path).unwrap();
+        let reloaded = OccupancyMap::load_from_file(&path).unwrap();
+        let _ = std::fs::remove_file(&path);
+        prop_assert_eq!(reloaded.snapshot(), scalar.snapshot());
+        prop_assert_eq!(
+            reloaded.to_bytes().unwrap(),
+            scalar.to_bytes().unwrap(),
+            "re-serialization is byte-stable across engines"
+        );
+    }
+}
+
 #[test]
 fn sharded_accelerator_engine_matches_scalar_on_dataset() {
     let dataset = DatasetKind::Fr079Corridor.build_scaled(0.016);

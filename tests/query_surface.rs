@@ -1,0 +1,254 @@
+//! Query-surface validation: the facade's `cast_ray` and
+//! `collides_sphere` are checked against brute-force geometry on small
+//! random maps, for both backends. The brute force never walks the ray —
+//! it enumerates every occupied finest voxel from the map snapshot and
+//! intersects analytically — so an error in the DDA walk, in the
+//! unknown-space handling or in a backend's query path cannot cancel
+//! out.
+
+use omu::accel::OmuConfig;
+use omu::geometry::{KeyConverter, Occupancy, Point3, PointCloud, Scan, VoxelKey, TREE_DEPTH};
+use omu::map::{Backend, Engine, MapBuilder, OccupancyMap};
+use omu::octree::RayCastResult;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const RES: f64 = 0.1;
+
+fn random_map_scans(seed: u64) -> Vec<Scan> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..2)
+        .map(|_| {
+            let origin = Point3::new(
+                rng.random_range(-0.4..0.4),
+                rng.random_range(-0.4..0.4),
+                rng.random_range(-0.3..0.3),
+            );
+            let cloud: PointCloud = (0..30)
+                .map(|_| {
+                    Point3::new(
+                        rng.random_range(-2.5..2.5),
+                        rng.random_range(-2.5..2.5),
+                        rng.random_range(-1.0..1.0),
+                    )
+                })
+                .collect();
+            Scan::new(origin, cloud)
+        })
+        .collect()
+}
+
+fn backends() -> Vec<OccupancyMap> {
+    vec![
+        MapBuilder::new(RES).build().unwrap(),
+        MapBuilder::new(RES)
+            .backend(Backend::Accelerator(OmuConfig::default()))
+            .engine(Engine::Sharded { shards: 8 })
+            .build()
+            .unwrap(),
+    ]
+}
+
+/// Every occupied *finest* voxel of the map, expanded from the snapshot
+/// (pruned occupied leaves cover whole cubes). Classification goes back
+/// through the map's own query path so the expansion agrees with the
+/// backend's thresholds exactly.
+fn occupied_voxels(map: &mut OccupancyMap) -> Vec<VoxelKey> {
+    let mut out = Vec::new();
+    for (key, depth, _) in map.snapshot() {
+        if map.occupancy(key) != Occupancy::Occupied {
+            continue;
+        }
+        let span = 1u16 << (TREE_DEPTH - depth);
+        for dx in 0..span {
+            for dy in 0..span {
+                for dz in 0..span {
+                    out.push(VoxelKey::new(key.x + dx, key.y + dy, key.z + dz));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Entry distance of the ray into a voxel's axis-aligned box (slab
+/// method), or `None` when the ray misses it. `dir` must be normalized;
+/// distances are metres along the ray, clamped at 0 for boxes containing
+/// the origin.
+fn ray_box_entry(conv: &KeyConverter, origin: Point3, dir: Point3, key: VoxelKey) -> Option<f64> {
+    let c = conv.key_to_coord(key);
+    let half = conv.resolution() / 2.0;
+    let (mut t0, mut t1) = (f64::NEG_INFINITY, f64::INFINITY);
+    for (o, d, lo, hi) in [
+        (origin.x, dir.x, c.x - half, c.x + half),
+        (origin.y, dir.y, c.y - half, c.y + half),
+        (origin.z, dir.z, c.z - half, c.z + half),
+    ] {
+        if d.abs() < 1e-12 {
+            if o < lo || o > hi {
+                return None;
+            }
+            continue;
+        }
+        let (a, b) = ((lo - o) / d, (hi - o) / d);
+        t0 = t0.max(a.min(b));
+        t1 = t1.min(a.max(b));
+    }
+    (t1 >= t0 && t1 >= 0.0).then(|| t0.max(0.0))
+}
+
+fn ray_directions(seed: u64) -> Vec<Point3> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE);
+    (0..6)
+        .map(|_| {
+            let theta: f64 = rng.random_range(0.0..std::f64::consts::TAU);
+            let z: f64 = rng.random_range(-0.9..0.9);
+            let r = (1.0 - z * z).sqrt();
+            Point3::new(r * theta.cos(), r * theta.sin(), z)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // `cast_ray` through the facade finds exactly the occupied voxel
+    // with the smallest ray-entry distance, on both backends.
+    #[test]
+    fn cast_ray_matches_brute_force_on_both_backends(seed in any::<u64>()) {
+        let scans = random_map_scans(seed);
+        let max_range = 6.0;
+        for mut map in backends() {
+            for scan in &scans {
+                map.insert(scan).unwrap();
+            }
+            let occupied = occupied_voxels(&mut map);
+            prop_assert!(!occupied.is_empty(), "maps must contain walls");
+            let conv = *map.converter();
+            let origin = scans[0].origin;
+
+            for dir in ray_directions(seed) {
+                let result = map.cast_ray(origin, dir, max_range, true).unwrap();
+                let best = occupied
+                    .iter()
+                    .filter_map(|&k| ray_box_entry(&conv, origin, dir, k).map(|t| (k, t)))
+                    .min_by(|a, b| a.1.total_cmp(&b.1));
+
+                match (result, best) {
+                    (RayCastResult::Hit { key, point, logodds }, Some((bk, bt))) => {
+                        prop_assert!(
+                            bt <= max_range + RES,
+                            "{}: hit beyond brute-force range", map.backend_name()
+                        );
+                        prop_assert_eq!(
+                            key, bk,
+                            "{}: hit {:?} but brute force says {:?} (t = {:.3})",
+                            map.backend_name(), key, bk, bt
+                        );
+                        prop_assert_eq!(point, conv.key_to_coord(key));
+                        prop_assert_eq!(map.logodds(key), Some(logodds));
+                        prop_assert_eq!(map.occupancy(key), Occupancy::Occupied);
+                    }
+                    (RayCastResult::MaxRangeReached, None) => {}
+                    (RayCastResult::MaxRangeReached, Some((_, bt))) => {
+                        // The only legitimate misses sit at the range
+                        // boundary (the walk stops at max_range) or
+                        // graze a box corner with zero chord length.
+                        prop_assert!(
+                            bt > max_range - RES,
+                            "{}: walk missed an occupied voxel at t = {:.3}",
+                            map.backend_name(), bt
+                        );
+                    }
+                    (other, best) => {
+                        prop_assert!(
+                            false,
+                            "{}: unexpected combination {:?} vs {:?}",
+                            map.backend_name(), other, best
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // `collides_sphere` through the facade agrees with the analytic
+    // check over all occupied voxels, on both backends.
+    #[test]
+    fn collides_sphere_matches_brute_force_on_both_backends(seed in any::<u64>()) {
+        let scans = random_map_scans(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let probes: Vec<(Point3, f64)> = (0..12)
+            .map(|_| {
+                (
+                    Point3::new(
+                        rng.random_range(-2.5..2.5),
+                        rng.random_range(-2.5..2.5),
+                        rng.random_range(-1.0..1.0),
+                    ),
+                    rng.random_range(0.05..0.6),
+                )
+            })
+            .collect();
+
+        for mut map in backends() {
+            for scan in &scans {
+                map.insert(scan).unwrap();
+            }
+            let occupied = occupied_voxels(&mut map);
+            let conv = *map.converter();
+
+            for &(center, radius) in &probes {
+                let got = map.collides_sphere(center, radius).unwrap();
+                // The probe scans the voxel grid inside the sphere's
+                // bounding cube and accepts centres within r plus half a
+                // voxel diagonal.
+                let lo = conv.coord_to_key(center - Point3::splat(radius)).unwrap();
+                let hi = conv.coord_to_key(center + Point3::splat(radius)).unwrap();
+                let expected = occupied.iter().any(|&k| {
+                    (lo.x..=hi.x).contains(&k.x)
+                        && (lo.y..=hi.y).contains(&k.y)
+                        && (lo.z..=hi.z).contains(&k.z)
+                        && conv.key_to_coord(k).distance(center) <= radius + RES * 0.866
+                });
+                prop_assert_eq!(
+                    got, expected,
+                    "{}: sphere at {} r = {:.2}",
+                    map.backend_name(), center, radius
+                );
+            }
+        }
+    }
+}
+
+/// Unknown-space blocking: with `ignore_unknown = false` both backends
+/// stop at the same first unknown voxel (bit-identical maps on fixed
+/// point make this exact).
+#[test]
+fn unknown_blocking_agrees_across_backends() {
+    let scans = random_map_scans(11);
+    let mut sw = MapBuilder::new(RES)
+        .backend(Backend::SoftwareFixed)
+        .build()
+        .unwrap();
+    let mut hw = MapBuilder::new(RES)
+        .backend(Backend::Accelerator(OmuConfig::default()))
+        .build()
+        .unwrap();
+    for scan in &scans {
+        sw.insert(scan).unwrap();
+        hw.insert(scan).unwrap();
+    }
+    let origin = scans[0].origin;
+    let mut blocked = 0;
+    for dir in ray_directions(11) {
+        let a = sw.cast_ray(origin, dir, 8.0, false).unwrap();
+        let b = hw.cast_ray(origin, dir, 8.0, false).unwrap();
+        assert_eq!(a, b, "direction {dir}");
+        if matches!(a, RayCastResult::UnknownBlocked { .. }) {
+            blocked += 1;
+        }
+    }
+    assert!(blocked > 0, "some rays must leave the observed cone");
+}
