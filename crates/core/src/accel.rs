@@ -1,12 +1,13 @@
 //! The top-level OMU accelerator (paper Fig. 7).
 
 use omu_geometry::{FixedLogOdds, KeyConverter, Occupancy, Point3, ResolvedParams, Scan, VoxelKey};
-use omu_raycast::{IntegrationStats, VoxelUpdate};
+use omu_octree::{cast_ray_resuming, collides_sphere_with, serve_morton_coalesced, RayCastResult};
+use omu_raycast::{IntegrationStats, RayWalk, VoxelUpdate};
 use omu_simhw::{tech12nm, AxiStreamModel, EnergyLedger, PowerReport};
 
 use crate::config::OmuConfig;
 use crate::error::AccelError;
-use crate::pe::PeUnit;
+use crate::pe::{PeQueryCursor, PeUnit};
 use crate::pipeline::UpdateEngine;
 use crate::query_unit::QueryUnitStats;
 use crate::raycast_unit::RayCastUnit;
@@ -32,6 +33,11 @@ pub struct OmuAccelerator {
     // Reusable buffers for the batched front end.
     scratch_batch: Vec<(u64, VoxelUpdate)>,
     scratch_run: Vec<u64>,
+    // The voxel query unit's cached-descent register files (one per PE)
+    // and reusable buffers for the batched query entry points.
+    query_cursors: Vec<PeQueryCursor>,
+    scratch_qorder: Vec<(u64, u32)>,
+    scratch_walk: RayWalk,
 }
 
 impl OmuAccelerator {
@@ -64,6 +70,7 @@ impl OmuAccelerator {
             config.burst_discount_pct,
         );
         let axi = AxiStreamModel::new(config.axi_bus_bits, config.clock_ghz);
+        let query_cursors = vec![PeQueryCursor::new(); config.num_pes];
         Ok(OmuAccelerator {
             config,
             conv,
@@ -75,6 +82,9 @@ impl OmuAccelerator {
             stats: AccelStats::default(),
             scratch_batch: Vec::new(),
             scratch_run: Vec::new(),
+            query_cursors,
+            scratch_qorder: Vec::new(),
+            scratch_walk: RayWalk::idle(),
         })
     }
 
@@ -435,6 +445,193 @@ impl OmuAccelerator {
             depth -= 1;
         }
         Ok(self.query_key_at_depth(key, depth))
+    }
+
+    /// Invalidates the query unit's per-PE cached-descent registers.
+    /// Every batched query entry point starts from cold cursors — the
+    /// registers cache raw T-Mem contents, so a path cached before an
+    /// update would be stale.
+    fn reset_query_cursors(&mut self) {
+        for c in &mut self.query_cursors {
+            c.reset();
+        }
+    }
+
+    /// Mirrors the query unit's totals into the device-level stats
+    /// record.
+    fn sync_query_stats(&mut self) {
+        self.stats.queries = self.query_stats.queries;
+        self.stats.query_cycles = self.query_stats.cycles;
+    }
+
+    /// Classifies a batch of voxel keys through the voxel query unit's
+    /// cached-descent path, returning occupancies in input order.
+    ///
+    /// The batch is sorted by Morton code so each PE's probes arrive as
+    /// contiguous runs: a probe sharing a root-path prefix with its PE's
+    /// previous probe replays the shared levels from the unit's path
+    /// registers at the scheduler's burst discount
+    /// ([`OmuConfig::burst_discount_pct`]); duplicate keys are served
+    /// from the result latch without any descent. Classifications are
+    /// identical to calling [`Self::query_key`] per key.
+    pub fn query_batch(&mut self, keys: &[VoxelKey]) -> Vec<Occupancy> {
+        self.reset_query_cursors();
+        let discount = self.config.burst_discount_pct;
+        let overhead = self.config.timing.query_overhead;
+        let mut order = std::mem::take(&mut self.scratch_qorder);
+        let mut results = vec![Occupancy::Unknown; keys.len()];
+        let pes = &mut self.pes;
+        let scheduler = &self.scheduler;
+        let cursors = &mut self.query_cursors;
+        let qs = &mut self.query_stats;
+        let mut duplicates = 0u64;
+        serve_morton_coalesced(
+            keys,
+            &mut order,
+            &mut results,
+            |key| {
+                let pe = scheduler.pe_for(key);
+                let out = pes[pe].query_cached(key, &mut cursors[pe], discount);
+                qs.record(out.cycles);
+                qs.record_reuse(out.reused_levels, out.saved_cycles);
+                out.occupancy
+            },
+            || duplicates += 1,
+        );
+        // Coalesced duplicates are served from the result latch at
+        // overhead cost only.
+        self.query_stats.queries += duplicates;
+        self.query_stats.cycles += overhead * duplicates;
+        self.query_stats.coalesced += duplicates;
+        self.query_stats.batch_queries += keys.len() as u64;
+        self.scratch_qorder = order;
+        self.sync_query_stats();
+        results
+    }
+
+    /// Casts a query ray through the voxel query unit: every DDA step's
+    /// probe goes through the per-PE cached-descent registers, and
+    /// adjacent steps share almost their whole root path, so the per-step
+    /// descent is amortized O(1) T-Mem reads. The result is identical to
+    /// probing every step with [`Self::query_key`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Key`] when the origin is outside the map or
+    /// the direction is degenerate.
+    pub fn cast_ray(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, AccelError> {
+        self.reset_query_cursors();
+        self.cast_ray_warm(origin, direction, max_range, ignore_unknown)
+    }
+
+    /// Casts a batch of query rays (`(origin, direction)` pairs) through
+    /// the query unit, reusing one DDA walk and keeping the descent
+    /// registers warm across rays (no update can run in between). Results
+    /// are in input order and identical to casting each ray through
+    /// [`Self::cast_ray`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`AccelError::Key`] (in input order) for a bad
+    /// origin or degenerate direction.
+    pub fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<Vec<RayCastResult>, AccelError> {
+        self.reset_query_cursors();
+        rays.iter()
+            .map(|&(o, d)| self.cast_ray_warm(o, d, max_range, ignore_unknown))
+            .collect()
+    }
+
+    /// One ray through the query unit with whatever register state the
+    /// cursors currently hold (valid because queries never update T-Mem).
+    fn cast_ray_warm(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, AccelError> {
+        let conv = self.conv;
+        let discount = self.config.burst_discount_pct;
+        let mut walk = std::mem::replace(&mut self.scratch_walk, RayWalk::idle());
+        let pes = &mut self.pes;
+        let scheduler = &self.scheduler;
+        let cursors = &mut self.query_cursors;
+        let qs = &mut self.query_stats;
+        let mut steps = 0u64;
+        let res = cast_ray_resuming(
+            &conv,
+            &mut walk,
+            origin,
+            direction,
+            max_range,
+            ignore_unknown,
+            |key| {
+                steps += 1;
+                let pe = scheduler.pe_for(key);
+                let out = pes[pe].query_cached(key, &mut cursors[pe], discount);
+                qs.record(out.cycles);
+                qs.record_reuse(out.reused_levels, out.saved_cycles);
+                match out.occupancy {
+                    Occupancy::Occupied => (
+                        Occupancy::Occupied,
+                        pes[pe]
+                            .peek_logodds(key)
+                            .expect("occupied voxel must hold a value"),
+                    ),
+                    other => (other, 0.0),
+                }
+            },
+        );
+        self.scratch_walk = walk;
+        self.query_stats.rays += 1;
+        self.query_stats.ray_steps += steps;
+        self.sync_query_stats();
+        Ok(res?)
+    }
+
+    /// Sphere collision probe through the query unit: does a sphere of
+    /// radius `radius` at `center` intersect any occupied voxel? The grid
+    /// sweep inside the ball probes adjacent voxels, so the cached
+    /// descent amortizes their shared prefixes. Classifications are
+    /// identical to probing each voxel with [`Self::query_key`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AccelError::Key`] when the probe region leaves the map.
+    pub fn collides_sphere(&mut self, center: Point3, radius: f64) -> Result<bool, AccelError> {
+        self.reset_query_cursors();
+        let conv = self.conv;
+        let discount = self.config.burst_discount_pct;
+        let pes = &mut self.pes;
+        let scheduler = &self.scheduler;
+        let cursors = &mut self.query_cursors;
+        let qs = &mut self.query_stats;
+        let res = collides_sphere_with(&conv, center, radius, |key| {
+            let pe = scheduler.pe_for(key);
+            let out = pes[pe].query_cached(key, &mut cursors[pe], discount);
+            qs.record(out.cycles);
+            qs.record_reuse(out.reused_levels, out.saved_cycles);
+            out.occupancy
+        });
+        self.sync_query_stats();
+        Ok(res?)
+    }
+
+    /// The voxel query unit's counters (queries, cycles, cached-descent
+    /// reuse) — the read-side mirror of [`Self::stats`].
+    pub fn query_unit_stats(&self) -> QueryUnitStats {
+        self.query_stats
     }
 
     /// Device statistics, with per-PE counters sampled live. The wall
@@ -822,6 +1019,110 @@ mod tests {
             omu.query_point(Point3::new(1.0, 0.0, 0.0)).unwrap(),
             Occupancy::Occupied
         );
+    }
+
+    #[test]
+    fn query_batch_matches_scalar_queries_and_discounts() {
+        let pts: Vec<Point3> = (0..48)
+            .map(|i| {
+                let a = i as f64 * 0.131;
+                Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.2)
+            })
+            .collect();
+        let mut omu = accel();
+        omu.integrate_scan(&Scan::new(
+            Point3::new(0.01, 0.01, 0.01),
+            pts.into_iter().collect::<PointCloud>(),
+        ))
+        .unwrap();
+
+        // A probe stream with spatial coherence plus exact duplicates.
+        let mut keys: Vec<VoxelKey> = (0..200u16)
+            .map(|i| VoxelKey::new(32700 + i % 60, 32760 + i / 4, 32770 + i % 3))
+            .collect();
+        keys.extend_from_slice(&keys.clone()[..40]);
+
+        let expected: Vec<Occupancy> = keys.iter().map(|&k| omu.query_key(k)).collect();
+        let scalar_cycles = omu.query_unit_stats().cycles;
+        let got = omu.query_batch(&keys);
+        assert_eq!(got, expected);
+
+        let q = omu.query_unit_stats();
+        assert_eq!(q.batch_queries, 240);
+        assert!(q.coalesced >= 40, "duplicates must coalesce");
+        assert!(q.reused_levels > 0, "Morton order must replay registers");
+        assert!(q.saved_cycles > 0);
+        // The cached path serves the same stream in fewer cycles than the
+        // scalar unit did.
+        assert!(q.cycles - scalar_cycles < scalar_cycles);
+        // Device stats mirror the unit.
+        assert_eq!(omu.stats().queries, q.queries);
+        assert_eq!(omu.stats().query_cycles, q.cycles);
+    }
+
+    #[test]
+    fn accel_cast_ray_and_sphere_probe_count_reuse() {
+        let pts: Vec<Point3> = (0..48)
+            .map(|i| {
+                let a = i as f64 * 0.131;
+                Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.2)
+            })
+            .collect();
+        let mut omu = accel();
+        omu.integrate_scan(&Scan::new(
+            Point3::new(0.01, 0.01, 0.01),
+            pts.into_iter().collect::<PointCloud>(),
+        ))
+        .unwrap();
+
+        let hit = omu
+            .cast_ray(
+                Point3::new(0.01, 0.01, 0.2),
+                Point3::new(1.0, 0.0, 0.0),
+                5.0,
+                true,
+            )
+            .unwrap();
+        match hit {
+            RayCastResult::Hit { point, logodds, .. } => {
+                assert!((point.x - 2.0).abs() < 0.2, "wall sits at r = 2: {point}");
+                assert!(logodds > 0.0);
+            }
+            other => panic!("expected a hit, got {other:?}"),
+        }
+        let q = omu.query_unit_stats();
+        assert_eq!(q.rays, 1);
+        assert!(q.ray_steps > 10, "2 m at 0.1 m voxels is ≥ 20 steps");
+        assert!(
+            q.reused_levels as f64 / q.ray_steps as f64 > 8.0,
+            "adjacent DDA steps replay most of the 16-level path"
+        );
+
+        // Batch form agrees with per-ray casting.
+        let rays: Vec<(Point3, Point3)> = (0..8)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                (
+                    Point3::new(0.01, 0.01, 0.2),
+                    Point3::new(a.cos(), a.sin(), 0.0),
+                )
+            })
+            .collect();
+        let batch = omu.cast_rays(&rays, 5.0, true).unwrap();
+        for (i, &(o, d)) in rays.iter().enumerate() {
+            assert_eq!(batch[i], omu.cast_ray(o, d, 5.0, true).unwrap(), "ray {i}");
+        }
+        assert!(omu
+            .cast_rays(&[(Point3::ZERO, Point3::ZERO)], 5.0, true)
+            .is_err());
+
+        // Sphere probes classify like scalar queries.
+        assert!(omu
+            .collides_sphere(Point3::new(2.0, 0.0, 0.2), 0.3)
+            .unwrap());
+        assert!(!omu
+            .collides_sphere(Point3::new(0.5, 0.5, 0.2), 0.2)
+            .unwrap());
     }
 
     #[test]

@@ -80,7 +80,7 @@ pub use accel::OmuAccelerator;
 pub use config::{OmuConfig, OmuConfigBuilder, PeTiming};
 pub use entry::{ChildStatus, NodeEntry, NULL_PTR};
 pub use error::{AccelError, CapacityError, ConfigError};
-pub use pe::{PeUnit, PeUpdateOutcome};
+pub use pe::{PeQueryCursor, PeQueryOutcome, PeUnit, PeUpdateOutcome};
 pub use pipeline::{
     run_accelerator, run_accelerator_with_engine, summarize, AccelRunSummary, UpdateEngine,
 };

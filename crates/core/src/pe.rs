@@ -41,6 +41,62 @@ pub struct PeUpdateOutcome {
     pub service_cycles: u64,
 }
 
+/// Result of one cached-descent query ([`PeUnit::query_cached`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeQueryOutcome {
+    /// Occupancy classification of the queried voxel — always identical
+    /// to what [`PeUnit::query`] would report.
+    pub occupancy: Occupancy,
+    /// Service time of this query in cycles.
+    pub cycles: u64,
+    /// Descent levels replayed from the cursor's path registers.
+    pub reused_levels: u64,
+    /// Cycles the replay saved vs a full-rate descent of those levels.
+    pub saved_cycles: u64,
+}
+
+/// The voxel query unit's cached-descent register file for one PE: the
+/// node entries along the previous query's root path, so a query
+/// sharing a Morton prefix with its predecessor replays the shared
+/// levels from registers instead of re-reading T-Mem.
+///
+/// The cursor caches raw T-Mem contents, so it is only valid while no
+/// update runs between queries — the accelerator's batched query entry
+/// points create cursors per call, never across calls.
+#[derive(Debug, Clone)]
+pub struct PeQueryCursor {
+    prev: Option<VoxelKey>,
+    /// Deepest tree depth with a valid entry (0 = nothing cached;
+    /// entry at depth `d` lives in `entries[d - 1]`).
+    depth: u8,
+    entries: [NodeEntry; TREE_DEPTH as usize],
+}
+
+impl PeQueryCursor {
+    /// An empty cursor (first query descends from the PE root).
+    pub fn new() -> Self {
+        PeQueryCursor {
+            prev: None,
+            depth: 0,
+            entries: [NodeEntry::EMPTY; TREE_DEPTH as usize],
+        }
+    }
+
+    /// Invalidates the cached path (the next query descends from the PE
+    /// root). Must be called after any update to the hosting PE — the
+    /// registers cache raw T-Mem contents.
+    pub fn reset(&mut self) {
+        self.prev = None;
+        self.depth = 0;
+    }
+}
+
+impl Default for PeQueryCursor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// One processing element of the OMU accelerator.
 #[derive(Debug, Clone)]
 pub struct PeUnit {
@@ -313,6 +369,80 @@ impl PeUnit {
             cycles += t.query_per_level;
         }
         (self.classify(entry.prob), cycles)
+    }
+
+    /// Queries the occupancy of a voxel through a cached-descent cursor:
+    /// levels the key shares with the cursor's previous query replay
+    /// from the path registers at a per-level cost discounted by
+    /// `discount_pct` percent (the voxel scheduler's burst analogue on
+    /// the read side); only the new suffix pays full-rate T-Mem reads.
+    ///
+    /// The classification is always identical to [`Self::query`] — the
+    /// cursor only changes which reads hit registers vs SRAM — provided
+    /// no update ran on this PE since the cursor's previous query.
+    pub fn query_cached(
+        &mut self,
+        key: VoxelKey,
+        cursor: &mut PeQueryCursor,
+        discount_pct: u32,
+    ) -> PeQueryOutcome {
+        let t = self.timing;
+        let branch = key.first_level_branch().index();
+        let mut cycles = t.query_overhead;
+        let mut reused_levels = 0u64;
+        let mut saved_cycles = 0u64;
+
+        if !self.root_live[branch] {
+            cursor.prev = None;
+            cursor.depth = 0;
+            return PeQueryOutcome {
+                occupancy: Occupancy::Unknown,
+                cycles,
+                reused_levels,
+                saved_cycles,
+            };
+        }
+
+        // Resume from the deepest cached level on this key's root path.
+        // A shared prefix of ≥ 1 level implies the same first-level
+        // branch, so the cached entries are on the right PE subtree.
+        let prefix = cursor.prev.map_or(0, |p| p.common_prefix_depth(key));
+        let resume = prefix.min(cursor.depth);
+        let (mut entry, mut depth) = if resume >= 1 {
+            let full = t.query_per_level * resume as u64;
+            let charged = full - full * discount_pct as u64 / 100;
+            cycles += charged;
+            reused_levels = resume as u64;
+            saved_cycles = full - charged;
+            (cursor.entries[(resume - 1) as usize], resume)
+        } else {
+            let entry = self.mem.read_entry(0, branch);
+            cycles += t.query_per_level;
+            cursor.entries[0] = entry;
+            (entry, 1)
+        };
+
+        let occupancy = loop {
+            if entry.is_leaf() || depth == TREE_DEPTH {
+                break self.classify(entry.prob);
+            }
+            let pos = key.child_index_at(depth).index();
+            if !entry.child_status(pos).exists() {
+                break Occupancy::Unknown;
+            }
+            entry = self.mem.read_entry(entry.ptr, pos);
+            cycles += t.query_per_level;
+            depth += 1;
+            cursor.entries[(depth - 1) as usize] = entry;
+        };
+        cursor.prev = Some(key);
+        cursor.depth = depth;
+        PeQueryOutcome {
+            occupancy,
+            cycles,
+            reused_levels,
+            saved_cycles,
+        }
     }
 
     #[inline]
@@ -694,6 +824,73 @@ mod tests {
     fn zero_depth_query_rejected() {
         let mut pe = pe();
         let _ = pe.query_at_depth(VoxelKey::ORIGIN, 0);
+    }
+
+    #[test]
+    fn cached_query_matches_plain_query_everywhere() {
+        let mut pe = pe();
+        // A small structured map: a run of voxels plus a pruned octant.
+        for i in 0..24u16 {
+            pe.update_voxel(key_in_branch(2, (100 + i, 200, 300)), i % 3 != 0)
+                .unwrap();
+        }
+        for _ in 0..10 {
+            for i in 0..8u16 {
+                let k = key_in_branch(2, (2 + (i & 1), 4 + ((i >> 1) & 1), 6 + ((i >> 2) & 1)));
+                pe.update_voxel(k, true).unwrap();
+            }
+        }
+        let mut cursor = PeQueryCursor::new();
+        let mut total_reused = 0u64;
+        let mut total_saved = 0u64;
+        // Probe a coherent stream (adjacent keys) and scattered keys,
+        // including unknowns and a branch the PE never touched.
+        let keys: Vec<VoxelKey> =
+            (0..24u16)
+                .map(|i| key_in_branch(2, (100 + i, 200, 300)))
+                .chain((0..8u16).map(|i| {
+                    key_in_branch(2, (2 + (i & 1), 4 + ((i >> 1) & 1), 6 + ((i >> 2) & 1)))
+                }))
+                .chain([
+                    key_in_branch(2, (999, 999, 999)),
+                    key_in_branch(5, (1, 2, 3)),
+                ])
+                .collect();
+        for k in keys {
+            let plain = pe.query(k).0;
+            let out = pe.query_cached(k, &mut cursor, 25);
+            assert_eq!(out.occupancy, plain, "key {k}");
+            total_reused += out.reused_levels;
+            total_saved += out.saved_cycles;
+        }
+        assert!(total_reused > 0, "adjacent keys must replay registers");
+        assert!(total_saved > 0, "replays must be discounted");
+    }
+
+    #[test]
+    fn cached_query_discount_shrinks_cycles() {
+        let mut pe = pe();
+        let a = key_in_branch(1, (500, 600, 700));
+        let b = key_in_branch(1, (501, 600, 700));
+        pe.update_voxel(a, true).unwrap();
+        pe.update_voxel(b, true).unwrap();
+
+        // Full-rate second query (0 % discount) vs discounted replay.
+        let mut c0 = PeQueryCursor::new();
+        pe.query_cached(a, &mut c0, 0);
+        let flat = pe.query_cached(b, &mut c0, 0);
+        let mut c25 = PeQueryCursor::new();
+        pe.query_cached(a, &mut c25, 25);
+        let discounted = pe.query_cached(b, &mut c25, 25);
+        assert_eq!(flat.occupancy, discounted.occupancy);
+        assert_eq!(flat.reused_levels, discounted.reused_levels);
+        assert_eq!(flat.saved_cycles, 0);
+        assert!(discounted.saved_cycles > 0);
+        assert!(discounted.cycles < flat.cycles);
+
+        // Reset forgets the path: the next query replays nothing.
+        c25.reset();
+        assert_eq!(pe.query_cached(a, &mut c25, 25).reused_levels, 0);
     }
 
     #[test]

@@ -7,6 +7,7 @@ use serde::{Deserialize, Serialize};
 use crate::accel::OmuAccelerator;
 use crate::config::OmuConfig;
 use crate::error::AccelError;
+use crate::query_unit::QueryUnitStats;
 
 /// Voxel updates per frame-equivalent for the paper's FPS convention
 /// (a 320 × 240 sensor image at a nominal 15 updates per pixel; see
@@ -42,6 +43,9 @@ pub struct AccelRunSummary {
     pub load_imbalance: f64,
     /// Scheduler issue stalls in cycles.
     pub stall_cycles: u64,
+    /// Voxel query unit counters (queries served, cycles, cached-descent
+    /// reuse) — zero when the run never queried the map.
+    pub query: QueryUnitStats,
 }
 
 /// Which voxel-update path a mapping run drives.
@@ -152,6 +156,7 @@ pub fn summarize(omu: &OmuAccelerator) -> AccelRunSummary {
         sram_utilization: omu.sram_utilization(),
         load_imbalance: stats.load_imbalance(),
         stall_cycles: stats.stall_cycles,
+        query: omu.query_unit_stats(),
     }
 }
 

@@ -1,15 +1,49 @@
 //! The voxel query unit: occupancy classification service for collision
 //! detection and planning (paper Fig. 7, "Voxel Query").
+//!
+//! Scalar queries ([`OmuAccelerator::query_key`]) descend the hosting
+//! PE's T-Mem from its root, paying one `query_per_level` SRAM read per
+//! level. The batched entry points
+//! ([`OmuAccelerator::query_batch`] / [`OmuAccelerator::cast_ray`])
+//! model a **cached descent**: the unit holds the previous query's
+//! root-to-leaf node entries in a register file per PE, so a query that
+//! shares a Morton prefix with its predecessor replays the shared levels
+//! from registers at the same discounted rate the voxel scheduler's
+//! burst model applies to contiguous update runs
+//! ([`OmuConfig::burst_discount_pct`]) — the row-buffer-hit analogue on
+//! the read side. DDA-driven query rays probe adjacent voxels, which
+//! share almost their whole root path, so ray casting is where the
+//! discount pays most.
+//!
+//! [`OmuAccelerator::query_key`]: crate::OmuAccelerator::query_key
+//! [`OmuAccelerator::query_batch`]: crate::OmuAccelerator::query_batch
+//! [`OmuAccelerator::cast_ray`]: crate::OmuAccelerator::cast_ray
+//! [`OmuConfig::burst_discount_pct`]: crate::OmuConfig
 
 use serde::{Deserialize, Serialize};
 
 /// Counters of the voxel query unit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct QueryUnitStats {
-    /// Queries served.
+    /// Queries served (every probe, including each DDA step of a ray).
     pub queries: u64,
     /// Total query cycles (PE descent + threshold compare).
     pub cycles: u64,
+    /// Queries served through the batched entry point.
+    pub batch_queries: u64,
+    /// Batched queries answered from the unit's result latch because the
+    /// Morton sort made duplicate keys adjacent (no descent at all).
+    pub coalesced: u64,
+    /// Query rays cast through the unit.
+    pub rays: u64,
+    /// DDA steps (voxel probes) executed for query rays.
+    pub ray_steps: u64,
+    /// Descent levels replayed from the per-PE cached path registers
+    /// instead of T-Mem.
+    pub reused_levels: u64,
+    /// Cycles saved by the cached-descent discount (the difference
+    /// between full and discounted service for the reused levels).
+    pub saved_cycles: u64,
 }
 
 impl QueryUnitStats {
@@ -17,6 +51,14 @@ impl QueryUnitStats {
     pub fn record(&mut self, cycles: u64) {
         self.queries += 1;
         self.cycles += cycles;
+    }
+
+    /// Records the cached-descent reuse of one query: `levels` served
+    /// from the path registers, saving `saved` cycles vs full-rate SRAM
+    /// descent.
+    pub fn record_reuse(&mut self, levels: u64, saved: u64) {
+        self.reused_levels += levels;
+        self.saved_cycles += saved;
     }
 
     /// Mean query latency in cycles (0 when idle).
@@ -46,5 +88,14 @@ mod tests {
     #[test]
     fn idle_mean_is_zero() {
         assert_eq!(QueryUnitStats::default().mean_latency(), 0.0);
+    }
+
+    #[test]
+    fn reuse_accumulates() {
+        let mut s = QueryUnitStats::default();
+        s.record_reuse(15, 7);
+        s.record_reuse(3, 1);
+        assert_eq!(s.reused_levels, 18);
+        assert_eq!(s.saved_cycles, 8);
     }
 }

@@ -5,7 +5,7 @@ use omu_core::OmuAccelerator;
 use omu_geometry::{
     FixedLogOdds, KeyConverter, LogOdds, Occupancy, Point3, PointCloud, Scan, VoxelKey,
 };
-use omu_octree::{LeafInfo, OccupancyOctree, OpCounters};
+use omu_octree::{LeafInfo, OccupancyOctree, OpCounters, QueryCounters, RayCastResult};
 use omu_raycast::IntegrationStats;
 
 use crate::engine::Engine;
@@ -56,6 +56,58 @@ pub trait MapBackend: std::fmt::Debug {
     /// Occupancy classification of the voxel at `key` (keys are always
     /// addressable, so this is infallible on both backends).
     fn occupancy(&mut self, key: VoxelKey) -> Occupancy;
+
+    /// Classifies a batch of voxel keys, in input order, through the
+    /// backend's batched query engine: Morton-coalesced cached descent
+    /// on the software tree (chunked across up to `shards` threads), the
+    /// voxel query unit's register-file path on the accelerator (a single
+    /// modeled device — `shards` is ignored). Bit-identical to calling
+    /// [`Self::occupancy`] per key.
+    fn occupancy_batch(&mut self, keys: &[VoxelKey], shards: usize) -> Vec<Occupancy>;
+
+    /// Casts one query ray through the backend's cached-descent path.
+    /// Same contract and result as the probe-per-step path the facade
+    /// historically used — consecutive DDA steps just stop re-paying the
+    /// full root-to-leaf descent.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] for a bad origin or degenerate
+    /// direction.
+    fn cast_ray(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, MapError>;
+
+    /// Casts a batch of query rays, in input order; the software backend
+    /// chunks the batch across up to `shards` threads, each with its own
+    /// descent cursor.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MapError::OutOfBounds`] in input order.
+    fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+        shards: usize,
+    ) -> Result<Vec<RayCastResult>, MapError>;
+
+    /// Sphere collision probe through the backend's cached-descent path.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when the probe region leaves the map.
+    fn collides_sphere(&mut self, center: Point3, radius: f64) -> Result<bool, MapError>;
+
+    /// Removes and returns the read-side counters, when the backend
+    /// tracks them (`None` on the accelerator, whose query accounting
+    /// lives in `QueryUnitStats`).
+    fn take_query_counters(&mut self) -> Option<QueryCounters>;
 
     /// The stored log-odds covering `key` as `f32`, if observed. Never
     /// counted as a hardware operation (the accelerator reads its T-Mem
@@ -137,6 +189,48 @@ impl<V: LogOdds> MapBackend for OccupancyOctree<V> {
         OccupancyOctree::occupancy(self, key)
     }
 
+    fn occupancy_batch(&mut self, keys: &[VoxelKey], shards: usize) -> Vec<Occupancy> {
+        if shards == 1 {
+            self.query_batch(keys).to_vec()
+        } else {
+            self.query_batch_parallel(keys, shards).to_vec()
+        }
+    }
+
+    fn cast_ray(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, MapError> {
+        Ok(self.cast_ray_cached(origin, direction, max_range, ignore_unknown)?)
+    }
+
+    fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+        shards: usize,
+    ) -> Result<Vec<RayCastResult>, MapError> {
+        Ok(OccupancyOctree::cast_rays(
+            self,
+            rays,
+            max_range,
+            ignore_unknown,
+            shards,
+        )?)
+    }
+
+    fn collides_sphere(&mut self, center: Point3, radius: f64) -> Result<bool, MapError> {
+        Ok(self.collides_sphere_cached(center, radius)?)
+    }
+
+    fn take_query_counters(&mut self) -> Option<QueryCounters> {
+        Some(OccupancyOctree::take_query_counters(self))
+    }
+
     fn peek_logodds(&self, key: VoxelKey) -> Option<f32> {
         self.logodds(key)
     }
@@ -205,6 +299,50 @@ impl MapBackend for OmuAccelerator {
 
     fn occupancy(&mut self, key: VoxelKey) -> Occupancy {
         self.query_key(key)
+    }
+
+    fn occupancy_batch(&mut self, keys: &[VoxelKey], _shards: usize) -> Vec<Occupancy> {
+        // One modeled device: host-side sharding does not apply.
+        self.query_batch(keys)
+    }
+
+    fn cast_ray(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, MapError> {
+        Ok(OmuAccelerator::cast_ray(
+            self,
+            origin,
+            direction,
+            max_range,
+            ignore_unknown,
+        )?)
+    }
+
+    fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+        _shards: usize,
+    ) -> Result<Vec<RayCastResult>, MapError> {
+        Ok(OmuAccelerator::cast_rays(
+            self,
+            rays,
+            max_range,
+            ignore_unknown,
+        )?)
+    }
+
+    fn collides_sphere(&mut self, center: Point3, radius: f64) -> Result<bool, MapError> {
+        Ok(OmuAccelerator::collides_sphere(self, center, radius)?)
+    }
+
+    fn take_query_counters(&mut self) -> Option<QueryCounters> {
+        None
     }
 
     fn peek_logodds(&self, key: VoxelKey) -> Option<f32> {

@@ -4,7 +4,7 @@ use std::path::Path;
 
 use omu_core::OmuAccelerator;
 use omu_geometry::{KeyConverter, Occupancy, Point3, Scan, VoxelKey};
-use omu_octree::{LeafInfo, OctreeF32, OctreeFixed, OpCounters, RayCastResult};
+use omu_octree::{LeafInfo, OctreeF32, OctreeFixed, OpCounters, QueryCounters, RayCastResult};
 use omu_raycast::IntegrationStats;
 
 use crate::backend::MapBackend;
@@ -154,11 +154,22 @@ impl OccupancyMap {
         self.backend_mut().insert_points(origin, points, engine)
     }
 
+    /// The worker count the read path shares with the write engine:
+    /// `&self` queries are embarrassingly parallel, so the parallel and
+    /// sharded engines fan read batches across the same number of
+    /// threads they use for updates (the sequential engines stay
+    /// single-threaded).
+    fn read_shards(&self) -> usize {
+        self.engine.shards().unwrap_or(1)
+    }
+
     /// Borrows the map as a [`QueryView`] — the query surface shared by
     /// both backends.
     pub fn query(&mut self) -> QueryView<'_> {
+        let shards = self.read_shards();
         QueryView {
             backend: self.backend_mut(),
+            shards,
         }
     }
 
@@ -197,6 +208,29 @@ impl OccupancyMap {
     ) -> Result<RayCastResult, MapError> {
         self.query()
             .cast_ray(origin, direction, max_range, ignore_unknown)
+    }
+
+    /// Casts a batch of query rays (see [`QueryView::cast_rays`]).
+    ///
+    /// # Errors
+    ///
+    /// The first [`MapError::OutOfBounds`] in input order.
+    pub fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<Vec<RayCastResult>, MapError> {
+        self.query().cast_rays(rays, max_range, ignore_unknown)
+    }
+
+    /// Classifies a batch of points (see [`QueryView::occupancy_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when any point is outside the map.
+    pub fn occupancy_batch(&mut self, points: &[Point3]) -> Result<Vec<Occupancy>, MapError> {
+        self.query().occupancy_batch(points)
     }
 
     /// Sphere collision probe (see [`QueryView::collides_sphere`]).
@@ -239,6 +273,17 @@ impl OccupancyMap {
     /// accounting lives in `AccelStats` — see [`Self::accelerator`]).
     pub fn counters(&self) -> Option<OpCounters> {
         self.backend().op_counters()
+    }
+
+    /// Removes and returns the read-side counters accumulated by the
+    /// cached-descent and batched query paths — probes, node visits,
+    /// prefix-reuse hits — so benches and tests can assert reuse rates
+    /// per measurement window. `None` on the accelerator backend, whose
+    /// query accounting lives in
+    /// [`QueryUnitStats`](omu_core::QueryUnitStats) (see
+    /// [`Self::accelerator`]).
+    pub fn query_counters(&mut self) -> Option<QueryCounters> {
+        self.backend_mut().take_query_counters()
     }
 
     /// Number of leaves (finest voxels and pruned regions).
@@ -400,6 +445,9 @@ impl OccupancyMap {
 #[derive(Debug)]
 pub struct QueryView<'a> {
     backend: &'a mut dyn MapBackend,
+    /// Worker threads for batched reads, inherited from the map's
+    /// engine (`0` = one per CPU).
+    shards: usize,
 }
 
 impl QueryView<'_> {
@@ -424,11 +472,42 @@ impl QueryView<'_> {
         self.backend.peek_logodds(key)
     }
 
+    /// Classifies a batch of points, returning occupancies in input
+    /// order through the backend's batched query engine — the software
+    /// tree Morton-sorts the batch for one cached-descent sweep (chunked
+    /// across the engine's worker threads under the parallel engines);
+    /// the accelerator serves it through the voxel query unit's register
+    /// file. Bit-identical to calling [`Self::occupancy_at`] per point.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when any point is outside the
+    /// addressable map (detected before any classification runs).
+    pub fn occupancy_batch(&mut self, points: &[Point3]) -> Result<Vec<Occupancy>, MapError> {
+        let conv = *self.backend.converter();
+        let keys = points
+            .iter()
+            .map(|&p| conv.coord_to_key(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.backend.occupancy_batch(&keys, self.shards))
+    }
+
+    /// [`Self::occupancy_batch`] by voxel key (keys are always
+    /// addressable, so this form is infallible).
+    pub fn occupancy_batch_keys(&mut self, keys: &[VoxelKey]) -> Vec<Occupancy> {
+        self.backend.occupancy_batch(keys, self.shards)
+    }
+
     /// Casts a query ray from `origin` along `direction`, returning the
     /// first occupied voxel within `max_range` metres. With
     /// `ignore_unknown = true`, unobserved voxels are treated as free
     /// (OctoMap `castRay` semantics); otherwise the cast stops at the
     /// first unknown voxel.
+    ///
+    /// Rides the backend's cached-descent path: consecutive DDA steps
+    /// re-descend only below the deepest common ancestor of adjacent
+    /// voxels, with results bit-identical to probing every step
+    /// individually.
     ///
     /// # Errors
     ///
@@ -441,44 +520,43 @@ impl QueryView<'_> {
         max_range: f64,
         ignore_unknown: bool,
     ) -> Result<RayCastResult, MapError> {
-        let conv = *self.backend.converter();
-        let backend = &mut *self.backend;
-        Ok(omu_octree::cast_ray_with(
-            &conv,
-            origin,
-            direction,
-            max_range,
-            ignore_unknown,
-            |key| match backend.occupancy(key) {
-                Occupancy::Occupied => (
-                    Occupancy::Occupied,
-                    backend
-                        .peek_logodds(key)
-                        .expect("occupied voxel must hold a value"),
-                ),
-                other => (other, 0.0),
-            },
-        )?)
+        self.backend
+            .cast_ray(origin, direction, max_range, ignore_unknown)
+    }
+
+    /// Casts a batch of query rays (`(origin, direction)` pairs), each
+    /// through a cached-descent cursor, returning results in input
+    /// order. Under the parallel engines the software backend chunks the
+    /// batch across its worker threads (`&self` queries are
+    /// embarrassingly parallel); results are bit-identical to casting
+    /// each ray through [`Self::cast_ray`].
+    ///
+    /// # Errors
+    ///
+    /// The first [`MapError::OutOfBounds`] (in input order) for a bad
+    /// origin or degenerate direction.
+    pub fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<Vec<RayCastResult>, MapError> {
+        self.backend
+            .cast_rays(rays, max_range, ignore_unknown, self.shards)
     }
 
     /// Collision probe: does a sphere of radius `radius` at `center`
     /// intersect any occupied voxel? Conservatively samples the voxel
     /// grid inside the sphere's bounding cube (the motion-planning query
-    /// of the paper's Fig. 1).
+    /// of the paper's Fig. 1); the grid sweep rides the cached-descent
+    /// path, since adjacent voxels share long root-path prefixes.
     ///
     /// # Errors
     ///
     /// [`MapError::OutOfBounds`] when the probe region leaves the
     /// addressable map.
     pub fn collides_sphere(&mut self, center: Point3, radius: f64) -> Result<bool, MapError> {
-        let conv = *self.backend.converter();
-        let backend = &mut *self.backend;
-        Ok(omu_octree::collides_sphere_with(
-            &conv,
-            center,
-            radius,
-            |key| backend.occupancy(key),
-        )?)
+        self.backend.collides_sphere(center, radius)
     }
 
     /// The leaves (finest voxels and pruned regions) whose extents
@@ -626,6 +704,98 @@ mod tests {
             results.push((collide_wall, collide_open));
         }
         assert!(results.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn batched_queries_match_per_probe_on_every_backend() {
+        let scan = ring_scan();
+        for mut map in backends() {
+            map.insert(&scan).unwrap();
+            let points: Vec<Point3> = (0..60)
+                .map(|i| {
+                    let a = i as f64 * 0.21;
+                    Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.2)
+                })
+                .collect();
+            let expected: Vec<Occupancy> = points
+                .iter()
+                .map(|&p| map.occupancy_at(p).unwrap())
+                .collect();
+            assert_eq!(
+                map.occupancy_batch(&points).unwrap(),
+                expected,
+                "{}",
+                map.backend_name()
+            );
+
+            let rays: Vec<(Point3, Point3)> = (0..12)
+                .map(|i| {
+                    let a = i as f64 * 0.52;
+                    (
+                        Point3::new(0.01, 0.01, 0.2),
+                        Point3::new(a.cos(), a.sin(), 0.0),
+                    )
+                })
+                .collect();
+            let one_by_one: Vec<RayCastResult> = rays
+                .iter()
+                .map(|&(o, d)| map.cast_ray(o, d, 5.0, true).unwrap())
+                .collect();
+            assert_eq!(
+                map.cast_rays(&rays, 5.0, true).unwrap(),
+                one_by_one,
+                "{}",
+                map.backend_name()
+            );
+        }
+    }
+
+    #[test]
+    fn out_of_bounds_batch_point_is_typed() {
+        let mut map = MapBuilder::new(0.1).build().unwrap();
+        map.insert(&ring_scan()).unwrap();
+        let far = map.converter().map_half_extent() + 5.0;
+        assert!(matches!(
+            map.occupancy_batch(&[Point3::ZERO, Point3::new(far, 0.0, 0.0)]),
+            Err(MapError::OutOfBounds(_))
+        ));
+    }
+
+    #[test]
+    fn query_counters_drain_on_software_only() {
+        let scan = ring_scan();
+
+        let mut sw = MapBuilder::new(0.1).build().unwrap();
+        sw.insert(&scan).unwrap();
+        assert!(sw.query_counters().unwrap() == Default::default());
+        sw.cast_ray(
+            Point3::new(0.01, 0.01, 0.2),
+            Point3::new(1.0, 0.0, 0.0),
+            5.0,
+            true,
+        )
+        .unwrap();
+        sw.occupancy_batch(&[Point3::ZERO, Point3::new(0.1, 0.0, 0.0)])
+            .unwrap();
+        let c = sw.query_counters().unwrap();
+        assert_eq!(c.rays, 1);
+        assert_eq!(c.batch_queries, 2);
+        assert!(c.reused_levels > 0, "DDA steps share prefixes");
+        assert!(
+            sw.query_counters().unwrap() == Default::default(),
+            "drained"
+        );
+
+        let mut hw = MapBuilder::new(0.1)
+            .backend(Backend::Accelerator(OmuConfig::default()))
+            .build()
+            .unwrap();
+        hw.insert(&scan).unwrap();
+        hw.occupancy_batch(&[Point3::ZERO]).unwrap();
+        assert!(hw.query_counters().is_none());
+        // The accelerator's read accounting lives in the query unit.
+        let q = hw.accelerator().unwrap().query_unit_stats();
+        assert_eq!(q.batch_queries, 1);
     }
 
     #[test]

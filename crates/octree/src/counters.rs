@@ -56,6 +56,62 @@ pub struct OpCounters {
     pub batch_deferred_finishes: u64,
 }
 
+/// Cumulative read-side operation counts — the query mirror of
+/// [`OpCounters`], fed by the cached-descent cursor and the batched
+/// query engine (see the `query_batch` module).
+///
+/// The interesting ratio is `reused_levels` against
+/// `reused_levels + node_visits`: the fraction of descent work the
+/// cursor's cached root path saved relative to probing every key from
+/// the root.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct QueryCounters {
+    /// Voxel classifications served (one per probed key).
+    pub probes: u64,
+    /// Child links followed while descending (nodes stepped into below
+    /// the cursor's resume point).
+    pub node_visits: u64,
+    /// Descent levels skipped because consecutive keys shared a root-path
+    /// prefix the cursor still held.
+    pub reused_levels: u64,
+    /// Query rays cast through the cursor path.
+    pub rays: u64,
+    /// Probes served through the batched query engine
+    /// (`query_batch` and the sharded read path).
+    pub batch_queries: u64,
+    /// Batched probes answered from the previous key's result because the
+    /// Morton sort made duplicates adjacent (no descent at all).
+    pub batch_coalesced: u64,
+}
+
+impl QueryCounters {
+    /// Resets every counter to zero.
+    pub fn reset(&mut self) {
+        *self = QueryCounters::default();
+    }
+
+    /// Adds another counter record to this one.
+    pub fn merge(&mut self, other: &QueryCounters) {
+        self.probes += other.probes;
+        self.node_visits += other.node_visits;
+        self.reused_levels += other.reused_levels;
+        self.rays += other.rays;
+        self.batch_queries += other.batch_queries;
+        self.batch_coalesced += other.batch_coalesced;
+    }
+
+    /// Fraction of descent levels served from the cached root path
+    /// instead of being walked (0 when nothing was probed).
+    pub fn prefix_reuse_rate(&self) -> f64 {
+        let total = self.reused_levels + self.node_visits;
+        if total == 0 {
+            0.0
+        } else {
+            self.reused_levels as f64 / total as f64
+        }
+    }
+}
+
 impl OpCounters {
     /// Resets every counter to zero.
     pub fn reset(&mut self) {
@@ -169,6 +225,29 @@ mod tests {
         };
         c.reset();
         assert_eq!(c, OpCounters::default());
+    }
+
+    #[test]
+    fn query_counters_merge_and_reuse_rate() {
+        let mut a = QueryCounters {
+            probes: 4,
+            node_visits: 6,
+            reused_levels: 18,
+            ..Default::default()
+        };
+        a.merge(&QueryCounters {
+            probes: 1,
+            node_visits: 2,
+            batch_coalesced: 3,
+            ..Default::default()
+        });
+        assert_eq!(a.probes, 5);
+        assert_eq!(a.node_visits, 8);
+        assert_eq!(a.batch_coalesced, 3);
+        assert!((a.prefix_reuse_rate() - 18.0 / 26.0).abs() < 1e-12);
+        assert_eq!(QueryCounters::default().prefix_reuse_rate(), 0.0);
+        a.reset();
+        assert_eq!(a, QueryCounters::default());
     }
 
     #[test]

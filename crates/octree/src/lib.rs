@@ -68,6 +68,7 @@ mod io;
 mod iter;
 mod node;
 mod query;
+mod query_batch;
 mod region;
 mod serialize;
 mod shard;
@@ -77,10 +78,11 @@ mod update;
 mod walk;
 
 pub use batch::BatchStats;
-pub use counters::OpCounters;
+pub use counters::{OpCounters, QueryCounters};
 pub use io::ReadError;
 pub use iter::{LeafInfo, LeafIter};
-pub use query::{cast_ray_with, collides_sphere_with, RayCastResult};
+pub use query::{cast_ray_resuming, cast_ray_with, collides_sphere_with, RayCastResult};
+pub use query_batch::{serve_morton_coalesced, DescentCursor};
 pub use region::LeafInBoxIter;
 pub use serialize::DeserializeError;
 pub use stats::{MemoryStats, TreeStats};

@@ -51,30 +51,69 @@ pub fn cast_ray_with<F>(
     direction: Point3,
     max_range: f64,
     ignore_unknown: bool,
-    mut probe: F,
+    probe: F,
 ) -> Result<RayCastResult, KeyError>
 where
     F: FnMut(VoxelKey) -> (Occupancy, f32),
 {
-    let walk = RayWalk::new(conv, origin, direction, max_range)?;
+    let mut walk = RayWalk::new(conv, origin, direction, max_range)?;
+    Ok(drive_walk(conv, &mut walk, ignore_unknown, probe))
+}
+
+/// [`cast_ray_with`] over a caller-owned [`RayWalk`]: the walk is
+/// re-aimed at the new ray ([`RayWalk::restart`]) and driven in place,
+/// so batched casting loops construct no per-ray iterator state. The
+/// result is identical to [`cast_ray_with`] for the same ray and probe.
+///
+/// # Errors
+///
+/// Returns [`KeyError`] when the origin is outside the map or the
+/// direction is degenerate (the walk is left exhausted).
+pub fn cast_ray_resuming<F>(
+    conv: &KeyConverter,
+    walk: &mut RayWalk,
+    origin: Point3,
+    direction: Point3,
+    max_range: f64,
+    ignore_unknown: bool,
+    probe: F,
+) -> Result<RayCastResult, KeyError>
+where
+    F: FnMut(VoxelKey) -> (Occupancy, f32),
+{
+    walk.restart(conv, origin, direction, max_range)?;
+    Ok(drive_walk(conv, walk, ignore_unknown, probe))
+}
+
+/// Drives an aimed walk to its verdict — the shared loop behind
+/// [`cast_ray_with`] and [`cast_ray_resuming`].
+fn drive_walk<F>(
+    conv: &KeyConverter,
+    walk: &mut RayWalk,
+    ignore_unknown: bool,
+    mut probe: F,
+) -> RayCastResult
+where
+    F: FnMut(VoxelKey) -> (Occupancy, f32),
+{
     for key in walk {
         match probe(key) {
             (Occupancy::Occupied, logodds) => {
-                return Ok(RayCastResult::Hit {
+                return RayCastResult::Hit {
                     key,
                     point: conv.key_to_coord(key),
                     logodds,
-                });
+                };
             }
             (Occupancy::Free, _) => {}
             (Occupancy::Unknown, _) => {
                 if !ignore_unknown {
-                    return Ok(RayCastResult::UnknownBlocked { key });
+                    return RayCastResult::UnknownBlocked { key };
                 }
             }
         }
     }
-    Ok(RayCastResult::MaxRangeReached)
+    RayCastResult::MaxRangeReached
 }
 
 /// Sphere collision probe over any occupancy source — the single

@@ -1,0 +1,686 @@
+//! The batched query engine: cached-descent cursors, Morton-coalesced
+//! key batches and a sharded parallel read path — the read-side mirror
+//! of the `batch` update module.
+//!
+//! The scalar query path ([`search`](OccupancyOctree::search)) pays a
+//! full root-to-leaf descent per probe. Planner workloads probe in
+//! streams whose consecutive keys are spatially adjacent — every DDA
+//! step of a query ray, every voxel of a collision ball — and adjacent
+//! keys share long root-path prefixes. A [`DescentCursor`] keeps the
+//! node path of the previous probe and re-descends only from the deepest
+//! common ancestor, so a ray's per-step probe cost drops from O(depth)
+//! to amortized O(1):
+//!
+//! 1. [`DescentCursor`] — a read-only cursor over the tree holding the
+//!    current root-to-leaf node path; [`DescentCursor::search`] resumes
+//!    from the deepest level shared with the previous key (computed in
+//!    one XOR via
+//!    [`common_prefix_depth`](omu_geometry::VoxelKey::common_prefix_depth)).
+//! 2. [`query_batch`](OccupancyOctree::query_batch) — sorts a key batch
+//!    by Morton code (subtrees become contiguous runs, maximizing prefix
+//!    reuse), coalesces duplicate keys, serves the sorted order through
+//!    one cursor and permutes results back to input order.
+//! 3. [`cast_rays`](OccupancyOctree::cast_rays) /
+//!    [`query_batch_parallel`](OccupancyOctree::query_batch_parallel) —
+//!    the parallel read path: `&self` queries are embarrassingly
+//!    parallel, so batches are chunked across scoped threads, each with
+//!    its own cursor, and per-thread [`QueryCounters`] merge after the
+//!    join.
+//!
+//! Every path returns results **bit-identical** to probing the same keys
+//! through the scalar [`search`](OccupancyOctree::search) — the cursor
+//! reads the same arena nodes, it just skips re-reading the shared
+//! prefix — which `tests/query_surface.rs` property-tests across
+//! backends, pruning modes and shuffled input orders.
+
+use omu_geometry::{KeyError, LogOdds, Occupancy, Point3, VoxelKey, TREE_DEPTH};
+use omu_raycast::RayWalk;
+
+use crate::arena::NodeStore;
+use crate::counters::QueryCounters;
+use crate::node::NIL;
+use crate::query::{cast_ray_resuming, collides_sphere_with, RayCastResult};
+use crate::shard::resolve_apply_shards;
+use crate::tree::OccupancyOctree;
+
+/// `path[d]` = node at depth `d`; the root lives at index 0 and a finest
+/// leaf at index [`TREE_DEPTH`].
+const PATH_LEN: usize = TREE_DEPTH as usize + 1;
+
+/// A read-only descent cursor that amortizes root-to-leaf walks across
+/// consecutive probes.
+///
+/// The cursor caches the node path of the last probed key. A new probe
+/// resumes from the deepest tree level its key shares with the previous
+/// one, so spatially coherent probe streams (query-ray DDA steps,
+/// collision-ball sweeps, Morton-sorted batches) descend O(1) levels per
+/// probe instead of O([`TREE_DEPTH`]).
+///
+/// Results are bit-identical to [`OccupancyOctree::search`]: the cursor
+/// reads the same arena, it only skips re-reading levels the previous
+/// descent already resolved. The borrow of the tree guarantees the map
+/// cannot change underneath the cached path.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{Point3, PointCloud, Scan, VoxelKey};
+/// use omu_octree::OctreeF32;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut tree = OctreeF32::new(0.1)?;
+/// tree.insert_scan(&Scan::new(
+///     Point3::ZERO,
+///     [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+/// ))?;
+/// let mut cursor = tree.query_cursor();
+/// let a = cursor.search(VoxelKey::ORIGIN);
+/// let b = cursor.search(VoxelKey::new(32769, 32768, 32768));
+/// assert_eq!(a, tree.search(VoxelKey::ORIGIN));
+/// assert_eq!(b, tree.search(VoxelKey::new(32769, 32768, 32768)));
+/// assert!(cursor.counters().reused_levels > 0, "siblings share a prefix");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct DescentCursor<'t, V: LogOdds> {
+    tree: &'t OccupancyOctree<V>,
+    /// Cached node path of the previous key; entries `0..=depth` valid.
+    path: [u32; PATH_LEN],
+    /// Depth at which the previous descent stopped (deepest valid entry).
+    depth: u8,
+    prev: Option<VoxelKey>,
+    /// Reusable DDA iterator: consecutive [`Self::cast_ray`] calls
+    /// re-aim it ([`RayWalk::restart`]) instead of constructing per-ray
+    /// iterator state.
+    walk: Option<RayWalk>,
+    counters: QueryCounters,
+}
+
+impl<'t, V: LogOdds> DescentCursor<'t, V> {
+    pub(crate) fn new(tree: &'t OccupancyOctree<V>) -> Self {
+        let mut path = [NIL; PATH_LEN];
+        path[0] = tree.root;
+        DescentCursor {
+            tree,
+            path,
+            depth: 0,
+            prev: None,
+            walk: None,
+            counters: QueryCounters::default(),
+        }
+    }
+
+    /// Searches for the node covering `key` — same contract and result
+    /// as [`OccupancyOctree::search`], with the descent resumed from the
+    /// deepest level shared with the previously probed key.
+    pub fn search(&mut self, key: VoxelKey) -> Option<(V, u8)> {
+        self.counters.probes += 1;
+        if self.tree.root == NIL {
+            return None;
+        }
+        let resume = match self.prev {
+            Some(p) => p.common_prefix_depth(key).min(self.depth),
+            None => 0,
+        } as usize;
+        self.counters.reused_levels += resume as u64;
+        self.prev = Some(key);
+
+        let mut node = self.path[resume];
+        for d in resume..TREE_DEPTH as usize {
+            let n = self.tree.arena.node(node);
+            if n.is_leaf() {
+                // A pruned (or coarse) leaf covers the whole subtree.
+                self.depth = d as u8;
+                return Some((n.value, d as u8));
+            }
+            self.counters.node_visits += 1;
+            let child = self
+                .tree
+                .arena
+                .child_of(node, key.child_index_at(d as u8).index());
+            if child == NIL {
+                // The node has children, just not on this path.
+                self.depth = d as u8;
+                return None;
+            }
+            node = child;
+            self.path[d + 1] = node;
+        }
+        self.depth = TREE_DEPTH;
+        Some((self.tree.arena.node(node).value, TREE_DEPTH))
+    }
+
+    /// Occupancy classification of the voxel at `key` (the cursor form
+    /// of [`OccupancyOctree::occupancy`]).
+    pub fn occupancy(&mut self, key: VoxelKey) -> Occupancy {
+        match self.search(key) {
+            Some((v, _)) => self.tree.resolved.classify(v),
+            None => Occupancy::Unknown,
+        }
+    }
+
+    /// Classification plus `f32` log-odds — the probe shape
+    /// [`cast_ray_with`] consumes (the log-odds is only meaningful for
+    /// occupied voxels).
+    #[inline]
+    fn probe(&mut self, key: VoxelKey) -> (Occupancy, f32) {
+        match self.search(key) {
+            Some((v, _)) => (self.tree.resolved.classify(v), v.to_f32()),
+            None => (Occupancy::Unknown, 0.0),
+        }
+    }
+
+    /// Casts a query ray through the cursor: every DDA step's probe
+    /// resumes from the previous step's path, so adjacent steps (which
+    /// share almost their whole root path) cost O(1) levels. Same
+    /// contract and result as [`OccupancyOctree::cast_ray`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the origin is outside the map or the
+    /// direction is degenerate.
+    pub fn cast_ray(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, KeyError> {
+        self.counters.rays += 1;
+        let conv = self.tree.conv;
+        let mut walk = self.walk.take().unwrap_or_else(RayWalk::idle);
+        let res = cast_ray_resuming(
+            &conv,
+            &mut walk,
+            origin,
+            direction,
+            max_range,
+            ignore_unknown,
+            |key| self.probe(key),
+        );
+        self.walk = Some(walk);
+        res
+    }
+
+    /// Sphere collision probe through the cursor (the grid sweep inside
+    /// the ball probes adjacent voxels, which share long prefixes). Same
+    /// contract and result as [`OccupancyOctree::collides_sphere`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the probe region leaves the map.
+    pub fn collides_sphere(&mut self, center: Point3, radius: f64) -> Result<bool, KeyError> {
+        let conv = self.tree.conv;
+        collides_sphere_with(&conv, center, radius, |key| self.occupancy(key))
+    }
+
+    /// The read-side operation counters this cursor accumulated.
+    pub fn counters(&self) -> &QueryCounters {
+        &self.counters
+    }
+
+    /// Consumes the cursor, returning its counters (callers holding the
+    /// tree mutably merge them into
+    /// [`OccupancyOctree::query_counters`]).
+    pub fn into_counters(self) -> QueryCounters {
+        self.counters
+    }
+}
+
+/// Reusable buffers for the batched query engine, owned by the tree so
+/// steady-state batches allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct QueryScratch {
+    /// `(morton code, input index)`, sorted for the coalesced walk.
+    order: Vec<(u64, u32)>,
+    /// Results permuted back to input order.
+    results: Vec<Occupancy>,
+}
+
+/// Serves `keys` through `probe` in Morton-sorted order with duplicate
+/// coalescing — the batch scaffolding shared by the software engine
+/// ([`OccupancyOctree::query_batch`]) and the accelerator's voxel query
+/// unit (`OmuAccelerator::query_batch` in `omu-core`).
+///
+/// `order` is caller-owned scratch (cleared and refilled with sorted
+/// `(morton code, input index)` pairs); `results[i]` receives the
+/// classification of `keys[i]`. Identical Morton codes are identical
+/// keys, so the sort makes duplicates adjacent and they coalesce onto
+/// the previous result without probing — `on_duplicate` runs once per
+/// coalesced key so callers can account the skipped work.
+///
+/// # Panics
+///
+/// Panics when `keys` holds more than `u32::MAX` entries (the scratch
+/// indexes with `u32`) or `results` is shorter than `keys`.
+pub fn serve_morton_coalesced(
+    keys: &[VoxelKey],
+    order: &mut Vec<(u64, u32)>,
+    results: &mut [Occupancy],
+    mut probe: impl FnMut(VoxelKey) -> Occupancy,
+    mut on_duplicate: impl FnMut(),
+) {
+    assert!(
+        keys.len() <= u32::MAX as usize,
+        "batch too large to index with u32"
+    );
+    order.clear();
+    order.extend(
+        keys.iter()
+            .enumerate()
+            .map(|(i, k)| (k.morton_code(), i as u32)),
+    );
+    order.sort_unstable();
+    let mut prev: Option<(u64, Occupancy)> = None;
+    for &(code, idx) in order.iter() {
+        let occ = match prev {
+            Some((prev_code, occ)) if prev_code == code => {
+                on_duplicate();
+                occ
+            }
+            _ => probe(keys[idx as usize]),
+        };
+        prev = Some((code, occ));
+        results[idx as usize] = occ;
+    }
+}
+
+/// One cursor sweep of [`serve_morton_coalesced`] over a key chunk.
+/// Returns the cursor's counters and the number of coalesced
+/// duplicates.
+fn serve_chunk<V: LogOdds>(
+    tree: &OccupancyOctree<V>,
+    keys: &[VoxelKey],
+    order: &mut Vec<(u64, u32)>,
+    results: &mut [Occupancy],
+) -> (QueryCounters, u64) {
+    let mut cursor = DescentCursor::new(tree);
+    let mut coalesced = 0u64;
+    serve_morton_coalesced(
+        keys,
+        order,
+        results,
+        |key| cursor.occupancy(key),
+        || coalesced += 1,
+    );
+    (cursor.into_counters(), coalesced)
+}
+
+impl<V: LogOdds> OccupancyOctree<V> {
+    /// Borrows the tree as a [`DescentCursor`] for a coherent probe
+    /// stream. The cursor accumulates its own [`QueryCounters`]; the
+    /// `&mut self` entry points ([`Self::query_batch`],
+    /// [`Self::cast_ray_cached`], …) merge them into
+    /// [`Self::query_counters`] automatically.
+    pub fn query_cursor(&self) -> DescentCursor<'_, V> {
+        DescentCursor::new(self)
+    }
+
+    /// Classifies a batch of voxel keys, returning the occupancies in
+    /// input order (the slice lives in tree-owned scratch and is valid
+    /// until the next batched query).
+    ///
+    /// The batch is sorted by Morton code so one [`DescentCursor`] walk
+    /// serves it with maximal prefix reuse, duplicate keys coalesce onto
+    /// a single descent, and the results are permuted back to input
+    /// order. Output is bit-identical to calling
+    /// [`occupancy`](Self::occupancy) per key, in any input order.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::{Occupancy, Point3, PointCloud, Scan, VoxelKey};
+    /// use omu_octree::OctreeF32;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut tree = OctreeF32::new(0.1)?;
+    /// tree.insert_scan(&Scan::new(
+    ///     Point3::ZERO,
+    ///     [Point3::new(1.0, 0.0, 0.0)].into_iter().collect::<PointCloud>(),
+    /// ))?;
+    /// let keys = [tree.converter().coord_to_key(Point3::new(1.0, 0.0, 0.0))?,
+    ///             VoxelKey::new(100, 100, 100)];
+    /// assert_eq!(tree.query_batch(&keys),
+    ///            &[Occupancy::Occupied, Occupancy::Unknown]);
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn query_batch(&mut self, keys: &[VoxelKey]) -> &[Occupancy] {
+        let mut scratch = std::mem::take(&mut self.query_scratch);
+        scratch.results.clear();
+        scratch.results.resize(keys.len(), Occupancy::Unknown);
+
+        let (counters, coalesced) =
+            serve_chunk(self, keys, &mut scratch.order, &mut scratch.results);
+        self.query_counters.merge(&counters);
+        self.query_counters.batch_queries += keys.len() as u64;
+        self.query_counters.batch_coalesced += coalesced;
+        self.query_scratch = scratch;
+        &self.query_scratch.results
+    }
+
+    /// [`query_batch`](Self::query_batch) with the batch chunked across
+    /// up to `shards` threads (`0` = one per available CPU, capped at 8,
+    /// the same policy as the write-side engines). Each worker
+    /// Morton-sorts and serves its chunk through its own cursor —
+    /// `&self` queries touch no shared mutable state, so the read path
+    /// needs no arena changes at all. Results are bit-identical to the
+    /// sequential path; per-worker counters merge in chunk order.
+    pub fn query_batch_parallel(&mut self, keys: &[VoxelKey], shards: usize) -> &[Occupancy] {
+        let workers = resolve_apply_shards(shards).min(keys.len().max(1));
+        if workers <= 1 {
+            return self.query_batch(keys);
+        }
+        let mut scratch = std::mem::take(&mut self.query_scratch);
+        scratch.results.clear();
+        scratch.results.resize(keys.len(), Occupancy::Unknown);
+
+        let chunk = keys.len().div_ceil(workers);
+        let tree = &*self;
+        let mut merged = QueryCounters::default();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = keys
+                .chunks(chunk)
+                .zip(scratch.results.chunks_mut(chunk))
+                .map(|(keys_chunk, out_chunk)| {
+                    s.spawn(move || {
+                        let mut order = Vec::new();
+                        let (mut c, coalesced) =
+                            serve_chunk(tree, keys_chunk, &mut order, out_chunk);
+                        c.batch_queries = keys_chunk.len() as u64;
+                        c.batch_coalesced = coalesced;
+                        c
+                    })
+                })
+                .collect();
+            for h in handles {
+                merged.merge(&h.join().expect("query worker panicked"));
+            }
+        });
+        self.query_counters.merge(&merged);
+        self.query_scratch = scratch;
+        &self.query_scratch.results
+    }
+
+    /// [`cast_ray`](Self::cast_ray) through a [`DescentCursor`]:
+    /// consecutive DDA steps re-descend only below the deepest common
+    /// ancestor of adjacent voxels, making the per-step probe amortized
+    /// O(1). The result is bit-identical to the per-probe path.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the origin is outside the map or the
+    /// direction is degenerate.
+    pub fn cast_ray_cached(
+        &mut self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, KeyError> {
+        let (res, counters) = {
+            let mut cursor = self.query_cursor();
+            let res = cursor.cast_ray(origin, direction, max_range, ignore_unknown);
+            (res, cursor.into_counters())
+        };
+        self.query_counters.merge(&counters);
+        res
+    }
+
+    /// Casts a batch of query rays (`(origin, direction)` pairs), each
+    /// through a cached-descent cursor, chunked across up to `shards`
+    /// threads (`0` = one per available CPU, capped at 8;
+    /// `1` = sequential). Results are in input order and bit-identical
+    /// to casting each ray through [`cast_ray`](Self::cast_ray).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`KeyError`] (in input order) when a ray's
+    /// origin is outside the map or its direction is degenerate.
+    pub fn cast_rays(
+        &mut self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+        shards: usize,
+    ) -> Result<Vec<RayCastResult>, KeyError> {
+        let workers = resolve_apply_shards(shards).min(rays.len().max(1));
+        if workers <= 1 {
+            let (res, counters) = {
+                let mut cursor = self.query_cursor();
+                let res = rays
+                    .iter()
+                    .map(|&(o, d)| cursor.cast_ray(o, d, max_range, ignore_unknown))
+                    .collect::<Result<Vec<_>, _>>();
+                (res, cursor.into_counters())
+            };
+            self.query_counters.merge(&counters);
+            return res;
+        }
+
+        let chunk = rays.len().div_ceil(workers);
+        let tree = &*self;
+        let mut merged = QueryCounters::default();
+        let mut chunks_out: Vec<Result<Vec<RayCastResult>, KeyError>> = Vec::new();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = rays
+                .chunks(chunk)
+                .map(|rays_chunk| {
+                    s.spawn(move || {
+                        let mut cursor = DescentCursor::new(tree);
+                        let res = rays_chunk
+                            .iter()
+                            .map(|&(o, d)| cursor.cast_ray(o, d, max_range, ignore_unknown))
+                            .collect::<Result<Vec<_>, _>>();
+                        (res, cursor.into_counters())
+                    })
+                })
+                .collect();
+            for h in handles {
+                let (res, counters) = h.join().expect("cast_rays worker panicked");
+                merged.merge(&counters);
+                chunks_out.push(res);
+            }
+        });
+        self.query_counters.merge(&merged);
+        let mut out = Vec::with_capacity(rays.len());
+        for chunk_res in chunks_out {
+            out.extend(chunk_res?);
+        }
+        Ok(out)
+    }
+
+    /// [`collides_sphere`](Self::collides_sphere) through a cursor: the
+    /// grid sweep inside the ball probes adjacent voxels, so the cursor
+    /// amortizes their shared prefixes. Bit-identical result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when the probe region leaves the map.
+    pub fn collides_sphere_cached(
+        &mut self,
+        center: Point3,
+        radius: f64,
+    ) -> Result<bool, KeyError> {
+        let (res, counters) = {
+            let mut cursor = self.query_cursor();
+            let res = cursor.collides_sphere(center, radius);
+            (res, cursor.into_counters())
+        };
+        self.query_counters.merge(&counters);
+        res
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tree::OctreeF32;
+    use omu_geometry::{PointCloud, Scan};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn mapped_tree(pruning: bool) -> OctreeF32 {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.set_pruning_enabled(pruning);
+        let mut cloud = PointCloud::new();
+        for i in 0..64 {
+            let a = i as f64 * 0.098;
+            cloud.push(Point3::new(
+                2.0 * a.cos(),
+                2.0 * a.sin(),
+                ((i % 8) as f64 - 4.0) * 0.2,
+            ));
+        }
+        t.insert_scan(&Scan::new(Point3::new(0.01, 0.01, 0.01), cloud))
+            .unwrap();
+        t
+    }
+
+    fn random_keys(n: usize, seed: u64) -> Vec<VoxelKey> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                VoxelKey::new(
+                    rng.random_range(32700..32850),
+                    rng.random_range(32700..32850),
+                    rng.random_range(32700..32850),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn cursor_matches_scalar_search_on_probe_streams() {
+        for pruning in [true, false] {
+            let t = mapped_tree(pruning);
+            let keys = random_keys(500, 7);
+            let mut cursor = t.query_cursor();
+            for &k in &keys {
+                assert_eq!(cursor.search(k), t.search(k), "pruning={pruning} key={k}");
+            }
+            let c = cursor.counters();
+            assert_eq!(c.probes, 500);
+            assert!(c.reused_levels > 0, "random nearby keys share prefixes");
+        }
+    }
+
+    #[test]
+    fn cursor_on_empty_tree_is_unknown() {
+        let t = OctreeF32::new(0.1).unwrap();
+        let mut cursor = t.query_cursor();
+        assert_eq!(cursor.search(VoxelKey::ORIGIN), None);
+        assert_eq!(cursor.occupancy(VoxelKey::ORIGIN), Occupancy::Unknown);
+        assert_eq!(cursor.counters().node_visits, 0);
+    }
+
+    #[test]
+    fn query_batch_matches_per_key_in_input_order() {
+        let mut t = mapped_tree(true);
+        let mut keys = random_keys(300, 11);
+        // Include exact duplicates to exercise coalescing.
+        keys.extend_from_slice(&random_keys(50, 11));
+        let expected: Vec<Occupancy> = keys.iter().map(|&k| t.occupancy(k)).collect();
+        let got = t.query_batch(&keys).to_vec();
+        assert_eq!(got, expected);
+        let c = *t.query_counters();
+        assert_eq!(c.batch_queries, 350);
+        assert!(c.batch_coalesced >= 50, "duplicates must coalesce");
+        assert!(c.prefix_reuse_rate() > 0.3, "Morton order reuses prefixes");
+    }
+
+    #[test]
+    fn parallel_query_batch_is_bit_identical() {
+        let mut t = mapped_tree(true);
+        let keys = random_keys(400, 13);
+        let sequential = t.query_batch(&keys).to_vec();
+        for shards in [2, 4, 8] {
+            let parallel = t.query_batch_parallel(&keys, shards).to_vec();
+            assert_eq!(parallel, sequential, "shards={shards}");
+        }
+        // The parallel path still counts every probe.
+        assert!(t.query_counters().batch_queries >= 400 * 4);
+    }
+
+    #[test]
+    fn cached_cast_ray_matches_per_probe() {
+        let mut t = mapped_tree(true);
+        for i in 0..16 {
+            let a = i as f64 * 0.39;
+            let dir = Point3::new(a.cos(), a.sin(), 0.05);
+            let origin = Point3::new(0.01, 0.01, 0.01);
+            for ignore in [true, false] {
+                let scalar = t.cast_ray(origin, dir, 5.0, ignore).unwrap();
+                let cached = t.cast_ray_cached(origin, dir, 5.0, ignore).unwrap();
+                assert_eq!(scalar, cached, "ray {i} ignore={ignore}");
+            }
+        }
+        let c = *t.query_counters();
+        assert_eq!(c.rays, 32);
+        assert!(
+            c.prefix_reuse_rate() > 0.7,
+            "DDA steps share long prefixes: reuse = {:.2}",
+            c.prefix_reuse_rate()
+        );
+    }
+
+    #[test]
+    fn cast_rays_matches_sequential_and_errors_in_order() {
+        let mut t = mapped_tree(true);
+        let rays: Vec<(Point3, Point3)> = (0..24)
+            .map(|i| {
+                let a = i as f64 * 0.26;
+                (
+                    Point3::new(0.01, 0.01, 0.01),
+                    Point3::new(a.cos(), a.sin(), 0.1),
+                )
+            })
+            .collect();
+        let one_by_one: Vec<RayCastResult> = rays
+            .iter()
+            .map(|&(o, d)| t.cast_ray(o, d, 5.0, true).unwrap())
+            .collect();
+        for shards in [1, 2, 8] {
+            let batch = t.cast_rays(&rays, 5.0, true, shards).unwrap();
+            assert_eq!(batch, one_by_one, "shards={shards}");
+        }
+        // A degenerate direction errors on every path.
+        let bad = vec![(Point3::ZERO, Point3::ZERO)];
+        assert!(t.cast_rays(&bad, 5.0, true, 1).is_err());
+        assert!(t.cast_rays(&bad, 5.0, true, 4).is_err());
+    }
+
+    #[test]
+    fn cached_sphere_probe_matches_per_probe() {
+        let mut t = mapped_tree(true);
+        for (center, radius) in [
+            (Point3::new(2.0, 0.0, 0.2), 0.3),
+            (Point3::new(0.5, 0.5, 0.0), 0.2),
+            (Point3::new(-1.4, 1.4, -0.4), 0.5),
+        ] {
+            let scalar = t.collides_sphere(center, radius).unwrap();
+            let cached = t.collides_sphere_cached(center, radius).unwrap();
+            assert_eq!(scalar, cached, "sphere at {center} r={radius}");
+        }
+        assert!(t.query_counters().probes > 0);
+    }
+
+    #[test]
+    fn take_query_counters_drains() {
+        let mut t = mapped_tree(true);
+        t.query_batch(&random_keys(10, 3));
+        let c = t.take_query_counters();
+        assert_eq!(c.batch_queries, 10);
+        assert_eq!(*t.query_counters(), QueryCounters::default());
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut t = mapped_tree(true);
+        assert!(t.query_batch(&[]).is_empty());
+        assert!(t.query_batch_parallel(&[], 4).is_empty());
+        assert!(t.cast_rays(&[], 5.0, true, 4).unwrap().is_empty());
+        assert_eq!(t.query_counters().probes, 0);
+    }
+}

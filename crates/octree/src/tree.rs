@@ -9,8 +9,9 @@ use rustc_hash::FxHashSet;
 
 use crate::arena::{Arena, NodeStore};
 use crate::batch::BatchScratch;
-use crate::counters::OpCounters;
+use crate::counters::{OpCounters, QueryCounters};
 use crate::node::NIL;
+use crate::query_batch::QueryScratch;
 use crate::walk::WalkCtx;
 
 /// A probabilistic occupancy octree with OctoMap semantics, generic over
@@ -34,6 +35,8 @@ pub struct OccupancyOctree<V: LogOdds> {
     pub(crate) scratch_pipeline: Option<ScanPipeline>,
     pub(crate) scratch_updates: Vec<VoxelUpdate>,
     pub(crate) batch_scratch: BatchScratch<V>,
+    pub(crate) query_counters: QueryCounters,
+    pub(crate) query_scratch: QueryScratch,
     // Fx instead of SipHash: change tracking inserts a structured key per
     // classification flip on the hottest path; see `rustc_hash`.
     pub(crate) changed: Option<FxHashSet<VoxelKey>>,
@@ -85,6 +88,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
             scratch_pipeline: None,
             scratch_updates: Vec::new(),
             batch_scratch: BatchScratch::default(),
+            query_counters: QueryCounters::default(),
+            query_scratch: QueryScratch::default(),
             changed: None,
         })
     }
@@ -117,6 +122,24 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// Resets the operation counters to zero.
     pub fn reset_counters(&mut self) {
         self.counters.reset();
+    }
+
+    /// Cumulative read-side counters, fed by the cached-descent cursor
+    /// and the batched query engine (see the `query_batch` module; the
+    /// scalar [`Self::search`] path is uncounted, like OctoMap's).
+    pub fn query_counters(&self) -> &QueryCounters {
+        &self.query_counters
+    }
+
+    /// Resets the query counters to zero.
+    pub fn reset_query_counters(&mut self) {
+        self.query_counters.reset();
+    }
+
+    /// Removes and returns the accumulated query counters (the drain
+    /// form used by the `omu-map` facade and the benches).
+    pub fn take_query_counters(&mut self) -> QueryCounters {
+        std::mem::take(&mut self.query_counters)
     }
 
     /// Enables or disables OctoMap's early-abort optimization, which skips

@@ -163,6 +163,22 @@ pub struct RayWalk {
 }
 
 impl RayWalk {
+    /// An exhausted walk that yields nothing until [`Self::restart`] aims
+    /// it at a ray — the seed value for consumers that keep one reusable
+    /// walk across a whole batch of casts.
+    pub fn idle() -> Self {
+        RayWalk {
+            current: [0; 3],
+            step: [0; 3],
+            t_max: [f64::INFINITY; 3],
+            t_delta: [f64::INFINITY; 3],
+            travelled: 0.0,
+            max_range: 0.0,
+            started: false,
+            done: true,
+        }
+    }
+
     /// Starts a walk from `origin` along `dir` (not necessarily normalized)
     /// up to `max_range` metres.
     ///
@@ -176,6 +192,32 @@ impl RayWalk {
         dir: Point3,
         max_range: f64,
     ) -> Result<Self, KeyError> {
+        let mut walk = RayWalk::idle();
+        walk.restart(conv, origin, dir, max_range)?;
+        Ok(walk)
+    }
+
+    /// Re-aims the walk at a new ray, resetting all iteration state — the
+    /// reusable form of [`Self::new`] for batched casting loops that
+    /// drive one walk per ray without constructing a fresh iterator each
+    /// time. On error the walk is left exhausted (yields nothing).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] if the origin is outside the map or `dir` is
+    /// the zero vector / not finite.
+    pub fn restart(
+        &mut self,
+        conv: &KeyConverter,
+        origin: Point3,
+        dir: Point3,
+        max_range: f64,
+    ) -> Result<(), KeyError> {
+        self.travelled = 0.0;
+        self.max_range = max_range;
+        self.started = false;
+        self.done = true; // stays exhausted if validation fails below
+
         let key_origin = conv.coord_to_key(origin)?;
         let dir = dir
             .normalized()
@@ -183,41 +225,32 @@ impl RayWalk {
             .ok_or(KeyError::NotFinite { coord: dir.norm() })?;
 
         let res = conv.resolution();
-        let current = [
+        self.current = [
             key_origin.x as i32,
             key_origin.y as i32,
             key_origin.z as i32,
         ];
-        let mut step = [0i32; 3];
-        let mut t_max = [f64::INFINITY; 3];
-        let mut t_delta = [f64::INFINITY; 3];
+        self.step = [0i32; 3];
+        self.t_max = [f64::INFINITY; 3];
+        self.t_delta = [f64::INFINITY; 3];
         for axis in 0..3 {
             let d = dir[axis];
-            step[axis] = if d > 0.0 {
+            self.step[axis] = if d > 0.0 {
                 1
             } else if d < 0.0 {
                 -1
             } else {
                 0
             };
-            if step[axis] != 0 {
-                let voxel_border =
-                    conv.axis_key_to_coord(current[axis] as u16) + step[axis] as f64 * res * 0.5;
-                t_max[axis] = (voxel_border - origin[axis]) / d;
-                t_delta[axis] = res / d.abs();
+            if self.step[axis] != 0 {
+                let voxel_border = conv.axis_key_to_coord(self.current[axis] as u16)
+                    + self.step[axis] as f64 * res * 0.5;
+                self.t_max[axis] = (voxel_border - origin[axis]) / d;
+                self.t_delta[axis] = res / d.abs();
             }
         }
-
-        Ok(RayWalk {
-            current,
-            step,
-            t_max,
-            t_delta,
-            travelled: 0.0,
-            max_range,
-            started: false,
-            done: false,
-        })
+        self.done = false;
+        Ok(())
     }
 }
 
@@ -362,6 +395,49 @@ mod tests {
     fn ray_walk_rejects_zero_direction() {
         let c = conv();
         assert!(RayWalk::new(&c, Point3::ZERO, Point3::ZERO, 1.0).is_err());
+    }
+
+    #[test]
+    fn restarted_walk_matches_fresh_walk() {
+        let c = conv();
+        let mut walk = RayWalk::new(&c, Point3::ZERO, Point3::new(1.0, 0.3, 0.1), 2.0).unwrap();
+        // Partially consume, then re-aim at a different ray.
+        assert!(walk.by_ref().take(3).count() == 3);
+        walk.restart(
+            &c,
+            Point3::new(0.2, -0.1, 0.0),
+            Point3::new(-0.5, 1.0, 0.2),
+            1.5,
+        )
+        .unwrap();
+        let resumed: Vec<_> = walk.collect();
+        let fresh: Vec<_> = RayWalk::new(
+            &c,
+            Point3::new(0.2, -0.1, 0.0),
+            Point3::new(-0.5, 1.0, 0.2),
+            1.5,
+        )
+        .unwrap()
+        .collect();
+        assert_eq!(resumed, fresh);
+    }
+
+    #[test]
+    fn idle_walk_yields_nothing_until_restarted() {
+        let c = conv();
+        let mut walk = RayWalk::idle();
+        assert_eq!(walk.next(), None);
+        walk.restart(&c, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 0.55)
+            .unwrap();
+        assert_eq!(walk.count(), 6);
+    }
+
+    #[test]
+    fn failed_restart_leaves_walk_exhausted() {
+        let c = conv();
+        let mut walk = RayWalk::new(&c, Point3::ZERO, Point3::new(1.0, 0.0, 0.0), 2.0).unwrap();
+        assert!(walk.restart(&c, Point3::ZERO, Point3::ZERO, 2.0).is_err());
+        assert_eq!(walk.next(), None);
     }
 
     #[test]

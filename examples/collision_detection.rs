@@ -2,11 +2,13 @@
 //! introduction motivates (Fig. 1: the real-time 3D map serves collision
 //! detect / motion planning).
 //!
-//! Builds a corridor map on both facade backends, then validates a
-//! planned robot path against it with the unified query surface:
-//! per-waypoint occupancy on the accelerator, sphere probes and
-//! ray casting on the software tree — the same `QueryView` API either
-//! way.
+//! Builds a corridor map on both facade backends, then validates planned
+//! robot paths against it through the **batched query surface**: one
+//! `occupancy_batch` per path (Morton-coalesced cached descent on the
+//! software tree, the voxel query unit's register file on the
+//! accelerator), one `cast_rays` fan for the virtual bumper, sphere
+//! probes riding the same cached-descent cursors — the same `QueryView`
+//! API either way.
 //!
 //! ```sh
 //! cargo run --release --example collision_detection
@@ -15,7 +17,7 @@
 use omu::accel::OmuConfig;
 use omu::datasets::DatasetKind;
 use omu::geometry::{Occupancy, Point3};
-use omu::map::{Backend, MapBuilder};
+use omu::map::{Backend, Engine, MapBuilder};
 use omu::octree::RayCastResult;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -24,7 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Build the same map on both backends through one builder.
     let builder = || MapBuilder::new(spec.resolution).max_range(Some(spec.max_range));
-    let mut tree = builder().build()?;
+    let mut tree = builder().engine(Engine::Parallel).build()?;
     let mut omu = builder()
         .backend(Backend::Accelerator(OmuConfig::default()))
         .build()?;
@@ -45,22 +47,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("safe corridor path", &safe_path),
         ("path into the wall", &bad_path),
     ] {
-        // (a) Accelerator voxel queries: every waypoint must be free.
-        let mut verdict = "clear";
-        for &p in path {
-            match omu.occupancy_at(p)? {
-                Occupancy::Occupied => {
-                    verdict = "COLLISION";
-                    break;
-                }
-                Occupancy::Unknown => {
-                    verdict = "blocked by unknown space";
-                    break;
-                }
-                Occupancy::Free => {}
-            }
-        }
-        // (b) Software sphere probe with the robot's 0.3 m radius.
+        // (a) One batched voxel query per path — every waypoint
+        // classified in a single Morton-coalesced sweep, on the
+        // accelerator's voxel query unit.
+        let verdict = omu
+            .occupancy_batch(path)?
+            .iter()
+            .find_map(|&occ| match occ {
+                Occupancy::Occupied => Some("COLLISION"),
+                Occupancy::Unknown => Some("blocked by unknown space"),
+                Occupancy::Free => None,
+            })
+            .unwrap_or("clear");
+        // (b) Software sphere probes with the robot's 0.3 m radius (the
+        // grid sweep inside each ball rides the cached-descent cursor).
         let mut sphere_hit = false;
         for &p in path {
             if tree.collides_sphere(p, 0.3)? {
@@ -74,14 +74,21 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    // Ray casting: look-ahead from the robot's pose, like a virtual bumper.
-    println!("\nvirtual bumper (cast_ray from the corridor centre):");
-    for (label, dir) in [
+    // Virtual bumper: one batched cast_rays fan from the robot's pose —
+    // consecutive DDA steps share almost their whole root path, so each
+    // probe is amortized O(1) instead of a full descent.
+    println!("\nvirtual bumper (one cast_rays batch from the corridor centre):");
+    let bumper = [
         ("ahead  (+x)", Point3::new(1.0, 0.0, 0.0)),
         ("left   (+y)", Point3::new(0.0, 1.0, 0.0)),
         ("up     (+z)", Point3::new(0.0, 0.0, 1.0)),
-    ] {
-        match tree.cast_ray(Point3::new(0.0, 0.0, 0.0), dir, 10.0, true)? {
+    ];
+    let rays: Vec<(Point3, Point3)> = bumper
+        .iter()
+        .map(|&(_, dir)| (Point3::new(0.0, 0.0, 0.0), dir))
+        .collect();
+    for ((label, _), result) in bumper.iter().zip(tree.cast_rays(&rays, 10.0, true)?) {
+        match result {
             RayCastResult::Hit { point, .. } => {
                 println!("  {label}: obstacle at {:.2} m ({point})", point.norm())
             }
@@ -90,11 +97,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    let q = omu.accelerator().expect("accelerator backend").stats();
+    // Read-side telemetry from both backends.
+    let c = tree.query_counters().expect("software tree counts queries");
     println!(
-        "\nvoxel query unit served {} queries at {:.1} cycles mean latency",
+        "\nsoftware read path: {} probes, {} rays, prefix reuse {:.1} %",
+        c.probes,
+        c.rays,
+        c.prefix_reuse_rate() * 100.0
+    );
+    let q = omu
+        .accelerator()
+        .expect("accelerator backend")
+        .query_unit_stats();
+    println!(
+        "voxel query unit: {} queries ({} batched) at {:.1} cycles mean latency, \
+         {} levels replayed from path registers ({} cycles saved)",
         q.queries,
-        q.query_cycles as f64 / q.queries.max(1) as f64
+        q.batch_queries,
+        q.mean_latency(),
+        q.reused_levels,
+        q.saved_cycles
     );
     Ok(())
 }

@@ -222,6 +222,105 @@ proptest! {
     }
 }
 
+/// Fisher–Yates shuffle with a seeded generator (the vendored `rand`
+/// has no `shuffle`).
+fn shuffled<T>(mut v: Vec<T>, seed: u64) -> Vec<T> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5AFF1E);
+    for i in (1..v.len()).rev() {
+        v.swap(i, rng.random_range(0..i + 1));
+    }
+    v
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // The batched/cursor query engines are bit-identical to the
+    // per-probe path on every backend, with pruning on and off, for any
+    // input order: `occupancy_batch_keys` vs per-key `occupancy`, and
+    // cached `cast_ray` / batched `cast_rays` vs a reference cast that
+    // probes every DDA step through the scalar path.
+    #[test]
+    fn batched_queries_bit_identical_to_per_probe(seed in any::<u64>(), pruning in any::<bool>()) {
+        let scans = random_map_scans(seed);
+        let max_range = 6.0;
+        let maps = vec![
+            // Software, sequential batched reads.
+            MapBuilder::new(RES).pruning(pruning).build().unwrap(),
+            // Software, sharded parallel read path.
+            MapBuilder::new(RES)
+                .pruning(pruning)
+                .engine(Engine::Sharded { shards: 4 })
+                .build()
+                .unwrap(),
+            // Accelerator voxel query unit.
+            MapBuilder::new(RES)
+                .pruning(pruning)
+                .backend(Backend::Accelerator(OmuConfig::default()))
+                .build()
+                .unwrap(),
+        ];
+        for mut map in maps {
+            for scan in &scans {
+                map.insert(scan).unwrap();
+            }
+            let name = map.backend_name();
+            let engine = map.engine();
+
+            // A probe batch mixing occupied voxels, unknown space and
+            // exact duplicates, in shuffled (non-Morton) order.
+            let mut keys = occupied_voxels(&mut map);
+            keys.truncate(200);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0xBA7C4);
+            keys.extend((0..200).map(|_| {
+                VoxelKey::new(
+                    rng.random_range(32700..32840),
+                    rng.random_range(32700..32840),
+                    rng.random_range(32758..32788),
+                )
+            }));
+            let dups: Vec<VoxelKey> = keys.iter().take(40).copied().collect();
+            keys.extend(dups);
+            let keys = shuffled(keys, seed);
+
+            let expected: Vec<Occupancy> = keys.iter().map(|&k| map.occupancy(k)).collect();
+            let got = map.query().occupancy_batch_keys(&keys);
+            prop_assert_eq!(&got, &expected, "{} ({}): occupancy_batch_keys", name, engine);
+
+            // Cached and batched ray casting vs the per-probe reference.
+            let origin = scans[0].origin;
+            let conv = *map.converter();
+            for dir in ray_directions(seed) {
+                for ignore in [true, false] {
+                    let reference = omu::octree::cast_ray_with(
+                        &conv, origin, dir, max_range, ignore,
+                        |key| match map.occupancy(key) {
+                            Occupancy::Occupied => (
+                                Occupancy::Occupied,
+                                map.logodds(key).expect("occupied voxel must hold a value"),
+                            ),
+                            other => (other, 0.0),
+                        },
+                    ).unwrap();
+                    let cached = map.cast_ray(origin, dir, max_range, ignore).unwrap();
+                    prop_assert_eq!(
+                        cached, reference,
+                        "{} ({}): cast_ray {} ignore={}", name, engine, dir, ignore
+                    );
+                }
+            }
+            let rays: Vec<(Point3, Point3)> =
+                ray_directions(seed).into_iter().map(|d| (origin, d)).collect();
+            let singles: Vec<RayCastResult> = rays
+                .iter()
+                .map(|&(o, d)| map.cast_ray(o, d, max_range, false).unwrap())
+                .collect();
+            let batch = map.cast_rays(&rays, max_range, false).unwrap();
+            prop_assert_eq!(&batch, &singles, "{} ({}): cast_rays", name, engine);
+        }
+    }
+}
+
 /// Unknown-space blocking: with `ignore_unknown = false` both backends
 /// stop at the same first unknown voxel (bit-identical maps on fixed
 /// point make this exact).
