@@ -17,6 +17,11 @@
 //!   single-CPU container the parallel path adds sharding overhead for
 //!   no gain).
 //!
+//! The JSON also records the sibling-row arena's memory footprint
+//! (`heap_bytes`, `bytes_per_node`) next to the block-arena layout's
+//! measured baseline, so the cache-compactness claim stays a recorded
+//! number rather than folklore.
+//!
 //! Usage: `cargo run --release -p omu-bench --bin bench_batch_update
 //! [-- --scale 0.1]`.
 
@@ -42,14 +47,14 @@ impl Measurement {
     }
 }
 
-/// Best-of-3 timing of `run`, which returns (updates, end node count).
+/// Best-of-5 timing of `run`, which returns (updates, end node count).
 fn measure(
     stage: &'static str,
     engine: &str,
     mut run: impl FnMut() -> (u64, usize),
 ) -> Measurement {
     let mut best: Option<Measurement> = None;
-    for _ in 0..3 {
+    for _ in 0..5 {
         let start = Instant::now();
         let (updates, nodes) = run();
         let seconds = start.elapsed().as_secs_f64();
@@ -64,7 +69,7 @@ fn measure(
             best = Some(m);
         }
     }
-    best.expect("three repetitions ran")
+    best.expect("five repetitions ran")
 }
 
 fn fresh_tree(resolution: f64, max_range: f64) -> OctreeF32 {
@@ -180,6 +185,26 @@ fn main() {
         (n, tree.num_nodes())
     }));
 
+    // Memory footprint of the sibling-row arena on the finished map,
+    // against the block-arena layout's measured baseline on this same
+    // workload (19.24 B/node at scale 0.1, PR 2–4 layout).
+    const BLOCK_ARENA_BYTES_PER_NODE: f64 = 19.24;
+    let mem = {
+        let mut tree = fresh_tree(spec.resolution, spec.max_range);
+        for batch in &batches {
+            tree.apply_update_batch(batch);
+        }
+        tree.memory_stats()
+    };
+    eprintln!(
+        "memory: {} nodes in {} rows, {} heap bytes = {:.2} B/node \
+         (block arena measured {BLOCK_ARENA_BYTES_PER_NODE} B/node)",
+        mem.live_nodes,
+        mem.live_rows,
+        mem.arena_bytes,
+        mem.bytes_per_node(),
+    );
+
     for m in &results {
         eprintln!(
             "  {:<14} {:<17} {:>12.0} updates/s  ({:.3} s, {} nodes)",
@@ -208,6 +233,14 @@ fn main() {
             "  \"resolution_m\": {},\n",
             "  \"total_updates\": {},\n",
             "  \"update_engine_speedup_vs_scalar\": {:.2},\n",
+            "  \"memory\": {{\n",
+            "    \"live_nodes\": {},\n",
+            "    \"live_rows\": {},\n",
+            "    \"heap_bytes\": {},\n",
+            "    \"bytes_per_node\": {:.2},\n",
+            "    \"block_arena_bytes_per_node\": {:.2},\n",
+            "    \"bytes_per_node_reduction\": {:.4}\n",
+            "  }},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -217,6 +250,12 @@ fn main() {
         spec.resolution,
         total_updates,
         batched_update_rate / scalar_update_rate,
+        mem.live_nodes,
+        mem.live_rows,
+        mem.arena_bytes,
+        mem.bytes_per_node(),
+        BLOCK_ARENA_BYTES_PER_NODE,
+        1.0 - mem.bytes_per_node() / BLOCK_ARENA_BYTES_PER_NODE,
         results
             .iter()
             .map(json_entry)

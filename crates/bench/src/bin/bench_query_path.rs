@@ -42,10 +42,10 @@ impl Measurement {
     }
 }
 
-/// Best-of-3 timing of `run`, which returns the operation count.
+/// Best-of-5 timing of `run`, which returns the operation count.
 fn measure(stage: &'static str, engine: &str, mut run: impl FnMut() -> u64) -> Measurement {
     let mut best: Option<Measurement> = None;
-    for _ in 0..3 {
+    for _ in 0..5 {
         let start = Instant::now();
         let ops = run();
         let seconds = start.elapsed().as_secs_f64();
@@ -59,7 +59,7 @@ fn measure(stage: &'static str, engine: &str, mut run: impl FnMut() -> u64) -> M
             best = Some(m);
         }
     }
-    best.expect("three repetitions ran")
+    best.expect("five repetitions ran")
 }
 
 fn json_entry(m: &Measurement) -> String {
@@ -220,6 +220,16 @@ fn main() {
         cursor_rate / per_probe_rate
     );
 
+    // The map the read paths traverse: sibling-row arena footprint.
+    let mem = tree.memory_stats();
+    eprintln!(
+        "map memory: {} nodes in {} rows, {} heap bytes = {:.2} B/node",
+        mem.live_nodes,
+        mem.live_rows,
+        mem.arena_bytes,
+        mem.bytes_per_node(),
+    );
+
     let json = format!(
         concat!(
             "{{\n",
@@ -233,6 +243,12 @@ fn main() {
             "  \"point_probes\": {},\n",
             "  \"cast_ray_cursor_speedup_vs_per_probe\": {:.2},\n",
             "  \"cast_ray_prefix_reuse_rate\": {:.4},\n",
+            "  \"memory\": {{\n",
+            "    \"live_nodes\": {},\n",
+            "    \"live_rows\": {},\n",
+            "    \"heap_bytes\": {},\n",
+            "    \"bytes_per_node\": {:.2}\n",
+            "  }},\n",
             "  \"results\": [\n{}\n  ]\n",
             "}}\n"
         ),
@@ -245,6 +261,10 @@ fn main() {
         keys.len(),
         cursor_rate / per_probe_rate,
         reuse.prefix_reuse_rate(),
+        mem.live_nodes,
+        mem.live_rows,
+        mem.arena_bytes,
+        mem.bytes_per_node(),
         results
             .iter()
             .map(json_entry)

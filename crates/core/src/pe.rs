@@ -179,11 +179,23 @@ impl PeUnit {
         let mut path_locs = [(0u32, 0usize); LEVELS + 1];
         let mut path_entries = [NodeEntry::EMPTY; LEVELS + 1];
 
-        // PE root (depth 1) lives at row 0, bank = branch.
+        // PE root (depth 1) lives at row 0, bank = branch. Descent reads
+        // that hit a bank's open T-Mem row are charged at the (by default
+        // equal) row-hit rate — Morton-ordered runs keep descending the
+        // same sibling rows, which the row-buffer stats make visible.
+        let mut traverse_cycles = 0u64;
+        let mut charge_read = |mem: &mut TreeMem, row: u32, bank: usize| {
+            let (entry, hit) = mem.read_entry_hit(row, bank);
+            traverse_cycles += if hit {
+                t.traverse_row_hit
+            } else {
+                t.traverse_per_level
+            };
+            entry
+        };
         let mut just_created = false;
         path_locs[0] = (0, branch);
-        path_entries[0] = self.mem.read_entry(0, branch);
-        cycles += t.traverse_per_level;
+        path_entries[0] = charge_read(&mut self.mem, 0, branch);
         if !self.root_live[branch] {
             path_entries[0] = NodeEntry::EMPTY;
             self.root_live[branch] = true;
@@ -242,12 +254,12 @@ impl PeUnit {
             // Step into the child.
             let child_row = path_entries[step].ptr;
             debug_assert_ne!(child_row, NULL_PTR, "descending through a leaf");
-            let child = self.mem.read_entry(child_row, pos);
-            cycles += t.traverse_per_level;
+            let child = charge_read(&mut self.mem, child_row, pos);
             path_locs[step + 1] = (child_row, pos);
             path_entries[step + 1] = child;
         }
-        self.stats.stage_cycles.traverse += t.traverse_per_level * (LEVELS as u64 + 1);
+        cycles += traverse_cycles;
+        self.stats.stage_cycles.traverse += traverse_cycles;
 
         // --- Leaf update (eq. 2). ---
         let (leaf_row, leaf_bank) = path_locs[LEVELS];
@@ -618,6 +630,7 @@ impl PeUnit {
     pub fn stats(&self) -> PeStats {
         let mut s = self.stats;
         s.sram = self.mem.stats();
+        s.tmem_rows = self.mem.row_stats();
         s.prune_mgr = self.mgr.stats();
         s.live_rows = self.mgr.live_rows();
         s.high_water_rows = self.mgr.high_water_live();
@@ -891,6 +904,72 @@ mod tests {
         // Reset forgets the path: the next query replays nothing.
         c25.reset();
         assert_eq!(pe.query_cached(a, &mut c25, 25).reused_levels, 0);
+    }
+
+    #[test]
+    fn row_buffer_hits_are_measured_and_default_priced_neutrally() {
+        let mut pe = pe();
+        // A Morton-adjacent run keeps descending the same sibling rows.
+        for i in 0..8u16 {
+            let k = key_in_branch(0, (2 + (i & 1), 4 + ((i >> 1) & 1), 6 + ((i >> 2) & 1)));
+            pe.update_voxel(k, true).unwrap();
+        }
+        let s = pe.stats();
+        assert!(
+            s.tmem_rows.hits > 0,
+            "adjacent updates must hit open T-Mem rows"
+        );
+        assert!(s.tmem_rows.hit_rate() > 0.0);
+
+        // With the default timing, row hits are priced like misses: the
+        // per-update service time equals the flat model's.
+        let mut flat = PeUnit::new(
+            0,
+            4096,
+            512,
+            OccupancyParams::default().resolve::<FixedLogOdds>(),
+            PeTiming::default(),
+            true,
+        );
+        let k = key_in_branch(0, (2, 4, 6));
+        let a = pe.update_voxel(k, true).unwrap();
+        let b = {
+            for i in 0..8u16 {
+                let k = key_in_branch(0, (2 + (i & 1), 4 + ((i >> 1) & 1), 6 + ((i >> 2) & 1)));
+                flat.update_voxel(k, true).unwrap();
+            }
+            flat.update_voxel(k, true).unwrap()
+        };
+        assert_eq!(a.service_cycles, b.service_cycles);
+    }
+
+    #[test]
+    fn discounted_row_hits_shrink_descent_cycles() {
+        let run = |timing: PeTiming| {
+            let mut pe = PeUnit::new(
+                0,
+                4096,
+                512,
+                OccupancyParams::default().resolve::<FixedLogOdds>(),
+                timing,
+                true,
+            );
+            let mut total = 0u64;
+            for i in 0..16u16 {
+                let k = key_in_branch(0, (100 + (i & 3), 200, 300));
+                total += pe.update_voxel(k, true).unwrap().service_cycles;
+            }
+            total
+        };
+        let flat = run(PeTiming::default());
+        let discounted = run(PeTiming {
+            traverse_row_hit: 1,
+            ..PeTiming::default()
+        });
+        assert!(
+            discounted < flat,
+            "row-hit pricing must cut descent cycles: {discounted} vs {flat}"
+        );
     }
 
     #[test]

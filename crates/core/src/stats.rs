@@ -5,6 +5,7 @@ use omu_simhw::SramStats;
 use serde::{Deserialize, Serialize};
 
 use crate::prune_mgr::PruneMgrStats;
+use crate::treemem::RowBufferStats;
 
 /// Cycles spent in each PE datapath stage.
 ///
@@ -89,6 +90,10 @@ pub struct PeStats {
     pub busy_cycles: u64,
     /// SRAM access counters of the PE's T-Mem.
     pub sram: SramStats,
+    /// Open-row (row-buffer) hit/miss counters of the PE's T-Mem — the
+    /// hardware analogue of the software arena's sibling-row cache-line
+    /// locality under Morton-ordered update streams.
+    pub tmem_rows: RowBufferStats,
     /// Prune address manager statistics.
     pub prune_mgr: PruneMgrStats,
     /// Live children rows at sample time.

@@ -1,19 +1,63 @@
-//! The per-PE tree memory: 8 parallel single-port SRAM banks.
+//! The per-PE tree memory: 8 parallel single-port SRAM banks with an
+//! open-row (row-buffer) model.
 //!
 //! The 8 children of any node share one row address; child `i` lives in
 //! bank `i` (`T-Mem i`). A parent update or prune check therefore reads
 //! all 8 children in a single cycle — the 8× memory-bandwidth improvement
 //! of Section IV-B.
+//!
+//! Each bank additionally keeps an *open-row register*: the row address
+//! of its most recent access. Accesses that hit the open row are counted
+//! separately ([`RowBufferStats`]) — the hardware analogue of the
+//! software arena's sibling-row cache line staying hot while
+//! Morton-adjacent updates descend the same rows. The PE's descent
+//! pricing can charge row-buffer hits at a cheaper rate
+//! (`PeTiming::traverse_row_hit`); with the default timing both rates are
+//! equal, preserving the paper's calibrated ≈100 cycles per update while
+//! still *measuring* the row locality that a row-aware design exploits.
 
 use omu_simhw::{SramBank, SramSpec, SramStats};
+use serde::{Deserialize, Serialize};
 
 use crate::entry::NodeEntry;
+
+/// Sentinel for "no row open yet".
+const NO_ROW: u32 = u32::MAX;
+
+/// Open-row (row-buffer) hit/miss counters across a tree memory's banks.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RowBufferStats {
+    /// Counted accesses that hit the bank's open row.
+    pub hits: u64,
+    /// Counted accesses that opened a different row.
+    pub misses: u64,
+}
+
+impl RowBufferStats {
+    /// Fraction of accesses served from the open row (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Accumulates another record.
+    pub fn merge(&mut self, other: &RowBufferStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+}
 
 /// One PE's tree memory: 8 banks of 64-bit node entries.
 #[derive(Debug, Clone)]
 pub struct TreeMem {
     banks: Vec<SramBank>,
     rows: usize,
+    open_row: [u32; Self::BANKS],
+    row_stats: RowBufferStats,
 }
 
 impl TreeMem {
@@ -26,6 +70,8 @@ impl TreeMem {
         TreeMem {
             banks: (0..Self::BANKS).map(|_| SramBank::new(spec)).collect(),
             rows,
+            open_row: [NO_ROW; Self::BANKS],
+            row_stats: RowBufferStats::default(),
         }
     }
 
@@ -34,15 +80,38 @@ impl TreeMem {
         self.rows
     }
 
+    /// Records an access to (`row`, `bank`) against the bank's open-row
+    /// register, returning whether it hit.
+    #[inline]
+    fn touch(&mut self, row: u32, bank: usize) -> bool {
+        let hit = self.open_row[bank] == row;
+        if hit {
+            self.row_stats.hits += 1;
+        } else {
+            self.row_stats.misses += 1;
+            self.open_row[bank] = row;
+        }
+        hit
+    }
+
     /// Reads the entry at (`row`, `bank`) — one bank access.
     #[inline]
     pub fn read_entry(&mut self, row: u32, bank: usize) -> NodeEntry {
-        NodeEntry::unpack(self.banks[bank].read(row as usize))
+        self.read_entry_hit(row, bank).0
+    }
+
+    /// [`Self::read_entry`] plus whether the access hit the bank's open
+    /// row — the signal the PE's row-aware descent pricing consumes.
+    #[inline]
+    pub fn read_entry_hit(&mut self, row: u32, bank: usize) -> (NodeEntry, bool) {
+        let hit = self.touch(row, bank);
+        (NodeEntry::unpack(self.banks[bank].read(row as usize)), hit)
     }
 
     /// Writes the entry at (`row`, `bank`) — one bank access.
     #[inline]
     pub fn write_entry(&mut self, row: u32, bank: usize, entry: NodeEntry) {
+        self.touch(row, bank);
         self.banks[bank].write(row as usize, entry.pack());
     }
 
@@ -50,13 +119,17 @@ impl TreeMem {
     /// hardware.
     #[inline]
     pub fn read_row(&mut self, row: u32) -> [NodeEntry; 8] {
-        std::array::from_fn(|bank| NodeEntry::unpack(self.banks[bank].read(row as usize)))
+        std::array::from_fn(|bank| {
+            self.touch(row, bank);
+            NodeEntry::unpack(self.banks[bank].read(row as usize))
+        })
     }
 
     /// Writes a whole row — 8 parallel bank accesses, one cycle.
     #[inline]
     pub fn write_row(&mut self, row: u32, entries: [NodeEntry; 8]) {
         for (bank, e) in entries.iter().enumerate() {
+            self.touch(row, bank);
             self.banks[bank].write(row as usize, e.pack());
         }
     }
@@ -76,11 +149,18 @@ impl TreeMem {
         s
     }
 
-    /// Resets the access counters (contents kept).
+    /// Open-row hit/miss counters over all 8 banks.
+    pub fn row_stats(&self) -> RowBufferStats {
+        self.row_stats
+    }
+
+    /// Resets the access counters and open-row registers (contents kept).
     pub fn reset_stats(&mut self) {
         for b in &mut self.banks {
             b.reset_stats();
         }
+        self.open_row = [NO_ROW; Self::BANKS];
+        self.row_stats = RowBufferStats::default();
     }
 
     /// Flips one bit of the entry at (`row`, `bank`) — soft-error fault
@@ -132,8 +212,10 @@ mod tests {
         let mut m = TreeMem::new(4);
         m.write_entry(1, 0, NodeEntry::EMPTY);
         let before = m.stats();
+        let row_before = m.row_stats();
         let _ = m.peek_entry(1, 0);
         assert_eq!(m.stats(), before);
+        assert_eq!(m.row_stats(), row_before);
     }
 
     #[test]
@@ -147,6 +229,38 @@ mod tests {
         m.write_entry(0, 7, e);
         m.reset_stats();
         assert_eq!(m.stats().accesses(), 0);
+        assert_eq!(m.row_stats(), RowBufferStats::default());
         assert_eq!(m.peek_entry(0, 7), e);
+    }
+
+    #[test]
+    fn open_row_tracks_hits_per_bank() {
+        let mut m = TreeMem::new(8);
+        // First access to a bank always misses (opens the row).
+        let (_, hit) = m.read_entry_hit(3, 0);
+        assert!(!hit);
+        // Same row, same bank: hit.
+        let (_, hit) = m.read_entry_hit(3, 0);
+        assert!(hit);
+        // Same row, different bank: that bank's register is still closed.
+        let (_, hit) = m.read_entry_hit(3, 1);
+        assert!(!hit);
+        // Different row evicts the open row.
+        let (_, hit) = m.read_entry_hit(5, 0);
+        assert!(!hit);
+        let (_, hit) = m.read_entry_hit(3, 0);
+        assert!(!hit, "row 3 was evicted by row 5");
+        assert_eq!(m.row_stats().hits, 1);
+        assert_eq!(m.row_stats().misses, 4);
+        assert!(m.row_stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn row_sweeps_keep_rows_open() {
+        let mut m = TreeMem::new(8);
+        m.write_row(2, [NodeEntry::EMPTY; 8]); // 8 misses, opens row 2 everywhere
+        let _ = m.read_row(2); // 8 hits
+        assert_eq!(m.row_stats().misses, 8);
+        assert_eq!(m.row_stats().hits, 8);
     }
 }

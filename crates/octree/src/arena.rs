@@ -1,228 +1,262 @@
-//! Branch-sharded index arenas with free lists for nodes and child blocks.
+//! Branch-sharded sibling-row arenas with row free lists.
 //!
 //! Storage is partitioned the way the OMU hardware partitions its T-Mem:
 //! one independently-ownable [`ArenaShard`] per first-level tree branch
 //! (the top-3-bit Morton group that also selects the PE), plus a *spine*
-//! shard holding only the root. A node index encodes its shard in the top
-//! [`SHARD_BITS`] bits, so the full-tree [`Arena`] can route any access
-//! while a branch shard can be split off (`take_branch`) and handed to a
-//! worker thread that owns its whole subtree — the software analogue of a
-//! PE owning its banked memory.
+//! shard holding the root and the root's children row. A node handle
+//! encodes its shard in the top [`SHARD_BITS`] bits, so the full-tree
+//! [`Arena`] can route any access while a branch shard can be split off
+//! (`take_branch`) and handed to a worker thread that owns its whole
+//! subtree — the software analogue of a PE owning its banked memory.
 //!
-//! Freed slots are recycled (LIFO) — the analogue of the OMU prune
-//! address manager's stack reuse, and the reason long mapping runs do not
-//! grow memory monotonically even though pruning constantly deletes and
-//! re-creates nodes.
+//! Each shard keeps two row arenas:
 //!
-//! Reserving the index's top bits narrows addressing from one global
-//! 2³²−1-slot arena to 2²⁸−1 slots *per branch shard* (≈268 M nodes /
-//! ≈3 GB per first-level octant, ≈2.1 B nodes total). Exhausting a shard
-//! panics, like the old global arena did; maps anywhere near that size
-//! exhaust host memory first.
+//! - **node rows** (`[Node<V>; 8]`, 64 B for `f32`): the sibling rows of
+//!   inner levels — children of nodes at depths 0‥14;
+//! - **leaf rows** (`[V; 8]`, 32 B for `f32`): the children of depth-15
+//!   nodes, which are depth-16 voxels and can never have children, so
+//!   they carry no pointer word.
+//!
+//! A node *handle* is `shard:4 | row:25 | octant:3` — the node lives in
+//! slot `octant` of sibling row `row`. Whether the row is a node row or
+//! a leaf row is decided by tree depth, which every traversal already
+//! tracks (depth-16 handles index leaf rows, everything else node rows).
+//!
+//! Freed rows are recycled (LIFO) — the analogue of the OMU prune
+//! address manager's stack reuse, and the reason long mapping runs do
+//! not grow memory monotonically even though pruning constantly deletes
+//! and re-creates nodes.
+//!
+//! The packed child reference in [`Node`] caps rows at 2²⁴ − 1 per shard
+//! (≈134 M nodes / ≈1 GB per first-level octant, ≈1 B nodes total).
+//! Exhausting a shard panics, like the old global arena did; maps
+//! anywhere near that size exhaust host memory first.
 
-use crate::node::{ChildBlock, Node, NIL};
+use crate::node::{LeafRow, Node, NodeRow, MAX_ROW, NIL};
 
-/// Bits of a node/block index reserved for the shard id.
+/// Bits of a node handle reserved for the shard id.
 const SHARD_BITS: u32 = 4;
-/// Bits addressing a slot within one shard.
-const SLOT_BITS: u32 = 32 - SHARD_BITS;
-const SLOT_MASK: u32 = (1 << SLOT_BITS) - 1;
+/// Bits of a node handle addressing the octant within a sibling row.
+const OCT_BITS: u32 = 3;
+/// Bits addressing a row within one shard.
+const ROW_BITS: u32 = 32 - SHARD_BITS - OCT_BITS;
+const ROW_MASK: u32 = (1 << ROW_BITS) - 1;
 
 /// Number of branch shards (one per first-level octree branch).
 pub(crate) const NUM_BRANCHES: usize = 8;
-/// Shard id of the spine (holds only the root node and its child block).
+/// Shard id of the spine (holds the root node and the root's children).
 pub(crate) const SPINE_SHARD: usize = NUM_BRANCHES;
+/// Spine row holding the root node (slot 0); the root's children row is
+/// whatever the spine allocates next.
+const ROOT_ROW: u32 = 0;
 
+/// Builds a node handle from its shard, sibling row and octant.
 #[inline]
-fn encode(shard: usize, slot: u32) -> u32 {
-    debug_assert!(shard <= SPINE_SHARD);
-    ((shard as u32) << SLOT_BITS) | slot
+pub(crate) fn handle(shard: usize, row: u32, oct: usize) -> u32 {
+    debug_assert!(shard <= SPINE_SHARD && row <= MAX_ROW && oct < 8);
+    ((shard as u32) << (ROW_BITS + OCT_BITS)) | (row << OCT_BITS) | oct as u32
 }
 
-/// Shard id of an encoded index.
+/// Shard id of a node handle.
 #[inline]
-pub(crate) fn shard_of(idx: u32) -> usize {
-    (idx >> SLOT_BITS) as usize
+pub(crate) fn shard_of(h: u32) -> usize {
+    (h >> (ROW_BITS + OCT_BITS)) as usize
 }
 
+/// Sibling-row index of a node handle (within its shard).
 #[inline]
-fn slot_of(idx: u32) -> usize {
-    (idx & SLOT_MASK) as usize
+fn row_of(h: u32) -> u32 {
+    (h >> OCT_BITS) & ROW_MASK
 }
 
-/// Uniform storage interface for the update walk: implemented by the
-/// routing [`Arena`] (whole tree) and by a single [`ArenaShard`] (one
-/// branch subtree owned by a worker thread). Indices are always the
-/// encoded form, so child pointers written by a shard remain valid when
-/// the shard is reattached to the arena.
-pub(crate) trait NodeStore<V> {
-    /// Allocates a node as child `pos` of `parent` (placement: the
-    /// parent's shard, except children of the spine root which land in
-    /// the branch shard selected by `pos`).
-    fn alloc_child_node(&mut self, parent: u32, pos: usize, value: V) -> u32;
-    /// Allocates an empty child block colocated with `parent`.
-    fn alloc_block_for(&mut self, parent: u32) -> u32;
-    /// Returns a node slot to its shard's free list.
-    fn free_node(&mut self, idx: u32);
-    /// Returns a child block to its shard's free list.
-    fn free_block(&mut self, idx: u32);
-    /// Immutable node access.
-    fn node(&self, idx: u32) -> &Node<V>;
+/// Octant (slot within the sibling row) of a node handle.
+#[inline]
+fn oct_of(h: u32) -> usize {
+    (h & 7) as usize
+}
+
+/// Uniform storage interface for tree walks: implemented by the routing
+/// [`Arena`] (whole tree) and by the worker-owned branch store of the
+/// sharded parallel apply. Handles are always the encoded form, so child
+/// references written by a shard remain valid when it is reattached.
+pub(crate) trait NodeStore<V: Copy> {
+    /// Immutable node access (depth ≤ 15 handles).
+    fn node(&self, h: u32) -> &Node<V>;
     /// Mutable node access.
-    fn node_mut(&mut self, idx: u32) -> &mut Node<V>;
-    /// Immutable block access.
-    fn block(&self, idx: u32) -> &ChildBlock;
-    /// Mutable block access.
-    fn block_mut(&mut self, idx: u32) -> &mut ChildBlock;
+    fn node_mut(&mut self, h: u32) -> &mut Node<V>;
+    /// Reads a depth-16 voxel value (leaf-row handles).
+    fn leaf_value(&self, h: u32) -> V;
+    /// Mutable depth-16 voxel access.
+    fn leaf_value_mut(&mut self, h: u32) -> &mut V;
+    /// The shard that holds (or will hold) the children row of `parent`.
+    fn child_shard(&self, parent: u32) -> usize;
+    /// Allocates a node row for the children of `parent`, every slot set
+    /// to `fill`. Returns the raw row index (store it with
+    /// [`Node::set_children`]).
+    fn alloc_row_for(&mut self, parent: u32, fill: Node<V>) -> u32;
+    /// Allocates a leaf row (depth-16 values) for the children of
+    /// `parent`, every slot set to `fill`.
+    fn alloc_leaf_row_for(&mut self, parent: u32, fill: V) -> u32;
+    /// Returns `parent`'s children node row to its shard's free list
+    /// (call before [`Node::clear_children`]).
+    fn free_row_of(&mut self, parent: u32);
+    /// Returns `parent`'s children leaf row to its shard's free list.
+    fn free_leaf_row_of(&mut self, parent: u32);
+    /// Borrows a whole node row — one bounds check for all 8 siblings
+    /// (the parent refresh / prune-check access pattern).
+    fn node_row(&self, shard: usize, row: u32) -> &NodeRow<V>;
+    /// Borrows a whole leaf row.
+    fn leaf_row(&self, shard: usize, row: u32) -> &LeafRow<V>;
 
-    /// Child index of `node` at `pos`, or [`NIL`].
+    /// Handle of child `pos` of `parent`, or [`NIL`] when absent. Pure
+    /// arithmetic on the parent already in hand — no dependent load.
     #[inline]
-    fn child_of(&self, node: u32, pos: usize) -> u32 {
-        let b = self.node(node).block;
-        if b == NIL {
-            NIL
+    fn child_of(&self, parent: u32, pos: usize) -> u32 {
+        let n = self.node(parent);
+        if n.has_child(pos) {
+            handle(self.child_shard(parent), n.row(), pos)
         } else {
-            self.block(b).slots[pos]
+            NIL
         }
     }
 }
 
 /// One independently-ownable storage shard (one branch subtree, or the
-/// spine). All indices it hands out and accepts are the encoded
-/// shard-qualified form.
+/// spine). Raw row indices are shard-relative; full node handles carry
+/// the shard id.
 #[derive(Debug, Clone)]
 pub(crate) struct ArenaShard<V> {
     id: usize,
-    nodes: Vec<Node<V>>,
-    node_free: Vec<u32>,
-    blocks: Vec<ChildBlock>,
-    block_free: Vec<u32>,
+    rows: Vec<NodeRow<V>>,
+    row_free: Vec<u32>,
+    leaf_rows: Vec<LeafRow<V>>,
+    leaf_free: Vec<u32>,
 }
 
 impl<V: Copy> ArenaShard<V> {
-    /// An empty stand-in for a task slot that has not received its real
-    /// shard yet (see the sharded batch apply). Never read or written.
-    pub fn placeholder() -> Self {
-        ArenaShard::new(usize::MAX)
-    }
-
     fn new(id: usize) -> Self {
         ArenaShard {
             id,
-            nodes: Vec::new(),
-            node_free: Vec::new(),
-            blocks: Vec::new(),
-            block_free: Vec::new(),
+            rows: Vec::new(),
+            row_free: Vec::new(),
+            leaf_rows: Vec::new(),
+            leaf_free: Vec::new(),
         }
+    }
+
+    /// The branch (or spine) id this shard stores.
+    pub fn id(&self) -> usize {
+        self.id
     }
 
     #[inline]
-    fn own_slot(&self, idx: u32) -> usize {
-        debug_assert_eq!(shard_of(idx), self.id, "index from a foreign shard");
-        slot_of(idx)
+    fn own(&self, h: u32) -> (usize, usize) {
+        debug_assert_eq!(shard_of(h), self.id, "handle from a foreign shard");
+        (row_of(h) as usize, oct_of(h))
     }
 
-    /// Allocates a node in this shard, reusing a freed slot when available.
-    pub fn alloc_node(&mut self, value: V) -> u32 {
-        if let Some(idx) = self.node_free.pop() {
-            self.nodes[slot_of(idx)] = Node::leaf(value);
-            idx
+    #[inline]
+    pub fn node(&self, h: u32) -> &Node<V> {
+        let (row, oct) = self.own(h);
+        &self.rows[row][oct]
+    }
+
+    #[inline]
+    pub fn node_mut(&mut self, h: u32) -> &mut Node<V> {
+        let (row, oct) = self.own(h);
+        &mut self.rows[row][oct]
+    }
+
+    #[inline]
+    pub fn leaf_value(&self, h: u32) -> V {
+        let (row, oct) = self.own(h);
+        self.leaf_rows[row][oct]
+    }
+
+    #[inline]
+    pub fn leaf_value_mut(&mut self, h: u32) -> &mut V {
+        let (row, oct) = self.own(h);
+        &mut self.leaf_rows[row][oct]
+    }
+
+    #[inline]
+    pub fn node_row(&self, row: u32) -> &NodeRow<V> {
+        &self.rows[row as usize]
+    }
+
+    #[inline]
+    pub fn leaf_row(&self, row: u32) -> &LeafRow<V> {
+        &self.leaf_rows[row as usize]
+    }
+
+    /// Allocates a node row filled with `fill`, reusing a freed row when
+    /// available. Returns the raw (shard-relative) row index.
+    pub fn alloc_row(&mut self, fill: Node<V>) -> u32 {
+        if let Some(row) = self.row_free.pop() {
+            self.rows[row as usize] = [fill; 8];
+            row
         } else {
-            let slot = self.nodes.len() as u32;
-            assert!(slot < SLOT_MASK, "node shard {} exhausted", self.id);
-            self.nodes.push(Node::leaf(value));
-            encode(self.id, slot)
+            let row = self.rows.len() as u32;
+            assert!(row < MAX_ROW, "node-row shard {} exhausted", self.id);
+            self.rows.push([fill; 8]);
+            row
         }
     }
 
-    /// Allocates an empty child block in this shard.
-    pub fn alloc_block(&mut self) -> u32 {
-        if let Some(idx) = self.block_free.pop() {
-            self.blocks[slot_of(idx)] = ChildBlock::EMPTY;
-            idx
+    /// Allocates a leaf row filled with `fill`.
+    pub fn alloc_leaf_row(&mut self, fill: V) -> u32 {
+        if let Some(row) = self.leaf_free.pop() {
+            self.leaf_rows[row as usize] = [fill; 8];
+            row
         } else {
-            let slot = self.blocks.len() as u32;
-            assert!(slot < SLOT_MASK, "block shard {} exhausted", self.id);
-            self.blocks.push(ChildBlock::EMPTY);
-            encode(self.id, slot)
+            let row = self.leaf_rows.len() as u32;
+            assert!(row < MAX_ROW, "leaf-row shard {} exhausted", self.id);
+            self.leaf_rows.push([fill; 8]);
+            row
         }
     }
 
-    /// Live node count (allocated minus freed).
-    pub fn live_nodes(&self) -> usize {
-        self.nodes.len() - self.node_free.len()
+    /// Returns a node row to the free list.
+    pub fn free_row(&mut self, row: u32) {
+        debug_assert!((row as usize) < self.rows.len());
+        self.row_free.push(row);
     }
 
-    /// Live child-block count.
-    pub fn live_blocks(&self) -> usize {
-        self.blocks.len() - self.block_free.len()
+    /// Returns a leaf row to the free list.
+    pub fn free_leaf_row(&mut self, row: u32) {
+        debug_assert!((row as usize) < self.leaf_rows.len());
+        self.leaf_free.push(row);
+    }
+
+    /// Live sibling rows `(node rows, leaf rows)` — allocated minus freed.
+    pub fn live_rows(&self) -> (usize, usize) {
+        (
+            self.rows.len() - self.row_free.len(),
+            self.leaf_rows.len() - self.leaf_free.len(),
+        )
     }
 
     fn clear(&mut self) {
-        self.nodes.clear();
-        self.node_free.clear();
-        self.blocks.clear();
-        self.block_free.clear();
+        self.rows.clear();
+        self.row_free.clear();
+        self.leaf_rows.clear();
+        self.leaf_free.clear();
     }
 
     fn heap_bytes(&self) -> usize {
-        self.nodes.capacity() * std::mem::size_of::<Node<V>>()
-            + self.node_free.capacity() * 4
-            + self.blocks.capacity() * std::mem::size_of::<ChildBlock>()
-            + self.block_free.capacity() * 4
+        self.rows.capacity() * std::mem::size_of::<NodeRow<V>>()
+            + self.leaf_rows.capacity() * std::mem::size_of::<LeafRow<V>>()
+            + (self.row_free.capacity() + self.leaf_free.capacity()) * 4
+    }
+
+    /// High-water row slots `(node rows, leaf rows)` ever allocated.
+    fn high_water(&self) -> (usize, usize) {
+        (self.rows.len(), self.leaf_rows.len())
     }
 }
 
-impl<V: Copy> NodeStore<V> for ArenaShard<V> {
-    #[inline]
-    fn alloc_child_node(&mut self, _parent: u32, _pos: usize, value: V) -> u32 {
-        // Inside a shard every descendant stays in the shard.
-        self.alloc_node(value)
-    }
-
-    #[inline]
-    fn alloc_block_for(&mut self, _parent: u32) -> u32 {
-        self.alloc_block()
-    }
-
-    fn free_node(&mut self, idx: u32) {
-        debug_assert!(
-            self.nodes[self.own_slot(idx)].is_leaf(),
-            "freeing node with children"
-        );
-        self.node_free.push(idx);
-    }
-
-    fn free_block(&mut self, idx: u32) {
-        let _ = self.own_slot(idx);
-        self.block_free.push(idx);
-    }
-
-    #[inline]
-    fn node(&self, idx: u32) -> &Node<V> {
-        &self.nodes[self.own_slot(idx)]
-    }
-
-    #[inline]
-    fn node_mut(&mut self, idx: u32) -> &mut Node<V> {
-        let slot = self.own_slot(idx);
-        &mut self.nodes[slot]
-    }
-
-    #[inline]
-    fn block(&self, idx: u32) -> &ChildBlock {
-        &self.blocks[self.own_slot(idx)]
-    }
-
-    #[inline]
-    fn block_mut(&mut self, idx: u32) -> &mut ChildBlock {
-        let slot = self.own_slot(idx);
-        &mut self.blocks[slot]
-    }
-}
-
-/// Arena holding all nodes and child blocks of one octree, as 8 branch
-/// shards plus the root spine.
+/// Arena holding all sibling rows of one octree, as 8 branch shards plus
+/// the root spine.
 #[derive(Debug, Clone)]
 pub(crate) struct Arena<V> {
     shards: Vec<ArenaShard<V>>,
@@ -235,21 +269,12 @@ impl<V: Copy> Arena<V> {
         }
     }
 
-    /// Allocates the root node (spine shard).
+    /// Allocates the root node (slot 0 of the spine's row 0) and returns
+    /// its handle.
     pub fn alloc_root(&mut self, value: V) -> u32 {
-        self.shards[SPINE_SHARD].alloc_node(value)
-    }
-
-    /// The shard a child of `parent` at `pos` belongs to: the parent's
-    /// shard, except below the spine root where `pos` *is* the branch id.
-    #[inline]
-    fn child_shard(&self, parent: u32, pos: usize) -> usize {
-        let s = shard_of(parent);
-        if s == SPINE_SHARD {
-            pos
-        } else {
-            s
-        }
+        let row = self.shards[SPINE_SHARD].alloc_row(Node::leaf(value));
+        debug_assert_eq!(row, ROOT_ROW, "root row is always the spine's first");
+        handle(SPINE_SHARD, ROOT_ROW, 0)
     }
 
     /// Detaches branch `b`'s shard so a worker thread can own it. The
@@ -265,21 +290,22 @@ impl<V: Copy> Arena<V> {
         self.shards[b] = shard;
     }
 
-    /// Live node count (allocated minus freed) across all shards.
-    pub fn live_nodes(&self) -> usize {
-        self.shards.iter().map(ArenaShard::live_nodes).sum()
+    /// Live sibling-row count `(node rows, leaf rows)` across all shards.
+    /// Node rows + leaf rows = inner nodes (each inner node owns exactly
+    /// one children row); the spine's root row is a node row too.
+    pub fn live_rows(&self) -> (usize, usize) {
+        self.shards.iter().fold((0, 0), |(n, l), s| {
+            let (sn, sl) = s.live_rows();
+            (n + sn, l + sl)
+        })
     }
 
-    /// Live child-block count across all shards.
-    pub fn live_blocks(&self) -> usize {
-        self.shards.iter().map(ArenaShard::live_blocks).sum()
-    }
-
-    /// High-water slot counts `(nodes, blocks)` ever allocated.
+    /// High-water row counts `(node rows, leaf rows)` ever allocated.
     pub fn high_water(&self) -> (usize, usize) {
-        self.shards
-            .iter()
-            .fold((0, 0), |(n, b), s| (n + s.nodes.len(), b + s.blocks.len()))
+        self.shards.iter().fold((0, 0), |(n, l), s| {
+            let (sn, sl) = s.high_water();
+            (n + sn, l + sl)
+        })
     }
 
     /// Heap bytes used by the arena backing storage.
@@ -287,54 +313,171 @@ impl<V: Copy> Arena<V> {
         self.shards.iter().map(ArenaShard::heap_bytes).sum()
     }
 
-    /// Removes every node and block, keeping allocations.
+    /// Removes every row, keeping allocations.
     pub fn clear(&mut self) {
         for shard in &mut self.shards {
             shard.clear();
+        }
+    }
+
+    /// Exhaustively validates the sibling-row invariants of the tree
+    /// hanging off `root` (test support; panics on violation):
+    ///
+    /// - a leaf's packed child reference is all-zero (no stale row);
+    /// - an inner node's mask is non-empty and its row index is in range;
+    /// - no two inner nodes share a row (per shard and tier);
+    /// - every allocated row is either reachable through exactly one
+    ///   parent mask or sits on its shard's free list — i.e. each row's
+    ///   `child_mask` is the single source of truth for its live children.
+    pub fn validate_reachable(&self, root: u32) {
+        let mut seen_rows: Vec<Vec<bool>> = self
+            .shards
+            .iter()
+            .map(|s| vec![false; s.rows.len()])
+            .collect();
+        let mut seen_leaf_rows: Vec<Vec<bool>> = self
+            .shards
+            .iter()
+            .map(|s| vec![false; s.leaf_rows.len()])
+            .collect();
+        if root != NIL {
+            // The root's own row.
+            assert_eq!(shard_of(root), SPINE_SHARD, "root outside the spine");
+            seen_rows[SPINE_SHARD][row_of(root) as usize] = true;
+            let mut stack = vec![(root, 0u8)];
+            while let Some((h, depth)) = stack.pop() {
+                let n = self.node(h);
+                if n.is_leaf() {
+                    assert_eq!(n.row(), 0, "leaf at depth {depth} keeps a stale row");
+                    continue;
+                }
+                let shard = self.child_shard(h);
+                let row = n.row() as usize;
+                let leaf_tier = depth + 1 == 16;
+                let seen = if leaf_tier {
+                    assert!(
+                        row < self.shards[shard].leaf_rows.len(),
+                        "leaf row out of range"
+                    );
+                    &mut seen_leaf_rows[shard][row]
+                } else {
+                    assert!(row < self.shards[shard].rows.len(), "node row out of range");
+                    &mut seen_rows[shard][row]
+                };
+                assert!(!*seen, "row referenced by two parents");
+                *seen = true;
+                if !leaf_tier {
+                    for pos in 0..8 {
+                        if n.has_child(pos) {
+                            stack.push((self.child_of(h, pos), depth + 1));
+                        }
+                    }
+                }
+            }
+        }
+        // Every unreachable row must be on its shard's free list, and
+        // every reachable one must not be.
+        for (sid, shard) in self.shards.iter().enumerate() {
+            let mut free = vec![false; shard.rows.len()];
+            for &r in &shard.row_free {
+                assert!(!free[r as usize], "node row double-freed");
+                free[r as usize] = true;
+            }
+            for (r, &reachable) in seen_rows[sid].iter().enumerate() {
+                assert_ne!(
+                    reachable, free[r],
+                    "shard {sid} node row {r}: reachable={reachable} freed={}",
+                    free[r]
+                );
+            }
+            let mut lfree = vec![false; shard.leaf_rows.len()];
+            for &r in &shard.leaf_free {
+                assert!(!lfree[r as usize], "leaf row double-freed");
+                lfree[r as usize] = true;
+            }
+            for (r, &reachable) in seen_leaf_rows[sid].iter().enumerate() {
+                assert_ne!(
+                    reachable, lfree[r],
+                    "shard {sid} leaf row {r}: reachable={reachable} freed={}",
+                    lfree[r]
+                );
+            }
         }
     }
 }
 
 impl<V: Copy> NodeStore<V> for Arena<V> {
     #[inline]
-    fn alloc_child_node(&mut self, parent: u32, pos: usize, value: V) -> u32 {
-        let shard = self.child_shard(parent, pos);
-        self.shards[shard].alloc_node(value)
+    fn node(&self, h: u32) -> &Node<V> {
+        self.shards[shard_of(h)].node(h)
     }
 
     #[inline]
-    fn alloc_block_for(&mut self, parent: u32) -> u32 {
-        self.shards[shard_of(parent)].alloc_block()
+    fn node_mut(&mut self, h: u32) -> &mut Node<V> {
+        self.shards[shard_of(h)].node_mut(h)
     }
 
     #[inline]
-    fn free_node(&mut self, idx: u32) {
-        self.shards[shard_of(idx)].free_node(idx);
+    fn leaf_value(&self, h: u32) -> V {
+        self.shards[shard_of(h)].leaf_value(h)
     }
 
     #[inline]
-    fn free_block(&mut self, idx: u32) {
-        self.shards[shard_of(idx)].free_block(idx);
+    fn leaf_value_mut(&mut self, h: u32) -> &mut V {
+        self.shards[shard_of(h)].leaf_value_mut(h)
+    }
+
+    /// Children placement: the parent's shard, except below the spine —
+    /// the root's children stay in the spine (they form one sibling row),
+    /// and a depth-1 node's children land in the branch shard named by
+    /// its octant, which is what makes `take_branch` detach a whole
+    /// subtree.
+    #[inline]
+    fn child_shard(&self, parent: u32) -> usize {
+        let s = shard_of(parent);
+        if s != SPINE_SHARD {
+            s
+        } else if row_of(parent) == ROOT_ROW {
+            SPINE_SHARD
+        } else {
+            oct_of(parent)
+        }
     }
 
     #[inline]
-    fn node(&self, idx: u32) -> &Node<V> {
-        self.shards[shard_of(idx)].node(idx)
+    fn alloc_row_for(&mut self, parent: u32, fill: Node<V>) -> u32 {
+        let shard = self.child_shard(parent);
+        self.shards[shard].alloc_row(fill)
     }
 
     #[inline]
-    fn node_mut(&mut self, idx: u32) -> &mut Node<V> {
-        self.shards[shard_of(idx)].node_mut(idx)
+    fn alloc_leaf_row_for(&mut self, parent: u32, fill: V) -> u32 {
+        let shard = self.child_shard(parent);
+        self.shards[shard].alloc_leaf_row(fill)
     }
 
     #[inline]
-    fn block(&self, idx: u32) -> &ChildBlock {
-        self.shards[shard_of(idx)].block(idx)
+    fn free_row_of(&mut self, parent: u32) {
+        let shard = self.child_shard(parent);
+        let row = self.node(parent).row();
+        self.shards[shard].free_row(row);
     }
 
     #[inline]
-    fn block_mut(&mut self, idx: u32) -> &mut ChildBlock {
-        self.shards[shard_of(idx)].block_mut(idx)
+    fn free_leaf_row_of(&mut self, parent: u32) {
+        let shard = self.child_shard(parent);
+        let row = self.node(parent).row();
+        self.shards[shard].free_leaf_row(row);
+    }
+
+    #[inline]
+    fn node_row(&self, shard: usize, row: u32) -> &NodeRow<V> {
+        self.shards[shard].node_row(row)
+    }
+
+    #[inline]
+    fn leaf_row(&self, shard: usize, row: u32) -> &LeafRow<V> {
+        self.shards[shard].leaf_row(row)
     }
 }
 
@@ -342,86 +485,120 @@ impl<V: Copy> NodeStore<V> for Arena<V> {
 mod tests {
     use super::*;
 
-    #[test]
-    fn alloc_free_reuses_slots_within_a_shard() {
-        let mut a: Arena<f32> = Arena::new();
-        let root = a.alloc_root(0.0);
-        let n0 = a.alloc_child_node(root, 3, 0.5);
-        let n1 = a.alloc_child_node(root, 3, 1.0);
-        assert_eq!(a.live_nodes(), 3);
-        a.free_node(n0);
-        assert_eq!(a.live_nodes(), 2);
-        let n2 = a.alloc_child_node(root, 3, 2.0);
-        assert_eq!(n2, n0, "freed slot is recycled LIFO");
-        assert_eq!(a.node(n2).value, 2.0);
-        assert_eq!(a.node(n1).value, 1.0);
-        assert_eq!(a.high_water().0, 3, "no growth past high water");
+    /// Allocates + attaches a children node row, mirroring the walk.
+    fn attach_row(a: &mut Arena<f32>, parent: u32, fill: Node<f32>, mask: u8) -> u32 {
+        let row = a.alloc_row_for(parent, fill);
+        a.node_mut(parent).set_children(row, mask);
+        row
     }
 
     #[test]
-    fn children_of_the_root_land_in_their_branch_shard() {
+    fn root_lives_in_the_spine() {
+        let mut a: Arena<f32> = Arena::new();
+        let root = a.alloc_root(0.5);
+        assert_eq!(shard_of(root), SPINE_SHARD);
+        assert_eq!(a.node(root).value, 0.5);
+        assert!(a.node(root).is_leaf());
+        assert_eq!(a.live_rows(), (1, 0));
+    }
+
+    #[test]
+    fn root_children_share_a_spine_row_and_branch_rows_split() {
         let mut a: Arena<f32> = Arena::new();
         let root = a.alloc_root(0.0);
-        assert_eq!(shard_of(root), SPINE_SHARD);
+        attach_row(&mut a, root, Node::leaf(0.0), 0xFF);
         for pos in 0..NUM_BRANCHES {
-            let child = a.alloc_child_node(root, pos, 0.0);
-            assert_eq!(shard_of(child), pos, "branch child in its own shard");
-            // Deeper descendants stay in the branch shard regardless of pos.
-            let grandchild = a.alloc_child_node(child, 7 - pos, 0.0);
-            assert_eq!(shard_of(grandchild), pos);
+            let child = a.child_of(root, pos);
+            assert_eq!(shard_of(child), SPINE_SHARD, "depth-1 row is spine");
+            // A depth-1 node's children land in its branch shard.
+            let grand_row = a.alloc_row_for(child, Node::leaf(0.0));
+            a.node_mut(child).set_children(grand_row, 1 << (7 - pos));
+            let grand = a.child_of(child, 7 - pos);
+            assert_eq!(shard_of(grand), pos, "branch subtree in its own shard");
+            // And deeper descendants stay in the branch shard.
+            assert_eq!(a.child_shard(grand), pos);
         }
     }
 
     #[test]
-    fn blocks_alloc_empty_and_recycle_reset() {
+    fn child_of_is_mask_gated_arithmetic() {
         let mut a: Arena<f32> = Arena::new();
         let root = a.alloc_root(0.0);
-        let n = a.alloc_child_node(root, 2, 0.0);
-        let b = a.alloc_block_for(n);
-        assert_eq!(shard_of(b), 2, "block colocated with its parent");
-        assert!(a.block(b).is_empty());
-        a.block_mut(b).slots[2] = 5;
-        a.free_block(b);
-        let b2 = a.alloc_block_for(n);
-        assert_eq!(b2, b);
-        assert!(a.block(b2).is_empty(), "recycled blocks are reset");
+        assert_eq!(a.child_of(root, 3), NIL, "leaf has no children");
+        let row = attach_row(&mut a, root, Node::leaf(1.5), 1 << 3);
+        let child = a.child_of(root, 3);
+        assert_eq!(child, handle(SPINE_SHARD, row, 3));
+        assert_eq!(a.node(child).value, 1.5);
+        assert_eq!(a.child_of(root, 4), NIL, "unmasked slot is absent");
     }
 
     #[test]
-    fn child_of_resolves_through_block() {
+    fn freed_rows_recycle_lifo_and_reset() {
         let mut a: Arena<f32> = Arena::new();
-        let parent = a.alloc_root(0.0);
-        assert_eq!(a.child_of(parent, 3), NIL);
-        let b = a.alloc_block_for(parent);
-        a.node_mut(parent).block = b;
-        let child = a.alloc_child_node(parent, 3, 1.5);
-        a.block_mut(b).slots[3] = child;
-        assert_eq!(a.child_of(parent, 3), child);
-        assert_eq!(a.child_of(parent, 4), NIL);
+        let root = a.alloc_root(0.0);
+        let row = attach_row(&mut a, root, Node::leaf(2.0), 0xFF);
+        a.node_mut(a.child_of(root, 5)).value = 9.0;
+        a.free_row_of(root);
+        a.node_mut(root).clear_children();
+        assert_eq!(a.live_rows(), (1, 0));
+        let row2 = attach_row(&mut a, root, Node::leaf(0.0), 0xFF);
+        assert_eq!(row2, row, "freed row is recycled LIFO");
+        assert_eq!(
+            a.node(a.child_of(root, 5)).value,
+            0.0,
+            "recycled rows reset"
+        );
+        assert_eq!(a.high_water(), (2, 0), "no growth past high water");
+    }
+
+    #[test]
+    fn leaf_rows_store_values_only() {
+        let mut a: Arena<f32> = Arena::new();
+        let root = a.alloc_root(0.0);
+        attach_row(&mut a, root, Node::leaf(0.0), 1 << 2);
+        let d1 = a.child_of(root, 2);
+        // Pretend d1 is a depth-15 node: give it a leaf row.
+        let lrow = a.alloc_leaf_row_for(d1, 0.25);
+        a.node_mut(d1).set_children(lrow, 0xFF);
+        let voxel = a.child_of(d1, 7);
+        assert_eq!(shard_of(voxel), 2, "leaf row colocated with the branch");
+        assert_eq!(a.leaf_value(voxel), 0.25);
+        *a.leaf_value_mut(voxel) = 0.75;
+        assert_eq!(a.leaf_value(voxel), 0.75);
+        assert_eq!(a.live_rows(), (2, 1));
+        a.free_leaf_row_of(d1);
+        a.node_mut(d1).clear_children();
+        assert_eq!(a.live_rows(), (2, 0));
     }
 
     #[test]
     fn take_and_put_branch_roundtrips_contents() {
         let mut a: Arena<f32> = Arena::new();
         let root = a.alloc_root(0.0);
-        let n = a.alloc_child_node(root, 5, 2.5);
+        attach_row(&mut a, root, Node::leaf(0.0), 1 << 5);
+        let d1 = a.child_of(root, 5);
+        let grand_row = a.alloc_row_for(d1, Node::leaf(2.5));
+        a.node_mut(d1).set_children(grand_row, 0xFF);
+        let grand = a.child_of(d1, 0);
+
         let shard = a.take_branch(5);
-        assert_eq!(a.live_nodes(), 1, "only the root remains attached");
-        assert_eq!(shard.node(n).value, 2.5, "shard indices stay valid");
+        assert_eq!(a.live_rows(), (2, 0), "spine rows remain attached");
+        assert_eq!(shard.node(grand).value, 2.5, "shard handles stay valid");
         a.put_branch(5, shard);
-        assert_eq!(a.live_nodes(), 2);
-        assert_eq!(a.node(n).value, 2.5);
+        assert_eq!(a.live_rows(), (3, 0));
+        assert_eq!(a.node(grand).value, 2.5);
     }
 
     #[test]
     fn clear_resets_everything() {
         let mut a: Arena<f32> = Arena::new();
         let root = a.alloc_root(0.0);
-        let n = a.alloc_child_node(root, 0, 0.0);
-        a.free_node(n);
-        a.alloc_block_for(root);
+        attach_row(&mut a, root, Node::leaf(0.0), 0xFF);
         a.clear();
-        assert_eq!(a.live_nodes(), 0);
-        assert_eq!(a.live_blocks(), 0);
+        assert_eq!(a.live_rows(), (0, 0));
+        assert!(a.heap_bytes() > 0, "capacity is kept");
+        // The next root allocation lands in row 0 again.
+        let root2 = a.alloc_root(1.0);
+        assert_eq!(root2, root);
     }
 }

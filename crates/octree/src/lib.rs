@@ -20,6 +20,14 @@
 //! the accelerator's 16-bit fixed point, which is what makes bit-exact
 //! software/accelerator equivalence testable.
 //!
+//! Storage follows the OMU paper's tree-memory layout: a node is a
+//! value plus one packed 32-bit reference (`row << 8 | child_mask`) to
+//! a contiguous *sibling row* of its 8 children — 64 B (one cache line)
+//! for `f32` inner rows, and value-only 32 B leaf rows for depth-16
+//! voxels. A descent step is a single dependent load, child presence is
+//! a mask test, and parent refresh / prune checks sweep one row (see
+//! the `arena` module docs and the README's "Memory layout" section).
+//!
 //! Every operation increments [`OpCounters`]; the CPU timing models in
 //! `omu-cpumodel` convert those counts to seconds.
 //!

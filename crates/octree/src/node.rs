@@ -1,76 +1,142 @@
-//! Node and child-block storage types.
+//! Node storage types for the cache-compact sibling-row arena.
 //!
-//! Nodes are stored in an index-based arena. An inner node owns a *child
-//! block* — a group of 8 child slots — referenced by index. This mirrors
-//! both OctoMap (lazy children array per inner node) and the OMU node entry
-//! (one 32-bit pointer to a row of 8 children).
+//! An inner node references a *sibling row* — its 8 children stored
+//! contiguously — through one packed `u32`: the high 24 bits index the
+//! row inside the owning arena shard, the low 8 bits are the
+//! child-presence mask. This is the OMU paper's tree-memory entry (a
+//! value plus a single 32-bit pointer to a row of 8 children), and it
+//! makes a descent step a single dependent load: the child's address is
+//! pure arithmetic on the parent already in hand, and presence is one
+//! mask test instead of a NIL scan over 8 slots.
+//!
+//! An `f32` sibling row is `8 × 8 B = 64 B` — exactly one cache line
+//! shared by all 8 siblings, which is what makes Morton-ordered batches
+//! (whose consecutive updates hit the same row) cheap. Children of
+//! depth-15 nodes are always depth-16 voxels and can never have children
+//! of their own, so they are stored in value-only *leaf rows* (`[V; 8]`,
+//! 32 B for `f32`) with no pointer word at all; see the
+//! [`arena`](crate::arena) module for the two-tier layout.
 
-/// Sentinel index for "no node" / "no block".
+/// Sentinel index for "no node".
 pub(crate) const NIL: u32 = u32::MAX;
 
-/// One octree node: a log-odds value plus an optional child block.
+/// Bits of the packed child reference holding the presence mask.
+const MASK_BITS: u32 = 8;
+
+/// Maximum row index storable in the packed child reference.
+pub(crate) const MAX_ROW: u32 = (1 << (32 - MASK_BITS)) - 1;
+
+/// One octree node: a log-odds value plus a packed sibling-row reference.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) struct Node<V> {
     /// Occupancy log-odds of this node (for inner nodes: max of children).
     pub value: V,
-    /// Index of the child block in the block arena, or [`NIL`] for leaves.
-    pub block: u32,
+    /// Packed child reference: `row << 8 | child_mask`. The row indexes
+    /// the children's sibling row inside the shard that
+    /// [`child_shard`](crate::arena::NodeStore::child_shard) resolves for
+    /// this node; bit `i` of the mask is set iff child `i` exists.
+    /// `0` (empty mask) means the node is a leaf.
+    children: u32,
 }
 
 impl<V> Node<V> {
     /// Creates a childless node with the given value.
     pub fn leaf(value: V) -> Self {
-        Node { value, block: NIL }
+        Node { value, children: 0 }
     }
 
-    /// True when this node has no child block.
+    /// True when this node has no children.
+    #[inline]
     pub fn is_leaf(&self) -> bool {
-        self.block == NIL
+        self.children & 0xFF == 0
     }
-}
 
-/// A block of 8 child-node indices; [`NIL`] marks an absent child.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ChildBlock {
-    pub slots: [u32; 8],
-}
+    /// The child-presence mask (bit `i` = child `i` exists).
+    #[inline]
+    pub fn mask(&self) -> u8 {
+        self.children as u8
+    }
 
-impl ChildBlock {
-    /// A block with all children absent.
-    pub const EMPTY: ChildBlock = ChildBlock { slots: [NIL; 8] };
+    /// True when child `pos` exists.
+    #[inline]
+    pub fn has_child(&self, pos: usize) -> bool {
+        self.children & (1 << pos) != 0
+    }
+
+    /// The sibling-row index of this node's children (meaningless for
+    /// leaves).
+    #[inline]
+    pub fn row(&self) -> u32 {
+        self.children >> MASK_BITS
+    }
+
+    /// Points this node at children row `row` with presence `mask`.
+    #[inline]
+    pub fn set_children(&mut self, row: u32, mask: u8) {
+        debug_assert!(row <= MAX_ROW, "row index overflows the packed ref");
+        self.children = (row << MASK_BITS) | mask as u32;
+    }
+
+    /// Marks child `pos` present (the row must already be attached).
+    #[inline]
+    pub fn add_child(&mut self, pos: usize) {
+        self.children |= 1 << pos;
+    }
+
+    /// Turns this node back into a leaf (detaches the children row).
+    #[inline]
+    pub fn clear_children(&mut self) {
+        self.children = 0;
+    }
 
     /// Number of present children.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn count(&self) -> usize {
-        self.slots.iter().filter(|&&s| s != NIL).count()
-    }
-
-    /// True when no child is present.
-    #[cfg_attr(not(test), allow(dead_code))]
-    pub fn is_empty(&self) -> bool {
-        self.slots.iter().all(|&s| s == NIL)
+    #[inline]
+    pub fn child_count(&self) -> u32 {
+        (self.children & 0xFF).count_ones()
     }
 }
+
+/// A sibling row of 8 nodes, the unit of arena storage for inner levels.
+pub(crate) type NodeRow<V> = [Node<V>; 8];
+
+/// A value-only sibling row holding 8 depth-16 voxels.
+pub(crate) type LeafRow<V> = [V; 8];
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn leaf_has_no_block() {
+    fn leaf_has_no_children() {
         let n = Node::leaf(0.5f32);
         assert!(n.is_leaf());
         assert_eq!(n.value, 0.5);
+        assert_eq!(n.mask(), 0);
+        assert_eq!(n.child_count(), 0);
     }
 
     #[test]
-    fn child_block_counting() {
-        let mut b = ChildBlock::EMPTY;
-        assert!(b.is_empty());
-        assert_eq!(b.count(), 0);
-        b.slots[3] = 7;
-        b.slots[0] = 1;
-        assert_eq!(b.count(), 2);
-        assert!(!b.is_empty());
+    fn packed_row_and_mask_roundtrip() {
+        let mut n = Node::leaf(0.0f32);
+        n.set_children(123_456, 0b0100_1001);
+        assert!(!n.is_leaf());
+        assert_eq!(n.row(), 123_456);
+        assert_eq!(n.mask(), 0b0100_1001);
+        assert!(n.has_child(0));
+        assert!(n.has_child(3));
+        assert!(!n.has_child(1));
+        assert_eq!(n.child_count(), 3);
+        n.add_child(1);
+        assert_eq!(n.mask(), 0b0100_1011);
+        assert_eq!(n.row(), 123_456, "adding a child keeps the row");
+        n.clear_children();
+        assert!(n.is_leaf());
+    }
+
+    #[test]
+    fn f32_row_is_one_cache_line() {
+        assert_eq!(std::mem::size_of::<Node<f32>>(), 8);
+        assert_eq!(std::mem::size_of::<NodeRow<f32>>(), 64);
+        assert_eq!(std::mem::size_of::<LeafRow<f32>>(), 32);
     }
 }

@@ -36,7 +36,7 @@
 use omu_geometry::{KeyError, LogOdds, Occupancy, Point3, VoxelKey, TREE_DEPTH};
 use omu_raycast::RayWalk;
 
-use crate::arena::NodeStore;
+use crate::arena::{handle, NodeStore};
 use crate::counters::QueryCounters;
 use crate::node::NIL;
 use crate::query::{cast_ray_resuming, collides_sphere_with, RayCastResult};
@@ -46,6 +46,18 @@ use crate::tree::OccupancyOctree;
 /// `path[d]` = node at depth `d`; the root lives at index 0 and a finest
 /// leaf at index [`TREE_DEPTH`].
 const PATH_LEN: usize = TREE_DEPTH as usize + 1;
+
+/// Minimum batch size before [`OccupancyOctree::query_batch_parallel`]
+/// spawns worker threads: below this, `thread::scope` spawn/join costs
+/// more than serving the probes sequentially (point probes are ~100 ns
+/// amortized), so the batch takes the sequential cursor sweep instead —
+/// bit-identical results either way.
+pub(crate) const PARALLEL_QUERY_MIN_KEYS: usize = 1024;
+
+/// Minimum ray count before [`OccupancyOctree::cast_rays`] spawns worker
+/// threads (rays are ~three orders of magnitude heavier than point
+/// probes, so the spawn cost amortizes much sooner).
+pub(crate) const PARALLEL_CAST_MIN_RAYS: usize = 32;
 
 /// A read-only descent cursor that amortizes root-to-leaf walks across
 /// consecutive probes.
@@ -114,6 +126,10 @@ impl<'t, V: LogOdds> DescentCursor<'t, V> {
     /// Searches for the node covering `key` — same contract and result
     /// as [`OccupancyOctree::search`], with the descent resumed from the
     /// deepest level shared with the previously probed key.
+    ///
+    /// Each resumed level is one dependent load: the child's handle is
+    /// arithmetic on the parent node already in hand (sibling-row
+    /// layout), and presence is a mask test.
     pub fn search(&mut self, key: VoxelKey) -> Option<(V, u8)> {
         self.counters.probes += 1;
         if self.tree.root == NIL {
@@ -128,27 +144,28 @@ impl<'t, V: LogOdds> DescentCursor<'t, V> {
 
         let mut node = self.path[resume];
         for d in resume..TREE_DEPTH as usize {
-            let n = self.tree.arena.node(node);
+            let n = *self.tree.arena.node(node);
             if n.is_leaf() {
                 // A pruned (or coarse) leaf covers the whole subtree.
                 self.depth = d as u8;
                 return Some((n.value, d as u8));
             }
             self.counters.node_visits += 1;
-            let child = self
-                .tree
-                .arena
-                .child_of(node, key.child_index_at(d as u8).index());
-            if child == NIL {
+            let pos = key.child_index_at(d as u8).index();
+            if !n.has_child(pos) {
                 // The node has children, just not on this path.
                 self.depth = d as u8;
                 return None;
             }
-            node = child;
+            // One dependent load per level: the child handle is
+            // arithmetic on the node already in hand.
+            node = handle(self.tree.arena.child_shard(node), n.row(), pos);
             self.path[d + 1] = node;
         }
+        // Completing the loop (or resuming at full depth) means `node`
+        // is a depth-16 voxel living in a value-only leaf row.
         self.depth = TREE_DEPTH;
-        Some((self.tree.arena.node(node).value, TREE_DEPTH))
+        Some((self.tree.arena.leaf_value(node), TREE_DEPTH))
     }
 
     /// Occupancy classification of the voxel at `key` (the cursor form
@@ -369,7 +386,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// sequential path; per-worker counters merge in chunk order.
     pub fn query_batch_parallel(&mut self, keys: &[VoxelKey], shards: usize) -> &[Occupancy] {
         let workers = resolve_apply_shards(shards).min(keys.len().max(1));
-        if workers <= 1 {
+        if workers <= 1 || keys.len() < PARALLEL_QUERY_MIN_KEYS {
             return self.query_batch(keys);
         }
         let mut scratch = std::mem::take(&mut self.query_scratch);
@@ -446,7 +463,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         shards: usize,
     ) -> Result<Vec<RayCastResult>, KeyError> {
         let workers = resolve_apply_shards(shards).min(rays.len().max(1));
-        if workers <= 1 {
+        if workers <= 1 || rays.len() < PARALLEL_CAST_MIN_RAYS {
             let (res, counters) = {
                 let mut cursor = self.query_cursor();
                 let res = rays

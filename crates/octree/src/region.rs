@@ -7,7 +7,7 @@
 
 use omu_geometry::{Aabb, KeyError, LogOdds, Occupancy, VoxelKey, TREE_DEPTH};
 
-use crate::arena::NodeStore;
+use crate::arena::{handle, NodeStore};
 use crate::iter::LeafInfo;
 use crate::node::NIL;
 use crate::tree::OccupancyOctree;
@@ -40,6 +40,16 @@ impl<V: LogOdds> Iterator for LeafInBoxIter<'_, V> {
             {
                 continue;
             }
+            // Depth-16 handles index value-only leaf rows.
+            if depth == TREE_DEPTH {
+                let v = self.tree.arena.leaf_value(node);
+                return Some(LeafInfo {
+                    key,
+                    depth,
+                    logodds: v.to_f32(),
+                    occupancy: self.tree.resolved.classify(v),
+                });
+            }
             let n = self.tree.arena.node(node);
             if n.is_leaf() {
                 return Some(LeafInfo {
@@ -49,17 +59,20 @@ impl<V: LogOdds> Iterator for LeafInBoxIter<'_, V> {
                     occupancy: self.tree.resolved.classify(n.value),
                 });
             }
-            let block = self.tree.arena.block(n.block);
             let bit = TREE_DEPTH - 1 - depth;
+            // Child handles are arithmetic on the node in hand: resolve
+            // the children's shard and row once for all 8.
+            let shard = self.tree.arena.child_shard(node);
+            let row = n.row();
             for pos in (0..8usize).rev() {
-                let child = block.slots[pos];
-                if child != NIL {
+                if n.has_child(pos) {
                     let child_key = VoxelKey::new(
                         key.x | (((pos & 1) as u16) << bit),
                         key.y | ((((pos >> 1) & 1) as u16) << bit),
                         key.z | ((((pos >> 2) & 1) as u16) << bit),
                     );
-                    self.stack.push((child, child_key, depth + 1));
+                    self.stack
+                        .push((handle(shard, row, pos), child_key, depth + 1));
                 }
             }
         }

@@ -12,7 +12,7 @@ use bytes::{Buf, BufMut, BytesMut};
 use omu_geometry::{LogOdds, OccupancyParams, TREE_DEPTH};
 
 use crate::arena::NodeStore;
-use crate::node::NIL;
+use crate::node::{Node, NIL};
 use crate::tree::OccupancyOctree;
 
 const MAGIC: &[u8; 4] = b"OMUT";
@@ -78,29 +78,31 @@ impl<V: LogOdds> OccupancyOctree<V> {
         buf.put_f32(p.occupancy_threshold);
         buf.put_u8(u8::from(self.root != NIL));
         if self.root != NIL {
-            self.write_node(&mut buf, self.root);
+            self.write_node(&mut buf, self.root, 0);
         }
         buf.to_vec()
     }
 
-    fn write_node(&self, buf: &mut BytesMut, node: u32) {
-        let n = self.arena.node(node);
-        buf.put_f32(n.value.to_f32());
-        if n.is_leaf() {
+    /// Writes one node in the pre-order `(value, child mask)` wire form.
+    /// The in-memory sibling-row layout converts at this boundary: the
+    /// mask is the node's packed child mask, depth-16 voxels read from
+    /// their leaf row and always encode a zero mask — byte-identical to
+    /// the format the block-arena layout produced.
+    fn write_node(&self, buf: &mut BytesMut, node: u32, depth: u8) {
+        if depth == TREE_DEPTH {
+            buf.put_f32(self.arena.leaf_value(node).to_f32());
             buf.put_u8(0);
             return;
         }
-        let block = self.arena.block(n.block);
-        let mut mask = 0u8;
-        for (pos, &slot) in block.slots.iter().enumerate() {
-            if slot != NIL {
-                mask |= 1 << pos;
-            }
+        let n = self.arena.node(node);
+        buf.put_f32(n.value.to_f32());
+        buf.put_u8(n.mask());
+        if n.is_leaf() {
+            return;
         }
-        buf.put_u8(mask);
-        for &slot in &block.slots {
-            if slot != NIL {
-                self.write_node(buf, slot);
+        for pos in 0..8 {
+            if n.has_child(pos) {
+                self.write_node(buf, self.arena.child_of(node, pos), depth + 1);
             }
         }
     }
@@ -151,9 +153,10 @@ impl<V: LogOdds> OccupancyOctree<V> {
     }
 
     /// Reconstructs the children of `node` (at `depth`) named by `mask`.
-    /// Allocation goes through `alloc_child_node` so every rebuilt node
-    /// lands in its branch's arena shard, preserving the invariant the
-    /// sharded parallel apply relies on.
+    /// Row allocation goes through `alloc_row_for`/`alloc_leaf_row_for`
+    /// so every rebuilt subtree lands in its branch's arena shard,
+    /// preserving the invariant the sharded parallel apply relies on;
+    /// depth-15 parents rebuild value-only leaf rows.
     fn read_children(
         &mut self,
         buf: &mut &[u8],
@@ -167,14 +170,28 @@ impl<V: LogOdds> OccupancyOctree<V> {
         if depth >= TREE_DEPTH {
             return Err(DeserializeError::Malformed("children below maximum depth"));
         }
-        let block = self.arena.alloc_block_for(node);
-        self.arena.node_mut(node).block = block;
-        for pos in 0..8 {
-            if mask & (1 << pos) != 0 {
-                let (value, child_mask) = read_header::<V>(buf)?;
-                let child = self.arena.alloc_child_node(node, pos, value);
-                self.arena.block_mut(block).slots[pos] = child;
-                self.read_children(buf, depth + 1, child, child_mask)?;
+        if depth + 1 == TREE_DEPTH {
+            let row = self.arena.alloc_leaf_row_for(node, V::ZERO);
+            self.arena.node_mut(node).set_children(row, mask);
+            for pos in 0..8 {
+                if mask & (1 << pos) != 0 {
+                    let (value, child_mask) = read_header::<V>(buf)?;
+                    if child_mask != 0 {
+                        return Err(DeserializeError::Malformed("children below maximum depth"));
+                    }
+                    *self.arena.leaf_value_mut(self.arena.child_of(node, pos)) = value;
+                }
+            }
+        } else {
+            let row = self.arena.alloc_row_for(node, Node::leaf(V::ZERO));
+            self.arena.node_mut(node).set_children(row, mask);
+            for pos in 0..8 {
+                if mask & (1 << pos) != 0 {
+                    let (value, child_mask) = read_header::<V>(buf)?;
+                    let child = self.arena.child_of(node, pos);
+                    self.arena.node_mut(child).value = value;
+                    self.read_children(buf, depth + 1, child, child_mask)?;
+                }
             }
         }
         Ok(())

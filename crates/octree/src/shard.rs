@@ -10,6 +10,12 @@
 //! same [`WalkCtx`] machinery the sequential walk uses, then reattaches
 //! the shards and finishes the root spine.
 //!
+//! In the sibling-row layout the 8 depth-1 nodes share one spine row, so
+//! a worker cannot own its depth-1 node through the shard alone. Each
+//! worker instead runs over a [`BranchStore`]: its branch shard plus a
+//! by-value copy of the branch's depth-1 node, written back to the spine
+//! after the join (branches are disjoint, so no other thread reads it).
+//!
 //! The result is **bit-identical** to the scalar and sequential-batched
 //! paths: per-voxel delta order is preserved by the grouping pass,
 //! branches are disjoint (no cross-thread data), worker-local counters
@@ -19,19 +25,103 @@
 
 use omu_geometry::{LogOdds, ResolvedParams, VoxelKey, TREE_DEPTH};
 
-use crate::arena::{ArenaShard, NUM_BRANCHES};
-use crate::batch::{BatchScratch, BatchStats};
+use crate::arena::{ArenaShard, NodeStore, NUM_BRANCHES};
+use crate::batch::{BatchScratch, BatchStats, DeltaMode};
 use crate::counters::OpCounters;
-use crate::node::NIL;
+use crate::node::{Node, NIL};
 use crate::tree::OccupancyOctree;
 use crate::walk::WalkCtx;
+
+/// Minimum number of unique keys in a batch before the sharded apply
+/// spawns worker threads. Below this, `thread::scope` spawn/join costs
+/// more than the walk itself, so the batch runs through the sequential
+/// cached-descent walk instead (bit-identical output and counters).
+pub(crate) const PARALLEL_APPLY_MIN_KEYS: usize = 1024;
+
+/// A worker's storage view: its branch shard plus the branch's depth-1
+/// node copied out of the spine row (written back after the join).
+struct BranchStore<V> {
+    shard: ArenaShard<V>,
+    /// Spine handle of the depth-1 node this store masquerades for.
+    branch_idx: u32,
+    /// The depth-1 node, owned by value for the walk's duration.
+    branch_node: Node<V>,
+}
+
+impl<V: LogOdds> NodeStore<V> for BranchStore<V> {
+    #[inline]
+    fn node(&self, h: u32) -> &Node<V> {
+        if h == self.branch_idx {
+            &self.branch_node
+        } else {
+            self.shard.node(h)
+        }
+    }
+
+    #[inline]
+    fn node_mut(&mut self, h: u32) -> &mut Node<V> {
+        if h == self.branch_idx {
+            &mut self.branch_node
+        } else {
+            self.shard.node_mut(h)
+        }
+    }
+
+    #[inline]
+    fn leaf_value(&self, h: u32) -> V {
+        self.shard.leaf_value(h)
+    }
+
+    #[inline]
+    fn leaf_value_mut(&mut self, h: u32) -> &mut V {
+        self.shard.leaf_value_mut(h)
+    }
+
+    /// Everything below the depth-1 node lives in this branch's shard —
+    /// including the depth-1 node's own children (its octant *is* the
+    /// branch id).
+    #[inline]
+    fn child_shard(&self, _parent: u32) -> usize {
+        self.shard.id()
+    }
+
+    #[inline]
+    fn alloc_row_for(&mut self, _parent: u32, fill: Node<V>) -> u32 {
+        self.shard.alloc_row(fill)
+    }
+
+    #[inline]
+    fn alloc_leaf_row_for(&mut self, _parent: u32, fill: V) -> u32 {
+        self.shard.alloc_leaf_row(fill)
+    }
+
+    #[inline]
+    fn free_row_of(&mut self, parent: u32) {
+        let row = self.node(parent).row();
+        self.shard.free_row(row);
+    }
+
+    #[inline]
+    fn free_leaf_row_of(&mut self, parent: u32) {
+        let row = self.node(parent).row();
+        self.shard.free_leaf_row(row);
+    }
+
+    #[inline]
+    fn node_row(&self, _shard: usize, row: u32) -> &crate::node::NodeRow<V> {
+        self.shard.node_row(row)
+    }
+
+    #[inline]
+    fn leaf_row(&self, _shard: usize, row: u32) -> &crate::node::LeafRow<V> {
+        self.shard.leaf_row(row)
+    }
+}
 
 /// One branch's slice of the batch plus everything its worker owns.
 struct BranchTask<V> {
     branch: usize,
-    shard: ArenaShard<V>,
-    /// The branch's depth-1 node (pre-stepped on the main thread).
-    branch_root: u32,
+    store: BranchStore<V>,
     /// Whether the depth-1 node was freshly created by the pre-step.
     created: bool,
     /// This branch's contiguous range in the Morton-sorted group order.
@@ -60,6 +150,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub(crate) fn walk_sharded(
         &mut self,
         scratch: &BatchScratch<V>,
+        mode: DeltaMode<V>,
         stats: &mut BatchStats,
         mut root_just_created: bool,
         shards: usize,
@@ -84,7 +175,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
         // Pre-step depth 0 on the main thread, in Morton (= branch) order:
         // locate or create each active branch's depth-1 node, expanding a
         // pruned root exactly as the sequential walk's first descent would.
-        let mut tasks: Vec<BranchTask<V>> = Vec::with_capacity(runs.len());
+        let mut pre: Vec<(usize, u32, bool, std::ops::Range<usize>)> =
+            Vec::with_capacity(runs.len());
         {
             let mut ctx = self.walk_ctx();
             for (branch, range) in runs {
@@ -92,30 +184,43 @@ impl<V: LogOdds> OccupancyOctree<V> {
                 let (branch_root, created) = ctx.step_down(root, first_key, 0, root_just_created);
                 root_just_created = false;
                 stats.descended_levels += 1;
-                tasks.push(BranchTask {
-                    branch,
-                    shard: ArenaShard::placeholder(),
-                    branch_root,
-                    created,
-                    range,
-                    stats: BatchStats::default(),
-                    counters: OpCounters::default(),
-                    changed: Vec::new(),
-                });
+                pre.push((branch, branch_root, created, range));
             }
         }
-        for task in &mut tasks {
-            task.shard = self.arena.take_branch(task.branch);
-        }
+        let mut tasks: Vec<BranchTask<V>> = pre
+            .into_iter()
+            .map(|(branch, branch_root, created, range)| BranchTask {
+                branch,
+                store: BranchStore {
+                    shard: self.arena.take_branch(branch),
+                    branch_idx: branch_root,
+                    branch_node: *self.arena.node(branch_root),
+                },
+                created,
+                range,
+                stats: BatchStats::default(),
+                counters: OpCounters::default(),
+                changed: Vec::new(),
+            })
+            .collect();
 
         let resolved = self.resolved;
         let pruning = self.pruning_enabled;
         let track_changes = self.changed.is_some();
 
-        let nworkers = workers.min(tasks.len()).max(1);
+        // Spawn-amortization fast path: below the threshold the
+        // `thread::scope` spawn/join overhead dominates the walk, so run
+        // every branch task inline on this thread — same stores, same
+        // deferred-finish order, bit-identical output and counters.
+        let spawn_worthy = scratch.order.len() >= PARALLEL_APPLY_MIN_KEYS;
+        let nworkers = if spawn_worthy {
+            workers.min(tasks.len()).max(1)
+        } else {
+            1
+        };
         if nworkers <= 1 {
             for task in &mut tasks {
-                run_branch_task(task, scratch, resolved, pruning, track_changes);
+                run_branch_task(task, scratch, mode, resolved, pruning, track_changes);
             }
         } else {
             // Round-robin branches over workers; each worker owns its
@@ -130,7 +235,14 @@ impl<V: LogOdds> OccupancyOctree<V> {
                     .map(|mut group| {
                         scope.spawn(move || {
                             for task in &mut group {
-                                run_branch_task(task, scratch, resolved, pruning, track_changes);
+                                run_branch_task(
+                                    task,
+                                    scratch,
+                                    mode,
+                                    resolved,
+                                    pruning,
+                                    track_changes,
+                                );
                             }
                             group
                         })
@@ -145,10 +257,12 @@ impl<V: LogOdds> OccupancyOctree<V> {
             tasks.sort_unstable_by_key(|t| t.branch);
         }
 
-        // Reattach and merge in fixed branch order so counters, stats and
-        // change logs are deterministic regardless of thread timing.
+        // Reattach shards, write the depth-1 nodes back to the spine row,
+        // and merge in fixed branch order so counters, stats and change
+        // logs are deterministic regardless of thread timing.
         for mut task in tasks {
-            self.arena.put_branch(task.branch, task.shard);
+            self.arena.put_branch(task.branch, task.store.shard);
+            *self.arena.node_mut(task.store.branch_idx) = task.store.branch_node;
             self.counters.merge(&task.counters);
             stats.merge(&task.stats);
             if let Some(changed) = &mut self.changed {
@@ -159,25 +273,25 @@ impl<V: LogOdds> OccupancyOctree<V> {
         // The root spine is finished exactly once, like the sequential
         // walk's final flush step at depth 0.
         let mut ctx = self.walk_ctx();
-        ctx.finish_node(root);
+        ctx.finish_node(root, 0);
         stats.deferred_finishes += 1;
     }
 }
 
 /// Applies one branch's contiguous run of Morton-sorted groups inside its
-/// own arena shard — the per-thread body of the sharded walk. Mirrors the
-/// sequential walk restricted to depths ≥ 1 (the main thread already
+/// own branch store — the per-thread body of the sharded walk. Mirrors
+/// the sequential walk restricted to depths ≥ 1 (the main thread already
 /// performed the depth-0 step).
 fn run_branch_task<V: LogOdds>(
     task: &mut BranchTask<V>,
     scratch: &BatchScratch<V>,
+    mode: DeltaMode<V>,
     resolved: ResolvedParams<V>,
     pruning_enabled: bool,
     track_changes: bool,
 ) {
     let BranchTask {
-        shard,
-        branch_root,
+        store,
         created,
         range,
         stats,
@@ -185,8 +299,9 @@ fn run_branch_task<V: LogOdds>(
         changed,
         ..
     } = task;
+    let branch_root = store.branch_idx;
     let mut ctx = WalkCtx {
-        store: shard,
+        store,
         resolved,
         pruning_enabled,
         counters,
@@ -196,7 +311,7 @@ fn run_branch_task<V: LogOdds>(
     // path[d] = node at depth d along the current key's root path
     // (path[0] is the root, owned by the main thread — never touched).
     let mut path = [NIL; TREE_DEPTH as usize + 1];
-    path[1] = *branch_root;
+    path[1] = branch_root;
     let mut prev: Option<VoxelKey> = None;
 
     for &id in &scratch.order[range.clone()] {
@@ -207,7 +322,7 @@ fn run_branch_task<V: LogOdds>(
                 // Keys in one branch share at least the depth-1 prefix.
                 let shared = prev_key.common_prefix_depth(key) as usize;
                 for d in ((shared + 1)..TREE_DEPTH as usize).rev() {
-                    ctx.finish_node(path[d]);
+                    ctx.finish_node(path[d], d as u8);
                     stats.deferred_finishes += 1;
                 }
                 stats.reused_levels += shared as u64;
@@ -225,21 +340,24 @@ fn run_branch_task<V: LogOdds>(
             stats.descended_levels += 1;
         }
 
-        // Replay the group's whole delta sequence on the leaf in hand.
-        let drange = scratch.starts[id as usize]..scratch.cursors[id as usize];
-        for (step, &delta) in scratch.deltas[drange.start as usize..drange.end as usize]
-            .iter()
-            .enumerate()
-        {
-            ctx.apply_leaf_delta(node, key, delta, step == 0 && just_created);
-        }
+        // Replay the group's whole delta sequence on the leaf in hand
+        // (one leaf-row load and store for the whole sequence).
+        let drange = scratch.starts[id as usize] as usize..scratch.cursors[id as usize] as usize;
+        match mode {
+            DeltaMode::HitMiss { hit, miss } => {
+                ctx.apply_leaf_bits(node, key, &scratch.bits[drange], hit, miss, just_created)
+            }
+            DeltaMode::Raw => {
+                ctx.apply_leaf_deltas(node, key, &scratch.deltas[drange], just_created)
+            }
+        };
         prev = Some(key);
     }
 
     // Flush the last path down to the branch root; the root spine
     // (depth 0) is finished once by the main thread after the join.
     for d in (1..TREE_DEPTH as usize).rev() {
-        ctx.finish_node(path[d]);
+        ctx.finish_node(path[d], d as u8);
         stats.deferred_finishes += 1;
     }
 }

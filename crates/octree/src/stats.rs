@@ -36,14 +36,29 @@ impl TreeStats {
 pub struct MemoryStats {
     /// Live tree nodes.
     pub live_nodes: usize,
-    /// Live child blocks (one per inner node).
-    pub live_blocks: usize,
-    /// Heap bytes used by this implementation's arenas.
+    /// Live sibling rows (one per inner node: a 64 B node row below
+    /// depth 15, a 32 B value-only leaf row for depth-15 parents).
+    pub live_rows: usize,
+    /// Heap bytes used by this implementation's row arenas (including
+    /// vector capacity slack and free lists).
     pub arena_bytes: usize,
     /// Estimated bytes the same tree would occupy in the OctoMap C++
     /// implementation (24 B per node plus a 64 B child-pointer array per
     /// inner node) — used for the paper's memory-saving comparisons.
     pub octomap_equivalent_bytes: usize,
+}
+
+impl MemoryStats {
+    /// Arena heap bytes per live node — the cache-compactness figure the
+    /// sibling-row refactor targets (the block-arena layout measured
+    /// ≈19 B/node on the corridor map; see `BENCH_batch_update.json`).
+    pub fn bytes_per_node(&self) -> f64 {
+        if self.live_nodes == 0 {
+            0.0
+        } else {
+            self.arena_bytes as f64 / self.live_nodes as f64
+        }
+    }
 }
 
 impl<V: LogOdds> OccupancyOctree<V> {
@@ -82,20 +97,30 @@ impl<V: LogOdds> OccupancyOctree<V> {
 
     /// Computes memory-footprint statistics.
     pub fn memory_stats(&self) -> MemoryStats {
-        let live_nodes = self.arena.live_nodes();
-        let live_blocks = self.arena.live_blocks();
+        let live_nodes = self.num_nodes();
+        let (node_rows, leaf_rows) = self.arena.live_rows();
+        let live_rows = node_rows + leaf_rows;
         MemoryStats {
             live_nodes,
-            live_blocks,
+            live_rows,
             arena_bytes: self.arena.heap_bytes(),
-            octomap_equivalent_bytes: live_nodes * 24 + live_blocks * 64,
+            octomap_equivalent_bytes: live_nodes * 24 + live_rows * 64,
         }
     }
 
-    /// High-water `(nodes, blocks)` allocated over the tree's lifetime —
-    /// measures peak memory with and without pruning/address reuse.
+    /// Heap bytes held by the arena backing storage (the numerator of
+    /// [`MemoryStats::bytes_per_node`], without the O(n) node count).
+    pub fn heap_bytes(&self) -> usize {
+        self.arena.heap_bytes()
+    }
+
+    /// High-water `(node slots, sibling rows)` allocated over the tree's
+    /// lifetime — measures peak memory with and without pruning/address
+    /// reuse. Node slots count 8 per row ever allocated (row granularity
+    /// is the unit of allocation in this layout).
     pub fn high_water(&self) -> (usize, usize) {
-        self.arena.high_water()
+        let (node_rows, leaf_rows) = self.arena.high_water();
+        ((node_rows + leaf_rows) * 8, node_rows + leaf_rows)
     }
 }
 

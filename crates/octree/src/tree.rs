@@ -7,7 +7,7 @@ use omu_geometry::{
 use omu_raycast::{IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
 use rustc_hash::FxHashSet;
 
-use crate::arena::{Arena, NodeStore};
+use crate::arena::{handle, Arena, NodeStore};
 use crate::batch::BatchScratch;
 use crate::counters::{OpCounters, QueryCounters};
 use crate::node::NIL;
@@ -205,9 +205,42 @@ impl<V: LogOdds> OccupancyOctree<V> {
         self.root == NIL
     }
 
-    /// Number of live tree nodes (inner + leaf).
+    /// Number of live tree nodes (inner + leaf), counted in one sweep
+    /// over the inner sibling rows (every node below the root is a
+    /// mask-present slot of exactly one row, so the count is
+    /// `1 + Σ popcount(child_mask)`).
     pub fn num_nodes(&self) -> usize {
-        self.arena.live_nodes()
+        if self.root == NIL {
+            return 0;
+        }
+        let mut count = 1usize;
+        let mut stack = vec![(self.root, 0u8)];
+        while let Some((node, depth)) = stack.pop() {
+            let n = self.arena.node(node);
+            if n.is_leaf() {
+                continue;
+            }
+            count += n.child_count() as usize;
+            if depth + 1 < TREE_DEPTH {
+                let shard = self.arena.child_shard(node);
+                let row = n.row();
+                for pos in 0..8 {
+                    if n.has_child(pos) {
+                        stack.push((handle(shard, row, pos), depth + 1));
+                    }
+                }
+            }
+        }
+        count
+    }
+
+    /// Exhaustively checks the sibling-row arena invariants (each inner
+    /// node's `child_mask` is the single source of truth for its live
+    /// children; rows are singly-referenced; free lists exactly
+    /// complement reachable rows). Test support — panics on violation.
+    #[doc(hidden)]
+    pub fn debug_validate(&self) {
+        self.arena.validate_reachable(self.root);
     }
 
     /// Searches for the node covering `key`, returning its log-odds value
@@ -231,20 +264,27 @@ impl<V: LogOdds> OccupancyOctree<V> {
         }
         let mut node = self.root;
         for d in 0..depth {
-            let n = self.arena.node(node);
+            let n = *self.arena.node(node);
             if n.is_leaf() {
                 // A pruned (or coarse) leaf covers the whole subtree.
                 return Some((n.value, d));
             }
             let pos = key.child_index_at(d).index();
-            let child = self.arena.child_of(node, pos);
-            if child == NIL {
+            if !n.has_child(pos) {
                 // The node has children, just not on this path: unobserved.
                 return None;
             }
-            node = child;
+            // One dependent load per level: the child handle is pure
+            // arithmetic on the node already in hand.
+            node = handle(self.arena.child_shard(node), n.row(), pos);
         }
-        Some((self.arena.node(node).value, depth))
+        // Reaching full depth means the walk stepped into a leaf row.
+        let value = if depth == TREE_DEPTH {
+            self.arena.leaf_value(node)
+        } else {
+            self.arena.node(node).value
+        };
+        Some((value, depth))
     }
 
     /// The log-odds value covering `key` as `f32`, if observed.

@@ -8,6 +8,7 @@
 
 use omu_geometry::{LogOdds, VoxelKey, TREE_DEPTH};
 
+use crate::arena::NodeStore;
 use crate::node::NIL;
 use crate::tree::OccupancyOctree;
 use crate::walk::{ChangeLog, WalkCtx};
@@ -75,7 +76,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         // --- Parent updates and pruning, bottom-up (eq. 3). ---
         let mut result = updated;
         for depth in (0..TREE_DEPTH).rev() {
-            if let Some(pruned_value) = ctx.finish_node(path[depth as usize]) {
+            if let Some(pruned_value) = ctx.finish_node(path[depth as usize], depth) {
                 result = pruned_value;
             }
         }
@@ -92,7 +93,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let root = self.root;
         let before = self.counters.prunes;
         let mut ctx = self.walk_ctx();
-        prune_recurs(&mut ctx, root);
+        prune_recurs(&mut ctx, root, 0);
         self.counters.prunes - before
     }
 
@@ -103,47 +104,59 @@ impl<V: LogOdds> OccupancyOctree<V> {
         if self.root != NIL {
             let root = self.root;
             let mut ctx = self.walk_ctx();
-            inner_occupancy_recurs(&mut ctx, root);
+            inner_occupancy_recurs(&mut ctx, root, 0);
         }
     }
 }
 
-fn prune_recurs<S, V, C>(ctx: &mut WalkCtx<'_, S, V, C>, node: u32)
+/// Post-order prune sweep below `node` (at `depth`). Depth-15 nodes have
+/// only depth-16 voxel children, so recursion stops there and
+/// `try_prune` inspects the leaf row directly.
+fn prune_recurs<S, V, C>(ctx: &mut WalkCtx<'_, S, V, C>, node: u32, depth: u8)
 where
-    S: crate::arena::NodeStore<V>,
+    S: NodeStore<V>,
     V: LogOdds,
     C: ChangeLog,
 {
-    let block = ctx.store.node(node).block;
-    if block == NIL {
+    let n = *ctx.store.node(node);
+    if n.is_leaf() {
         return;
     }
-    let slots = ctx.store.block(block).slots;
-    for &slot in &slots {
-        if slot != NIL && !ctx.store.node(slot).is_leaf() {
-            prune_recurs(ctx, slot);
+    if depth + 1 < TREE_DEPTH {
+        for pos in 0..8 {
+            if n.has_child(pos) {
+                let child = ctx.store.child_of(node, pos);
+                if !ctx.store.node(child).is_leaf() {
+                    prune_recurs(ctx, child, depth + 1);
+                }
+            }
         }
     }
-    ctx.try_prune(node);
+    ctx.try_prune(node, depth);
 }
 
-fn inner_occupancy_recurs<S, V, C>(ctx: &mut WalkCtx<'_, S, V, C>, node: u32)
+/// Post-order parent-value refresh below `node` (at `depth`).
+fn inner_occupancy_recurs<S, V, C>(ctx: &mut WalkCtx<'_, S, V, C>, node: u32, depth: u8)
 where
-    S: crate::arena::NodeStore<V>,
+    S: NodeStore<V>,
     V: LogOdds,
     C: ChangeLog,
 {
-    let block = ctx.store.node(node).block;
-    if block == NIL {
+    let n = *ctx.store.node(node);
+    if n.is_leaf() {
         return;
     }
-    let slots = ctx.store.block(block).slots;
-    for &slot in &slots {
-        if slot != NIL && !ctx.store.node(slot).is_leaf() {
-            inner_occupancy_recurs(ctx, slot);
+    if depth + 1 < TREE_DEPTH {
+        for pos in 0..8 {
+            if n.has_child(pos) {
+                let child = ctx.store.child_of(node, pos);
+                if !ctx.store.node(child).is_leaf() {
+                    inner_occupancy_recurs(ctx, child, depth + 1);
+                }
+            }
         }
     }
-    ctx.refresh_parent_value(node);
+    ctx.refresh_parent_value(node, depth);
 }
 
 #[cfg(test)]

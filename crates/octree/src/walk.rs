@@ -2,20 +2,29 @@
 //! parent refresh and pruning, written once over [`NodeStore`] so that
 //! the same code drives the whole-tree scalar/batched paths (store =
 //! [`Arena`](crate::arena::Arena)) and the subtree-sharded parallel
-//! workers (store = [`ArenaShard`](crate::arena::ArenaShard), one branch
+//! workers (store = the branch store in the `shard` module, one branch
 //! owned per thread).
+//!
+//! Operations take the node's tree depth alongside its handle: depth
+//! decides whether a node's children live in a node row (8 more
+//! `Node<V>`s) or, for depth-15 parents, in a value-only leaf row — see
+//! the [`arena`](crate::arena) module for the two-tier sibling-row
+//! layout. The walks all track depth anyway, so this costs nothing.
 //!
 //! Everything an update mutates besides node storage — operation
 //! counters, the change-detection log — is carried in the context, so a
 //! worker can run with thread-local instances that merge
 //! deterministically afterwards.
 
-use omu_geometry::{LogOdds, ResolvedParams, VoxelKey};
+use omu_geometry::{LogOdds, ResolvedParams, VoxelKey, TREE_DEPTH};
 use rustc_hash::FxHashSet;
 
-use crate::arena::NodeStore;
+use crate::arena::{handle, NodeStore};
 use crate::counters::OpCounters;
-use crate::node::NIL;
+use crate::node::Node;
+
+/// Depth of nodes whose children are depth-16 voxels stored in leaf rows.
+const LEAF_PARENT_DEPTH: u8 = TREE_DEPTH - 1;
 
 /// Sink for change-detection events. The tree proper uses the keyed set;
 /// shard workers log into a plain `Vec` that is merged into the set after
@@ -66,171 +75,275 @@ impl<S: NodeStore<V>, V: LogOdds, C: ChangeLog> WalkCtx<'_, S, V, C> {
         just_created: bool,
     ) -> (u32, bool) {
         let pos = key.child_index_at(depth).index();
-        let mut child = self.store.child_of(node, pos);
+        let n = *self.store.node(node);
         let mut created = false;
-        if child == NIL {
-            if self.store.node(node).is_leaf() && !just_created {
-                // A pruned leaf covers this key: expand it so the update
-                // applies to the single target voxel only.
-                self.expand_node(node);
-                child = self.store.child_of(node, pos);
-            } else {
-                // Fresh branch: create just the requested child.
-                child = self.create_child(node, pos);
-                created = true;
-            }
-        }
+        let child = if n.has_child(pos) {
+            // The common case is one pure-arithmetic step: the parent is
+            // already in hand, the child's handle needs no load at all.
+            handle(self.store.child_shard(node), n.row(), pos)
+        } else if n.is_leaf() && !just_created {
+            // A pruned leaf covers this key: expand it so the update
+            // applies to the single target voxel only.
+            self.expand_node(node, depth);
+            self.store.child_of(node, pos)
+        } else {
+            // Fresh branch: create just the requested child.
+            created = true;
+            self.create_child(node, pos, depth)
+        };
         self.counters.traverse_steps += 1;
         (child, created)
     }
 
-    /// Applies one clamped log-odds addition to a located leaf (eq. 2),
-    /// recording change detection, and returns the new value.
+    /// Applies one clamped log-odds addition to a located depth-16 voxel
+    /// (eq. 2), recording change detection, and returns the new value.
     #[inline]
     pub fn apply_leaf_delta(
         &mut self,
-        node: u32,
+        leaf: u32,
         key: VoxelKey,
         delta: V,
         just_created: bool,
     ) -> V {
-        let (updated, old_value) = {
-            let n = self.store.node_mut(node);
-            let old = n.value;
-            n.value = n
-                .value
-                .add(delta)
-                .clamp_to(self.resolved.clamp_min, self.resolved.clamp_max);
-            (n.value, old)
-        };
-        self.counters.leaf_updates += 1;
-
-        // Change detection: record newly observed voxels and
-        // occupied↔free classification flips.
-        if let Some(changed) = &mut self.changed {
-            let flipped = just_created
-                || self.resolved.classify(old_value) != self.resolved.classify(updated);
-            if flipped {
-                changed.record(key);
-            }
-        }
-        updated
+        self.apply_leaf_deltas(leaf, key, &[delta], just_created)
     }
 
-    /// Finishes an inner node after updates below it: prune when enabled
-    /// and collapsible, otherwise refresh the value to the max over
-    /// children. Returns `Some(value)` when the node was pruned.
+    /// Replays a whole per-voxel delta sequence on a located depth-16
+    /// voxel: the value stays in a register across the sequence (one
+    /// leaf-row load, one store), with per-delta counters and change
+    /// detection identical to applying each delta individually. Returns
+    /// the final value.
+    pub fn apply_leaf_deltas(
+        &mut self,
+        leaf: u32,
+        key: VoxelKey,
+        deltas: &[V],
+        just_created: bool,
+    ) -> V {
+        self.replay_leaf(leaf, key, just_created, deltas.iter().copied())
+    }
+
+    /// [`Self::apply_leaf_deltas`] over a bit-encoded hit/miss sequence
+    /// (the batch engine scatters one byte per update instead of a full
+    /// log-odds value; see the `batch` module).
+    pub fn apply_leaf_bits(
+        &mut self,
+        leaf: u32,
+        key: VoxelKey,
+        bits: &[u8],
+        hit: V,
+        miss: V,
+        just_created: bool,
+    ) -> V {
+        self.replay_leaf(
+            leaf,
+            key,
+            just_created,
+            bits.iter().map(|&b| if b != 0 { hit } else { miss }),
+        )
+    }
+
+    fn replay_leaf(
+        &mut self,
+        leaf: u32,
+        key: VoxelKey,
+        just_created: bool,
+        deltas: impl Iterator<Item = V>,
+    ) -> V {
+        let slot = self.store.leaf_value_mut(leaf);
+        let mut value = *slot;
+        let mut steps = 0u64;
+        match &mut self.changed {
+            None => {
+                for delta in deltas {
+                    steps += 1;
+                    value = value
+                        .add(delta)
+                        .clamp_to(self.resolved.clamp_min, self.resolved.clamp_max);
+                }
+            }
+            Some(changed) => {
+                // Change detection: record newly observed voxels and
+                // occupied↔free classification flips.
+                for delta in deltas {
+                    let old = value;
+                    value = value
+                        .add(delta)
+                        .clamp_to(self.resolved.clamp_min, self.resolved.clamp_max);
+                    let flipped = (steps == 0 && just_created)
+                        || self.resolved.classify(old) != self.resolved.classify(value);
+                    steps += 1;
+                    if flipped {
+                        changed.record(key);
+                    }
+                }
+            }
+        }
+        self.counters.leaf_updates += steps;
+        *slot = value;
+        value
+    }
+
+    /// Finishes an inner node at `depth` after updates below it: prune
+    /// when enabled and collapsible, otherwise refresh the value to the
+    /// max over children. Returns `Some(value)` when the node was pruned.
     ///
     /// The scalar path calls this for every path node after every update;
     /// the batch engines defer it to once per touched node (see
     /// [`apply_update_batch`](crate::tree::OccupancyOctree::apply_update_batch)).
     #[inline]
-    pub fn finish_node(&mut self, node: u32) -> Option<V> {
-        if self.pruning_enabled && self.try_prune(node) {
+    pub fn finish_node(&mut self, node: u32, depth: u8) -> Option<V> {
+        if self.pruning_enabled && self.try_prune(node, depth) {
             Some(self.store.node(node).value)
         } else {
-            self.refresh_parent_value(node);
+            self.refresh_parent_value(node, depth);
             None
         }
     }
 
-    /// Expands a pruned leaf into 8 children carrying the parent's value
-    /// (OctoMap `expandNode`).
-    pub fn expand_node(&mut self, node: u32) {
+    /// Expands a pruned leaf at `depth` into 8 children carrying the
+    /// parent's value (OctoMap `expandNode`). Filling happens inside the
+    /// row allocation — one sibling-row write.
+    pub fn expand_node(&mut self, node: u32, depth: u8) {
         debug_assert!(self.store.node(node).is_leaf(), "expanding an inner node");
         let value = self.store.node(node).value;
-        let block = self.store.alloc_block_for(node);
-        for pos in 0..8 {
-            let child = self.store.alloc_child_node(node, pos, value);
-            self.store.block_mut(block).slots[pos] = child;
-        }
-        self.store.node_mut(node).block = block;
+        let row = if depth == LEAF_PARENT_DEPTH {
+            self.store.alloc_leaf_row_for(node, value)
+        } else {
+            self.store.alloc_row_for(node, Node::leaf(value))
+        };
+        self.store.node_mut(node).set_children(row, 0xFF);
         self.counters.expands += 1;
         self.counters.node_creations += 8;
     }
 
-    /// Creates a single child (log-odds 0, "just created") under `node`.
-    fn create_child(&mut self, node: u32, pos: usize) -> u32 {
-        let block = {
-            let b = self.store.node(node).block;
-            if b == NIL {
-                let b = self.store.alloc_block_for(node);
-                self.store.node_mut(node).block = b;
-                b
+    /// Creates a single child (log-odds 0, "just created") under `node`
+    /// at `depth`, allocating the sibling row on first use.
+    fn create_child(&mut self, node: u32, pos: usize, depth: u8) -> u32 {
+        let leaf_tier = depth == LEAF_PARENT_DEPTH;
+        let n = *self.store.node(node);
+        let child;
+        if n.is_leaf() {
+            let row = if leaf_tier {
+                self.store.alloc_leaf_row_for(node, V::ZERO)
             } else {
-                b
+                self.store.alloc_row_for(node, Node::leaf(V::ZERO))
+            };
+            self.store.node_mut(node).set_children(row, 1 << pos);
+            child = handle(self.store.child_shard(node), row, pos);
+            // Row slots come pre-filled with the zero value.
+        } else {
+            child = handle(self.store.child_shard(node), n.row(), pos);
+            if leaf_tier {
+                *self.store.leaf_value_mut(child) = V::ZERO;
+            } else {
+                *self.store.node_mut(child) = Node::leaf(V::ZERO);
             }
-        };
-        let child = self.store.alloc_child_node(node, pos, V::ZERO);
-        self.store.block_mut(block).slots[pos] = child;
+            self.store.node_mut(node).add_child(pos);
+        }
         self.counters.node_creations += 1;
         child
     }
 
-    /// Attempts to prune `node` (OctoMap `pruneNode`): succeeds when all 8
-    /// children exist, none has children of its own, and all hold the same
-    /// value. On success the children are deleted and `node` becomes a leaf
-    /// carrying their common value.
+    /// Attempts to prune a node at `depth` (OctoMap `pruneNode`):
+    /// succeeds when all 8 children exist, none has children of its own,
+    /// and all hold the same value. On success the children's sibling row
+    /// is recycled and `node` becomes a leaf carrying their common value.
     ///
     /// Returns `true` when the node was pruned.
-    pub fn try_prune(&mut self, node: u32) -> bool {
+    pub fn try_prune(&mut self, node: u32, depth: u8) -> bool {
         self.counters.prune_checks += 1;
-        let block = self.store.node(node).block;
-        if block == NIL {
+        let n = *self.store.node(node);
+        if n.is_leaf() {
             return false;
         }
+        let shard = self.store.child_shard(node);
+        let row = n.row();
 
-        let slots = self.store.block(block).slots;
-        let first = slots[0];
-        if first == NIL {
-            return false;
-        }
-        self.counters.prune_child_reads += 1;
-        let first_node = *self.store.node(first);
-        if !first_node.is_leaf() {
-            return false;
-        }
-        for &slot in &slots[1..] {
-            if slot == NIL {
+        if depth == LEAF_PARENT_DEPTH {
+            // Children are depth-16 voxels: leaves by construction, so
+            // only value equality gates the prune. One row borrow covers
+            // all 8 siblings.
+            if !n.has_child(0) {
                 return false;
             }
+            let kids = self.store.leaf_row(shard, row);
             self.counters.prune_child_reads += 1;
-            let child = self.store.node(slot);
-            if !child.is_leaf() || child.value != first_node.value {
+            let first = kids[0];
+            for (pos, &kid) in kids.iter().enumerate().skip(1) {
+                if !n.has_child(pos) {
+                    return false;
+                }
+                self.counters.prune_child_reads += 1;
+                if kid != first {
+                    return false;
+                }
+            }
+            self.store.free_leaf_row_of(node);
+            let n = self.store.node_mut(node);
+            n.clear_children();
+            n.value = first;
+        } else {
+            if !n.has_child(0) {
                 return false;
             }
+            let kids = self.store.node_row(shard, row);
+            self.counters.prune_child_reads += 1;
+            let first = kids[0];
+            if !first.is_leaf() {
+                return false;
+            }
+            for (pos, child) in kids.iter().enumerate().skip(1) {
+                if !n.has_child(pos) {
+                    return false;
+                }
+                self.counters.prune_child_reads += 1;
+                if !child.is_leaf() || child.value != first.value {
+                    return false;
+                }
+            }
+            self.store.free_row_of(node);
+            let n = self.store.node_mut(node);
+            n.clear_children();
+            n.value = first.value;
         }
-
-        // Collapsible: delete the 8 children and take over their value.
-        for &slot in &slots {
-            self.store.free_node(slot);
-        }
-        self.store.free_block(block);
-        let n = self.store.node_mut(node);
-        n.block = NIL;
-        n.value = first_node.value;
         self.counters.prunes += 1;
         true
     }
 
-    /// Recomputes an inner node's value as the maximum over its existing
-    /// children (OctoMap `updateOccupancyChildren`).
-    pub fn refresh_parent_value(&mut self, node: u32) {
-        let block = self.store.node(node).block;
-        if block == NIL {
+    /// Recomputes an inner node's value at `depth` as the maximum over
+    /// its existing children (OctoMap `updateOccupancyChildren`) — one
+    /// sibling-row sweep.
+    pub fn refresh_parent_value(&mut self, node: u32, depth: u8) {
+        let n = *self.store.node(node);
+        if n.is_leaf() {
             return;
         }
-        let slots = self.store.block(block).slots;
+        let shard = self.store.child_shard(node);
+        let row = n.row();
         let mut acc: Option<V> = None;
         let mut reads = 0;
-        for &slot in &slots {
-            if slot != NIL {
-                reads += 1;
-                let v = self.store.node(slot).value;
-                acc = Some(match acc {
-                    Some(a) => V::max_of(a, v),
-                    None => v,
-                });
+        if depth == LEAF_PARENT_DEPTH {
+            let kids = self.store.leaf_row(shard, row);
+            for (pos, &v) in kids.iter().enumerate() {
+                if n.has_child(pos) {
+                    reads += 1;
+                    acc = Some(match acc {
+                        Some(a) => V::max_of(a, v),
+                        None => v,
+                    });
+                }
+            }
+        } else {
+            let kids = self.store.node_row(shard, row);
+            for (pos, kid) in kids.iter().enumerate() {
+                if n.has_child(pos) {
+                    reads += 1;
+                    acc = Some(match acc {
+                        Some(a) => V::max_of(a, kid.value),
+                        None => kid.value,
+                    });
+                }
             }
         }
         if let Some(m) = acc {

@@ -52,6 +52,15 @@ fn check_invariants<V: LogOdds>(tree: &OccupancyOctree<V>) {
     assert_eq!(stats.num_leaves, leaves);
     assert_eq!(stats.num_nodes, tree.num_nodes());
     assert_eq!(stats.num_inner + stats.num_leaves, stats.num_nodes);
+    // (6) Sibling-row invariants: every inner node's child_mask equals
+    // its set of live children, rows are singly-referenced, and free
+    // lists exactly complement the reachable rows.
+    tree.debug_validate();
+    // Each inner node owns exactly one sibling row (+1 for the root row).
+    let mem = tree.memory_stats();
+    if stats.num_nodes > 0 {
+        assert_eq!(mem.live_rows, stats.num_inner + 1, "rows ↔ inner nodes");
+    }
 }
 
 /// Canonical form: updating any voxel inside a pruned leaf and undoing it
@@ -157,6 +166,64 @@ proptest! {
         prop_assert!(tree.counters().prunes > 0);
         check_invariants(&tree);
         check_prune_canonical(&mut tree);
+    }
+
+    #[test]
+    fn row_masks_track_live_children_under_mixed_engines(
+        seed in any::<u64>(),
+        updates in 30usize..250,
+        span in 2u16..24,
+        shards in 1usize..=8,
+    ) {
+        use omu_raycast::VoxelUpdate;
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut tree = OctreeF32::new(0.1).unwrap();
+        // Interleave scalar updates, sequential batches and the sharded
+        // parallel apply — insert/update/prune/expand in every engine —
+        // validating the row invariants between phases.
+        for phase in 0..3 {
+            let batch: Vec<VoxelUpdate> = (0..updates)
+                .map(|_| VoxelUpdate {
+                    key: VoxelKey::new(
+                        // Straddle the branch boundary so several arena
+                        // shards participate.
+                        32760 + rng.random_range(0..span),
+                        32760 + rng.random_range(0..span),
+                        32760 + rng.random_range(0..span),
+                    ),
+                    hit: rng.random_range(0..4) != 0,
+                })
+                .collect();
+            match phase {
+                0 => {
+                    for u in &batch {
+                        tree.update_key(u.key, u.hit);
+                    }
+                }
+                1 => {
+                    tree.apply_update_batch(&batch);
+                }
+                _ => {
+                    tree.apply_update_batch_parallel(&batch, shards);
+                }
+            }
+            tree.debug_validate();
+        }
+        // Maintenance passes keep the invariants too.
+        tree.prune_all();
+        tree.debug_validate();
+        tree.update_inner_occupancy();
+        tree.debug_validate();
+        // And a serialization round trip rebuilds valid rows.
+        let restored = OctreeF32::from_bytes(&tree.to_bytes()).unwrap();
+        restored.debug_validate();
+        prop_assert_eq!(restored.snapshot(), tree.snapshot());
+        // Clearing returns every row to the free lists.
+        let mut cleared = tree.clone();
+        cleared.clear();
+        cleared.debug_validate();
+        prop_assert_eq!(cleared.num_nodes(), 0);
     }
 
     #[test]

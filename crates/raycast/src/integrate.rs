@@ -103,6 +103,12 @@ pub struct ScanIntegrator {
     // measurable integration-path win.
     free_set: FxHashSet<VoxelKey>,
     occupied_set: FxHashSet<VoxelKey>,
+    /// Largest `free_set` / `occupied_set` sizes seen so far: each scan
+    /// pre-reserves the previous high-water mark so the sets rehash at
+    /// most during the first (largest-growth) scan instead of doubling
+    /// their way up on every scan-sized refill.
+    free_high_water: usize,
+    occupied_high_water: usize,
 }
 
 impl ScanIntegrator {
@@ -119,6 +125,8 @@ impl ScanIntegrator {
             keyray: KeyRay::new(),
             free_set: FxHashSet::default(),
             occupied_set: FxHashSet::default(),
+            free_high_water: 0,
+            occupied_high_water: 0,
         }
     }
 
@@ -286,6 +294,13 @@ impl ScanIntegrator {
     {
         self.free_set.clear();
         self.occupied_set.clear();
+        // Steady-state scans are all about the same size: reserving the
+        // previous high-water mark up front removes the incremental
+        // rehash growth from the per-scan path (clearing keeps capacity,
+        // so this only costs anything after a rebuild or an unusually
+        // large scan).
+        self.free_set.reserve(self.free_high_water);
+        self.occupied_set.reserve(self.occupied_high_water);
 
         for &p in points {
             let (end, truncated) = self.effective_endpoint(origin, p);
@@ -323,6 +338,8 @@ impl ScanIntegrator {
             apply(VoxelUpdate { key: k, hit: true });
             stats.occupied_updates += 1;
         }
+        self.free_high_water = self.free_high_water.max(self.free_set.len());
+        self.occupied_high_water = self.occupied_high_water.max(self.occupied_set.len());
     }
 }
 
@@ -452,6 +469,20 @@ mod tests {
         assert_eq!(a.free_updates, 3);
         assert_eq!(a.occupied_updates, 5);
         assert_eq!(a.total_updates(), 8);
+    }
+
+    #[test]
+    fn dedup_sets_track_high_water_and_keep_capacity() {
+        let mut it = integrator(IntegrationMode::DedupPerScan, None);
+        let s = scan(&[Point3::new(1.0, 0.0, 0.0), Point3::new(0.0, 1.0, 0.0)]);
+        it.integrate(&s, |_| {}).unwrap();
+        assert!(it.free_high_water > 0, "free cells were deduped");
+        assert!(it.occupied_high_water > 0, "endpoints were deduped");
+        let cap = it.free_set.capacity();
+        // Subsequent same-sized scans never shrink or regrow the sets.
+        it.integrate(&s, |_| {}).unwrap();
+        assert_eq!(it.free_set.capacity(), cap);
+        assert_eq!(it.free_high_water, it.free_set.len());
     }
 
     #[test]

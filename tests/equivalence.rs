@@ -288,6 +288,73 @@ proptest! {
 }
 
 #[test]
+fn sharded_parallel_spawns_threads_above_the_amortization_threshold() {
+    // Small batches take the inline fast path; this one is large enough
+    // (> 1024 unique keys across several branches) that the sharded
+    // engine really spawns `thread::scope` workers — keeping actual
+    // multi-threaded execution covered by the bit-identity suite.
+    use omu::raycast::VoxelUpdate;
+    let mut rng = StdRng::seed_from_u64(0xBEEF);
+    let updates: Vec<VoxelUpdate> = (0..6000)
+        .map(|_| VoxelUpdate {
+            key: omu::geometry::VoxelKey::new(
+                rng.random_range(32000..33500),
+                rng.random_range(32000..33500),
+                rng.random_range(32000..33500),
+            ),
+            hit: rng.random_range(0..4) != 0,
+        })
+        .collect();
+
+    let mut sequential = OctreeF32::new(0.1).unwrap();
+    sequential.set_change_detection(true);
+    sequential.apply_update_batch(&updates);
+    for shards in [2, 4, 8] {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.set_change_detection(true);
+        t.apply_update_batch_parallel(&updates, shards);
+        assert_eq!(sequential.snapshot(), t.snapshot(), "shards={shards}");
+        assert_eq!(sequential.counters(), t.counters(), "shards={shards}");
+        let canon = |t: &OctreeF32| {
+            let mut v: Vec<_> = t.changed_keys().copied().collect();
+            v.sort_unstable();
+            v
+        };
+        assert_eq!(canon(&sequential), canon(&t));
+        t.debug_validate();
+    }
+
+    // The read side as well: batches above the query threshold fan out
+    // over real worker threads and must stay bit-identical.
+    let keys: Vec<omu::geometry::VoxelKey> = (0..5000)
+        .map(|_| {
+            omu::geometry::VoxelKey::new(
+                rng.random_range(32000..33500),
+                rng.random_range(32000..33500),
+                rng.random_range(32000..33500),
+            )
+        })
+        .collect();
+    let expected = sequential.query_batch(&keys).to_vec();
+    for shards in [2, 8] {
+        let got = sequential.query_batch_parallel(&keys, shards).to_vec();
+        assert_eq!(got, expected, "query shards={shards}");
+    }
+    let rays: Vec<(Point3, Point3)> = (0..64)
+        .map(|i| {
+            let a = i as f64 * 0.1;
+            (Point3::ZERO, Point3::new(a.cos(), a.sin(), 0.1))
+        })
+        .collect();
+    let one_by_one: Vec<_> = rays
+        .iter()
+        .map(|&(o, d)| sequential.cast_ray(o, d, 4.0, true).unwrap())
+        .collect();
+    let batched = sequential.cast_rays(&rays, 4.0, true, 4).unwrap();
+    assert_eq!(batched, one_by_one);
+}
+
+#[test]
 fn sharded_parallel_handles_single_branch_batches() {
     // Every point (and the origin) in the strictly positive octant:
     // every voxel key has its top bit set on all axes, so the whole

@@ -50,6 +50,44 @@ fn pruning_saves_substantial_memory_without_accuracy_loss() {
     assert_eq!(without_prune.num_nodes(), with_prune.num_nodes());
 }
 
+/// Memory-regression guard for the sibling-row arena: heap bytes per
+/// live node on the corridor map must stay under a recorded ceiling.
+///
+/// The pre-refactor block arena measured 19.24 B/node on this workload
+/// (scale 0.1, batched build); the sibling-row layout landed at
+/// ≈8–9 B/node including vector capacity slack. The ceiling leaves
+/// headroom for allocator noise while still failing loudly if a change
+/// reintroduces per-node pointer overhead. Release builds only — debug
+/// capacity growth patterns differ and the walk is ~20× slower.
+#[test]
+fn bytes_per_node_stays_under_recorded_ceiling() {
+    if cfg!(debug_assertions) {
+        eprintln!("skipping memory guard in debug build");
+        return;
+    }
+    const CEILING_BYTES_PER_NODE: f64 = 13.0;
+    let dataset = DatasetKind::Fr079Corridor.build_scaled(0.1);
+    let spec = *dataset.spec();
+    let mut tree = OctreeF32::new(spec.resolution).unwrap();
+    tree.set_integration_mode(IntegrationMode::Raywise);
+    tree.set_max_range(Some(spec.max_range));
+    for scan in dataset.scans() {
+        tree.insert_scan_batched(&scan).unwrap();
+    }
+    let mem = tree.memory_stats();
+    assert!(mem.live_nodes > 10_000, "non-trivial map");
+    assert!(
+        mem.bytes_per_node() < CEILING_BYTES_PER_NODE,
+        "arena regressed to {:.2} B/node (ceiling {CEILING_BYTES_PER_NODE}, \
+         block arena was 19.24)",
+        mem.bytes_per_node()
+    );
+    // The row accounting matches the tree structure: one row per inner
+    // node plus the root row.
+    let stats = tree.tree_stats();
+    assert_eq!(mem.live_rows, stats.num_inner + 1);
+}
+
 #[test]
 fn prune_address_manager_recycles_rows() {
     let (scans, resolution, max_range) = corridor_scans();

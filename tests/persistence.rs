@@ -55,6 +55,84 @@ fn fixed_map_roundtrips_through_bytes() {
     assert_eq!(restored.snapshot(), tree.snapshot());
 }
 
+/// Golden bytes emitted by the pre-sibling-row (block-arena) layout for
+/// a deterministic f32 scan workload; see `tests/golden/`.
+const GOLDEN_F32: &[u8] = include_bytes!("golden/map_f32_v1.omut");
+/// Same, for a fixed-point update workload with pruning and misses.
+const GOLDEN_FIXED: &[u8] = include_bytes!("golden/map_fixed_v1.omut");
+
+/// Rebuilds the exact map the f32 golden snapshot was generated from.
+fn golden_f32_workload() -> OctreeF32 {
+    use omu::geometry::PointCloud;
+    use omu::geometry::Scan;
+    let mut t = OctreeF32::new(0.05).unwrap();
+    let mut cloud = PointCloud::new();
+    for i in 0..400 {
+        let a = i as f64 * 0.0157;
+        cloud.push(Point3::new(
+            3.0 * a.cos(),
+            3.0 * a.sin(),
+            ((i % 16) as f64 - 8.0) * 0.1,
+        ));
+    }
+    for step in 0..4 {
+        let origin = Point3::new(0.02 * step as f64, 0.01 * step as f64, 0.0);
+        t.insert_scan(&Scan::new(origin, cloud.clone())).unwrap();
+    }
+    t
+}
+
+/// Rebuilds the exact map the fixed-point golden snapshot was generated
+/// from.
+fn golden_fixed_workload() -> OctreeFixed {
+    use omu::geometry::VoxelKey;
+    let mut t = OctreeFixed::new(0.1).unwrap();
+    t.set_early_abort_saturated(false);
+    for i in 0..300u16 {
+        let k = VoxelKey::new(
+            32000 + (i * 7) % 97,
+            33000 + (i * 13) % 89,
+            31000 + (i * 3) % 53,
+        );
+        t.update_key(k, i % 4 != 0);
+    }
+    let base = VoxelKey::new(40000, 40000, 40000);
+    for _ in 0..10 {
+        for i in 0..8u16 {
+            t.update_key(
+                VoxelKey::new(
+                    base.x + (i & 1),
+                    base.y + ((i >> 1) & 1),
+                    base.z + ((i >> 2) & 1),
+                ),
+                true,
+            );
+        }
+    }
+    t
+}
+
+#[test]
+fn wire_format_is_byte_stable_against_block_arena_goldens() {
+    // The sibling-row layout must emit byte-for-byte what the old
+    // block-arena layout emitted for the same update sequences…
+    let f = golden_f32_workload();
+    assert_eq!(f.to_bytes(), GOLDEN_F32, "f32 wire format drifted");
+    let q = golden_fixed_workload();
+    assert_eq!(q.to_bytes(), GOLDEN_FIXED, "fixed wire format drifted");
+
+    // …and maps saved by the old layout must load and re-save stably.
+    let restored = OctreeF32::from_bytes(GOLDEN_F32).unwrap();
+    assert_eq!(restored.snapshot(), f.snapshot());
+    assert_eq!(restored.to_bytes(), GOLDEN_F32, "re-encode not stable");
+    restored.debug_validate();
+
+    let restored = OctreeFixed::from_bytes(GOLDEN_FIXED).unwrap();
+    assert_eq!(restored.snapshot(), q.snapshot());
+    assert_eq!(restored.to_bytes(), GOLDEN_FIXED, "re-encode not stable");
+    restored.debug_validate();
+}
+
 #[test]
 fn corrupted_maps_are_rejected_not_misread() {
     let mut tree = OctreeF32::new(0.2).unwrap();
