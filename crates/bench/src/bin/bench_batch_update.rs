@@ -2,7 +2,7 @@
 //! corridor dataset and writes `BENCH_batch_update.json` (in the current
 //! directory) to seed the repo's performance trajectory.
 //!
-//! Two stages are reported:
+//! Three stages are reported:
 //!
 //! - **update_engine** — ray casting is precomputed; the measurement is
 //!   purely the tree-update stage (the paper's "voxel update" workload,
@@ -11,11 +11,16 @@
 //!   subtree-sharded `apply_update_batch_parallel` swept over 1/2/4/8
 //!   shards (on a 1-CPU container the sweep measures sharding overhead;
 //!   on multi-core hosts it shows the scaling).
+//! - **front_end** — ray casting alone, no tree: the scalar DDA
+//!   (`scalar_dda`) vs the 8-lane SoA packet stepper (`packet`) vs the
+//!   packet stepper behind the scan pipeline (`packet_pipeline`). The
+//!   two front ends emit bit-identical update streams, so the ratio is
+//!   the pure data-parallel win.
 //! - **end_to_end** — full `insert_scan` vs `insert_scan_batched` vs
-//!   `insert_scan_parallel`, including ray casting (which dominates and
-//!   is identical across engines, so ratios here are muted; on a
-//!   single-CPU container the parallel path adds sharding overhead for
-//!   no gain).
+//!   `insert_scan_parallel`, including ray casting (identical across
+//!   engines, and since the packet front end is the default it is what
+//!   these rows exercise; on a single-CPU container the parallel path
+//!   runs the same inline code below the fan-out threshold).
 //!
 //! The JSON also records the sibling-row arena's memory footprint
 //! (`heap_bytes`, `bytes_per_node`) next to the block-arena layout's
@@ -31,7 +36,7 @@ use omu_bench::RunOptions;
 use omu_datasets::DatasetKind;
 use omu_geometry::Scan;
 use omu_octree::OctreeF32;
-use omu_raycast::{IntegrationMode, ScanIntegrator, VoxelUpdate};
+use omu_raycast::{FrontEnd, IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
 
 struct Measurement {
     stage: &'static str,
@@ -160,6 +165,60 @@ fn main() {
         ));
     }
 
+    // Front-end stage: ray casting alone, no tree. Both integrators emit
+    // bit-identical update streams; the ratio is the packet win.
+    let conv = *fresh_tree(spec.resolution, spec.max_range).converter();
+    let mut scratch: Vec<VoxelUpdate> = Vec::new();
+    for (name, fe) in [
+        ("scalar_dda", FrontEnd::Scalar),
+        ("packet", FrontEnd::Packet),
+    ] {
+        let mut it = ScanIntegrator::with_front_end(
+            conv,
+            Some(spec.max_range),
+            IntegrationMode::Raywise,
+            fe,
+        );
+        results.push(measure("front_end", name, || {
+            let mut n = 0u64;
+            for s in &scans {
+                scratch.clear();
+                let st = it.integrate_into(s, &mut scratch).expect("in-map scan");
+                n += st.total_updates();
+            }
+            (n, 0)
+        }));
+        if fe == FrontEnd::Packet {
+            let ps = it.packet_stats();
+            eprintln!(
+                "packet lane occupancy: {:.3} ({} packets, {} supersteps)",
+                ps.lane_occupancy(),
+                ps.packets,
+                ps.supersteps
+            );
+        }
+    }
+    {
+        let mut pipe = ScanPipeline::with_front_end(
+            conv,
+            Some(spec.max_range),
+            IntegrationMode::Raywise,
+            0,
+            FrontEnd::Packet,
+        );
+        results.push(measure("front_end", "packet_pipeline", || {
+            let mut n = 0u64;
+            for s in &scans {
+                scratch.clear();
+                let st = pipe
+                    .integrate_into(s.origin, s.cloud.points(), &mut scratch)
+                    .expect("in-map scan");
+                n += st.total_updates();
+            }
+            (n, 0)
+        }));
+    }
+
     results.push(measure("end_to_end", "scalar", || {
         let mut tree = fresh_tree(spec.resolution, spec.max_range);
         let n: u64 = scans
@@ -216,12 +275,21 @@ fn main() {
         );
     }
 
-    let scalar_update_rate = results[0].updates_per_sec();
-    let batched_update_rate = results[1].updates_per_sec();
+    let rate_of = |stage: &str, engine: &str| {
+        results
+            .iter()
+            .find(|m| m.stage == stage && m.engine == engine)
+            .expect("measured stage/engine")
+            .updates_per_sec()
+    };
+    let scalar_update_rate = rate_of("update_engine", "scalar");
+    let batched_update_rate = rate_of("update_engine", "batched");
     eprintln!(
         "update_engine speedup: {:.2}x",
         batched_update_rate / scalar_update_rate
     );
+    let front_end_speedup = rate_of("front_end", "packet") / rate_of("front_end", "scalar_dda");
+    eprintln!("front_end packet speedup vs scalar DDA: {front_end_speedup:.2}x");
 
     let json = format!(
         concat!(
@@ -233,6 +301,7 @@ fn main() {
             "  \"resolution_m\": {},\n",
             "  \"total_updates\": {},\n",
             "  \"update_engine_speedup_vs_scalar\": {:.2},\n",
+            "  \"front_end_speedup_vs_scalar_dda\": {:.2},\n",
             "  \"memory\": {{\n",
             "    \"live_nodes\": {},\n",
             "    \"live_rows\": {},\n",
@@ -250,6 +319,7 @@ fn main() {
         spec.resolution,
         total_updates,
         batched_update_rate / scalar_update_rate,
+        front_end_speedup,
         mem.live_nodes,
         mem.live_rows,
         mem.arena_bytes,

@@ -2,7 +2,7 @@
 
 use omu_geometry::{FixedLogOdds, KeyConverter, Occupancy, Point3, ResolvedParams, Scan, VoxelKey};
 use omu_octree::{cast_ray_resuming, collides_sphere_with, serve_morton_coalesced, RayCastResult};
-use omu_raycast::{IntegrationStats, RayWalk, VoxelUpdate};
+use omu_raycast::{IntegrationStats, PacketStats, RayWalk, VoxelUpdate};
 use omu_simhw::{tech12nm, AxiStreamModel, EnergyLedger, PowerReport};
 
 use crate::config::OmuConfig;
@@ -63,7 +63,12 @@ impl OmuAccelerator {
                 )
             })
             .collect();
-        let raycast = RayCastUnit::new(conv, config.max_range, config.integration_mode);
+        let raycast = RayCastUnit::with_front_end(
+            conv,
+            config.max_range,
+            config.integration_mode,
+            config.front_end,
+        );
         let scheduler = VoxelScheduler::with_burst_discount(
             config.num_pes,
             config.voxel_queue_capacity,
@@ -124,6 +129,7 @@ impl OmuAccelerator {
         let mut dispatched_free = 0u64;
         let mut dispatched_occ = 0u64;
 
+        let packet_before = self.raycast.packet_stats();
         let (istats, rc_cycles) = self.raycast.cast_scan(scan, |u| {
             if capacity_error.is_some() {
                 return;
@@ -151,6 +157,7 @@ impl OmuAccelerator {
             dma_bytes,
             dispatched_free,
             dispatched_occ,
+            self.raycast.packet_stats().since(&packet_before),
         );
 
         if let Some(e) = capacity_error {
@@ -176,6 +183,7 @@ impl OmuAccelerator {
         dma_bytes: u64,
         dispatched_free: u64,
         dispatched_occ: u64,
+        packet_delta: PacketStats,
     ) {
         self.stats.scans += 1;
         self.stats.points += points;
@@ -184,6 +192,8 @@ impl OmuAccelerator {
         self.stats.voxel_updates += dispatched_free + dispatched_occ;
         self.stats.raycast_steps += dda_steps;
         self.stats.raycast_cycles += rc_cycles;
+        self.stats.raycast_packets += packet_delta.packets;
+        self.stats.raycast_supersteps += packet_delta.supersteps;
         self.stats.dma_cycles += dma_cycles;
         self.stats.dma_bytes += dma_bytes;
         self.stats.stall_cycles = self.scheduler.stall_cycles();
@@ -271,6 +281,7 @@ impl OmuAccelerator {
         let scheduler = &self.scheduler;
         let mut batch = std::mem::take(&mut self.scratch_batch);
         batch.clear();
+        let packet_before = self.raycast.packet_stats();
         let cast_result = self.raycast.cast_scan(scan, |u| {
             let mut sort_key = u.key.morton_code();
             if group_by_pe {
@@ -330,6 +341,7 @@ impl OmuAccelerator {
             dma_bytes,
             dispatched_free,
             dispatched_occ,
+            self.raycast.packet_stats().since(&packet_before),
         );
 
         if let Some(e) = capacity_error {

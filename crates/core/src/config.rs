@@ -1,7 +1,7 @@
 //! Accelerator configuration.
 
 use omu_geometry::OccupancyParams;
-use omu_raycast::IntegrationMode;
+use omu_raycast::{FrontEnd, IntegrationMode};
 use serde::{Deserialize, Serialize};
 
 use crate::error::ConfigError;
@@ -99,6 +99,11 @@ pub struct OmuConfig {
     pub max_range: Option<f64>,
     /// Scan integration mode (the hardware executes raywise updates).
     pub integration_mode: IntegrationMode,
+    /// DDA front end of the ray-casting unit: the paper's unit is an
+    /// 8-lane lockstep datapath ([`FrontEnd::Packet`], the default);
+    /// [`FrontEnd::Scalar`] models a one-ray-at-a-time unit for
+    /// ablations. Functional output is bit-identical either way.
+    pub front_end: FrontEnd,
     /// Whether tree pruning is enabled (ablation knob; paper: on).
     pub pruning_enabled: bool,
     /// PE datapath timing.
@@ -126,6 +131,7 @@ impl Default for OmuConfig {
             params: OccupancyParams::default(),
             max_range: None,
             integration_mode: IntegrationMode::Raywise,
+            front_end: FrontEnd::default(),
             pruning_enabled: true,
             timing: PeTiming::default(),
             axi_bus_bits: 128,
@@ -243,6 +249,13 @@ impl OmuConfigBuilder {
     /// Sets the integration mode.
     pub fn integration_mode(mut self, mode: IntegrationMode) -> Self {
         self.config.integration_mode = mode;
+        self
+    }
+
+    /// Selects the ray-casting unit's DDA front end (see
+    /// [`OmuConfig::front_end`]).
+    pub fn front_end(mut self, front_end: FrontEnd) -> Self {
+        self.config.front_end = front_end;
         self
     }
 

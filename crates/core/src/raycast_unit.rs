@@ -2,12 +2,20 @@
 //! Queues").
 //!
 //! Functionally identical to the software integrator in `omu-raycast`
-//! (it *is* one, wrapped), plus a cycle model: one DDA step per cycle with
-//! a small per-ray setup. Its latency is hidden behind the voxel updates —
-//! the accelerator charges `max(raycast, updates, DMA)` per scan.
+//! (it *is* one, wrapped), plus a cycle model. Under
+//! [`FrontEnd::Scalar`] the unit steps one ray per cycle (one DDA step
+//! per cycle with a small per-ray setup). Under [`FrontEnd::Packet`] —
+//! the default, mirroring the software packet front end — the unit is an
+//! 8-lane lockstep datapath: every live lane advances in the same cycle,
+//! so a scan costs one cycle per *superstep* rather than per step, and
+//! the realized speedup is the packet's lane occupancy. Its latency is
+//! hidden behind the voxel updates — the accelerator charges
+//! `max(raycast, updates, DMA)` per scan.
 
 use omu_geometry::{KeyConverter, KeyError, Scan};
-use omu_raycast::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+use omu_raycast::{
+    FrontEnd, IntegrationMode, IntegrationStats, PacketStats, ScanIntegrator, VoxelUpdate,
+};
 
 /// Cycle model + functional behavior of the ray-casting unit.
 #[derive(Debug, Clone)]
@@ -18,14 +26,41 @@ pub struct RayCastUnit {
 }
 
 impl RayCastUnit {
-    /// Creates the unit. The hardware performs raywise (non-deduplicated)
-    /// integration unless configured otherwise.
+    /// Creates the unit with the default (packet) front end. The hardware
+    /// performs raywise (non-deduplicated) integration unless configured
+    /// otherwise.
     pub fn new(conv: KeyConverter, max_range: Option<f64>, mode: IntegrationMode) -> Self {
+        Self::with_front_end(conv, max_range, mode, FrontEnd::default())
+    }
+
+    /// Creates the unit with an explicit DDA front end.
+    pub fn with_front_end(
+        conv: KeyConverter,
+        max_range: Option<f64>,
+        mode: IntegrationMode,
+        front_end: FrontEnd,
+    ) -> Self {
         RayCastUnit {
-            integrator: ScanIntegrator::new(conv, max_range, mode),
+            integrator: ScanIntegrator::with_front_end(conv, max_range, mode, front_end),
             setup_cycles_per_ray: 4,
             cycles_per_step: 1,
         }
+    }
+
+    /// The DDA front end the unit models.
+    pub fn front_end(&self) -> FrontEnd {
+        self.integrator.front_end()
+    }
+
+    /// Cumulative packet counters (all zero under [`FrontEnd::Scalar`]).
+    pub fn packet_stats(&self) -> PacketStats {
+        self.integrator.packet_stats()
+    }
+
+    /// Mean fraction of the unit's 8 lanes kept busy per lockstep cycle
+    /// so far (`0` under [`FrontEnd::Scalar`] or before any cast).
+    pub fn lane_occupancy(&self) -> f64 {
+        self.integrator.packet_stats().lane_occupancy()
     }
 
     /// Casts every ray of a scan, emitting voxel updates in stream order,
@@ -43,9 +78,20 @@ impl RayCastUnit {
     where
         F: FnMut(VoxelUpdate),
     {
+        let before = self.integrator.packet_stats();
         let stats = self.integrator.integrate(scan, emit)?;
-        let cycles =
-            stats.rays * self.setup_cycles_per_ray + stats.dda_steps * self.cycles_per_step;
+        let cycles = match self.integrator.front_end() {
+            FrontEnd::Scalar => {
+                stats.rays * self.setup_cycles_per_ray + stats.dda_steps * self.cycles_per_step
+            }
+            FrontEnd::Packet => {
+                // 8 lane-steppers advance in lockstep: one cycle per
+                // superstep, with per-ray setup unchanged (lane load is
+                // still sequential address generation).
+                let delta = self.integrator.packet_stats().since(&before);
+                stats.rays * self.setup_cycles_per_ray + delta.supersteps * self.cycles_per_step
+            }
+        };
         Ok((stats, cycles))
     }
 }
@@ -55,22 +101,16 @@ mod tests {
     use super::*;
     use omu_geometry::{Point3, PointCloud};
 
+    fn scan_of(points: &[Point3]) -> Scan {
+        Scan::new(Point3::ZERO, points.iter().copied().collect::<PointCloud>())
+    }
+
     #[test]
     fn cycles_scale_with_ray_length() {
         let conv = KeyConverter::new(0.1).unwrap();
         let mut unit = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
-        let short = Scan::new(
-            Point3::ZERO,
-            [Point3::new(0.5, 0.0, 0.0)]
-                .into_iter()
-                .collect::<PointCloud>(),
-        );
-        let long = Scan::new(
-            Point3::ZERO,
-            [Point3::new(5.0, 0.0, 0.0)]
-                .into_iter()
-                .collect::<PointCloud>(),
-        );
+        let short = scan_of(&[Point3::new(0.5, 0.0, 0.0)]);
+        let long = scan_of(&[Point3::new(5.0, 0.0, 0.0)]);
         let (_, c_short) = unit.cast_scan(&short, |_| {}).unwrap();
         let (_, c_long) = unit.cast_scan(&long, |_| {}).unwrap();
         assert!(c_long > c_short);
@@ -80,12 +120,7 @@ mod tests {
     fn emits_free_then_occupied_per_ray() {
         let conv = KeyConverter::new(0.1).unwrap();
         let mut unit = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
-        let scan = Scan::new(
-            Point3::ZERO,
-            [Point3::new(1.0, 0.0, 0.0)]
-                .into_iter()
-                .collect::<PointCloud>(),
-        );
+        let scan = scan_of(&[Point3::new(1.0, 0.0, 0.0)]);
         let mut updates = Vec::new();
         let (stats, cycles) = unit.cast_scan(&scan, |u| updates.push(u)).unwrap();
         assert_eq!(stats.occupied_updates, 1);
@@ -93,6 +128,31 @@ mod tests {
             updates.iter().next_back().unwrap().hit,
             "endpoint emitted last"
         );
-        assert!(cycles >= stats.dda_steps);
+        assert!(cycles >= stats.rays);
+    }
+
+    #[test]
+    fn packet_unit_charges_supersteps_not_steps() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        // 8 parallel rays of equal length: perfect lane occupancy, so the
+        // packet unit should charge ~1/8 of the scalar unit's step cycles.
+        let points: Vec<Point3> = (0..8)
+            .map(|i| Point3::new(3.0, i as f64 * 0.05, 0.0))
+            .collect();
+        let scan = scan_of(&points);
+
+        let mut packet = RayCastUnit::new(conv, None, IntegrationMode::Raywise);
+        let mut scalar =
+            RayCastUnit::with_front_end(conv, None, IntegrationMode::Raywise, FrontEnd::Scalar);
+        let (ps, packet_cycles) = packet.cast_scan(&scan, |_| {}).unwrap();
+        let (ss, scalar_cycles) = scalar.cast_scan(&scan, |_| {}).unwrap();
+        assert_eq!(ps, ss, "front ends are functionally identical");
+        assert!(
+            packet_cycles < scalar_cycles,
+            "lockstep lanes must cost fewer cycles ({packet_cycles} vs {scalar_cycles})"
+        );
+        let occ = packet.lane_occupancy();
+        assert!(occ > 0.9, "equal-length rays should fill lanes, got {occ}");
+        assert_eq!(scalar.packet_stats(), PacketStats::default());
     }
 }

@@ -120,6 +120,12 @@ pub struct AccelStats {
     pub raycast_steps: u64,
     /// Ray-casting unit cycles (overlapped with PE work).
     pub raycast_cycles: u64,
+    /// Ray packets cast by the 8-lane lockstep front end (zero under the
+    /// scalar front end).
+    pub raycast_packets: u64,
+    /// Lockstep supersteps executed by the packet front end — its cycle
+    /// currency: every live lane advances once per superstep.
+    pub raycast_supersteps: u64,
     /// AXI DMA cycles for point-cloud transfer (overlapped).
     pub dma_cycles: u64,
     /// Bytes DMA-transferred from the host.
@@ -138,6 +144,16 @@ pub struct AccelStats {
 }
 
 impl AccelStats {
+    /// Mean fraction of the ray-casting unit's 8 lanes kept busy per
+    /// lockstep superstep (`0` under the scalar front end).
+    pub fn raycast_lane_occupancy(&self) -> f64 {
+        if self.raycast_supersteps == 0 {
+            0.0
+        } else {
+            self.raycast_steps as f64 / (self.raycast_supersteps * 8) as f64
+        }
+    }
+
     /// Sum of PE busy cycles.
     pub fn pe_busy_total(&self) -> u64 {
         self.per_pe.iter().map(|p| p.busy_cycles).sum()

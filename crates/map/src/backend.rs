@@ -6,7 +6,7 @@ use omu_geometry::{
     FixedLogOdds, KeyConverter, LogOdds, Occupancy, Point3, PointCloud, Scan, VoxelKey,
 };
 use omu_octree::{LeafInfo, OccupancyOctree, OpCounters, QueryCounters, RayCastResult};
-use omu_raycast::IntegrationStats;
+use omu_raycast::{FrontEnd, IntegrationStats};
 
 use crate::engine::Engine;
 use crate::error::MapError;
@@ -29,6 +29,9 @@ pub trait MapBackend: std::fmt::Debug {
 
     /// The key/coordinate converter (shared by both backends).
     fn converter(&self) -> &KeyConverter;
+
+    /// The ray-casting DDA front end the backend integrates scans with.
+    fn front_end(&self) -> FrontEnd;
 
     /// Integrates one scan through the path selected by `engine`.
     ///
@@ -157,6 +160,10 @@ impl<V: LogOdds> MapBackend for OccupancyOctree<V> {
         OccupancyOctree::converter(self)
     }
 
+    fn front_end(&self) -> FrontEnd {
+        OccupancyOctree::front_end(self)
+    }
+
     fn insert_scan(&mut self, scan: &Scan, engine: Engine) -> Result<IntegrationStats, MapError> {
         let stats = match engine.shards() {
             None => match engine {
@@ -279,6 +286,10 @@ impl MapBackend for OmuAccelerator {
 
     fn converter(&self) -> &KeyConverter {
         OmuAccelerator::converter(self)
+    }
+
+    fn front_end(&self) -> FrontEnd {
+        self.config().front_end
     }
 
     fn insert_scan(&mut self, scan: &Scan, engine: Engine) -> Result<IntegrationStats, MapError> {

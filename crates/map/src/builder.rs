@@ -3,7 +3,7 @@
 use omu_core::{OmuAccelerator, OmuConfig};
 use omu_geometry::OccupancyParams;
 use omu_octree::{OctreeF32, OctreeFixed};
-use omu_raycast::IntegrationMode;
+use omu_raycast::{FrontEnd, IntegrationMode};
 
 use crate::engine::Engine;
 use crate::error::MapError;
@@ -84,6 +84,7 @@ pub struct MapBuilder {
     engine: Engine,
     backend: Backend,
     integration_mode: IntegrationMode,
+    front_end: FrontEnd,
     max_range: Option<f64>,
     pruning: bool,
     change_detection: bool,
@@ -100,6 +101,7 @@ impl MapBuilder {
             engine: Engine::default(),
             backend: Backend::default(),
             integration_mode: IntegrationMode::default(),
+            front_end: FrontEnd::default(),
             max_range: None,
             pruning: true,
             change_detection: false,
@@ -128,6 +130,16 @@ impl MapBuilder {
     /// [`IntegrationMode::Raywise`], the workload the paper counts).
     pub fn integration_mode(mut self, mode: IntegrationMode) -> Self {
         self.integration_mode = mode;
+        self
+    }
+
+    /// Selects the ray-casting DDA front end (default:
+    /// [`FrontEnd::Packet`], the 8-lane SoA packet stepper). The two
+    /// front ends produce bit-identical maps; [`FrontEnd::Scalar`] exists
+    /// for ablations and as the reference the equivalence suite checks
+    /// the packet path against.
+    pub fn front_end(mut self, front_end: FrontEnd) -> Self {
+        self.front_end = front_end;
         self
     }
 
@@ -186,6 +198,7 @@ impl MapBuilder {
                 config.params = self.params;
                 config.max_range = self.max_range;
                 config.integration_mode = self.integration_mode;
+                config.front_end = self.front_end;
                 config.pruning_enabled = self.pruning;
                 Inner::Accelerator(Box::new(OmuAccelerator::new(config)?))
             }
@@ -195,6 +208,7 @@ impl MapBuilder {
 
     fn configure_tree<V: omu_geometry::LogOdds>(&self, tree: &mut omu_octree::OccupancyOctree<V>) {
         tree.set_integration_mode(self.integration_mode);
+        tree.set_front_end(self.front_end);
         tree.set_max_range(self.max_range);
         tree.set_pruning_enabled(self.pruning);
         tree.set_change_detection(self.change_detection);
@@ -242,6 +256,23 @@ mod tests {
         assert_eq!(map.resolution(), 0.1);
         let accel = map.accelerator().unwrap();
         assert_eq!(accel.config().max_range, Some(5.0));
+    }
+
+    #[test]
+    fn front_end_knob_reaches_both_backends() {
+        let sw = MapBuilder::new(0.1).build().unwrap();
+        assert_eq!(sw.front_end(), FrontEnd::Packet, "packet is the default");
+        let sw = MapBuilder::new(0.1)
+            .front_end(FrontEnd::Scalar)
+            .build()
+            .unwrap();
+        assert_eq!(sw.front_end(), FrontEnd::Scalar);
+        let hw = MapBuilder::new(0.1)
+            .front_end(FrontEnd::Scalar)
+            .backend(Backend::Accelerator(OmuConfig::default()))
+            .build()
+            .unwrap();
+        assert_eq!(hw.front_end(), FrontEnd::Scalar);
     }
 
     #[test]

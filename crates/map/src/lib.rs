@@ -70,3 +70,4 @@ pub use builder::{Backend, MapBuilder};
 pub use engine::{Engine, ParseEngineError, MAX_SHARDS};
 pub use error::MapError;
 pub use map::{OccupancyMap, QueryView};
+pub use omu_raycast::FrontEnd;

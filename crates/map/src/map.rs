@@ -113,6 +113,12 @@ impl OccupancyMap {
         self.backend().backend_name()
     }
 
+    /// The ray-casting DDA front end scans are integrated with
+    /// (default: [`omu_raycast::FrontEnd::Packet`]).
+    pub fn front_end(&self) -> omu_raycast::FrontEnd {
+        self.backend().front_end()
+    }
+
     /// The map resolution in metres.
     pub fn resolution(&self) -> f64 {
         self.converter().resolution()

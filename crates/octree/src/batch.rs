@@ -178,6 +178,43 @@ impl<V> Default for BatchScratch<V> {
     }
 }
 
+/// The receiving end of
+/// [`apply_update_stream`](OccupancyOctree::apply_update_stream): a
+/// concrete (monomorphizable) sink, so the streaming group-by inlines
+/// into the emitter's hot loop — a `dyn FnMut` here would cost an
+/// indirect call per update.
+#[derive(Debug)]
+pub struct UpdateSink<'a, V> {
+    scratch: &'a mut BatchScratch<V>,
+}
+
+impl<V> UpdateSink<'_, V> {
+    /// Feeds one hit/miss update into the streaming batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the stream exceeds `u32::MAX / 2` updates.
+    #[inline]
+    pub fn push(&mut self, u: VoxelUpdate) {
+        let scratch = &mut *self.scratch;
+        assert!(
+            scratch.ids.len() < (u32::MAX >> 1) as usize,
+            "batch too large to index with u32"
+        );
+        let new_id = scratch.keys.len() as u32;
+        let id = match scratch.group_of.get_or_insert(packed_key(u.key), new_id) {
+            Some(existing) => existing,
+            None => {
+                scratch.keys.push((u.key.morton_code(), u.key));
+                scratch.cursors.push(0);
+                new_id
+            }
+        };
+        scratch.cursors[id as usize] += 1;
+        scratch.ids.push((id << 1) | u32::from(u.hit));
+    }
+}
+
 /// How a batch's per-voxel sequences are stored and replayed.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum DeltaMode<V> {
@@ -255,7 +292,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let miss = self.resolved.miss;
         self.apply_batch_with(
             updates,
-            move |u| (u.key, if u.hit { hit } else { miss }),
+            |u| u.key,
+            |u| u8::from(u.hit),
+            |_| V::ZERO,
             DeltaMode::HitMiss { hit, miss },
             None,
         )
@@ -276,7 +315,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let miss = self.resolved.miss;
         self.apply_batch_with(
             updates,
-            move |u| (u.key, if u.hit { hit } else { miss }),
+            |u| u.key,
+            |u| u8::from(u.hit),
+            |_| V::ZERO,
             DeltaMode::HitMiss { hit, miss },
             Some(shards),
         )
@@ -285,7 +326,14 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// Applies a batch of raw log-odds deltas (the generic form of
     /// [`apply_update_batch`](Self::apply_update_batch)).
     pub fn apply_logodds_batch(&mut self, updates: &[(VoxelKey, V)]) -> BatchStats {
-        self.apply_batch_with(updates, |&(key, delta)| (key, delta), DeltaMode::Raw, None)
+        self.apply_batch_with(
+            updates,
+            |&(key, _)| key,
+            |_| 0,
+            |&(_, delta)| delta,
+            DeltaMode::Raw,
+            None,
+        )
     }
 
     /// [`apply_logodds_batch`](Self::apply_logodds_batch) through the
@@ -298,7 +346,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
     ) -> BatchStats {
         self.apply_batch_with(
             updates,
-            |&(key, delta)| (key, delta),
+            |&(key, _)| key,
+            |_| 0,
+            |&(_, delta)| delta,
             DeltaMode::Raw,
             Some(shards),
         )
@@ -308,15 +358,26 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// unique keys, then one cached-descent walk replaying each group's
     /// delta sequence with deferred finishing — sequential
     /// (`parallel_shards: None`) or subtree-sharded across threads.
-    fn apply_batch_with<T, G>(
+    ///
+    /// The accessors are split so each pass extracts exactly what it
+    /// needs from the update stream: `key_of` feeds the group-by,
+    /// `bit_of`/`delta_of` feed the mode's scatter (hit/miss batches
+    /// scatter one byte per update without ever materializing a log-odds
+    /// delta — on an 11M-update scan stream that is a full pass of
+    /// avoided float selects and compares).
+    fn apply_batch_with<T, K, B, D>(
         &mut self,
         updates: &[T],
-        get: G,
+        key_of: K,
+        bit_of: B,
+        delta_of: D,
         mode: DeltaMode<V>,
         parallel_shards: Option<usize>,
     ) -> BatchStats
     where
-        G: Fn(&T) -> (VoxelKey, V),
+        K: Fn(&T) -> VoxelKey,
+        B: Fn(&T) -> u8,
+        D: Fn(&T) -> V,
     {
         let mut stats = BatchStats {
             updates: updates.len() as u64,
@@ -344,7 +405,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         scratch.ids.clear();
         scratch.ids.reserve(updates.len());
         for u in updates {
-            let (key, _) = get(u);
+            let key = key_of(u);
             let new_id = scratch.keys.len() as u32;
             let id = match scratch.group_of.get_or_insert(packed_key(key), new_id) {
                 Some(existing) => existing,
@@ -376,13 +437,12 @@ impl<V: LogOdds> OccupancyOctree<V> {
         // difference between a 4× larger and a 1× working set on the
         // engine's main cache-miss producer.
         match mode {
-            DeltaMode::HitMiss { hit, .. } => {
+            DeltaMode::HitMiss { .. } => {
                 scratch.bits.clear();
                 scratch.bits.resize(updates.len(), 0);
                 for (u, &id) in updates.iter().zip(&scratch.ids) {
-                    let (_, delta) = get(u);
                     let cursor = &mut scratch.cursors[id as usize];
-                    scratch.bits[*cursor as usize] = u8::from(delta == hit);
+                    scratch.bits[*cursor as usize] = bit_of(u);
                     *cursor += 1;
                 }
             }
@@ -390,14 +450,102 @@ impl<V: LogOdds> OccupancyOctree<V> {
                 scratch.deltas.clear();
                 scratch.deltas.resize(updates.len(), V::ZERO);
                 for (u, &id) in updates.iter().zip(&scratch.ids) {
-                    let (_, delta) = get(u);
                     let cursor = &mut scratch.cursors[id as usize];
-                    scratch.deltas[*cursor as usize] = delta;
+                    scratch.deltas[*cursor as usize] = delta_of(u);
                     *cursor += 1;
                 }
             }
         }
 
+        self.finish_grouped_batch(scratch, mode, &mut stats, parallel_shards);
+        stats
+    }
+
+    /// The streaming form of [`apply_update_batch`](Self::apply_update_batch):
+    /// `fill` is handed an [`UpdateSink`] and pushes hit/miss updates
+    /// through it one at a time; the group-by pass runs as the stream
+    /// arrives, so the update stream is never materialized. The per-update
+    /// observation bit travels packed into the low bit of the group-id
+    /// word, which is also what lets the scatter pass run without a
+    /// second look at the stream. The resulting tree is bit-identical to
+    /// collecting the same stream into a slice and calling
+    /// `apply_update_batch`.
+    ///
+    /// Returns `fill`'s result alongside the batch statistics (an empty
+    /// stream touches nothing and reports zero updates).
+    pub fn apply_update_stream<R>(
+        &mut self,
+        parallel_shards: Option<usize>,
+        fill: impl FnOnce(&mut UpdateSink<'_, V>) -> R,
+    ) -> (R, BatchStats) {
+        let hit = self.resolved.hit;
+        let miss = self.resolved.miss;
+
+        let mut scratch = std::mem::take(&mut self.batch_scratch);
+        scratch.group_of.clear();
+        scratch.keys.clear();
+        scratch.starts.clear();
+        scratch.cursors.clear();
+        scratch.order.clear();
+        scratch.ids.clear();
+
+        // Pass 1, online: group updates by key as they stream in.
+        let result = fill(&mut UpdateSink {
+            scratch: &mut scratch,
+        });
+
+        let mut stats = BatchStats {
+            updates: scratch.ids.len() as u64,
+            ..BatchStats::default()
+        };
+        if scratch.ids.is_empty() {
+            self.batch_scratch = scratch;
+            return (result, stats);
+        }
+
+        // Turn counts into ranges (see `apply_batch_with`).
+        let mut offset = 0u32;
+        scratch.starts.reserve(scratch.keys.len());
+        for cursor in &mut scratch.cursors {
+            let count = *cursor;
+            scratch.starts.push(offset);
+            *cursor = offset;
+            offset += count;
+        }
+
+        // Scatter straight from the packed id words.
+        scratch.bits.clear();
+        scratch.bits.resize(scratch.ids.len(), 0);
+        {
+            let ids = &scratch.ids;
+            let cursors = &mut scratch.cursors;
+            let bits = &mut scratch.bits;
+            for &packed in ids {
+                let cursor = &mut cursors[(packed >> 1) as usize];
+                bits[*cursor as usize] = (packed & 1) as u8;
+                *cursor += 1;
+            }
+        }
+
+        self.finish_grouped_batch(
+            scratch,
+            DeltaMode::HitMiss { hit, miss },
+            &mut stats,
+            parallel_shards,
+        );
+        (result, stats)
+    }
+
+    /// Shared tail of the batched paths, from grouped-and-scattered
+    /// scratch to finished tree: Morton sort of the unique keys, the
+    /// cached-descent walk, and counter accounting.
+    fn finish_grouped_batch(
+        &mut self,
+        mut scratch: BatchScratch<V>,
+        mode: DeltaMode<V>,
+        stats: &mut BatchStats,
+        parallel_shards: Option<usize>,
+    ) {
         // Morton order over unique keys only (all distinct, so an
         // unstable sort is fine).
         scratch.order.extend(0..scratch.keys.len() as u32);
@@ -416,10 +564,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
         }
 
         match parallel_shards {
-            None => self.walk_sequential(&scratch, mode, &mut stats, root_just_created),
-            Some(shards) => {
-                self.walk_sharded(&scratch, mode, &mut stats, root_just_created, shards)
-            }
+            None => self.walk_sequential(&scratch, mode, stats, root_just_created),
+            Some(shards) => self.walk_sharded(&scratch, mode, stats, root_just_created, shards),
         }
 
         self.batch_scratch = scratch;
@@ -427,7 +573,6 @@ impl<V: LogOdds> OccupancyOctree<V> {
         self.counters.batch_coalesced += stats.coalesced;
         self.counters.batch_reused_levels += stats.reused_levels;
         self.counters.batch_deferred_finishes += stats.deferred_finishes;
-        stats
     }
 
     /// The sequential cached-descent walk over the grouped, Morton-sorted

@@ -59,8 +59,19 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// single place the cache-validity condition lives.
     fn take_scratch_integrator(&mut self) -> ScanIntegrator {
         match self.scratch_integrator.take() {
-            Some(i) if i.mode() == self.integration_mode && i.max_range() == self.max_range => i,
-            _ => ScanIntegrator::new(self.conv, self.max_range, self.integration_mode),
+            Some(i)
+                if i.mode() == self.integration_mode
+                    && i.max_range() == self.max_range
+                    && i.front_end() == self.front_end =>
+            {
+                i
+            }
+            _ => ScanIntegrator::with_front_end(
+                self.conv,
+                self.max_range,
+                self.integration_mode,
+                self.front_end,
+            ),
         }
     }
 
@@ -105,12 +116,16 @@ impl<V: LogOdds> OccupancyOctree<V> {
     pub fn insert_scan_batched(&mut self, scan: &Scan) -> Result<IntegrationStats, KeyError> {
         let mut integrator = self.take_scratch_integrator();
 
-        let mut updates = std::mem::take(&mut self.scratch_updates);
-        updates.clear();
-        let result = integrator.integrate_into(scan, &mut updates);
+        // Stream the front end's emission straight into the batch
+        // engine's group-by pass: the scan's update stream is never
+        // materialized (a full write+read of ~8 bytes per update saved).
+        let (result, _) =
+            self.apply_update_stream(None, |sink| integrator.integrate(scan, |u| sink.push(u)));
         self.scratch_integrator = Some(integrator);
 
-        self.finish_batched_insert(result, updates, None)
+        let stats = result?;
+        self.counters.dda_steps += stats.dda_steps;
+        Ok(stats)
     }
 
     /// Integrates a full scan with ray casting fanned out over `threads`
@@ -157,12 +172,36 @@ impl<V: LogOdds> OccupancyOctree<V> {
             Some(p)
                 if p.mode() == self.integration_mode
                     && p.max_range() == self.max_range
-                    && p.shards() == shards =>
+                    && p.shards() == shards
+                    && p.front_end() == self.front_end =>
             {
                 p
             }
-            _ => ScanPipeline::new(self.conv, self.max_range, self.integration_mode, shards),
+            _ => ScanPipeline::with_front_end(
+                self.conv,
+                self.max_range,
+                self.integration_mode,
+                shards,
+                self.front_end,
+            ),
         };
+
+        // On the inline path (one shard, or a scan below the fan-out
+        // threshold) there is no merge step, so the worker's emission can
+        // stream straight into the batch engine like the sequential
+        // batched path — the parallel engine then pays zero buffering
+        // when parallelism would not help.
+        if pipeline.mode() == omu_raycast::IntegrationMode::Raywise
+            && pipeline.would_run_inline(points.len())
+        {
+            let (result, _) = self.apply_update_stream(None, |sink| {
+                pipeline.integrate_inline(origin, points, |u| sink.push(u))
+            });
+            self.scratch_pipeline = Some(pipeline);
+            let stats = result?;
+            self.counters.dda_steps += stats.dda_steps;
+            return Ok(stats);
+        }
 
         let mut updates = std::mem::take(&mut self.scratch_updates);
         updates.clear();
@@ -320,6 +359,57 @@ mod tests {
 
         assert_eq!(scalar.snapshot(), batched.snapshot());
         assert_eq!(scalar.snapshot(), parallel.snapshot());
+    }
+
+    #[test]
+    fn front_end_switch_is_not_cached_stale() {
+        use omu_raycast::FrontEnd;
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let s = scan(Point3::ZERO, &[Point3::new(0.5, 0.0, 0.0)]);
+        t.insert_scan_batched(&s).unwrap();
+        assert_eq!(
+            t.scratch_integrator.as_ref().unwrap().front_end(),
+            FrontEnd::Packet
+        );
+        t.set_front_end(FrontEnd::Scalar);
+        t.insert_scan_batched(&s).unwrap();
+        assert_eq!(
+            t.scratch_integrator.as_ref().unwrap().front_end(),
+            FrontEnd::Scalar
+        );
+        t.insert_scan_parallel(&s, 2).unwrap();
+        assert_eq!(
+            t.scratch_pipeline.as_ref().unwrap().front_end(),
+            FrontEnd::Scalar
+        );
+    }
+
+    #[test]
+    fn front_end_choice_is_bit_identical() {
+        use omu_raycast::FrontEnd;
+        let scans: Vec<Scan> = (0..4)
+            .map(|i| {
+                let a = i as f64 * 0.9;
+                scan(
+                    Point3::new(0.05, 0.05, 0.05),
+                    &[
+                        Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.3),
+                        Point3::new(-1.2, 0.7 + a * 0.1, -0.4),
+                        Point3::new(0.8, -1.5, a * 0.2),
+                    ],
+                )
+            })
+            .collect();
+        let mut packet = OctreeF32::new(0.1).unwrap();
+        let mut scalar = OctreeF32::new(0.1).unwrap();
+        scalar.set_front_end(FrontEnd::Scalar);
+        for s in &scans {
+            let a = packet.insert_scan_batched(s).unwrap();
+            let b = scalar.insert_scan_batched(s).unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(packet.snapshot(), scalar.snapshot());
+        assert_eq!(packet.counters(), scalar.counters());
     }
 
     #[test]

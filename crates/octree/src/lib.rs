@@ -85,7 +85,7 @@ mod tree;
 mod update;
 mod walk;
 
-pub use batch::BatchStats;
+pub use batch::{BatchStats, UpdateSink};
 pub use counters::{OpCounters, QueryCounters};
 pub use io::ReadError;
 pub use iter::{LeafInfo, LeafIter};

@@ -4,7 +4,7 @@ use omu_geometry::{
     KeyConverter, KeyError, LogOdds, Occupancy, OccupancyParams, Point3, ResolutionError,
     ResolvedParams, VoxelKey, TREE_DEPTH,
 };
-use omu_raycast::{IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
+use omu_raycast::{FrontEnd, IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
 use rustc_hash::FxHashSet;
 
 use crate::arena::{handle, Arena, NodeStore};
@@ -30,6 +30,7 @@ pub struct OccupancyOctree<V: LogOdds> {
     pub(crate) early_abort_saturated: bool,
     pub(crate) pruning_enabled: bool,
     pub(crate) integration_mode: IntegrationMode,
+    pub(crate) front_end: FrontEnd,
     pub(crate) max_range: Option<f64>,
     pub(crate) scratch_integrator: Option<ScanIntegrator>,
     pub(crate) scratch_pipeline: Option<ScanPipeline>,
@@ -83,6 +84,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
             early_abort_saturated: true,
             pruning_enabled: true,
             integration_mode: IntegrationMode::default(),
+            front_end: FrontEnd::default(),
             max_range: None,
             scratch_integrator: None,
             scratch_pipeline: None,
@@ -173,6 +175,21 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// The scan-integration mode.
     pub fn integration_mode(&self) -> IntegrationMode {
         self.integration_mode
+    }
+
+    /// Sets the DDA front end scan integration runs through (default:
+    /// [`FrontEnd::Packet`], the 8-lane lockstep walk). Both front ends
+    /// produce bit-identical trees and counters; [`FrontEnd::Scalar`] is
+    /// the reference implementation.
+    pub fn set_front_end(&mut self, front_end: FrontEnd) {
+        self.front_end = front_end;
+        self.scratch_integrator = None;
+        self.scratch_pipeline = None;
+    }
+
+    /// The DDA front end in use.
+    pub fn front_end(&self) -> FrontEnd {
+        self.front_end
     }
 
     /// Sets the maximum sensor range in metres (`None` = unlimited).

@@ -135,6 +135,27 @@ impl<S: NodeStore<V>, V: LogOdds, C: ChangeLog> WalkCtx<'_, S, V, C> {
         miss: V,
         just_created: bool,
     ) -> V {
+        if self.changed.is_none() {
+            // Lane-friendly replay for the common no-change-detection
+            // case: the hit/miss branch becomes a two-entry table index
+            // and `clamp_to` is comparison-based, so the loop body is
+            // branch-free (select + min/max) and the value never leaves a
+            // register. This is the batch engine's hottest loop — one
+            // iteration per voxel update.
+            let clamp_min = self.resolved.clamp_min;
+            let clamp_max = self.resolved.clamp_max;
+            let lut = [miss, hit];
+            let slot = self.store.leaf_value_mut(leaf);
+            let mut value = *slot;
+            for &b in bits {
+                value = value
+                    .add(lut[usize::from(b != 0)])
+                    .clamp_to(clamp_min, clamp_max);
+            }
+            *slot = value;
+            self.counters.leaf_updates += bits.len() as u64;
+            return value;
+        }
         self.replay_leaf(
             leaf,
             key,

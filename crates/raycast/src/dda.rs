@@ -54,34 +54,14 @@ pub fn compute_ray_keys(
     debug_assert!(length > 0.0, "distinct keys imply distinct points");
     let dir = direction / length;
 
-    let res = conv.resolution();
     let mut current = [
         key_origin.x as i32,
         key_origin.y as i32,
         key_origin.z as i32,
     ];
     let end_key = [key_end.x as i32, key_end.y as i32, key_end.z as i32];
-    let mut step = [0i32; 3];
-    let mut t_max = [f64::INFINITY; 3];
-    let mut t_delta = [f64::INFINITY; 3];
-
-    for axis in 0..3 {
-        let d = dir[axis];
-        step[axis] = if d > 0.0 {
-            1
-        } else if d < 0.0 {
-            -1
-        } else {
-            0
-        };
-        if step[axis] != 0 {
-            // Distance along the ray to the first voxel border on this axis.
-            let voxel_border =
-                conv.axis_key_to_coord(current[axis] as u16) + step[axis] as f64 * res * 0.5;
-            t_max[axis] = (voxel_border - origin[axis]) / d;
-            t_delta[axis] = res / d.abs();
-        }
-    }
+    let res = conv.resolution();
+    let (step, mut t_max, t_delta) = dda_setup(conv, origin, dir, current);
 
     let mut steps: u64 = 0;
     loop {
@@ -127,6 +107,43 @@ pub fn compute_ray_keys(
     }
 
     Ok(steps)
+}
+
+/// Computes the per-axis DDA parameters `(step, t_max, t_delta)` for one
+/// ray with unit direction `dir`, starting in the voxel `current`.
+///
+/// Shared by [`compute_ray_keys`], [`RayWalk`] and the packet front end
+/// ([`crate::RayPacket`]) so every traversal flavour derives its walk
+/// state from the exact same floating-point operations — the packet DDA's
+/// bit-identity to the scalar DDA rests on this.
+pub(crate) fn dda_setup(
+    conv: &KeyConverter,
+    origin: Point3,
+    dir: Point3,
+    current: [i32; 3],
+) -> ([i32; 3], [f64; 3], [f64; 3]) {
+    let res = conv.resolution();
+    let mut step = [0i32; 3];
+    let mut t_max = [f64::INFINITY; 3];
+    let mut t_delta = [f64::INFINITY; 3];
+    for axis in 0..3 {
+        let d = dir[axis];
+        step[axis] = if d > 0.0 {
+            1
+        } else if d < 0.0 {
+            -1
+        } else {
+            0
+        };
+        if step[axis] != 0 {
+            // Distance along the ray to the first voxel border on this axis.
+            let voxel_border =
+                conv.axis_key_to_coord(current[axis] as u16) + step[axis] as f64 * res * 0.5;
+            t_max[axis] = (voxel_border - origin[axis]) / d;
+            t_delta[axis] = res / d.abs();
+        }
+    }
+    (step, t_max, t_delta)
 }
 
 /// An open-ended DDA walk from an origin along a direction.
@@ -224,31 +241,15 @@ impl RayWalk {
             .filter(|d| d.is_finite())
             .ok_or(KeyError::NotFinite { coord: dir.norm() })?;
 
-        let res = conv.resolution();
         self.current = [
             key_origin.x as i32,
             key_origin.y as i32,
             key_origin.z as i32,
         ];
-        self.step = [0i32; 3];
-        self.t_max = [f64::INFINITY; 3];
-        self.t_delta = [f64::INFINITY; 3];
-        for axis in 0..3 {
-            let d = dir[axis];
-            self.step[axis] = if d > 0.0 {
-                1
-            } else if d < 0.0 {
-                -1
-            } else {
-                0
-            };
-            if self.step[axis] != 0 {
-                let voxel_border = conv.axis_key_to_coord(self.current[axis] as u16)
-                    + self.step[axis] as f64 * res * 0.5;
-                self.t_max[axis] = (voxel_border - origin[axis]) / d;
-                self.t_delta[axis] = res / d.abs();
-            }
-        }
+        let (step, t_max, t_delta) = dda_setup(conv, origin, dir, self.current);
+        self.step = step;
+        self.t_max = t_max;
+        self.t_delta = t_delta;
         self.done = false;
         Ok(())
     }

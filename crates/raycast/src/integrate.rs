@@ -6,6 +6,31 @@ use serde::{Deserialize, Serialize};
 
 use crate::dda::compute_ray_keys;
 use crate::keyray::KeyRay;
+use crate::packet::{FrontEnd, LaneOutcome, PacketStats, RayPacket, PACKET_LANES};
+
+/// Computes the effective endpoint of a ray under the range limit.
+///
+/// Returns `(endpoint, truncated)`. Shared by the scalar integrator and
+/// the packet front end so both truncate with identical floating-point
+/// operations.
+pub(crate) fn effective_endpoint(
+    max_range: Option<f64>,
+    origin: Point3,
+    point: Point3,
+) -> (Point3, bool) {
+    match max_range {
+        Some(r) => {
+            let v = point - origin;
+            let len = v.norm();
+            if len > r && len > 0.0 {
+                (origin + v * (r / len), true)
+            } else {
+                (point, false)
+            }
+        }
+        None => (point, false),
+    }
+}
 
 /// One voxel observation produced by scan integration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -97,7 +122,11 @@ pub struct ScanIntegrator {
     conv: KeyConverter,
     max_range: Option<f64>,
     mode: IntegrationMode,
+    front_end: FrontEnd,
     keyray: KeyRay,
+    /// Lockstep walk state for [`FrontEnd::Packet`] (idle under
+    /// [`FrontEnd::Scalar`]).
+    packet: RayPacket,
     // Fx instead of SipHash: the dedup sets hash millions of structured,
     // non-adversarial voxel keys per scan, so the cheaper mix is a
     // measurable integration-path win.
@@ -118,11 +147,24 @@ impl ScanIntegrator {
     /// limit are truncated and update only free cells up to the limit
     /// (OctoMap `maxrange` semantics). `None` integrates rays at any length.
     pub fn new(conv: KeyConverter, max_range: Option<f64>, mode: IntegrationMode) -> Self {
+        Self::with_front_end(conv, max_range, mode, FrontEnd::default())
+    }
+
+    /// Creates an integrator with an explicit DDA front end (see
+    /// [`FrontEnd`]; [`Self::new`] uses the default, [`FrontEnd::Packet`]).
+    pub fn with_front_end(
+        conv: KeyConverter,
+        max_range: Option<f64>,
+        mode: IntegrationMode,
+        front_end: FrontEnd,
+    ) -> Self {
         ScanIntegrator {
             conv,
             max_range,
             mode,
+            front_end,
             keyray: KeyRay::new(),
+            packet: RayPacket::new(),
             free_set: FxHashSet::default(),
             occupied_set: FxHashSet::default(),
             free_high_water: 0,
@@ -143,6 +185,24 @@ impl ScanIntegrator {
     /// The configured maximum sensor range.
     pub fn max_range(&self) -> Option<f64> {
         self.max_range
+    }
+
+    /// The DDA front end in use.
+    pub fn front_end(&self) -> FrontEnd {
+        self.front_end
+    }
+
+    /// Switches the DDA front end. Both front ends emit bit-identical
+    /// update streams; this exists for benchmarking and as a reference
+    /// fallback.
+    pub fn set_front_end(&mut self, front_end: FrontEnd) {
+        self.front_end = front_end;
+    }
+
+    /// Cumulative packet front-end counters (all zero while running
+    /// [`FrontEnd::Scalar`]).
+    pub fn packet_stats(&self) -> PacketStats {
+        self.packet.stats()
     }
 
     /// Integrates one scan, invoking `apply` for every voxel update in
@@ -182,15 +242,21 @@ impl ScanIntegrator {
         F: FnMut(VoxelUpdate),
     {
         // Validate the origin once up front: a bad origin poisons all rays.
-        self.conv.coord_to_key(origin)?;
+        let key_origin = self.conv.coord_to_key(origin)?;
 
         let mut stats = IntegrationStats::default();
-        match self.mode {
-            IntegrationMode::Raywise => {
+        match (self.mode, self.front_end) {
+            (IntegrationMode::Raywise, FrontEnd::Scalar) => {
                 self.integrate_raywise(origin, points, &mut stats, &mut apply)
             }
-            IntegrationMode::DedupPerScan => {
+            (IntegrationMode::Raywise, FrontEnd::Packet) => {
+                self.integrate_raywise_packet(origin, key_origin, points, &mut stats, &mut apply)
+            }
+            (IntegrationMode::DedupPerScan, FrontEnd::Scalar) => {
                 self.integrate_dedup(origin, points, &mut stats, &mut apply)
+            }
+            (IntegrationMode::DedupPerScan, FrontEnd::Packet) => {
+                self.integrate_dedup_packet(origin, key_origin, points, &mut stats, &mut apply)
             }
         }
         Ok(stats)
@@ -229,18 +295,7 @@ impl ScanIntegrator {
     ///
     /// Returns `(endpoint, truncated)`.
     fn effective_endpoint(&self, origin: Point3, point: Point3) -> (Point3, bool) {
-        match self.max_range {
-            Some(r) => {
-                let v = point - origin;
-                let len = v.norm();
-                if len > r && len > 0.0 {
-                    (origin + v * (r / len), true)
-                } else {
-                    (point, false)
-                }
-            }
-            None => (point, false),
-        }
+        effective_endpoint(self.max_range, origin, point)
     }
 
     fn integrate_raywise<F>(
@@ -281,6 +336,111 @@ impl ScanIntegrator {
                 stats.occupied_updates += 1;
             }
         }
+    }
+
+    /// [`FrontEnd::Packet`] form of [`Self::integrate_raywise`]: casts
+    /// rays in groups of [`PACKET_LANES`], then drains lanes in ray order
+    /// so the emitted stream is byte-identical to the scalar front end's.
+    fn integrate_raywise_packet<F>(
+        &mut self,
+        origin: Point3,
+        key_origin: VoxelKey,
+        points: &[Point3],
+        stats: &mut IntegrationStats,
+        apply: &mut F,
+    ) where
+        F: FnMut(VoxelUpdate),
+    {
+        for chunk in points.chunks(PACKET_LANES) {
+            self.packet
+                .cast(&self.conv, origin, key_origin, chunk, self.max_range);
+            for l in 0..chunk.len() {
+                let hit = match self.packet.outcome(l) {
+                    LaneOutcome::Discarded => {
+                        stats.discarded_points += 1;
+                        continue;
+                    }
+                    LaneOutcome::Truncated => None,
+                    LaneOutcome::Hit(end_key) => Some(end_key),
+                };
+                stats.rays += 1;
+                stats.dda_steps += self.packet.steps(l);
+                let keys = self.packet.keys(l);
+                for &k in keys {
+                    apply(VoxelUpdate { key: k, hit: false });
+                }
+                stats.free_updates += keys.len() as u64;
+                match hit {
+                    Some(end_key) => {
+                        apply(VoxelUpdate {
+                            key: end_key,
+                            hit: true,
+                        });
+                        stats.occupied_updates += 1;
+                    }
+                    None => stats.truncated_rays += 1,
+                }
+            }
+        }
+    }
+
+    /// [`FrontEnd::Packet`] form of [`Self::integrate_dedup`]: the cast
+    /// runs through packets, the per-scan key sets and occupied-wins
+    /// emission are unchanged.
+    fn integrate_dedup_packet<F>(
+        &mut self,
+        origin: Point3,
+        key_origin: VoxelKey,
+        points: &[Point3],
+        stats: &mut IntegrationStats,
+        apply: &mut F,
+    ) where
+        F: FnMut(VoxelUpdate),
+    {
+        self.free_set.clear();
+        self.occupied_set.clear();
+        self.free_set.reserve(self.free_high_water);
+        self.occupied_set.reserve(self.occupied_high_water);
+
+        for chunk in points.chunks(PACKET_LANES) {
+            self.packet
+                .cast(&self.conv, origin, key_origin, chunk, self.max_range);
+            for l in 0..chunk.len() {
+                let hit = match self.packet.outcome(l) {
+                    LaneOutcome::Discarded => {
+                        stats.discarded_points += 1;
+                        continue;
+                    }
+                    LaneOutcome::Truncated => None,
+                    LaneOutcome::Hit(end_key) => Some(end_key),
+                };
+                stats.rays += 1;
+                stats.dda_steps += self.packet.steps(l);
+                for &k in self.packet.keys(l) {
+                    self.free_set.insert(k);
+                }
+                match hit {
+                    Some(end_key) => {
+                        self.occupied_set.insert(end_key);
+                    }
+                    None => stats.truncated_rays += 1,
+                }
+            }
+        }
+
+        // Occupied wins over free within a scan (OctoMap semantics).
+        for &k in &self.free_set {
+            if !self.occupied_set.contains(&k) {
+                apply(VoxelUpdate { key: k, hit: false });
+                stats.free_updates += 1;
+            }
+        }
+        for &k in &self.occupied_set {
+            apply(VoxelUpdate { key: k, hit: true });
+            stats.occupied_updates += 1;
+        }
+        self.free_high_water = self.free_high_water.max(self.free_set.len());
+        self.occupied_high_water = self.occupied_high_water.max(self.occupied_set.len());
     }
 
     fn integrate_dedup<F>(

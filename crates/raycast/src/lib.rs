@@ -11,6 +11,11 @@
 //!   is observed occupied.
 //! - [`RayWalk`] — an open-ended DDA iterator used for query-style ray
 //!   casting (e.g. collision probing) where no endpoint is known up front.
+//! - [`RayPacket`] — the structure-of-arrays packet front end: 8 rays
+//!   stepped in lockstep through the same DDA with an active-lane mask,
+//!   emitting per-ray voxel sequences bit-identical to the scalar walk.
+//!   [`FrontEnd`] selects which implementation the integrators run
+//!   (packet by default).
 //! - [`ScanIntegrator`] — turns a full [`Scan`](omu_geometry::Scan) into a stream of per-voxel
 //!   hit/miss updates, in either of two modes (see [`IntegrationMode`]):
 //!   the paper's raywise mode (no overlap dedup — what the OMU hardware
@@ -45,11 +50,13 @@
 mod dda;
 mod integrate;
 mod keyray;
+mod packet;
 mod parallel;
 mod pipeline;
 
 pub use dda::{compute_ray_keys, RayWalk};
 pub use integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
 pub use keyray::KeyRay;
+pub use packet::{FrontEnd, LaneOutcome, PacketStats, RayPacket, PACKET_LANES};
 pub use parallel::ParallelScanIntegrator;
-pub use pipeline::ScanPipeline;
+pub use pipeline::{ScanPipeline, PARALLEL_MIN_POINTS};

@@ -1,0 +1,513 @@
+//! Structure-of-arrays ray packets: 8 rays stepped in lockstep through
+//! the branch-free 3D DDA.
+//!
+//! The scalar front end ([`compute_ray_keys`](crate::compute_ray_keys))
+//! walks one ray at a time; its inner loop is dominated by the
+//! data-dependent axis pick (`argmin(t_max)`) and per-step loop overhead.
+//! [`RayPacket`] holds the walk state of [`PACKET_LANES`] rays as fixed
+//! structure-of-arrays lanes (`[[f64; 8]; 3]` t-values, `[[i32; 8]; 3]`
+//! positions, an active-lane mask) and advances every live lane per
+//! *superstep*:
+//!
+//! - the axis pick is computed branch-free for all 8 lanes (pure compares
+//!   and selects over fixed arrays, which stable rustc autovectorizes into
+//!   compare/blend sequences — no `std::simd` required), and
+//! - each lane then replays the scalar DDA's advance/termination rules in
+//!   the scalar order, so per ray the packet walk performs the *exact same
+//!   floating-point operations* as the scalar walk and visits the exact
+//!   same voxel sequence. Bit-identity is by construction, not by
+//!   tolerance (and is property-tested in `tests/packet_front_end.rs`).
+//!
+//! Eight lanes is not arbitrary: it matches the octree's sibling-row
+//! width, so one packet's endpoint hits are at most eight entries of one
+//! 64 B leaf row — the natural unit the batched update engine scatters.
+
+use omu_geometry::{KeyConverter, Point3, VoxelKey};
+use serde::{Deserialize, Serialize};
+
+use crate::dda::dda_setup;
+use crate::integrate::effective_endpoint;
+use crate::keyray::KeyRay;
+
+/// Number of rays a [`RayPacket`] steps in lockstep.
+///
+/// Matches the octree's sibling-row width (8 nodes = one 64 B row), the
+/// arena's branch-shard count, and one AVX2 register of `f32` lanes.
+pub const PACKET_LANES: usize = 8;
+
+/// Which DDA implementation drives scan integration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FrontEnd {
+    /// One ray at a time through the scalar
+    /// [`compute_ray_keys`](crate::compute_ray_keys) — the reference
+    /// implementation.
+    Scalar,
+    /// [`PACKET_LANES`] rays in lockstep through [`RayPacket`]. Emits the
+    /// bit-identical update stream in less time; the default.
+    #[default]
+    Packet,
+}
+
+impl std::fmt::Display for FrontEnd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            FrontEnd::Scalar => "scalar",
+            FrontEnd::Packet => "packet",
+        })
+    }
+}
+
+impl std::str::FromStr for FrontEnd {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "scalar" => Ok(FrontEnd::Scalar),
+            "packet" => Ok(FrontEnd::Packet),
+            other => Err(format!(
+                "unknown front end `{other}` (expected `scalar` or `packet`)"
+            )),
+        }
+    }
+}
+
+/// Counters describing packet front-end execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PacketStats {
+    /// Ray packets cast (groups of up to [`PACKET_LANES`] rays).
+    pub packets: u64,
+    /// Lockstep supersteps executed (each advances every live lane once).
+    pub supersteps: u64,
+    /// Individual lane advances performed across all supersteps. Equals
+    /// the scalar front end's DDA step count for the same rays.
+    pub lane_steps: u64,
+}
+
+impl PacketStats {
+    /// Mean fraction of lanes live per superstep, in `[0, 1]`: how much of
+    /// the 8-wide datapath ray-length divergence leaves busy.
+    pub fn lane_occupancy(&self) -> f64 {
+        if self.supersteps == 0 {
+            0.0
+        } else {
+            self.lane_steps as f64 / (self.supersteps * PACKET_LANES as u64) as f64
+        }
+    }
+
+    /// Accumulates another stats record into this one.
+    pub fn merge(&mut self, other: &PacketStats) {
+        self.packets += other.packets;
+        self.supersteps += other.supersteps;
+        self.lane_steps += other.lane_steps;
+    }
+
+    /// The difference `self - earlier`, for callers that snapshot
+    /// cumulative stats around one scan.
+    pub fn since(&self, earlier: &PacketStats) -> PacketStats {
+        PacketStats {
+            packets: self.packets - earlier.packets,
+            supersteps: self.supersteps - earlier.supersteps,
+            lane_steps: self.lane_steps - earlier.lane_steps,
+        }
+    }
+}
+
+/// What one packet lane resolved to after the walk.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaneOutcome {
+    /// The endpoint fell outside the addressable map (or the walk left it
+    /// under floating-point degeneracy): the ray contributes nothing.
+    #[default]
+    Discarded,
+    /// The ray was truncated at the maximum range: its traversed cells are
+    /// free observations, no endpoint is marked occupied.
+    Truncated,
+    /// A full ray: traversed cells are free observations, the contained
+    /// key is the occupied endpoint.
+    Hit(VoxelKey),
+}
+
+/// The lockstep walk state of up to [`PACKET_LANES`] rays (see the module
+/// docs for the lane layout and the bit-identity argument).
+///
+/// A packet is a reusable scratch object: [`Self::cast`] loads a group of
+/// rays, runs the walk to completion, and leaves the per-lane voxel
+/// sequences, step counts and outcomes readable until the next cast.
+///
+/// # Examples
+///
+/// ```
+/// use omu_geometry::{KeyConverter, Point3};
+/// use omu_raycast::{LaneOutcome, RayPacket};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let conv = KeyConverter::new(0.1)?;
+/// let origin = Point3::ZERO;
+/// let key_origin = conv.coord_to_key(origin)?;
+/// let mut packet = RayPacket::new();
+/// packet.cast(&conv, origin, key_origin, &[Point3::new(1.0, 0.0, 0.0)], None);
+/// assert_eq!(packet.keys(0).len(), 10); // ten free cells, endpoint excluded
+/// assert!(matches!(packet.outcome(0), LaneOutcome::Hit(_)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct RayPacket {
+    /// Lanes loaded by the current cast (trailing lanes are idle).
+    lanes: usize,
+    /// Live-lane mask: a lane stays active until it terminates by reaching
+    /// its end voxel, overrunning its segment length, or walking off the
+    /// map.
+    active: [bool; PACKET_LANES],
+    /// Current voxel per axis per lane.
+    cur: [[i32; PACKET_LANES]; 3],
+    /// End voxel per axis per lane (the excluded endpoint cell).
+    end: [[i32; PACKET_LANES]; 3],
+    /// Per-axis step direction (−1/0/+1) per lane.
+    step: [[i32; PACKET_LANES]; 3],
+    /// Distance along the ray to the next voxel border per axis per lane.
+    t_max: [[f64; PACKET_LANES]; 3],
+    /// Distance between successive borders per axis per lane.
+    t_delta: [[f64; PACKET_LANES]; 3],
+    /// Segment length per lane (the scalar DDA's overshoot safety net).
+    length: [f64; PACKET_LANES],
+    /// DDA steps taken per lane.
+    steps: [u64; PACKET_LANES],
+    outcome: [LaneOutcome; PACKET_LANES],
+    /// Traversed (free) voxels per lane, origin cell first.
+    keys: [KeyRay; PACKET_LANES],
+    stats: PacketStats,
+}
+
+impl Default for RayPacket {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl RayPacket {
+    /// Creates an empty packet.
+    pub fn new() -> Self {
+        RayPacket {
+            lanes: 0,
+            active: [false; PACKET_LANES],
+            cur: [[0; PACKET_LANES]; 3],
+            end: [[0; PACKET_LANES]; 3],
+            step: [[0; PACKET_LANES]; 3],
+            t_max: [[f64::INFINITY; PACKET_LANES]; 3],
+            t_delta: [[f64::INFINITY; PACKET_LANES]; 3],
+            length: [0.0; PACKET_LANES],
+            steps: [0; PACKET_LANES],
+            outcome: [LaneOutcome::Discarded; PACKET_LANES],
+            keys: std::array::from_fn(|_| KeyRay::new()),
+            stats: PacketStats::default(),
+        }
+    }
+
+    /// Casts one ray per point of `points` (at most [`PACKET_LANES`]) from
+    /// `origin`, running the lockstep walk to completion.
+    ///
+    /// `key_origin` must be `origin`'s voxel key (the caller has already
+    /// validated the origin once for the whole scan). `max_range` applies
+    /// OctoMap `maxrange` semantics per lane: longer rays are truncated
+    /// and resolve to [`LaneOutcome::Truncated`]. Endpoints outside the
+    /// map resolve to [`LaneOutcome::Discarded`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `points` holds more than [`PACKET_LANES`] points.
+    pub fn cast(
+        &mut self,
+        conv: &KeyConverter,
+        origin: Point3,
+        key_origin: VoxelKey,
+        points: &[Point3],
+        max_range: Option<f64>,
+    ) {
+        assert!(
+            points.len() <= PACKET_LANES,
+            "a packet holds at most {PACKET_LANES} rays"
+        );
+        self.lanes = points.len();
+        self.active = [false; PACKET_LANES];
+        self.stats.packets += 1;
+
+        // Lane load: scalar per-ray setup, identical operation-for-operation
+        // to `effective_endpoint` + `compute_ray_keys`'s preamble.
+        for (l, &p) in points.iter().enumerate() {
+            self.keys[l].clear();
+            self.steps[l] = 0;
+            let (end, truncated) = effective_endpoint(max_range, origin, p);
+            let Ok(end_key) = conv.coord_to_key(end) else {
+                self.outcome[l] = LaneOutcome::Discarded;
+                continue;
+            };
+            self.outcome[l] = if truncated {
+                LaneOutcome::Truncated
+            } else {
+                LaneOutcome::Hit(end_key)
+            };
+            if key_origin == end_key {
+                // Same-voxel ray: empty, zero steps (still counted as a ray
+                // by the integrator).
+                continue;
+            }
+            self.keys[l].push(key_origin);
+
+            let direction = end - origin;
+            let length = direction.norm();
+            let dir = direction / length;
+            let current = [
+                key_origin.x as i32,
+                key_origin.y as i32,
+                key_origin.z as i32,
+            ];
+            let end_i = [end_key.x as i32, end_key.y as i32, end_key.z as i32];
+            let (step, t_max, t_delta) = dda_setup(conv, origin, dir, current);
+            for axis in 0..3 {
+                self.cur[axis][l] = current[axis];
+                self.end[axis][l] = end_i[axis];
+                self.step[axis][l] = step[axis];
+                self.t_max[axis][l] = t_max[axis];
+                self.t_delta[axis][l] = t_delta[axis];
+            }
+            self.length[l] = length;
+            self.active[l] = true;
+        }
+
+        if self.active[..self.lanes].contains(&true) {
+            while self.superstep() {}
+        }
+    }
+
+    /// Advances every live lane one DDA step. Returns `true` while any
+    /// lane is still live.
+    fn superstep(&mut self) -> bool {
+        self.stats.supersteps += 1;
+
+        // Phase 1 — branch-free axis pick, all lanes unconditionally:
+        // `argmin(t_max)` with the scalar DDA's tie-breaking (x wins ties
+        // against y, z only wins strict `<`). Pure compares and selects
+        // over fixed-width arrays: the autovectorizable half of the step.
+        let mut dim = [0usize; PACKET_LANES];
+        for (l, d) in dim.iter_mut().enumerate() {
+            let tx = self.t_max[0][l];
+            let ty = self.t_max[1][l];
+            let tz = self.t_max[2][l];
+            let pick_y = ty < tx;
+            let t01 = if pick_y { ty } else { tx };
+            let d01 = pick_y as usize;
+            *d = if tz < t01 { 2 } else { d01 };
+        }
+
+        // Phase 2 — advance live lanes, replaying the scalar DDA's
+        // termination rules in the scalar order: bounds check, end-voxel
+        // check, overshoot check, emit. Trailing unloaded lanes are
+        // inactive, so the loop runs the full fixed width (no bounds
+        // checks, unrolled by the compiler).
+        let mut any = false;
+        let mut lane_steps = 0;
+        for (l, &d) in dim.iter().enumerate() {
+            if !self.active[l] {
+                continue;
+            }
+            let c = self.cur[d][l] + self.step[d][l];
+            self.cur[d][l] = c;
+            self.t_max[d][l] += self.t_delta[d][l];
+            self.steps[l] += 1;
+            lane_steps += 1;
+
+            if !(0..=u16::MAX as i32).contains(&c) {
+                // Walked off the map under floating-point degeneracy: the
+                // scalar front end discards the whole ray, so does the lane.
+                self.active[l] = false;
+                self.outcome[l] = LaneOutcome::Discarded;
+                self.keys[l].clear();
+                continue;
+            }
+            if self.cur[0][l] == self.end[0][l]
+                && self.cur[1][l] == self.end[1][l]
+                && self.cur[2][l] == self.end[2][l]
+            {
+                self.active[l] = false;
+                continue;
+            }
+            let dist = self.t_max[0][l].min(self.t_max[1][l]).min(self.t_max[2][l]);
+            if dist > self.length[l] {
+                self.active[l] = false;
+                continue;
+            }
+            self.keys[l].push(VoxelKey::new(
+                self.cur[0][l] as u16,
+                self.cur[1][l] as u16,
+                self.cur[2][l] as u16,
+            ));
+            any = true;
+        }
+        self.stats.lane_steps += lane_steps;
+        any
+    }
+
+    /// Lanes loaded by the last cast.
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    /// The free (traversed) voxels of `lane`, origin cell first — the
+    /// scalar `KeyRay` contents for the same ray.
+    pub fn keys(&self, lane: usize) -> &[VoxelKey] {
+        self.keys[lane].keys()
+    }
+
+    /// DDA steps `lane` took — the scalar `compute_ray_keys` step count
+    /// for the same ray (zero for discarded lanes' stats purposes: the
+    /// integrator only reads steps of surviving lanes).
+    pub fn steps(&self, lane: usize) -> u64 {
+        self.steps[lane]
+    }
+
+    /// How `lane` resolved.
+    pub fn outcome(&self, lane: usize) -> LaneOutcome {
+        self.outcome[lane]
+    }
+
+    /// Cumulative packet counters since construction (or the last
+    /// [`Self::reset_stats`]).
+    pub fn stats(&self) -> PacketStats {
+        self.stats
+    }
+
+    /// Clears the cumulative counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = PacketStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dda::compute_ray_keys;
+
+    fn conv() -> KeyConverter {
+        KeyConverter::new(0.1).unwrap()
+    }
+
+    fn cast_one(packet: &mut RayPacket, c: &KeyConverter, origin: Point3, p: Point3) {
+        let ko = c.coord_to_key(origin).unwrap();
+        packet.cast(c, origin, ko, &[p], None);
+    }
+
+    #[test]
+    fn single_lane_matches_scalar_dda() {
+        let c = conv();
+        let origin = Point3::new(0.01, -0.02, 0.03);
+        let end = Point3::new(0.87, 0.43, -0.22);
+        let mut ray = KeyRay::new();
+        let steps = compute_ray_keys(&c, origin, end, &mut ray).unwrap();
+
+        let mut packet = RayPacket::new();
+        cast_one(&mut packet, &c, origin, end);
+        assert_eq!(packet.keys(0), ray.keys());
+        assert_eq!(packet.steps(0), steps);
+        assert_eq!(
+            packet.outcome(0),
+            LaneOutcome::Hit(c.coord_to_key(end).unwrap())
+        );
+    }
+
+    #[test]
+    fn full_packet_matches_scalar_per_lane() {
+        let c = conv();
+        let origin = Point3::new(0.05, 0.05, 0.05);
+        let points: Vec<Point3> = (0..PACKET_LANES)
+            .map(|i| {
+                let a = i as f64 * 0.7;
+                Point3::new(2.0 * a.cos(), 2.0 * a.sin(), (i as f64 - 3.5) * 0.2)
+            })
+            .collect();
+        let ko = c.coord_to_key(origin).unwrap();
+        let mut packet = RayPacket::new();
+        packet.cast(&c, origin, ko, &points, None);
+
+        let mut ray = KeyRay::new();
+        for (l, &p) in points.iter().enumerate() {
+            let steps = compute_ray_keys(&c, origin, p, &mut ray).unwrap();
+            assert_eq!(packet.keys(l), ray.keys(), "lane {l}");
+            assert_eq!(packet.steps(l), steps, "lane {l}");
+        }
+    }
+
+    #[test]
+    fn same_voxel_lane_is_empty_hit() {
+        let c = conv();
+        let origin = Point3::new(0.01, 0.01, 0.01);
+        let mut packet = RayPacket::new();
+        cast_one(&mut packet, &c, origin, Point3::new(0.05, 0.02, 0.09));
+        assert!(packet.keys(0).is_empty());
+        assert_eq!(packet.steps(0), 0);
+        assert!(matches!(packet.outcome(0), LaneOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn out_of_map_lane_is_discarded() {
+        let c = conv();
+        let far = c.map_half_extent() + 10.0;
+        let mut packet = RayPacket::new();
+        let ko = c.coord_to_key(Point3::ZERO).unwrap();
+        packet.cast(
+            &c,
+            Point3::ZERO,
+            ko,
+            &[Point3::new(far, 0.0, 0.0), Point3::new(0.5, 0.0, 0.0)],
+            None,
+        );
+        assert_eq!(packet.outcome(0), LaneOutcome::Discarded);
+        assert!(packet.keys(0).is_empty());
+        assert!(matches!(packet.outcome(1), LaneOutcome::Hit(_)));
+    }
+
+    #[test]
+    fn max_range_truncates_lane() {
+        let c = conv();
+        let ko = c.coord_to_key(Point3::ZERO).unwrap();
+        let mut packet = RayPacket::new();
+        packet.cast(
+            &c,
+            Point3::ZERO,
+            ko,
+            &[Point3::new(2.0, 0.0, 0.0)],
+            Some(1.0),
+        );
+        assert_eq!(packet.outcome(0), LaneOutcome::Truncated);
+        // No traversed cell beyond 1.0 m (key 32768 + 10).
+        assert!(packet.keys(0).iter().all(|k| k.x <= 32768 + 10));
+    }
+
+    #[test]
+    fn stats_accumulate_and_occupancy_bounded() {
+        let c = conv();
+        let ko = c.coord_to_key(Point3::ZERO).unwrap();
+        let mut packet = RayPacket::new();
+        let points: Vec<Point3> = (0..PACKET_LANES)
+            .map(|i| Point3::new(1.0 + i as f64 * 0.3, 0.4, 0.0))
+            .collect();
+        packet.cast(&c, Point3::ZERO, ko, &points, None);
+        let s = packet.stats();
+        assert_eq!(s.packets, 1);
+        assert!(s.supersteps > 0);
+        assert!(s.lane_steps >= s.supersteps);
+        let occ = s.lane_occupancy();
+        assert!(occ > 0.0 && occ <= 1.0);
+        packet.reset_stats();
+        assert_eq!(packet.stats(), PacketStats::default());
+    }
+
+    #[test]
+    fn front_end_parses_and_displays() {
+        assert_eq!("scalar".parse::<FrontEnd>().unwrap(), FrontEnd::Scalar);
+        assert_eq!("packet".parse::<FrontEnd>().unwrap(), FrontEnd::Packet);
+        assert!("simd".parse::<FrontEnd>().is_err());
+        assert_eq!(FrontEnd::Packet.to_string(), "packet");
+        assert_eq!(FrontEnd::default(), FrontEnd::Packet);
+    }
+}

@@ -21,6 +21,14 @@ use omu_geometry::{KeyConverter, KeyError, Point3, Scan, VoxelKey};
 use rustc_hash::FxHashSet;
 
 use crate::integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
+use crate::packet::{FrontEnd, PacketStats};
+
+/// Minimum number of scan points before [`ScanPipeline::integrate_into`]
+/// fans out to threads: below this, thread spawn/join overhead exceeds
+/// the ray-casting work and the whole scan runs inline on one worker
+/// (mirroring the sharded batch apply's `PARALLEL_APPLY_MIN_KEYS`
+/// amortization in `omu-octree`).
+pub const PARALLEL_MIN_POINTS: usize = 1024;
 
 /// A persistent, shard-parallel scan integrator (see the module docs).
 ///
@@ -46,6 +54,7 @@ pub struct ScanPipeline {
     conv: KeyConverter,
     max_range: Option<f64>,
     mode: IntegrationMode,
+    front_end: FrontEnd,
     /// One persistent sequential integrator per shard (each runs Raywise
     /// internally; dedup happens scan-globally after the merge).
     workers: Vec<ScanIntegrator>,
@@ -65,13 +74,33 @@ impl ScanPipeline {
         mode: IntegrationMode,
         shards: usize,
     ) -> Self {
+        Self::with_front_end(conv, max_range, mode, shards, FrontEnd::default())
+    }
+
+    /// [`Self::new`] with an explicit DDA front end for the shard workers
+    /// (see [`FrontEnd`]).
+    pub fn with_front_end(
+        conv: KeyConverter,
+        max_range: Option<f64>,
+        mode: IntegrationMode,
+        shards: usize,
+        front_end: FrontEnd,
+    ) -> Self {
         let shards = Self::resolve_shards(shards);
         ScanPipeline {
             conv,
             max_range,
             mode,
+            front_end,
             workers: (0..shards)
-                .map(|_| ScanIntegrator::new(conv, max_range, IntegrationMode::Raywise))
+                .map(|_| {
+                    ScanIntegrator::with_front_end(
+                        conv,
+                        max_range,
+                        IntegrationMode::Raywise,
+                        front_end,
+                    )
+                })
                 .collect(),
             buffers: (0..shards).map(|_| Vec::new()).collect(),
             free_set: FxHashSet::default(),
@@ -104,9 +133,61 @@ impl ScanPipeline {
         self.max_range
     }
 
+    /// The DDA front end the shard workers run.
+    pub fn front_end(&self) -> FrontEnd {
+        self.front_end
+    }
+
+    /// Cumulative packet front-end counters summed over all shard workers
+    /// (all zero while running [`FrontEnd::Scalar`]).
+    pub fn packet_stats(&self) -> PacketStats {
+        let mut stats = PacketStats::default();
+        for w in &self.workers {
+            stats.merge(&w.packet_stats());
+        }
+        stats
+    }
+
     /// Number of shards rays are split into.
     pub fn shards(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Whether a scan of `n_points` points would run inline on one worker
+    /// instead of fanning out to threads (see [`PARALLEL_MIN_POINTS`]).
+    pub fn would_run_inline(&self, n_points: usize) -> bool {
+        self.workers.len() == 1 || n_points < PARALLEL_MIN_POINTS
+    }
+
+    /// Streams one scan's updates through `emit` with no buffering at
+    /// all, using the first worker — the fastest path for scans the
+    /// pipeline would run inline anyway ([`Self::would_run_inline`]).
+    /// Only valid in [`IntegrationMode::Raywise`], where the parallel
+    /// engine and the sequential integrator emit identical streams.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the pipeline's mode is not `Raywise`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`KeyError`] when `origin` cannot be addressed, like the
+    /// sequential integrator.
+    pub fn integrate_inline<F>(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        emit: F,
+    ) -> Result<IntegrationStats, KeyError>
+    where
+        F: FnMut(VoxelUpdate),
+    {
+        assert_eq!(
+            self.mode,
+            IntegrationMode::Raywise,
+            "inline streaming requires Raywise mode"
+        );
+        self.workers[0].integrate_points(origin, points, emit)
     }
 
     /// Integrates one scan directly from a borrowed origin and point
@@ -133,7 +214,18 @@ impl ScanPipeline {
             return Ok(IntegrationStats::default());
         }
 
-        let chunk = points.len().div_ceil(self.workers.len());
+        // Below the spawn-amortization threshold the whole scan runs on
+        // one worker; in raywise mode it writes straight into `out`,
+        // skipping the per-shard buffer and its copy entirely.
+        let inline = self.would_run_inline(points.len());
+        if inline && self.mode == IntegrationMode::Raywise {
+            return Ok(self.workers[0]
+                .integrate_points_into(origin, points, out)
+                .expect("origin validated above"));
+        }
+
+        let shards = if inline { 1 } else { self.workers.len() };
+        let chunk = points.len().div_ceil(shards);
         let lanes: Vec<(&mut ScanIntegrator, &mut Vec<VoxelUpdate>, &[Point3])> = self
             .workers
             .iter_mut()
@@ -358,5 +450,40 @@ mod tests {
         let conv = KeyConverter::new(0.1).unwrap();
         let pipeline = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 0);
         assert!(pipeline.shards() >= 1);
+    }
+
+    #[test]
+    fn small_scans_run_inline_below_the_parallel_threshold() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let multi = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 4);
+        assert!(multi.would_run_inline(PARALLEL_MIN_POINTS - 1));
+        assert!(!multi.would_run_inline(PARALLEL_MIN_POINTS));
+        // A single-shard pipeline never pays the fan-out overhead.
+        let single = ScanPipeline::new(conv, None, IntegrationMode::Raywise, 1);
+        assert!(single.would_run_inline(PARALLEL_MIN_POINTS));
+        assert!(single.would_run_inline(usize::MAX));
+    }
+
+    #[test]
+    fn inline_and_fanned_out_paths_agree_across_the_threshold() {
+        let conv = KeyConverter::new(0.1).unwrap();
+        let origin = Point3::new(0.01, 0.01, 0.01);
+        let mut sequential = ScanIntegrator::new(conv, Some(5.0), IntegrationMode::Raywise);
+        let mut pipeline = ScanPipeline::new(conv, Some(5.0), IntegrationMode::Raywise, 4);
+        // One scan below and one above PARALLEL_MIN_POINTS through the
+        // same pipeline: both must match the sequential stream exactly.
+        for n in [PARALLEL_MIN_POINTS / 2, PARALLEL_MIN_POINTS + 100] {
+            let points = ring_points(n);
+            let mut seq_updates = Vec::new();
+            let seq_stats = sequential
+                .integrate_points_into(origin, &points, &mut seq_updates)
+                .unwrap();
+            let mut updates = Vec::new();
+            let stats = pipeline
+                .integrate_into(origin, &points, &mut updates)
+                .unwrap();
+            assert_eq!(updates, seq_updates, "n={n}");
+            assert_eq!(stats, seq_stats, "n={n}");
+        }
     }
 }
