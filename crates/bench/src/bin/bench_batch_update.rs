@@ -2,15 +2,22 @@
 //! corridor dataset and writes `BENCH_batch_update.json` (in the current
 //! directory) to seed the repo's performance trajectory.
 //!
-//! Three stages are reported:
+//! Four stages are reported:
 //!
+//! - **pool** — the persistent worker pool itself: `pool_warmup` is the
+//!   cold cost of creating a pool and running its first 8-task scope
+//!   (spawning the workers); the `pool_dispatch_ns` top-level figure is
+//!   the steady-state per-task dispatch cost on a warmed pool.
 //! - **update_engine** — ray casting is precomputed; the measurement is
 //!   purely the tree-update stage (the paper's "voxel update" workload,
 //!   and what the batch engine accelerates): `update_key` per update vs
 //!   one Morton-sorted `apply_update_batch` per scan vs the
 //!   subtree-sharded `apply_update_batch_parallel` swept over 1/2/4/8
-//!   shards (on a 1-CPU container the sweep measures sharding overhead;
-//!   on multi-core hosts it shows the scaling).
+//!   shards on the persistent pool (on a 1-CPU container the sweep
+//!   measures dispatch overhead; on multi-core hosts it shows the
+//!   scaling). `sharded_{n}_scoped` rows re-run the same sweep on the
+//!   legacy per-call `thread::scope` dispatch, so the pool's win over
+//!   spawn-per-batch stays a recorded number.
 //! - **front_end** — ray casting alone, no tree: the scalar DDA
 //!   (`scalar_dda`) vs the 8-lane SoA packet stepper (`packet`) vs the
 //!   packet stepper behind the scan pipeline (`packet_pipeline`). The
@@ -35,7 +42,7 @@ use std::time::Instant;
 use omu_bench::RunOptions;
 use omu_datasets::DatasetKind;
 use omu_geometry::Scan;
-use omu_octree::OctreeF32;
+use omu_octree::{OctreeF32, ParallelDispatch, WorkerPool};
 use omu_raycast::{FrontEnd, IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
 
 struct Measurement {
@@ -134,6 +141,40 @@ fn main() {
 
     let mut results = Vec::new();
 
+    // Pool stage: cold warmup (pool creation + first 8-task scope, which
+    // spawns the workers), then steady-state dispatch cost on a warmed
+    // pool — the per-task overhead every pooled engine row below pays
+    // instead of a thread spawn.
+    results.push(measure("pool", "pool_warmup", || {
+        let pool = WorkerPool::new(8);
+        pool.scope(|s| {
+            for i in 0..8 {
+                s.spawn_on(i, || {});
+            }
+        });
+        (8, 0)
+    }));
+    let pool_dispatch_ns = {
+        let pool = WorkerPool::new(8);
+        // Warm: spawn all workers before timing.
+        pool.scope(|s| {
+            for i in 0..8 {
+                s.spawn_on(i, || {});
+            }
+        });
+        const SCOPES: u32 = 2_000;
+        let start = Instant::now();
+        for _ in 0..SCOPES {
+            pool.scope(|s| {
+                for i in 0..8 {
+                    s.spawn_on(i, || {});
+                }
+            });
+        }
+        start.elapsed().as_nanos() as f64 / (SCOPES as f64 * 8.0)
+    };
+    eprintln!("pool steady-state dispatch: {pool_dispatch_ns:.0} ns/task");
+
     results.push(measure("update_engine", "scalar", || {
         let mut tree = fresh_tree(spec.resolution, spec.max_range);
         for batch in &batches {
@@ -150,19 +191,28 @@ fn main() {
         }
         (total_updates, tree.num_nodes())
     }));
-    // Shard-count sweep for the subtree-sharded parallel apply.
-    for shards in [1usize, 2, 4, 8] {
-        results.push(measure(
-            "update_engine",
-            &format!("sharded_{shards}"),
-            || {
-                let mut tree = fresh_tree(spec.resolution, spec.max_range);
-                for batch in &batches {
-                    tree.apply_update_batch_parallel(batch, shards);
-                }
-                (total_updates, tree.num_nodes())
-            },
-        ));
+    // Shard-count sweep for the subtree-sharded parallel apply — once on
+    // the persistent pool (the default), once on the legacy per-call
+    // `thread::scope` dispatch, so the recorded JSON carries the
+    // scoped-vs-pooled comparison at every width.
+    for (dispatch, suffix) in [
+        (ParallelDispatch::Pooled, ""),
+        (ParallelDispatch::ScopedThreads, "_scoped"),
+    ] {
+        for shards in [1usize, 2, 4, 8] {
+            results.push(measure(
+                "update_engine",
+                &format!("sharded_{shards}{suffix}"),
+                || {
+                    let mut tree = fresh_tree(spec.resolution, spec.max_range);
+                    tree.set_parallel_dispatch(dispatch);
+                    for batch in &batches {
+                        tree.apply_update_batch_parallel(batch, shards);
+                    }
+                    (total_updates, tree.num_nodes())
+                },
+            ));
+        }
     }
 
     // Front-end stage: ray casting alone, no tree. Both integrators emit
@@ -290,6 +340,12 @@ fn main() {
     );
     let front_end_speedup = rate_of("front_end", "packet") / rate_of("front_end", "scalar_dda");
     eprintln!("front_end packet speedup vs scalar DDA: {front_end_speedup:.2}x");
+    eprintln!(
+        "pooled sharded_8 vs sharded_1: {:.3}x, vs batched: {:.3}x, vs scoped sharded_8: {:.3}x",
+        rate_of("update_engine", "sharded_8") / rate_of("update_engine", "sharded_1"),
+        rate_of("update_engine", "sharded_8") / batched_update_rate,
+        rate_of("update_engine", "sharded_8") / rate_of("update_engine", "sharded_8_scoped"),
+    );
 
     let json = format!(
         concat!(
@@ -302,6 +358,7 @@ fn main() {
             "  \"total_updates\": {},\n",
             "  \"update_engine_speedup_vs_scalar\": {:.2},\n",
             "  \"front_end_speedup_vs_scalar_dda\": {:.2},\n",
+            "  \"pool_dispatch_ns\": {:.1},\n",
             "  \"memory\": {{\n",
             "    \"live_nodes\": {},\n",
             "    \"live_rows\": {},\n",
@@ -320,6 +377,7 @@ fn main() {
         total_updates,
         batched_update_rate / scalar_update_rate,
         front_end_speedup,
+        pool_dispatch_ns,
         mem.live_nodes,
         mem.live_rows,
         mem.arena_bytes,

@@ -2,8 +2,11 @@
 //! writes `BENCH_query_path.json` (in the current directory) — the
 //! read-side mirror of `bench_batch_update`.
 //!
-//! Two stages are reported:
+//! Three stages are reported:
 //!
+//! - **pool** — the persistent worker pool behind the parallel read
+//!   rows: `pool_warmup` is the cold spawn cost; the `pool_dispatch_ns`
+//!   top-level figure is the steady-state per-task dispatch cost.
 //! - **cast_ray** — query rays (virtual-bumper / planner look-ahead)
 //!   cast from the corridor trajectory: `cast_ray` per probe (a full
 //!   root-to-leaf descent per DDA step) vs one `DescentCursor` driving
@@ -14,7 +17,9 @@
 //! - **point_query** — randomly ordered single-voxel classifications
 //!   (collision checks): per-probe `occupancy` vs a raw cursor fed the
 //!   unsorted stream vs `query_batch` (Morton sort + coalescing + one
-//!   cursor sweep) vs `query_batch_parallel`.
+//!   cursor sweep) vs `query_batch_parallel`, the latter swept over
+//!   1/2/4/8 shards on the persistent pool and re-run on the legacy
+//!   per-call `thread::scope` dispatch (`sharded_{n}_scoped`).
 //!
 //! Usage: `cargo run --release -p omu-bench --bin bench_query_path
 //! [-- --scale 0.1]`.
@@ -24,7 +29,7 @@ use std::time::Instant;
 use omu_bench::RunOptions;
 use omu_datasets::DatasetKind;
 use omu_geometry::{Point3, Scan, VoxelKey};
-use omu_octree::OctreeF32;
+use omu_octree::{OctreeF32, ParallelDispatch, WorkerPool};
 use omu_raycast::IntegrationMode;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -136,6 +141,37 @@ fn main() {
 
     let mut results = Vec::new();
 
+    // Pool stage: cold warmup, then steady-state dispatch cost (the
+    // overhead the pooled read rows pay per chunk task).
+    results.push(measure("pool", "pool_warmup", || {
+        let pool = WorkerPool::new(8);
+        pool.scope(|s| {
+            for i in 0..8 {
+                s.spawn_on(i, || {});
+            }
+        });
+        8
+    }));
+    let pool_dispatch_ns = {
+        let pool = WorkerPool::new(8);
+        pool.scope(|s| {
+            for i in 0..8 {
+                s.spawn_on(i, || {});
+            }
+        });
+        const SCOPES: u32 = 2_000;
+        let start = Instant::now();
+        for _ in 0..SCOPES {
+            pool.scope(|s| {
+                for i in 0..8 {
+                    s.spawn_on(i, || {});
+                }
+            });
+        }
+        start.elapsed().as_nanos() as f64 / (SCOPES as f64 * 8.0)
+    };
+    eprintln!("pool steady-state dispatch: {pool_dispatch_ns:.0} ns/task");
+
     results.push(measure("cast_ray", "per_probe", || {
         for &(o, d) in &rays {
             tree.cast_ray(o, d, max_range, true).expect("valid ray");
@@ -186,6 +222,24 @@ fn main() {
             std::hint::black_box(tree.query_batch_parallel(&keys, 0));
             keys.len() as u64
         }));
+        // Shard sweep, pooled vs per-call thread::scope dispatch.
+        for (dispatch, suffix) in [
+            (ParallelDispatch::Pooled, ""),
+            (ParallelDispatch::ScopedThreads, "_scoped"),
+        ] {
+            tree.set_parallel_dispatch(dispatch);
+            for shards in [1usize, 2, 4, 8] {
+                results.push(measure(
+                    "point_query",
+                    &format!("sharded_{shards}{suffix}"),
+                    || {
+                        std::hint::black_box(tree.query_batch_parallel(&keys, shards));
+                        keys.len() as u64
+                    },
+                ));
+            }
+        }
+        tree.set_parallel_dispatch(ParallelDispatch::Pooled);
     }
 
     for m in &results {
@@ -213,8 +267,15 @@ fn main() {
         c
     };
 
-    let per_probe_rate = results[0].ops_per_sec();
-    let cursor_rate = results[1].ops_per_sec();
+    let rate_of = |engine: &str| {
+        results
+            .iter()
+            .find(|m| m.stage == "cast_ray" && m.engine == engine)
+            .expect("cast_ray row present")
+            .ops_per_sec()
+    };
+    let per_probe_rate = rate_of("per_probe");
+    let cursor_rate = rate_of("cursor");
     eprintln!(
         "cast_ray cursor speedup: {:.2}x",
         cursor_rate / per_probe_rate
@@ -243,6 +304,7 @@ fn main() {
             "  \"point_probes\": {},\n",
             "  \"cast_ray_cursor_speedup_vs_per_probe\": {:.2},\n",
             "  \"cast_ray_prefix_reuse_rate\": {:.4},\n",
+            "  \"pool_dispatch_ns\": {:.1},\n",
             "  \"memory\": {{\n",
             "    \"live_nodes\": {},\n",
             "    \"live_rows\": {},\n",
@@ -261,6 +323,7 @@ fn main() {
         keys.len(),
         cursor_rate / per_probe_rate,
         reuse.prefix_reuse_rate(),
+        pool_dispatch_ns,
         mem.live_nodes,
         mem.live_rows,
         mem.arena_bytes,

@@ -102,6 +102,25 @@ pub fn print_fig3(runs: &[DatasetRun]) {
         }
     }
     println!("{t}");
+    // Calibration anchor: the modeled total is a per-op extrapolation
+    // (calibrated against stock scalar OctoMap); the measured wall-clock
+    // is what the batched software baseline actually took on this host.
+    println!("modeled-vs-measured (run scale, this host):");
+    for r in runs {
+        let modeled = r.i9().total_s();
+        println!(
+            "  {:<12} modeled i9 {:>8.3} s   measured wall {:>8.3} s   ratio {:>5.2}x",
+            r.kind.name(),
+            modeled,
+            r.baseline_wall_s,
+            if r.baseline_wall_s > 0.0 {
+                modeled / r.baseline_wall_s
+            } else {
+                f64::NAN
+            }
+        );
+    }
+    println!();
 }
 
 /// Table III: latency comparison with speedups.

@@ -51,6 +51,11 @@ pub struct DatasetRun {
     pub tree_nodes: usize,
     /// Baseline tree memory footprint.
     pub tree_mem: MemoryStats,
+    /// Measured wall-clock seconds of the baseline software run on the
+    /// host — the empirical anchor printed beside the modeled per-op
+    /// extrapolations, so calibration drift between the op-count model
+    /// and real batched execution is visible in every report.
+    pub baseline_wall_s: f64,
     /// Accelerator run summary.
     pub accel: AccelRunSummary,
     /// Rows per bank the accelerator ended up needing (4096 = paper
@@ -157,7 +162,7 @@ pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: Engine) ->
             acc.join().expect("accelerator thread"),
         )
     });
-    let (integration, counters, tree_nodes, tree_mem, points) = baseline;
+    let (integration, counters, tree_nodes, tree_mem, points, baseline_wall_s) = baseline;
     let (accel_summary, rows_per_bank) = accel;
 
     DatasetRun {
@@ -169,6 +174,7 @@ pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: Engine) ->
         counters,
         tree_nodes,
         tree_mem,
+        baseline_wall_s,
         accel: accel_summary,
         accel_rows_per_bank: rows_per_bank,
     }
@@ -177,7 +183,7 @@ pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: Engine) ->
 fn run_baseline(
     dataset: &Dataset,
     engine: Engine,
-) -> (IntegrationStats, OpCounters, usize, MemoryStats, u64) {
+) -> (IntegrationStats, OpCounters, usize, MemoryStats, u64, f64) {
     let spec = dataset.spec();
     // One facade map, engine dispatch inside `MapBackend`. Stock OctoMap
     // behavior is preserved on the scalar engine: the early-abort
@@ -194,6 +200,7 @@ fn run_baseline(
 
     let mut totals = IntegrationStats::default();
     let mut points = 0u64;
+    let wall_start = std::time::Instant::now();
     for scan in dataset.scans() {
         points += scan.len() as u64;
         let stats = map
@@ -201,6 +208,7 @@ fn run_baseline(
             .expect("generated scans stay inside the map");
         totals.merge(&stats);
     }
+    let wall_s = wall_start.elapsed().as_secs_f64();
     let counters = map.counters().expect("software backend tracks counters");
     let tree = map.tree().expect("baseline runs the software backend");
     (
@@ -209,6 +217,7 @@ fn run_baseline(
         tree.num_nodes(),
         tree.memory_stats(),
         points,
+        wall_s,
     )
 }
 

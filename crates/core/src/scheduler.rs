@@ -48,6 +48,7 @@ pub struct VoxelScheduler {
     num_pes: usize,
     window: usize,
     burst_discount_pct: u32,
+    issue_overhead_cycles: u64,
     issue_time: u64,
     busy_until: Vec<u64>,
     inflight: Vec<VecDeque<u64>>,
@@ -55,6 +56,7 @@ pub struct VoxelScheduler {
     dispatched: u64,
     runs: u64,
     burst_saved_cycles: u64,
+    issue_overhead_charged: u64,
 }
 
 impl VoxelScheduler {
@@ -92,6 +94,7 @@ impl VoxelScheduler {
             num_pes,
             window,
             burst_discount_pct,
+            issue_overhead_cycles: 0,
             issue_time: 0,
             busy_until: vec![0; num_pes],
             inflight: (0..num_pes).map(|_| VecDeque::new()).collect(),
@@ -99,7 +102,20 @@ impl VoxelScheduler {
             dispatched: 0,
             runs: 0,
             burst_saved_cycles: 0,
+            issue_overhead_charged: 0,
         }
+    }
+
+    /// Sets the per-run issue overhead: every run head dispatched through
+    /// [`Self::dispatch_run`] is charged this many extra cycles before
+    /// its service time — the hardware analogue of the software pool's
+    /// per-task dispatch cost (enqueue on the PE's issue queue, wake the
+    /// PE). Defaults to 0, which is the paper's idealization: the
+    /// scheduler issues one voxel per cycle with no queue-management
+    /// cost. Non-zero values let the CPU-vs-accelerator reports price
+    /// dispatch symmetrically on both sides.
+    pub fn set_issue_overhead(&mut self, cycles: u64) {
+        self.issue_overhead_cycles = cycles;
     }
 
     /// The PE hosting a key: first-level branch ID modulo the PE count
@@ -168,7 +184,8 @@ impl VoxelScheduler {
         let mut completion = self.issue_time;
         for (i, &cycles) in service_cycles.iter().enumerate() {
             let charged = if i == 0 {
-                cycles
+                self.issue_overhead_charged += self.issue_overhead_cycles;
+                cycles + self.issue_overhead_cycles
             } else {
                 let c = cycles - cycles * self.burst_discount_pct as u64 / 100;
                 self.burst_saved_cycles += cycles - c;
@@ -191,6 +208,17 @@ impl VoxelScheduler {
     /// Service cycles saved by the burst discount across all runs.
     pub fn burst_saved_cycles(&self) -> u64 {
         self.burst_saved_cycles
+    }
+
+    /// Total issue-overhead cycles charged to run heads (see
+    /// [`Self::set_issue_overhead`]).
+    pub fn issue_overhead_charged(&self) -> u64 {
+        self.issue_overhead_charged
+    }
+
+    /// The configured per-run issue overhead in cycles.
+    pub fn issue_overhead_cycles(&self) -> u64 {
+        self.issue_overhead_cycles
     }
 
     /// The configured burst discount in percent.
@@ -341,6 +369,29 @@ mod tests {
         burst.dispatch_run(0, &[100]);
         assert_eq!(burst.burst_saved_cycles(), before, "run head pays full");
         assert_eq!(burst.runs_dispatched(), 2);
+    }
+
+    #[test]
+    fn issue_overhead_charges_run_heads_only() {
+        let service = [10u64; 4];
+        let mut free = VoxelScheduler::new(1, 512);
+        free.begin_scan(0);
+        free.dispatch_run(0, &service);
+
+        let mut priced = VoxelScheduler::new(1, 512);
+        priced.set_issue_overhead(5);
+        priced.begin_scan(0);
+        priced.dispatch_run(0, &service);
+        priced.dispatch_run(0, &service);
+
+        // One 5-cycle charge per run, regardless of run length.
+        assert_eq!(priced.issue_overhead_charged(), 10);
+        assert_eq!(free.issue_overhead_charged(), 0);
+        assert_eq!(
+            priced.drain_time(),
+            2 * free.drain_time() + 2 * 5,
+            "each run head pays the overhead once"
+        );
     }
 
     #[test]

@@ -165,14 +165,16 @@ impl<V: LogOdds> MapBackend for OccupancyOctree<V> {
     }
 
     fn insert_scan(&mut self, scan: &Scan, engine: Engine) -> Result<IntegrationStats, MapError> {
-        let stats = match engine.shards() {
+        match engine.shards() {
             None => match engine {
-                Engine::Scalar => self.insert_scan(scan),
-                _ => self.insert_scan_batched(scan),
+                Engine::Scalar => Ok(self.insert_scan(scan)?),
+                _ => Ok(self.insert_scan_batched(scan)?),
             },
-            Some(shards) => self.insert_scan_parallel(scan, shards),
-        }?;
-        Ok(stats)
+            // The `try_` form surfaces a pool-worker panic as a typed
+            // `MapError::WorkerPanicked` instead of unwinding through
+            // the facade.
+            Some(shards) => Ok(self.try_insert_scan_parallel(scan, shards)?),
+        }
     }
 
     fn insert_points(
@@ -188,7 +190,7 @@ impl<V: LogOdds> MapBackend for OccupancyOctree<V> {
                 let scan = Scan::new(origin, points.iter().copied().collect::<PointCloud>());
                 MapBackend::insert_scan(self, &scan, engine)
             }
-            Some(shards) => Ok(self.insert_points_parallel(origin, points, shards)?),
+            Some(shards) => Ok(self.try_insert_points_parallel(origin, points, shards)?),
         }
     }
 

@@ -1,8 +1,10 @@
 //! Map construction: every knob resolved up front.
 
+use std::sync::Arc;
+
 use omu_core::{OmuAccelerator, OmuConfig};
 use omu_geometry::OccupancyParams;
-use omu_octree::{OctreeF32, OctreeFixed};
+use omu_octree::{OctreeF32, OctreeFixed, WorkerPool};
 use omu_raycast::{FrontEnd, IntegrationMode};
 
 use crate::engine::Engine;
@@ -88,6 +90,7 @@ pub struct MapBuilder {
     max_range: Option<f64>,
     pruning: bool,
     change_detection: bool,
+    worker_threads: usize,
 }
 
 impl MapBuilder {
@@ -105,6 +108,7 @@ impl MapBuilder {
             max_range: None,
             pruning: true,
             change_detection: false,
+            worker_threads: 0,
         }
     }
 
@@ -152,6 +156,19 @@ impl MapBuilder {
     /// Enables or disables pruning (default: enabled).
     pub fn pruning(mut self, enabled: bool) -> Self {
         self.pruning = enabled;
+        self
+    }
+
+    /// Sets the size of the persistent worker pool that backs every
+    /// parallel path of the software backends (sharded batch applies,
+    /// pipeline ray casting, chunked batch reads). `0` (the default)
+    /// resolves to `max(8, available CPUs)` — 8 because the sharded
+    /// write engine splits work by first-level branch, of which there
+    /// are exactly 8. Workers spawn lazily on first use and persist for
+    /// the map's lifetime, so no parallel call ever pays a thread
+    /// spawn. Ignored by the accelerator backend (one modeled device).
+    pub fn worker_threads(mut self, threads: usize) -> Self {
+        self.worker_threads = threads;
         self
     }
 
@@ -212,6 +229,9 @@ impl MapBuilder {
         tree.set_max_range(self.max_range);
         tree.set_pruning_enabled(self.pruning);
         tree.set_change_detection(self.change_detection);
+        if self.worker_threads > 0 {
+            tree.set_worker_pool(Arc::new(WorkerPool::new(self.worker_threads)));
+        }
     }
 }
 

@@ -6,7 +6,7 @@ use std::io;
 
 use omu_core::{AccelError, CapacityError, ConfigError};
 use omu_geometry::{KeyError, ResolutionError};
-use omu_octree::{DeserializeError, ReadError};
+use omu_octree::{DeserializeError, ParallelInsertError, ReadError, TaskPanic};
 
 /// Any error an [`OccupancyMap`](crate::OccupancyMap) operation can
 /// produce — one type across both backends, replacing the historical
@@ -51,6 +51,10 @@ pub enum MapError {
     Io(io::Error),
     /// Persisted bytes did not decode to a valid map.
     Decode(DeserializeError),
+    /// A worker-pool task panicked during a parallel operation. The map
+    /// stays structurally valid and usable, but the failed batch may be
+    /// partially applied.
+    WorkerPanicked(TaskPanic),
 }
 
 impl fmt::Display for MapError {
@@ -70,6 +74,7 @@ impl fmt::Display for MapError {
             }
             MapError::Io(e) => write!(f, "i/o error: {e}"),
             MapError::Decode(e) => write!(f, "invalid map data: {e}"),
+            MapError::WorkerPanicked(p) => write!(f, "parallel operation failed: {p}"),
         }
     }
 }
@@ -83,6 +88,7 @@ impl Error for MapError {
             MapError::Capacity(e) => Some(e),
             MapError::Io(e) => Some(e),
             MapError::Decode(e) => Some(e),
+            MapError::WorkerPanicked(p) => Some(p),
             MapError::InvalidShards(_) | MapError::Unsupported { .. } => None,
         }
     }
@@ -129,6 +135,25 @@ impl From<ReadError> for MapError {
         match e {
             ReadError::Io(e) => MapError::Io(e),
             ReadError::Decode(e) => MapError::Decode(e),
+        }
+    }
+}
+
+impl From<TaskPanic> for MapError {
+    fn from(p: TaskPanic) -> Self {
+        MapError::WorkerPanicked(p)
+    }
+}
+
+impl From<ParallelInsertError> for MapError {
+    fn from(e: ParallelInsertError) -> Self {
+        match e {
+            ParallelInsertError::Key(e) => MapError::OutOfBounds(e),
+            ParallelInsertError::WorkerPanic(p) => MapError::WorkerPanicked(p),
+            _ => MapError::Unsupported {
+                backend: "software",
+                feature: "this parallel-insert failure mode",
+            },
         }
     }
 }

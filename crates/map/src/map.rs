@@ -292,6 +292,34 @@ impl OccupancyMap {
         self.backend_mut().take_query_counters()
     }
 
+    /// Cumulative statistics of the persistent worker pool behind the
+    /// software backends' parallel paths, if one has been created (the
+    /// pool is lazy: it first exists after a parallel insert or batch
+    /// read, or up front via
+    /// [`MapBuilder::worker_threads`](crate::MapBuilder::worker_threads)).
+    /// `threads_spawned` staying flat across calls is the observable
+    /// "zero per-call thread spawns" guarantee; `None` on the
+    /// accelerator backend.
+    pub fn pool_stats(&self) -> Option<omu_octree::PoolStats> {
+        match &self.inner {
+            Inner::Software(t) => t.pool_stats(),
+            Inner::SoftwareFixed(t) => t.pool_stats(),
+            Inner::Accelerator(_) => None,
+        }
+    }
+
+    /// Test hook: makes the next sharded apply panic inside the worker
+    /// that owns `branch`, to exercise the typed
+    /// [`MapError::WorkerPanicked`] path. No-op on the accelerator.
+    #[doc(hidden)]
+    pub fn debug_inject_worker_panic(&mut self, branch: Option<usize>) {
+        match &mut self.inner {
+            Inner::Software(t) => t.debug_inject_worker_panic(branch),
+            Inner::SoftwareFixed(t) => t.debug_inject_worker_panic(branch),
+            Inner::Accelerator(_) => {}
+        }
+    }
+
     /// Number of leaves (finest voxels and pruned regions).
     pub fn num_leaves(&self) -> usize {
         self.backend().num_leaves()

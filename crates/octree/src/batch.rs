@@ -34,6 +34,7 @@
 //! exactly that (one arena shard per branch, like the paper's PEs).
 
 use omu_geometry::{LogOdds, VoxelKey, TREE_DEPTH};
+use omu_pool::TaskPanic;
 use omu_raycast::VoxelUpdate;
 use serde::{Deserialize, Serialize};
 
@@ -298,19 +299,46 @@ impl<V: LogOdds> OccupancyOctree<V> {
             DeltaMode::HitMiss { hit, miss },
             None,
         )
+        .expect("the sequential walk spawns no workers")
     }
 
     /// [`apply_update_batch`](Self::apply_update_batch) with the tree walk
-    /// fanned out over up to `shards` threads, one first-level branch
-    /// subtree (arena shard) owned per worker — the software mirror of the
+    /// fanned out over up to `shards` pool workers, one first-level branch
+    /// subtree (arena shard) owned per task — the software mirror of the
     /// paper's per-PE T-Mem banks. `0` resolves to one shard per
     /// available CPU. The resulting tree is bit-identical to the scalar
     /// and sequential-batched paths.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics while applying a branch (the tree
+    /// stays structurally valid; see
+    /// [`try_apply_update_batch_parallel`](Self::try_apply_update_batch_parallel)
+    /// for the non-panicking form).
     pub fn apply_update_batch_parallel(
         &mut self,
         updates: &[VoxelUpdate],
         shards: usize,
     ) -> BatchStats {
+        self.try_apply_update_batch_parallel(updates, shards)
+            .unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// [`apply_update_batch_parallel`](Self::apply_update_batch_parallel)
+    /// reporting worker panics as a typed [`TaskPanic`] instead of
+    /// unwinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskPanic`] when a branch task panicked. Every branch
+    /// shard has been reattached and the root spine finished — the tree
+    /// remains structurally valid (`debug_validate`-clean) and usable,
+    /// though the failed batch may be partially applied.
+    pub fn try_apply_update_batch_parallel(
+        &mut self,
+        updates: &[VoxelUpdate],
+        shards: usize,
+    ) -> Result<BatchStats, TaskPanic> {
         let hit = self.resolved.hit;
         let miss = self.resolved.miss;
         self.apply_batch_with(
@@ -334,16 +362,40 @@ impl<V: LogOdds> OccupancyOctree<V> {
             DeltaMode::Raw,
             None,
         )
+        .expect("the sequential walk spawns no workers")
     }
 
     /// [`apply_logodds_batch`](Self::apply_logodds_batch) through the
     /// subtree-sharded parallel walk (see
     /// [`apply_update_batch_parallel`](Self::apply_update_batch_parallel)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics while applying a branch (see
+    /// [`try_apply_logodds_batch_parallel`](Self::try_apply_logodds_batch_parallel)).
     pub fn apply_logodds_batch_parallel(
         &mut self,
         updates: &[(VoxelKey, V)],
         shards: usize,
     ) -> BatchStats {
+        self.try_apply_logodds_batch_parallel(updates, shards)
+            .unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// [`apply_logodds_batch_parallel`](Self::apply_logodds_batch_parallel)
+    /// reporting worker panics as a typed [`TaskPanic`] instead of
+    /// unwinding (same contract as
+    /// [`try_apply_update_batch_parallel`](Self::try_apply_update_batch_parallel)).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskPanic`] when a branch task panicked; the tree stays
+    /// structurally valid.
+    pub fn try_apply_logodds_batch_parallel(
+        &mut self,
+        updates: &[(VoxelKey, V)],
+        shards: usize,
+    ) -> Result<BatchStats, TaskPanic> {
         self.apply_batch_with(
             updates,
             |&(key, _)| key,
@@ -373,7 +425,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         delta_of: D,
         mode: DeltaMode<V>,
         parallel_shards: Option<usize>,
-    ) -> BatchStats
+    ) -> Result<BatchStats, TaskPanic>
     where
         K: Fn(&T) -> VoxelKey,
         B: Fn(&T) -> u8,
@@ -384,7 +436,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
             ..BatchStats::default()
         };
         if updates.is_empty() {
-            return stats;
+            return Ok(stats);
         }
         assert!(
             updates.len() <= u32::MAX as usize,
@@ -457,8 +509,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
             }
         }
 
-        self.finish_grouped_batch(scratch, mode, &mut stats, parallel_shards);
-        stats
+        self.finish_grouped_batch(scratch, mode, &mut stats, parallel_shards)?;
+        Ok(stats)
     }
 
     /// The streaming form of [`apply_update_batch`](Self::apply_update_batch):
@@ -473,11 +525,34 @@ impl<V: LogOdds> OccupancyOctree<V> {
     ///
     /// Returns `fill`'s result alongside the batch statistics (an empty
     /// stream touches nothing and reports zero updates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics while applying a sharded batch (see
+    /// [`try_apply_update_stream`](Self::try_apply_update_stream)).
     pub fn apply_update_stream<R>(
         &mut self,
         parallel_shards: Option<usize>,
         fill: impl FnOnce(&mut UpdateSink<'_, V>) -> R,
     ) -> (R, BatchStats) {
+        self.try_apply_update_stream(parallel_shards, fill)
+            .unwrap_or_else(|p| panic!("{p}"))
+    }
+
+    /// [`apply_update_stream`](Self::apply_update_stream) reporting worker
+    /// panics as a typed [`TaskPanic`] instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TaskPanic`] when a pool task panicked during the sharded
+    /// walk; the tree stays structurally valid (all shards reattached),
+    /// though the batch may be partially applied and `fill`'s result is
+    /// lost.
+    pub fn try_apply_update_stream<R>(
+        &mut self,
+        parallel_shards: Option<usize>,
+        fill: impl FnOnce(&mut UpdateSink<'_, V>) -> R,
+    ) -> Result<(R, BatchStats), TaskPanic> {
         let hit = self.resolved.hit;
         let miss = self.resolved.miss;
 
@@ -500,7 +575,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         };
         if scratch.ids.is_empty() {
             self.batch_scratch = scratch;
-            return (result, stats);
+            return Ok((result, stats));
         }
 
         // Turn counts into ranges (see `apply_batch_with`).
@@ -532,8 +607,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
             DeltaMode::HitMiss { hit, miss },
             &mut stats,
             parallel_shards,
-        );
-        (result, stats)
+        )?;
+        Ok((result, stats))
     }
 
     /// Shared tail of the batched paths, from grouped-and-scattered
@@ -545,7 +620,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         mode: DeltaMode<V>,
         stats: &mut BatchStats,
         parallel_shards: Option<usize>,
-    ) {
+    ) -> Result<(), TaskPanic> {
         // Morton order over unique keys only (all distinct, so an
         // unstable sort is fine).
         scratch.order.extend(0..scratch.keys.len() as u32);
@@ -563,16 +638,22 @@ impl<V: LogOdds> OccupancyOctree<V> {
             root_just_created = true;
         }
 
-        match parallel_shards {
-            None => self.walk_sequential(&scratch, mode, stats, root_just_created),
+        let walked = match parallel_shards {
+            None => {
+                self.walk_sequential(&scratch, mode, stats, root_just_created);
+                Ok(())
+            }
             Some(shards) => self.walk_sharded(&scratch, mode, stats, root_just_created, shards),
-        }
+        };
 
+        // Scratch restore and counter accounting run even when a worker
+        // panicked — the tree is structurally finished either way.
         self.batch_scratch = scratch;
         self.counters.batch_updates += stats.updates;
         self.counters.batch_coalesced += stats.coalesced;
         self.counters.batch_reused_levels += stats.reused_levels;
         self.counters.batch_deferred_finishes += stats.deferred_finishes;
+        walked
     }
 
     /// The sequential cached-descent walk over the grouped, Morton-sorted

@@ -3,9 +3,55 @@
 //! flavours.
 
 use omu_geometry::{KeyError, LogOdds, Point3, Scan};
+use omu_pool::TaskPanic;
 use omu_raycast::{IntegrationStats, ScanIntegrator, ScanPipeline};
 
 use crate::tree::OccupancyOctree;
+
+/// Why a `try_*` parallel insertion failed: either the scan itself was
+/// unusable (bad origin), or a pool worker panicked while applying the
+/// sharded batch.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ParallelInsertError {
+    /// The scan origin was outside the addressable map; nothing was
+    /// applied.
+    Key(KeyError),
+    /// A worker panicked during the sharded batch apply. The tree stays
+    /// structurally valid (every shard reattached), but the scan may be
+    /// partially applied.
+    WorkerPanic(TaskPanic),
+}
+
+impl std::fmt::Display for ParallelInsertError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Key(e) => e.fmt(f),
+            Self::WorkerPanic(p) => p.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ParallelInsertError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Key(e) => Some(e),
+            Self::WorkerPanic(p) => Some(p),
+        }
+    }
+}
+
+impl From<KeyError> for ParallelInsertError {
+    fn from(e: KeyError) -> Self {
+        Self::Key(e)
+    }
+}
+
+impl From<TaskPanic> for ParallelInsertError {
+    fn from(p: TaskPanic) -> Self {
+        Self::WorkerPanic(p)
+    }
+}
 
 impl<V: LogOdds> OccupancyOctree<V> {
     /// Integrates a full scan: every ray marks the cells it traverses as
@@ -84,21 +130,27 @@ impl<V: LogOdds> OccupancyOctree<V> {
         result: Result<IntegrationStats, KeyError>,
         updates: Vec<omu_raycast::VoxelUpdate>,
         apply_shards: Option<usize>,
-    ) -> Result<IntegrationStats, KeyError> {
+    ) -> Result<IntegrationStats, ParallelInsertError> {
         match result {
             Ok(stats) => {
-                match apply_shards {
-                    None => self.apply_update_batch(&updates),
-                    Some(shards) => self.apply_update_batch_parallel(&updates, shards),
+                let applied = match apply_shards {
+                    None => {
+                        self.apply_update_batch(&updates);
+                        Ok(())
+                    }
+                    Some(shards) => self
+                        .try_apply_update_batch_parallel(&updates, shards)
+                        .map(|_| ()),
                 };
                 self.scratch_updates = updates;
+                applied?;
                 self.counters.dda_steps += stats.dda_steps;
                 Ok(stats)
             }
             Err(e) => {
                 // Keep the buffer's capacity even on a bad-origin scan.
                 self.scratch_updates = updates;
-                Err(e)
+                Err(e.into())
             }
         }
     }
@@ -142,12 +194,34 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// # Errors
     ///
     /// Same contract as [`Self::insert_scan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics during the sharded batch apply (see
+    /// [`Self::try_insert_scan_parallel`] for the non-panicking form).
     pub fn insert_scan_parallel(
         &mut self,
         scan: &Scan,
         threads: usize,
     ) -> Result<IntegrationStats, KeyError> {
         self.insert_points_parallel(scan.origin, scan.cloud.points(), threads)
+    }
+
+    /// [`Self::insert_scan_parallel`] reporting pool-worker panics as a
+    /// typed [`ParallelInsertError::WorkerPanic`] instead of unwinding.
+    ///
+    /// # Errors
+    ///
+    /// [`ParallelInsertError::Key`] when the scan origin is outside the
+    /// map (nothing applied), [`ParallelInsertError::WorkerPanic`] when a
+    /// worker panicked mid-apply (tree structurally valid, scan possibly
+    /// partially applied).
+    pub fn try_insert_scan_parallel(
+        &mut self,
+        scan: &Scan,
+        threads: usize,
+    ) -> Result<IntegrationStats, ParallelInsertError> {
+        self.try_insert_points_parallel(scan.origin, scan.cloud.points(), threads)
     }
 
     /// The borrow-based form of [`Self::insert_scan_parallel`]: integrates
@@ -158,12 +232,37 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// # Errors
     ///
     /// Same contract as [`Self::insert_scan`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a pool worker panics during the sharded batch apply (see
+    /// [`Self::try_insert_points_parallel`]).
     pub fn insert_points_parallel(
         &mut self,
         origin: Point3,
         points: &[Point3],
         threads: usize,
     ) -> Result<IntegrationStats, KeyError> {
+        match self.try_insert_points_parallel(origin, points, threads) {
+            Ok(stats) => Ok(stats),
+            Err(ParallelInsertError::Key(e)) => Err(e),
+            Err(ParallelInsertError::WorkerPanic(p)) => panic!("{p}"),
+        }
+    }
+
+    /// [`Self::insert_points_parallel`] reporting pool-worker panics as a
+    /// typed [`ParallelInsertError::WorkerPanic`] instead of unwinding
+    /// (same contract as [`Self::try_insert_scan_parallel`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`Self::try_insert_scan_parallel`].
+    pub fn try_insert_points_parallel(
+        &mut self,
+        origin: Point3,
+        points: &[Point3],
+        threads: usize,
+    ) -> Result<IntegrationStats, ParallelInsertError> {
         // Resolve `0 = per-CPU` before the cache check, so a cached
         // pipeline built with an explicit shard count is not silently
         // reused for an auto-sharded call (or vice versa).
@@ -201,6 +300,13 @@ impl<V: LogOdds> OccupancyOctree<V> {
             let stats = result?;
             self.counters.dda_steps += stats.dda_steps;
             return Ok(stats);
+        }
+
+        // The fan-out path runs on the tree's persistent pool: share it
+        // with the pipeline so ray casting and the sharded apply reuse
+        // one set of workers.
+        if pipeline.worker_pool().is_none() {
+            pipeline.set_pool(self.worker_pool_handle());
         }
 
         let mut updates = std::mem::take(&mut self.scratch_updates);

@@ -44,10 +44,12 @@
 //! `insert_points_parallel`): the arena is partitioned into one
 //! independently-ownable shard per first-level branch (like the paper's
 //! per-PE T-Mem banks), a Morton-sorted batch splits into ≤ 8 contiguous
-//! per-branch runs over disjoint subtrees, and each run is applied on
-//! its own thread before the shards reattach and the root spine is
-//! finished once — bit-identical to the scalar path, including
-//! operation counters.
+//! per-branch runs over disjoint subtrees, and each run is queued on the
+//! tree's persistent [`WorkerPool`] (no per-call thread spawns) before
+//! the shards reattach and the root spine is finished once —
+//! bit-identical to the scalar path, including operation counters. A
+//! worker panic surfaces as a typed [`TaskPanic`] through the `try_*`
+//! entry points, with every shard reattached first.
 //!
 //! # Examples
 //!
@@ -87,11 +89,15 @@ mod walk;
 
 pub use batch::{BatchStats, UpdateSink};
 pub use counters::{OpCounters, QueryCounters};
+pub use insert::ParallelInsertError;
 pub use io::ReadError;
 pub use iter::{LeafInfo, LeafIter};
+pub use omu_pool::{PoolStats, TaskPanic, WorkerPool};
 pub use query::{cast_ray_resuming, cast_ray_with, collides_sphere_with, RayCastResult};
 pub use query_batch::{serve_morton_coalesced, DescentCursor};
 pub use region::LeafInBoxIter;
 pub use serialize::DeserializeError;
+#[doc(hidden)]
+pub use shard::ParallelDispatch;
 pub use stats::{MemoryStats, TreeStats};
 pub use tree::{OccupancyOctree, OctreeF32, OctreeFixed};

@@ -378,12 +378,13 @@ impl<V: LogOdds> OccupancyOctree<V> {
     }
 
     /// [`query_batch`](Self::query_batch) with the batch chunked across
-    /// up to `shards` threads (`0` = one per available CPU, capped at 8,
-    /// the same policy as the write-side engines). Each worker
+    /// up to `shards` tasks on the tree's persistent
+    /// [`WorkerPool`](omu_pool::WorkerPool) (`0` = one per available CPU,
+    /// capped at 8, the same policy as the write-side engines). Each task
     /// Morton-sorts and serves its chunk through its own cursor —
     /// `&self` queries touch no shared mutable state, so the read path
     /// needs no arena changes at all. Results are bit-identical to the
-    /// sequential path; per-worker counters merge in chunk order.
+    /// sequential path; per-task counters merge in chunk order.
     pub fn query_batch_parallel(&mut self, keys: &[VoxelKey], shards: usize) -> &[Occupancy] {
         let workers = resolve_apply_shards(shards).min(keys.len().max(1));
         if workers <= 1 || keys.len() < PARALLEL_QUERY_MIN_KEYS {
@@ -394,27 +395,60 @@ impl<V: LogOdds> OccupancyOctree<V> {
         scratch.results.resize(keys.len(), Occupancy::Unknown);
 
         let chunk = keys.len().div_ceil(workers);
+
+        // Legacy spawn-per-call dispatch, kept behind the doc(hidden)
+        // knob so the benches can record scoped-vs-pooled rows.
+        if self.parallel_dispatch == crate::shard::ParallelDispatch::ScopedThreads {
+            let tree = &*self;
+            let mut merged = QueryCounters::default();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = keys
+                    .chunks(chunk)
+                    .zip(scratch.results.chunks_mut(chunk))
+                    .map(|(keys_chunk, out_chunk)| {
+                        s.spawn(move || {
+                            let mut order = Vec::new();
+                            let (mut c, coalesced) =
+                                serve_chunk(tree, keys_chunk, &mut order, out_chunk);
+                            c.batch_queries = keys_chunk.len() as u64;
+                            c.batch_coalesced = coalesced;
+                            c
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    merged.merge(&h.join().expect("query worker panicked"));
+                }
+            });
+            self.query_counters.merge(&merged);
+            self.query_scratch = scratch;
+            return &self.query_scratch.results;
+        }
+
+        let pool = self.worker_pool_handle();
         let tree = &*self;
-        let mut merged = QueryCounters::default();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = keys
+        let nchunks = keys.len().div_ceil(chunk);
+        let mut slots: Vec<Option<QueryCounters>> = (0..nchunks).map(|_| None).collect();
+        pool.scope(|s| {
+            for (i, ((keys_chunk, out_chunk), slot)) in keys
                 .chunks(chunk)
                 .zip(scratch.results.chunks_mut(chunk))
-                .map(|(keys_chunk, out_chunk)| {
-                    s.spawn(move || {
-                        let mut order = Vec::new();
-                        let (mut c, coalesced) =
-                            serve_chunk(tree, keys_chunk, &mut order, out_chunk);
-                        c.batch_queries = keys_chunk.len() as u64;
-                        c.batch_coalesced = coalesced;
-                        c
-                    })
-                })
-                .collect();
-            for h in handles {
-                merged.merge(&h.join().expect("query worker panicked"));
+                .zip(slots.iter_mut())
+                .enumerate()
+            {
+                s.spawn_on(i, move || {
+                    let mut order = Vec::new();
+                    let (mut c, coalesced) = serve_chunk(tree, keys_chunk, &mut order, out_chunk);
+                    c.batch_queries = keys_chunk.len() as u64;
+                    c.batch_coalesced = coalesced;
+                    *slot = Some(c);
+                });
             }
         });
+        let mut merged = QueryCounters::default();
+        for slot in slots {
+            merged.merge(&slot.expect("query chunk task completed"));
+        }
         self.query_counters.merge(&merged);
         self.query_scratch = scratch;
         &self.query_scratch.results
@@ -477,35 +511,76 @@ impl<V: LogOdds> OccupancyOctree<V> {
         }
 
         let chunk = rays.len().div_ceil(workers);
-        let tree = &*self;
-        let mut merged = QueryCounters::default();
-        let mut chunks_out: Vec<Result<Vec<RayCastResult>, KeyError>> = Vec::new();
-        std::thread::scope(|s| {
-            let handles: Vec<_> = rays
-                .chunks(chunk)
-                .map(|rays_chunk| {
-                    s.spawn(move || {
-                        let mut cursor = DescentCursor::new(tree);
-                        let res = rays_chunk
-                            .iter()
-                            .map(|&(o, d)| cursor.cast_ray(o, d, max_range, ignore_unknown))
-                            .collect::<Result<Vec<_>, _>>();
-                        (res, cursor.into_counters())
+
+        // Legacy spawn-per-call dispatch (see `query_batch_parallel`).
+        if self.parallel_dispatch == crate::shard::ParallelDispatch::ScopedThreads {
+            let tree = &*self;
+            let mut merged = QueryCounters::default();
+            let mut chunks_out: Vec<Result<Vec<RayCastResult>, KeyError>> = Vec::new();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = rays
+                    .chunks(chunk)
+                    .map(|rays_chunk| {
+                        s.spawn(move || {
+                            let mut cursor = DescentCursor::new(tree);
+                            let res = rays_chunk
+                                .iter()
+                                .map(|&(o, d)| cursor.cast_ray(o, d, max_range, ignore_unknown))
+                                .collect::<Result<Vec<_>, _>>();
+                            (res, cursor.into_counters())
+                        })
                     })
-                })
-                .collect();
-            for h in handles {
-                let (res, counters) = h.join().expect("cast_rays worker panicked");
-                merged.merge(&counters);
-                chunks_out.push(res);
+                    .collect();
+                for h in handles {
+                    let (res, counters) = h.join().expect("cast_rays worker panicked");
+                    merged.merge(&counters);
+                    chunks_out.push(res);
+                }
+            });
+            self.query_counters.merge(&merged);
+            let mut out = Vec::with_capacity(rays.len());
+            for chunk_res in chunks_out {
+                out.extend(chunk_res?);
+            }
+            return Ok(out);
+        }
+
+        let pool = self.worker_pool_handle();
+        let tree = &*self;
+        let nchunks = rays.len().div_ceil(chunk);
+        type CastSlot = Option<(Result<Vec<RayCastResult>, KeyError>, QueryCounters)>;
+        let mut slots: Vec<CastSlot> = (0..nchunks).map(|_| None).collect();
+        pool.scope(|s| {
+            for (i, (rays_chunk, slot)) in rays.chunks(chunk).zip(slots.iter_mut()).enumerate() {
+                s.spawn_on(i, move || {
+                    let mut cursor = DescentCursor::new(tree);
+                    let res = rays_chunk
+                        .iter()
+                        .map(|&(o, d)| cursor.cast_ray(o, d, max_range, ignore_unknown))
+                        .collect::<Result<Vec<_>, _>>();
+                    *slot = Some((res, cursor.into_counters()));
+                });
             }
         });
-        self.query_counters.merge(&merged);
+        let mut merged = QueryCounters::default();
         let mut out = Vec::with_capacity(rays.len());
-        for chunk_res in chunks_out {
-            out.extend(chunk_res?);
+        let mut first_err = None;
+        for slot in slots {
+            let (res, counters) = slot.expect("cast_rays chunk task completed");
+            merged.merge(&counters);
+            match res {
+                Ok(results) if first_err.is_none() => out.extend(results),
+                Ok(_) => {}
+                Err(e) => {
+                    first_err.get_or_insert(e);
+                }
+            }
         }
-        Ok(out)
+        self.query_counters.merge(&merged);
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 
     /// [`collides_sphere`](Self::collides_sphere) through a cursor: the

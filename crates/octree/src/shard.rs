@@ -24,6 +24,7 @@
 //! would have executed when crossing that branch.
 
 use omu_geometry::{LogOdds, ResolvedParams, VoxelKey, TREE_DEPTH};
+use omu_pool::TaskPanic;
 
 use crate::arena::{ArenaShard, NodeStore, NUM_BRANCHES};
 use crate::batch::{BatchScratch, BatchStats, DeltaMode};
@@ -33,10 +34,27 @@ use crate::tree::OccupancyOctree;
 use crate::walk::WalkCtx;
 
 /// Minimum number of unique keys in a batch before the sharded apply
-/// spawns worker threads. Below this, `thread::scope` spawn/join costs
-/// more than the walk itself, so the batch runs through the sequential
+/// fans out to pool workers. Queueing on the persistent pool is far
+/// cheaper than the old per-call `thread::scope` spawn (a futex wake vs
+/// a clone(2)), but below this the dispatch bookkeeping still exceeds
+/// the walk itself, so the batch runs through the sequential
 /// cached-descent walk instead (bit-identical output and counters).
 pub(crate) const PARALLEL_APPLY_MIN_KEYS: usize = 1024;
+
+/// How the sharded write path runs its branch tasks.
+///
+/// Hidden from docs: `Pooled` is the production path; `ScopedThreads`
+/// preserves the pre-pool per-call `std::thread::scope` spawn purely so
+/// the benches can record an honest scoped-vs-pooled comparison.
+#[doc(hidden)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParallelDispatch {
+    /// Queue branch tasks on the tree's persistent [`omu_pool::WorkerPool`].
+    #[default]
+    Pooled,
+    /// Spawn scoped threads per call (legacy; benches only).
+    ScopedThreads,
+}
 
 /// A worker's storage view: its branch shard plus the branch's depth-1
 /// node copied out of the spine row (written back after the join).
@@ -147,6 +165,13 @@ pub(crate) fn resolve_apply_shards(requested: usize) -> usize {
 impl<V: LogOdds> OccupancyOctree<V> {
     /// The subtree-sharded counterpart of `walk_sequential`: called by the
     /// batch engine after grouping/sorting, with the root already in place.
+    ///
+    /// On a worker panic in the pooled fan-out, every branch shard is
+    /// still reattached (the tasks — and therefore the detached shards —
+    /// stay owned by this thread; workers only borrow them), the root
+    /// spine is finished, and the panic is reported as [`TaskPanic`]: the
+    /// tree remains structurally valid (`debug_validate`-clean), though
+    /// the batch's value updates may be partially applied.
     pub(crate) fn walk_sharded(
         &mut self,
         scratch: &BatchScratch<V>,
@@ -154,7 +179,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         stats: &mut BatchStats,
         mut root_just_created: bool,
         shards: usize,
-    ) {
+    ) -> Result<(), TaskPanic> {
         let workers = resolve_apply_shards(shards);
         let root = self.root;
 
@@ -208,23 +233,25 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let pruning = self.pruning_enabled;
         let track_changes = self.changed.is_some();
 
-        // Spawn-amortization fast path: below the threshold the
-        // `thread::scope` spawn/join overhead dominates the walk, so run
-        // every branch task inline on this thread — same stores, same
-        // deferred-finish order, bit-identical output and counters.
+        // Dispatch-amortization fast path: below the threshold even pool
+        // dispatch bookkeeping dominates the walk, so run every branch
+        // task inline on this thread — same stores, same deferred-finish
+        // order, bit-identical output and counters.
         let spawn_worthy = scratch.order.len() >= PARALLEL_APPLY_MIN_KEYS;
         let nworkers = if spawn_worthy {
             workers.min(tasks.len()).max(1)
         } else {
             1
         };
+        let mut panicked: Option<TaskPanic> = None;
         if nworkers <= 1 {
             for task in &mut tasks {
                 run_branch_task(task, scratch, mode, resolved, pruning, track_changes);
             }
-        } else {
-            // Round-robin branches over workers; each worker owns its
-            // tasks (and their shards) for the duration of the scope.
+        } else if self.parallel_dispatch == ParallelDispatch::ScopedThreads {
+            // Legacy dispatch, kept for the benches' scoped-vs-pooled
+            // rows: round-robin branches over freshly spawned scoped
+            // threads; each thread owns its tasks for the scope.
             let mut groups: Vec<Vec<BranchTask<V>>> = (0..nworkers).map(|_| Vec::new()).collect();
             for (i, task) in tasks.drain(..).enumerate() {
                 groups[i % nworkers].push(task);
@@ -255,11 +282,33 @@ impl<V: LogOdds> OccupancyOctree<V> {
             });
             tasks = finished;
             tasks.sort_unstable_by_key(|t| t.branch);
+        } else {
+            // Pooled dispatch: branch i's task goes to queue i % n, the
+            // same round-robin the scoped path used, but onto persistent
+            // workers — zero thread spawns per call. Workers only borrow
+            // the tasks; the Vec (and the detached shards inside) stays
+            // owned here, so reattachment below succeeds even if a task
+            // panics mid-walk.
+            let pool = self.worker_pool_handle();
+            let inject = self.debug_panic_branch;
+            let result = pool.try_scope(|s| {
+                for (i, task) in tasks.iter_mut().enumerate() {
+                    s.spawn_on(i % nworkers, move || {
+                        if inject == Some(task.branch) {
+                            panic!("injected worker panic on branch {}", task.branch);
+                        }
+                        run_branch_task(task, scratch, mode, resolved, pruning, track_changes);
+                    });
+                }
+            });
+            panicked = result.err();
         }
 
         // Reattach shards, write the depth-1 nodes back to the spine row,
         // and merge in fixed branch order so counters, stats and change
-        // logs are deterministic regardless of thread timing.
+        // logs are deterministic regardless of thread timing. This runs
+        // unconditionally — also after a worker panic — so the tree is
+        // never left with detached branches.
         for mut task in tasks {
             self.arena.put_branch(task.branch, task.store.shard);
             *self.arena.node_mut(task.store.branch_idx) = task.store.branch_node;
@@ -275,6 +324,11 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let mut ctx = self.walk_ctx();
         ctx.finish_node(root, 0);
         stats.deferred_finishes += 1;
+
+        match panicked {
+            Some(panic) => Err(panic),
+            None => Ok(()),
+        }
     }
 }
 

@@ -1,9 +1,12 @@
 //! The occupancy octree type, construction and basic accessors.
 
+use std::sync::Arc;
+
 use omu_geometry::{
     KeyConverter, KeyError, LogOdds, Occupancy, OccupancyParams, Point3, ResolutionError,
     ResolvedParams, VoxelKey, TREE_DEPTH,
 };
+use omu_pool::{PoolStats, WorkerPool};
 use omu_raycast::{FrontEnd, IntegrationMode, ScanIntegrator, ScanPipeline, VoxelUpdate};
 use rustc_hash::FxHashSet;
 
@@ -41,6 +44,15 @@ pub struct OccupancyOctree<V: LogOdds> {
     // Fx instead of SipHash: change tracking inserts a structured key per
     // classification flip on the hottest path; see `rustc_hash`.
     pub(crate) changed: Option<FxHashSet<VoxelKey>>,
+    /// Persistent workers behind every parallel engine path; created
+    /// lazily on first parallel call, or injected (shared) by the map
+    /// facade. Clones of the tree share the pool.
+    pub(crate) worker_pool: Option<Arc<WorkerPool>>,
+    /// How the sharded write path dispatches branch tasks (pooled by
+    /// default; the legacy scoped-spawn form survives for benchmarks).
+    pub(crate) parallel_dispatch: crate::shard::ParallelDispatch,
+    /// Test hook: branch whose task panics inside the pooled fan-out.
+    pub(crate) debug_panic_branch: Option<usize>,
 }
 
 /// The floating-point baseline tree (OctoMap's native representation).
@@ -93,7 +105,64 @@ impl<V: LogOdds> OccupancyOctree<V> {
             query_counters: QueryCounters::default(),
             query_scratch: QueryScratch::default(),
             changed: None,
+            worker_pool: None,
+            parallel_dispatch: crate::shard::ParallelDispatch::default(),
+            debug_panic_branch: None,
         })
+    }
+
+    /// Installs a shared [`WorkerPool`] for every parallel path on this
+    /// tree (sharded batch apply, parallel queries, the scan front end).
+    /// Without this, the tree creates its own pool on the first parallel
+    /// call. The map facade uses it so read and write paths — and both
+    /// backends of a mixed deployment — reuse one set of warmed workers.
+    pub fn set_worker_pool(&mut self, pool: Arc<WorkerPool>) {
+        // The cached pipeline holds a handle to the previous pool; drop
+        // it so the next parallel insert picks up the shared one.
+        self.scratch_pipeline = None;
+        self.worker_pool = Some(pool);
+    }
+
+    /// The worker pool behind this tree's parallel paths, if one exists
+    /// yet (none is created until the first parallel call).
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.worker_pool.as_ref()
+    }
+
+    /// Pool counters for this tree's parallel paths ([`PoolStats`]), or
+    /// `None` if no parallel path has run yet. `threads_spawned` staying
+    /// flat across calls is the observable "zero per-call spawns"
+    /// guarantee.
+    pub fn pool_stats(&self) -> Option<PoolStats> {
+        self.worker_pool.as_ref().map(|p| p.stats())
+    }
+
+    /// Get-or-create the tree's pool. Capacity covers both the 8 branch
+    /// shards of the write path and a full-width ray-casting fan-out on
+    /// hosts with more cores; workers spawn lazily, so the headroom is
+    /// free until used.
+    pub(crate) fn worker_pool_handle(&mut self) -> Arc<WorkerPool> {
+        Arc::clone(self.worker_pool.get_or_insert_with(|| {
+            let threads = crate::arena::NUM_BRANCHES
+                .max(std::thread::available_parallelism().map_or(1, |n| n.get()));
+            Arc::new(WorkerPool::new(threads))
+        }))
+    }
+
+    /// Selects the dispatch mechanism for the sharded write path. Only
+    /// the benches use the legacy scoped form, to keep an honest
+    /// scoped-vs-pooled comparison in the recorded JSONs.
+    #[doc(hidden)]
+    pub fn set_parallel_dispatch(&mut self, dispatch: crate::shard::ParallelDispatch) {
+        self.parallel_dispatch = dispatch;
+    }
+
+    /// Test hook: make the pooled branch task for `branch` panic, to
+    /// exercise worker-panic propagation. `None` disarms it. Only fires
+    /// on the pooled fan-out path (batches large enough to fan out).
+    #[doc(hidden)]
+    pub fn debug_inject_worker_panic(&mut self, branch: Option<usize>) {
+        self.debug_panic_branch = branch;
     }
 
     /// The map resolution in metres.

@@ -8,12 +8,17 @@
 //! octree's Morton-sorted batch engine.
 //!
 //! This type is the *stateless* (`&self`) form: each call stands up a
-//! one-shot [`ScanPipeline`] and discards it. Callers that can hold
-//! mutable state should use [`ScanPipeline`] directly — it keeps the
-//! shard integrators and buffers alive across scans and skips the
-//! per-call setup entirely.
+//! one-shot [`ScanPipeline`] and discards it — but the worker pool is
+//! owned here and injected into every per-call pipeline, so repeated
+//! calls reuse the same persistent threads (zero per-call spawns).
+//! Callers that can hold mutable state should use [`ScanPipeline`]
+//! directly — it also keeps the shard integrators and buffers alive
+//! across scans and skips the per-call setup entirely.
+
+use std::sync::Arc;
 
 use omu_geometry::{KeyConverter, KeyError, Scan};
+use omu_pool::WorkerPool;
 
 use crate::integrate::{IntegrationMode, IntegrationStats, VoxelUpdate};
 use crate::pipeline::ScanPipeline;
@@ -56,6 +61,9 @@ pub struct ParallelScanIntegrator {
     max_range: Option<f64>,
     mode: IntegrationMode,
     shards: usize,
+    /// Persistent workers shared by every per-call pipeline (and by
+    /// clones of this integrator).
+    pool: Arc<WorkerPool>,
 }
 
 impl ParallelScanIntegrator {
@@ -67,12 +75,19 @@ impl ParallelScanIntegrator {
         mode: IntegrationMode,
         shards: usize,
     ) -> Self {
+        let shards = Self::resolve_shards(shards);
         ParallelScanIntegrator {
             conv,
             max_range,
             mode,
-            shards: Self::resolve_shards(shards),
+            shards,
+            pool: Arc::new(WorkerPool::new(shards)),
         }
+    }
+
+    /// The persistent worker pool backing this integrator's fan-out.
+    pub fn worker_pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
     }
 
     /// Resolves a requested shard count: `0` means one shard per
@@ -114,6 +129,7 @@ impl ParallelScanIntegrator {
         out: &mut Vec<VoxelUpdate>,
     ) -> Result<IntegrationStats, KeyError> {
         let mut pipeline = ScanPipeline::new(self.conv, self.max_range, self.mode, self.shards);
+        pipeline.set_pool(Arc::clone(&self.pool));
         pipeline.integrate_scan_into(scan, out)
     }
 }

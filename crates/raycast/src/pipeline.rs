@@ -12,12 +12,19 @@
 //! allocation. This is the front end the octree's parallel insertion path
 //! and the subtree-sharded batch apply are fed from.
 //!
-//! The build environment vendors no `rayon`, so the fan-out uses
-//! `std::thread::scope` (uniform rays make static chunking a good fit);
-//! on a 1-CPU host a single-shard pipeline degenerates to an inline call
-//! with no thread spawn at all.
+//! The build environment vendors no `rayon`, so the fan-out rides the
+//! workspace's persistent [`WorkerPool`] (uniform rays make static
+//! chunking a good fit): lane *i* is queued on worker *i*, the pool's
+//! caller-help scope drains inline on a 1-CPU host, and a single-shard
+//! pipeline degenerates to an inline call with no dispatch at all. The
+//! pool is created lazily on first fan-out, or injected with
+//! [`ScanPipeline::set_pool`] so the octree's read/write paths and the
+//! front end share one set of warmed-up workers.
+
+use std::sync::Arc;
 
 use omu_geometry::{KeyConverter, KeyError, Point3, Scan, VoxelKey};
+use omu_pool::WorkerPool;
 use rustc_hash::FxHashSet;
 
 use crate::integrate::{IntegrationMode, IntegrationStats, ScanIntegrator, VoxelUpdate};
@@ -63,6 +70,9 @@ pub struct ScanPipeline {
     /// Persistent dedup sets for [`IntegrationMode::DedupPerScan`].
     free_set: FxHashSet<VoxelKey>,
     occupied_set: FxHashSet<VoxelKey>,
+    /// Worker pool for the fan-out; `None` until the first multi-lane
+    /// scan (or until a shared pool is injected via [`Self::set_pool`]).
+    pool: Option<Arc<WorkerPool>>,
 }
 
 impl ScanPipeline {
@@ -105,7 +115,20 @@ impl ScanPipeline {
             buffers: (0..shards).map(|_| Vec::new()).collect(),
             free_set: FxHashSet::default(),
             occupied_set: FxHashSet::default(),
+            pool: None,
         }
+    }
+
+    /// Installs a shared worker pool for the fan-out (e.g. the octree's
+    /// pool, so ray casting and batch apply reuse the same workers).
+    /// Without this, the pipeline creates its own pool on first use.
+    pub fn set_pool(&mut self, pool: Arc<WorkerPool>) {
+        self.pool = Some(pool);
+    }
+
+    /// The worker pool backing the fan-out, if one exists yet.
+    pub fn worker_pool(&self) -> Option<&Arc<WorkerPool>> {
+        self.pool.as_ref()
     }
 
     /// Resolves a requested shard count: `0` means one shard per
@@ -246,23 +269,34 @@ impl ScanPipeline {
                 })
                 .collect()
         } else {
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = lanes
-                    .into_iter()
-                    .map(|(worker, buffer, slice)| {
-                        scope.spawn(move || {
-                            buffer.clear();
+            let nlanes = lanes.len();
+            let pool = Arc::clone(
+                self.pool
+                    .get_or_insert_with(|| Arc::new(WorkerPool::new(nlanes))),
+            );
+            let mut slots: Vec<Option<IntegrationStats>> = (0..nlanes).map(|_| None).collect();
+            // Lane i always lands on worker i, keeping each shard
+            // integrator's scratch state warm on one thread. A task
+            // panic resumes on this thread, matching the old
+            // scoped-join semantics.
+            pool.scope(|s| {
+                for (i, ((worker, buffer, slice), slot)) in
+                    lanes.into_iter().zip(slots.iter_mut()).enumerate()
+                {
+                    s.spawn_on(i, move || {
+                        buffer.clear();
+                        *slot = Some(
                             worker
                                 .integrate_points_into(origin, slice, buffer)
-                                .expect("origin validated above")
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("pipeline shard thread"))
-                    .collect()
-            })
+                                .expect("origin validated above"),
+                        );
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("pipeline shard task completed"))
+                .collect()
         };
 
         let mut stats = IntegrationStats::default();

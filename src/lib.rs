@@ -43,6 +43,7 @@
 //! built from them):
 //!
 //! - [`geometry`] — points, voxel keys, log-odds, fixed point.
+//! - [`pool`] — the persistent worker pool behind every parallel engine.
 //! - [`raycast`] — 3D DDA ray casting and scan integration.
 //! - [`octree`] — the software OctoMap baseline (probabilistic octree).
 //! - [`simhw`] — hardware modeling substrate (SRAM, cycles, energy, area).
@@ -56,5 +57,6 @@ pub use omu_datasets as datasets;
 pub use omu_geometry as geometry;
 pub use omu_map as map;
 pub use omu_octree as octree;
+pub use omu_pool as pool;
 pub use omu_raycast as raycast;
 pub use omu_simhw as simhw;
