@@ -14,9 +14,6 @@
 //! Run everything at once with `cargo run --release -p omu-bench --bin
 //! repro_all`.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod args;
 pub mod reports;
 pub mod runner;

@@ -153,15 +153,22 @@ pub fn run_dataset_with_engine(kind: DatasetKind, scale: f64, engine: Engine) ->
     let spec = *dataset.spec();
     let full_scans = kind.spec().scans;
 
-    let (baseline, accel) = std::thread::scope(|s| {
+    // Baseline and accelerator runs are independent; dispatch both on the
+    // worker pool (the workspace confines raw `thread::scope` to
+    // `crates/pool`). A task panic is resumed on this thread by `scope`,
+    // preserving the documented panic contract.
+    let pool = omu_pool::WorkerPool::new(2);
+    let mut base_slot = None;
+    let mut acc_slot = None;
+    pool.scope(|s| {
         let dataset_ref = &dataset;
-        let base = s.spawn(move || run_baseline(dataset_ref, engine));
-        let acc = s.spawn(move || run_accel(dataset_ref, engine));
-        (
-            base.join().expect("baseline thread"),
-            acc.join().expect("accelerator thread"),
-        )
+        s.spawn_on(0, || base_slot = Some(run_baseline(dataset_ref, engine)));
+        s.spawn_on(1, || acc_slot = Some(run_accel(dataset_ref, engine)));
     });
+    let (baseline, accel) = (
+        base_slot.expect("baseline task completed"),
+        acc_slot.expect("accelerator task completed"),
+    );
     let (integration, counters, tree_nodes, tree_mem, points, baseline_wall_s) = baseline;
     let (accel_summary, rows_per_bank) = accel;
 
@@ -259,33 +266,32 @@ fn run_accel(dataset: &Dataset, engine: Engine) -> (AccelRunSummary, usize) {
 /// Runs all three datasets (in parallel threads), honouring the scale
 /// and engine overrides.
 pub fn run_all(opts: RunOptions) -> Vec<DatasetRun> {
-    std::thread::scope(|s| {
-        let handles: Vec<_> = DatasetKind::ALL
-            .into_iter()
-            .map(|kind| {
-                let scale = opts.scale.unwrap_or_else(|| default_scale(kind));
-                s.spawn(move || {
-                    eprintln!(
-                        "running {} at scale {scale} ({} engine) ...",
-                        kind.name(),
-                        opts.engine
-                    );
-                    let run = run_dataset_with_engine(kind, scale, opts.engine);
-                    eprintln!(
-                        "done {}: {} scans, {:.1} M updates measured",
-                        kind.name(),
-                        run.scans_run,
-                        run.integration.total_updates() as f64 / 1e6
-                    );
-                    run
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("dataset thread"))
-            .collect()
-    })
+    let pool = omu_pool::WorkerPool::new(DatasetKind::ALL.len());
+    let mut slots: Vec<Option<DatasetRun>> = DatasetKind::ALL.iter().map(|_| None).collect();
+    pool.scope(|s| {
+        for (slot, kind) in slots.iter_mut().zip(DatasetKind::ALL) {
+            let scale = opts.scale.unwrap_or_else(|| default_scale(kind));
+            s.spawn(move || {
+                eprintln!(
+                    "running {} at scale {scale} ({} engine) ...",
+                    kind.name(),
+                    opts.engine
+                );
+                let run = run_dataset_with_engine(kind, scale, opts.engine);
+                eprintln!(
+                    "done {}: {} scans, {:.1} M updates measured",
+                    kind.name(),
+                    run.scans_run,
+                    run.integration.total_updates() as f64 / 1e6
+                );
+                *slot = Some(run);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("dataset task completed"))
+        .collect()
 }
 
 #[cfg(test)]

@@ -49,6 +49,8 @@ impl OmuAccelerator {
     pub fn new(config: OmuConfig) -> Result<Self, AccelError> {
         config.validate()?;
         let conv = KeyConverter::new(config.resolution)
+            // omu-lint: allow(no-panic) — unreachable: `validate()` just
+            // rejected non-positive resolutions on the line above.
             .expect("validate() guarantees a positive resolution");
         let resolved: ResolvedParams<FixedLogOdds> = config.params.resolve();
         let pes = (0..config.num_pes)
@@ -599,6 +601,9 @@ impl OmuAccelerator {
                         Occupancy::Occupied,
                         pes[pe]
                             .peek_logodds(key)
+                            // omu-lint: allow(no-panic) — the PE just
+                            // classified this voxel Occupied, so its bank
+                            // row necessarily holds a value.
                             .expect("occupied voxel must hold a value"),
                     ),
                     other => (other, 0.0),

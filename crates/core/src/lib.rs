@@ -58,9 +58,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod accel;
 mod config;
 mod entry;

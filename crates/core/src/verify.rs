@@ -61,6 +61,8 @@ impl std::error::Error for MismatchReport {}
 /// and pruning flag, on 16-bit fixed point).
 pub fn baseline_for(config: &OmuConfig) -> OctreeFixed {
     let mut tree = OctreeFixed::with_params(config.resolution, config.params)
+        // omu-lint: allow(no-panic) — `OmuConfig` construction already
+        // validated the resolution; mirroring it cannot fail.
         .expect("accelerator configs carry validated resolutions");
     tree.set_max_range(config.max_range);
     tree.set_integration_mode(config.integration_mode);

@@ -29,9 +29,6 @@
 //! assert!(breakdown.total_s() > 0.0);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 pub mod fit;
 mod model;
 mod platforms;

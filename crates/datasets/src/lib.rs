@@ -32,9 +32,6 @@
 //! assert!(!scans[0].is_empty());
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod campus;
 mod college;
 mod corridor;

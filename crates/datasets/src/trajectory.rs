@@ -77,11 +77,13 @@ impl Trajectory {
             return vec![(self.waypoints[0], 0.0); n];
         }
 
-        // Cumulative segment lengths.
+        // Cumulative segment lengths (running total, so no element access).
         let mut cum = Vec::with_capacity(self.waypoints.len());
-        cum.push(0.0);
+        let mut run = 0.0;
+        cum.push(run);
         for w in self.waypoints.windows(2) {
-            cum.push(cum.last().unwrap() + w[0].distance(w[1]));
+            run += w[0].distance(w[1]);
+            cum.push(run);
         }
 
         let mut poses = Vec::with_capacity(n);

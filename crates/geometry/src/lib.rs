@@ -27,9 +27,6 @@
 //! assert!((center.x - 1.1).abs() < 1e-9);
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod aabb;
 mod error;
 mod fixed;

@@ -161,6 +161,8 @@ impl Index<usize> for Point3 {
             0 => &self.x,
             1 => &self.y,
             2 => &self.z,
+            // omu-lint: allow(no-panic) — the documented `Index` contract
+            // (see `# Panics` above); `std` indexing panics the same way.
             _ => panic!("Point3 axis index out of range: {i}"),
         }
     }

@@ -1,0 +1,143 @@
+//! The committed violation baseline.
+//!
+//! Grandfathered violations — ones that predate the linter and are being
+//! burned down over time — live in `omu-lint.baseline` at the workspace
+//! root. A violation matches the baseline by *fingerprint* (rule, path,
+//! trimmed line content), not by line number, so edits elsewhere in a
+//! file don't churn it. Each fingerprint entry is consumed at most as
+//! many times as it occurs in the file, so duplicating a grandfathered
+//! line is still a new violation.
+//!
+//! Format: one entry per line, `rule-slug<TAB>path<TAB>line content`,
+//! `#`-comments and blank lines ignored. Regenerate with
+//! `cargo run -p omu-lint -- --update-baseline` — and expect the diff to
+//! be reviewed like code: shrinking is progress, growth needs a story.
+
+use std::collections::HashMap;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use crate::rules::Violation;
+
+/// A multiset of grandfathered violation fingerprints.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    counts: HashMap<String, usize>,
+}
+
+impl Baseline {
+    /// Load from `path`; a missing file is an empty baseline.
+    pub fn load(path: &Path) -> io::Result<Baseline> {
+        match fs::read_to_string(path) {
+            Ok(text) => Ok(Self::parse(&text)),
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(Baseline::default()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Parse baseline text (see the module docs for the format).
+    pub fn parse(text: &str) -> Baseline {
+        let mut counts = HashMap::new();
+        for line in text.lines() {
+            let line = line.trim_end();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            *counts.entry(line.to_owned()).or_insert(0) += 1;
+        }
+        Baseline { counts }
+    }
+
+    /// Total grandfathered entries (counting duplicates).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// Whether the baseline grandfathers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Split violations into `(new, grandfathered)`, consuming baseline
+    /// entries as they match.
+    pub fn split(&self, violations: Vec<Violation>) -> (Vec<Violation>, Vec<Violation>) {
+        let mut remaining = self.counts.clone();
+        let mut fresh = Vec::new();
+        let mut old = Vec::new();
+        for v in violations {
+            match remaining.get_mut(&v.fingerprint()) {
+                Some(n) if *n > 0 => {
+                    *n -= 1;
+                    old.push(v);
+                }
+                _ => fresh.push(v),
+            }
+        }
+        (fresh, old)
+    }
+
+    /// Serialize a violation set as baseline text (sorted, commented).
+    pub fn render(violations: &[Violation]) -> String {
+        let mut lines: Vec<String> = violations.iter().map(|v| v.fingerprint()).collect();
+        lines.sort();
+        let mut out = String::from(
+            "# omu-lint baseline — grandfathered violations, one fingerprint per line.\n\
+             # Format: rule-slug<TAB>path<TAB>trimmed source line.\n\
+             # Regenerate with `cargo run -p omu-lint -- --update-baseline`.\n\
+             # This file should only shrink; additions need review.\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn v(rule: Rule, path: &str, line: usize, excerpt: &str) -> Violation {
+        Violation {
+            rule,
+            path: path.into(),
+            line,
+            excerpt: excerpt.into(),
+            message: String::new(),
+        }
+    }
+
+    #[test]
+    fn split_consumes_multiset_entries() {
+        let a = v(Rule::NoPanic, "crates/x/src/lib.rs", 3, "x.unwrap();");
+        let b = v(Rule::NoPanic, "crates/x/src/lib.rs", 9, "x.unwrap();");
+        let baseline = Baseline::parse(&a.fingerprint());
+        // Two identical lines, one baselined: exactly one stays new.
+        let (fresh, old) = baseline.split(vec![a.clone(), b]);
+        assert_eq!(old.len(), 1);
+        assert_eq!(fresh.len(), 1);
+        // Line numbers don't matter, content does.
+        let moved = v(Rule::NoPanic, "crates/x/src/lib.rs", 77, "x.unwrap();");
+        let (fresh, old) = baseline.split(vec![moved]);
+        assert_eq!((fresh.len(), old.len()), (0, 1));
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let b = Baseline::parse("# comment\n\nno-panic\tsrc/lib.rs\tx.unwrap();\n");
+        assert_eq!(b.len(), 1);
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let a = v(Rule::SafetyComment, "src/lib.rs", 1, "unsafe {");
+        let text = Baseline::render(std::slice::from_ref(&a));
+        let b = Baseline::parse(&text);
+        let (fresh, old) = b.split(vec![a]);
+        assert!(fresh.is_empty());
+        assert_eq!(old.len(), 1);
+    }
+}

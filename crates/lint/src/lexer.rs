@@ -1,0 +1,497 @@
+//! A hand-rolled, line-oriented Rust lexer: just enough of the language
+//! to separate *code* from *comments and string literals*, and to know
+//! which lines live inside `#[cfg(test)]`-gated items.
+//!
+//! The rules in this crate are textual (they look for tokens like
+//! `unsafe`, `.unwrap()`, `thread::spawn`), so everything hinges on not
+//! being fooled by those tokens appearing inside comments, doc examples,
+//! or string literals. The lexer blanks those regions out of the per-line
+//! `code` text (preserving column positions) and records comment text
+//! separately so the `// SAFETY:` rationales and the suppression
+//! markers stay visible to the rules.
+//!
+//! Consistent with the `vendor/` philosophy the tool depends on nothing
+//! outside `std` — no `syn`, no regex. The subset of Rust it understands
+//! is deliberately small but handles what real sources throw at it:
+//! nested block comments, raw strings with hashes, byte strings, char
+//! literals vs lifetimes, and `#[cfg(test)]` / `#[cfg(all(test, ...))]`
+//! attributes gating a braced item or a `mod tests;` declaration.
+
+/// One source line after lexing.
+#[derive(Debug, Clone)]
+pub struct Line {
+    /// Line text with comments and string/char literal *contents* blanked
+    /// to spaces (string delimiters are kept so token shapes survive).
+    /// Column positions match the raw source line.
+    pub code: String,
+    /// Concatenated text of all comments that appear on this line
+    /// (without the `//` / `/*` markers), in source order.
+    pub comment: String,
+    /// True when the line starts inside or consists only of comments /
+    /// whitespace — i.e. `code` holds no tokens at all.
+    pub blank_code: bool,
+    /// True when the line is inside a `#[cfg(test)]`-gated item.
+    pub in_test: bool,
+}
+
+/// A lexed source file.
+#[derive(Debug)]
+pub struct LexedFile {
+    /// One entry per physical source line, in order.
+    pub lines: Vec<Line>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum State {
+    Normal,
+    /// Inside a `/* ... */` comment; Rust block comments nest.
+    Block {
+        depth: u32,
+    },
+    /// Inside a `"..."` (or `b"..."`) string literal.
+    Str,
+    /// Inside a raw string `r##"..."##` with the given hash count.
+    RawStr {
+        hashes: u32,
+    },
+}
+
+/// Lex a whole source file into per-line code/comment views.
+pub fn lex(source: &str) -> LexedFile {
+    let mut lines = Vec::new();
+    let mut state = State::Normal;
+    for raw in source.split('\n') {
+        let (line, next) = lex_line(raw, state);
+        state = next;
+        lines.push(line);
+    }
+    mark_test_scopes(&mut lines);
+    LexedFile { lines }
+}
+
+/// Lex one line starting in `state`; returns the line plus the state the
+/// next line starts in. Line comments never cross lines, so only block
+/// comments and (raw) strings propagate.
+fn lex_line(raw: &str, start: State) -> (Line, State) {
+    let chars: Vec<char> = raw.chars().collect();
+    let mut code = String::with_capacity(raw.len());
+    let mut comment = String::new();
+    let mut state = start;
+    let mut i = 0usize;
+
+    while i < chars.len() {
+        let c = chars[i];
+        let next = chars.get(i + 1).copied();
+        match state {
+            State::Block { depth } => {
+                if c == '*' && next == Some('/') {
+                    state = if depth == 1 {
+                        code.push_str("  ");
+                        State::Normal
+                    } else {
+                        State::Block { depth: depth - 1 }
+                    };
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block { depth: depth + 1 };
+                    i += 2;
+                } else {
+                    comment.push(c);
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\\' {
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Normal;
+                    i += 1;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr { hashes } => {
+                if c == '"' && closes_raw(&chars, i + 1, hashes) {
+                    code.push('"');
+                    for _ in 0..hashes {
+                        code.push(' ');
+                    }
+                    state = State::Normal;
+                    i += 1 + hashes as usize;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+            }
+            State::Normal => {
+                if c == '/' && next == Some('/') {
+                    // Line comment: the rest of the line is comment text.
+                    let text: String = chars[i + 2..].iter().collect();
+                    comment.push_str(text.trim());
+                    break;
+                } else if c == '/' && next == Some('*') {
+                    state = State::Block { depth: 1 };
+                    code.push_str("  ");
+                    i += 2;
+                } else if c == '"' {
+                    code.push('"');
+                    state = State::Str;
+                    i += 1;
+                } else if let Some(h) = raw_string_hashes(&chars, i) {
+                    // r"..."  r#"..."#  br#"..."#  (c/cr strings too)
+                    let prefix_len = raw_prefix_len(&chars, i);
+                    for _ in 0..prefix_len + h as usize + 1 {
+                        code.push(' ');
+                    }
+                    code.push('"');
+                    // keep the quote only; positions stay aligned
+                    state = State::RawStr { hashes: h };
+                    i += prefix_len + h as usize + 1;
+                } else if c == 'b' && next == Some('\'') {
+                    // Byte char literal b'x' / b'\n'
+                    let consumed = char_literal_len(&chars, i + 1);
+                    for _ in 0..consumed + 1 {
+                        code.push(' ');
+                    }
+                    i += consumed + 1;
+                } else if c == '\'' {
+                    let consumed = char_literal_len(&chars, i);
+                    if consumed == 0 {
+                        // A lifetime like 'env — keep it as code.
+                        code.push(c);
+                        i += 1;
+                    } else {
+                        for _ in 0..consumed {
+                            code.push(' ');
+                        }
+                        i += consumed;
+                    }
+                } else {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    let line = Line {
+        blank_code: code.trim().is_empty(),
+        code,
+        comment,
+        in_test: false,
+    };
+    (line, state)
+}
+
+/// Length of the `r` / `br` / `cr` prefix introducing a raw string at
+/// `chars[i]`, without the hashes or quote.
+fn raw_prefix_len(chars: &[char], i: usize) -> usize {
+    if chars[i] == 'r' {
+        1
+    } else {
+        // br" / cr"
+        debug_assert!(matches!(chars[i], 'b' | 'c'));
+        2
+    }
+}
+
+/// If a raw string literal starts at `chars[i]`, the number of hashes it
+/// uses; `None` when this is not a raw string start.
+fn raw_string_hashes(chars: &[char], i: usize) -> Option<u32> {
+    let c = chars[i];
+    let after = if c == 'r' {
+        i + 1
+    } else if (c == 'b' || c == 'c') && chars.get(i + 1) == Some(&'r') {
+        i + 2
+    } else {
+        return None;
+    };
+    // Identifiers like `peer` contain `r`; require the char before `i`
+    // to not be part of an identifier.
+    if i > 0 {
+        let prev = chars[i - 1];
+        if prev.is_alphanumeric() || prev == '_' {
+            return None;
+        }
+    }
+    let mut h = 0u32;
+    let mut j = after;
+    while chars.get(j) == Some(&'#') {
+        h += 1;
+        j += 1;
+    }
+    if chars.get(j) == Some(&'"') {
+        Some(h)
+    } else {
+        None
+    }
+}
+
+/// True when `hashes` consecutive `#` follow position `i` (the raw-string
+/// close test, `i` points just past a `"`).
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (0..hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Number of chars consumed by a char literal starting at the `'` at
+/// `chars[i]`, or 0 when the quote is a lifetime instead.
+fn char_literal_len(chars: &[char], i: usize) -> usize {
+    match chars.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            while let Some(&c) = chars.get(j) {
+                if c == '\'' {
+                    return j - i + 1;
+                }
+                j += 1;
+            }
+            0
+        }
+        Some(_) if chars.get(i + 2) == Some(&'\'') => 3,
+        _ => 0, // lifetime ('env, '_, 'static) or stray quote
+    }
+}
+
+/// Second pass: mark every line inside a `#[cfg(test)]`-gated item.
+///
+/// Strategy: scan the blanked `code` text token-ishly, tracking brace
+/// depth. When a `#[cfg(...)]` attribute whose argument list contains the
+/// word `test` appears, arm a pending marker; the next `{` opens a test
+/// scope that ends when depth returns to its opening level (a `;` at the
+/// same depth first — e.g. `#[cfg(test)] mod tests;` — disarms instead).
+/// Other attributes and doc comments between the cfg and the item are
+/// skipped naturally because they contain no braces.
+fn mark_test_scopes(lines: &mut [Line]) {
+    let mut depth: i64 = 0;
+    // Stack of depths at which an active test scope was opened.
+    let mut test_scopes: Vec<i64> = Vec::new();
+    // Armed by `#[cfg(test)]`, consumed by the next `{` or `;`.
+    let mut pending = false;
+
+    for line in lines.iter_mut() {
+        line.in_test = !test_scopes.is_empty();
+        let code: Vec<char> = line.code.chars().collect();
+        let mut i = 0usize;
+        while i < code.len() {
+            let c = code[i];
+            if c == '#' && matches_at(&code, i + 1, "[") {
+                if let Some((end, is_test)) = parse_attribute(&code, i) {
+                    if is_test {
+                        pending = true;
+                        line.in_test = true;
+                    }
+                    i = end;
+                    continue;
+                }
+            }
+            match c {
+                '{' => {
+                    if pending {
+                        test_scopes.push(depth);
+                        pending = false;
+                        line.in_test = true;
+                    }
+                    depth += 1;
+                }
+                '}' => {
+                    depth -= 1;
+                    if test_scopes.last().is_some_and(|&d| depth == d) {
+                        test_scopes.pop();
+                    }
+                }
+                // `#[cfg(test)] mod tests;` — an item with no body here;
+                // the gated code lives in another file, which the walker
+                // lexes on its own. Disarm.
+                ';' => pending = false,
+                _ => {}
+            }
+            i += 1;
+        }
+        if !test_scopes.is_empty() {
+            line.in_test = true;
+        }
+    }
+}
+
+fn matches_at(code: &[char], i: usize, s: &str) -> bool {
+    s.chars()
+        .enumerate()
+        .all(|(k, c)| code.get(i + k) == Some(&c))
+}
+
+/// Parse an attribute starting at the `#` at `code[i]`. Returns the index
+/// one past the closing `]` and whether the attribute is a `cfg(...)`
+/// whose arguments mention `test` as a standalone word.
+fn parse_attribute(code: &[char], i: usize) -> Option<(usize, bool)> {
+    let mut j = i + 1;
+    if code.get(j) != Some(&'[') {
+        return None;
+    }
+    j += 1;
+    let start = j;
+    let mut depth = 1i32;
+    while j < code.len() {
+        match code[j] {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    let body: String = code[start..j].iter().collect();
+                    return Some((j + 1, cfg_mentions_test(&body)));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    // Attribute spans lines — give up on it (rare; none in this repo).
+    None
+}
+
+/// True when an attribute body is `cfg(...)` with `test` as a word inside.
+fn cfg_mentions_test(body: &str) -> bool {
+    let trimmed = body.trim_start();
+    let Some(rest) = trimmed.strip_prefix("cfg") else {
+        return false;
+    };
+    let rest = rest.trim_start();
+    if !rest.starts_with('(') {
+        return false;
+    }
+    contains_word(rest, "test")
+}
+
+/// Word-boundary containment test over identifier characters.
+pub fn contains_word(haystack: &str, word: &str) -> bool {
+    find_word(haystack, word, 0).is_some()
+}
+
+/// Find `word` in `haystack` at or after byte offset `from`, requiring
+/// non-identifier characters (or string edges) on both sides.
+pub fn find_word(haystack: &str, word: &str, from: usize) -> Option<usize> {
+    let bytes = haystack.as_bytes();
+    let mut start = from;
+    while let Some(pos) = haystack[start..].find(word) {
+        let at = start + pos;
+        let before_ok = at == 0 || !is_ident_byte(bytes[at - 1]);
+        let end = at + word.len();
+        let after_ok = end >= bytes.len() || !is_ident_byte(bytes[end]);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        start = at + 1;
+    }
+    None
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lex(src).lines.iter().map(|l| l.code.clone()).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_from_code() {
+        let f = lex("let x = 1; // unsafe panic!()\n");
+        assert!(!f.lines[0].code.contains("unsafe"));
+        assert!(f.lines[0].comment.contains("unsafe panic!()"));
+        assert!(f.lines[0].code.contains("let x = 1;"));
+    }
+
+    #[test]
+    fn block_comments_nest_and_span_lines() {
+        let src = "a /* one /* two */ still */ b\n/* open\nunsafe\n*/ c";
+        let c = codes(src);
+        assert!(c[0].contains('a') && c[0].contains('b'));
+        assert!(!c[0].contains("still"));
+        assert!(!c[2].contains("unsafe"));
+        assert!(c[3].contains('c'));
+    }
+
+    #[test]
+    fn strings_are_blanked_but_delimiters_kept() {
+        let c = codes("let s = \"unsafe { panic!() }\";");
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("let s = \""));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let c = codes("let s = r#\"thread::spawn \" quote\"#; spawn2();");
+        assert!(!c[0].contains("thread::spawn"));
+        assert!(c[0].contains("spawn2()"));
+    }
+
+    #[test]
+    fn escaped_string_quotes_do_not_end_the_string() {
+        let c = codes(r#"let s = "a\"unsafe"; keep();"#);
+        assert!(!c[0].contains("unsafe"));
+        assert!(c[0].contains("keep()"));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let c = codes("let c = '{'; fn f<'a>(x: &'a str) {}");
+        // The brace inside the char literal must not skew depth — it is
+        // blanked; the lifetime text stays.
+        assert!(!c[0].contains('{') || c[0].matches('{').count() == 1);
+        assert!(c[0].contains("'a"));
+    }
+
+    #[test]
+    fn cfg_test_module_is_marked() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}";
+        let f = lex(src);
+        assert!(!f.lines[0].in_test);
+        assert!(f.lines[1].in_test, "the attribute line itself");
+        assert!(f.lines[2].in_test);
+        assert!(f.lines[3].in_test);
+        assert!(f.lines[4].in_test);
+        assert!(!f.lines[5].in_test, "scope closed");
+    }
+
+    #[test]
+    fn cfg_all_test_counts_and_cfg_feature_does_not() {
+        let src = "#[cfg(all(test, feature = \"x\"))]\nmod a {\n}\n#[cfg(feature = \"testing\")]\nmod b {\n}";
+        let f = lex(src);
+        assert!(f.lines[1].in_test);
+        assert!(
+            !f.lines[4].in_test,
+            "'testing' must not match the word 'test'"
+        );
+    }
+
+    #[test]
+    fn cfg_test_on_semicolon_item_does_not_leak() {
+        let src = "#[cfg(test)]\nmod tests;\nfn live() { x.unwrap(); }";
+        let f = lex(src);
+        assert!(!f.lines[2].in_test);
+    }
+
+    #[test]
+    fn cfg_test_with_interleaved_attribute() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod tests {\n    stuff();\n}";
+        let f = lex(src);
+        assert!(f.lines[3].in_test);
+    }
+
+    #[test]
+    fn word_boundaries() {
+        assert!(contains_word("a test b", "test"));
+        assert!(!contains_word("attested", "test"));
+        assert!(!contains_word("test_util", "test"));
+        assert!(contains_word("(test)", "test"));
+    }
+}

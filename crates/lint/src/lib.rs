@@ -1,0 +1,115 @@
+//! `omu-lint` — the workspace invariant checker.
+//!
+//! The repo's core promise is that the scalar, batched, sharded and
+//! pooled engines produce **bit-identical** maps (the property the OMU
+//! accelerator model is verified against). That promise rests on a few
+//! hand-maintained disciplines that ordinary clippy cannot express:
+//!
+//! - **L1 `safety-comment`** — every `unsafe` block/fn/impl carries an
+//!   immediately preceding `// SAFETY:` rationale. The pool's
+//!   lifetime-erased task transmute is exactly the kind of site whose
+//!   soundness argument must stay next to the code.
+//! - **L2 `thread-confinement`** — `thread::spawn` / `thread::scope` /
+//!   `JoinHandle` appear only in `crates/pool` (plus explicitly allowed
+//!   legacy sites such as the `#[doc(hidden)]`
+//!   `ParallelDispatch::ScopedThreads` bench path). Every other layer
+//!   dispatches through the persistent [`WorkerPool`]; a stray spawn is
+//!   how per-call thread storms crept in before PR 7.
+//! - **L3 `no-panic`** — library-crate non-test code returns typed
+//!   errors (`MapError`, `ParallelInsertError`, `KeyError`) instead of
+//!   `unwrap`/`expect`/`panic!`; a panic on a worker thread is a
+//!   structural hazard the pool has to contain.
+//! - **L4 `handle-bits`** — the `shard:4|row:25|oct:3` node-handle
+//!   packing is an implementation secret of `octree::{arena,node,shard}`;
+//!   re-deriving it with raw shifts elsewhere breaks the next layout
+//!   change silently.
+//! - **L5 `bad-suppression`** — escape hatches exist
+//!   (`// omu-lint: allow(no-panic) — reason`) but must name a known
+//!   rule and a non-empty reason; reason-less suppressions are
+//!   violations.
+//!
+//! Pre-existing violations are grandfathered in a committed baseline
+//! (`omu-lint.baseline`) so the gate fails only on *new* ones while the
+//! old ones stay visible and counted. Run with
+//! `cargo run -p omu-lint` from the workspace root.
+//!
+//! [`WorkerPool`]: https://docs.rs/omu-pool
+
+pub mod baseline;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use baseline::Baseline;
+pub use rules::{Rule, Violation};
+pub use walk::{discover, FileClass, SourceFile};
+
+/// Result of linting a whole tree.
+#[derive(Debug)]
+pub struct Report {
+    /// Number of source files discovered and linted.
+    pub files_checked: usize,
+    /// Violations not covered by the baseline — these fail the gate.
+    pub fresh: Vec<Violation>,
+    /// Baseline-covered (grandfathered) violations.
+    pub grandfathered: Vec<Violation>,
+    /// Baseline entries that no longer match anything — stale debt that
+    /// should be pruned with `--update-baseline`.
+    pub stale_baseline: usize,
+}
+
+impl Report {
+    /// True when no fresh (non-grandfathered) violations were found.
+    pub fn is_clean(&self) -> bool {
+        self.fresh.is_empty()
+    }
+}
+
+/// Lint every source under `root` against `baseline`.
+pub fn run(root: &Path, baseline: &Baseline) -> io::Result<Report> {
+    let files = discover(root)?;
+    let mut all = Vec::new();
+    for file in &files {
+        let raw = fs::read_to_string(&file.abs_path)?;
+        let lexed = lexer::lex(&raw);
+        all.extend(rules::check_file(file, &raw, &lexed));
+    }
+    let total = all.len();
+    let (fresh, grandfathered) = baseline.split(all);
+    let stale_baseline = baseline.len().saturating_sub(total - fresh.len());
+    Ok(Report {
+        files_checked: files.len(),
+        fresh,
+        grandfathered,
+        stale_baseline,
+    })
+}
+
+/// Lint a tree with the baseline conventionally located at its root.
+pub fn run_with_default_baseline(root: &Path) -> io::Result<Report> {
+    let baseline = Baseline::load(&root.join(BASELINE_FILE))?;
+    run(root, &baseline)
+}
+
+/// Conventional baseline filename at the workspace root.
+pub const BASELINE_FILE: &str = "omu-lint.baseline";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_clean_logic() {
+        let r = Report {
+            files_checked: 1,
+            fresh: vec![],
+            grandfathered: vec![],
+            stale_baseline: 0,
+        };
+        assert!(r.is_clean());
+    }
+}

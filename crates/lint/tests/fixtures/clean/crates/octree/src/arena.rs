@@ -1,0 +1,16 @@
+//! Fixture: handle bit arithmetic *inside* a sanctioned module
+//! (`octree::arena`) is allowed. Not compiled — lint input only.
+
+/// The packing lives here by design — no L4 report.
+pub fn pack(shard: u32, row: u32, oct: u32) -> u32 {
+    (shard << (ROW_BITS + OCT_BITS)) | (row << 8) | oct
+}
+
+/// Unpacking too.
+pub fn row_of(handle: u32) -> u32 {
+    (handle >> 8) & MASK_BITS
+}
+
+const ROW_BITS: u32 = 25;
+const OCT_BITS: u32 = 3;
+const MASK_BITS: u32 = 0x01FF_FFFF;

@@ -1,0 +1,34 @@
+//! Fixture: library source exercising every rule's *negative* space —
+//! correct SAFETY rationale, well-formed suppressions, test-gated
+//! unwraps. Must lint clean. Not compiled — lint input only.
+
+/// A SAFETY comment immediately above the unsafe block satisfies L1.
+pub fn read_first(v: &[u8]) -> Option<u8> {
+    if v.is_empty() {
+        return None;
+    }
+    // SAFETY: the emptiness check above guarantees at least one element,
+    // so the pointer read is in bounds.
+    Some(unsafe { *v.as_ptr() })
+}
+
+/// A trailing suppression with a reason quiets L3 on its own line.
+pub fn first_or_die(v: &[i32]) -> i32 {
+    *v.first().unwrap() // omu-lint: allow(no-panic) — fixture: documented demo of a justified unwrap
+}
+
+/// A standalone suppression with a reason covers the next code line.
+pub fn last_or_die(v: &[i32]) -> i32 {
+    // omu-lint: allow(no-panic) — fixture: standalone-comment form
+    *v.last().unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_and_threads_in_tests_are_fine() {
+        let v = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+        std::thread::spawn(|| 3).join().unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: handle bit arithmetic outside `octree::{arena,node,shard}`.
+//! Not compiled — lint input only.
+
+/// L4: re-deriving the `shard:4|row:25|oct:3` packing by hand.
+pub fn row_of(handle: u32) -> u32 {
+    (handle >> 8) & 0x01FF_FFFF
+}
+
+/// L4: naming the layout constants outside the sanctioned modules.
+pub fn top_bit(handle: u32) -> u32 {
+    handle >> (ROW_BITS + OCT_BITS)
+}
+
+const ROW_BITS: u32 = 25;
+const OCT_BITS: u32 = 3;

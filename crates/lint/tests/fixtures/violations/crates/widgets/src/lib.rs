@@ -1,0 +1,39 @@
+//! Fixture: library source violating L1, L2, L3 and L5.
+//! Not compiled — lint input only.
+
+/// L1: an `unsafe` block with no preceding `// SAFETY:` rationale.
+pub fn read_first(v: &[u8]) -> u8 {
+    unsafe { *v.as_ptr() }
+}
+
+/// L2: raw thread spawn outside `crates/pool`.
+pub fn off_pool_work() {
+    let h = std::thread::spawn(|| 3);
+    drop(h);
+}
+
+/// L3: `unwrap` in library non-test code.
+pub fn first_or_die(v: &[i32]) -> i32 {
+    *v.first().unwrap()
+}
+
+/// L5: a suppression with no reason never suppresses anything.
+pub fn reasonless(v: &[i32]) -> i32 {
+    *v.last().unwrap() // omu-lint: allow(no-panic)
+}
+
+/// L5: a suppression naming an unknown rule.
+pub fn unknown_rule(v: &[i32]) -> i32 {
+    // omu-lint: allow(no-yelling) — not a rule this linter knows
+    v.len() as i32
+}
+
+#[cfg(test)]
+mod tests {
+    /// Test code may unwrap freely — must NOT be reported.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let v = vec![1];
+        assert_eq!(*v.first().unwrap(), 1);
+    }
+}

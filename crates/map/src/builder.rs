@@ -91,6 +91,7 @@ pub struct MapBuilder {
     pruning: bool,
     change_detection: bool,
     worker_threads: usize,
+    task_shuffle_seed: Option<u64>,
 }
 
 impl MapBuilder {
@@ -109,6 +110,7 @@ impl MapBuilder {
             pruning: true,
             change_detection: false,
             worker_threads: 0,
+            task_shuffle_seed: None,
         }
     }
 
@@ -172,6 +174,17 @@ impl MapBuilder {
         self
     }
 
+    /// Seeds the worker pool's deterministic task-order shuffle (a
+    /// stress knob: scopes publish their tasks in a seeded permuted
+    /// order, flushing any order-dependence in the parallel engines —
+    /// results must stay bit-identical). Software backends only; also
+    /// settable process-wide via the `OMU_POOL_SHUFFLE_SEED`
+    /// environment variable.
+    pub fn task_shuffle_seed(mut self, seed: u64) -> Self {
+        self.task_shuffle_seed = Some(seed);
+        self
+    }
+
     /// Enables change tracking so consumers can drain the set of voxels
     /// whose classification flipped
     /// ([`OccupancyMap::drain_changed_keys`]). Only the software
@@ -231,6 +244,9 @@ impl MapBuilder {
         tree.set_change_detection(self.change_detection);
         if self.worker_threads > 0 {
             tree.set_worker_pool(Arc::new(WorkerPool::new(self.worker_threads)));
+        }
+        if self.task_shuffle_seed.is_some() {
+            tree.set_task_shuffle_seed(self.task_shuffle_seed);
         }
     }
 }

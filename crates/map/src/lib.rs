@@ -56,9 +56,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod backend;
 mod builder;
 mod engine;

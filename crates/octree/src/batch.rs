@@ -299,6 +299,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
             DeltaMode::HitMiss { hit, miss },
             None,
         )
+        // omu-lint: allow(no-panic) — infallible: `shards: None` selects
+        // the sequential walk, which spawns no workers and so cannot
+        // report a `TaskPanic`.
         .expect("the sequential walk spawns no workers")
     }
 
@@ -321,6 +324,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         shards: usize,
     ) -> BatchStats {
         self.try_apply_update_batch_parallel(updates, shards)
+            // omu-lint: allow(no-panic) — documented `# Panics`
+            // contract: this wrapper re-raises worker panics; the `try_`
+            // form returns the typed `TaskPanic` instead.
             .unwrap_or_else(|p| panic!("{p}"))
     }
 
@@ -362,6 +368,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
             DeltaMode::Raw,
             None,
         )
+        // omu-lint: allow(no-panic) — infallible: `shards: None` selects
+        // the sequential walk, which spawns no workers and so cannot
+        // report a `TaskPanic`.
         .expect("the sequential walk spawns no workers")
     }
 
@@ -379,6 +388,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         shards: usize,
     ) -> BatchStats {
         self.try_apply_logodds_batch_parallel(updates, shards)
+            // omu-lint: allow(no-panic) — documented `# Panics`
+            // contract: this wrapper re-raises worker panics; the `try_`
+            // form returns the typed `TaskPanic` instead.
             .unwrap_or_else(|p| panic!("{p}"))
     }
 
@@ -536,6 +548,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         fill: impl FnOnce(&mut UpdateSink<'_, V>) -> R,
     ) -> (R, BatchStats) {
         self.try_apply_update_stream(parallel_shards, fill)
+            // omu-lint: allow(no-panic) — documented `# Panics`
+            // contract: this wrapper re-raises worker panics; the `try_`
+            // form returns the typed `TaskPanic` instead.
             .unwrap_or_else(|p| panic!("{p}"))
     }
 

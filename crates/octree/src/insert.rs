@@ -246,6 +246,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         match self.try_insert_points_parallel(origin, points, threads) {
             Ok(stats) => Ok(stats),
             Err(ParallelInsertError::Key(e)) => Err(e),
+            // omu-lint: allow(no-panic) — documented `# Panics` contract:
+            // re-raises worker panics; `try_insert_points_parallel` is
+            // the typed-error form.
             Err(ParallelInsertError::WorkerPanic(p)) => panic!("{p}"),
         }
     }

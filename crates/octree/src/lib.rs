@@ -67,9 +67,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod arena;
 mod batch;
 mod counters;

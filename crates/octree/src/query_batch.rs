@@ -401,6 +401,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
         if self.parallel_dispatch == crate::shard::ParallelDispatch::ScopedThreads {
             let tree = &*self;
             let mut merged = QueryCounters::default();
+            // omu-lint: allow(thread-confinement) — the doc(hidden)
+            // `ParallelDispatch::ScopedThreads` legacy path, kept so the
+            // benches can measure scoped-vs-pooled dispatch.
             std::thread::scope(|s| {
                 let handles: Vec<_> = keys
                     .chunks(chunk)
@@ -417,6 +420,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
                     })
                     .collect();
                 for h in handles {
+                    // omu-lint: allow(no-panic) — legacy bench-only
+                    // path; re-raising a worker panic here matches the
+                    // pooled path's `scope` contract.
                     merged.merge(&h.join().expect("query worker panicked"));
                 }
             });
@@ -447,6 +453,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
         });
         let mut merged = QueryCounters::default();
         for slot in slots {
+            // omu-lint: allow(no-panic) — invariant: `scope` returns only
+            // after every spawned task ran, and each task fills its slot.
             merged.merge(&slot.expect("query chunk task completed"));
         }
         self.query_counters.merge(&merged);
@@ -517,6 +525,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
             let tree = &*self;
             let mut merged = QueryCounters::default();
             let mut chunks_out: Vec<Result<Vec<RayCastResult>, KeyError>> = Vec::new();
+            // omu-lint: allow(thread-confinement) — the doc(hidden)
+            // `ParallelDispatch::ScopedThreads` legacy path, kept so the
+            // benches can measure scoped-vs-pooled dispatch.
             std::thread::scope(|s| {
                 let handles: Vec<_> = rays
                     .chunks(chunk)
@@ -532,6 +543,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
                     })
                     .collect();
                 for h in handles {
+                    // omu-lint: allow(no-panic) — legacy bench-only
+                    // path; re-raising a worker panic here matches the
+                    // pooled path's `scope` contract.
                     let (res, counters) = h.join().expect("cast_rays worker panicked");
                     merged.merge(&counters);
                     chunks_out.push(res);
@@ -566,6 +580,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
         let mut out = Vec::with_capacity(rays.len());
         let mut first_err = None;
         for slot in slots {
+            // omu-lint: allow(no-panic) — invariant: `scope` returns only
+            // after every spawned task ran, and each task fills its slot.
             let (res, counters) = slot.expect("cast_rays chunk task completed");
             merged.merge(&counters);
             match res {

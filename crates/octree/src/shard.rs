@@ -256,6 +256,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
             for (i, task) in tasks.drain(..).enumerate() {
                 groups[i % nworkers].push(task);
             }
+            // omu-lint: allow(thread-confinement) — the doc(hidden)
+            // `ParallelDispatch::ScopedThreads` legacy path, kept so the
+            // benches can measure scoped-vs-pooled dispatch.
             let finished = std::thread::scope(|scope| {
                 let handles: Vec<_> = groups
                     .into_iter()
@@ -277,6 +280,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
                     .collect();
                 handles
                     .into_iter()
+                    // omu-lint: allow(no-panic) — legacy bench-only path;
+                    // re-raising a worker panic matches the pooled path's
+                    // documented behavior.
                     .flat_map(|h| h.join().expect("branch worker thread"))
                     .collect::<Vec<_>>()
             });
@@ -295,6 +301,9 @@ impl<V: LogOdds> OccupancyOctree<V> {
                 for (i, task) in tasks.iter_mut().enumerate() {
                     s.spawn_on(i % nworkers, move || {
                         if inject == Some(task.branch) {
+                            // omu-lint: allow(no-panic) — deliberate fault
+                            // injection behind the doc(hidden) debug knob,
+                            // used by tests to prove panic containment.
                             panic!("injected worker panic on branch {}", task.branch);
                         }
                         run_branch_task(task, scratch, mode, resolved, pruning, track_changes);

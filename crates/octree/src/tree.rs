@@ -149,6 +149,17 @@ impl<V: LogOdds> OccupancyOctree<V> {
         }))
     }
 
+    /// Engages (or disarms, with `None`) the pool's deterministic
+    /// task-order shuffle on this tree's parallel paths, creating the
+    /// pool if none exists yet. A stress knob for the equivalence suite:
+    /// the engines must produce bit-identical maps under *every*
+    /// execution order, and a seeded shuffle flushes order-dependent
+    /// bugs the default round-robin schedule would mask. See
+    /// [`WorkerPool::set_shuffle_seed`].
+    pub fn set_task_shuffle_seed(&mut self, seed: Option<u64>) {
+        self.worker_pool_handle().set_shuffle_seed(seed);
+    }
+
     /// Selects the dispatch mechanism for the sharded write path. Only
     /// the benches use the legacy scoped form, to keep an honest
     /// scoped-vs-pooled comparison in the recorded JSONs.

@@ -44,9 +44,6 @@
 //! # }
 //! ```
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod dda;
 mod integrate;
 mod keyray;

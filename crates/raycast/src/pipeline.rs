@@ -295,6 +295,9 @@ impl ScanPipeline {
             });
             slots
                 .into_iter()
+                // omu-lint: allow(no-panic) — invariant: `scope` returns
+                // only after every spawned task ran, and each task fills
+                // its slot.
                 .map(|s| s.expect("pipeline shard task completed"))
                 .collect()
         };

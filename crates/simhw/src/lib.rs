@@ -22,9 +22,6 @@
 //! than derived from a foundry PDK; EXPERIMENTS.md documents the
 //! calibration.
 
-#![warn(missing_docs)]
-#![warn(missing_debug_implementations)]
-
 mod area;
 mod axi;
 mod energy;
