@@ -144,8 +144,10 @@ fn main() {
     // Pool stage: cold warmup (pool creation + first 8-task scope, which
     // spawns the workers), then steady-state dispatch cost on a warmed
     // pool — the per-task overhead every pooled engine row below pays
-    // instead of a thread spawn.
-    results.push(measure("pool", "pool_warmup", || {
+    // instead of a thread spawn. The warmup row reports seconds and the
+    // steady-state dispatch cost only: a throughput figure computed from
+    // 8 no-op tasks would be meaningless next to the real engine rows.
+    let pool_warmup = measure("pool", "pool_warmup", || {
         let pool = WorkerPool::new(8);
         pool.scope(|s| {
             for i in 0..8 {
@@ -153,7 +155,7 @@ fn main() {
             }
         });
         (8, 0)
-    }));
+    });
     let pool_dispatch_ns = {
         let pool = WorkerPool::new(8);
         // Warm: spawn all workers before timing.
@@ -314,6 +316,10 @@ fn main() {
         mem.bytes_per_node(),
     );
 
+    eprintln!(
+        "  {:<14} {:<17} warmup {:.6} s, dispatch {pool_dispatch_ns:.1} ns/task",
+        pool_warmup.stage, pool_warmup.engine, pool_warmup.seconds,
+    );
     for m in &results {
         eprintln!(
             "  {:<14} {:<17} {:>12.0} updates/s  ({:.3} s, {} nodes)",
@@ -384,11 +390,16 @@ fn main() {
         mem.bytes_per_node(),
         BLOCK_ARENA_BYTES_PER_NODE,
         1.0 - mem.bytes_per_node() / BLOCK_ARENA_BYTES_PER_NODE,
-        results
-            .iter()
-            .map(json_entry)
-            .collect::<Vec<_>>()
-            .join(",\n"),
+        std::iter::once(format!(
+            concat!(
+                "    {{ \"stage\": \"pool\", \"engine\": \"pool_warmup\", ",
+                "\"seconds\": {:.6}, \"pool_dispatch_ns\": {:.1} }}"
+            ),
+            pool_warmup.seconds, pool_dispatch_ns,
+        ))
+        .chain(results.iter().map(json_entry))
+        .collect::<Vec<_>>()
+        .join(",\n"),
     );
     std::fs::write("BENCH_batch_update.json", &json).expect("write BENCH_batch_update.json");
     println!("{json}");

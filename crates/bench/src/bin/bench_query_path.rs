@@ -142,8 +142,10 @@ fn main() {
     let mut results = Vec::new();
 
     // Pool stage: cold warmup, then steady-state dispatch cost (the
-    // overhead the pooled read rows pay per chunk task).
-    results.push(measure("pool", "pool_warmup", || {
+    // overhead the pooled read rows pay per chunk task). The warmup row
+    // reports seconds and the dispatch cost only — a throughput figure
+    // from 8 no-op tasks would be meaningless next to the probe rows.
+    let pool_warmup = measure("pool", "pool_warmup", || {
         let pool = WorkerPool::new(8);
         pool.scope(|s| {
             for i in 0..8 {
@@ -151,7 +153,7 @@ fn main() {
             }
         });
         8
-    }));
+    });
     let pool_dispatch_ns = {
         let pool = WorkerPool::new(8);
         pool.scope(|s| {
@@ -328,11 +330,16 @@ fn main() {
         mem.live_rows,
         mem.arena_bytes,
         mem.bytes_per_node(),
-        results
-            .iter()
-            .map(json_entry)
-            .collect::<Vec<_>>()
-            .join(",\n"),
+        std::iter::once(format!(
+            concat!(
+                "    {{ \"stage\": \"pool\", \"engine\": \"pool_warmup\", ",
+                "\"seconds\": {:.6}, \"pool_dispatch_ns\": {:.1} }}"
+            ),
+            pool_warmup.seconds, pool_dispatch_ns,
+        ))
+        .chain(results.iter().map(json_entry))
+        .collect::<Vec<_>>()
+        .join(",\n"),
     );
     std::fs::write("BENCH_query_path.json", &json).expect("write BENCH_query_path.json");
     println!("{json}");

@@ -651,6 +651,38 @@ impl OmuAccelerator {
         self.query_stats
     }
 
+    /// Publishes a serving snapshot: broadcasts an epoch pin to every
+    /// PE's T-Mem and returns the pinned epoch. This is the hardware
+    /// mirror of the software tree's `publish_snapshot` — until
+    /// [`Self::release_snapshot`], the first write to any row stamped at
+    /// or before the pinned epoch streams the row through the copy
+    /// engine (priced SRAM traffic plus
+    /// [`COW_COPY_CYCLES`](crate::treemem::COW_COPY_CYCLES) folded into
+    /// that update's service time). The broadcast itself costs one cycle
+    /// per PE plus a root latch on the wall clock.
+    pub fn publish_snapshot(&mut self) -> u32 {
+        let mut epoch = 0;
+        for pe in &mut self.pes {
+            epoch = pe.publish_epoch();
+        }
+        self.stats.snapshot_publishes += 1;
+        self.stats.wall_cycles += self.pes.len() as u64 + 1;
+        epoch
+    }
+
+    /// Releases every serving pin: writes land in place again and row
+    /// copies stop being charged.
+    pub fn release_snapshot(&mut self) {
+        for pe in &mut self.pes {
+            pe.release_pins();
+        }
+    }
+
+    /// Whether a published snapshot is currently pinned (serving mode).
+    pub fn serving(&self) -> bool {
+        self.pes.iter().any(PeUnit::serving)
+    }
+
     /// Device statistics, with per-PE counters sampled live. The wall
     /// clock includes draining all in-flight PE work.
     pub fn stats(&self) -> AccelStats {
@@ -799,6 +831,59 @@ mod tests {
         assert!(s.voxel_updates > 10);
         assert!(s.wall_cycles > 0);
         assert!(s.queries == 3);
+    }
+
+    #[test]
+    fn serving_mode_prices_snapshot_publication_and_row_cow() {
+        let pts: Vec<Point3> = (0..48)
+            .map(|i| {
+                let a = i as f64 * 0.13;
+                Point3::new(3.0 * a.cos(), 3.0 * a.sin(), 0.4)
+            })
+            .collect();
+        let s = Scan::new(
+            Point3::new(0.01, 0.01, 0.21),
+            pts.into_iter().collect::<PointCloud>(),
+        );
+
+        // Baseline: the same two scans with no snapshot pinned.
+        let mut plain = accel();
+        plain.integrate_scan(&s).unwrap();
+        plain.integrate_scan(&s).unwrap();
+        let base = plain.stats();
+        assert_eq!(base.snapshot_publishes, 0);
+        assert_eq!(base.cow_rows_copied(), 0);
+        assert_eq!(base.cow_cycles(), 0);
+
+        // Serving: publish between the scans, so the second scan's first
+        // write to each pinned row streams it through the copy engine.
+        let mut serving = accel();
+        serving.integrate_scan(&s).unwrap();
+        let epoch = serving.publish_snapshot();
+        assert!(epoch >= 1);
+        assert!(serving.serving());
+        serving.integrate_scan(&s).unwrap();
+        let st = serving.stats();
+        assert_eq!(st.snapshot_publishes, 1);
+        assert!(st.cow_rows_copied() > 0, "revisited rows must copy out");
+        assert_eq!(
+            st.cow_cycles(),
+            st.cow_rows_copied() * crate::treemem::COW_COPY_CYCLES
+        );
+        // The copy traffic is priced: more SRAM accesses, more busy
+        // cycles, more energy than the unpinned run — and the map itself
+        // is unchanged by serving.
+        assert!(st.sram_total().accesses() > base.sram_total().accesses());
+        assert!(st.pe_busy_total() > base.pe_busy_total());
+        assert!(serving.energy_joules() > plain.energy_joules());
+        assert_eq!(serving.snapshot(), plain.snapshot());
+
+        // Releasing the pin stops the charging.
+        serving.release_snapshot();
+        assert!(!serving.serving());
+        let before = serving.stats().cow_rows_copied();
+        serving.integrate_scan(&s).unwrap();
+        assert_eq!(serving.stats().cow_rows_copied(), before);
     }
 
     #[test]

@@ -332,6 +332,13 @@ impl PeUnit {
             path_entries[step] = node;
         }
 
+        // Serving mode: row copies triggered by this update's writes are
+        // part of its service time, so COW overhead flows through the
+        // scheduler's busy/stall/drain accounting like any other stage.
+        let cow = self.mem.take_cow_cycles();
+        cycles += cow;
+        self.stats.cow_cycles += cow;
+
         self.stats.updates += 1;
         self.stats.busy_cycles += cycles;
         Ok(PeUpdateOutcome {
@@ -626,10 +633,27 @@ impl PeUnit {
         }
     }
 
+    /// Pins the current T-Mem epoch for serving and opens the next one
+    /// (snapshot publish), returning the pinned epoch.
+    pub fn publish_epoch(&mut self) -> u32 {
+        self.mem.publish_epoch()
+    }
+
+    /// Drops all serving pins; writes land in place again.
+    pub fn release_pins(&mut self) {
+        self.mem.release_pins()
+    }
+
+    /// Whether this PE's T-Mem is serving a pinned snapshot.
+    pub fn serving(&self) -> bool {
+        self.mem.serving()
+    }
+
     /// This PE's statistics (SRAM and allocator counters sampled live).
     pub fn stats(&self) -> PeStats {
         let mut s = self.stats;
         s.sram = self.mem.stats();
+        s.cow_rows = self.mem.cow_rows_copied();
         s.tmem_rows = self.mem.row_stats();
         s.prune_mgr = self.mgr.stats();
         s.live_rows = self.mgr.live_rows();

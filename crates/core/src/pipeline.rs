@@ -46,6 +46,15 @@ pub struct AccelRunSummary {
     /// Voxel query unit counters (queries served, cycles, cached-descent
     /// reuse) — zero when the run never queried the map.
     pub query: QueryUnitStats,
+    /// Serving snapshots published (epoch broadcasts) — zero when the
+    /// run never served concurrent readers.
+    pub snapshot_publishes: u64,
+    /// Rows streamed out by the serving-mode row-COW engine while a
+    /// snapshot was pinned.
+    pub cow_rows_copied: u64,
+    /// Copy-engine cycles (already folded into PE service times and
+    /// therefore the latency/energy figures above).
+    pub cow_cycles: u64,
 }
 
 /// Which voxel-update path a mapping run drives.
@@ -157,6 +166,9 @@ pub fn summarize(omu: &OmuAccelerator) -> AccelRunSummary {
         load_imbalance: stats.load_imbalance(),
         stall_cycles: stats.stall_cycles,
         query: omu.query_unit_stats(),
+        snapshot_publishes: stats.snapshot_publishes,
+        cow_rows_copied: stats.cow_rows_copied(),
+        cow_cycles: stats.cow_cycles(),
     }
 }
 
@@ -231,6 +243,29 @@ mod tests {
         // The contiguous runs earn the burst discount in wall cycles.
         assert!(s3.latency_s <= s2.latency_s);
         assert!(s2.latency_s < s1.latency_s);
+    }
+
+    #[test]
+    fn summary_reflects_serving_mode() {
+        let scans = ring_scans(4);
+        let mut omu = OmuAccelerator::new(OmuConfig::default()).unwrap();
+        omu.integrate_scan_with(&scans[0], UpdateEngine::MortonBatched)
+            .unwrap();
+        omu.publish_snapshot();
+        for s in &scans[1..] {
+            omu.integrate_scan_with(s, UpdateEngine::MortonBatched)
+                .unwrap();
+        }
+        let s = summarize(&omu);
+        assert_eq!(s.snapshot_publishes, 1);
+        assert!(s.cow_rows_copied > 0);
+        assert_eq!(
+            s.cow_cycles,
+            s.cow_rows_copied * crate::treemem::COW_COPY_CYCLES
+        );
+        // Serving never perturbs the map, only the pricing.
+        assert!(s.latency_s > 0.0);
+        assert!(s.energy_j > 0.0);
     }
 
     #[test]

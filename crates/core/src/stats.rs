@@ -84,10 +84,17 @@ pub struct PeStats {
     pub expands: u64,
     /// Node prunes.
     pub prunes: u64,
-    /// Per-stage cycle breakdown.
+    /// Per-stage cycle breakdown. Excludes serving-mode row-copy cycles
+    /// (`cow_cycles`), which are an overhead on top of the paper's
+    /// Fig. 10 datapath stages rather than one of them.
     pub stage_cycles: PeStageCycles,
-    /// Total busy cycles (sum of per-update service times).
+    /// Total busy cycles (sum of per-update service times, including
+    /// serving-mode row-copy cycles).
     pub busy_cycles: u64,
+    /// Rows streamed out by the serving-mode row-COW engine.
+    pub cow_rows: u64,
+    /// Copy-engine cycles (already included in `busy_cycles`).
+    pub cow_cycles: u64,
     /// SRAM access counters of the PE's T-Mem.
     pub sram: SramStats,
     /// Open-row (row-buffer) hit/miss counters of the PE's T-Mem — the
@@ -139,6 +146,8 @@ pub struct AccelStats {
     pub queries: u64,
     /// Voxel query unit cycles.
     pub query_cycles: u64,
+    /// Serving-mode snapshots published (epoch broadcasts to the PEs).
+    pub snapshot_publishes: u64,
     /// Per-PE statistics.
     pub per_pe: Vec<PeStats>,
 }
@@ -175,6 +184,16 @@ impl AccelStats {
             s.merge(&p.sram);
         }
         s
+    }
+
+    /// Rows streamed out by the serving-mode row-COW engines, across PEs.
+    pub fn cow_rows_copied(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.cow_rows).sum()
+    }
+
+    /// Copy-engine cycles across PEs (included in each PE's busy time).
+    pub fn cow_cycles(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.cow_cycles).sum()
     }
 
     /// Total prunes across PEs.

@@ -24,6 +24,10 @@ use crate::entry::NodeEntry;
 /// Sentinel for "no row open yet".
 const NO_ROW: u32 = u32::MAX;
 
+/// Cycles to stream one row through the copy engine (row read + row
+/// write, each one cycle across the 8 parallel banks).
+pub const COW_COPY_CYCLES: u64 = 2;
+
 /// Open-row (row-buffer) hit/miss counters across a tree memory's banks.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct RowBufferStats {
@@ -58,6 +62,16 @@ pub struct TreeMem {
     rows: usize,
     open_row: [u32; Self::BANKS],
     row_stats: RowBufferStats,
+    /// Epoch each row was last made current in (serving mode).
+    row_stamps: Vec<u32>,
+    /// Current write epoch; rows written now are stamped with it.
+    epoch: u32,
+    /// Newest pinned (published) epoch, if a snapshot is being served.
+    /// Pins are monotone, so the newest one is reachability-conservative
+    /// for every older one still alive on the host.
+    pinned: Option<u32>,
+    cow_rows_copied: u64,
+    cow_cycles_pending: u64,
 }
 
 impl TreeMem {
@@ -72,6 +86,11 @@ impl TreeMem {
             rows,
             open_row: [NO_ROW; Self::BANKS],
             row_stats: RowBufferStats::default(),
+            row_stamps: vec![0; rows],
+            epoch: 1,
+            pinned: None,
+            cow_rows_copied: 0,
+            cow_cycles_pending: 0,
         }
     }
 
@@ -94,6 +113,66 @@ impl TreeMem {
         hit
     }
 
+    /// Row-COW hook on the write path: while a published epoch is
+    /// pinned, the first write to a row still stamped at (or before)
+    /// that epoch first streams the whole row out through the copy
+    /// engine — 8 bank reads plus 8 bank writes of priced traffic, so
+    /// the energy ledger sees serving-mode copies — and restamps the
+    /// row with the current epoch. Later writes in the same epoch hit
+    /// the restamped row and pay nothing. A strict no-op when no
+    /// snapshot is pinned, keeping every non-serving access count
+    /// bit-identical to the pre-serving model.
+    #[inline]
+    fn make_row_current(&mut self, row: u32) {
+        let Some(pinned) = self.pinned else { return };
+        if self.row_stamps[row as usize] > pinned {
+            return;
+        }
+        for bank in 0..Self::BANKS {
+            self.touch(row, bank);
+            let word = self.banks[bank].read(row as usize);
+            self.touch(row, bank);
+            self.banks[bank].write(row as usize, word);
+        }
+        self.cow_rows_copied += 1;
+        self.cow_cycles_pending += COW_COPY_CYCLES;
+        self.row_stamps[row as usize] = self.epoch;
+    }
+
+    /// Pins the current epoch for serving (snapshot publish) and opens
+    /// the next one, returning the pinned epoch. Mirrors the software
+    /// arena's `publish_pin`: every row stamped at or before the pinned
+    /// epoch is copy-on-write until restamped.
+    pub fn publish_epoch(&mut self) -> u32 {
+        let pinned = self.epoch;
+        self.pinned = Some(pinned);
+        self.epoch += 1;
+        pinned
+    }
+
+    /// Drops all pins: subsequent writes land in place again.
+    pub fn release_pins(&mut self) {
+        self.pinned = None;
+    }
+
+    /// Whether a published epoch is currently pinned.
+    pub fn serving(&self) -> bool {
+        self.pinned.is_some()
+    }
+
+    /// Rows streamed through the copy engine since the last stats reset.
+    pub fn cow_rows_copied(&self) -> u64 {
+        self.cow_rows_copied
+    }
+
+    /// Takes the copy-engine cycles accrued since the last take — the PE
+    /// folds these into the service time of the update that triggered
+    /// the copies, so serving-mode overhead flows through the scheduler's
+    /// busy/stall/drain accounting like any other datapath stage.
+    pub fn take_cow_cycles(&mut self) -> u64 {
+        std::mem::take(&mut self.cow_cycles_pending)
+    }
+
     /// Reads the entry at (`row`, `bank`) — one bank access.
     #[inline]
     pub fn read_entry(&mut self, row: u32, bank: usize) -> NodeEntry {
@@ -111,6 +190,7 @@ impl TreeMem {
     /// Writes the entry at (`row`, `bank`) — one bank access.
     #[inline]
     pub fn write_entry(&mut self, row: u32, bank: usize, entry: NodeEntry) {
+        self.make_row_current(row);
         self.touch(row, bank);
         self.banks[bank].write(row as usize, entry.pack());
     }
@@ -128,6 +208,7 @@ impl TreeMem {
     /// Writes a whole row — 8 parallel bank accesses, one cycle.
     #[inline]
     pub fn write_row(&mut self, row: u32, entries: [NodeEntry; 8]) {
+        self.make_row_current(row);
         for (bank, e) in entries.iter().enumerate() {
             self.touch(row, bank);
             self.banks[bank].write(row as usize, e.pack());
@@ -161,6 +242,8 @@ impl TreeMem {
         }
         self.open_row = [NO_ROW; Self::BANKS];
         self.row_stats = RowBufferStats::default();
+        self.cow_rows_copied = 0;
+        self.cow_cycles_pending = 0;
     }
 
     /// Flips one bit of the entry at (`row`, `bank`) — soft-error fault
@@ -253,6 +336,66 @@ mod tests {
         assert_eq!(m.row_stats().hits, 1);
         assert_eq!(m.row_stats().misses, 4);
         assert!(m.row_stats().hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn cow_is_inert_until_published() {
+        let mut m = TreeMem::new(8);
+        m.write_row(2, [NodeEntry::EMPTY; 8]);
+        m.write_entry(2, 0, NodeEntry::EMPTY);
+        assert!(!m.serving());
+        assert_eq!(m.cow_rows_copied(), 0);
+        assert_eq!(m.take_cow_cycles(), 0);
+        // Non-serving access counts are bit-identical to the pre-serving
+        // model: exactly the writes issued above, no copy traffic.
+        assert_eq!(m.stats().writes, 9);
+        assert_eq!(m.stats().reads, 0);
+    }
+
+    #[test]
+    fn first_write_after_publish_copies_the_row_once() {
+        let mut m = TreeMem::new(8);
+        let e = NodeEntry {
+            ptr: 1,
+            tags: 2,
+            prob: FixedLogOdds::from_bits(3),
+        };
+        m.write_entry(4, 0, e);
+        m.reset_stats();
+        assert_eq!(m.publish_epoch(), 1);
+        assert!(m.serving());
+        // First write streams the row out: 8 reads + 8 copy writes on
+        // top of the write itself.
+        m.write_entry(4, 1, e);
+        assert_eq!(m.cow_rows_copied(), 1);
+        assert_eq!(m.stats().reads, 8);
+        assert_eq!(m.stats().writes, 9);
+        assert_eq!(m.take_cow_cycles(), COW_COPY_CYCLES);
+        // The restamped row is current: later writes pay nothing extra.
+        m.write_entry(4, 2, e);
+        assert_eq!(m.cow_rows_copied(), 1);
+        assert_eq!(m.take_cow_cycles(), 0);
+        // Logical contents survive the copy.
+        assert_eq!(m.peek_entry(4, 0), e);
+        // Released pins end the charging.
+        m.release_pins();
+        m.write_entry(5, 0, e);
+        assert_eq!(m.cow_rows_copied(), 1);
+    }
+
+    #[test]
+    fn each_publish_reopens_cow_protection() {
+        let mut m = TreeMem::new(8);
+        m.publish_epoch();
+        m.write_entry(0, 0, NodeEntry::EMPTY); // copy 1
+        m.publish_epoch();
+        m.write_entry(0, 0, NodeEntry::EMPTY); // copy 2: restamped row re-pinned
+        m.write_entry(0, 0, NodeEntry::EMPTY); // current — no copy
+        assert_eq!(m.cow_rows_copied(), 2);
+        // Resetting stats clears the counters but keeps serving state.
+        m.reset_stats();
+        assert_eq!(m.cow_rows_copied(), 0);
+        assert!(m.serving());
     }
 
     #[test]

@@ -20,13 +20,19 @@
 //!   `unwrap`/`expect`/`panic!`; a panic on a worker thread is a
 //!   structural hazard the pool has to contain.
 //! - **L4 `handle-bits`** — the `shard:4|row:25|oct:3` node-handle
-//!   packing is an implementation secret of `octree::{arena,node,shard}`;
-//!   re-deriving it with raw shifts elsewhere breaks the next layout
-//!   change silently.
+//!   packing is an implementation secret of
+//!   `octree::{arena,node,shard,snapshot}`; re-deriving it with raw
+//!   shifts elsewhere breaks the next layout change silently.
 //! - **L5 `bad-suppression`** — escape hatches exist
 //!   (`// omu-lint: allow(no-panic) — reason`) but must name a known
 //!   rule and a non-empty reason; reason-less suppressions are
 //!   violations.
+//! - **L6 `atomic-confinement`** — atomics (`sync::atomic` types and
+//!   the memory orderings) appear only in `crates/pool` and
+//!   `octree::snapshot`: the pool's wakeup latches and the snapshot
+//!   pin registry are the workspace's two lock-free protocols, each
+//!   with a written ordering argument. New lock-free state elsewhere
+//!   must either route through them or make its case here first.
 //!
 //! Pre-existing violations are grandfathered in a committed baseline
 //! (`omu-lint.baseline`) so the gate fails only on *new* ones while the

@@ -19,23 +19,28 @@ pub enum Rule {
     /// L3: no `unwrap`/`expect`/`panic!`/`unreachable!`/`todo!`/
     /// `unimplemented!` in library-crate non-test code.
     NoPanic,
-    /// L4: handle bit packing confined to `octree::{arena,node,shard}`.
+    /// L4: handle bit packing confined to
+    /// `octree::{arena,node,shard,snapshot}`.
     HandleBits,
     /// L5: suppressions must name a known rule and give a reason.
     BadSuppression,
+    /// L6: atomics and epoch/pin primitives confined to `crates/pool`
+    /// and `octree::snapshot`.
+    AtomicConfinement,
 }
 
 impl Rule {
-    /// Every rule, in `L1`..`L5` order.
-    pub const ALL: [Rule; 5] = [
+    /// Every rule, in `L1`..`L6` order.
+    pub const ALL: [Rule; 6] = [
         Rule::SafetyComment,
         Rule::ThreadConfinement,
         Rule::NoPanic,
         Rule::HandleBits,
         Rule::BadSuppression,
+        Rule::AtomicConfinement,
     ];
 
-    /// The short code used in diagnostics (`L1` … `L5`).
+    /// The short code used in diagnostics (`L1` … `L6`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::SafetyComment => "L1",
@@ -43,6 +48,7 @@ impl Rule {
             Rule::NoPanic => "L3",
             Rule::HandleBits => "L4",
             Rule::BadSuppression => "L5",
+            Rule::AtomicConfinement => "L6",
         }
     }
 
@@ -54,6 +60,7 @@ impl Rule {
             Rule::NoPanic => "no-panic",
             Rule::HandleBits => "handle-bits",
             Rule::BadSuppression => "bad-suppression",
+            Rule::AtomicConfinement => "atomic-confinement",
         }
     }
 
@@ -147,6 +154,7 @@ pub fn check_file(file: &SourceFile, raw: &str, lexed: &LexedFile) -> Vec<Violat
     check_thread_confinement(file, lexed, &raw_lines, &mut raw_violations);
     check_no_panic(file, lexed, &raw_lines, &mut raw_violations);
     check_handle_bits(file, lexed, &raw_lines, &mut raw_violations);
+    check_atomic_confinement(file, lexed, &raw_lines, &mut raw_violations);
 
     // Apply well-formed suppressions.
     for v in raw_violations {
@@ -405,7 +413,9 @@ const HANDLE_IDENTS: [&str; 7] = [
 const HANDLE_SHIFTS: [&str; 2] = ["<< 8", ">> 8"];
 
 /// Files allowed to do handle bit arithmetic (within the octree crate).
-const HANDLE_FILES: [&str; 3] = ["arena.rs", "node.rs", "shard.rs"];
+/// `snapshot.rs` earns its slot the same way `arena.rs` does: its frozen
+/// tables walk raw rows, so it addresses nodes through the packed layout.
+const HANDLE_FILES: [&str; 4] = ["arena.rs", "node.rs", "shard.rs", "snapshot.rs"];
 
 fn check_handle_bits(
     file: &SourceFile,
@@ -434,9 +444,68 @@ fn check_handle_bits(
                 idx + 1,
                 raw_lines,
                 format!(
-                    "handle bit arithmetic (`{tok}`) outside `octree::{{arena,node,shard}}` — use the handle accessors instead"
+                    "handle bit arithmetic (`{tok}`) outside `octree::{{arena,node,shard,snapshot}}` — use the handle accessors instead"
                 ),
             ));
+        }
+    }
+}
+
+/// L6 tokens. The atomic type names and `sync::atomic` catch
+/// declarations and imports; the memory-ordering paths catch every
+/// load/store/RMW call site without colliding with `std::cmp::Ordering`
+/// (whose variants are `Less`/`Equal`/`Greater`, never these).
+const ATOMIC_TOKENS: [&str; 10] = [
+    "sync::atomic",
+    "AtomicBool",
+    "AtomicU32",
+    "AtomicU64",
+    "AtomicUsize",
+    "Ordering::Relaxed",
+    "Ordering::Acquire",
+    "Ordering::Release",
+    "Ordering::AcqRel",
+    "Ordering::SeqCst",
+];
+
+/// L6: lock-free state is how epoch pins and pool wakeups are published
+/// cross-thread, and every new atomic is a new memory-ordering proof
+/// obligation. Confine them to the two modules that own such a proof:
+/// `crates/pool` (scope latches, shuffle state) and `octree::snapshot`
+/// (the pin registry the row-COW reclamation floor reads). Everything
+/// else synchronizes through those abstractions or a plain mutex.
+fn check_atomic_confinement(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    if !file.class.rules().contains(&Rule::AtomicConfinement) {
+        return;
+    }
+    if file.crate_name.as_deref() == Some("pool") {
+        return; // thread lifecycle and its wakeup flags live here
+    }
+    if file.crate_name.as_deref() == Some("octree") && file.rel_path.ends_with("snapshot.rs") {
+        return; // the epoch-pin registry behind snapshot reclamation
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in ATOMIC_TOKENS {
+            if line.code.contains(token) {
+                out.push(make(
+                    Rule::AtomicConfinement,
+                    file,
+                    idx + 1,
+                    raw_lines,
+                    format!(
+                        "atomic primitive (`{token}`) outside `crates/pool` / `octree::snapshot` — synchronize through the pool or the snapshot pin registry (or a mutex)"
+                    ),
+                ));
+                break;
+            }
         }
     }
 }

@@ -37,12 +37,14 @@ impl FileClass {
                 Rule::NoPanic,
                 Rule::HandleBits,
                 Rule::BadSuppression,
+                Rule::AtomicConfinement,
             ],
             FileClass::Bin => &[
                 Rule::SafetyComment,
                 Rule::ThreadConfinement,
                 Rule::HandleBits,
                 Rule::BadSuppression,
+                Rule::AtomicConfinement,
             ],
             FileClass::Test => &[Rule::SafetyComment, Rule::BadSuppression],
         }

@@ -1,0 +1,19 @@
+//! Fixture: `octree::snapshot` is the sanctioned home of the epoch-pin
+//! registry, so atomics (L6) and handle bit arithmetic (L4) are both
+//! allowed here. Must lint clean. Not compiled — lint input only.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The pin registry: epoch and live-pin count packed in one word, as
+/// the write path's reclamation floor reads them.
+pub struct PinRegistry {
+    raw: AtomicU64,
+}
+
+impl PinRegistry {
+    /// The epoch half of the packed word (handle-style bit math is
+    /// this module's privilege).
+    pub fn epoch(&self) -> u64 {
+        self.raw.load(Ordering::Acquire) >> 8
+    }
+}

@@ -26,9 +26,11 @@ pub fn last_or_die(v: &[i32]) -> i32 {
 #[cfg(test)]
 mod tests {
     #[test]
-    fn unwrap_and_threads_in_tests_are_fine() {
+    fn unwrap_threads_and_atomics_in_tests_are_fine() {
         let v = vec![1];
         assert_eq!(*v.first().unwrap(), 1);
         std::thread::spawn(|| 3).join().unwrap();
+        let hits = std::sync::atomic::AtomicU32::new(0);
+        hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
     }
 }

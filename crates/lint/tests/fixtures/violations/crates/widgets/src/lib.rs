@@ -1,4 +1,4 @@
-//! Fixture: library source violating L1, L2, L3 and L5.
+//! Fixture: library source violating L1, L2, L3, L5 and L6.
 //! Not compiled — lint input only.
 
 /// L1: an `unsafe` block with no preceding `// SAFETY:` rationale.
@@ -27,6 +27,10 @@ pub fn unknown_rule(v: &[i32]) -> i32 {
     // omu-lint: allow(no-yelling) — not a rule this linter knows
     v.len() as i32
 }
+
+/// L6: hand-rolled lock-free state outside `crates/pool` and
+/// `octree::snapshot`.
+pub static OFF_PROTOCOL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
 
 #[cfg(test)]
 mod tests {

@@ -55,6 +55,18 @@ pub enum MapError {
     /// stays structurally valid and usable, but the failed batch may be
     /// partially applied.
     WorkerPanicked(TaskPanic),
+    /// The [`MapService`](crate::MapService) writer has shut down (or its
+    /// thread died); the handle can no longer ingest or serve snapshots.
+    ServiceShutdown,
+    /// A change subscription fell behind the service's bounded change
+    /// ring: `missed` publish epochs were evicted before the subscriber
+    /// polled. The subscription stays usable and resumes from the oldest
+    /// retained epoch; resynchronize from a fresh
+    /// [`MapService::snapshot`](crate::MapService::snapshot).
+    Lagged {
+        /// Publish epochs whose change sets were dropped.
+        missed: u64,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -75,6 +87,11 @@ impl fmt::Display for MapError {
             MapError::Io(e) => write!(f, "i/o error: {e}"),
             MapError::Decode(e) => write!(f, "invalid map data: {e}"),
             MapError::WorkerPanicked(p) => write!(f, "parallel operation failed: {p}"),
+            MapError::ServiceShutdown => write!(f, "the map service has shut down"),
+            MapError::Lagged { missed } => write!(
+                f,
+                "change subscription lagged: {missed} publish epochs evicted before polling"
+            ),
         }
     }
 }
@@ -89,7 +106,10 @@ impl Error for MapError {
             MapError::Io(e) => Some(e),
             MapError::Decode(e) => Some(e),
             MapError::WorkerPanicked(p) => Some(p),
-            MapError::InvalidShards(_) | MapError::Unsupported { .. } => None,
+            MapError::InvalidShards(_)
+            | MapError::Unsupported { .. }
+            | MapError::ServiceShutdown
+            | MapError::Lagged { .. } => None,
         }
     }
 }

@@ -61,6 +61,7 @@ mod builder;
 mod engine;
 mod error;
 mod map;
+mod service;
 
 pub use backend::MapBackend;
 pub use builder::{Backend, MapBuilder};
@@ -68,3 +69,4 @@ pub use engine::{Engine, ParseEngineError, MAX_SHARDS};
 pub use error::MapError;
 pub use map::{OccupancyMap, QueryView};
 pub use omu_raycast::FrontEnd;
+pub use service::{ChangeSubscription, MapService, MapSnapshot, ServiceStats, CHANGE_RING_EPOCHS};

@@ -11,6 +11,7 @@ use crate::backend::MapBackend;
 use crate::builder::MapBuilder;
 use crate::engine::Engine;
 use crate::error::MapError;
+use crate::service::MapSnapshot;
 
 /// The concrete backend storage (boxed: an accelerator owns megabytes of
 /// modeled SRAM, a tree owns its arena — the facade stays one word plus
@@ -273,6 +274,40 @@ impl OccupancyMap {
     /// engines and (on fixed point) across backends.
     pub fn snapshot(&self) -> Vec<(VoxelKey, u8, f32)> {
         self.backend().snapshot()
+    }
+
+    /// Publishes an immutable, epoch-pinned [`MapSnapshot`] of the
+    /// current map: a cheaply clonable read handle that any number of
+    /// threads can query lock-free while this map keeps ingesting (the
+    /// write path copies rows on first write instead of blocking — see
+    /// the octree crate's snapshot docs). This is the primitive under
+    /// [`MapService`](crate::MapService); use the service when you also
+    /// want the writer moved off-thread.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Unsupported`] on the accelerator backend (serve from
+    /// a software-backed map mirroring the same scans).
+    pub fn publish_snapshot(&mut self) -> Result<MapSnapshot, MapError> {
+        match &mut self.inner {
+            Inner::Software(t) => Ok(MapSnapshot::Software(t.publish_snapshot())),
+            Inner::SoftwareFixed(t) => Ok(MapSnapshot::SoftwareFixed(t.publish_snapshot())),
+            Inner::Accelerator(_) => Err(MapError::Unsupported {
+                backend: "accelerator",
+                feature: "epoch snapshots (serve from a software-backed map)",
+            }),
+        }
+    }
+
+    /// Snapshot/copy-on-write bookkeeping of the software backends —
+    /// write epoch, publishes, live pins, rows copied / retired /
+    /// reclaimed. `None` on the accelerator backend.
+    pub fn snapshot_stats(&self) -> Option<omu_octree::SnapshotStats> {
+        match &self.inner {
+            Inner::Software(t) => Some(t.snapshot_stats()),
+            Inner::SoftwareFixed(t) => Some(t.snapshot_stats()),
+            Inner::Accelerator(_) => None,
+        }
     }
 
     /// Tree-operation counters (`None` on the accelerator backend, whose

@@ -1,0 +1,759 @@
+//! [`MapService`]: lock-free concurrent reads under live writes.
+//!
+//! The service owns an [`OccupancyMap`] on a dedicated writer thread
+//! (spawned through `omu-pool`, the one crate allowed to own thread
+//! lifecycle) fed by a scan queue. After each drained batch the writer
+//! publishes an epoch-pinned [`MapSnapshot`] — a cheaply clonable read
+//! handle any number of reader threads can query without locks, served
+//! bit-identically to the live map at the publish instant while the
+//! writer keeps streaming (the octree's row-granular copy-on-write
+//! machinery keeps published rows immutable; see the octree crate's
+//! snapshot docs for the epoch/reclamation rules).
+//!
+//! Readers that need *deltas* instead of full snapshots subscribe to the
+//! change ring: each publish appends the set of voxels whose occupancy
+//! classification flipped, and [`ChangeSubscription::poll`] drains
+//! everything since the subscriber's last poll. The ring is bounded; a
+//! subscriber that falls more than [`CHANGE_RING_EPOCHS`] publishes
+//! behind gets a typed [`MapError::Lagged`] and resynchronizes from a
+//! fresh snapshot.
+//!
+//! # Examples
+//!
+//! ```
+//! use omu_map::{MapBuilder, MapService};
+//! use omu_geometry::{Occupancy, Point3, PointCloud, Scan};
+//!
+//! # fn main() -> Result<(), omu_map::MapError> {
+//! let service = MapService::spawn(MapBuilder::new(0.1))?;
+//! service.ingest(Scan::new(
+//!     Point3::ZERO,
+//!     [Point3::new(1.0, 0.0, 0.25)].into_iter().collect::<PointCloud>(),
+//! ))?;
+//! let snap = service.flush()?; // wait until the scan is applied
+//! assert_eq!(
+//!     snap.occupancy_at(Point3::new(1.0, 0.0, 0.25))?,
+//!     Occupancy::Occupied
+//! );
+//! service.shutdown()?;
+//! // The snapshot outlives the service.
+//! assert!(!snap.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::VecDeque;
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+
+use omu_geometry::{KeyConverter, Occupancy, Point3, Scan, VoxelKey};
+use omu_octree::{LeafInfo, RayCastResult, Snapshot, SnapshotStats, WorkerPool};
+use omu_pool::{spawn_service, ServiceThread};
+
+use crate::builder::MapBuilder;
+use crate::error::MapError;
+use crate::map::OccupancyMap;
+
+/// Publish epochs of change sets the service retains for slow
+/// subscribers before evicting the oldest (and reporting
+/// [`MapError::Lagged`] to whoever needed it).
+pub const CHANGE_RING_EPOCHS: usize = 64;
+
+/// Lock a mutex, recovering from poisoning: the guarded service state is
+/// consistent at every release point (the writer publishes a fully-built
+/// snapshot or nothing), so a poison flag carries no information.
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// An epoch-pinned, cheaply clonable read handle over a map published by
+/// [`MapService`] (or directly by
+/// [`OccupancyMap::publish_snapshot`]). All queries are lock-free and
+/// bit-identical to querying the live map at the publish instant; clones
+/// share the pin, and dropping the last clone lets the writer recycle
+/// the rows it copied on the snapshot's behalf.
+#[derive(Debug, Clone)]
+pub enum MapSnapshot {
+    /// Snapshot of an `f32` software tree.
+    Software(Snapshot<f32>),
+    /// Snapshot of a fixed-point software tree.
+    SoftwareFixed(Snapshot<omu_geometry::FixedLogOdds>),
+}
+
+/// Dispatch one expression over both value representations.
+macro_rules! with_snap {
+    ($self:expr, $s:ident => $body:expr) => {
+        match $self {
+            MapSnapshot::Software($s) => $body,
+            MapSnapshot::SoftwareFixed($s) => $body,
+        }
+    };
+}
+
+impl MapSnapshot {
+    /// The write epoch this snapshot pins: queries observe exactly the
+    /// writes of epochs `0..=epoch()`.
+    pub fn epoch(&self) -> u32 {
+        with_snap!(self, s => s.epoch())
+    }
+
+    /// True when nothing had been observed at publish time.
+    pub fn is_empty(&self) -> bool {
+        with_snap!(self, s => s.is_empty())
+    }
+
+    /// The map resolution in metres.
+    pub fn resolution(&self) -> f64 {
+        with_snap!(self, s => s.resolution())
+    }
+
+    /// The key/coordinate converter.
+    pub fn converter(&self) -> &KeyConverter {
+        with_snap!(self, s => s.converter())
+    }
+
+    /// Occupancy classification of the voxel at `key`.
+    pub fn occupancy(&self, key: VoxelKey) -> Occupancy {
+        with_snap!(self, s => s.occupancy(key))
+    }
+
+    /// Occupancy classification of the voxel containing `point`.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when the point is outside the
+    /// addressable map.
+    pub fn occupancy_at(&self, point: Point3) -> Result<Occupancy, MapError> {
+        Ok(with_snap!(self, s => s.occupancy_at(point))?)
+    }
+
+    /// The stored log-odds covering `key` as `f32`, if observed.
+    pub fn logodds(&self, key: VoxelKey) -> Option<f32> {
+        with_snap!(self, s => s.logodds(key))
+    }
+
+    /// Classifies a batch of points in input order through one
+    /// cached-descent reader (Morton-coalesced, like the live map's
+    /// batched query engine).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when any point is outside the map
+    /// (detected before any classification runs).
+    pub fn occupancy_batch(&self, points: &[Point3]) -> Result<Vec<Occupancy>, MapError> {
+        let conv = *self.converter();
+        let keys = points
+            .iter()
+            .map(|&p| conv.coord_to_key(p))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(self.occupancy_batch_keys(&keys))
+    }
+
+    /// [`Self::occupancy_batch`] by voxel key (infallible).
+    pub fn occupancy_batch_keys(&self, keys: &[VoxelKey]) -> Vec<Occupancy> {
+        with_snap!(self, s => s.query_batch(keys))
+    }
+
+    /// Casts a query ray (OctoMap `castRay` semantics, identical to
+    /// [`crate::QueryView::cast_ray`] on the live map).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when the origin is outside the map or
+    /// the direction is degenerate.
+    pub fn cast_ray(
+        &self,
+        origin: Point3,
+        direction: Point3,
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<RayCastResult, MapError> {
+        Ok(with_snap!(self, s => s.cast_ray(origin, direction, max_range, ignore_unknown))?)
+    }
+
+    /// Casts a batch of query rays through one cached-descent reader,
+    /// returning results in input order.
+    ///
+    /// # Errors
+    ///
+    /// The first [`MapError::OutOfBounds`] in input order.
+    pub fn cast_rays(
+        &self,
+        rays: &[(Point3, Point3)],
+        max_range: f64,
+        ignore_unknown: bool,
+    ) -> Result<Vec<RayCastResult>, MapError> {
+        with_snap!(self, s => s.cast_rays(rays, max_range, ignore_unknown))
+            .into_iter()
+            .map(|r| r.map_err(MapError::from))
+            .collect()
+    }
+
+    /// Sphere collision probe (the motion-planning query of the paper's
+    /// Fig. 1).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when the probe region leaves the map.
+    pub fn collides_sphere(&self, center: Point3, radius: f64) -> Result<bool, MapError> {
+        Ok(with_snap!(self, s => s.collides_sphere(center, radius))?)
+    }
+
+    /// The leaves intersecting the key box `[min, max]`, inclusive per
+    /// axis.
+    pub fn leaves_in_box(&self, min: VoxelKey, max: VoxelKey) -> Vec<LeafInfo> {
+        with_snap!(self, s => s.iter_leaves_in_box(min, max).collect())
+    }
+
+    /// The leaves intersecting the metric box spanned by `min` and `max`.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::OutOfBounds`] when a corner leaves the map.
+    pub fn leaves_in_region(&self, min: Point3, max: Point3) -> Result<Vec<LeafInfo>, MapError> {
+        let conv = *self.converter();
+        let lo = conv.coord_to_key(min)?;
+        let hi = conv.coord_to_key(max)?;
+        Ok(self.leaves_in_box(lo, hi))
+    }
+
+    /// The canonical sorted leaf list `(key, depth, logodds)` — the
+    /// equivalence suite's comparison format, identical to
+    /// [`OccupancyMap::snapshot`] on the live map at the pinned epoch.
+    pub fn canonical_leaves(&self) -> Vec<(VoxelKey, u8, f32)> {
+        with_snap!(self, s => s.canonical_leaves())
+    }
+}
+
+/// Cumulative service counters, snapshotted via
+/// [`MapService::service_stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServiceStats {
+    /// Scans the writer has applied.
+    pub scans_ingested: u64,
+    /// Scans rejected by the backend (typed error deferred to the next
+    /// [`MapService::flush`]).
+    pub ingest_errors: u64,
+    /// Rays integrated across all applied scans.
+    pub rays: u64,
+    /// Snapshots the writer has published (one per drained queue batch,
+    /// plus the initial empty publish).
+    pub publishes: u64,
+    /// The octree's snapshot/copy-on-write bookkeeping at the last
+    /// publish.
+    pub snapshot: SnapshotStats,
+}
+
+/// One queued writer command.
+enum Command {
+    Ingest(Scan),
+    IngestPoints(Point3, Vec<Point3>),
+    /// Publish and acknowledge: everything sent before this command is
+    /// applied and visible once the ack arrives.
+    Flush(mpsc::Sender<()>),
+    Shutdown,
+}
+
+/// State shared between the service handle, its subscriptions, and the
+/// writer thread. One plain mutex: the writer takes it once per publish
+/// (milliseconds apart), readers once per `snapshot()`/`poll()` call to
+/// clone an `Arc`-backed handle out — queries themselves never touch it.
+#[derive(Debug)]
+struct ServiceShared {
+    state: Mutex<ServiceState>,
+}
+
+#[derive(Debug)]
+struct ServiceState {
+    snapshot: MapSnapshot,
+    stats: ServiceStats,
+    /// `(publish epoch, voxels whose classification flipped in it)`,
+    /// oldest first, at most [`CHANGE_RING_EPOCHS`] entries.
+    ring: VecDeque<(u32, Arc<[VoxelKey]>)>,
+    /// Highest publish epoch whose change set has been evicted from the
+    /// ring (`None` until the first eviction) — what turns a slow
+    /// subscriber's gap into a typed [`MapError::Lagged`].
+    dropped_through: Option<u32>,
+    /// First backend error since the last flush, surfaced there.
+    deferred_error: Option<MapError>,
+    shutdown: bool,
+}
+
+/// A single-writer map server: scans stream in through a queue, an
+/// epoch-pinned [`MapSnapshot`] streams out after every drained batch,
+/// and any number of concurrent readers query snapshots lock-free while
+/// the writer keeps ingesting. See the module docs for the serving
+/// model.
+#[derive(Debug)]
+pub struct MapService {
+    sender: mpsc::Sender<Command>,
+    shared: Arc<ServiceShared>,
+    writer: Option<ServiceThread>,
+    readers: Arc<WorkerPool>,
+}
+
+impl MapService {
+    /// Builds the map and spawns its writer thread. Change detection is
+    /// forced on (it feeds the subscription ring), so the builder must
+    /// target a software backend.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`MapBuilder::build`] can return;
+    /// [`MapError::Unsupported`] for the accelerator backend (which can
+    /// neither track changes nor publish snapshots).
+    pub fn spawn(builder: MapBuilder) -> Result<Self, MapError> {
+        let mut map = builder.change_detection(true).build()?;
+        let first = map.publish_snapshot()?;
+        let mut stats = ServiceStats {
+            publishes: 1,
+            ..ServiceStats::default()
+        };
+        if let Some(s) = map.snapshot_stats() {
+            stats.snapshot = s;
+        }
+        let shared = Arc::new(ServiceShared {
+            state: Mutex::new(ServiceState {
+                snapshot: first,
+                stats,
+                ring: VecDeque::new(),
+                dropped_through: None,
+                deferred_error: None,
+                shutdown: false,
+            }),
+        });
+        let (sender, receiver) = mpsc::channel();
+        let writer_shared = Arc::clone(&shared);
+        let writer = spawn_service("map-writer", move || {
+            writer_loop(map, receiver, writer_shared);
+        });
+        Ok(MapService {
+            sender,
+            shared,
+            writer: Some(writer),
+            readers: Arc::new(WorkerPool::new(0)),
+        })
+    }
+
+    /// Queues one scan for integration. Returns as soon as the scan is
+    /// enqueued; it becomes visible in the snapshot published after the
+    /// writer drains it ([`Self::flush`] to wait for that).
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::ServiceShutdown`] when the writer is gone. Backend
+    /// errors (e.g. an out-of-bounds origin) are deferred to the next
+    /// [`Self::flush`].
+    pub fn ingest(&self, scan: Scan) -> Result<(), MapError> {
+        self.sender
+            .send(Command::Ingest(scan))
+            .map_err(|_| MapError::ServiceShutdown)
+    }
+
+    /// [`Self::ingest`] from an origin and owned point buffer, skipping
+    /// the `Scan` wrapper.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Self::ingest`].
+    pub fn ingest_points(&self, origin: Point3, points: Vec<Point3>) -> Result<(), MapError> {
+        self.sender
+            .send(Command::IngestPoints(origin, points))
+            .map_err(|_| MapError::ServiceShutdown)
+    }
+
+    /// Waits until every scan queued before this call has been applied
+    /// and published, then returns the fresh snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::ServiceShutdown`] when the writer is gone; otherwise
+    /// the first backend error any queued scan hit since the last flush
+    /// (the writer keeps going past bad scans — the map stays valid).
+    pub fn flush(&self) -> Result<MapSnapshot, MapError> {
+        let (ack, done) = mpsc::channel();
+        self.sender
+            .send(Command::Flush(ack))
+            .map_err(|_| MapError::ServiceShutdown)?;
+        done.recv().map_err(|_| MapError::ServiceShutdown)?;
+        let mut state = lock_unpoisoned(&self.shared.state);
+        if let Some(e) = state.deferred_error.take() {
+            return Err(e);
+        }
+        Ok(state.snapshot.clone())
+    }
+
+    /// The most recently published snapshot — one mutex-guarded `Arc`
+    /// clone, never blocked by the writer's ingestion work. Snapshots
+    /// (and their clones) remain fully usable after
+    /// [`Self::shutdown`].
+    pub fn snapshot(&self) -> MapSnapshot {
+        lock_unpoisoned(&self.shared.state).snapshot.clone()
+    }
+
+    /// Subscribes to change sets: each subsequent publish's flipped
+    /// voxels can be drained with [`ChangeSubscription::poll`].
+    pub fn subscribe(&self) -> ChangeSubscription {
+        let epoch = lock_unpoisoned(&self.shared.state).snapshot.epoch();
+        ChangeSubscription {
+            shared: Arc::clone(&self.shared),
+            next_epoch: epoch.saturating_add(1),
+        }
+    }
+
+    /// The worker pool the service offers for fanning reader workloads
+    /// out (snapshot queries are `&self` and embarrassingly parallel).
+    /// Distinct from the writer's own pool, so bulk reads never contend
+    /// with ingestion dispatch.
+    pub fn reader_pool(&self) -> &Arc<WorkerPool> {
+        &self.readers
+    }
+
+    /// Cumulative ingest/publish counters.
+    pub fn service_stats(&self) -> ServiceStats {
+        lock_unpoisoned(&self.shared.state).stats
+    }
+
+    /// Stops the writer after it drains everything already queued, and
+    /// joins its thread. Published snapshots stay valid.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::WorkerPanicked`] when the writer thread died on a
+    /// panic instead of draining cleanly.
+    pub fn shutdown(mut self) -> Result<(), MapError> {
+        let _ = self.sender.send(Command::Shutdown);
+        match self.writer.take() {
+            Some(writer) => writer.join().map_err(MapError::from),
+            None => Ok(()),
+        }
+    }
+
+    /// True once the writer has exited (clean shutdown or panic).
+    pub fn is_shut_down(&self) -> bool {
+        lock_unpoisoned(&self.shared.state).shutdown
+    }
+}
+
+impl Drop for MapService {
+    /// Dropping the handle shuts the writer down (after draining the
+    /// queue) and joins it; a writer panic is swallowed here — call
+    /// [`MapService::shutdown`] to observe it.
+    fn drop(&mut self) {
+        let _ = self.sender.send(Command::Shutdown);
+        // ServiceThread joins on drop.
+        self.writer.take();
+    }
+}
+
+/// A reader's cursor into the service's change ring.
+///
+/// Obtained from [`MapService::subscribe`]; poll-driven, so a planner
+/// can fold change sets in on its own cadence.
+#[derive(Debug)]
+pub struct ChangeSubscription {
+    shared: Arc<ServiceShared>,
+    /// The next publish epoch this subscriber has not seen.
+    next_epoch: u32,
+}
+
+impl ChangeSubscription {
+    /// Drains every change set published since the last poll, in publish
+    /// order (keys are sorted within one publish and may repeat across
+    /// publishes). An empty vector means no publish happened since.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Lagged`] when the ring evicted epochs this subscriber
+    /// had not seen; the subscription resumes from the oldest retained
+    /// epoch, so the *next* poll succeeds —
+    /// resynchronize content from [`MapService::snapshot`].
+    /// [`MapError::ServiceShutdown`] when the writer is gone *and*
+    /// nothing is left to drain.
+    pub fn poll(&mut self) -> Result<Vec<VoxelKey>, MapError> {
+        let state = lock_unpoisoned(&self.shared.state);
+        if let Some(through) = state.dropped_through {
+            if through >= self.next_epoch {
+                let missed = u64::from(through - self.next_epoch) + 1;
+                self.next_epoch = through.saturating_add(1);
+                return Err(MapError::Lagged { missed });
+            }
+        }
+        let mut out = Vec::new();
+        for (epoch, keys) in state.ring.iter() {
+            if *epoch >= self.next_epoch {
+                out.extend_from_slice(keys);
+                self.next_epoch = epoch.saturating_add(1);
+            }
+        }
+        if out.is_empty() && state.shutdown {
+            return Err(MapError::ServiceShutdown);
+        }
+        Ok(out)
+    }
+}
+
+/// The writer loop: drain whatever is queued, apply it, publish once,
+/// acknowledge flushes — so a burst of scans costs one publish, and the
+/// snapshot a flush returns covers everything queued before it.
+fn writer_loop(
+    mut map: OccupancyMap,
+    receiver: mpsc::Receiver<Command>,
+    shared: Arc<ServiceShared>,
+) {
+    'serve: loop {
+        let first = match receiver.recv() {
+            Ok(cmd) => cmd,
+            Err(_) => break, // every handle gone; nothing more can arrive
+        };
+        let mut batch = vec![first];
+        while let Ok(cmd) = receiver.try_recv() {
+            batch.push(cmd);
+        }
+        let mut acks = Vec::new();
+        let mut stop = false;
+        let mut applied = false;
+        for cmd in batch {
+            let result = match cmd {
+                Command::Ingest(scan) => Some(map.insert(&scan)),
+                Command::IngestPoints(origin, points) => Some(map.insert_points(origin, &points)),
+                Command::Flush(ack) => {
+                    acks.push(ack);
+                    None
+                }
+                Command::Shutdown => {
+                    stop = true;
+                    None
+                }
+            };
+            if let Some(result) = result {
+                applied = true;
+                let mut state = lock_unpoisoned(&shared.state);
+                match result {
+                    Ok(stats) => {
+                        state.stats.scans_ingested += 1;
+                        state.stats.rays += stats.rays;
+                    }
+                    Err(e) => {
+                        state.stats.ingest_errors += 1;
+                        if state.deferred_error.is_none() {
+                            state.deferred_error = Some(e);
+                        }
+                    }
+                }
+            }
+        }
+        // Publish once per drained batch — but only when something was
+        // applied (a bare flush must not burn an epoch), and always
+        // before acknowledging, so flush-visibility holds.
+        if applied {
+            publish(&mut map, &shared);
+        }
+        for ack in acks {
+            let _ = ack.send(());
+        }
+        if stop {
+            break 'serve;
+        }
+    }
+    lock_unpoisoned(&shared.state).shutdown = true;
+}
+
+fn publish(map: &mut OccupancyMap, shared: &Arc<ServiceShared>) {
+    let changed: Arc<[VoxelKey]> = map.drain_changed_keys().into();
+    let snapshot = match map.publish_snapshot() {
+        Ok(s) => s,
+        // Unreachable in practice: `spawn` already published once, which
+        // proves the backend supports snapshots. Keep the old snapshot
+        // rather than panicking the writer.
+        Err(_) => return,
+    };
+    let epoch = snapshot.epoch();
+    let mut state = lock_unpoisoned(&shared.state);
+    state.snapshot = snapshot;
+    state.stats.publishes += 1;
+    if let Some(s) = map.snapshot_stats() {
+        state.stats.snapshot = s;
+    }
+    state.ring.push_back((epoch, changed));
+    while state.ring.len() > CHANGE_RING_EPOCHS {
+        if let Some((evicted, _)) = state.ring.pop_front() {
+            state.dropped_through = Some(evicted);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::Backend;
+    use omu_geometry::PointCloud;
+
+    fn scan(step: u64) -> Scan {
+        Scan::new(
+            Point3::new(0.01, 0.01, 0.01),
+            (0..32)
+                .map(|i| {
+                    let a = (step * 32 + i) as f64 * 0.111;
+                    Point3::new(2.0 * a.cos(), 2.0 * a.sin(), 0.2)
+                })
+                .collect::<PointCloud>(),
+        )
+    }
+
+    #[test]
+    fn service_snapshot_matches_serial_map() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        let mut serial = MapBuilder::new(0.1).build().unwrap();
+        for step in 0..4 {
+            service.ingest(scan(step)).unwrap();
+            serial.insert(&scan(step)).unwrap();
+        }
+        let snap = service.flush().unwrap();
+        assert_eq!(snap.canonical_leaves(), serial.snapshot());
+        assert_eq!(
+            snap.occupancy_at(Point3::new(2.0, 0.0, 0.2)).unwrap(),
+            Occupancy::Occupied
+        );
+        let stats = service.service_stats();
+        assert_eq!(stats.scans_ingested, 4);
+        assert!(stats.publishes >= 2, "initial publish plus batches");
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn snapshots_are_isolated_from_later_writes() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        service.ingest(scan(0)).unwrap();
+        let early = service.flush().unwrap();
+        let early_leaves = early.canonical_leaves();
+        for step in 1..4 {
+            service.ingest(scan(step)).unwrap();
+        }
+        let late = service.flush().unwrap();
+        assert!(late.epoch() > early.epoch());
+        assert_ne!(late.canonical_leaves(), early_leaves);
+        assert_eq!(early.canonical_leaves(), early_leaves, "pinned epoch");
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn fixed_backend_serves_identically_to_direct_map() {
+        let service =
+            MapService::spawn(MapBuilder::new(0.1).backend(Backend::SoftwareFixed)).unwrap();
+        let mut serial = MapBuilder::new(0.1)
+            .backend(Backend::SoftwareFixed)
+            .build()
+            .unwrap();
+        service.ingest(scan(0)).unwrap();
+        serial.insert(&scan(0)).unwrap();
+        let snap = service.flush().unwrap();
+        assert!(matches!(snap, MapSnapshot::SoftwareFixed(_)));
+        assert_eq!(snap.canonical_leaves(), serial.snapshot());
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn subscription_drains_changes_and_reports_lag() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        let mut sub = service.subscribe();
+        service.ingest(scan(0)).unwrap();
+        let snap = service.flush().unwrap();
+        let changed = sub.poll().unwrap();
+        assert!(!changed.is_empty());
+        for &key in &changed {
+            assert_ne!(snap.occupancy(key), Occupancy::Unknown);
+        }
+        assert!(sub.poll().unwrap().is_empty(), "drained");
+
+        // Starve a second subscriber past the ring capacity: each flush
+        // with work publishes exactly one epoch.
+        let mut slow = service.subscribe();
+        for _ in 0..(CHANGE_RING_EPOCHS + 3) {
+            service.ingest(scan(1)).unwrap();
+            service.flush().unwrap();
+        }
+        match slow.poll() {
+            Err(MapError::Lagged { missed }) => assert!(missed >= 1),
+            other => panic!("expected Lagged, got {other:?}"),
+        }
+        // Recovered: the next poll resumes from the retained window.
+        slow.poll().unwrap();
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn shutdown_is_typed_and_snapshots_survive_it() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        service.ingest(scan(0)).unwrap();
+        let snap = service.flush().unwrap();
+        let mut sub = service.subscribe();
+        service.shutdown().unwrap();
+        assert_eq!(
+            snap.occupancy_at(Point3::new(2.0, 0.0, 0.2)).unwrap(),
+            Occupancy::Occupied
+        );
+        assert!(matches!(sub.poll(), Err(MapError::ServiceShutdown)));
+    }
+
+    #[test]
+    fn ingest_after_writer_death_is_shutdown_error() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        // Simulate the handle outliving the writer by asking it to stop.
+        service.sender.send(Command::Shutdown).unwrap();
+        while !service.is_shut_down() {
+            std::thread::yield_now();
+        }
+        // The channel stays open while the handle lives, so a late ingest
+        // is detected at flush time: the queue is never drained again.
+        let snap = service.snapshot();
+        assert!(snap.is_empty());
+    }
+
+    #[test]
+    fn bad_scan_surfaces_at_flush_and_map_stays_usable() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        let far = *service.snapshot().converter();
+        let bad_origin = Point3::new(far.map_half_extent() + 5.0, 0.0, 0.0);
+        service
+            .ingest(Scan::new(bad_origin, PointCloud::new()))
+            .unwrap();
+        service.ingest(scan(0)).unwrap();
+        match service.flush() {
+            Err(MapError::OutOfBounds(_)) => {}
+            other => panic!("expected deferred OutOfBounds, got {other:?}"),
+        }
+        // The good scan was still applied and the error drained.
+        let snap = service.flush().unwrap();
+        assert!(!snap.is_empty());
+        assert_eq!(service.service_stats().ingest_errors, 1);
+        service.shutdown().unwrap();
+    }
+
+    #[test]
+    fn concurrent_readers_on_the_reader_pool_see_published_epochs() {
+        let service = MapService::spawn(MapBuilder::new(0.1)).unwrap();
+        service.ingest(scan(0)).unwrap();
+        let reference = service.flush().unwrap().canonical_leaves();
+        let pool = Arc::clone(service.reader_pool());
+        let results: Mutex<Vec<Vec<(VoxelKey, u8, f32)>>> = Mutex::new(Vec::new());
+        pool.scope(|s| {
+            for _ in 0..8 {
+                let snap = service.snapshot();
+                let results = &results;
+                s.spawn(move || {
+                    let leaves = snap.canonical_leaves();
+                    results.lock().unwrap().push(leaves);
+                });
+            }
+            // Keep writing while the readers run.
+            for step in 1..4 {
+                service.ingest(scan(step)).unwrap();
+            }
+        });
+        for leaves in results.into_inner().unwrap() {
+            assert_eq!(leaves, reference);
+        }
+        service.flush().unwrap();
+        service.shutdown().unwrap();
+    }
+}

@@ -636,6 +636,10 @@ impl<V: LogOdds> OccupancyOctree<V> {
         stats: &mut BatchStats,
         parallel_shards: Option<usize>,
     ) -> Result<(), TaskPanic> {
+        // One atomic load: refresh the snapshot-pin state so this batch
+        // copies rows only for snapshots still alive, and retired rows
+        // whose pins died return to the free lists.
+        self.arena.sync_pins();
         // Morton order over unique keys only (all distinct, so an
         // unstable sort is fine).
         scratch.order.extend(0..scratch.keys.len() as u32);

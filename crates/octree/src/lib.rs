@@ -79,6 +79,7 @@ mod query_batch;
 mod region;
 mod serialize;
 mod shard;
+mod snapshot;
 mod stats;
 mod tree;
 mod update;
@@ -96,5 +97,6 @@ pub use region::LeafInBoxIter;
 pub use serialize::DeserializeError;
 #[doc(hidden)]
 pub use shard::ParallelDispatch;
+pub use snapshot::{SnapLeafIter, Snapshot, SnapshotReader, SnapshotStats};
 pub use stats::{MemoryStats, TreeStats};
 pub use tree::{OccupancyOctree, OctreeF32, OctreeFixed};

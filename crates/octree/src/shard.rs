@@ -126,6 +126,25 @@ impl<V: LogOdds> NodeStore<V> for BranchStore<V> {
     }
 
     #[inline]
+    fn ensure_children_current(&mut self, parent: u32, leaf_tier: bool) -> u32 {
+        let n = *self.node(parent);
+        debug_assert!(!n.is_leaf(), "ensure on a childless node");
+        let row = n.row();
+        let current = if leaf_tier {
+            self.shard.make_leaf_row_current(row)
+        } else {
+            self.shard.make_row_current(row)
+        };
+        if current != row {
+            // Republish the packed word — into the by-value branch node
+            // when `parent` is the depth-1 node this store masquerades
+            // for (its spine slot is written back after the join).
+            self.node_mut(parent).set_children(current, n.mask());
+        }
+        current
+    }
+
+    #[inline]
     fn node_row(&self, _shard: usize, row: u32) -> &crate::node::NodeRow<V> {
         self.shard.node_row(row)
     }

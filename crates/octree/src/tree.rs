@@ -15,6 +15,7 @@ use crate::batch::BatchScratch;
 use crate::counters::{OpCounters, QueryCounters};
 use crate::node::NIL;
 use crate::query_batch::QueryScratch;
+use crate::snapshot::{Snapshot, SnapshotStats};
 use crate::walk::WalkCtx;
 
 /// A probabilistic occupancy octree with OctoMap semantics, generic over
@@ -418,12 +419,47 @@ impl<V: LogOdds> OccupancyOctree<V> {
     }
 
     /// Removes all observations, keeping configuration and allocations.
+    /// Pinned snapshots are unaffected: they keep their captured storage
+    /// alive and continue serving the pre-clear map.
     pub fn clear(&mut self) {
         self.arena.clear();
         self.root = NIL;
         if let Some(changed) = &mut self.changed {
             changed.clear();
         }
+    }
+
+    /// Publishes an immutable, epoch-pinned [`Snapshot`] of the current
+    /// map and advances the write epoch.
+    ///
+    /// The snapshot exposes the whole read surface — occupancy lookups,
+    /// batched queries, ray casts, collision probes, leaf iteration —
+    /// bit-identical to reading this tree at the publish instant, and it
+    /// stays valid (and lock-free to read, from any number of threads)
+    /// while this tree keeps mutating: the write path copies on first
+    /// write any sibling row the snapshot still reads (see the `arena`
+    /// module docs). Publishing is O(shards): it shares chunk tables by
+    /// `Arc` and copies no rows itself.
+    ///
+    /// Dropping the last clone of the snapshot unpins its epoch; the
+    /// next write entry then recycles whatever rows were copied out on
+    /// its behalf.
+    pub fn publish_snapshot(&mut self) -> Snapshot<V> {
+        Snapshot::capture(&mut self.arena, self.root, self.conv, self.resolved)
+    }
+
+    /// Snapshot/COW bookkeeping: current epoch, publish and pin counts,
+    /// rows copied / retired / reclaimed by the copy-on-write machinery.
+    pub fn snapshot_stats(&self) -> SnapshotStats {
+        self.arena.snapshot_stats()
+    }
+
+    /// Re-reads the snapshot-pin state (one atomic load) and reclaims
+    /// retired rows whose pins have died. Every write entry does this
+    /// implicitly; exposed for deployments that want reclamation to run
+    /// eagerly during write-idle stretches.
+    pub fn sync_cow_state(&mut self) {
+        self.arena.sync_pins();
     }
 
     /// Enables or disables change detection (disabled by default, like

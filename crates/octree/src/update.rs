@@ -31,6 +31,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
 
     /// Integrates an observation expressed directly as a log-odds delta.
     pub fn update_key_logodds(&mut self, key: VoxelKey, delta: V) -> V {
+        self.arena.sync_pins();
         // OctoMap's early abort: if the covering leaf is already clamped in
         // the update direction, the update cannot change anything — skip
         // the whole descend/prune machinery. (This is why saturated
@@ -90,6 +91,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
         if self.root == NIL {
             return 0;
         }
+        self.arena.sync_pins();
         let root = self.root;
         let before = self.counters.prunes;
         let mut ctx = self.walk_ctx();
@@ -102,6 +104,7 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// the eager per-update parent refresh.
     pub fn update_inner_occupancy(&mut self) {
         if self.root != NIL {
+            self.arena.sync_pins();
             let root = self.root;
             let mut ctx = self.walk_ctx();
             inner_occupancy_recurs(&mut ctx, root, 0);
@@ -123,6 +126,11 @@ where
         return;
     }
     if depth + 1 < TREE_DEPTH {
+        // This pass bypasses `step_down`, and pruning a child mutates its
+        // slot in this node's children row — make the row COW-current
+        // before recursing (leaf rows are only read and freed, never
+        // written, so depth-15 parents need no hook).
+        ctx.store.ensure_children_current(node, false);
         for pos in 0..8 {
             if n.has_child(pos) {
                 let child = ctx.store.child_of(node, pos);
@@ -147,6 +155,9 @@ where
         return;
     }
     if depth + 1 < TREE_DEPTH {
+        // Same COW hook as `prune_recurs`: child refreshes write into
+        // this node's children row.
+        ctx.store.ensure_children_current(node, false);
         for pos in 0..8 {
             if n.has_child(pos) {
                 let child = ctx.store.child_of(node, pos);

@@ -78,9 +78,14 @@ impl<S: NodeStore<V>, V: LogOdds, C: ChangeLog> WalkCtx<'_, S, V, C> {
         let n = *self.store.node(node);
         let mut created = false;
         let child = if n.has_child(pos) {
-            // The common case is one pure-arithmetic step: the parent is
-            // already in hand, the child's handle needs no load at all.
-            handle(self.store.child_shard(node), n.row(), pos)
+            // The common case is one arithmetic step plus the COW check:
+            // the children row must be writable in the current epoch
+            // before the walk descends into (and mutates) it. Without
+            // pinned snapshots this is one stamp compare.
+            let row = self
+                .store
+                .ensure_children_current(node, depth == LEAF_PARENT_DEPTH);
+            handle(self.store.child_shard(node), row, pos)
         } else if n.is_leaf() && !just_created {
             // A pruned leaf covers this key: expand it so the update
             // applies to the single target voxel only.
@@ -254,7 +259,10 @@ impl<S: NodeStore<V>, V: LogOdds, C: ChangeLog> WalkCtx<'_, S, V, C> {
             child = handle(self.store.child_shard(node), row, pos);
             // Row slots come pre-filled with the zero value.
         } else {
-            child = handle(self.store.child_shard(node), n.row(), pos);
+            // Writing a slot of an existing row: make it COW-current
+            // first (the row index may move under a pinned snapshot).
+            let row = self.store.ensure_children_current(node, leaf_tier);
+            child = handle(self.store.child_shard(node), row, pos);
             if leaf_tier {
                 *self.store.leaf_value_mut(child) = V::ZERO;
             } else {

@@ -617,6 +617,66 @@ impl fmt::Display for TaskPanic {
 
 impl std::error::Error for TaskPanic {}
 
+/// A dedicated long-lived thread running one service loop to completion
+/// — e.g. the map service's writer thread. Service threads live outside
+/// the worker-pool queues (a service loop parks on its own channel and
+/// must never occupy a pool worker slot), but they are spawned and
+/// joined through this crate so thread management stays confined here
+/// (the workspace thread-confinement lint).
+///
+/// Join explicitly with [`ServiceThread::join`] to observe a panic as a
+/// typed [`TaskPanic`]; dropping the handle joins implicitly and
+/// swallows the outcome.
+#[derive(Debug)]
+pub struct ServiceThread {
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Spawn `f` on a dedicated OS thread named `name` and return its
+/// [`ServiceThread`] handle.
+pub fn spawn_service<F>(name: &str, f: F) -> ServiceThread
+where
+    F: FnOnce() + Send + 'static,
+{
+    let handle = std::thread::Builder::new()
+        .name(format!("omu-svc-{name}"))
+        .spawn(f)
+        // omu-lint: allow(no-panic) — same policy as pool workers:
+        // thread-spawn failure is unrecoverable resource exhaustion and
+        // a typed error would leave the service permanently absent.
+        .expect("spawn service thread");
+    ServiceThread {
+        handle: Some(handle),
+    }
+}
+
+impl ServiceThread {
+    /// Wait for the service loop to finish. A panic inside the loop is
+    /// reported as a [`TaskPanic`] (message extracted from the payload);
+    /// the panic does not propagate to the caller.
+    pub fn join(mut self) -> Result<(), TaskPanic> {
+        match self.handle.take() {
+            None => Ok(()),
+            Some(handle) => match handle.join() {
+                Ok(()) => Ok(()),
+                Err(payload) => Err(TaskPanic {
+                    messages: vec![panic_message(payload.as_ref())],
+                }),
+            },
+        }
+    }
+}
+
+impl Drop for ServiceThread {
+    /// Joining on drop (rather than detaching) keeps service shutdown
+    /// deterministic: by the time the owner is gone, the loop has exited.
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
 /// Handle passed to the closure of [`WorkerPool::scope`]; spawns tasks
 /// that may borrow from the enclosing environment (`'env`).
 pub struct Scope<'pool, 'env> {
@@ -971,5 +1031,37 @@ mod tests {
         for (i, v) in outputs.iter().enumerate() {
             assert_eq!(*v, Some(i as u64 * 3));
         }
+    }
+
+    #[test]
+    fn service_thread_runs_to_completion_and_joins_clean() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&flag);
+        let svc = spawn_service("test", move || {
+            seen.store(7, Ordering::Release);
+        });
+        assert!(svc.join().is_ok());
+        assert_eq!(flag.load(Ordering::Acquire), 7);
+    }
+
+    #[test]
+    fn service_thread_panic_surfaces_as_task_panic() {
+        let svc = spawn_service("test-panic", || {
+            panic!("service loop died");
+        });
+        let err = svc.join().unwrap_err();
+        assert_eq!(err.count(), 1);
+        assert!(err.first_message().contains("service loop died"));
+    }
+
+    #[test]
+    fn service_thread_drop_joins_implicitly() {
+        let flag = Arc::new(AtomicUsize::new(0));
+        let seen = Arc::clone(&flag);
+        drop(spawn_service("test-drop", move || {
+            seen.store(3, Ordering::Release);
+        }));
+        // Drop joined: the store is guaranteed visible afterwards.
+        assert_eq!(flag.load(Ordering::Acquire), 3);
     }
 }

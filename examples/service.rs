@@ -1,0 +1,137 @@
+//! Serving reads under live writes: a [`MapService`] owns the map on
+//! its writer thread while this thread streams scans at it, and a squad
+//! of collision-checking readers on the service's pool probe pinned
+//! snapshots the whole time — no reader ever blocks the writer, no
+//! writer ever tears a read.
+//!
+//! ```sh
+//! cargo run --release --example service
+//! ```
+
+use std::sync::Mutex;
+
+use omu::geometry::{Occupancy, Point3, PointCloud, Scan};
+use omu::map::{MapBuilder, MapError, MapService};
+
+/// One lap of a sensor circling the room: a ring of wall returns from a
+/// slowly advancing origin.
+fn lap_scan(lap: usize) -> Scan {
+    let t = lap as f64 * 0.3;
+    let origin = Point3::new(0.5 * t.cos(), 0.5 * t.sin(), 0.2);
+    let cloud: PointCloud = (0..360)
+        .map(|deg| {
+            let a = (deg as f64).to_radians();
+            Point3::new(5.0 * a.cos(), 5.0 * a.sin(), 0.2 + 0.1 * (deg % 3) as f64)
+        })
+        .collect();
+    Scan::new(origin, cloud)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The service spawns the writer thread and owns the map; this
+    // handle (and its clones of each snapshot) is all we keep.
+    let service = MapService::spawn(MapBuilder::new(0.2).max_range(Some(8.0)))?;
+    let mut changes = service.subscribe();
+
+    // Seed the first epoch so the readers start on a real map.
+    service.ingest(lap_scan(0))?;
+    let first = service.flush()?;
+    println!(
+        "epoch {}: seeded, {} leaves",
+        first.epoch(),
+        first.canonical_leaves().len()
+    );
+
+    // Collision checks a planner would issue: straight-line corridors
+    // across the room, each tested against a freshly grabbed snapshot.
+    let corridors: Vec<(Point3, Point3)> = (0..8)
+        .map(|i| {
+            let a = i as f64 * (std::f64::consts::TAU / 8.0);
+            (
+                Point3::new(0.0, 0.0, 0.25),
+                Point3::new(3.0 * a.cos(), 3.0 * a.sin(), 0.25),
+            )
+        })
+        .collect();
+
+    const READERS: usize = 4;
+    const LAPS: usize = 40;
+    let verdicts = Mutex::new(Vec::new());
+    let pool = service.reader_pool().clone();
+    let service_ref = &service;
+    let corridors_ref = &corridors;
+    let verdicts_ref = &verdicts;
+    pool.scope(|s| {
+        for reader in 0..READERS {
+            s.spawn(move || {
+                let mut clear = 0usize;
+                let mut epochs = (u32::MAX, 0u32);
+                for _ in 0..50 {
+                    // One Arc bump; the writer publishes new epochs
+                    // underneath without ever waiting for us.
+                    let snap = service_ref.snapshot();
+                    epochs = (epochs.0.min(snap.epoch()), epochs.1.max(snap.epoch()));
+                    for &(from, to) in corridors_ref {
+                        let step = Point3::new(
+                            (to.x - from.x) / 2.0 + from.x,
+                            (to.y - from.y) / 2.0 + from.y,
+                            from.z,
+                        );
+                        if snap.occupancy_at(step).unwrap_or(Occupancy::Unknown)
+                            != Occupancy::Occupied
+                            && !snap.collides_sphere(step, 0.3).unwrap_or(true)
+                        {
+                            clear += 1;
+                        }
+                    }
+                }
+                verdicts_ref.lock().unwrap().push((reader, clear, epochs));
+            });
+        }
+        // The streaming writer: keep feeding the service while the
+        // readers probe. Each flush forces a publish, so the epochs the
+        // readers report advance live underneath them.
+        for lap in 1..LAPS {
+            service_ref.ingest(lap_scan(lap)).expect("queue stays open");
+            if lap % 4 == 0 {
+                service_ref.flush().expect("writer thread alive");
+            }
+        }
+    });
+    for (reader, clear, (lo, hi)) in verdicts.into_inner().unwrap() {
+        println!("reader {reader}: {clear} corridor midpoints clear, epochs {lo}..={hi}");
+    }
+
+    // Drain the writer and fold in everything that changed while the
+    // readers ran.
+    let last = service.flush()?;
+    let changed = match changes.poll() {
+        Ok(keys) => keys.len(),
+        // A long burst can evict ring epochs faster than one poll; the
+        // subscription has already resynchronized for the next poll.
+        Err(MapError::Lagged { missed }) => {
+            println!("subscription lagged {missed} publish(es); resyncing from the snapshot");
+            changes.poll()?.len()
+        }
+        Err(e) => return Err(e.into()),
+    };
+    let stats = service.service_stats();
+    println!(
+        "epoch {}: {} scans / {} rays ingested, {} publishes, {changed} changed keys polled",
+        last.epoch(),
+        stats.scans_ingested,
+        stats.rays,
+        stats.publishes
+    );
+    println!(
+        "row COW: {} node + {} leaf rows copied, {} reclaimed",
+        stats.snapshot.node_rows_copied,
+        stats.snapshot.leaf_rows_copied,
+        stats.snapshot.rows_reclaimed
+    );
+
+    assert!(!last.is_empty());
+    assert_eq!(stats.scans_ingested, LAPS as u64);
+    service.shutdown()?;
+    Ok(())
+}
