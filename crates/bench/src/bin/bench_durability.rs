@@ -1,0 +1,184 @@
+//! Measures what durability costs the ingest path — WAL framing +
+//! fsync per batch, snapshot checkpoints — and how fast recovery
+//! replays a cold log. Writes `BENCH_durability.json` (in the current
+//! directory).
+//!
+//! Three ingest variants stream the corridor dataset through a
+//! [`MapService`](omu_map::MapService) writer:
+//!
+//! - **wal_off** — no durability configured: the in-memory baseline.
+//! - **wal_on** — `DurabilityPolicy::Manual`: every drained batch is
+//!   framed, CRC'd, appended and fsynced before it is applied, but no
+//!   checkpoints are cut. CI holds this within 1.10× of `wal_off`:
+//!   batch fusion amortizes the sync, so the WAL must stay almost free.
+//! - **ckpt_on** — `DurabilityPolicy::EveryNEpochs(8)`: checkpoints are
+//!   serialized on the pinned publish snapshot and written on the
+//!   dedicated checkpoint thread, so CI holds this within 1.10× of
+//!   `wal_on` — the writer never waits for a checkpoint.
+//!
+//! The **recovery** stage then times [`MapService::recover`] over the
+//! directory a `wal_on` run leaves behind: a full-log replay, the
+//! worst case (a checkpoint would only shrink it).
+//!
+//! Usage: `cargo run --release -p omu-bench --bin bench_durability
+//! [-- --scale 0.1]`.
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use omu_bench::RunOptions;
+use omu_datasets::DatasetKind;
+use omu_geometry::Scan;
+use omu_map::{DurabilityPolicy, MapBuilder, MapService};
+
+/// Timed repetitions per variant; the best (least-interfered) run wins.
+const REPS: usize = 5;
+
+fn temp_dir(tag: &str, rep: usize) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "omu_bench_durability_{tag}_{rep}_{}",
+        std::process::id()
+    ))
+}
+
+/// Streams every scan through a service writer and returns the wall
+/// time from first ingest to a completed shutdown (flush + WAL sync +
+/// checkpoint-thread join all included).
+fn run_ingest(
+    scans: &[Scan],
+    resolution: f64,
+    durability: Option<(&PathBuf, DurabilityPolicy)>,
+) -> f64 {
+    let mut builder = MapBuilder::new(resolution);
+    if let Some((dir, policy)) = durability {
+        builder = builder.durability(dir, policy);
+    }
+    let service = MapService::spawn(builder).expect("service spawns");
+    let start = Instant::now();
+    for scan in scans {
+        service.ingest(scan.clone()).expect("ingest");
+    }
+    service.flush().expect("drain writer");
+    service.shutdown().expect("clean shutdown");
+    start.elapsed().as_secs_f64()
+}
+
+fn best_of<F: FnMut(usize) -> f64>(mut run: F) -> f64 {
+    (0..REPS).map(&mut run).fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let opts = RunOptions::from_env();
+    let kind = DatasetKind::Fr079Corridor;
+    let scale = opts.scale.unwrap_or(0.1);
+    let dataset = kind.build_scaled(scale);
+    let spec = *dataset.spec();
+    let scans: Vec<Scan> = dataset.scans().collect();
+    eprintln!(
+        "corridor @ scale {scale}: {} scans, resolution {} m",
+        scans.len(),
+        spec.resolution
+    );
+
+    let wal_off = best_of(|_| run_ingest(&scans, spec.resolution, None));
+
+    let wal_on = best_of(|rep| {
+        let dir = temp_dir("wal", rep);
+        let _ = std::fs::remove_dir_all(&dir);
+        let secs = run_ingest(
+            &scans,
+            spec.resolution,
+            Some((&dir, DurabilityPolicy::Manual)),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        secs
+    });
+
+    let ckpt_on = best_of(|rep| {
+        let dir = temp_dir("ckpt", rep);
+        let _ = std::fs::remove_dir_all(&dir);
+        let secs = run_ingest(
+            &scans,
+            spec.resolution,
+            Some((&dir, DurabilityPolicy::EveryNEpochs(8))),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+        secs
+    });
+
+    // Recovery: replay the full WAL a Manual-policy run left behind.
+    // Each rep rebuilds the directory (untimed) because recovery itself
+    // folds the result into a checkpoint, which would make a second
+    // pass over the same directory trivially cheap.
+    let mut replayed = 0u64;
+    let recovery = best_of(|rep| {
+        let dir = temp_dir("recover", rep);
+        let _ = std::fs::remove_dir_all(&dir);
+        run_ingest(
+            &scans,
+            spec.resolution,
+            Some((&dir, DurabilityPolicy::Manual)),
+        );
+        let start = Instant::now();
+        let (service, report) =
+            MapService::recover(dir.clone(), MapBuilder::new(spec.resolution)).expect("recovers");
+        let secs = start.elapsed().as_secs_f64();
+        replayed = report.replayed_batches;
+        assert!(!report.truncated_tail, "clean shutdown left a torn tail");
+        service.shutdown().expect("clean shutdown");
+        let _ = std::fs::remove_dir_all(&dir);
+        secs
+    });
+
+    let scans_n = scans.len() as f64;
+    let wal_ratio = wal_on / wal_off;
+    let ckpt_ratio = ckpt_on / wal_on;
+    eprintln!(
+        "wal_off : {wal_off:.4} s ({:.0} scans/s)",
+        scans_n / wal_off
+    );
+    eprintln!(
+        "wal_on  : {wal_on:.4} s ({:.0} scans/s, {wal_ratio:.3}x wal_off)",
+        scans_n / wal_on
+    );
+    eprintln!(
+        "ckpt_on : {ckpt_on:.4} s ({:.0} scans/s, {ckpt_ratio:.3}x wal_on)",
+        scans_n / ckpt_on
+    );
+    eprintln!("recovery: {recovery:.4} s ({replayed} batches replayed)");
+
+    let json = format!(
+        concat!(
+            "{{\n",
+            "  \"bench\": \"durability\",\n",
+            "  \"dataset\": \"{}\",\n",
+            "  \"scale\": {},\n",
+            "  \"scans\": {},\n",
+            "  \"resolution_m\": {},\n",
+            "  \"wal_off_seconds\": {:.6},\n",
+            "  \"wal_on_seconds\": {:.6},\n",
+            "  \"ckpt_on_seconds\": {:.6},\n",
+            "  \"wal_on_vs_wal_off\": {:.4},\n",
+            "  \"ckpt_on_vs_wal_on\": {:.4},\n",
+            "  \"recovery_seconds\": {:.6},\n",
+            "  \"recovery_replayed_batches\": {},\n",
+            "  \"recovery_batches_per_sec\": {:.0}\n",
+            "}}\n"
+        ),
+        kind.name(),
+        scale,
+        scans.len(),
+        spec.resolution,
+        wal_off,
+        wal_on,
+        ckpt_on,
+        wal_ratio,
+        ckpt_ratio,
+        recovery,
+        replayed,
+        replayed as f64 / recovery,
+    );
+    std::fs::write("BENCH_durability.json", &json).expect("write BENCH_durability.json");
+    println!("{json}");
+    eprintln!("wrote BENCH_durability.json");
+}

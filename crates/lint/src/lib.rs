@@ -33,6 +33,12 @@
 //!   pin registry are the workspace's two lock-free protocols, each
 //!   with a written ordering argument. New lock-free state elsewhere
 //!   must either route through them or make its case here first.
+//! - **L7 `fs-confinement`** — direct `std::fs` mutation (`fs::write`,
+//!   `File::create`, `OpenOptions`, renames/removes) appears only in
+//!   `map::durable`, the crash-safety layer. Its temp-file-then-rename
+//!   atomicity, fsync discipline and fault-injection hooks only protect
+//!   writes that go through `DurableDir`/`DurableFile`; a stray
+//!   `fs::write` elsewhere is a torn-file bug waiting for a power cut.
 //!
 //! Pre-existing violations are grandfathered in a committed baseline
 //! (`omu-lint.baseline`) so the gate fails only on *new* ones while the

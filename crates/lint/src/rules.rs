@@ -1,4 +1,4 @@
-//! The five workspace invariants, as textual rules over lexed sources.
+//! The workspace invariants, as textual rules over lexed sources.
 //!
 //! Each rule guards a discipline the parallel engines' bit-identity
 //! promise rests on; see the README's "Correctness tooling" section for
@@ -27,20 +27,25 @@ pub enum Rule {
     /// L6: atomics and epoch/pin primitives confined to `crates/pool`
     /// and `octree::snapshot`.
     AtomicConfinement,
+    /// L7: direct `std::fs` mutation confined to `map::durable` — the
+    /// crash-safety layer (temp-file atomicity, fsync, fault injection)
+    /// only holds if every library write goes through it.
+    FsConfinement,
 }
 
 impl Rule {
-    /// Every rule, in `L1`..`L6` order.
-    pub const ALL: [Rule; 6] = [
+    /// Every rule, in `L1`..`L7` order.
+    pub const ALL: [Rule; 7] = [
         Rule::SafetyComment,
         Rule::ThreadConfinement,
         Rule::NoPanic,
         Rule::HandleBits,
         Rule::BadSuppression,
         Rule::AtomicConfinement,
+        Rule::FsConfinement,
     ];
 
-    /// The short code used in diagnostics (`L1` … `L6`).
+    /// The short code used in diagnostics (`L1` … `L7`).
     pub fn code(self) -> &'static str {
         match self {
             Rule::SafetyComment => "L1",
@@ -49,6 +54,7 @@ impl Rule {
             Rule::HandleBits => "L4",
             Rule::BadSuppression => "L5",
             Rule::AtomicConfinement => "L6",
+            Rule::FsConfinement => "L7",
         }
     }
 
@@ -61,6 +67,7 @@ impl Rule {
             Rule::HandleBits => "handle-bits",
             Rule::BadSuppression => "bad-suppression",
             Rule::AtomicConfinement => "atomic-confinement",
+            Rule::FsConfinement => "fs-confinement",
         }
     }
 
@@ -155,6 +162,7 @@ pub fn check_file(file: &SourceFile, raw: &str, lexed: &LexedFile) -> Vec<Violat
     check_no_panic(file, lexed, &raw_lines, &mut raw_violations);
     check_handle_bits(file, lexed, &raw_lines, &mut raw_violations);
     check_atomic_confinement(file, lexed, &raw_lines, &mut raw_violations);
+    check_fs_confinement(file, lexed, &raw_lines, &mut raw_violations);
 
     // Apply well-formed suppressions.
     for v in raw_violations {
@@ -502,6 +510,59 @@ fn check_atomic_confinement(
                     raw_lines,
                     format!(
                         "atomic primitive (`{token}`) outside `crates/pool` / `octree::snapshot` — synchronize through the pool or the snapshot pin registry (or a mutex)"
+                    ),
+                ));
+                break;
+            }
+        }
+    }
+}
+
+/// L7 tokens: the `std::fs` mutation surface. Reads (`fs::read*`) are
+/// deliberately absent — only writes need crash-safety discipline.
+const FS_TOKENS: [&str; 6] = [
+    "fs::write",
+    "fs::rename",
+    "fs::remove_file",
+    "fs::create_dir",
+    "File::create",
+    "OpenOptions",
+];
+
+/// The one library module allowed to touch the filesystem directly:
+/// it *is* the durable-storage layer (atomic temp-file renames, fsync,
+/// the fault-injection wrappers).
+const FS_FILE: &str = "crates/map/src/durable.rs";
+
+/// L7: a `fs::write` sprinkled anywhere else bypasses temp-file
+/// atomicity and fsync, so a crash mid-write leaves a torn file the
+/// recovery path was never designed to meet. Route library writes
+/// through `omu_map::DurableDir` / `DurableFile`.
+fn check_fs_confinement(
+    file: &SourceFile,
+    lexed: &LexedFile,
+    raw_lines: &[&str],
+    out: &mut Vec<Violation>,
+) {
+    if !file.class.rules().contains(&Rule::FsConfinement) {
+        return;
+    }
+    if file.rel_path == FS_FILE {
+        return; // the sanctioned durable-storage implementation
+    }
+    for (idx, line) in lexed.lines.iter().enumerate() {
+        if line.in_test {
+            continue;
+        }
+        for token in FS_TOKENS {
+            if line.code.contains(token) {
+                out.push(make(
+                    Rule::FsConfinement,
+                    file,
+                    idx + 1,
+                    raw_lines,
+                    format!(
+                        "filesystem mutation (`{token}`) outside `map::durable` — write through `DurableDir`/`DurableFile` so crash atomicity and fault injection apply"
                     ),
                 ));
                 break;

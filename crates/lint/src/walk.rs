@@ -38,6 +38,7 @@ impl FileClass {
                 Rule::HandleBits,
                 Rule::BadSuppression,
                 Rule::AtomicConfinement,
+                Rule::FsConfinement,
             ],
             FileClass::Bin => &[
                 Rule::SafetyComment,

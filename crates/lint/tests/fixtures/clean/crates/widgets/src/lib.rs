@@ -23,6 +23,12 @@ pub fn last_or_die(v: &[i32]) -> i32 {
     *v.last().unwrap()
 }
 
+/// A justified suppression quiets L7 like any other rule.
+pub fn debug_dump(bytes: &[u8]) -> std::io::Result<()> {
+    // omu-lint: allow(fs-confinement) — fixture: debug dump, no durability promise
+    std::fs::write("dump.bin", bytes)
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -32,5 +38,6 @@ mod tests {
         std::thread::spawn(|| 3).join().unwrap();
         let hits = std::sync::atomic::AtomicU32::new(0);
         hits.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let _ = std::fs::write("scratch.bin", b"tests write freely");
     }
 }

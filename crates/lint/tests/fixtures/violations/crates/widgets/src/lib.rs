@@ -1,4 +1,4 @@
-//! Fixture: library source violating L1, L2, L3, L5 and L6.
+//! Fixture: library source violating L1, L2, L3, L5, L6 and L7.
 //! Not compiled — lint input only.
 
 /// L1: an `unsafe` block with no preceding `// SAFETY:` rationale.
@@ -31,6 +31,11 @@ pub fn unknown_rule(v: &[i32]) -> i32 {
 /// L6: hand-rolled lock-free state outside `crates/pool` and
 /// `octree::snapshot`.
 pub static OFF_PROTOCOL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// L7: a raw filesystem write outside the durable-storage layer.
+pub fn spill(bytes: &[u8]) {
+    let _ = std::fs::write("spill.bin", bytes);
+}
 
 #[cfg(test)]
 mod tests {

@@ -1,5 +1,6 @@
 //! Map construction: every knob resolved up front.
 
+use std::path::PathBuf;
 use std::sync::Arc;
 
 use omu_core::{OmuAccelerator, OmuConfig};
@@ -7,9 +8,23 @@ use omu_geometry::OccupancyParams;
 use omu_octree::{OctreeF32, OctreeFixed, WorkerPool};
 use omu_raycast::{FrontEnd, IntegrationMode};
 
+use crate::durable::{DurabilityPolicy, DurableDir, FaultPlan, FaultyDir, RealDir};
 use crate::engine::Engine;
 use crate::error::MapError;
 use crate::map::{Inner, OccupancyMap};
+
+/// Where the durability layer stores its blobs: a filesystem path
+/// (resolved to a [`RealDir`] at spawn time) or an injected store.
+#[derive(Debug, Clone)]
+pub(crate) enum DurabilityTarget {
+    Path(PathBuf),
+    Store(Arc<dyn DurableDir>),
+}
+
+/// A resolved durability configuration: the live store (possibly
+/// fault-wrapped) and the checkpoint policy, or `None` when the
+/// builder has no durability directory.
+pub(crate) type DurabilitySetup = Option<(Arc<dyn DurableDir>, DurabilityPolicy)>;
 
 /// Which map-holding engine backs an [`OccupancyMap`].
 ///
@@ -92,6 +107,9 @@ pub struct MapBuilder {
     change_detection: bool,
     worker_threads: usize,
     task_shuffle_seed: Option<u64>,
+    pub(crate) durability: Option<(DurabilityTarget, DurabilityPolicy)>,
+    pub(crate) queue_capacity: Option<usize>,
+    pub(crate) fault_plan: Option<FaultPlan>,
 }
 
 impl MapBuilder {
@@ -111,6 +129,9 @@ impl MapBuilder {
             change_detection: false,
             worker_threads: 0,
             task_shuffle_seed: None,
+            durability: None,
+            queue_capacity: None,
+            fault_plan: None,
         }
     }
 
@@ -195,6 +216,79 @@ impl MapBuilder {
         self
     }
 
+    /// Makes the [`MapService`](crate::MapService) spawned from this
+    /// builder crash-safe: every drained scan batch is appended to a
+    /// write-ahead log under `dir` before it is applied, and `policy`
+    /// decides when a full checkpoint of the serving map is cut (on a
+    /// dedicated thread, at zero writer cost). After a crash,
+    /// [`MapService::recover`](crate::MapService::recover) rebuilds the
+    /// map from the newest checkpoint plus the WAL tail.
+    ///
+    /// The directory is created (with parents) at spawn time; spawning
+    /// into a directory that already holds checkpoint or WAL files is
+    /// refused — recover from it instead. Only affects services; plain
+    /// [`Self::build`] maps ignore it.
+    pub fn durability<P: Into<PathBuf>>(mut self, dir: P, policy: DurabilityPolicy) -> Self {
+        self.durability = Some((DurabilityTarget::Path(dir.into()), policy));
+        self
+    }
+
+    /// [`Self::durability`] against an injected storage backend instead
+    /// of a filesystem directory — how the fault-injection tests swap in
+    /// a [`FaultyDir`](crate::FaultyDir).
+    pub fn durability_store(
+        mut self,
+        store: Arc<dyn DurableDir>,
+        policy: DurabilityPolicy,
+    ) -> Self {
+        self.durability = Some((DurabilityTarget::Store(store), policy));
+        self
+    }
+
+    /// Bounds the [`MapService`](crate::MapService) ingest queue at
+    /// `capacity` commands. When the writer falls behind and the queue
+    /// fills, `ingest` returns [`MapError::Backpressure`] instead of
+    /// enqueuing (the default queue is unbounded and never pushes back).
+    /// `flush` and shutdown always block for a slot rather than failing.
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity.max(1));
+        self
+    }
+
+    /// Injects a scripted [`FaultPlan`] into the durability store —
+    /// every mutating storage operation runs through the plan's fault
+    /// schedule. Also settable process-wide via the
+    /// `OMU_DURABILITY_FAULT_SEED` environment variable (the builder
+    /// knob wins). No effect without [`Self::durability`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// Resolves the durability knobs into a live store: path targets
+    /// become [`RealDir`]s, and a configured (or environment-selected)
+    /// fault plan wraps the store in a [`FaultyDir`].
+    pub(crate) fn durability_setup(&self) -> Result<DurabilitySetup, MapError> {
+        let Some((target, policy)) = &self.durability else {
+            return Ok(None);
+        };
+        let store: Arc<dyn DurableDir> = match target {
+            DurabilityTarget::Path(p) => Arc::new(RealDir::create(p.clone())?),
+            DurabilityTarget::Store(s) => Arc::clone(s),
+        };
+        let plan = self.fault_plan.clone().or_else(FaultPlan::from_env);
+        let store = match plan {
+            Some(plan) if !plan.is_empty() => Arc::new(FaultyDir::new(store, plan)) as _,
+            _ => store,
+        };
+        Ok(Some((store, *policy)))
+    }
+
+    /// The configured durability policy, if any.
+    pub(crate) fn durability_policy(&self) -> Option<DurabilityPolicy> {
+        self.durability.as_ref().map(|(_, policy)| *policy)
+    }
+
     /// Builds the map, validating every knob.
     ///
     /// # Errors
@@ -231,6 +325,40 @@ impl MapBuilder {
                 config.front_end = self.front_end;
                 config.pruning_enabled = self.pruning;
                 Inner::Accelerator(Box::new(OmuAccelerator::new(config)?))
+            }
+        };
+        Ok(OccupancyMap::from_parts(inner, self.engine))
+    }
+
+    /// [`Self::build`], but restoring the tree contents from serialized
+    /// bytes (a checkpoint blob) instead of starting empty. Resolution
+    /// and sensor model come from the encoding; every behavioural knob
+    /// (engine, integration mode, pruning, change detection, …) comes
+    /// from the builder, exactly as in a fresh build.
+    ///
+    /// # Errors
+    ///
+    /// [`MapError::Decode`] for malformed bytes; [`MapError::Unsupported`]
+    /// for the accelerator backend (checkpoints come from snapshots,
+    /// which only the software backends can publish).
+    pub(crate) fn build_restored(&self, bytes: &[u8]) -> Result<OccupancyMap, MapError> {
+        self.engine.validate()?;
+        let inner = match &self.backend {
+            Backend::Software => {
+                let mut tree = OctreeF32::from_bytes(bytes)?;
+                self.configure_tree(&mut tree);
+                Inner::Software(Box::new(tree))
+            }
+            Backend::SoftwareFixed => {
+                let mut tree = OctreeFixed::from_bytes(bytes)?;
+                self.configure_tree(&mut tree);
+                Inner::SoftwareFixed(Box::new(tree))
+            }
+            Backend::Accelerator(_) => {
+                return Err(MapError::Unsupported {
+                    backend: "accelerator",
+                    feature: "checkpoint restore (snapshots require a software backend)",
+                })
             }
         };
         Ok(OccupancyMap::from_parts(inner, self.engine))

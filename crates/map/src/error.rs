@@ -67,6 +67,16 @@ pub enum MapError {
         /// Publish epochs whose change sets were dropped.
         missed: u64,
     },
+    /// The service's bounded ingest queue
+    /// ([`MapBuilder::queue_capacity`](crate::MapBuilder::queue_capacity))
+    /// is full: the writer is falling behind the producers. The scan was
+    /// **not** enqueued; retry, drop the scan, or call
+    /// [`MapService::flush`](crate::MapService::flush) to wait the queue
+    /// down.
+    Backpressure {
+        /// The configured queue capacity.
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for MapError {
@@ -92,6 +102,10 @@ impl fmt::Display for MapError {
                 f,
                 "change subscription lagged: {missed} publish epochs evicted before polling"
             ),
+            MapError::Backpressure { capacity } => write!(
+                f,
+                "ingest queue full (capacity {capacity}): the writer is falling behind"
+            ),
         }
     }
 }
@@ -109,7 +123,8 @@ impl Error for MapError {
             MapError::InvalidShards(_)
             | MapError::Unsupported { .. }
             | MapError::ServiceShutdown
-            | MapError::Lagged { .. } => None,
+            | MapError::Lagged { .. }
+            | MapError::Backpressure { .. } => None,
         }
     }
 }
@@ -153,8 +168,17 @@ impl From<DeserializeError> for MapError {
 impl From<ReadError> for MapError {
     fn from(e: ReadError) -> Self {
         match e {
-            ReadError::Io(e) => MapError::Io(e),
-            ReadError::Decode(e) => MapError::Decode(e),
+            // Fold a known path into the I/O error text so it survives
+            // the conversion.
+            ReadError::Io {
+                path: Some(p),
+                source,
+            } => MapError::Io(io::Error::new(
+                source.kind(),
+                format!("{}: {source}", p.display()),
+            )),
+            ReadError::Io { path: None, source } => MapError::Io(source),
+            ReadError::Decode { source, .. } => MapError::Decode(source),
         }
     }
 }
@@ -207,10 +231,19 @@ mod tests {
 
     #[test]
     fn read_errors_split() {
-        let e: MapError = ReadError::Decode(DeserializeError::BadMagic).into();
+        let e: MapError = ReadError::Decode {
+            path: None,
+            source: DeserializeError::BadMagic,
+        }
+        .into();
         assert!(matches!(e, MapError::Decode(DeserializeError::BadMagic)));
-        let e: MapError = ReadError::Io(io::Error::new(io::ErrorKind::NotFound, "gone")).into();
+        let e: MapError = ReadError::Io {
+            path: Some("/tmp/lost.omut".into()),
+            source: io::Error::new(io::ErrorKind::NotFound, "gone"),
+        }
+        .into();
         assert!(matches!(e, MapError::Io(_)));
+        assert!(e.to_string().contains("/tmp/lost.omut"), "{e}");
     }
 
     #[test]

@@ -58,15 +58,23 @@
 
 mod backend;
 mod builder;
+mod durable;
 mod engine;
 mod error;
 mod map;
 mod service;
+mod wal;
 
 pub use backend::MapBackend;
 pub use builder::{Backend, MapBuilder};
+pub use durable::{
+    DurabilityPolicy, DurableDir, DurableFile, FaultKind, FaultPlan, FaultyDir, RealDir,
+};
 pub use engine::{Engine, ParseEngineError, MAX_SHARDS};
 pub use error::MapError;
 pub use map::{OccupancyMap, QueryView};
 pub use omu_raycast::FrontEnd;
-pub use service::{ChangeSubscription, MapService, MapSnapshot, ServiceStats, CHANGE_RING_EPOCHS};
+pub use service::{
+    ChangeSubscription, MapService, MapSnapshot, RecoveryReport, ServiceHealth, ServiceStats,
+    CHANGE_RING_EPOCHS, DEFAULT_CHECKPOINT_EPOCHS,
+};

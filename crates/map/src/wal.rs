@@ -1,0 +1,281 @@
+//! The scan write-ahead log: record framing, segment naming, and
+//! torn-tail-tolerant decoding.
+//!
+//! Before the service writer applies a drained scan batch, it appends
+//! one WAL record describing the batch and syncs it. Records are
+//! length-prefixed and CRC-framed:
+//!
+//! ```text
+//! [u32 payload len | u32 CRC-32 of payload | payload]
+//! payload = u64 batch seq
+//!           u32 scan count
+//!           per scan: origin (3 × f64) | u32 point count | points (3 × f64 each)
+//! ```
+//!
+//! All integers and floats are little-endian. A crash can tear the
+//! final record at any byte; [`decode_segment`] stops at the first
+//! frame whose length or CRC does not validate and reports the
+//! surviving prefix — replaying it reproduces the pre-crash map
+//! bit-identically, because map content depends only on the scan
+//! sequence (batch boundaries only affect publish epochs).
+//!
+//! Segments are named `wal-{startseq}.log` where `startseq` is the
+//! first batch sequence number the segment may contain. The writer
+//! rotates to a fresh segment exactly when it triggers a checkpoint
+//! covering every batch below the new start, so a segment is
+//! garbage-collectable as soon as a durable checkpoint's coverage
+//! reaches or passes the *next* segment's start.
+
+use omu_geometry::Point3;
+use omu_octree::crc32;
+
+/// Segment name for the segment whose first record is batch
+/// `start_seq`. Zero-padded so lexicographic order is numeric order.
+pub(crate) fn wal_name(start_seq: u64) -> String {
+    format!("wal-{start_seq:020}.log")
+}
+
+/// Parses a segment name produced by [`wal_name`].
+pub(crate) fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+/// Checkpoint blob name: `covers_seq` batches (all with seq <
+/// `covers_seq`) are folded in, published at map epoch `epoch`.
+pub(crate) fn ckpt_name(covers_seq: u64, epoch: u32) -> String {
+    format!("ckpt-{covers_seq:020}-{epoch:010}.omut")
+}
+
+/// Parses a checkpoint name into `(covers_seq, epoch)`.
+pub(crate) fn parse_ckpt_name(name: &str) -> Option<(u64, u32)> {
+    let stem = name.strip_prefix("ckpt-")?.strip_suffix(".omut")?;
+    let (seq, epoch) = stem.split_once('-')?;
+    Some((seq.parse().ok()?, epoch.parse().ok()?))
+}
+
+/// One logged scan: the ingest-path shape (`Ingest` and `IngestPoints`
+/// commands both normalize to origin + endpoints).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct LoggedScan {
+    /// Sensor origin.
+    pub origin: Point3,
+    /// Measured endpoints.
+    pub points: Vec<Point3>,
+}
+
+/// One decoded WAL record: a drained batch and its sequence number.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct WalRecord {
+    /// Monotonic batch sequence number.
+    pub seq: u64,
+    /// The scans of the batch, in application order.
+    pub scans: Vec<LoggedScan>,
+}
+
+/// Encodes one framed record for batch `seq` directly from borrowed
+/// scan slices — the writer's hot path, so no intermediate owned copy
+/// of the point data is made and the CRC is left zeroed: the durable
+/// thread pays for [`seal_record`] off the ingest path, overlapped
+/// with batch application.
+pub(crate) fn encode_record_parts(seq: u64, scans: &[(Point3, &[Point3])]) -> Vec<u8> {
+    let point_count: usize = scans.iter().map(|(_, pts)| pts.len()).sum();
+    let payload_len = 8 + 4 + scans.len() * (24 + 4) + point_count * 24;
+    let mut frame = Vec::with_capacity(8 + payload_len);
+    frame.extend_from_slice(&[0u8; 8]); // len patched below, crc by seal_record
+    frame.extend_from_slice(&seq.to_le_bytes());
+    frame.extend_from_slice(&(scans.len() as u32).to_le_bytes());
+    for (origin, points) in scans {
+        put_point(&mut frame, *origin);
+        frame.extend_from_slice(&(points.len() as u32).to_le_bytes());
+        for &p in *points {
+            put_point(&mut frame, p);
+        }
+    }
+    let len = (frame.len() - 8) as u32;
+    frame[..4].copy_from_slice(&len.to_le_bytes());
+    frame
+}
+
+/// Patches the CRC of a frame built by [`encode_record_parts`]. Must
+/// run before the frame is appended; split out so the checksum of a
+/// multi-megabyte record is paid on the durable thread, not the writer.
+pub(crate) fn seal_record(frame: &mut [u8]) {
+    let crc = crc32(&frame[8..]);
+    frame[4..8].copy_from_slice(&crc.to_le_bytes());
+}
+
+fn put_point(buf: &mut Vec<u8>, p: Point3) {
+    let mut b = [0u8; 24];
+    b[..8].copy_from_slice(&p.x.to_le_bytes());
+    b[8..16].copy_from_slice(&p.y.to_le_bytes());
+    b[16..].copy_from_slice(&p.z.to_le_bytes());
+    buf.extend_from_slice(&b);
+}
+
+/// Decodes a segment into its valid record prefix. Returns the records
+/// and whether a torn/corrupt tail was cut off (`true` when trailing
+/// bytes failed to validate and were discarded).
+pub(crate) fn decode_segment(bytes: &[u8]) -> (Vec<WalRecord>, bool) {
+    let mut records = Vec::new();
+    let mut rest = bytes;
+    loop {
+        if rest.is_empty() {
+            return (records, false);
+        }
+        if rest.len() < 8 {
+            return (records, true);
+        }
+        let len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+        let crc = u32::from_le_bytes([rest[4], rest[5], rest[6], rest[7]]);
+        if rest.len() < 8 + len {
+            return (records, true);
+        }
+        let payload = &rest[8..8 + len];
+        if crc32(payload) != crc {
+            return (records, true);
+        }
+        match decode_payload(payload) {
+            Some(record) => records.push(record),
+            // A CRC-valid but structurally short payload cannot come
+            // from this encoder; treat it as corruption, cut here.
+            None => return (records, true),
+        }
+        rest = &rest[8 + len..];
+    }
+}
+
+/// Decodes one record payload (already CRC-validated).
+fn decode_payload(mut p: &[u8]) -> Option<WalRecord> {
+    let seq = take_u64(&mut p)?;
+    let scan_count = take_u32(&mut p)? as usize;
+    let mut scans = Vec::with_capacity(scan_count.min(1024));
+    for _ in 0..scan_count {
+        let origin = take_point(&mut p)?;
+        let point_count = take_u32(&mut p)? as usize;
+        // Guard the pre-allocation against absurd counts so corruption
+        // cannot trigger a huge allocation before the length check.
+        if p.len() < point_count.checked_mul(24)? {
+            return None;
+        }
+        let mut points = Vec::with_capacity(point_count);
+        for _ in 0..point_count {
+            points.push(take_point(&mut p)?);
+        }
+        scans.push(LoggedScan { origin, points });
+    }
+    p.is_empty().then_some(WalRecord { seq, scans })
+}
+
+fn take_u32(p: &mut &[u8]) -> Option<u32> {
+    let (head, rest) = p.split_first_chunk::<4>()?;
+    *p = rest;
+    Some(u32::from_le_bytes(*head))
+}
+
+fn take_u64(p: &mut &[u8]) -> Option<u64> {
+    let (head, rest) = p.split_first_chunk::<8>()?;
+    *p = rest;
+    Some(u64::from_le_bytes(*head))
+}
+
+fn take_f64(p: &mut &[u8]) -> Option<f64> {
+    let (head, rest) = p.split_first_chunk::<8>()?;
+    *p = rest;
+    Some(f64::from_le_bytes(*head))
+}
+
+fn take_point(p: &mut &[u8]) -> Option<Point3> {
+    Some(Point3::new(take_f64(p)?, take_f64(p)?, take_f64(p)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Owned-scan convenience wrapper over [`encode_record_parts`] +
+    /// [`seal_record`], producing a complete valid frame.
+    fn encode_record(seq: u64, scans: &[LoggedScan]) -> Vec<u8> {
+        let parts: Vec<(Point3, &[Point3])> = scans
+            .iter()
+            .map(|s| (s.origin, s.points.as_slice()))
+            .collect();
+        let mut frame = encode_record_parts(seq, &parts);
+        seal_record(&mut frame);
+        frame
+    }
+
+    fn sample_scans() -> Vec<LoggedScan> {
+        vec![
+            LoggedScan {
+                origin: Point3::new(0.5, -1.0, 0.25),
+                points: vec![Point3::new(1.0, 2.0, 3.0), Point3::new(-4.0, 0.0, 9.5)],
+            },
+            LoggedScan {
+                origin: Point3::ZERO,
+                points: vec![],
+            },
+        ]
+    }
+
+    #[test]
+    fn record_roundtrips() {
+        let scans = sample_scans();
+        let mut segment = encode_record(7, &scans);
+        segment.extend_from_slice(&encode_record(8, &scans[..1]));
+        let (records, torn) = decode_segment(&segment);
+        assert!(!torn);
+        assert_eq!(records.len(), 2);
+        assert_eq!(records[0].seq, 7);
+        assert_eq!(records[0].scans, scans);
+        assert_eq!(records[1].seq, 8);
+        assert_eq!(records[1].scans, scans[..1]);
+    }
+
+    #[test]
+    fn empty_segment_is_clean() {
+        assert_eq!(decode_segment(&[]), (vec![], false));
+    }
+
+    #[test]
+    fn every_truncation_of_the_final_record_is_tolerated() {
+        let scans = sample_scans();
+        let mut segment = encode_record(0, &scans);
+        let first = segment.len();
+        segment.extend_from_slice(&encode_record(1, &scans));
+        for cut in first..segment.len() - 1 {
+            let (records, torn) = decode_segment(&segment[..cut]);
+            // A cut exactly on the record boundary is indistinguishable
+            // from a segment that never held the second record — clean.
+            assert_eq!(torn, cut > first, "cut at {cut}");
+            assert_eq!(records.len(), 1, "cut at {cut}");
+            assert_eq!(records[0].seq, 0);
+        }
+    }
+
+    #[test]
+    fn corrupt_byte_cuts_the_tail() {
+        let scans = sample_scans();
+        let mut segment = encode_record(0, &scans);
+        let first = segment.len();
+        segment.extend_from_slice(&encode_record(1, &scans));
+        // Flip a payload byte of the second record: its CRC fails, the
+        // first record survives.
+        segment[first + 12] ^= 0xFF;
+        let (records, torn) = decode_segment(&segment);
+        assert!(torn);
+        assert_eq!(records.len(), 1);
+    }
+
+    #[test]
+    fn names_roundtrip_and_sort_numerically() {
+        assert_eq!(parse_wal_name(&wal_name(42)), Some(42));
+        assert_eq!(parse_ckpt_name(&ckpt_name(42, 7)), Some((42, 7)));
+        assert_eq!(parse_wal_name("ckpt-0-0.omut"), None);
+        assert_eq!(parse_ckpt_name("wal-00000000000000000000.log"), None);
+        assert!(wal_name(9) < wal_name(10));
+        assert!(ckpt_name(9, 0) < ckpt_name(10, 0));
+    }
+}

@@ -7,7 +7,7 @@
 
 use std::fs;
 use std::io::{self, Read, Write};
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use omu_geometry::LogOdds;
 
@@ -16,19 +16,68 @@ use crate::tree::OccupancyOctree;
 
 /// An error from reading a serialized octree: I/O failure or malformed
 /// content.
+///
+/// When the read came from a file, the offending path is carried along
+/// and printed in the `Display` output, so a failed map recovery names
+/// the exact file that broke.
 #[derive(Debug)]
 pub enum ReadError {
     /// The underlying reader failed.
-    Io(io::Error),
+    Io {
+        /// The file being read, when known (`None` for plain readers).
+        path: Option<PathBuf>,
+        /// The underlying I/O error.
+        source: io::Error,
+    },
     /// The bytes did not decode to a valid octree.
-    Decode(DeserializeError),
+    Decode {
+        /// The file being read, when known (`None` for plain readers).
+        path: Option<PathBuf>,
+        /// The decode failure.
+        source: DeserializeError,
+    },
+}
+
+impl ReadError {
+    /// Attaches `path` to a pathless error (used by the file loaders).
+    fn with_path(self, path: &Path) -> Self {
+        match self {
+            ReadError::Io { source, .. } => ReadError::Io {
+                path: Some(path.to_path_buf()),
+                source,
+            },
+            ReadError::Decode { source, .. } => ReadError::Decode {
+                path: Some(path.to_path_buf()),
+                source,
+            },
+        }
+    }
+
+    /// The file the failed read came from, when known.
+    pub fn path(&self) -> Option<&Path> {
+        match self {
+            ReadError::Io { path, .. } | ReadError::Decode { path, .. } => path.as_deref(),
+        }
+    }
 }
 
 impl std::fmt::Display for ReadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            ReadError::Io(e) => write!(f, "i/o error reading octree: {e}"),
-            ReadError::Decode(e) => write!(f, "invalid octree data: {e}"),
+            ReadError::Io {
+                path: Some(p),
+                source,
+            } => write!(f, "i/o error reading octree from {}: {source}", p.display()),
+            ReadError::Io { path: None, source } => {
+                write!(f, "i/o error reading octree: {source}")
+            }
+            ReadError::Decode {
+                path: Some(p),
+                source,
+            } => write!(f, "invalid octree data in {}: {source}", p.display()),
+            ReadError::Decode { path: None, source } => {
+                write!(f, "invalid octree data: {source}")
+            }
         }
     }
 }
@@ -36,21 +85,21 @@ impl std::fmt::Display for ReadError {
 impl std::error::Error for ReadError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            ReadError::Io(e) => Some(e),
-            ReadError::Decode(e) => Some(e),
+            ReadError::Io { source, .. } => Some(source),
+            ReadError::Decode { source, .. } => Some(source),
         }
     }
 }
 
 impl From<io::Error> for ReadError {
-    fn from(e: io::Error) -> Self {
-        ReadError::Io(e)
+    fn from(source: io::Error) -> Self {
+        ReadError::Io { path: None, source }
     }
 }
 
 impl From<DeserializeError> for ReadError {
-    fn from(e: DeserializeError) -> Self {
-        ReadError::Decode(e)
+    fn from(source: DeserializeError) -> Self {
+        ReadError::Decode { path: None, source }
     }
 }
 
@@ -82,6 +131,8 @@ impl<V: LogOdds> OccupancyOctree<V> {
     ///
     /// Returns any filesystem error.
     pub fn save_to_file<P: AsRef<Path>>(&self, path: P) -> io::Result<()> {
+        // omu-lint: allow(fs-confinement) — documented convenience export
+        // with no crash-safety promise; checkpoints go through DurableDir.
         fs::write(path, self.to_bytes())
     }
 
@@ -89,9 +140,12 @@ impl<V: LogOdds> OccupancyOctree<V> {
     ///
     /// # Errors
     ///
-    /// Returns [`ReadError`] on I/O failure or malformed content.
+    /// Returns [`ReadError`] on I/O failure or malformed content; the
+    /// error names the offending path.
     pub fn load_from_file<P: AsRef<Path>>(path: P) -> Result<Self, ReadError> {
-        Ok(Self::from_bytes(&fs::read(path)?)?)
+        let path = path.as_ref();
+        let bytes = fs::read(path).map_err(|e| ReadError::from(e).with_path(path))?;
+        Self::from_bytes(&bytes).map_err(|e| ReadError::from(e).with_path(path))
     }
 }
 
@@ -133,15 +187,41 @@ mod tests {
     }
 
     #[test]
-    fn missing_file_is_io_error() {
+    fn missing_file_is_io_error_naming_the_path() {
         let e = OctreeF32::load_from_file("/definitely/not/here.omut").unwrap_err();
-        assert!(matches!(e, ReadError::Io(_)));
-        assert!(e.to_string().contains("i/o error"));
+        assert!(matches!(e, ReadError::Io { .. }));
+        assert_eq!(e.path(), Some(Path::new("/definitely/not/here.omut")));
+        let msg = e.to_string();
+        assert!(msg.contains("i/o error"), "{msg}");
+        assert!(msg.contains("/definitely/not/here.omut"), "{msg}");
+    }
+
+    #[test]
+    fn corrupt_file_is_decode_error_naming_the_path() {
+        let path = std::env::temp_dir().join("omu_octree_io_corrupt_test.omut");
+        std::fs::write(&path, b"not an octree").unwrap();
+        let e = OctreeF32::load_from_file(&path).unwrap_err();
+        let _ = std::fs::remove_file(&path);
+        assert!(matches!(
+            e,
+            ReadError::Decode {
+                source: DeserializeError::BadMagic,
+                ..
+            }
+        ));
+        let msg = e.to_string();
+        assert!(msg.contains("omu_octree_io_corrupt_test.omut"), "{msg}");
     }
 
     #[test]
     fn garbage_stream_is_decode_error() {
         let e = OctreeF32::read_from(&b"not an octree"[..]).unwrap_err();
-        assert!(matches!(e, ReadError::Decode(DeserializeError::BadMagic)));
+        assert!(matches!(
+            e,
+            ReadError::Decode {
+                path: None,
+                source: DeserializeError::BadMagic,
+            }
+        ));
     }
 }

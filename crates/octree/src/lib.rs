@@ -69,6 +69,7 @@
 
 mod arena;
 mod batch;
+mod checksum;
 mod counters;
 mod insert;
 mod io;
@@ -86,6 +87,7 @@ mod update;
 mod walk;
 
 pub use batch::{BatchStats, UpdateSink};
+pub use checksum::crc32;
 pub use counters::{OpCounters, QueryCounters};
 pub use insert::ParallelInsertError;
 pub use io::ReadError;

@@ -12,11 +12,22 @@ use bytes::{Buf, BufMut, BytesMut};
 use omu_geometry::{LogOdds, OccupancyParams, TREE_DEPTH};
 
 use crate::arena::NodeStore;
+use crate::checksum::crc32;
 use crate::node::{Node, NIL};
+use crate::snapshot::Snapshot;
 use crate::tree::OccupancyOctree;
 
 const MAGIC: &[u8; 4] = b"OMUT";
 const VERSION: u8 = 1;
+/// Version byte of the checksummed frame: a v1-identical payload
+/// followed by an 8-byte integrity trailer.
+const VERSION_V2: u8 = 2;
+/// End-of-frame magic closing the v2 trailer. Detected tail-first so a
+/// flipped header byte still routes corruption to a checksum error.
+const END_MAGIC: &[u8; 4] = b"ZOMU";
+/// v2 trailer: little-endian CRC-32 of everything before it, then
+/// [`END_MAGIC`].
+const TRAILER_LEN: usize = 8;
 
 /// Errors produced when decoding a serialized octree.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +42,9 @@ pub enum DeserializeError {
     BadResolution(f64),
     /// Structural inconsistency (e.g. children below the maximum depth).
     Malformed(&'static str),
+    /// A v2 checksummed frame whose integrity trailer does not validate:
+    /// the payload, checksum, or end magic was corrupted or cut short.
+    ChecksumMismatch,
 }
 
 impl fmt::Display for DeserializeError {
@@ -41,6 +55,9 @@ impl fmt::Display for DeserializeError {
             DeserializeError::Truncated => write!(f, "buffer truncated"),
             DeserializeError::BadResolution(r) => write!(f, "invalid resolution {r}"),
             DeserializeError::Malformed(what) => write!(f, "malformed tree encoding: {what}"),
+            DeserializeError::ChecksumMismatch => {
+                write!(f, "checksum mismatch: corrupted v2 frame")
+            }
         }
     }
 }
@@ -66,17 +83,52 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// # }
     /// ```
     pub fn to_bytes(&self) -> Vec<u8> {
+        self.encode(VERSION)
+    }
+
+    /// Serializes the tree to the v2 wire format: the v1 payload (with
+    /// the version byte bumped) sealed by a CRC-32 trailer and end
+    /// magic, so any single-byte corruption is caught at load time as
+    /// [`DeserializeError::ChecksumMismatch`]. [`Self::from_bytes`]
+    /// accepts both formats.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::Point3;
+    /// use omu_octree::{DeserializeError, OctreeF32};
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut tree = OctreeF32::new(0.1)?;
+    /// tree.update_point(Point3::ZERO, true)?;
+    /// let mut bytes = tree.to_bytes_checksummed();
+    /// assert_eq!(OctreeF32::from_bytes(&bytes)?.snapshot(), tree.snapshot());
+    /// let mid = bytes.len() / 2;
+    /// bytes[mid] ^= 0xFF;
+    /// assert_eq!(
+    ///     OctreeF32::from_bytes(&bytes).unwrap_err(),
+    ///     DeserializeError::ChecksumMismatch
+    /// );
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_bytes_checksummed(&self) -> Vec<u8> {
+        let mut out = self.encode(VERSION_V2);
+        seal(&mut out);
+        out
+    }
+
+    /// Pre-order payload shared by the v1 and v2 formats; only the
+    /// version byte differs.
+    fn encode(&self, version: u8) -> Vec<u8> {
         let mut buf = BytesMut::with_capacity(64 + self.num_nodes() * 5);
-        buf.put_slice(MAGIC);
-        buf.put_u8(VERSION);
-        buf.put_f64(self.resolution());
-        let p = self.params();
-        buf.put_f32(p.hit);
-        buf.put_f32(p.miss);
-        buf.put_f32(p.clamp_min);
-        buf.put_f32(p.clamp_max);
-        buf.put_f32(p.occupancy_threshold);
-        buf.put_u8(u8::from(self.root != NIL));
+        write_header(
+            &mut buf,
+            version,
+            self.resolution(),
+            self.params(),
+            self.root != NIL,
+        );
         if self.root != NIL {
             self.write_node(&mut buf, self.root, 0);
         }
@@ -107,13 +159,37 @@ impl<V: LogOdds> OccupancyOctree<V> {
         }
     }
 
-    /// Reconstructs a tree from bytes produced by [`Self::to_bytes`].
+    /// Reconstructs a tree from bytes produced by [`Self::to_bytes`]
+    /// (v1) or [`Self::to_bytes_checksummed`] (v2).
     ///
     /// # Errors
     ///
     /// Returns [`DeserializeError`] for any malformed input; no partial
-    /// tree is ever returned.
+    /// tree is ever returned. Corrupted v2 frames — including a flipped
+    /// byte anywhere in the buffer — yield
+    /// [`DeserializeError::ChecksumMismatch`].
     pub fn from_bytes(data: &[u8]) -> Result<Self, DeserializeError> {
+        // Tail-first v2 detection: if the end magic is present, the
+        // buffer claims to be a sealed frame, and a corrupted *header*
+        // byte must still be reported as a checksum failure rather than
+        // BadMagic/BadVersion.
+        if data.len() > TRAILER_LEN && data[data.len() - 4..] == *END_MAGIC {
+            let (body, trailer) = data.split_at(data.len() - TRAILER_LEN);
+            let stored = u32::from_le_bytes([trailer[0], trailer[1], trailer[2], trailer[3]]);
+            if crc32(body) == stored {
+                return Self::decode(body, VERSION_V2);
+            }
+            // The trailer does not validate: either a corrupted v2
+            // frame, or a v1 stream whose last four payload bytes
+            // happen to spell the end magic. Only a clean v1 parse of
+            // the whole buffer proves the latter.
+            return Self::decode(data, VERSION).map_err(|_| DeserializeError::ChecksumMismatch);
+        }
+        Self::decode(data, VERSION)
+    }
+
+    /// Parses one unsealed payload, demanding `expect_version`.
+    fn decode(data: &[u8], expect_version: u8) -> Result<Self, DeserializeError> {
         let mut buf = data;
         if buf.remaining() < 4 || &buf[..4] != MAGIC {
             return Err(DeserializeError::BadMagic);
@@ -123,7 +199,12 @@ impl<V: LogOdds> OccupancyOctree<V> {
             return Err(DeserializeError::Truncated);
         }
         let version = buf.get_u8();
-        if version != VERSION {
+        if version != expect_version {
+            // A v2 header reaching the unsealed parse means the
+            // integrity trailer was missing, cut short, or corrupted.
+            if version == VERSION_V2 {
+                return Err(DeserializeError::ChecksumMismatch);
+            }
             return Err(DeserializeError::BadVersion(version));
         }
         if buf.remaining() < 8 + 5 * 4 + 1 {
@@ -196,6 +277,98 @@ impl<V: LogOdds> OccupancyOctree<V> {
         }
         Ok(())
     }
+}
+
+impl<V: LogOdds> Snapshot<V> {
+    /// Serializes the pinned epoch to the checksummed v2 wire format.
+    ///
+    /// The payload is byte-identical to what the live tree's
+    /// [`OccupancyOctree::to_bytes_checksummed`] would have produced at
+    /// the instant this snapshot was published — but the walk runs
+    /// entirely on the snapshot's frozen rows, so a checkpoint thread
+    /// can serialize while the writer keeps ingesting at full speed.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use omu_geometry::Point3;
+    /// use omu_octree::OctreeF32;
+    ///
+    /// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+    /// let mut tree = OctreeF32::new(0.1)?;
+    /// tree.update_point(Point3::new(0.4, 0.0, 0.0), true)?;
+    /// let snap = tree.publish_snapshot();
+    /// tree.update_point(Point3::new(0.0, 0.4, 0.0), true)?; // writer moves on
+    /// let restored = OctreeF32::from_bytes(&snap.to_bytes())?;
+    /// assert_eq!(restored.snapshot(), snap.canonical_leaves());
+    /// # Ok(())
+    /// # }
+    /// ```
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut buf = BytesMut::with_capacity(4096);
+        write_header(
+            &mut buf,
+            VERSION_V2,
+            self.resolution(),
+            self.params(),
+            !self.is_empty(),
+        );
+        if !self.is_empty() {
+            self.write_node(&mut buf, self.root_handle(), 0);
+        }
+        let mut out = buf.to_vec();
+        seal(&mut out);
+        out
+    }
+
+    /// Pre-order `(value, child mask)` walk over the snapshot's frozen
+    /// rows — the same traversal as the live tree's `write_node`.
+    fn write_node(&self, buf: &mut BytesMut, node: u32, depth: u8) {
+        if depth == TREE_DEPTH {
+            buf.put_f32(self.leaf_at(node).to_f32());
+            buf.put_u8(0);
+            return;
+        }
+        let n = self.node_at(node);
+        buf.put_f32(n.value.to_f32());
+        buf.put_u8(n.mask());
+        if n.is_leaf() {
+            return;
+        }
+        for pos in 0..8 {
+            if n.has_child(pos) {
+                self.write_node(buf, self.child_handle(node, &n, pos), depth + 1);
+            }
+        }
+    }
+}
+
+/// Writes the header shared by the v1 and v2 formats: magic, version,
+/// resolution, the five occupancy parameters, and the root flag.
+fn write_header(
+    buf: &mut BytesMut,
+    version: u8,
+    resolution: f64,
+    p: &OccupancyParams,
+    has_root: bool,
+) {
+    buf.put_slice(MAGIC);
+    buf.put_u8(version);
+    buf.put_f64(resolution);
+    buf.put_f32(p.hit);
+    buf.put_f32(p.miss);
+    buf.put_f32(p.clamp_min);
+    buf.put_f32(p.clamp_max);
+    buf.put_f32(p.occupancy_threshold);
+    buf.put_u8(u8::from(has_root));
+}
+
+/// Seals a v2 payload in place: appends the little-endian CRC-32 of
+/// everything so far, then the end magic.
+fn seal(out: &mut Vec<u8>) {
+    let crc = crc32(out);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(END_MAGIC);
 }
 
 /// Reads one node's `(value, child mask)` header.
@@ -295,6 +468,121 @@ mod tests {
             OctreeF32::from_bytes(&bytes).unwrap_err(),
             DeserializeError::BadVersion(99)
         );
+    }
+
+    #[test]
+    fn checksummed_roundtrip_preserves_snapshot_and_config() {
+        let t = mapped_tree();
+        let bytes = t.to_bytes_checksummed();
+        let r = OctreeF32::from_bytes(&bytes).unwrap();
+        assert_eq!(r.snapshot(), t.snapshot());
+        assert_eq!(r.resolution(), t.resolution());
+        assert_eq!(r.params(), t.params());
+    }
+
+    #[test]
+    fn checksummed_frame_is_v1_payload_plus_trailer() {
+        let t = mapped_tree();
+        let v1 = t.to_bytes();
+        let v2 = t.to_bytes_checksummed();
+        assert_eq!(v2.len(), v1.len() + TRAILER_LEN);
+        // Identical payload except the version byte.
+        assert_eq!(&v2[..4], &v1[..4]);
+        assert_eq!(v2[4], VERSION_V2);
+        assert_eq!(&v2[5..v1.len()], &v1[5..]);
+        assert_eq!(&v2[v2.len() - 4..], *END_MAGIC);
+    }
+
+    #[test]
+    fn corrupted_checksummed_frame_rejected_at_every_byte() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        t.update_key(VoxelKey::new(32768, 32768, 32768), true);
+        let bytes = t.to_bytes_checksummed();
+        for i in 0..bytes.len() {
+            let mut mutant = bytes.clone();
+            mutant[i] ^= 0xFF;
+            assert_eq!(
+                OctreeF32::from_bytes(&mutant).unwrap_err(),
+                DeserializeError::ChecksumMismatch,
+                "flipped byte {i} of {}",
+                bytes.len()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_checksummed_frame_rejected() {
+        let t = mapped_tree();
+        let bytes = t.to_bytes_checksummed();
+        for cut in [5, 20, bytes.len() / 2, bytes.len() - 1] {
+            let e = OctreeF32::from_bytes(&bytes[..cut]).unwrap_err();
+            assert_eq!(
+                e,
+                DeserializeError::ChecksumMismatch,
+                "cut at {cut} gave {e:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn v1_stream_with_appended_end_magic_is_typed_corruption() {
+        // A buffer that ends in the v2 end magic but has no validating
+        // CRC and no clean v1 parse must type as checksum corruption —
+        // never a panic or a silent partial load. (A *genuine* v1
+        // stream can never trip the tail-first detector: its last byte
+        // is always a zero mask, not the end magic's final byte.)
+        let t = OctreeF32::new(0.1).unwrap();
+        let mut bytes = t.to_bytes();
+        assert_eq!(*bytes.last().unwrap(), 0);
+        bytes.extend_from_slice(b"ZOMU");
+        assert_eq!(
+            OctreeF32::from_bytes(&bytes).unwrap_err(),
+            DeserializeError::ChecksumMismatch
+        );
+    }
+
+    #[test]
+    fn empty_tree_checksummed_roundtrips() {
+        let t = OctreeF32::new(0.1).unwrap();
+        let r = OctreeF32::from_bytes(&t.to_bytes_checksummed()).unwrap();
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn fixed_tree_checksummed_roundtrips_exactly() {
+        let mut t = OctreeFixed::new(0.1).unwrap();
+        for i in 0..50u16 {
+            t.update_key(VoxelKey::new(32768 + i, 32768, 32768), i % 2 == 0);
+        }
+        let r = OctreeFixed::from_bytes(&t.to_bytes_checksummed()).unwrap();
+        assert_eq!(r.snapshot(), t.snapshot());
+    }
+
+    #[test]
+    fn snapshot_bytes_match_live_checksummed_bytes() {
+        let mut t = mapped_tree();
+        let snap = t.publish_snapshot();
+        let expected = t.to_bytes_checksummed();
+        assert_eq!(snap.to_bytes(), expected);
+
+        // The writer moves on; the snapshot keeps serializing the
+        // pinned epoch byte-for-byte.
+        let mut cloud = PointCloud::new();
+        cloud.push(Point3::new(0.5, -1.0, 0.4));
+        t.insert_scan(&Scan::new(Point3::ZERO, cloud)).unwrap();
+        assert_ne!(t.to_bytes_checksummed(), expected);
+        assert_eq!(snap.to_bytes(), expected);
+
+        let restored = OctreeF32::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(restored.snapshot(), snap.canonical_leaves());
+    }
+
+    #[test]
+    fn empty_snapshot_serializes() {
+        let mut t = OctreeF32::new(0.1).unwrap();
+        let snap = t.publish_snapshot();
+        assert_eq!(snap.to_bytes(), t.to_bytes_checksummed());
+        assert!(OctreeF32::from_bytes(&snap.to_bytes()).unwrap().is_empty());
     }
 
     #[test]

@@ -45,7 +45,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use omu_geometry::{
-    Aabb, KeyConverter, KeyError, LogOdds, Occupancy, Point3, ResolvedParams, VoxelKey, TREE_DEPTH,
+    Aabb, KeyConverter, KeyError, LogOdds, Occupancy, OccupancyParams, Point3, ResolvedParams,
+    VoxelKey, TREE_DEPTH,
 };
 use omu_raycast::RayWalk;
 use serde::{Deserialize, Serialize};
@@ -425,6 +426,9 @@ struct SnapInner<V: LogOdds> {
     root_node: Node<V>,
     conv: KeyConverter,
     resolved: ResolvedParams<V>,
+    /// The raw occupancy parameters, carried so a snapshot can be
+    /// serialized with the same header the live tree would write.
+    params: OccupancyParams,
     epoch: u32,
     _pin: PinGuard,
 }
@@ -471,6 +475,7 @@ impl<V: LogOdds> Snapshot<V> {
         root: u32,
         conv: KeyConverter,
         resolved: ResolvedParams<V>,
+        params: OccupancyParams,
     ) -> Self {
         let epoch = arena.epoch();
         let root_node = if root == NIL {
@@ -492,6 +497,7 @@ impl<V: LogOdds> Snapshot<V> {
                 root_node,
                 conv,
                 resolved,
+                params,
                 epoch,
                 _pin: pin,
             }),
@@ -517,6 +523,35 @@ impl<V: LogOdds> Snapshot<V> {
     /// The map resolution in metres.
     pub fn resolution(&self) -> f64 {
         self.inner.conv.resolution()
+    }
+
+    /// The occupancy parameters of the snapshotted map.
+    pub fn params(&self) -> &OccupancyParams {
+        &self.inner.params
+    }
+
+    /// Root handle for the serializer's pre-order walk.
+    pub(crate) fn root_handle(&self) -> u32 {
+        self.inner.root
+    }
+
+    /// The node at `h`, read from the frozen rows (root served by
+    /// value, since its live spine cell is COW-exempt).
+    pub(crate) fn node_at(&self, h: u32) -> Node<V> {
+        self.inner.node(h)
+    }
+
+    /// The depth-16 leaf value at `h`.
+    pub(crate) fn leaf_at(&self, h: u32) -> V {
+        self.inner.leaf_value(h)
+    }
+
+    /// Handle of `parent`'s child at octant `pos` (`n` is `parent`'s
+    /// node, passed in so callers walking the tree read each row once).
+    /// Lives here rather than in the serializer because composing
+    /// handles is confined to the arena-layer modules.
+    pub(crate) fn child_handle(&self, parent: u32, n: &Node<V>, pos: usize) -> u32 {
+        handle(child_shard_of(parent), n.row(), pos)
     }
 
     /// Searches for the node covering `key` — same contract and result

@@ -445,7 +445,13 @@ impl<V: LogOdds> OccupancyOctree<V> {
     /// next write entry then recycles whatever rows were copied out on
     /// its behalf.
     pub fn publish_snapshot(&mut self) -> Snapshot<V> {
-        Snapshot::capture(&mut self.arena, self.root, self.conv, self.resolved)
+        Snapshot::capture(
+            &mut self.arena,
+            self.root,
+            self.conv,
+            self.resolved,
+            self.params,
+        )
     }
 
     /// Snapshot/COW bookkeeping: current epoch, publish and pin counts,

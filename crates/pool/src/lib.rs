@@ -591,6 +591,17 @@ pub struct TaskPanic {
 }
 
 impl TaskPanic {
+    /// Builds a `TaskPanic` from a caught unwind payload (as returned
+    /// by `std::panic::catch_unwind`). For service loops that catch
+    /// their own panics in order to record a typed error before the
+    /// thread exits — e.g. the map service's writer — instead of
+    /// letting the payload reach the joiner.
+    pub fn from_payload(payload: &(dyn Any + Send)) -> Self {
+        TaskPanic {
+            messages: vec![panic_message(payload)],
+        }
+    }
+
     /// Number of tasks that panicked in the scope.
     pub fn count(&self) -> usize {
         self.messages.len()
